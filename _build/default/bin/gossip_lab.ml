@@ -1,0 +1,341 @@
+(* gossip_lab: command-line front end for the systolic gossip library.
+
+   Subcommands:
+     tables                    regenerate the paper's numeric tables
+     analyze  FAMILY DIM       closed-form bounds for one network
+     simulate FAMILY DIM       run a periodic protocol and certify it
+     info     FAMILY DIM       structural facts about a network
+
+   FAMILY is one of: path cycle complete hypercube grid torus tree
+   bf dwbf wbf ddb db dk k (the latter seven take a degree with -d). *)
+
+open Core
+module C = Cmdliner
+
+let build_network family d dim =
+  let module F = Topology.Families in
+  match family with
+  | "path" -> F.path dim
+  | "cycle" -> F.cycle dim
+  | "complete" -> F.complete dim
+  | "hypercube" -> F.hypercube dim
+  | "grid" -> F.grid dim dim
+  | "torus" -> F.torus dim dim
+  | "tree" -> F.complete_dary_tree (max 2 d) dim
+  | "bf" -> F.butterfly d dim
+  | "dwbf" -> F.wrapped_butterfly_directed d dim
+  | "wbf" -> F.wrapped_butterfly d dim
+  | "ddb" -> F.de_bruijn_directed d dim
+  | "db" -> F.de_bruijn d dim
+  | "dk" -> F.kautz_directed d dim
+  | "k" -> F.kautz d dim
+  | other -> failwith (Printf.sprintf "unknown family %S" other)
+
+let family_arg =
+  C.Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FAMILY" ~doc:"Network family name.")
+
+let dim_arg =
+  C.Arg.(
+    required
+    & pos 1 (some int) None
+    & info [] ~docv:"DIM" ~doc:"Dimension / size parameter.")
+
+let degree_arg =
+  C.Arg.(
+    value & opt int 2
+    & info [ "d"; "degree" ] ~docv:"D" ~doc:"Degree for string families.")
+
+(* --- tables --- *)
+
+let print_fig4 () =
+  let t =
+    Util.Table.make ~title:"Fig. 4 — general systolic bounds (half-duplex)"
+      [ "s"; "lambda"; "e(s)" ]
+  in
+  List.iter
+    (fun (r : Bounds.Tables.fig4_row) ->
+      Util.Table.add_row t
+        [
+          string_of_int r.Bounds.Tables.s;
+          Util.Table.cell_f r.Bounds.Tables.lambda;
+          Util.Table.cell_f r.Bounds.Tables.e;
+        ])
+    (Bounds.Tables.fig4 ~s_max:8);
+  Util.Table.add_row t
+    [
+      "inf";
+      Util.Table.cell_f Bounds.Tables.fig4_inf.Bounds.Tables.lambda;
+      Util.Table.cell_f Bounds.Tables.fig4_inf.Bounds.Tables.e;
+    ];
+  Util.Table.print t
+
+let print_family_table ~title rows ss =
+  let t =
+    Util.Table.make ~title
+      ("family" :: List.map (fun s -> "s=" ^ string_of_int s) ss)
+  in
+  List.iter
+    (fun (r : Bounds.Tables.family_row) ->
+      Util.Table.add_row t
+        (r.Bounds.Tables.key
+        :: List.map
+             (fun (_, (c : Bounds.Tables.cell)) ->
+               Util.Table.cell_f c.Bounds.Tables.value
+               ^ if c.Bounds.Tables.improves then "" else "*")
+             r.Bounds.Tables.cells))
+    rows;
+  Util.Table.print t;
+  print_endline "(* = coincides with the general bound of Fig. 4)"
+
+let print_fig6 () =
+  let t =
+    Util.Table.make ~title:"Fig. 6 — non-systolic bounds (half-duplex)"
+      [ "family"; "separator"; "baseline"; "diam coeff"; "best" ]
+  in
+  List.iter
+    (fun (r : Bounds.Tables.fig6_row) ->
+      Util.Table.add_row t
+        [
+          r.Bounds.Tables.key;
+          Util.Table.cell_f r.Bounds.Tables.separator_value;
+          Util.Table.cell_f r.Bounds.Tables.baseline;
+          Util.Table.cell_f r.Bounds.Tables.diameter_coeff;
+          Util.Table.cell_f r.Bounds.Tables.best;
+        ])
+    (Bounds.Tables.fig6 ());
+  Util.Table.print t
+
+let tables_cmd =
+  let run () =
+    let ss = [ 3; 4; 5; 6; 7; 8 ] in
+    print_fig4 ();
+    print_family_table ~title:"Fig. 5 — separator-refined systolic bounds"
+      (Bounds.Tables.fig5 ~ss) ss;
+    print_fig6 ();
+    print_family_table ~title:"Fig. 8 — full-duplex systolic bounds"
+      (Bounds.Tables.fig8 ~ss) ss
+  in
+  C.Cmd.v (C.Cmd.info "tables" ~doc:"Regenerate the paper's numeric tables.")
+    C.Term.(const run $ const ())
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run family d dim =
+    let g = build_network family d dim in
+    Format.printf "%a@." Analysis.pp_network_report
+      (Analysis.analyze_network g)
+  in
+  C.Cmd.v
+    (C.Cmd.info "analyze" ~doc:"Closed-form lower bounds for one network.")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg)
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let run family d dim full_duplex =
+    let g = build_network family d dim in
+    let sys =
+      if Topology.Digraph.is_symmetric g then
+        if full_duplex then Protocol.Builders.edge_coloring_full_duplex g
+        else Protocol.Builders.edge_coloring_half_duplex g
+      else
+        Protocol.Builders.random_systolic g Protocol.Protocol.Directed
+          ~period:8 ~seed:1 ~density:1.0
+    in
+    Format.printf "%a@." Analysis.pp_protocol_report
+      (Analysis.certify_protocol sys)
+  in
+  let fd =
+    C.Arg.(
+      value & flag
+      & info [ "full-duplex" ] ~doc:"Use a full-duplex protocol.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "simulate"
+       ~doc:"Run a periodic protocol on the network and certify it.")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ fd)
+
+(* --- price --- *)
+
+let price_cmd =
+  let run family d dim s_max =
+    let g = build_network family d dim in
+    if Topology.Digraph.n_vertices g > 12 then
+      failwith "price: exhaustive search needs a tiny network (n <= 12)";
+    let mode =
+      if Topology.Digraph.is_symmetric g then Protocol.Protocol.Half_duplex
+      else Protocol.Protocol.Directed
+    in
+    let systolic, unrestricted =
+      Search.Systolic_optimal.price_of_systolization ~s_max g mode
+    in
+    (match unrestricted with
+    | Some t -> Printf.printf "unrestricted optimum: %d rounds\n" t
+    | None -> Printf.printf "unrestricted optimum: search incomplete\n");
+    List.iter
+      (fun (s, outcome) ->
+        match outcome with
+        | Search.Systolic_optimal.Found r ->
+            Printf.printf "s=%d: %d rounds\n" s r.Search.Systolic_optimal.rounds
+        | Search.Systolic_optimal.Infeasible ->
+            Printf.printf "s=%d: no s-systolic gossip protocol exists\n" s
+        | Search.Systolic_optimal.Too_large ->
+            Printf.printf "s=%d: sweep too large\n" s)
+      systolic
+  in
+  let s_max =
+    C.Arg.(value & opt int 5 & info [ "s-max" ] ~docv:"S" ~doc:"Largest period.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "price"
+       ~doc:"Exact price of systolization on a tiny network (exhaustive).")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ s_max)
+
+(* --- dot --- *)
+
+let dot_cmd =
+  let run family d dim delay =
+    let g = build_network family d dim in
+    if delay then begin
+      let sys =
+        if Topology.Digraph.is_symmetric g then
+          Protocol.Builders.edge_coloring_half_duplex g
+        else
+          Protocol.Builders.random_systolic g Protocol.Protocol.Directed
+            ~period:4 ~seed:1 ~density:1.0
+      in
+      let dg =
+        Delay.Delay_digraph.of_systolic sys
+          ~length:(2 * Protocol.Systolic.period sys)
+      in
+      print_string (Delay.Delay_digraph.to_dot dg)
+    end
+    else print_string (Topology.Dot.of_digraph g)
+  in
+  let delay =
+    C.Arg.(
+      value & flag
+      & info [ "delay" ]
+          ~doc:"Emit the delay digraph of a periodic protocol instead.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "dot" ~doc:"Emit the network (or its delay digraph) as Graphviz DOT.")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ delay)
+
+(* --- optimal (exhaustive) --- *)
+
+let optimal_cmd =
+  let run family d dim full_duplex =
+    let g = build_network family d dim in
+    let mode =
+      if not (Topology.Digraph.is_symmetric g) then Protocol.Protocol.Directed
+      else if full_duplex then Protocol.Protocol.Full_duplex
+      else Protocol.Protocol.Half_duplex
+    in
+    (match Search.Optimal.gossip_number g mode with
+    | Some r ->
+        Printf.printf "optimal gossip: %d rounds (%d states explored)\n"
+          r.Search.Optimal.rounds r.Search.Optimal.states_explored
+    | None -> print_endline "gossip search exceeded the state budget");
+    match Search.Optimal.broadcast_number g mode ~src:0 with
+    | Some r ->
+        Printf.printf "optimal broadcast from 0: %d rounds\n"
+          r.Search.Optimal.rounds
+    | None -> print_endline "broadcast search exceeded the state budget"
+  in
+  let fd =
+    C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex mode.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "optimal"
+       ~doc:"Exact optimal gossip/broadcast (tiny networks, <= 24 vertices).")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ fd)
+
+(* --- broadcast --- *)
+
+let broadcast_cmd =
+  let run family d dim src =
+    let g = build_network family d dim in
+    let mode =
+      if Topology.Digraph.is_symmetric g then Protocol.Protocol.Half_duplex
+      else Protocol.Protocol.Directed
+    in
+    let p = Protocol.Broadcast_protocol.greedy_schedule g ~src ~mode in
+    Printf.printf "greedy broadcast schedule: %d rounds\n"
+      (Protocol.Protocol.length p);
+    Printf.printf "sound lower bound: %d rounds\n"
+      (Bounds.Broadcast.lower_bound g);
+    Printf.printf "c(d)·log n asymptotic: %.2f\n"
+      (Bounds.Broadcast.asymptotic_coefficient g
+      *. Util.Numeric.log2
+           (float_of_int (Topology.Digraph.n_vertices g)))
+  in
+  let src =
+    C.Arg.(value & opt int 0 & info [ "src" ] ~docv:"V" ~doc:"Source vertex.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "broadcast" ~doc:"Greedy broadcast schedule and bounds.")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ src)
+
+(* --- certify a protocol file --- *)
+
+let certify_file_cmd =
+  let run path refine =
+    let sys = Protocol.Protocol_io.load path in
+    let report = Analysis.certify_protocol sys in
+    Format.printf "%a@." Analysis.pp_protocol_report report;
+    if refine then begin
+      match report.Analysis.gossip_time with
+      | Some t ->
+          let dg = Delay.Delay_digraph.of_systolic sys ~length:t in
+          let cert =
+            Delay.Certificate.certify ~refine:true dg
+              ~mode:(Protocol.Systolic.mode sys)
+          in
+          Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
+            cert.Delay.Certificate.bound cert.Delay.Certificate.lambda
+      | None -> ()
+    end
+  in
+  let path =
+    C.Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Protocol file (see Protocol_io format).")
+  in
+  let refine =
+    C.Arg.(value & flag & info [ "refine" ] ~doc:"Refine the lambda search.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "certify-file"
+       ~doc:"Load a protocol from a text file, run it, certify it.")
+    C.Term.(const run $ path $ refine)
+
+(* --- info --- *)
+
+let info_cmd =
+  let run family d dim =
+    let g = build_network family d dim in
+    Format.printf "%a@." Topology.Digraph.pp g;
+    Format.printf "diameter: %d@." (Topology.Metrics.diameter g);
+    Format.printf "degree parameter d: %d@."
+      (Topology.Digraph.degree_parameter g);
+    Format.printf "strongly connected: %b@."
+      (Topology.Digraph.is_strongly_connected g)
+  in
+  C.Cmd.v (C.Cmd.info "info" ~doc:"Structural facts about a network.")
+    C.Term.(const run $ family_arg $ degree_arg $ dim_arg)
+
+let () =
+  let doc = "systolic gossip lower-bound laboratory" in
+  exit
+    (C.Cmd.eval
+       (C.Cmd.group (C.Cmd.info "gossip_lab" ~doc)
+          [
+            tables_cmd; analyze_cmd; simulate_cmd; info_cmd; price_cmd;
+            dot_cmd; certify_file_cmd; optimal_cmd; broadcast_cmd;
+          ]))

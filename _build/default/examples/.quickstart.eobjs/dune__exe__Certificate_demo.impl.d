@@ -1,0 +1,1 @@
+examples/certificate_demo.ml: Array Core Delay Format Linalg List Protocol Simulate String Topology

@@ -1,0 +1,1 @@
+examples/custom_topology.ml: Analysis Bounds Core Delay Format List Protocol Search Simulate String Topology

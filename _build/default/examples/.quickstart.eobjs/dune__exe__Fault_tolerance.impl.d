@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Core Delay Format List Option Printf Protocol Simulate Topology Util

@@ -1,0 +1,1 @@
+examples/network_shootout.ml: Bounds Core List Printf Protocol Simulate Topology Util

@@ -1,0 +1,1 @@
+examples/optimal_small.ml: Core Format List Protocol Search Topology Util

@@ -1,0 +1,1 @@
+examples/optimal_small.mli:

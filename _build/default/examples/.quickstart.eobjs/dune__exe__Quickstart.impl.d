@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Core Format Protocol Simulate Topology

@@ -1,0 +1,1 @@
+examples/systolic_tradeoff.ml: Bounds Core Format List Protocol Search Simulate Topology Util

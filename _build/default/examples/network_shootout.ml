@@ -1,0 +1,79 @@
+(* Network shootout: which interconnection topology gossips fastest?
+
+   The paper's motivation: hypercube-derived constant-degree networks
+   (Butterfly, de Bruijn, Kautz) try to match the hypercube's O(log n)
+   dissemination with bounded degree, and the lower-bound machinery
+   quantifies exactly how close each can get.  This example lines up
+   comparable-size instances of each family and reports, side by side:
+
+     - the trivial bound (diameter),
+     - the paper's non-systolic lower bound 1.4404·log n,
+     - the family-refined non-systolic lower bound (Theorem 5.1),
+     - the measured gossip time of a concrete periodic protocol.
+
+   Run with:  dune exec examples/network_shootout.exe *)
+
+open Core
+module Table = Util.Table
+module Families = Topology.Families
+module Metrics = Topology.Metrics
+module Digraph = Topology.Digraph
+
+let contenders =
+  [
+    ("hypercube", Families.hypercube 7, 1.0);
+    ("butterfly", Families.butterfly 2 5, 1.0);
+    ("wrapped butterfly", Families.wrapped_butterfly 2 5, 1.9750);
+    ("de Bruijn", Families.de_bruijn 2 7, 1.5876);
+    ("Kautz", Families.kautz 2 7, 1.5876);
+    ("torus", Families.torus 12 12, 1.0);
+    ("complete", Families.complete 128, 1.0);
+  ]
+(* third column: the paper's refined non-systolic coefficient where one is
+   known (Fig. 6); 1.0 marks "no refined bound, use the general one". *)
+
+let () =
+  let t =
+    Table.make ~title:"Gossip shootout at comparable sizes (half-duplex)"
+      [ "network"; "n"; "deg"; "diam"; "1.4404·log n"; "refined LB"; "measured" ]
+  in
+  List.iter
+    (fun (name, g, refined_coeff) ->
+      let n = Digraph.n_vertices g in
+      let logn = Util.Numeric.log2 (float_of_int n) in
+      let general = Bounds.General.e_inf *. logn in
+      let refined =
+        if refined_coeff > 1.0 then Printf.sprintf "%.1f" (refined_coeff *. logn)
+        else "-"
+      in
+      let protocol =
+        (* recursive doubling beats edge coloring on the hypercube and the
+           complete graph; elsewhere use the generic periodic protocol *)
+        if name = "hypercube" then
+          Protocol.Builders.hypercube_sweep ~dim:7 ~full_duplex:false
+        else if name = "complete" then
+          Protocol.Builders.complete_doubling ~dim:7 ~full_duplex:false
+        else Protocol.Builders.edge_coloring_half_duplex g
+      in
+      let measured =
+        match Simulate.Engine.gossip_time protocol with
+        | Some rounds -> string_of_int rounds
+        | None -> "DNF"
+      in
+      Table.add_row t
+        [
+          name;
+          string_of_int n;
+          string_of_int (Digraph.degree_parameter g + 1);
+          string_of_int (Metrics.diameter g);
+          Printf.sprintf "%.1f" general;
+          refined;
+          measured;
+        ])
+    contenders;
+  Table.print t;
+  print_endline
+    "The 'measured' column is a greedy periodic protocol (upper bound), so\n\
+     measured >= refined LB >= 1.4404·log n must hold for every row; low-\n\
+     degree networks pay a visible factor over the hypercube, exactly the\n\
+     effect the paper's refined bounds quantify."

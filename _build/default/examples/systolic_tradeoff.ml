@@ -1,0 +1,71 @@
+(* The price of systolization: how does the achievable gossip time vary
+   with the period s?
+
+   The paper's headline table (Fig. 4) says the lower bound coefficient
+   e(s) falls from 2.8808 at s = 3 toward 1.4404 as s grows: very short
+   periods provably cost real time.  This example shows the matching
+   empirical effect from the upper side: on a fixed network we search
+   random s-systolic protocols for each period and report the best gossip
+   time found, next to the e(s)·log n lower-bound main term.
+
+   Run with:  dune exec examples/systolic_tradeoff.exe *)
+
+open Core
+module Table = Util.Table
+
+(* random sampling + hill climbing: the climber repairs most of the
+   non-completing periods random sampling drowns in *)
+let best_gossip g mode ~period ~tries =
+  let best = ref None in
+  for seed = 1 to tries do
+    let sys =
+      Protocol.Builders.random_systolic g mode ~period ~seed ~density:1.0
+    in
+    match Simulate.Engine.gossip_time ~cap:400 sys with
+    | Some t -> (
+        match !best with
+        | Some b when b <= t -> ()
+        | _ -> best := Some t)
+    | None -> ()
+  done;
+  let options =
+    { Search.Optimizer.default_options with iterations = 300; restarts = 2 }
+  in
+  (match Search.Optimizer.search ~options g mode ~s:period with
+  | _, Some t -> (
+      match !best with Some b when b <= t -> () | _ -> best := Some t)
+  | _, None -> ());
+  !best
+
+let () =
+  let g = Topology.Families.de_bruijn 2 5 in
+  let n = Topology.Digraph.n_vertices g in
+  let logn = Util.Numeric.log2 (float_of_int n) in
+  Format.printf "Network: %a@.@." Topology.Digraph.pp g;
+  let t =
+    Table.make
+      ~title:"Period s vs gossip time on DB(2,5), half-duplex (32 nodes)"
+      [ "s"; "e(s)"; "e(s)·log n"; "best found (random + hill climbing)" ]
+  in
+  List.iter
+    (fun s ->
+      let e = Bounds.General.e s in
+      let found =
+        match best_gossip g Protocol.Protocol.Half_duplex ~period:s ~tries:200 with
+        | Some b -> string_of_int b
+        | None -> "none found"
+      in
+      Table.add_row t
+        [
+          string_of_int s;
+          Table.cell_f e;
+          Table.cell_f ~decimals:2 (e *. logn);
+          found;
+        ])
+    [ 3; 4; 5; 6; 7; 8 ];
+  Table.print t;
+  print_endline
+    "e(s) decreases with s: longer periods buy faster gossip.  The searched\n\
+     upper bounds are loose but every one sits above the bound, and the\n\
+     smallest periods visibly struggle — the search finds no completing\n\
+     3-systolic protocol on this network at all."

@@ -1,0 +1,1 @@
+lib/bounds/broadcast.ml: General Gossip_topology Gossip_util

@@ -1,0 +1,1 @@
+lib/bounds/broadcast.mli: Gossip_topology

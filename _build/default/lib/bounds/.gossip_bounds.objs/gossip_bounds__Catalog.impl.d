@@ -1,0 +1,1 @@
+lib/bounds/catalog.ml: Gossip_topology Gossip_util List Printf

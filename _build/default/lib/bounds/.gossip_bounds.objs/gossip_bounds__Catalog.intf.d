@@ -1,0 +1,1 @@
+lib/bounds/catalog.mli: Gossip_topology

@@ -1,0 +1,1 @@
+lib/bounds/general.ml: Gossip_linalg Gossip_util

@@ -1,0 +1,1 @@
+lib/bounds/oracle.ml: Broadcast Catalog Float General Gossip_protocol Gossip_topology Gossip_util List Option Separator_bounds

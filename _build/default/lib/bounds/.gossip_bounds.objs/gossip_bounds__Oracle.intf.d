@@ -1,0 +1,1 @@
+lib/bounds/oracle.mli: Gossip_protocol Gossip_topology

@@ -1,0 +1,1 @@
+lib/bounds/separator_bounds.ml: General Gossip_util

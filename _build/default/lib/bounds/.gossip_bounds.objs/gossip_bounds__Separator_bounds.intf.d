@@ -1,0 +1,1 @@
+lib/bounds/separator_bounds.mli:

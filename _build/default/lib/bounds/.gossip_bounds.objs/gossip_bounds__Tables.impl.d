@@ -1,0 +1,1 @@
+lib/bounds/tables.ml: Catalog Float General Gossip_util List Printf Separator_bounds

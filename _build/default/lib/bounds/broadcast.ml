@@ -1,0 +1,20 @@
+module Digraph = Gossip_topology.Digraph
+module Metrics = Gossip_topology.Metrics
+
+let c d =
+  if d < 2 then invalid_arg "Broadcast.c: degree parameter must be >= 2";
+  General.e_fd (d + 1)
+
+let trivial ~n =
+  if n <= 1 then 0
+  else int_of_float (ceil (Gossip_util.Numeric.log2 (float_of_int n)))
+
+let lower_bound g =
+  let n = Digraph.n_vertices g in
+  let diam = Metrics.diameter g in
+  if diam = Metrics.unreachable then Metrics.unreachable
+  else max (trivial ~n) diam
+
+let asymptotic_coefficient g =
+  let d = max 2 (Digraph.degree_parameter g) in
+  c d

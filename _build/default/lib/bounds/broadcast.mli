@@ -1,0 +1,34 @@
+(** Broadcasting lower bounds (the [22,2] constants the paper compares
+    against).
+
+    The paper repeatedly benchmarks its gossip bounds against what
+    broadcasting already implies: for bounded-degree networks,
+    [b(G) ≥ c(d)·log n] with [c(2) = 1.4404], [c(3) = 1.1374],
+    [c(4) = 1.0562] and [c(d) → 1 + log(e)/(2d)]... and a full-duplex
+    s-systolic gossip protocol yields a broadcast protocol on a network
+    of degree [s - 1], which is why Section 6's general full-duplex
+    bounds coincide with these constants: [c(d) = e_fd(d + 1)]. *)
+
+(** [c d] is the bounded-degree broadcasting constant of [22,2]: the
+    informational bound where one vertex can inform at most one neighbour
+    per round along at most [d] "useful" directions.  Computed as the
+    root of [λ + λ² + ... + λ^d = 1] — identically
+    {!General.e_fd}[(d + 1)].
+    @raise Invalid_argument if [d < 2] (degree-1 networks are paths, where
+    broadcasting is linear, not logarithmic). *)
+val c : int -> float
+
+(** [trivial ~n] is [⌈log₂ n⌉] — the information-doubling bound that
+    holds on every network in every mode. *)
+val trivial : n:int -> int
+
+(** [lower_bound g] is the best {e finite-n sound} broadcast lower bound
+    for the concrete network [g]: [max(⌈log₂ n⌉, diameter)].  The
+    [c(d)·log n] asymptotic term carries a [-O(log log n)] correction, so
+    it is reported separately by {!asymptotic_coefficient} rather than
+    mixed into a claimed-sound number. *)
+val lower_bound : Gossip_topology.Digraph.t -> int
+
+(** [asymptotic_coefficient g] is [c(degree_parameter g)] — the
+    coefficient of [log n] in the broadcasting bound for [g]'s family. *)
+val asymptotic_coefficient : Gossip_topology.Digraph.t -> float

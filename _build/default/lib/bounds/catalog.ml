@@ -1,0 +1,121 @@
+module Families = Gossip_topology.Families
+module Separator = Gossip_topology.Separator
+
+type t = {
+  key : string;
+  d : int;
+  directed : bool;
+  alpha : float;
+  ell : float;
+  verified_ell : float;
+  diameter_coeff : float;
+  build : int -> Gossip_topology.Digraph.t;
+  separator : int -> Gossip_topology.Separator.t;
+}
+
+let log2 = Gossip_util.Numeric.log2
+
+let bf d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "BF(%d,D)" d;
+    d;
+    directed = false;
+    alpha = ld /. 2.0;
+    ell = 2.0 /. ld;
+    verified_ell = 2.0 /. ld;
+    diameter_coeff = 2.0 /. ld;
+    build = (fun dim -> Families.butterfly d dim);
+    separator = (fun dim -> Separator.butterfly ~d ~dim);
+  }
+
+let dwbf d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "dWBF(%d,D)" d;
+    d;
+    directed = true;
+    alpha = ld /. 2.0;
+    ell = 2.0 /. ld;
+    verified_ell = 2.0 /. ld;
+    diameter_coeff = 2.0 /. ld;
+    build = (fun dim -> Families.wrapped_butterfly_directed d dim);
+    separator = (fun dim -> Separator.wrapped_butterfly_directed ~d ~dim);
+  }
+
+let wbf d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "WBF(%d,D)" d;
+    d;
+    directed = false;
+    alpha = 2.0 *. ld /. 3.0;
+    ell = 3.0 /. (2.0 *. ld);
+    verified_ell = 3.0 /. (2.0 *. ld);
+    diameter_coeff = 1.5 /. ld;
+    build = (fun dim -> Families.wrapped_butterfly d dim);
+    separator = (fun dim -> Separator.wrapped_butterfly ~d ~dim);
+  }
+
+let ddb d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "dDB(%d,D)" d;
+    d;
+    directed = true;
+    alpha = ld;
+    ell = 1.0 /. ld;
+    verified_ell = 1.0 /. ld;
+    diameter_coeff = 1.0 /. ld;
+    build = (fun dim -> Families.de_bruijn_directed d dim);
+    separator = (fun dim -> Separator.de_bruijn ~d ~dim);
+  }
+
+let db d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "DB(%d,D)" d;
+    d;
+    directed = false;
+    alpha = ld;
+    ell = 1.0 /. ld;
+    verified_ell = 1.0 /. (2.0 *. ld);
+    diameter_coeff = 1.0 /. ld;
+    build = (fun dim -> Families.de_bruijn d dim);
+    separator = (fun dim -> Separator.de_bruijn_undirected ~d ~dim);
+  }
+
+let dk d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "dK(%d,D)" d;
+    d;
+    directed = true;
+    alpha = ld;
+    ell = 1.0 /. ld;
+    verified_ell = 1.0 /. ld;
+    diameter_coeff = 1.0 /. ld;
+    build = (fun dim -> Families.kautz_directed d dim);
+    separator = (fun dim -> Separator.kautz ~d ~dim);
+  }
+
+let k d =
+  let ld = log2 (float_of_int d) in
+  {
+    key = Printf.sprintf "K(%d,D)" d;
+    d;
+    directed = false;
+    alpha = ld;
+    ell = 1.0 /. ld;
+    verified_ell = 1.0 /. (2.0 *. ld);
+    diameter_coeff = 1.0 /. ld;
+    build = (fun dim -> Families.kautz d dim);
+    separator = (fun dim -> Separator.kautz_undirected ~d ~dim);
+  }
+
+let families =
+  List.concat_map (fun d -> [ bf d; dwbf d; wbf d; ddb d; db d; dk d; k d ]) [ 2; 3 ]
+
+let find key = List.find_opt (fun f -> f.key = key) families
+
+let undirected_families = List.filter (fun f -> not f.directed) families

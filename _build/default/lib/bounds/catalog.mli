@@ -1,0 +1,37 @@
+(** Catalog of the network families of the paper's evaluation.
+
+    One descriptor per table row of Figs. 5, 6 and 8: the published
+    ⟨α, l⟩ parameters (used to regenerate the numeric tables), the
+    diameter coefficient (diameter / log₂ n, the trivial bound quoted in
+    Fig. 6), whether the family is a symmetric digraph (half-/full-duplex
+    capable), and constructors for concrete instances and their verified
+    separators.
+
+    For undirected de Bruijn and Kautz graphs the published tables use
+    [l = 1/log d], but the separator our machinery can actually verify on
+    instances is the middle-block one with [l = 1/(2 log d)] (see
+    {!Gossip_topology.Separator}); [verified_ell] records that value,
+    [ell] the published one. *)
+
+type t = {
+  key : string;  (** display name, e.g. ["WBF(2,D)"] *)
+  d : int;  (** the fixed degree parameter of the family *)
+  directed : bool;  (** [true] when the family is a one-way digraph *)
+  alpha : float;  (** published separator density exponent *)
+  ell : float;  (** published separator distance coefficient *)
+  verified_ell : float;  (** distance coefficient our separator certifies *)
+  diameter_coeff : float;  (** asymptotic diameter / log₂ n *)
+  build : int -> Gossip_topology.Digraph.t;  (** instance of dimension D *)
+  separator : int -> Gossip_topology.Separator.t;
+      (** verified separator for the instance of dimension D *)
+}
+
+(** [families] lists BF, directed WBF, WBF, directed DB, DB, directed K
+    and K for [d = 2, 3], in Fig. 5 order. *)
+val families : t list
+
+(** [find key] retrieves a descriptor by display name. *)
+val find : string -> t option
+
+(** [undirected_families] filters the symmetric ones (rows of Fig. 8). *)
+val undirected_families : t list

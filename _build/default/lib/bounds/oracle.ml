@@ -1,0 +1,50 @@
+module Digraph = Gossip_topology.Digraph
+module Metrics = Gossip_topology.Metrics
+module Protocol = Gossip_protocol.Protocol
+
+type t = {
+  sound : int;
+  diameter : int;
+  doubling : int;
+  two_systolic : int option;
+  asymptotic_general : float;
+  asymptotic_refined : float option;
+}
+
+let lower_bounds ?family g ~mode ~s =
+  let n = Digraph.n_vertices g in
+  let diameter = Metrics.diameter g in
+  let doubling = Broadcast.trivial ~n in
+  let two_systolic = if s = Some 2 then Some (n - 1) else None in
+  let logn = Gossip_util.Numeric.log2 (float_of_int n) in
+  let asymptotic_general =
+    match (mode, s) with
+    | (Protocol.Directed | Protocol.Half_duplex), Some s when s >= 3 ->
+        General.e s *. logn
+    | (Protocol.Directed | Protocol.Half_duplex), _ -> General.e_inf *. logn
+    | Protocol.Full_duplex, Some s when s >= 3 -> General.e_fd s *. logn
+    | Protocol.Full_duplex, _ -> General.e_fd_inf *. logn
+  in
+  let asymptotic_refined =
+    match Option.bind family Catalog.find with
+    | None -> None
+    | Some f ->
+        let alpha = f.Catalog.alpha and ell = f.Catalog.ell in
+        let v =
+          match (mode, s) with
+          | (Protocol.Directed | Protocol.Half_duplex), Some s when s >= 3 ->
+              Separator_bounds.e_half_duplex ~alpha ~ell ~s
+          | (Protocol.Directed | Protocol.Half_duplex), _ ->
+              Separator_bounds.e_half_duplex_inf ~alpha ~ell
+          | Protocol.Full_duplex, Some s when s >= 3 ->
+              Separator_bounds.e_full_duplex ~alpha ~ell ~s
+          | Protocol.Full_duplex, _ ->
+              Separator_bounds.e_full_duplex_inf ~alpha ~ell
+        in
+        Some (Float.max v (asymptotic_general /. logn) *. logn)
+  in
+  let sound =
+    List.fold_left max 0
+      (diameter :: doubling :: (match two_systolic with Some b -> [ b ] | None -> []))
+  in
+  { sound; diameter; doubling; two_systolic; asymptotic_general; asymptotic_refined }

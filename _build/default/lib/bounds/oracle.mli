@@ -1,0 +1,42 @@
+(** Combined lower-bound oracle for one concrete network.
+
+    Gathers everything the theory offers for a given network, mode and
+    systolic period into one answer, separating what is {e sound at
+    finite n} (usable against a measured gossip time) from the
+    {e asymptotic main terms} (the table values, which carry
+    [-O(log log n)] / [(1 - o(1))] corrections):
+
+    sound at finite n:
+    - the diameter (some item must travel it);
+    - [⌈log₂ n⌉] in full-duplex mode (knowledge at most doubles per
+      round; in half-duplex/directed mode a vertex can still only
+      {e send} to one neighbour, and the same doubling argument applies
+      to the set of vertices knowing a fixed item — so it is sound in all
+      modes);
+    - [n - 1] when [s = 2] (the paper's remark in Section 4: the arcs of
+      [A1 ∪ A2] must form a directed cycle);
+
+    asymptotic main terms:
+    - the general [e(s)·log n] (Corollary 4.4 / Section 6);
+    - the separator-refined value when the network belongs to a catalog
+      family (Theorem 5.1). *)
+
+type t = {
+  sound : int;  (** max of the finite-n-sound bounds *)
+  diameter : int;
+  doubling : int;  (** [⌈log₂ n⌉] *)
+  two_systolic : int option;  (** [n - 1], present only when [s = 2] *)
+  asymptotic_general : float;  (** [e(s)·log n] (or non-systolic for None) *)
+  asymptotic_refined : float option;
+      (** separator-refined main term when [g] matches a catalog family *)
+}
+
+(** [lower_bounds ?family g ~mode ~s] — [s = None] means non-systolic
+    ([s → ∞]); [family] optionally names a catalog row (e.g.
+    ["DB(2,D)"]) whose ⟨α, l⟩ should be applied. *)
+val lower_bounds :
+  ?family:string ->
+  Gossip_topology.Digraph.t ->
+  mode:Gossip_protocol.Protocol.mode ->
+  s:int option ->
+  t

@@ -1,0 +1,33 @@
+(** Topology-refined lower bounds (Theorem 5.1 and its full-duplex
+    analogue).
+
+    For a family with an ⟨α, l⟩-separator and norm function [f] (one of
+    the four in {!General}), any protocol takes at least
+    [e·log n·(1 - o(1))] rounds with
+
+    [e = max over 0 < λ < 1, f(λ) ≤ 1 of  l·(α - log₂ f(λ)) / log₂(1/λ)].
+
+    At the endpoint λ_star (where [f(λ_star) = 1]) the expression equals
+    [α·l / log₂(1/λ_star) ≤ e(s)]; pushing λ below λ_star trades norm slack for
+    distance and often wins — e.g. [WBF(2,D)], [s = 4]: 2.0218 versus the
+    general 1.8133. *)
+
+(** [maximize ~alpha ~ell ~f] evaluates the max above for an arbitrary
+    increasing norm function [f] with [f(λ_star) = 1] somewhere in (0,1).
+    Returns [(λ_opt, e)]. *)
+val maximize : alpha:float -> ell:float -> f:(float -> float) -> float * float
+
+(** [e_half_duplex ~alpha ~ell ~s] — Theorem 5.1 with the systolic
+    directed/half-duplex norm function. *)
+val e_half_duplex : alpha:float -> ell:float -> s:int -> float
+
+(** [e_half_duplex_inf ~alpha ~ell] — the non-systolic ([s → ∞])
+    corollary (Corollary 5.3 / Fig. 6). *)
+val e_half_duplex_inf : alpha:float -> ell:float -> float
+
+(** [e_full_duplex ~alpha ~ell ~s] — the Section 6 full-duplex variant
+    (Fig. 8). *)
+val e_full_duplex : alpha:float -> ell:float -> s:int -> float
+
+(** [e_full_duplex_inf ~alpha ~ell] — full-duplex non-systolic. *)
+val e_full_duplex_inf : alpha:float -> ell:float -> float

@@ -1,0 +1,121 @@
+type fig4_row = { s : int; lambda : float; e : float }
+
+let fig4 ~s_max =
+  if s_max < 3 then invalid_arg "Tables.fig4: s_max must be >= 3";
+  List.init (s_max - 2) (fun i ->
+      let s = i + 3 in
+      { s; lambda = General.lambda_star s; e = General.e s })
+
+let fig4_inf = { s = max_int; lambda = General.lambda_star_inf; e = General.e_inf }
+
+type cell = { value : float; general : float; improves : bool }
+
+type family_row = { key : string; cells : (int * cell) list }
+
+let cell_of ~separator_value ~general =
+  {
+    value = Float.max separator_value general;
+    general;
+    improves = separator_value > general +. 1e-9;
+  }
+
+let fig5 ~ss =
+  List.map
+    (fun (f : Catalog.t) ->
+      let cells =
+        List.map
+          (fun s ->
+            let sep =
+              Separator_bounds.e_half_duplex ~alpha:f.Catalog.alpha
+                ~ell:f.Catalog.ell ~s
+            in
+            (s, cell_of ~separator_value:sep ~general:(General.e s)))
+          ss
+      in
+      { key = f.Catalog.key; cells })
+    Catalog.families
+
+type fig6_row = {
+  key : string;
+  separator_value : float;
+  baseline : float;
+  diameter_coeff : float;
+  best : float;
+}
+
+let fig6 () =
+  List.map
+    (fun (f : Catalog.t) ->
+      let sep =
+        Separator_bounds.e_half_duplex_inf ~alpha:f.Catalog.alpha
+          ~ell:f.Catalog.ell
+      in
+      let baseline = General.e_inf in
+      {
+        key = f.Catalog.key;
+        separator_value = sep;
+        baseline;
+        diameter_coeff = f.Catalog.diameter_coeff;
+        best = Float.max sep (Float.max baseline f.Catalog.diameter_coeff);
+      })
+    Catalog.families
+
+let fig8 ~ss =
+  List.map
+    (fun (f : Catalog.t) ->
+      let cells =
+        List.map
+          (fun s ->
+            let sep =
+              Separator_bounds.e_full_duplex ~alpha:f.Catalog.alpha
+                ~ell:f.Catalog.ell ~s
+            in
+            (s, cell_of ~separator_value:sep ~general:(General.e_fd s)))
+          ss
+      in
+      { key = f.Catalog.key; cells })
+    Catalog.undirected_families
+
+let fig8_general ~ss = List.map (fun s -> (s, General.e_fd s)) ss
+
+let fig8_inf () =
+  List.map
+    (fun (f : Catalog.t) ->
+      let sep =
+        Separator_bounds.e_full_duplex_inf ~alpha:f.Catalog.alpha
+          ~ell:f.Catalog.ell
+      in
+      let baseline = General.e_fd_inf in
+      {
+        key = f.Catalog.key;
+        separator_value = sep;
+        baseline;
+        diameter_coeff = f.Catalog.diameter_coeff;
+        best = Float.max sep (Float.max baseline f.Catalog.diameter_coeff);
+      })
+    Catalog.undirected_families
+
+let fig5_extended ~ds ~ss =
+  let log2 = Gossip_util.Numeric.log2 in
+  let shapes d =
+    let ld = log2 (float_of_int d) in
+    [
+      (Printf.sprintf "BF(%d,D)" d, ld /. 2.0, 2.0 /. ld);
+      (Printf.sprintf "WBF(%d,D)" d, 2.0 *. ld /. 3.0, 3.0 /. (2.0 *. ld));
+      (Printf.sprintf "DB(%d,D)" d, ld, 1.0 /. ld);
+    ]
+  in
+  List.concat_map
+    (fun d ->
+      List.map
+        (fun (key, alpha, ell) ->
+          let cells =
+            List.map
+              (fun s ->
+                let sep = Separator_bounds.e_half_duplex ~alpha ~ell ~s in
+                (s, cell_of ~separator_value:sep ~general:(General.e s)))
+              ss
+          in
+          { key; cells })
+        (shapes d))
+    ds

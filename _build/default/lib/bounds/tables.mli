@@ -1,0 +1,60 @@
+(** Structured data for every numeric table of the paper.
+
+    The benchmark harness renders these; the tests pin the values the
+    paper states explicitly (Fig. 4's row, the spot values of Sections 1
+    and 5, the broadcasting constants of Fig. 8's general column). *)
+
+(** One row of Fig. 4: systolic period, the root λ of
+    [λ·sqrt(p⌈s/2⌉)·sqrt(p⌊s/2⌋) = 1], and [e(s)]. *)
+type fig4_row = { s : int; lambda : float; e : float }
+
+(** [fig4 ~s_max] — rows for [s = 3 .. s_max]; {!fig4_inf} the [s → ∞]
+    row ([λ = 1/φ], [e = 1.4404]). *)
+val fig4 : s_max:int -> fig4_row list
+
+val fig4_inf : fig4_row
+
+(** A cell of the per-family tables: the separator value, the general
+    value at the same [s], and whether the separator improves on it (the
+    paper stars cells that do not). *)
+type cell = { value : float; general : float; improves : bool }
+
+(** One family row of Fig. 5 (half-duplex systolic) / Fig. 8
+    (full-duplex systolic). *)
+type family_row = { key : string; cells : (int * cell) list }
+
+(** [fig5 ~ss] — Theorem 5.1 values for every catalog family at each
+    period in [ss]; cell value is [max(separator, general)]. *)
+val fig5 : ss:int list -> family_row list
+
+(** One row of Fig. 6 (non-systolic, half-duplex): family, the
+    [s → ∞] separator bound, the 1.4404 baseline, the diameter
+    coefficient, and the best of the three. *)
+type fig6_row = {
+  key : string;
+  separator_value : float;
+  baseline : float;
+  diameter_coeff : float;
+  best : float;
+}
+
+val fig6 : unit -> fig6_row list
+
+(** [fig8 ~ss] — full-duplex systolic values for the symmetric families;
+    the general column equals the broadcasting constants c(d). *)
+val fig8 : ss:int list -> family_row list
+
+(** [fig8_general ~ss] — the full-duplex general column
+    [(s, e_fd s)] list. *)
+val fig8_general : ss:int list -> (int * float) list
+
+(** One row of Fig. 6's full-duplex analogue (non-systolic full-duplex,
+    the [s → ∞] rows of Fig. 8). *)
+val fig8_inf : unit -> fig6_row list
+
+(** [fig5_extended ~ds ~ss] — the half-duplex Theorem 5.1 values for
+    arbitrary degrees using the published ⟨α, l⟩ formulas of Lemma 3.1
+    (no concrete instance needed).  The paper remarks that for [d = 4, 5]
+    a slight improvement over the general bound appears for [s > 8];
+    this table exhibits it. Row keys are as in {!fig5}. *)
+val fig5_extended : ds:int list -> ss:int list -> family_row list

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Format Gossip_bounds Gossip_delay Gossip_protocol Gossip_simulate Gossip_topology List

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Format Gossip_delay Gossip_protocol Gossip_topology

@@ -1,0 +1,50 @@
+(** High-level one-call analyses combining the whole pipeline.
+
+    These are the operations a downstream user actually wants: "what do
+    the paper's bounds say about this network?" and "here is my systolic
+    protocol — run it, certify it, compare."  Everything below is a thin
+    composition of the per-library APIs. *)
+
+(** Everything the closed-form theory says about one concrete network. *)
+type network_report = {
+  name : string;
+  n : int;
+  arcs : int;
+  symmetric : bool;
+  diameter : int;
+  degree_parameter : int;
+  general_bounds : (int * float) list;
+      (** [(s, e(s)·log₂ n)] for the requested periods, half-duplex *)
+  general_bounds_fd : (int * float) list;  (** full-duplex analogues *)
+  nonsystolic_bound : float;  (** [1.4404·log₂ n] *)
+}
+
+(** [analyze_network ?periods g] — closed-form lower bounds for [g]
+    (default periods 3..8). *)
+val analyze_network :
+  ?periods:int list -> Gossip_topology.Digraph.t -> network_report
+
+(** Outcome of running and certifying one systolic protocol. *)
+type protocol_report = {
+  network : string;
+  mode : Gossip_protocol.Protocol.mode;
+  period : int;
+  gossip_time : int option;  (** measured by simulation *)
+  broadcast_time : int option;  (** from vertex 0 *)
+  diameter : int;
+  certificate : Gossip_delay.Certificate.t;
+      (** Theorem 4.1 finite-n certificate for this protocol *)
+  asymptotic_main_term : float;  (** [e(s)·log₂ n] for comparison *)
+}
+
+(** [certify_protocol ?horizon p] — simulate the systolic protocol to
+    completion (or [horizon] rounds), build its delay digraph, and emit
+    the Theorem 4.1 certificate.  The certified bound is guaranteed (and
+    checked in the tests) to be at most the measured gossip time. *)
+val certify_protocol :
+  ?horizon:int -> Gossip_protocol.Systolic.t -> protocol_report
+
+(** [pp_network_report] and [pp_protocol_report] render for humans. *)
+val pp_network_report : Format.formatter -> network_report -> unit
+
+val pp_protocol_report : Format.formatter -> protocol_report -> unit

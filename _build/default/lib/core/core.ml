@@ -1,0 +1,32 @@
+(** Systolic gossip lower bounds — public facade.
+
+    This library reproduces Flammini & Pérennès, "Lower bounds on systolic
+    gossip" (IPPS'97; Information and Computation 196, 2005).  The
+    sub-libraries are re-exported here under short names:
+
+    - {!Util}: bitsets, deterministic PRNG, numeric solvers, tables.
+    - {!Linalg}: dense/sparse matrices, the delay polynomials [p_i(λ)],
+      power-iteration spectral radius and Euclidean norm.
+    - {!Topology}: digraphs, the network families of the paper (Butterfly,
+      Wrapped Butterfly, de Bruijn, Kautz, ...), BFS metrics, ⟨α, l⟩
+      separators, edge coloring.
+    - {!Protocol}: gossip protocols, modes, systolic protocols, builders.
+    - {!Simulate}: the synchronous whispering-model execution engine.
+    - {!Delay}: delay digraphs, delay matrices [M(λ)], local matrices
+      [Mx(λ)], [Nx(λ)], [Ox(λ)], and executable Theorem 4.1 / 5.1
+      certificates.
+    - {!Search}: exact optimal gossip/broadcast and optimal systolic
+      protocols by exhaustive search on small networks.
+    - {!Bounds}: closed-form [e(s)] coefficients, separator-refined
+      bounds, and the data behind every table of the paper.
+    - {!Analysis}: one-call network / protocol reports. *)
+
+module Util = Gossip_util
+module Linalg = Gossip_linalg
+module Topology = Gossip_topology
+module Protocol = Gossip_protocol
+module Simulate = Gossip_simulate
+module Delay = Gossip_delay
+module Search = Gossip_search
+module Bounds = Gossip_bounds
+module Analysis = Analysis

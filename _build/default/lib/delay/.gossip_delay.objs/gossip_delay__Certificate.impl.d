@@ -1,0 +1,1 @@
+lib/delay/certificate.ml: Array Delay_digraph Delay_matrix Gossip_protocol Gossip_topology Hashtbl List

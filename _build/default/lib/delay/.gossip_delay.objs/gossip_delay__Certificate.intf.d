@@ -1,0 +1,1 @@
+lib/delay/certificate.mli: Delay_digraph Gossip_linalg Gossip_protocol Gossip_topology

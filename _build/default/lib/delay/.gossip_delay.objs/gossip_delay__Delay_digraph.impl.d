@@ -1,0 +1,1 @@
+lib/delay/delay_digraph.ml: Array Gossip_protocol Gossip_topology Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/delay/delay_digraph.mli: Gossip_protocol Gossip_topology

@@ -1,0 +1,1 @@
+lib/delay/delay_matrix.ml: Array Delay_digraph Float Fun Gossip_linalg Gossip_protocol Gossip_topology Gossip_util

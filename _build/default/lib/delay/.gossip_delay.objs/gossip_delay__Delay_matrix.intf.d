@@ -1,0 +1,1 @@
+lib/delay/delay_matrix.mli: Delay_digraph Gossip_linalg Gossip_protocol

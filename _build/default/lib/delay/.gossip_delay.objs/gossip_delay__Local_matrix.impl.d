@@ -1,0 +1,1 @@
+lib/delay/local_matrix.ml: Array Gossip_linalg List

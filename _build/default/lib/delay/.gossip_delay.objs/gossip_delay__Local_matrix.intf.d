@@ -1,0 +1,1 @@
+lib/delay/local_matrix.mli: Gossip_linalg

@@ -1,0 +1,1 @@
+lib/delay/weighted_diameter.ml: Array Gossip_linalg Gossip_topology Gossip_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/delay/weighted_diameter.mli: Gossip_linalg Gossip_topology

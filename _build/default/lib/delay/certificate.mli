@@ -1,0 +1,72 @@
+(** Executable lower-bound certificates (Theorems 4.1 and 5.1).
+
+    Theorem 4.1, made finite and effective: let [ν = ‖M(λ)‖] for some
+    [0 < λ < 1], let [m(t)] be the number of arc activations in the first
+    [t] rounds.  If the protocol completes gossip within [t] rounds, then
+    every ordered vertex pair is joined by a dipath of at most [t] arcs
+    and weight at most [t] in the delay digraph, so
+
+    [ν + ν² + ... + ν^t  ≥  ‖M + M² + ... + M^t‖ ≥ λ^t · n(n-1)/m(t)].
+
+    A round count [t] that violates this inequality is therefore
+    {e impossible}, and the smallest non-violating [t] is a certified
+    lower bound on the gossip time of {e this} protocol.  The separator
+    variant (Theorem 5.1) restricts pairs to [V1 × V2] at distance [≥ d]
+    and starts the sum at [ν^(d-1)]:
+
+    [ν^(d-1) + ... + ν^t ≥ λ^t · c / t]  with  [c = min(|V1|, |V2|)].
+
+    The certificate search maximizes the bound over a λ grid. *)
+
+type t = {
+  lambda : float;  (** the λ achieving the best bound *)
+  norm : float;  (** [‖M(λ)‖] at that λ *)
+  closed_form : float;  (** Lemma 4.3 / 6.1 closed-form bound on the norm *)
+  bound : int;  (** certified lower bound on the gossip time *)
+  activations : int;  (** [m] over the analyzed horizon *)
+}
+
+(** [certify ?lambdas ?refine ?options dg ~mode] computes the Theorem 4.1
+    certificate for the delay digraph of a concrete protocol.  [lambdas]
+    defaults to a grid over (0.05, 0.95); with [refine] (default false) a
+    second, finer λ grid is scanned around the coarse winner — the bound
+    can only improve; [mode] selects the closed-form comparison (it does
+    not change the numeric norm). *)
+val certify :
+  ?lambdas:float list ->
+  ?refine:bool ->
+  ?options:Gossip_linalg.Spectral.options ->
+  Delay_digraph.t ->
+  mode:Gossip_protocol.Protocol.mode ->
+  t
+
+(** [certify_separator ?lambdas ?options dg ~mode ~sep] is the
+    Theorem 5.1 variant: pairs restricted to the separator's [V1 × V2]
+    with their measured BFS distance. *)
+val certify_separator :
+  ?lambdas:float list ->
+  ?refine:bool ->
+  ?options:Gossip_linalg.Spectral.options ->
+  Delay_digraph.t ->
+  mode:Gossip_protocol.Protocol.mode ->
+  sep:Gossip_topology.Separator.t ->
+  t
+
+(** [impossible_t ~nu ~lambda ~pairs ~m ~start t] — the raw inequality
+    test: [true] when round count [t] is ruled out, i.e.
+    [Σ_{k=start}^{t} ν^k < λ^t · pairs / m].  Exposed for tests. *)
+val impossible_t :
+  nu:float -> lambda:float -> pairs:float -> m:float -> start:int -> int -> bool
+
+(** [certify_systolic ?lambdas ?refine ?options sys] — horizon-free
+    certificate for a systolic protocol: expands the period to growing
+    lengths until the certified bound stabilizes (two consecutive
+    doublings agree), so the caller does not have to guess an expansion
+    length.  The result certifies every expansion at least as long as the
+    analyzed one. *)
+val certify_systolic :
+  ?lambdas:float list ->
+  ?refine:bool ->
+  ?options:Gossip_linalg.Spectral.options ->
+  Gossip_protocol.Systolic.t ->
+  t

@@ -1,0 +1,137 @@
+module Protocol = Gossip_protocol.Protocol
+module Systolic = Gossip_protocol.Systolic
+
+type activation = { src : int; dst : int; round : int }
+
+type t = {
+  graph : Gossip_topology.Digraph.t;
+  window : int;
+  protocol_length : int;
+  activations : activation array;
+  index : (int * int * int, int) Hashtbl.t; (* (src, dst, round) -> id *)
+  by_dst : int array array; (* per network vertex, sorted by round *)
+  by_src : int array array;
+  out_arcs : (int * int) array array; (* id -> [(head, delay)] *)
+  n_delay_arcs : int;
+}
+
+let build p ~window =
+  if window < 2 then invalid_arg "Delay_digraph.build: window must be >= 2";
+  let g = Protocol.graph p in
+  let n = Gossip_topology.Digraph.n_vertices g in
+  let t = Protocol.length p in
+  let acts = ref [] and count = ref 0 in
+  for i = t - 1 downto 0 do
+    List.iter
+      (fun (x, y) ->
+        acts := { src = x; dst = y; round = i } :: !acts;
+        incr count)
+      (Protocol.round p i)
+  done;
+  let activations = Array.of_list !acts in
+  let index = Hashtbl.create (2 * !count) in
+  Array.iteri
+    (fun id a -> Hashtbl.replace index (a.src, a.dst, a.round) id)
+    activations;
+  let by_dst_l = Array.make n [] and by_src_l = Array.make n [] in
+  (* activations are sorted by round already; collect in reverse to keep
+     the by-round order after the final List.rev *)
+  for id = Array.length activations - 1 downto 0 do
+    let a = activations.(id) in
+    by_dst_l.(a.dst) <- id :: by_dst_l.(a.dst);
+    by_src_l.(a.src) <- id :: by_src_l.(a.src)
+  done;
+  let by_dst = Array.map Array.of_list by_dst_l in
+  let by_src = Array.map Array.of_list by_src_l in
+  let n_delay_arcs = ref 0 in
+  let out_arcs =
+    Array.map
+      (fun a ->
+        let id_round = a.round in
+        let succs = ref [] in
+        (* successors: activations (dst, z, j) with 1 <= j - i < window *)
+        Array.iter
+          (fun head ->
+            let b = activations.(head) in
+            let delay = b.round - id_round in
+            if delay >= 1 && delay < window then begin
+              succs := (head, delay) :: !succs;
+              incr n_delay_arcs
+            end)
+          by_src.(a.dst);
+        Array.of_list (List.rev !succs))
+      activations
+  in
+  {
+    graph = g;
+    window;
+    protocol_length = t;
+    activations;
+    index;
+    by_dst;
+    by_src;
+    out_arcs;
+    n_delay_arcs = !n_delay_arcs;
+  }
+
+let of_systolic p ~length =
+  (* clamp the window to 2 for period-1 protocols: the extra delay-1 arcs
+     (full-duplex bounce-backs) only enlarge the delay digraph, which
+     weakens but never unsounds the certificates built on it *)
+  build (Systolic.expand p ~length) ~window:(max 2 (Systolic.period p))
+
+let n_activations dg = Array.length dg.activations
+
+let activation dg k = dg.activations.(k)
+
+let find dg ~src ~dst ~round = Hashtbl.find_opt dg.index (src, dst, round)
+
+let n_delay_arcs dg = dg.n_delay_arcs
+
+let iter_arcs f dg =
+  Array.iteri
+    (fun tail succs ->
+      Array.iter (fun (head, delay) -> f ~tail ~head ~delay) succs)
+    dg.out_arcs
+
+let window dg = dg.window
+let protocol_length dg = dg.protocol_length
+let graph dg = dg.graph
+
+let activations_in dg x = dg.by_dst.(x)
+let activations_out dg x = dg.by_src.(x)
+
+let distances_from dg k =
+  let m = n_activations dg in
+  let dist = Array.make m max_int in
+  let queue = Queue.create () in
+  dist.(k) <- 0;
+  Queue.add k queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun (v, delay) ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + delay;
+          Queue.add v queue
+        end)
+      dg.out_arcs.(u)
+  done;
+  dist
+
+let to_dot dg =
+  let g = graph dg in
+  let vertex_label k =
+    let a = activation dg k in
+    Printf.sprintf "%s->%s @%d"
+      (Gossip_topology.Digraph.label g a.src)
+      (Gossip_topology.Digraph.label g a.dst)
+      (a.round + 1)
+  in
+  let arcs = ref [] in
+  iter_arcs
+    (fun ~tail ~head ~delay ->
+      arcs := (tail, head, Printf.sprintf "label=\"%d\"" delay) :: !arcs)
+    dg;
+  Gossip_topology.Dot.of_arcs ~name:"delay digraph" ~directed:true
+    ~vertex_label ~n:(n_activations dg) (List.rev !arcs)

@@ -1,0 +1,161 @@
+module Dense = Gossip_linalg.Dense
+module Vec = Gossip_linalg.Vec
+module Poly = Gossip_linalg.Poly
+
+type pattern = { l : int array; r : int array }
+
+let make_pattern ~l ~r =
+  if Array.length l <> Array.length r then
+    invalid_arg "Local_matrix.make_pattern: block count mismatch";
+  if Array.length l = 0 then
+    invalid_arg "Local_matrix.make_pattern: empty pattern";
+  if Array.exists (fun b -> b < 1) l || Array.exists (fun b -> b < 1) r then
+    invalid_arg "Local_matrix.make_pattern: blocks must be positive";
+  { l = Array.copy l; r = Array.copy r }
+
+let blocks p = Array.length p.l
+
+let period p =
+  Array.fold_left ( + ) 0 p.l + Array.fold_left ( + ) 0 p.r
+
+let l p = Array.copy p.l
+let r p = Array.copy p.r
+
+let of_activation_pattern a =
+  let s = Array.length a in
+  if s = 0 || Array.exists (fun x -> x = `Both) a then None
+  else begin
+    let has_l = Array.exists (fun x -> x = `L) a in
+    let has_r = Array.exists (fun x -> x = `R) a in
+    if not (has_l && has_r) then None
+    else begin
+      (* Complete idle rounds: extend the preceding (cyclically) block. *)
+      let completed = Array.make s `L in
+      (* find a non-idle anchor *)
+      let anchor = ref 0 in
+      while a.(!anchor) = `Idle do
+        incr anchor
+      done;
+      for off = 0 to s - 1 do
+        let i = (!anchor + off) mod s in
+        completed.(i) <-
+          (match a.(i) with
+          | `L -> `L
+          | `R -> `R
+          | `Idle | `Both -> completed.((i + s - 1) mod s))
+      done;
+      (* Rotate to start at an R->L boundary. *)
+      let start = ref (-1) in
+      for i = 0 to s - 1 do
+        if
+          !start = -1
+          && completed.(i) = `L
+          && completed.((i + s - 1) mod s) = `R
+        then start := i
+      done;
+      if !start = -1 then None (* all one type after completion *)
+      else begin
+        let rot = Array.init s (fun i -> completed.((!start + i) mod s)) in
+        (* Run-length encode the alternating blocks. *)
+        let ls = ref [] and rs = ref [] in
+        let i = ref 0 in
+        while !i < s do
+          let kind = rot.(!i) in
+          let j = ref !i in
+          while !j < s && rot.(!j) = kind do
+            incr j
+          done;
+          let len = !j - !i in
+          (match kind with `L -> ls := len :: !ls | `R -> rs := len :: !rs
+          | `Both | `Idle -> assert false);
+          i := !j
+        done;
+        let l = Array.of_list (List.rev !ls)
+        and r = Array.of_list (List.rev !rs) in
+        if Array.length l = Array.length r then Some (make_pattern ~l ~r)
+        else None
+      end
+    end
+  end
+
+let ext arr k i = arr.(i mod k)
+
+let d p ~i ~j =
+  if j < i then invalid_arg "Local_matrix.d: j < i";
+  let k = blocks p in
+  let acc = ref 1 in
+  for c = i to j - 1 do
+    acc := !acc + ext p.r k c + ext p.l k (c + 1)
+  done;
+  !acc
+
+let block_offsets sizes =
+  let n = Array.length sizes in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + sizes.(i)
+  done;
+  off
+
+let mx p ~h ~lambda =
+  if h < 1 then invalid_arg "Local_matrix.mx: h must be >= 1";
+  let k = blocks p in
+  let lsz = Array.init h (fun i -> ext p.l k i) in
+  let rsz = Array.init h (fun j -> ext p.r k j) in
+  let roff = block_offsets lsz and coff = block_offsets rsz in
+  let m = Dense.create roff.(h) coff.(h) 0.0 in
+  for i = 0 to h - 1 do
+    for j = i to min (h - 1) (i + k - 1) do
+      let dij = d p ~i ~j in
+      for u = 0 to lsz.(i) - 1 do
+        for v = 0 to rsz.(j) - 1 do
+          Dense.set m (roff.(i) + u) (coff.(j) + v)
+            (lambda ** float_of_int (dij + u + v))
+        done
+      done
+    done
+  done;
+  m
+
+let nx p ~h ~lambda =
+  if h < 1 then invalid_arg "Local_matrix.nx: h must be >= 1";
+  let k = blocks p in
+  Dense.init h h (fun i j ->
+      if j >= i && j < i + k then
+        (lambda ** float_of_int (d p ~i ~j))
+        *. Poly.delay_eval (ext p.r k j) lambda
+      else 0.0)
+
+let ox p ~h ~lambda =
+  if h < 1 then invalid_arg "Local_matrix.ox: h must be >= 1";
+  let k = blocks p in
+  Dense.init h h (fun i j ->
+      if j <= i && j > i - k then
+        (lambda ** float_of_int (d p ~i:j ~j:i))
+        *. Poly.delay_eval (ext p.l k j) lambda
+      else 0.0)
+
+let semi_eigenvector p ~h ~lambda =
+  let k = blocks p in
+  Vec.init h (fun j ->
+      let expo = ref 0 in
+      for c = 0 to j - 1 do
+        expo := !expo + ext p.r k c - ext p.l k (c + 1)
+      done;
+      lambda ** float_of_int !expo)
+
+let nx_semi_eigenvalue p lambda =
+  let total_r = Array.fold_left ( + ) 0 p.r in
+  lambda *. Poly.delay_eval total_r lambda
+
+let ox_semi_eigenvalue p lambda =
+  let total_l = Array.fold_left ( + ) 0 p.l in
+  lambda *. Poly.delay_eval total_l lambda
+
+let full_duplex_local ~window ~rounds ~lambda =
+  if window < 2 then invalid_arg "Local_matrix.full_duplex_local: window < 2";
+  if rounds < 1 then invalid_arg "Local_matrix.full_duplex_local: rounds < 1";
+  Dense.init rounds rounds (fun i j ->
+      let delay = j - i in
+      if delay >= 1 && delay < window then lambda ** float_of_int delay
+      else 0.0)

@@ -1,0 +1,78 @@
+(** Local protocol patterns and the matrices [Mx(λ)], [Nx(λ)], [Ox(λ)].
+
+    Section 4 shows that, locally at a vertex [x], an s-systolic protocol
+    is a cyclic alternation of [k] blocks of consecutive left (incoming)
+    activations of sizes [l_0, ..., l_{k-1}] and right (outgoing) blocks
+    of sizes [r_0, ..., r_{k-1}], with [Σ(l_j + r_j) = s].  Over [h]
+    block repetitions the local delay matrix [Mx(λ)] decomposes into
+    rank-one blocks [B_{i,j} = λ^{d_{i,j}} Λ0_{l_i} (Λ0_{r_j})ᵀ]
+    (Figs. 1–2), reduces to the [h × h] matrices [Nx(λ)] and [Ox(λ)]
+    (Fig. 3), and admits the explicit semi-eigenvector [e] of Lemma 4.2
+    — which is how Lemma 4.3's closed-form bound
+    [‖Mx(λ)‖ ≤ λ·sqrt(p⌈s/2⌉)·sqrt(p⌊s/2⌋)] is proved.  This module
+    builds all of those objects so the tests can replay the proof
+    numerically. *)
+
+type pattern
+(** [k] alternating left/right block sizes, all positive. *)
+
+(** [make_pattern ~l ~r] packages block sizes.
+    @raise Invalid_argument if lengths differ, are zero, or any block is
+    [< 1]. *)
+val make_pattern : l:int array -> r:int array -> pattern
+
+(** [blocks p] is [k]; [period p] is [s = Σ(l_j + r_j)]. *)
+val blocks : pattern -> int
+
+val period : pattern -> int
+
+(** [l p] and [r p] are copies of the block-size arrays. *)
+val l : pattern -> int array
+
+val r : pattern -> int array
+
+(** [of_activation_pattern a] reads a cyclic [`L/`R/`Idle] round pattern
+    (as produced by {!Gossip_protocol.Systolic.active_pattern}) into a
+    pattern, completing idle rounds by extending the preceding block —
+    completion can only increase the local matrix entrywise, which is the
+    direction the upper-bound argument needs.  Returns [None] when the
+    vertex never receives, never sends, or the pattern contains [`Both]
+    (full-duplex; see {!full_duplex_local}). *)
+val of_activation_pattern :
+  [ `L | `R | `Both | `Idle ] array -> pattern option
+
+(** [d p ~i ~j] is the delay [d_{i,j} = 1 + Σ_{c=i}^{j-1} (r_c + l_{c+1})]
+    between the last activation of left block [i] and the first of right
+    block [j], block indices extended periodically.
+    @raise Invalid_argument if [j < i]. *)
+val d : pattern -> i:int -> j:int -> int
+
+(** [mx p ~h ~lambda] is the local matrix [Mx(λ)] over [h] block
+    repetitions: [Σ l] rows (each left block in reverse round order) and
+    [Σ r] columns (round order), as in Fig. 1. *)
+val mx : pattern -> h:int -> lambda:float -> Gossip_linalg.Dense.t
+
+(** [nx p ~h ~lambda] is the reduced [h × h] matrix with
+    [N_{i,j} = λ^{d_{i,j}}·p_{r_j}(λ)] for [i ≤ j < i + k] (Fig. 3). *)
+val nx : pattern -> h:int -> lambda:float -> Gossip_linalg.Dense.t
+
+(** [ox p ~h ~lambda] is the reduced [h × h] matrix with
+    [O_{i,j} = λ^{d_{j,i}}·p_{l_j}(λ)] for [i - k < j ≤ i] (Fig. 3). *)
+val ox : pattern -> h:int -> lambda:float -> Gossip_linalg.Dense.t
+
+(** [semi_eigenvector p ~h ~lambda] is the vector [e] of Lemma 4.2:
+    [e_j = λ^(Σ_{c<j} (r_c - l_{c+1}))]. *)
+val semi_eigenvector : pattern -> h:int -> lambda:float -> Gossip_linalg.Vec.t
+
+(** [nx_semi_eigenvalue p lambda] is [λ·p_{r_0+...+r_{k-1}}(λ)] and
+    [ox_semi_eigenvalue p lambda] is [λ·p_{l_0+...+l_{k-1}}(λ)] — the
+    semi-eigenvalues of Lemma 4.2. *)
+val nx_semi_eigenvalue : pattern -> float -> float
+
+val ox_semi_eigenvalue : pattern -> float -> float
+
+(** [full_duplex_local ~window ~rounds ~lambda] is the full-duplex local
+    matrix of Fig. 7: [rounds × rounds], entry [(i, j) = λ^(j-i)] for
+    [1 ≤ j - i < window]. *)
+val full_duplex_local :
+  window:int -> rounds:int -> lambda:float -> Gossip_linalg.Dense.t

@@ -1,0 +1,1 @@
+lib/linalg/dense.ml: Array Float Format Gossip_util List

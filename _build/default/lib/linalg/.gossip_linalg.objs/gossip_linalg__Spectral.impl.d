@@ -1,0 +1,1 @@
+lib/linalg/spectral.ml: Array Dense Float Gossip_util Sparse Vec

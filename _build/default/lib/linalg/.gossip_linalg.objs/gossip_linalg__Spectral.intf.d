@@ -1,0 +1,1 @@
+lib/linalg/spectral.mli: Dense Sparse Vec

@@ -1,0 +1,108 @@
+type result = { largest : float; second : float option; iterations : int }
+
+(* Number of eigenvalues of the tridiagonal (diag, off) strictly below x,
+   via the Sturm sequence of leading-principal-minor ratios. *)
+let sturm_count ~diag ~off x =
+  let n = Array.length diag in
+  let count = ref 0 in
+  let d = ref 1.0 in
+  for i = 0 to n - 1 do
+    let b2 = if i = 0 then 0.0 else off.(i - 1) *. off.(i - 1) in
+    let di = diag.(i) -. x -. (b2 /. !d) in
+    (* guard against exact zeros that would poison the recurrence *)
+    let di = if Float.abs di < 1e-300 then -1e-300 else di in
+    if di < 0.0 then incr count;
+    d := di
+  done;
+  !count
+
+let tridiagonal_eigenvalues ~diag ~off =
+  let n = Array.length diag in
+  if Array.length off <> max 0 (n - 1) then
+    invalid_arg "Lanczos.tridiagonal_eigenvalues: off-diagonal length";
+  if n = 0 then [||]
+  else begin
+    (* Gershgorin interval *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 0 to n - 1 do
+      let r =
+        (if i > 0 then Float.abs off.(i - 1) else 0.0)
+        +. if i < n - 1 then Float.abs off.(i) else 0.0
+      in
+      lo := Float.min !lo (diag.(i) -. r);
+      hi := Float.max !hi (diag.(i) +. r)
+    done;
+    let lo = !lo -. 1e-9 and hi = !hi +. 1e-9 in
+    Array.init n (fun k ->
+        (* k-th smallest eigenvalue: bisect on the Sturm count *)
+        let a = ref lo and b = ref hi in
+        for _ = 1 to 100 do
+          let mid = 0.5 *. (!a +. !b) in
+          if sturm_count ~diag ~off mid > k then b := mid else a := mid
+        done;
+        0.5 *. (!a +. !b))
+  end
+
+let symmetric ?steps ?(seed = 7) ~dim apply =
+  if dim < 0 then invalid_arg "Lanczos.symmetric: negative dimension";
+  if dim = 0 then { largest = 0.0; second = None; iterations = 0 }
+  else begin
+    let steps = match steps with Some s -> max 1 s | None -> min dim 64 in
+    let rng = Gossip_util.Prng.create seed in
+    let v = Vec.init dim (fun _ -> 0.5 +. Gossip_util.Prng.float rng 1.0) in
+    ignore (Vec.normalize v);
+    let basis = ref [ Array.copy v ] in
+    let alphas = ref [] and betas = ref [] in
+    let vprev = ref (Vec.create dim 0.0) in
+    let vcur = ref v in
+    let beta_prev = ref 0.0 in
+    let iterations = ref 0 in
+    (try
+       for _ = 1 to steps do
+         let w = apply !vcur in
+         Vec.axpy ~alpha:(-. !beta_prev) !vprev w;
+         let alpha = Vec.dot w !vcur in
+         Vec.axpy ~alpha:(-.alpha) !vcur w;
+         (* full reorthogonalization: cheap and rock solid at our sizes *)
+         List.iter
+           (fun u ->
+             let c = Vec.dot w u in
+             if c <> 0.0 then Vec.axpy ~alpha:(-.c) u w)
+           !basis;
+         alphas := alpha :: !alphas;
+         incr iterations;
+         let beta = Vec.norm2 w in
+         if beta < 1e-13 then raise Exit;
+         betas := beta :: !betas;
+         Vec.scale_into w (1.0 /. beta);
+         vprev := !vcur;
+         vcur := w;
+         beta_prev := beta;
+         basis := Array.copy w :: !basis
+       done
+     with Exit -> ());
+    let diag = Array.of_list (List.rev !alphas) in
+    let off =
+      let b = Array.of_list (List.rev !betas) in
+      if Array.length b >= Array.length diag then
+        Array.sub b 0 (max 0 (Array.length diag - 1))
+      else b
+    in
+    let eigs = tridiagonal_eigenvalues ~diag ~off in
+    let m = Array.length eigs in
+    {
+      largest = (if m > 0 then eigs.(m - 1) else 0.0);
+      second = (if m > 1 then Some eigs.(m - 2) else None);
+      iterations = !iterations;
+    }
+  end
+
+let norm2_dense ?steps m =
+  let gram x = Dense.tmv m (Dense.mv m x) in
+  let r = symmetric ?steps ~dim:(Dense.cols m) gram in
+  sqrt (Float.max 0.0 r.largest)
+
+let norm2_sparse ?steps m =
+  let gram x = Sparse.tmv m (Sparse.mv m x) in
+  let r = symmetric ?steps ~dim:(Sparse.cols m) gram in
+  sqrt (Float.max 0.0 r.largest)

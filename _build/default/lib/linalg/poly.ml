@@ -1,0 +1,105 @@
+type t = float array
+(* Invariant: no trailing zero coefficient except the canonical zero
+   polynomial [|0.|]. *)
+
+let trim c =
+  let d = ref (Array.length c - 1) in
+  while !d > 0 && c.(!d) = 0.0 do
+    decr d
+  done;
+  Array.sub c 0 (!d + 1)
+
+let of_coeffs c = if Array.length c = 0 then [| 0.0 |] else trim (Array.copy c)
+
+let coeffs p = Array.copy p
+
+let zero = [| 0.0 |]
+let one = [| 1.0 |]
+let x = [| 0.0; 1.0 |]
+
+let degree p = if Array.length p = 1 && p.(0) = 0.0 then -1 else Array.length p - 1
+
+let eval p v =
+  let acc = ref 0.0 in
+  for k = Array.length p - 1 downto 0 do
+    acc := (!acc *. v) +. p.(k)
+  done;
+  !acc
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  let get c k = if k < Array.length c then c.(k) else 0.0 in
+  trim (Array.init n (fun k -> get p k +. get q k))
+
+let mul p q =
+  if degree p = -1 || degree q = -1 then zero
+  else begin
+    let r = Array.make (Array.length p + Array.length q - 1) 0.0 in
+    Array.iteri
+      (fun i pi ->
+        if pi <> 0.0 then
+          Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) +. (pi *. qj)) q)
+      p;
+    trim r
+  end
+
+let scale p c = trim (Array.map (fun v -> c *. v) p)
+
+let monomial k c =
+  if k < 0 then invalid_arg "Poly.monomial: negative degree";
+  let r = Array.make (k + 1) 0.0 in
+  r.(k) <- c;
+  trim r
+
+let equal ?(eps = 1e-12) p q =
+  Array.length p = Array.length q
+  && Array.for_all2 (fun a b -> Gossip_util.Numeric.approx_equal ~eps a b) p q
+
+let pp ppf p =
+  let first = ref true in
+  Array.iteri
+    (fun k c ->
+      if c <> 0.0 || (k = 0 && degree p = -1) then begin
+        if not !first then Format.fprintf ppf " + ";
+        (match k with
+        | 0 -> Format.fprintf ppf "%g" c
+        | 1 -> if c = 1.0 then Format.fprintf ppf "X" else Format.fprintf ppf "%g X" c
+        | _ ->
+            if c = 1.0 then Format.fprintf ppf "X^%d" k
+            else Format.fprintf ppf "%g X^%d" c k);
+        first := false
+      end)
+    p;
+  if !first then Format.fprintf ppf "0"
+
+let delay i =
+  if i < 1 then invalid_arg "Poly.delay: index must be >= 1";
+  let r = Array.make ((2 * i) - 1) 0.0 in
+  for j = 0 to i - 1 do
+    r.(2 * j) <- 1.0
+  done;
+  trim r
+
+let delay_eval i lambda =
+  if i < 0 then invalid_arg "Poly.delay_eval: negative index";
+  let l2 = lambda *. lambda in
+  let acc = ref 0.0 and pow = ref 1.0 in
+  for _ = 1 to i do
+    acc := !acc +. !pow;
+    pow := !pow *. l2
+  done;
+  !acc
+
+let delay_eval_inf lambda =
+  if lambda < 0.0 || lambda >= 1.0 then
+    invalid_arg "Poly.delay_eval_inf: lambda must be in [0, 1)";
+  1.0 /. (1.0 -. (lambda *. lambda))
+
+let geometric lambda count =
+  if count < 0 then invalid_arg "Poly.geometric: negative count";
+  let acc = ref 0.0 and pow = ref lambda in
+  for _ = 1 to count do
+    acc := !acc +. !pow;
+    pow := !pow *. lambda
+  done;
+  !acc

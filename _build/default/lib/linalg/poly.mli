@@ -1,0 +1,70 @@
+(** Polynomials, and the paper's delay polynomials [p_i(λ)].
+
+    Section 4 of the paper defines, for every integer [i > 0],
+    [p_i(λ) = 1 + λ² + λ⁴ + ... + λ^(2i-2)]  ([i] terms), and proves two
+    identities the whole bound rests on:
+
+    - composition: [p_i(λ) + λ^(2i)·p_j(λ) = p_{i+j}(λ)];
+    - unbalancing only helps the adversary: for [i ≥ j],
+      [p_{i+1}(λ)·p_{j-1}(λ) < p_i(λ)·p_j(λ)], which is why the worst
+      split of the period [s] is the balanced [⌈s/2⌉, ⌊s/2⌋].
+
+    The generic polynomial type supports the algebra needed by the tests
+    that re-check those identities symbolically. *)
+
+type t
+(** A polynomial with float coefficients, index = degree. *)
+
+(** [of_coeffs c] has coefficient [c.(k)] for degree [k].  Trailing zeros
+    are trimmed. *)
+val of_coeffs : float array -> t
+
+(** [coeffs p] is the (trimmed) coefficient array; [[|0.|]] for zero. *)
+val coeffs : t -> float array
+
+(** [zero], [one], [x] are the obvious constants. *)
+val zero : t
+
+val one : t
+val x : t
+
+(** [degree p] is the degree, [-1] for the zero polynomial. *)
+val degree : t -> int
+
+(** [eval p v] evaluates with Horner's scheme. *)
+val eval : t -> float -> float
+
+(** [add], [mul], [scale] are polynomial algebra. *)
+val add : t -> t -> t
+
+val mul : t -> t -> t
+val scale : t -> float -> t
+
+(** [monomial k c] is [c·X^k]. *)
+val monomial : int -> float -> t
+
+(** [equal ?eps p q] compares coefficientwise. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [pp] prints in the usual [c0 + c1 X + ...] notation. *)
+val pp : Format.formatter -> t -> unit
+
+(** [delay i] is the paper's [p_i] as a polynomial:
+    [1 + X² + ... + X^(2i-2)].
+    @raise Invalid_argument if [i < 1]. *)
+val delay : int -> t
+
+(** [delay_eval i lambda] evaluates [p_i(λ)] directly in O(i) without
+    building the polynomial; for [i = 0] it returns [0.] (empty sum), which
+    is the natural extension used when one side of the period split is
+    empty. *)
+val delay_eval : int -> float -> float
+
+(** [delay_eval_inf lambda] is [lim_{i→∞} p_i(λ) = 1/(1-λ²)] for
+    [0 ≤ λ < 1], the value used by the non-systolic corollaries.
+    @raise Invalid_argument if [λ] is outside [0, 1). *)
+val delay_eval_inf : float -> float
+
+(** [geometric lambda count] is [λ + λ² + ... + λ^count], the full-duplex
+    bound function of Section 6 with [count = s - 1]. *)
+val geometric : float -> int -> float

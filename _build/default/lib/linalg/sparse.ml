@@ -1,0 +1,137 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows + 1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array; (* length nnz *)
+}
+
+let rows m = m.rows
+let cols m = m.cols
+let nnz m = Array.length m.values
+
+let of_triplets ~rows ~cols entries =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.of_triplets: negative dims";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Sparse.of_triplets: entry (%d,%d) out of %dx%d" i j
+             rows cols))
+    entries;
+  let entries =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2))
+      entries
+  in
+  (* Merge duplicates, drop zeros. *)
+  let merged = ref [] in
+  List.iter
+    (fun (i, j, v) ->
+      match !merged with
+      | (i', j', v') :: rest when i = i' && j = j' ->
+          merged := (i, j, v +. v') :: rest
+      | _ -> merged := (i, j, v) :: !merged)
+    entries;
+  let compact = List.filter (fun (_, _, v) -> v <> 0.0) (List.rev !merged) in
+  let count = List.length compact in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make count 0 in
+  let values = Array.make count 0.0 in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    compact;
+  for i = 0 to rows - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i + 1) + row_ptr.(i)
+  done;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_dense d =
+  let entries = ref [] in
+  for i = Dense.rows d - 1 downto 0 do
+    for j = Dense.cols d - 1 downto 0 do
+      let v = Dense.get d i j in
+      if v <> 0.0 then entries := (i, j, v) :: !entries
+    done
+  done;
+  of_triplets ~rows:(Dense.rows d) ~cols:(Dense.cols d) !entries
+
+let to_dense m =
+  let d = Dense.create m.rows m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      Dense.set d i m.col_idx.(k) m.values.(k)
+    done
+  done;
+  d
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Sparse.get: index out of bounds";
+  let lo = ref m.row_ptr.(i) and hi = ref (m.row_ptr.(i + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = m.col_idx.(mid) in
+    if c = j then begin
+      result := m.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let mv m x =
+  if Array.length x <> m.cols then invalid_arg "Sparse.mv: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+      done;
+      !acc)
+
+let tmv m x =
+  if Array.length x <> m.rows then invalid_arg "Sparse.tmv: dimension mismatch";
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+        let j = m.col_idx.(k) in
+        y.(j) <- y.(j) +. (m.values.(k) *. xi)
+      done
+  done;
+  y
+
+let iter f m =
+  for i = 0 to m.rows - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      f i m.col_idx.(k) m.values.(k)
+    done
+  done
+
+let transpose m =
+  let entries = ref [] in
+  iter (fun i j v -> entries := (j, i, v) :: !entries) m;
+  of_triplets ~rows:m.cols ~cols:m.rows !entries
+
+let scale m c = { m with values = Array.map (fun v -> c *. v) m.values }
+
+let map_values f m = { m with values = Array.map f m.values }
+
+let row_nnz m i =
+  if i < 0 || i >= m.rows then invalid_arg "Sparse.row_nnz: row out of bounds";
+  m.row_ptr.(i + 1) - m.row_ptr.(i)
+
+let max_row_nnz m =
+  let best = ref 0 in
+  for i = 0 to m.rows - 1 do
+    best := max !best (row_nnz m i)
+  done;
+  !best
+
+let nonneg m = Array.for_all (fun v -> v >= 0.0) m.values

@@ -1,0 +1,120 @@
+type options = { tol : float; max_iter : int; seed : int }
+
+let default_options = { tol = 1e-12; max_iter = 10_000; seed = 42 }
+
+(* Deterministic strictly positive start vector: a positive start is
+   mandatory for Perron-Frobenius convergence on non-negative matrices and
+   harmless for Gram operators. *)
+let start_vector options n =
+  let rng = Gossip_util.Prng.create options.seed in
+  let v = Array.init n (fun _ -> 0.5 +. Gossip_util.Prng.float rng 1.0) in
+  ignore (Vec.normalize v);
+  v
+
+(* Power iteration for a symmetric positive semidefinite operator; returns
+   the dominant eigenvalue. The Rayleigh quotient of a PSD operator
+   increases monotonically along the iteration, so the stopping rule on
+   its relative change is sound. *)
+let dominant_eig_psd options apply n =
+  if n = 0 then 0.0
+  else begin
+    let x = ref (start_vector options n) in
+    let eig = ref 0.0 in
+    (try
+       for _ = 1 to options.max_iter do
+         let y = apply !x in
+         let ny = Vec.norm2 y in
+         if ny = 0.0 then begin
+           eig := 0.0;
+           raise Exit
+         end;
+         Vec.scale_into y (1.0 /. ny);
+         let rayleigh = Vec.dot y (apply y) in
+         if
+           Float.abs (rayleigh -. !eig)
+           <= options.tol *. Float.max 1.0 (Float.abs rayleigh)
+         then begin
+           eig := rayleigh;
+           raise Exit
+         end;
+         eig := rayleigh;
+         x := y
+       done
+     with Exit -> ());
+    Float.max 0.0 !eig
+  end
+
+let norm2_of_ops ?(options = default_options) ~rows ~cols ~mv ~tmv () =
+  if rows = 0 || cols = 0 then 0.0
+  else
+    let gram_apply x = tmv (mv x) in
+    sqrt (dominant_eig_psd options gram_apply cols)
+
+let norm2_dense ?(options = default_options) m =
+  norm2_of_ops ~options ~rows:(Dense.rows m) ~cols:(Dense.cols m)
+    ~mv:(Dense.mv m) ~tmv:(Dense.tmv m) ()
+
+let norm2_sparse ?(options = default_options) m =
+  norm2_of_ops ~options ~rows:(Sparse.rows m) ~cols:(Sparse.cols m)
+    ~mv:(Sparse.mv m) ~tmv:(Sparse.tmv m) ()
+
+let spectral_radius_nonneg ?(options = default_options) m =
+  if Dense.rows m <> Dense.cols m then
+    invalid_arg "Spectral.spectral_radius_nonneg: matrix not square";
+  if not (Dense.nonneg m) then
+    invalid_arg "Spectral.spectral_radius_nonneg: negative entry";
+  let n = Dense.rows m in
+  if n = 0 then 0.0
+  else begin
+    (* ρ(M) = sqrt(ρ(M²ᵀM²))^(1/2)-style tricks are unreliable for
+       non-normal M; instead we use the fact that for non-negative M,
+       ρ(M) = lim ‖M^k x‖ / ‖M^(k-1) x‖ for positive x, and that the
+       iteration below stabilizes on that ratio. *)
+    let x = ref (start_vector options n) in
+    let estimate = ref 0.0 in
+    (try
+       for _ = 1 to options.max_iter do
+         let y = Dense.mv m !x in
+         let ny = Vec.norm2 y in
+         if ny = 0.0 then begin
+           estimate := 0.0;
+           raise Exit
+         end;
+         Vec.scale_into y (1.0 /. ny);
+         if
+           Float.abs (ny -. !estimate)
+           <= options.tol *. Float.max 1.0 (Float.abs ny)
+         then begin
+           estimate := ny;
+           raise Exit
+         end;
+         estimate := ny;
+         x := y
+       done
+     with Exit -> ());
+    !estimate
+  end
+
+let collatz_wielandt_bounds m x =
+  if Dense.rows m <> Dense.cols m then
+    invalid_arg "Spectral.collatz_wielandt_bounds: matrix not square";
+  if Array.exists (fun v -> v <= 0.0) x then
+    invalid_arg "Spectral.collatz_wielandt_bounds: vector not positive";
+  let y = Dense.mv m x in
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iteri
+    (fun i yi ->
+      let r = yi /. x.(i) in
+      if r < !lo then lo := r;
+      if r > !hi then hi := r)
+    y;
+  (!lo, !hi)
+
+let is_semi_eigenvector ?(eps = 1e-9) m x e =
+  Array.length x = Dense.cols m
+  && Dense.rows m = Dense.cols m
+  &&
+  let y = Dense.mv m x in
+  Array.for_all2
+    (fun yi xi -> yi <= (e *. xi) +. (eps *. Float.max 1.0 (Float.abs (e *. xi))))
+    y x

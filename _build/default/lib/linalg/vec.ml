@@ -1,0 +1,64 @@
+type t = float array
+
+let create n x = Array.make n x
+
+let init = Array.init
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let dot a b =
+  check_dims "Vec.dot" a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm1 a = Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 a
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 a
+
+let scale a c = Array.map (fun x -> c *. x) a
+
+let scale_into a c =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- c *. a.(i)
+  done
+
+let add a b =
+  check_dims "Vec.add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "Vec.sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let axpy ~alpha x y =
+  check_dims "Vec.axpy" x y;
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let normalize a =
+  let n = norm2 a in
+  if n > 0.0 then scale_into a (1.0 /. n);
+  n
+
+let concat vs = Array.concat vs
+
+let lambda_profile n lambda = Array.init n (fun i -> lambda ** float_of_int i)
+
+let equal ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Gossip_util.Numeric.approx_equal ~eps x y) a b
+
+let pp ppf a =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf x -> Format.fprintf ppf "%.4f" x))
+    (Array.to_list a)

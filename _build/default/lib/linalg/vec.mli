@@ -1,0 +1,62 @@
+(** Dense float vectors.
+
+    The delay-matrix machinery of the paper manipulates vectors in three
+    places: the semi-eigenvector [e] of Lemma 4.2, the profile vectors
+    [Λ0_i = (1, λ, ..., λ^(i-1))ᵀ] of Section 4, and the iterates of the
+    power method used to evaluate spectral radii.  Vectors are plain
+    [float array]s; this module gathers the operations we need with
+    explicit, allocation-conscious signatures. *)
+
+type t = float array
+
+(** [create n x] is a vector of [n] copies of [x]. *)
+val create : int -> float -> t
+
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** [dot a b] is the inner product.
+    @raise Invalid_argument on dimension mismatch. *)
+val dot : t -> t -> float
+
+(** [norm2 a] is the Euclidean norm. *)
+val norm2 : t -> float
+
+(** [norm1 a] is the sum of absolute values. *)
+val norm1 : t -> float
+
+(** [norm_inf a] is the largest absolute component. *)
+val norm_inf : t -> float
+
+(** [scale a c] is a fresh [c·a]. *)
+val scale : t -> float -> t
+
+(** [scale_into a c] rescales [a] in place. *)
+val scale_into : t -> float -> unit
+
+(** [add a b] is a fresh [a + b]. *)
+val add : t -> t -> t
+
+(** [sub a b] is a fresh [a - b]. *)
+val sub : t -> t -> t
+
+(** [axpy ~alpha x y] updates [y <- alpha·x + y] in place. *)
+val axpy : alpha:float -> t -> t -> unit
+
+(** [normalize a] rescales [a] in place to unit Euclidean norm and returns
+    the previous norm; a zero vector is left untouched and [0.] returned. *)
+val normalize : t -> float
+
+(** [concat vs] is the vertical concatenation, written [x◦y] in Section 4
+    of the paper. *)
+val concat : t list -> t
+
+(** [lambda_profile n lambda] is the paper's [Λ0_n] vector
+    [(1, λ, λ², ..., λ^(n-1))ᵀ]. *)
+val lambda_profile : int -> float -> t
+
+(** [equal ?eps a b] is componentwise approximate equality. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [pp] prints as [[x1; x2; ...]] with 4 decimals. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/protocol/broadcast_protocol.ml: Array Gossip_topology List Protocol Systolic

@@ -1,0 +1,1 @@
+lib/protocol/broadcast_protocol.mli: Gossip_topology Protocol Systolic

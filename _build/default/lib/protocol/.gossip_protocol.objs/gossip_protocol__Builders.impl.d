@@ -1,0 +1,1 @@
+lib/protocol/builders.ml: Array Fun Gossip_topology Gossip_util Hashtbl List Protocol Systolic

@@ -1,0 +1,1 @@
+lib/protocol/builders.mli: Gossip_topology Protocol Systolic

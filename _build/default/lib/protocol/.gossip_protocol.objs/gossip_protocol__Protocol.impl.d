@@ -1,0 +1,1 @@
+lib/protocol/protocol.ml: Array Format Gossip_topology Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/protocol/protocol_io.ml: Buffer Fun Gossip_topology List Printf Protocol String Systolic

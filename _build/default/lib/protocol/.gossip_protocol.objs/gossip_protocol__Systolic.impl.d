@@ -1,0 +1,1 @@
+lib/protocol/systolic.ml: Array Format List Protocol

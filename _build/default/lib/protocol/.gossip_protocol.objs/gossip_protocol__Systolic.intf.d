@@ -1,0 +1,1 @@
+lib/protocol/systolic.mli: Format Gossip_topology Protocol

@@ -1,0 +1,64 @@
+module Digraph = Gossip_topology.Digraph
+
+let greedy_schedule g ~src ~mode =
+  let n = Digraph.n_vertices g in
+  if src < 0 || src >= n then
+    invalid_arg "Broadcast_protocol.greedy_schedule: src out of range";
+  let informed = Array.make n false in
+  informed.(src) <- true;
+  let informed_count = ref 1 in
+  let rounds = ref [] in
+  let progress = ref true in
+  while !informed_count < n && !progress do
+    (* one round: match informed senders to uninformed receivers,
+       preferring receivers with many uninformed out-neighbours (they
+       amplify next round) — a cheap greedy heuristic *)
+    let busy = Array.make n false in
+    let round = ref [] in
+    let receivers_of u =
+      Array.to_list
+        (Array.of_list
+           (List.filter
+              (fun v -> (not informed.(v)) && not busy.(v))
+              (Array.to_list (Digraph.out_neighbors g u))))
+    in
+    let score v =
+      Array.fold_left
+        (fun acc w -> if informed.(w) then acc else acc + 1)
+        0 (Digraph.out_neighbors g v)
+    in
+    for u = 0 to n - 1 do
+      if informed.(u) && not busy.(u) then begin
+        match receivers_of u with
+        | [] -> ()
+        | candidates ->
+            let v =
+              List.fold_left
+                (fun best v ->
+                  match best with
+                  | None -> Some v
+                  | Some b -> if score v > score b then Some v else best)
+                None candidates
+            in
+            (match v with
+            | Some v ->
+                busy.(u) <- true;
+                busy.(v) <- true;
+                round := (u, v) :: !round
+            | None -> ())
+      end
+    done;
+    if !round = [] then progress := false
+    else begin
+      List.iter
+        (fun (_, v) ->
+          informed.(v) <- true;
+          incr informed_count)
+        !round;
+      rounds := List.rev !round :: !rounds
+    end
+  done;
+  Protocol.make g mode (List.rev !rounds)
+
+let systolized g ~src ~mode =
+  Systolic.of_protocol (greedy_schedule g ~src ~mode)

@@ -1,0 +1,36 @@
+(** Broadcast protocols (one-to-all dissemination).
+
+    The paper leans on broadcasting twice: its lower bounds are compared
+    against the broadcasting constants of [22,2], and [8] observed that
+    — unlike gossiping — "broadcasting strategies can be systolized at no
+    cost".  This module builds concrete broadcast protocols:
+
+    - {!greedy_schedule}: the classical greedy broadcast — each round,
+      match informed vertices to uninformed neighbours (a matching, so it
+      is a valid whispering round) until everyone is informed.  On many
+      networks this is within a small factor of the optimum
+      [max(⌈log₂ n⌉, eccentricity)].
+    - {!systolized}: wrap the finite schedule as a systolic protocol
+      whose period is the whole schedule — broadcast completes within the
+      first period, so the systolization is indeed free, which the tests
+      verify against {!greedy_schedule}'s round count. *)
+
+(** [greedy_schedule g ~src ~mode] — a finite protocol broadcasting
+    [src]'s item.  In full-duplex mode rounds are reversal-closed like
+    everywhere else; informativeness only uses the forward direction.
+    @raise Invalid_argument if [src] is out of range, or (in half-/full-
+    duplex modes) [g] is not symmetric; returns a protocol that fails to
+    reach unreachable vertices only if [g] is not strongly connected. *)
+val greedy_schedule :
+  Gossip_topology.Digraph.t ->
+  src:int ->
+  mode:Protocol.mode ->
+  Protocol.t
+
+(** [systolized g ~src ~mode] is [greedy_schedule] packaged as an
+    s-systolic protocol with [s] = schedule length. *)
+val systolized :
+  Gossip_topology.Digraph.t ->
+  src:int ->
+  mode:Protocol.mode ->
+  Systolic.t

@@ -1,0 +1,124 @@
+module Digraph = Gossip_topology.Digraph
+
+type mode = Directed | Half_duplex | Full_duplex
+
+type round = (int * int) list
+
+type t = { graph : Digraph.t; mode : mode; rounds : round array }
+
+let mode_to_string = function
+  | Directed -> "directed"
+  | Half_duplex -> "half-duplex"
+  | Full_duplex -> "full-duplex"
+
+let is_matching_for mode round =
+  (* Invariant: if (v, u) is accepted, then u and v are touched only by
+     (v, u) (and later possibly (u, v)) — so in full-duplex mode a busy
+     endpoint is acceptable exactly when the opposite arc is present. *)
+  let arcs = Hashtbl.create 16 in
+  let busy = Hashtbl.create 16 in
+  List.for_all
+    (fun (u, v) ->
+      if u = v then false
+      else if Hashtbl.mem arcs (u, v) then false (* duplicate arc *)
+      else begin
+        let endpoint_busy = Hashtbl.mem busy u || Hashtbl.mem busy v in
+        let ok =
+          match mode with
+          | Directed | Half_duplex -> not endpoint_busy
+          | Full_duplex -> (not endpoint_busy) || Hashtbl.mem arcs (v, u)
+        in
+        if ok then begin
+          Hashtbl.replace arcs (u, v) ();
+          Hashtbl.replace busy u ();
+          Hashtbl.replace busy v ()
+        end;
+        ok
+      end)
+    round
+
+let close_full_duplex round =
+  let set = Hashtbl.create 16 in
+  List.iter (fun (u, v) -> Hashtbl.replace set (u, v) ()) round;
+  List.iter (fun (u, v) -> Hashtbl.replace set (v, u) ()) round;
+  List.sort compare (Hashtbl.fold (fun arc () acc -> arc :: acc) set [])
+
+let make g mode rounds =
+  (match mode with
+  | Half_duplex | Full_duplex ->
+      if not (Digraph.is_symmetric g) then
+        invalid_arg
+          (Printf.sprintf
+             "Protocol.make: %s mode requires a symmetric digraph (%s)"
+             (mode_to_string mode) (Digraph.name g))
+  | Directed -> ());
+  let rounds =
+    match mode with
+    | Full_duplex -> List.map close_full_duplex rounds
+    | Directed | Half_duplex -> rounds
+  in
+  List.iteri
+    (fun i round ->
+      List.iter
+        (fun (u, v) ->
+          if not (Digraph.mem_arc g u v) then
+            invalid_arg
+              (Printf.sprintf "Protocol.make: round %d uses missing arc (%d,%d)"
+                 i u v))
+        round;
+      if not (is_matching_for mode round) then
+        invalid_arg
+          (Printf.sprintf "Protocol.make: round %d is not a %s matching" i
+             (mode_to_string mode)))
+    rounds;
+  { graph = g; mode; rounds = Array.of_list rounds }
+
+let graph p = p.graph
+let mode p = p.mode
+let length p = Array.length p.rounds
+
+let round p i =
+  if i < 0 || i >= length p then invalid_arg "Protocol.round: out of range";
+  p.rounds.(i)
+
+let rounds p = Array.to_list p.rounds
+
+let truncate p t =
+  if t < 0 || t > length p then invalid_arg "Protocol.truncate: bad length";
+  { p with rounds = Array.sub p.rounds 0 t }
+
+let append a b =
+  if Digraph.name a.graph <> Digraph.name b.graph
+     || Digraph.n_vertices a.graph <> Digraph.n_vertices b.graph
+  then invalid_arg "Protocol.append: different graphs";
+  if a.mode <> b.mode then invalid_arg "Protocol.append: different modes";
+  { a with rounds = Array.append a.rounds b.rounds }
+
+let arc_activations p =
+  Array.fold_left (fun acc r -> acc + List.length r) 0 p.rounds
+
+let active_rounds p v =
+  Array.fold_left
+    (fun acc r ->
+      if List.exists (fun (u, w) -> u = v || w = v) r then acc + 1 else acc)
+    0 p.rounds
+
+let pp ppf p =
+  Format.fprintf ppf "%s protocol on %s, %d rounds@\n" (mode_to_string p.mode)
+    (Digraph.name p.graph) (length p);
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "  round %d: %a@\n" (i + 1)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf (u, v) -> Format.fprintf ppf "%d->%d" u v))
+        r)
+    p.rounds
+
+let time_reversal p =
+  let g = if Digraph.is_symmetric p.graph then p.graph else Digraph.reverse p.graph in
+  let flipped =
+    Array.to_list
+      (Array.map (List.map (fun (u, v) -> (v, u))) p.rounds)
+  in
+  make g p.mode (List.rev flipped)

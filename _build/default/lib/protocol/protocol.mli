@@ -1,0 +1,83 @@
+(** Gossip protocols (Definition 3.1) and communication modes.
+
+    A gossip protocol of length [t] for a digraph [G = (V, A)] is a
+    sequence [⟨A_1, ..., A_t⟩] of arc subsets such that each [A_i] is a
+    matching (no two arcs share an endpoint) and every ordered vertex pair
+    is connected by a path activated in increasing rounds.  The first
+    condition is structural and checked here; the second is semantic and
+    checked by running the {!Gossip_simulate} engine.
+
+    Modes:
+    - [Directed]: the network is an arbitrary digraph; active arcs form a
+      matching.
+    - [Half_duplex]: the network is symmetric (undirected); each active
+      link transmits one way per round; active arcs form a matching.
+    - [Full_duplex]: the network is symmetric; links transmit both ways,
+      i.e. any two active arcs either share no endpoint or are opposite.
+      Rounds are canonicalized to contain both directions of every active
+      edge. *)
+
+type mode = Directed | Half_duplex | Full_duplex
+
+(** A round is the list of active arcs [(sender, receiver)]. *)
+type round = (int * int) list
+
+type t
+
+(** [make g mode rounds] validates and packages a protocol.
+    In [Half_duplex] and [Full_duplex] modes [g] must be symmetric; in
+    [Full_duplex] each round is closed under arc reversal automatically.
+    @raise Invalid_argument when an arc is absent from [g], a round is
+    not a matching for the mode, or the mode does not fit [g]. *)
+val make : Gossip_topology.Digraph.t -> mode -> round list -> t
+
+(** [graph p], [mode p], [length p] are the components. *)
+val graph : t -> Gossip_topology.Digraph.t
+
+val mode : t -> mode
+
+(** [length p] is the number of rounds [t]. *)
+val length : t -> int
+
+(** [round p i] is the [i]-th round, [0 ≤ i < length p] (note: the paper
+    numbers rounds from 1; we use 0-based indices).
+    @raise Invalid_argument when out of range. *)
+val round : t -> int -> round
+
+(** [rounds p] lists all rounds in order. *)
+val rounds : t -> round list
+
+(** [truncate p t] keeps only the first [t] rounds.
+    @raise Invalid_argument if [t < 0] or [t > length p]. *)
+val truncate : t -> int -> t
+
+(** [append a b] concatenates two protocols over the same graph and mode.
+    @raise Invalid_argument on mismatched graphs or modes. *)
+val append : t -> t -> t
+
+(** [is_matching_for mode round] checks the structural condition of the
+    given mode on one round (endpoint-disjointness, opposite arcs allowed
+    only in full-duplex). *)
+val is_matching_for : mode -> round -> bool
+
+(** [arc_activations p] is the total number of arc activations; in
+    full-duplex mode opposite pairs count as two. *)
+val arc_activations : t -> int
+
+(** [active_rounds p v] is the number of rounds in which vertex [v] is an
+    endpoint of an active arc. *)
+val active_rounds : t -> int -> int
+
+(** [pp] prints a summary with one line per round. *)
+val pp : Format.formatter -> t -> unit
+
+(** [mode_to_string m] is ["directed"], ["half-duplex"] or
+    ["full-duplex"]. *)
+val mode_to_string : mode -> string
+
+(** [time_reversal p] is the protocol with round order reversed and every
+    arc flipped — the classical duality: an item travels the reversed
+    protocol along the reversed path, so gossip protocols map to gossip
+    protocols.  On a symmetric digraph the network is unchanged;
+    otherwise the result lives on the reversed digraph. *)
+val time_reversal : t -> t

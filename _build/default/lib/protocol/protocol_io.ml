@@ -1,0 +1,115 @@
+module Digraph = Gossip_topology.Digraph
+
+let mode_of_string = function
+  | "directed" -> Protocol.Directed
+  | "half-duplex" -> Protocol.Half_duplex
+  | "full-duplex" -> Protocol.Full_duplex
+  | other -> invalid_arg (Printf.sprintf "Protocol_io: unknown mode %S" other)
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "mode: %s\n" (Protocol.mode_to_string (Systolic.mode p)));
+  Buffer.add_string buf
+    (Printf.sprintf "vertices: %d\n"
+       (Digraph.n_vertices (Systolic.graph p)));
+  List.iter
+    (fun round ->
+      let cells = List.map (fun (u, v) -> Printf.sprintf "%d>%d" u v) round in
+      Buffer.add_string buf (String.concat " " cells);
+      Buffer.add_char buf '\n')
+    (Systolic.period_rounds p);
+  Buffer.contents buf
+
+let parse_arc token =
+  match String.index_opt token '>' with
+  | None -> invalid_arg (Printf.sprintf "Protocol_io: bad arc %S" token)
+  | Some i -> (
+      try
+        ( int_of_string (String.sub token 0 i),
+          int_of_string (String.sub token (i + 1) (String.length token - i - 1))
+        )
+      with Failure _ ->
+        invalid_arg (Printf.sprintf "Protocol_io: bad arc %S" token))
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let of_string s =
+  let lines =
+    s |> String.split_on_char '\n'
+    |> List.map (fun l -> String.trim (strip_comment l))
+    |> List.filter (fun l -> l <> "")
+  in
+  let mode = ref None and vertices = ref None in
+  let rounds = ref [] in
+  List.iter
+    (fun line ->
+      match String.index_opt line ':' with
+      | Some i ->
+          let key = String.trim (String.sub line 0 i) in
+          let value =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          (match key with
+          | "mode" -> mode := Some (mode_of_string value)
+          | "vertices" -> (
+              match int_of_string_opt value with
+              | Some n when n > 0 -> vertices := Some n
+              | _ ->
+                  invalid_arg
+                    (Printf.sprintf "Protocol_io: bad vertex count %S" value))
+          | other ->
+              invalid_arg (Printf.sprintf "Protocol_io: unknown header %S" other))
+      | None ->
+          let arcs =
+            line |> String.split_on_char ' '
+            |> List.filter (fun t -> t <> "")
+            |> List.map parse_arc
+          in
+          rounds := arcs :: !rounds)
+    lines;
+  let mode =
+    match !mode with
+    | Some m -> m
+    | None -> invalid_arg "Protocol_io: missing 'mode:' header"
+  in
+  let n =
+    match !vertices with
+    | Some n -> n
+    | None -> invalid_arg "Protocol_io: missing 'vertices:' header"
+  in
+  let rounds = List.rev !rounds in
+  if rounds = [] then invalid_arg "Protocol_io: no rounds";
+  List.iter
+    (List.iter (fun (u, v) ->
+         if u < 0 || u >= n || v < 0 || v >= n then
+           invalid_arg
+             (Printf.sprintf "Protocol_io: arc %d>%d outside %d vertices" u v n)))
+    rounds;
+  (* Synthesize the network from the arcs used. *)
+  let arcs = List.concat rounds in
+  let arcs =
+    match mode with
+    | Protocol.Directed -> arcs
+    | Protocol.Half_duplex | Protocol.Full_duplex ->
+        arcs @ List.map (fun (u, v) -> (v, u)) arcs
+  in
+  let g = Digraph.make ~name:"(loaded)" n (List.sort_uniq compare arcs) in
+  Systolic.make g mode rounds
+
+let save p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

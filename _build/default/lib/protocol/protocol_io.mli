@@ -1,0 +1,33 @@
+(** Plain-text (de)serialization of systolic protocols.
+
+    Format, one round per line, arcs as [src>dst] separated by spaces;
+    blank lines and [#] comments ignored; a header line gives the mode
+    and vertex count:
+
+    {v
+    # any comment
+    mode: half-duplex
+    vertices: 4
+    0>1 2>3
+    1>2
+    2>1
+    v}
+
+    The graph is taken to be exactly the arcs mentioned (plus their
+    reverses in half-/full-duplex modes), which is the natural reading of
+    "here is my protocol" — validation then only has to check the
+    matching conditions. *)
+
+(** [to_string p] serializes the period of a systolic protocol. *)
+val to_string : Systolic.t -> string
+
+(** [of_string s] parses; the network is synthesized from the arcs used.
+    @raise Invalid_argument on syntax errors, unknown modes, missing
+    headers, vertex indices outside [0, vertices), or invalid rounds. *)
+val of_string : string -> Systolic.t
+
+(** [save p path] / [load path] — file convenience wrappers.
+    @raise Sys_error on I/O failure. *)
+val save : Systolic.t -> string -> unit
+
+val load : string -> Systolic.t

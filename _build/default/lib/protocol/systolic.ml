@@ -1,0 +1,46 @@
+type t = { base : Protocol.t }
+
+let make g mode period_rounds =
+  if period_rounds = [] then invalid_arg "Systolic.make: empty period";
+  { base = Protocol.make g mode period_rounds }
+
+let of_protocol p =
+  if Protocol.length p = 0 then invalid_arg "Systolic.of_protocol: no rounds";
+  { base = p }
+
+let graph p = Protocol.graph p.base
+let mode p = Protocol.mode p.base
+let period p = Protocol.length p.base
+
+let period_round p i =
+  if i < 0 then invalid_arg "Systolic.period_round: negative round";
+  Protocol.round p.base (i mod period p)
+
+let period_rounds p = Protocol.rounds p.base
+
+let expand p ~length =
+  if length < 0 then invalid_arg "Systolic.expand: negative length";
+  let s = period p in
+  let rounds = List.init length (fun i -> Protocol.round p.base (i mod s)) in
+  Protocol.make (graph p) (mode p) rounds
+
+let active_pattern p v =
+  let s = period p in
+  Array.init s (fun i ->
+      let round = Protocol.round p.base i in
+      let l = List.exists (fun (_, y) -> y = v) round in
+      let r = List.exists (fun (x, _) -> x = v) round in
+      match (l, r) with
+      | true, true -> `Both
+      | true, false -> `L
+      | false, true -> `R
+      | false, false -> `Idle)
+
+let pp ppf p =
+  Format.fprintf ppf "%d-systolic %a" (period p) Protocol.pp p.base
+
+let rotate p k =
+  let s = period p in
+  let k = ((k mod s) + s) mod s in
+  make (graph p) (mode p)
+    (List.init s (fun i -> period_round p (i + k)))

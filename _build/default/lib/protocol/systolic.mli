@@ -1,0 +1,51 @@
+(** s-systolic protocols (Definition 3.2).
+
+    An s-systolic protocol is the periodic repetition of [s] fixed rounds:
+    [A_i = A_{i+s}] for all [i].  We store the period once and expand on
+    demand; the delay-digraph machinery only ever needs the period. *)
+
+type t
+
+(** [make g mode period_rounds] validates the period as a protocol prefix.
+    The period [s] is [List.length period_rounds] and must be positive.
+    Rounds in which no arc is active are allowed (they merely waste a
+    step).
+    @raise Invalid_argument like {!Protocol.make}, or on an empty
+    period. *)
+val make :
+  Gossip_topology.Digraph.t -> Protocol.mode -> Protocol.round list -> t
+
+(** [of_protocol p] treats a complete finite protocol as one period — the
+    paper's [s → ∞] view of a non-systolic protocol.
+    @raise Invalid_argument if [p] has no rounds. *)
+val of_protocol : Protocol.t -> t
+
+(** [graph p], [mode p] are the components; [period p] is [s]. *)
+val graph : t -> Gossip_topology.Digraph.t
+
+val mode : t -> Protocol.mode
+val period : t -> int
+
+(** [period_round p i] is round [i mod s] of the period (0-based, any
+    non-negative [i]). *)
+val period_round : t -> int -> Protocol.round
+
+(** [period_rounds p] is the period as a list. *)
+val period_rounds : t -> Protocol.round list
+
+(** [expand p ~length] is the finite protocol [⟨A_1, ..., A_length⟩]. *)
+val expand : t -> length:int -> Protocol.t
+
+(** [active_pattern p v] describes vertex [v]'s role in each round of the
+    period: [`L] when an in-arc of [v] is active, [`R] when an out-arc is,
+    [`Both] when both (full-duplex), [`Idle] otherwise.  This is the
+    sequence from which the paper's ⟨(l_j), (r_j)⟩ run-length blocks are
+    read. *)
+val active_pattern : t -> int -> [ `L | `R | `Both | `Idle ] array
+
+(** [pp] prints the period. *)
+val pp : Format.formatter -> t -> unit
+
+(** [rotate p k] starts the period [k] rounds later (cyclically).  Gossip
+    times of rotations differ by less than the period. *)
+val rotate : t -> int -> t

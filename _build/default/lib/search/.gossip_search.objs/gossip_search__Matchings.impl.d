@@ -1,0 +1,1 @@
+lib/search/matchings.ml: Fun Gossip_protocol Gossip_topology Hashtbl List

@@ -1,0 +1,1 @@
+lib/search/matchings.mli: Gossip_protocol Gossip_topology

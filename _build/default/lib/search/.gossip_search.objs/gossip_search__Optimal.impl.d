@@ -1,0 +1,1 @@
+lib/search/optimal.ml: Array Gossip_protocol Gossip_topology Hashtbl List Matchings

@@ -1,0 +1,1 @@
+lib/search/optimal.mli: Gossip_protocol Gossip_topology

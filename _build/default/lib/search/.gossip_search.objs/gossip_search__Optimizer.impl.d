@@ -1,0 +1,1 @@
+lib/search/optimizer.ml: Array Gossip_protocol Gossip_topology Gossip_util Hashtbl List

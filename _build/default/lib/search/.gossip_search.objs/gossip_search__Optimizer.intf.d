@@ -1,0 +1,1 @@
+lib/search/optimizer.mli: Gossip_protocol Gossip_topology

@@ -1,0 +1,1 @@
+lib/search/systolic_optimal.ml: Array Gossip_protocol Gossip_topology List Matchings Optimal Option

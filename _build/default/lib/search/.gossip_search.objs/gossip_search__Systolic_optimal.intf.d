@@ -1,0 +1,1 @@
+lib/search/systolic_optimal.mli: Gossip_protocol Gossip_topology

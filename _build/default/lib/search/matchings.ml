@@ -1,0 +1,50 @@
+module Digraph = Gossip_topology.Digraph
+module Protocol = Gossip_protocol.Protocol
+
+(* Backtracking enumeration over a candidate arc list: at each step either
+   skip the next candidate or take it when its endpoints are free. *)
+let enumerate candidates ~close =
+  let results = ref [] in
+  let rec go remaining busy chosen =
+    match remaining with
+    | [] -> if chosen <> [] then results := List.rev chosen :: !results
+    | (u, v) :: rest ->
+        go rest busy chosen;
+        if (not (List.mem u busy)) && not (List.mem v busy) then
+          go rest (u :: v :: busy) ((u, v) :: chosen)
+  in
+  go candidates [] [];
+  List.map close !results
+
+let candidates_for g mode =
+  match mode with
+  | Protocol.Directed | Protocol.Half_duplex -> Digraph.arcs g
+  | Protocol.Full_duplex -> Digraph.undirected_edges g
+
+let close_for mode round =
+  match mode with
+  | Protocol.Directed | Protocol.Half_duplex -> round
+  | Protocol.Full_duplex ->
+      List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) round
+
+let all_rounds g mode =
+  enumerate (candidates_for g mode) ~close:(close_for mode)
+
+let is_maximal_matching candidates round =
+  (* maximal iff no skipped candidate has both endpoints free *)
+  let busy = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace busy u ();
+      Hashtbl.replace busy v ())
+    round;
+  List.for_all
+    (fun (u, v) -> Hashtbl.mem busy u || Hashtbl.mem busy v)
+    candidates
+
+let maximal_rounds g mode =
+  let candidates = candidates_for g mode in
+  let raw = enumerate candidates ~close:Fun.id in
+  List.map (close_for mode) (List.filter (is_maximal_matching candidates) raw)
+
+let count_all g mode = List.length (all_rounds g mode)

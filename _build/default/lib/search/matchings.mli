@@ -1,0 +1,28 @@
+(** Enumeration of the rounds available to a protocol.
+
+    A round of a whispering-model protocol is a matching of the network's
+    arcs (Definition 3.1); the exact-search procedures need the complete
+    list.  Since knowledge only ever grows, a round contained in another
+    is dominated by it, so optimal searches may restrict to {e maximal}
+    matchings — a fact re-checked by the tests against the full
+    enumeration on tiny graphs. *)
+
+(** [all_rounds g mode] enumerates every non-empty round valid for the
+    mode, including non-maximal ones.  In full-duplex mode rounds are
+    reversal-closed arc sets (one per edge matching).  Exponential in the
+    arc count — intended for tiny networks. *)
+val all_rounds :
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  Gossip_protocol.Protocol.round list
+
+(** [maximal_rounds g mode] enumerates only the inclusion-maximal rounds
+    — the ones an optimal protocol can be assumed to use. *)
+val maximal_rounds :
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  Gossip_protocol.Protocol.round list
+
+(** [count_all g mode] is [List.length (all_rounds g mode)], without
+    materializing intermediate lists more than necessary. *)
+val count_all : Gossip_topology.Digraph.t -> Gossip_protocol.Protocol.mode -> int

@@ -1,0 +1,113 @@
+module Digraph = Gossip_topology.Digraph
+module Protocol = Gossip_protocol.Protocol
+
+type result = { rounds : int; states_explored : int }
+
+let check_size g =
+  if Digraph.n_vertices g > 24 then
+    invalid_arg "Optimal: networks over 24 vertices are not searchable"
+
+(* Apply one round to a knowledge-mask state; rounds are matchings, so in
+   directed/half-duplex mode no sender is a receiver, and in full-duplex
+   mode the exchange uses the pre-round masks — reading from [state] and
+   writing into a copy gives exactly the synchronous semantics. *)
+let apply_round state round =
+  let next = Array.copy state in
+  List.iter (fun (x, y) -> next.(y) <- next.(y) lor state.(x)) round;
+  next
+
+let bfs ~initial ~accept ~rounds ~max_states =
+  let seen = Hashtbl.create 4096 in
+  Hashtbl.replace seen initial ();
+  let frontier = ref [ initial ] in
+  let depth = ref 0 in
+  let explored = ref 1 in
+  let result = ref None in
+  if accept initial then result := Some { rounds = 0; states_explored = 1 };
+  while !result = None && !frontier <> [] && !explored <= max_states do
+    incr depth;
+    let next_frontier = ref [] in
+    List.iter
+      (fun state ->
+        if !result = None then
+          List.iter
+            (fun round ->
+              if !result = None then begin
+                let next = apply_round state round in
+                if not (Hashtbl.mem seen next) then begin
+                  Hashtbl.replace seen next ();
+                  incr explored;
+                  if accept next then
+                    result := Some { rounds = !depth; states_explored = !explored }
+                  else next_frontier := next :: !next_frontier
+                end
+              end)
+            rounds)
+      !frontier;
+    frontier := !next_frontier
+  done;
+  !result
+
+let gossip_number ?(max_states = 2_000_000) g mode =
+  check_size g;
+  let n = Digraph.n_vertices g in
+  let initial = Array.init n (fun v -> 1 lsl v) in
+  let full = (1 lsl n) - 1 in
+  let accept state = Array.for_all (fun m -> m = full) state in
+  let rounds = Matchings.maximal_rounds g mode in
+  bfs ~initial ~accept ~rounds ~max_states
+
+let broadcast_number ?(max_states = 2_000_000) g mode ~src =
+  check_size g;
+  let n = Digraph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Optimal.broadcast_number: bad src";
+  (* For broadcast only the "knows src's item" bit matters per vertex, so
+     the state collapses to one bitmask, encoded as a 1-element array to
+     share the BFS. *)
+  let initial = [| 1 lsl src |] in
+  let full = (1 lsl n) - 1 in
+  let accept state = state.(0) = full in
+  let rounds = Matchings.maximal_rounds g mode in
+  let lift round =
+    (* transition on the collapsed state: y learns if x knew *)
+    round
+  in
+  let apply state round =
+    let mask = state.(0) in
+    let next = ref mask in
+    List.iter
+      (fun (x, y) -> if mask land (1 lsl x) <> 0 then next := !next lor (1 lsl y))
+      round;
+    [| !next |]
+  in
+  (* specialised BFS with the collapsed transition *)
+  let seen = Hashtbl.create 4096 in
+  Hashtbl.replace seen initial ();
+  let frontier = ref [ initial ] in
+  let depth = ref 0 in
+  let explored = ref 1 in
+  let result = ref None in
+  if accept initial then result := Some { rounds = 0; states_explored = 1 };
+  while !result = None && !frontier <> [] && !explored <= max_states do
+    incr depth;
+    let next_frontier = ref [] in
+    List.iter
+      (fun state ->
+        if !result = None then
+          List.iter
+            (fun round ->
+              if !result = None then begin
+                let next = apply state (lift round) in
+                if not (Hashtbl.mem seen next) then begin
+                  Hashtbl.replace seen next ();
+                  incr explored;
+                  if accept next then
+                    result := Some { rounds = !depth; states_explored = !explored }
+                  else next_frontier := next :: !next_frontier
+                end
+              end)
+            rounds)
+      !frontier;
+    frontier := !next_frontier
+  done;
+  !result

@@ -1,0 +1,37 @@
+(** Exact optimal gossip and broadcast times by state-space search.
+
+    The gossip number [g(G)] (minimum length of any gossip protocol) is
+    computed by breadth-first search over knowledge states: a state
+    assigns each processor the set of items it knows, a transition
+    applies one maximal round.  Exponential, but exact — exactly what is
+    needed to (a) validate the lower-bound machinery against ground
+    truth on small networks, and (b) measure the {e price of
+    systolization} the paper discusses: [8] proved that on paths
+    half-duplex systolic gossip is strictly slower than unrestricted
+    gossip, and {!Systolic_optimal} exhibits the gap. *)
+
+(** Search outcome. *)
+type result = {
+  rounds : int;  (** minimum number of rounds *)
+  states_explored : int;
+}
+
+(** [gossip_number ?max_states g mode] is the exact minimum gossip time,
+    or [None] if the search exceeds [max_states] (default [2_000_000])
+    before completing.
+    @raise Invalid_argument if [g] has more than 24 vertices (states are
+    packed into integers). *)
+val gossip_number :
+  ?max_states:int ->
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  result option
+
+(** [broadcast_number ?max_states g mode ~src] — minimum rounds to spread
+    item [src] to everyone. *)
+val broadcast_number :
+  ?max_states:int ->
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  src:int ->
+  result option

@@ -1,0 +1,171 @@
+module Digraph = Gossip_topology.Digraph
+module Protocol = Gossip_protocol.Protocol
+module Systolic = Gossip_protocol.Systolic
+module Prng = Gossip_util.Prng
+
+type options = { iterations : int; restarts : int; seed : int; cap : int }
+
+let default_options = { iterations = 400; restarts = 3; seed = 1; cap = 0 }
+
+let check_size g =
+  if Digraph.n_vertices g > 62 then
+    invalid_arg "Optimizer: networks over 62 vertices are not supported"
+
+(* Objective: (completion time, or cap + unknown-pairs) — lower better.
+   Mask-based simulation, no allocation beyond two arrays. *)
+let evaluate g period ~cap =
+  let n = Digraph.n_vertices g in
+  let state = Array.init n (fun v -> 1 lsl v) in
+  let snapshot = Array.make n 0 in
+  let full = (1 lsl n) - 1 in
+  let s = Array.length period in
+  let result = ref None in
+  let t = ref 0 in
+  while !result = None && !t < cap do
+    let round = period.(!t mod s) in
+    List.iter (fun (x, _) -> snapshot.(x) <- state.(x)) round;
+    List.iter (fun (x, y) -> state.(y) <- state.(y) lor snapshot.(x)) round;
+    incr t;
+    if Array.for_all (fun m -> m = full) state then result := Some !t
+  done;
+  match !result with
+  | Some time -> (time, Some time)
+  | None ->
+      let known =
+        Array.fold_left
+          (fun acc m ->
+            let rec pop acc m = if m = 0 then acc else pop (acc + 1) (m land (m - 1)) in
+            pop acc m)
+          0 state
+      in
+      (cap + ((n * n) - known), None)
+
+(* One random mutation of the period (fresh arrays; never mutates the
+   input). *)
+let mutate rng g mode period =
+  let s = Array.length period in
+  let copy = Array.map (fun r -> r) period in
+  let fresh_round () =
+    match
+      Gossip_protocol.Builders.random_systolic g mode ~period:1
+        ~seed:(Prng.int rng 1_000_000) ~density:1.0
+    with
+    | sys -> Systolic.period_round sys 0
+  in
+  match Prng.int rng 3 with
+  | 0 ->
+      (* replace a round *)
+      copy.(Prng.int rng s) <- fresh_round ();
+      copy
+  | 1 ->
+      (* swap two rounds *)
+      let i = Prng.int rng s and j = Prng.int rng s in
+      let t = copy.(i) in
+      copy.(i) <- copy.(j);
+      copy.(j) <- t;
+      copy
+  | _ ->
+      (* drop one arc from a round, or try to add one *)
+      let i = Prng.int rng s in
+      let round = copy.(i) in
+      if round <> [] && Prng.bool rng then begin
+        let k = Prng.int rng (List.length round) in
+        copy.(i) <- List.filteri (fun j _ -> j <> k) round;
+        copy
+      end
+      else begin
+        (* add a random valid arc if one fits *)
+        let busy = Hashtbl.create 16 in
+        List.iter
+          (fun (u, v) ->
+            Hashtbl.replace busy u ();
+            Hashtbl.replace busy v ())
+          round;
+        let arcs = Array.of_list (Digraph.arcs g) in
+        Prng.shuffle rng arcs;
+        let added = ref false in
+        Array.iter
+          (fun (u, v) ->
+            if
+              (not !added)
+              && (not (Hashtbl.mem busy u))
+              && not (Hashtbl.mem busy v)
+            then begin
+              (match mode with
+              | Protocol.Full_duplex ->
+                  copy.(i) <- (u, v) :: (v, u) :: round
+              | Protocol.Directed | Protocol.Half_duplex ->
+                  copy.(i) <- (u, v) :: round);
+              added := true
+            end)
+          arcs;
+        copy
+      end
+
+let effective_cap options g s =
+  if options.cap > 0 then options.cap
+  else (8 * s * Digraph.n_vertices g) + 64
+
+let climb rng g mode ~cap ~iterations start =
+  let best = ref start in
+  let best_score = ref (fst (evaluate g start ~cap)) in
+  for _ = 1 to iterations do
+    let candidate = mutate rng g mode !best in
+    let score, _ = evaluate g candidate ~cap in
+    if score <= !best_score then begin
+      best := candidate;
+      best_score := score
+    end
+  done;
+  (!best, !best_score)
+
+let finish g mode ~cap period =
+  let sys = Systolic.make g mode (Array.to_list period) in
+  (* full-duplex rounds get reversal-closed by [Systolic.make]; measure
+     the protocol as it will actually run *)
+  let closed = Array.of_list (Systolic.period_rounds sys) in
+  let _, time = evaluate g closed ~cap in
+  (sys, time)
+
+let improve ?(options = default_options) sys =
+  let g = Systolic.graph sys in
+  check_size g;
+  let mode = Systolic.mode sys in
+  let s = Systolic.period sys in
+  let cap = effective_cap options g s in
+  let rng = Prng.create options.seed in
+  let start = Array.of_list (Systolic.period_rounds sys) in
+  let best = ref start in
+  let best_score = ref (fst (evaluate g start ~cap)) in
+  for _ = 1 to max 1 options.restarts do
+    let p, score = climb rng g mode ~cap ~iterations:options.iterations !best in
+    if score <= !best_score then begin
+      best := p;
+      best_score := score
+    end
+  done;
+  finish g mode ~cap !best
+
+let search ?(options = default_options) g mode ~s =
+  check_size g;
+  if s < 1 then invalid_arg "Optimizer.search: s must be >= 1";
+  let cap = effective_cap options g s in
+  let rng = Prng.create options.seed in
+  let random_start () =
+    Array.init s (fun _ ->
+        Systolic.period_round
+          (Gossip_protocol.Builders.random_systolic g mode ~period:1
+             ~seed:(Prng.int rng 1_000_000) ~density:1.0)
+          0)
+  in
+  let best = ref (random_start ()) in
+  let best_score = ref (fst (evaluate g !best ~cap)) in
+  for _ = 1 to max 1 options.restarts do
+    let start = random_start () in
+    let p, score = climb rng g mode ~cap ~iterations:options.iterations start in
+    if score <= !best_score then begin
+      best := p;
+      best_score := score
+    end
+  done;
+  finish g mode ~cap !best

@@ -1,0 +1,42 @@
+(** Local-search optimization of systolic periods.
+
+    Exhaustive search ({!Systolic_optimal}) stops being affordable around
+    a dozen vertices; this hill climber scales to medium networks and
+    produces much better upper bounds than random sampling — the
+    experiment side of the paper's story needs decent protocols to
+    sandwich the bounds.
+
+    State: a period (array of rounds).  Moves: replace a round by a fresh
+    random matching, swap two rounds, or toggle one arc of a round
+    (keeping it a matching).  Objective: completion time if gossip
+    completes within the cap, else [cap + (pairs still unknown)] so that
+    non-completing periods still expose a gradient.  Deterministic given
+    the seed. *)
+
+type options = {
+  iterations : int;  (** local moves per restart *)
+  restarts : int;
+  seed : int;
+  cap : int;  (** simulation horizon per evaluation *)
+}
+
+(** [default_options] — 400 iterations, 3 restarts, seed 1,
+    cap [8·s·n]-ish chosen per call. *)
+val default_options : options
+
+(** [improve ?options sys] — hill-climb starting from [sys]; returns the
+    best protocol found and its measured gossip time ([None] if even the
+    best found does not complete within the cap). *)
+val improve : ?options:options -> Gossip_protocol.Systolic.t ->
+  Gossip_protocol.Systolic.t * int option
+
+(** [search ?options g mode ~s] — hill-climb from random initial periods
+    of length [s].
+    @raise Invalid_argument if the network has more than 62 vertices (the
+    evaluator packs knowledge sets into int masks). *)
+val search :
+  ?options:options ->
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  s:int ->
+  Gossip_protocol.Systolic.t * int option

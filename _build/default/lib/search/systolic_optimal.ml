@@ -1,0 +1,84 @@
+module Digraph = Gossip_topology.Digraph
+module Protocol = Gossip_protocol.Protocol
+
+type result = {
+  rounds : int;
+  period : Protocol.round list;
+  candidates_tried : int;
+}
+
+type outcome = Found of result | Infeasible | Too_large
+
+(* Simulate a period directly on knowledge masks; returns completion
+   round or None within the cap. *)
+let simulate_period g period ~cap =
+  let n = Digraph.n_vertices g in
+  let state = Array.init n (fun v -> 1 lsl v) in
+  let full = (1 lsl n) - 1 in
+  let period = Array.of_list period in
+  let s = Array.length period in
+  let result = ref None in
+  let t = ref 0 in
+  while !result = None && !t < cap do
+    let round = period.(!t mod s) in
+    let snapshot = Array.copy state in
+    List.iter (fun (x, y) -> state.(y) <- state.(y) lor snapshot.(x)) round;
+    incr t;
+    if Array.for_all (fun m -> m = full) state then result := Some !t
+  done;
+  !result
+
+let int_pow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let systolic_gossip_number ?(max_candidates = 2_000_000) ?cap g mode ~s =
+  if s < 1 then invalid_arg "Systolic_optimal: s must be >= 1";
+  let n = Digraph.n_vertices g in
+  let cap = match cap with Some c -> c | None -> 4 * s * n in
+  let rounds = Array.of_list ([] :: Matchings.maximal_rounds g mode) in
+  let base = Array.length rounds in
+  let total = int_pow base s in
+  if total > max_candidates then Too_large
+  else begin
+    let best = ref None in
+    let tried = ref 0 in
+    (* enumerate periods as base-[base] counters *)
+    let digits = Array.make s 0 in
+    let continue = ref true in
+    while !continue do
+      incr tried;
+      let period = Array.to_list (Array.map (fun d -> rounds.(d)) digits) in
+      (match simulate_period g period ~cap with
+      | Some t -> (
+          match !best with
+          | Some (bt, _) when bt <= t -> ()
+          | _ -> best := Some (t, period))
+      | None -> ());
+      (* increment the counter *)
+      let rec bump i =
+        if i < 0 then continue := false
+        else if digits.(i) + 1 < base then digits.(i) <- digits.(i) + 1
+        else begin
+          digits.(i) <- 0;
+          bump (i - 1)
+        end
+      in
+      bump (s - 1)
+    done;
+    match !best with
+    | Some (t, period) -> Found { rounds = t; period; candidates_tried = !tried }
+    | None -> Infeasible
+  end
+
+let price_of_systolization ?(s_max = 6) g mode =
+  let systolic =
+    List.map
+      (fun s -> (s, systolic_gossip_number g mode ~s))
+      (List.init (max 0 (s_max - 1)) (fun i -> i + 2))
+  in
+  let unrestricted =
+    Option.map (fun (r : Optimal.result) -> r.Optimal.rounds)
+      (Optimal.gossip_number g mode)
+  in
+  (systolic, unrestricted)

@@ -1,0 +1,45 @@
+(** Exact optimal s-systolic gossip by exhaustive period enumeration.
+
+    An s-systolic protocol is determined by its period — a sequence of
+    [s] rounds — so on tiny networks the space of periods can be swept
+    exhaustively and each candidate simulated.  This makes the paper's
+    central question ("how much must be paid for the systolization of
+    gossiping?", [8]) directly measurable: compare
+    {!Optimal.gossip_number} with {!systolic_gossip_number} for small
+    [s].  On paths the gap is strict, as [8] proved. *)
+
+(** Search outcome: the best completion time, a period achieving it, and
+    how many candidate periods were simulated. *)
+type result = {
+  rounds : int;
+  period : Gossip_protocol.Protocol.round list;
+  candidates_tried : int;
+}
+
+(** Sweep outcome: [Found] with the best protocol, [Infeasible] when the
+    whole space was swept and no candidate completes gossip, or
+    [Too_large] when the sweep would exceed the candidate budget. *)
+type outcome = Found of result | Infeasible | Too_large
+
+(** [systolic_gossip_number ?max_candidates ?cap g mode ~s] sweeps
+    periods made of maximal rounds (plus the empty round, which can help
+    phase alignment), simulating each for at most [cap] rounds (default
+    [4·s·n]).  [max_candidates] (default [2_000_000]) bounds the sweep.
+    @raise Invalid_argument if [s < 1]. *)
+val systolic_gossip_number :
+  ?max_candidates:int ->
+  ?cap:int ->
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  s:int ->
+  outcome
+
+(** [price_of_systolization ?s_max g mode] tabulates
+    [(s, outcome)] for [s = 2 .. s_max] (default 6) next to the
+    unrestricted optimum — the experiment behind the path/cycle
+    discussion of [8]. *)
+val price_of_systolization :
+  ?s_max:int ->
+  Gossip_topology.Digraph.t ->
+  Gossip_protocol.Protocol.mode ->
+  (int * outcome) list * int option

@@ -1,0 +1,1 @@
+lib/simulate/engine.ml: Array Gossip_protocol Gossip_topology Gossip_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/simulate/engine.mli: Gossip_protocol Gossip_util

@@ -1,0 +1,1 @@
+lib/simulate/faults.ml: Engine Gossip_protocol Gossip_topology Gossip_util List

@@ -1,0 +1,1 @@
+lib/simulate/faults.mli: Gossip_protocol

@@ -1,0 +1,1 @@
+lib/simulate/stats.ml: Array Engine Gossip_protocol Gossip_topology Gossip_util List

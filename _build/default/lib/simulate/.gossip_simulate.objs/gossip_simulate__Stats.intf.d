@@ -1,0 +1,1 @@
+lib/simulate/stats.mli: Gossip_protocol

@@ -1,0 +1,93 @@
+module Bitset = Gossip_util.Bitset
+module Protocol = Gossip_protocol.Protocol
+module Systolic = Gossip_protocol.Systolic
+
+type state = { n : int; know : Bitset.t array }
+
+let initial_state n =
+  { n; know = Array.init n (fun v -> Bitset.singleton n v) }
+
+let knowledge st v = st.know.(v)
+
+let items_known st =
+  Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 st.know
+
+let all_complete st = Array.for_all Bitset.is_full st.know
+
+let apply_round st round =
+  (* A round is a matching, so a vertex receives from at most one sender;
+     the only same-round feedback is a full-duplex exchange (both opposite
+     arcs active), which needs start-of-round snapshots of both sides.  We
+     snapshot a sender only when it also appears as a receiver. *)
+  let receivers = Hashtbl.create 16 in
+  List.iter (fun (_, y) -> Hashtbl.replace receivers y ()) round;
+  let snapshots = Hashtbl.create 4 in
+  List.iter
+    (fun (x, _) ->
+      if Hashtbl.mem receivers x && not (Hashtbl.mem snapshots x) then
+        Hashtbl.replace snapshots x (Bitset.copy st.know.(x)))
+    round;
+  List.iter
+    (fun (x, y) ->
+      let src =
+        match Hashtbl.find_opt snapshots x with
+        | Some s -> s
+        | None -> st.know.(x)
+      in
+      Bitset.union_into ~src ~dst:st.know.(y))
+    round
+
+type outcome = {
+  completed_at : int option;
+  rounds_run : int;
+  coverage : float;
+}
+
+let run_protocol p =
+  let n = Gossip_topology.Digraph.n_vertices (Protocol.graph p) in
+  let st = initial_state n in
+  let completed = ref None in
+  let i = ref 0 in
+  let total = Protocol.length p in
+  while !completed = None && !i < total do
+    apply_round st (Protocol.round p !i);
+    incr i;
+    if all_complete st then completed := Some !i
+  done;
+  let coverage =
+    float_of_int (items_known st) /. float_of_int (max 1 (n * n))
+  in
+  { completed_at = !completed; rounds_run = !i; coverage }
+
+let default_cap p =
+  let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
+  (8 * Systolic.period p * n) + 64
+
+let run_until ~cap ~done_ p =
+  let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
+  let st = initial_state n in
+  let result = ref None in
+  let i = ref 0 in
+  while !result = None && !i < cap do
+    apply_round st (Systolic.period_round p !i);
+    incr i;
+    if done_ st then result := Some !i
+  done;
+  !result
+
+let gossip_time ?cap p =
+  let cap = match cap with Some c -> c | None -> default_cap p in
+  run_until ~cap ~done_:all_complete p
+
+let broadcast_time ?cap p ~src =
+  let cap = match cap with Some c -> c | None -> default_cap p in
+  run_until ~cap
+    ~done_:(fun st -> Array.for_all (fun s -> Bitset.mem s src) st.know)
+    p
+
+let per_round_coverage p ~rounds =
+  let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
+  let st = initial_state n in
+  Array.init rounds (fun i ->
+      apply_round st (Systolic.period_round p i);
+      float_of_int (items_known st) /. float_of_int (n * n))

@@ -1,0 +1,59 @@
+(** Synchronous gossip simulation.
+
+    The engine executes a protocol on the whispering-model semantics of
+    Section 3: at the start every processor knows exactly its own item;
+    when arc [(x, y)] is active at round [i], at the beginning of round
+    [i+1] processor [y] additionally knows everything [x] knew at the
+    beginning of round [i].  Because every round is a matching, a sender
+    is never simultaneously a receiver except through the opposite arc in
+    full-duplex mode, which exchanges start-of-round knowledge.
+
+    Gossip completes at the first round after which every processor knows
+    every item; broadcast from [src] completes when every processor knows
+    [src]'s item. *)
+
+type state
+(** Mutable knowledge state: one {!Gossip_util.Bitset} per processor. *)
+
+(** [initial_state n] — processor [v] knows exactly item [v]. *)
+val initial_state : int -> state
+
+(** [knowledge st v] is the (live, do not mutate) item set of [v]. *)
+val knowledge : state -> int -> Gossip_util.Bitset.t
+
+(** [items_known st] is the total count of (processor, item) pairs. *)
+val items_known : state -> int
+
+(** [all_complete st] — every processor knows every item. *)
+val all_complete : state -> bool
+
+(** [apply_round st round] executes one matching synchronously, mutating
+    [st].  The round must be a valid matching (sender sets are snapshotted
+    only where an exchange demands it). *)
+val apply_round : state -> Gossip_protocol.Protocol.round -> unit
+
+(** Result of running a protocol to completion or exhaustion. *)
+type outcome = {
+  completed_at : int option;
+      (** number of rounds after which gossip was complete, if it was *)
+  rounds_run : int;
+  coverage : float;  (** fraction of (processor, item) pairs known at end *)
+}
+
+(** [run_protocol p] executes all rounds of the finite protocol and
+    reports the earliest completion round. *)
+val run_protocol : Gossip_protocol.Protocol.t -> outcome
+
+(** [gossip_time ?cap p] expands the systolic protocol [p] until gossip
+    completes and returns the number of rounds, or [None] if still
+    incomplete after [cap] rounds (default [8·s·n + 64]). *)
+val gossip_time : ?cap:int -> Gossip_protocol.Systolic.t -> int option
+
+(** [broadcast_time ?cap p ~src] — rounds until everyone knows [src]'s
+    item under systolic protocol [p]. *)
+val broadcast_time : ?cap:int -> Gossip_protocol.Systolic.t -> src:int -> int option
+
+(** [per_round_coverage p ~rounds] runs [rounds] rounds of the systolic
+    protocol and returns the coverage fraction after each round — the
+    dissemination curve used by the examples. *)
+val per_round_coverage : Gossip_protocol.Systolic.t -> rounds:int -> float array

@@ -1,0 +1,65 @@
+module Systolic = Gossip_protocol.Systolic
+module Prng = Gossip_util.Prng
+
+type outcome = {
+  completed_at : int option;
+  drops : int;
+  activations : int;
+}
+
+let gossip_time_with_faults ?cap p ~drop_probability ~seed =
+  if drop_probability < 0.0 || drop_probability > 1.0 then
+    invalid_arg "Faults: drop_probability must be in [0, 1]";
+  let g = Systolic.graph p in
+  let n = Gossip_topology.Digraph.n_vertices g in
+  let cap =
+    match cap with Some c -> c | None -> (16 * Systolic.period p * n) + 64
+  in
+  let rng = Prng.create seed in
+  let st = Engine.initial_state n in
+  let drops = ref 0 and activations = ref 0 in
+  let completed = ref None in
+  let i = ref 0 in
+  while !completed = None && !i < cap do
+    let round = Systolic.period_round p !i in
+    let surviving =
+      List.filter
+        (fun _ ->
+          incr activations;
+          if Prng.float rng 1.0 < drop_probability then begin
+            incr drops;
+            false
+          end
+          else true)
+        round
+    in
+    (* dropping arcs from a matching keeps it a matching, so the
+       synchronous engine applies unchanged *)
+    Engine.apply_round st surviving;
+    incr i;
+    if Engine.all_complete st then completed := Some !i
+  done;
+  { completed_at = !completed; drops = !drops; activations = !activations }
+
+let slowdown_curve ?cap ?(trials = 5) p ~probabilities ~seed =
+  List.map
+    (fun prob ->
+      let times = ref [] in
+      for t = 1 to trials do
+        match
+          gossip_time_with_faults ?cap p ~drop_probability:prob
+            ~seed:(seed + (t * 7919))
+        with
+        | { completed_at = Some time; _ } -> times := time :: !times
+        | { completed_at = None; _ } -> ()
+      done;
+      let mean =
+        match !times with
+        | [] -> None
+        | ts ->
+            Some
+              (float_of_int (List.fold_left ( + ) 0 ts)
+              /. float_of_int (List.length ts))
+      in
+      (prob, mean))
+    probabilities

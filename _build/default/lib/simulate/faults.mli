@@ -1,0 +1,40 @@
+(** Fault injection for gossip protocols.
+
+    A systolic protocol is attractive precisely because it is oblivious —
+    the same period repeats regardless of what has been delivered — which
+    also makes it naturally tolerant to transient link failures: a lost
+    transmission is retried [s] rounds later by the very same arc.  This
+    module drops each arc activation independently with probability [p]
+    and measures the slowdown, giving the examples and benches a
+    robustness axis the paper's model treats implicitly (its bounds hold
+    a fortiori under failures, since failures only remove transmissions).
+
+    Faults are deterministic given the seed. *)
+
+type outcome = {
+  completed_at : int option;  (** completion round under faults *)
+  drops : int;  (** arc activations suppressed *)
+  activations : int;  (** arc activations attempted *)
+}
+
+(** [gossip_time_with_faults ?cap p ~drop_probability ~seed] runs the
+    systolic protocol with i.i.d. arc drops.
+    @raise Invalid_argument unless [0 ≤ drop_probability ≤ 1]. *)
+val gossip_time_with_faults :
+  ?cap:int ->
+  Gossip_protocol.Systolic.t ->
+  drop_probability:float ->
+  seed:int ->
+  outcome
+
+(** [slowdown_curve ?cap ?trials p ~probabilities ~seed] — mean completion
+    time (over [trials], default 5, counting only completing runs) for
+    each drop probability; [None] when no trial completed within the
+    cap. *)
+val slowdown_curve :
+  ?cap:int ->
+  ?trials:int ->
+  Gossip_protocol.Systolic.t ->
+  probabilities:float list ->
+  seed:int ->
+  (float * float option) list

@@ -1,0 +1,1 @@
+lib/topology/coloring.ml: Array Digraph Hashtbl List

@@ -1,0 +1,1 @@
+lib/topology/coloring.mli: Digraph

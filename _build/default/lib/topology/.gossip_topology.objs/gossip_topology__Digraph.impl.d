@@ -1,0 +1,1 @@
+lib/topology/digraph.ml: Array Format List Printf Queue

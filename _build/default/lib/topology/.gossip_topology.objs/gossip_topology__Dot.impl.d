@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Buffer Digraph List Printf String

@@ -1,0 +1,1 @@
+lib/topology/extra_families.mli: Digraph

@@ -1,0 +1,1 @@
+lib/topology/families.ml: Array Digraph List Printf String

@@ -1,0 +1,1 @@
+lib/topology/families.mli: Digraph

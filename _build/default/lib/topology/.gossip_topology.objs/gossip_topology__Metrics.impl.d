@@ -1,0 +1,1 @@
+lib/topology/metrics.ml: Array Digraph Gossip_util List Queue

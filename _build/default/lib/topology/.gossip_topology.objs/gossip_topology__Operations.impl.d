@@ -1,0 +1,1 @@
+lib/topology/operations.ml: Array Digraph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/topology/operations.mli: Digraph

@@ -1,0 +1,1 @@
+lib/topology/random_graphs.ml: Array Digraph Gossip_util Hashtbl List Printf

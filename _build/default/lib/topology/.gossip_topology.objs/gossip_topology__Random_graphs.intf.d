@@ -1,0 +1,1 @@
+lib/topology/random_graphs.mli: Digraph

@@ -1,0 +1,1 @@
+lib/topology/separator.ml: Array Digraph Families Gossip_util List Metrics

@@ -1,0 +1,1 @@
+lib/topology/separator.mli: Digraph

@@ -1,0 +1,202 @@
+let edge_coloring g =
+  if not (Digraph.is_symmetric g) then
+    invalid_arg "Coloring.edge_coloring: digraph not symmetric";
+  let edges = Digraph.undirected_edges g in
+  (* Greedy: give each edge the smallest color free at both endpoints.
+     Sorting edges by decreasing endpoint degree keeps the color count
+     close to Δ in practice. *)
+  let deg v = Digraph.out_degree g v in
+  let edges =
+    List.sort
+      (fun (a, b) (c, d) -> compare (-(deg c + deg d), (c, d)) (-(deg a + deg b), (a, b)))
+      edges
+  in
+  let n = Digraph.n_vertices g in
+  let used : (int, unit) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+  let classes : (int * int) list array ref = ref (Array.make 0 []) in
+  let ensure_color c =
+    if c >= Array.length !classes then begin
+      let bigger = Array.make (c + 1) [] in
+      Array.blit !classes 0 bigger 0 (Array.length !classes);
+      classes := bigger
+    end
+  in
+  List.iter
+    (fun (u, v) ->
+      let c = ref 0 in
+      while Hashtbl.mem used.(u) !c || Hashtbl.mem used.(v) !c do
+        incr c
+      done;
+      Hashtbl.replace used.(u) !c ();
+      Hashtbl.replace used.(v) !c ();
+      ensure_color !c;
+      !classes.(!c) <- (u, v) :: !classes.(!c))
+    edges;
+  Array.to_list (Array.map List.rev !classes)
+
+let is_proper g classes =
+  let edges = Digraph.undirected_edges g in
+  let all = List.concat classes in
+  let sorted = List.sort compare all in
+  let matching_ok =
+    List.for_all
+      (fun cls ->
+        let seen = Hashtbl.create 16 in
+        List.for_all
+          (fun (u, v) ->
+            if Hashtbl.mem seen u || Hashtbl.mem seen v then false
+            else begin
+              Hashtbl.replace seen u ();
+              Hashtbl.replace seen v ();
+              true
+            end)
+          cls)
+      classes
+  in
+  matching_ok && sorted = List.sort compare edges
+
+(* Misra-Gries edge coloring: fans, cd-path inversion, fan rotation.
+   Colors are ints in [0, Δ]; state is the partial coloring
+   [at.(v) : color -> neighbour] plus [edge_color : (u,v) -> color].
+   All multi-edge recolorings are two-phase (clear every affected edge,
+   then set the new colors): interleaving reads and writes on the shared
+   [at] tables corrupts them. *)
+let misra_gries g =
+  if not (Digraph.is_symmetric g) then
+    invalid_arg "Coloring.misra_gries: digraph not symmetric";
+  let n = Digraph.n_vertices g in
+  let delta = Digraph.max_out_degree g in
+  let ncolors = delta + 1 in
+  let at = Array.init n (fun _ -> Hashtbl.create 8) in
+  let edge_color : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let key u v = (min u v, max u v) in
+  let color_of u v = Hashtbl.find_opt edge_color (key u v) in
+  let clear_edge u v =
+    match color_of u v with
+    | Some old ->
+        Hashtbl.remove at.(u) old;
+        Hashtbl.remove at.(v) old;
+        Hashtbl.remove edge_color (key u v)
+    | None -> ()
+  in
+  let set_color u v c =
+    clear_edge u v;
+    Hashtbl.replace edge_color (key u v) c;
+    Hashtbl.replace at.(u) c v;
+    Hashtbl.replace at.(v) c u
+  in
+  let recolor_edges assignments =
+    List.iter (fun (u, v, _) -> clear_edge u v) assignments;
+    List.iter (fun (u, v, c) -> set_color u v c) assignments
+  in
+  let free_color v =
+    let c = ref 0 in
+    while Hashtbl.mem at.(v) !c do
+      incr c
+    done;
+    !c
+  in
+  let is_free v c = not (Hashtbl.mem at.(v) c) in
+  (* Maximal fan of u starting at neighbour y: F[i+1] is a neighbour of u
+     whose (coloured) edge colour is free at F[i]. *)
+  let build_fan u y =
+    let fan = ref [ y ] in
+    let used = Hashtbl.create 8 in
+    Hashtbl.replace used y ();
+    let rec extend last =
+      let next =
+        Array.fold_left
+          (fun acc w ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                if Hashtbl.mem used w then None
+                else
+                  match color_of u w with
+                  | Some c when is_free last c -> Some w
+                  | _ -> None))
+          None (Digraph.out_neighbors g u)
+      in
+      match next with
+      | Some w ->
+          Hashtbl.replace used w ();
+          fan := w :: !fan;
+          extend w
+      | None -> ()
+    in
+    extend y;
+    List.rev !fan
+  in
+  (* Invert the maximal path of edges alternately coloured d, c starting
+     at u (u misses c by construction). *)
+  let invert_cd_path u c d =
+    let rec collect v want prev acc steps =
+      if steps > 2 * n then
+        invalid_arg "Coloring.misra_gries: cd-path invariant violated"
+      else
+        match Hashtbl.find_opt at.(v) want with
+        | Some w when prev <> Some w ->
+            collect w (if want = d then c else d) (Some v)
+              ((v, w, if want = d then c else d) :: acc)
+              (steps + 1)
+        | _ -> List.rev acc
+    in
+    recolor_edges (collect u d None [] 0)
+  in
+  (* Find the fan prefix to rotate: walk the fan while the fan property
+     holds under the CURRENT colours, stop at the first vertex missing
+     d.  Vizing's argument guarantees it is found. *)
+  let find_rotation_prefix u fan d =
+    let rec go acc = function
+      | [] -> invalid_arg "Coloring.misra_gries: fan invariant violated"
+      | w :: rest ->
+          if is_free w d then List.rev (w :: acc)
+          else (
+            match rest with
+            | next :: _ -> (
+                match color_of u next with
+                | Some cn when is_free w cn -> go (w :: acc) rest
+                | _ ->
+                    invalid_arg "Coloring.misra_gries: fan invariant violated")
+            | [] -> invalid_arg "Coloring.misra_gries: fan invariant violated")
+    in
+    go [] fan
+  in
+  (* Rotate: edge (u, F[i]) takes the colour of (u, F[i+1]); (u, w) gets
+     d.  Colours are planned from the pre-rotation state. *)
+  let rotate u fan_prefix d =
+    let rec plan = function
+      | a :: (b :: _ as rest) -> (
+          match color_of u b with
+          | Some cb -> (u, a, cb) :: plan rest
+          | None -> invalid_arg "Coloring.misra_gries: fan edge uncoloured")
+      | [ w ] -> [ (u, w, d) ]
+      | [] -> []
+    in
+    recolor_edges (plan fan_prefix)
+  in
+  let edges = Digraph.undirected_edges g in
+  List.iter
+    (fun (u, v) ->
+      let fan = build_fan u v in
+      let c = free_color u in
+      let last = List.nth fan (List.length fan - 1) in
+      let d = free_color last in
+      if not (is_free u d) then invert_cd_path u c d;
+      (* the inversion may have changed fan-relevant colours; the prefix
+         walk below revalidates the fan property as it goes *)
+      rotate u (find_rotation_prefix u fan d) d)
+    edges;
+  (* collect classes *)
+  let classes = Array.make ncolors [] in
+  Hashtbl.iter
+    (fun (u, v) c ->
+      if c < ncolors then classes.(c) <- (u, v) :: classes.(c)
+      else classes.(ncolors - 1) <- (u, v) :: classes.(ncolors - 1))
+    edge_color;
+  List.filter (fun cls -> cls <> []) (Array.to_list (Array.map List.rev classes))
+
+let best g =
+  let greedy = edge_coloring g in
+  let mg = misra_gries g in
+  if List.length mg < List.length greedy then mg else greedy

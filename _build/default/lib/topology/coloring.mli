@@ -1,0 +1,33 @@
+(** Greedy proper edge coloring.
+
+    Liestman and Richards' periodic gossiping — the origin of the systolic
+    protocols studied by the paper — colors the edges of the network and
+    cycles through the color classes, one matching per round.  A greedy
+    coloring uses at most [2Δ - 1] colors, which yields a valid
+    [s]-systolic protocol with [s ≤ 2Δ - 1] on any undirected network (and
+    Vizing guarantees [Δ + 1] exists; greedy is close enough for our
+    upper-bound protocols). *)
+
+(** [edge_coloring g] colors the undirected edges of the symmetric digraph
+    [g].  Returns the color classes: each inner list is a matching of
+    unordered edges [(u, v)] with [u < v], classes ordered by color index.
+    @raise Invalid_argument if [g] is not symmetric. *)
+val edge_coloring : Digraph.t -> (int * int) list list
+
+(** [is_proper g classes] checks that the classes partition the edge set
+    of [g] and that each class is a matching. *)
+val is_proper : Digraph.t -> (int * int) list list -> bool
+
+(** [misra_gries g] colors the edges of the symmetric digraph [g] with at
+    most [Δ + 1] colors (Vizing's bound), using the Misra–Gries fan/
+    cd-path algorithm.  Same return shape as {!edge_coloring}; strictly
+    fewer or equal classes, hence shorter systolic periods for the
+    periodic protocols built on top.
+    @raise Invalid_argument if [g] is not symmetric. *)
+val misra_gries : Digraph.t -> (int * int) list list
+
+(** [best g] runs both {!edge_coloring} and {!misra_gries} and returns
+    whichever uses fewer colors — greedy sometimes finds a Δ-coloring on
+    class-1 graphs where Misra–Gries settles for Δ+1, and vice versa.
+    Guaranteed proper with at most [Δ + 1] classes. *)
+val best : Digraph.t -> (int * int) list list

@@ -1,0 +1,135 @@
+type t = {
+  name : string;
+  n : int;
+  out_adj : int array array;
+  in_adj : int array array;
+  labels : string array option;
+}
+
+let make ?labels ~name n arcs =
+  if n < 0 then invalid_arg "Digraph.make: negative vertex count";
+  (match labels with
+  | Some l when Array.length l <> n ->
+      invalid_arg "Digraph.make: label array length mismatch"
+  | _ -> ());
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Digraph.make: arc (%d,%d) out of range" u v);
+      if u = v then
+        invalid_arg (Printf.sprintf "Digraph.make: self-loop at %d" u))
+    arcs;
+  let arcs = List.sort_uniq compare arcs in
+  let out_count = Array.make n 0 and in_count = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      out_count.(u) <- out_count.(u) + 1;
+      in_count.(v) <- in_count.(v) + 1)
+    arcs;
+  let out_adj = Array.init n (fun v -> Array.make out_count.(v) 0) in
+  let in_adj = Array.init n (fun v -> Array.make in_count.(v) 0) in
+  let out_pos = Array.make n 0 and in_pos = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      out_adj.(u).(out_pos.(u)) <- v;
+      out_pos.(u) <- out_pos.(u) + 1;
+      in_adj.(v).(in_pos.(v)) <- u;
+      in_pos.(v) <- in_pos.(v) + 1)
+    arcs;
+  { name; n; out_adj; in_adj; labels }
+
+let name g = g.name
+let n_vertices g = g.n
+
+let n_arcs g = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.out_adj
+
+let label g v =
+  match g.labels with Some l -> l.(v) | None -> string_of_int v
+
+let out_neighbors g v = g.out_adj.(v)
+let in_neighbors g v = g.in_adj.(v)
+let out_degree g v = Array.length g.out_adj.(v)
+let in_degree g v = Array.length g.in_adj.(v)
+
+let max_out_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.out_adj
+
+let max_in_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.in_adj
+
+let mem_arc g u v =
+  u >= 0 && u < g.n && v >= 0 && v < g.n
+  && Array.exists (fun w -> w = v) g.out_adj.(u)
+
+let arcs g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let nbrs = g.out_adj.(u) in
+    for k = Array.length nbrs - 1 downto 0 do
+      acc := (u, nbrs.(k)) :: !acc
+    done
+  done;
+  !acc
+
+let iter_arcs f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> f u v) g.out_adj.(u)
+  done
+
+let is_symmetric g =
+  let ok = ref true in
+  iter_arcs (fun u v -> if not (mem_arc g v u) then ok := false) g;
+  !ok
+
+let degree_parameter g =
+  if is_symmetric g then max 0 (max_out_degree g - 1) else max_out_degree g
+
+let symmetric_closure g =
+  let extra = ref [] in
+  iter_arcs (fun u v -> if not (mem_arc g v u) then extra := (v, u) :: !extra) g;
+  make ?labels:g.labels ~name:g.name g.n (arcs g @ !extra)
+
+let reverse g =
+  {
+    g with
+    out_adj = g.in_adj;
+    in_adj = g.out_adj;
+    name = g.name ^ " (reversed)";
+  }
+
+let undirected_edges g =
+  let acc = ref [] in
+  iter_arcs
+    (fun u v -> if u < v || not (mem_arc g v u) then
+        acc := ((min u v, max u v)) :: !acc)
+    g;
+  List.sort_uniq compare !acc
+
+let reaches_all adj n =
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(0) <- true;
+    Queue.add 0 queue;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done;
+    !count = n
+  end
+
+let is_strongly_connected g = reaches_all g.out_adj g.n && reaches_all g.in_adj g.n
+
+let rename g name = { g with name }
+
+let pp ppf g =
+  Format.fprintf ppf "%s: %d vertices, %d arcs" g.name g.n (n_arcs g)

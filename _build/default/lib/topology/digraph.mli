@@ -1,0 +1,83 @@
+(** Directed graphs as processor networks.
+
+    Following Section 3 of the paper, a network is a digraph [G = (V, A)]
+    whose vertices are processors and whose arcs are one-way communication
+    links; an undirected network is a symmetric digraph (each edge present
+    as two opposite arcs).  Vertices are integers [0 .. n-1]; a digraph is
+    immutable after construction and stores both out- and in-adjacency for
+    the protocol and delay-digraph machinery. *)
+
+type t
+
+(** [make ?labels ~name n arcs] builds a digraph on [n] vertices from the
+    arc list.  Self-loops are rejected — a processor cannot use a link to
+    itself in the whispering model — and duplicate arcs are merged.
+    [labels], when given, attaches a printable name to each vertex (e.g.
+    ["(212, 3)"] for butterfly vertices) and must have length [n].
+    @raise Invalid_argument on out-of-range endpoints, self-loops or a
+    label array of the wrong length. *)
+val make : ?labels:string array -> name:string -> int -> (int * int) list -> t
+
+(** [name g] is the human-readable family name, e.g. ["DB(2,6)"]. *)
+val name : t -> string
+
+(** [n_vertices g] and [n_arcs g] are the sizes of [V] and [A]. *)
+val n_vertices : t -> int
+
+val n_arcs : t -> int
+
+(** [label g v] is the printable vertex name (defaults to the index). *)
+val label : t -> int -> string
+
+(** [out_neighbors g v] and [in_neighbors g v] are the adjacency arrays
+    (do not mutate). *)
+val out_neighbors : t -> int -> int array
+
+val in_neighbors : t -> int -> int array
+
+(** [out_degree g v], [in_degree g v], [max_out_degree g],
+    [max_in_degree g] are degree statistics. *)
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+val max_out_degree : t -> int
+val max_in_degree : t -> int
+
+(** [degree_parameter g] is the paper's parameter [d]: maximum out-degree
+    for a general digraph; for a symmetric digraph it is the maximum
+    (undirected) degree minus one. *)
+val degree_parameter : t -> int
+
+(** [mem_arc g u v] tests whether [(u, v) ∈ A]. *)
+val mem_arc : t -> int -> int -> bool
+
+(** [arcs g] lists all arcs in lexicographic order. *)
+val arcs : t -> (int * int) list
+
+(** [iter_arcs f g] applies [f u v] to every arc. *)
+val iter_arcs : (int -> int -> unit) -> t -> unit
+
+(** [is_symmetric g] is [true] iff every arc has its opposite — i.e. [g]
+    models an undirected network. *)
+val is_symmetric : t -> bool
+
+(** [symmetric_closure g] adds the opposite of every arc. *)
+val symmetric_closure : t -> t
+
+(** [reverse g] reverses every arc. *)
+val reverse : t -> t
+
+(** [undirected_edges g] lists each unordered pair [{u, v}] (with [u < v])
+    such that at least one of the two arcs is present. *)
+val undirected_edges : t -> (int * int) list
+
+(** [is_strongly_connected g] — gossiping is only feasible on strongly
+    connected digraphs (condition 2 of Definition 3.1 requires a dipath
+    between every ordered pair). *)
+val is_strongly_connected : t -> bool
+
+(** [rename g name] returns [g] with a different display name. *)
+val rename : t -> string -> t
+
+(** [pp] prints a one-line summary [name: n vertices, m arcs]. *)
+val pp : Format.formatter -> t -> unit

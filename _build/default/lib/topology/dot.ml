@@ -1,0 +1,43 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_arcs ~name ~directed ~vertex_label ~n arcs =
+  let buf = Buffer.create 1024 in
+  let kind = if directed then "digraph" else "graph" in
+  let arrow = if directed then " -> " else " -- " in
+  Buffer.add_string buf (Printf.sprintf "%s \"%s\" {\n" kind (escape name));
+  for v = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [label=\"%s\"];\n" v (escape (vertex_label v)))
+  done;
+  List.iter
+    (fun (u, v, attr) ->
+      let attr = if attr = "" then "" else Printf.sprintf " [%s]" attr in
+      Buffer.add_string buf (Printf.sprintf "  %d%s%d%s;\n" u arrow v attr))
+    arcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_digraph ?(highlight = []) g =
+  let directed = not (Digraph.is_symmetric g) in
+  let highlighted u v =
+    List.mem (u, v) highlight || ((not directed) && List.mem (v, u) highlight)
+  in
+  let attr u v =
+    if highlighted u v then "color=red, penwidth=2.0" else ""
+  in
+  let arcs =
+    if directed then
+      List.map (fun (u, v) -> (u, v, attr u v)) (Digraph.arcs g)
+    else
+      List.map (fun (u, v) -> (u, v, attr u v)) (Digraph.undirected_edges g)
+  in
+  of_arcs ~name:(Digraph.name g) ~directed
+    ~vertex_label:(Digraph.label g)
+    ~n:(Digraph.n_vertices g) arcs

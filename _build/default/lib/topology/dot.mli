@@ -1,0 +1,24 @@
+(** Graphviz (DOT) export.
+
+    Small delay digraphs and the matrix figures of the paper are much
+    easier to follow as pictures; this renders any digraph — and, via the
+    generic entry point, any annotated arc list — to the DOT language for
+    external processing.  Symmetric digraphs render as undirected graphs
+    with one edge per opposite pair. *)
+
+(** [of_digraph ?highlight g] renders [g]; vertices carry their labels,
+    arcs in [highlight] are drawn bold red (both orientations count for
+    undirected output). *)
+val of_digraph : ?highlight:(int * int) list -> Digraph.t -> string
+
+(** [of_arcs ~name ~directed ~vertex_label arcs] renders an arbitrary arc
+    list with string attributes: each element is
+    [(src, dst, attr)] where [attr] is a raw DOT attribute list such as
+    ["label=\"2\""] (may be empty). *)
+val of_arcs :
+  name:string ->
+  directed:bool ->
+  vertex_label:(int -> string) ->
+  n:int ->
+  (int * int * string) list ->
+  string

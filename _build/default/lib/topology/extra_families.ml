@@ -1,0 +1,91 @@
+let require name cond =
+  if not cond then invalid_arg ("Extra_families." ^ name ^ ": invalid dimension")
+
+let cube_connected_cycles dim =
+  require "cube_connected_cycles" (dim >= 3);
+  let corners = 1 lsl dim in
+  let n = dim * corners in
+  let idx w i = (w * dim) + i in
+  let edges = ref [] in
+  for w = 0 to corners - 1 do
+    for i = 0 to dim - 1 do
+      (* cycle edge to the next position *)
+      edges := (idx w i, idx w ((i + 1) mod dim)) :: !edges;
+      (* rung edge across dimension i *)
+      let w' = w lxor (1 lsl i) in
+      if w < w' then edges := (idx w i, idx w' i) :: !edges
+    done
+  done;
+    let bits w =
+    String.init dim (fun j ->
+        if w land (1 lsl (dim - 1 - j)) <> 0 then '1' else '0')
+  in
+  let labels =
+    Array.init n (fun v ->
+        let w = v / dim and i = v mod dim in
+        Printf.sprintf "%s,%d" (bits w) i)
+  in
+  let arcs = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) !edges in
+  Digraph.make ~labels ~name:(Printf.sprintf "CCC(%d)" dim) n arcs
+
+let rol dim w =
+  let top = (w lsr (dim - 1)) land 1 in
+  ((w lsl 1) land ((1 lsl dim) - 1)) lor top
+
+let se_labels dim =
+  let bits w =
+    String.init dim (fun j ->
+        if w land (1 lsl (dim - 1 - j)) <> 0 then '1' else '0')
+  in
+  Array.init (1 lsl dim) bits
+
+let shuffle_exchange dim =
+  require "shuffle_exchange" (dim >= 2);
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for w = 0 to n - 1 do
+    let x = w lxor 1 in
+    if w < x then edges := (w, x) :: !edges;
+    let s = rol dim w in
+    if w <> s then edges := (min w s, max w s) :: !edges
+  done;
+  let edges = List.sort_uniq compare !edges in
+  let arcs = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) edges in
+  Digraph.make ~labels:(se_labels dim)
+    ~name:(Printf.sprintf "SE(%d)" dim)
+    n arcs
+
+let shuffle_exchange_directed dim =
+  require "shuffle_exchange_directed" (dim >= 2);
+  let n = 1 lsl dim in
+  let arcs = ref [] in
+  for w = 0 to n - 1 do
+    let x = w lxor 1 in
+    arcs := (w, x) :: !arcs;
+    let s = rol dim w in
+    if w <> s then arcs := (w, s) :: !arcs
+  done;
+  Digraph.make ~labels:(se_labels dim)
+    ~name:(Printf.sprintf "dSE(%d)" dim)
+    n !arcs
+
+let knoedel ~delta ~n =
+  require "knoedel"
+    (n >= 2 && n mod 2 = 0 && delta >= 1 && 1 lsl delta <= n);
+  let half = n / 2 in
+  (* vertex (i, j) -> i*half + j *)
+  let edges = ref [] in
+  for j = 0 to half - 1 do
+    for k = 0 to delta - 1 do
+      let j' = (j + (1 lsl k) - 1) mod half in
+      edges := (j, half + j') :: !edges
+    done
+  done;
+  let labels =
+    Array.init n (fun v ->
+        Printf.sprintf "%d,%d" (v / half) (v mod half))
+  in
+  let arcs =
+    List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) (List.sort_uniq compare !edges)
+  in
+  Digraph.make ~labels ~name:(Printf.sprintf "W(%d,%d)" delta n) n arcs

@@ -1,0 +1,31 @@
+(** Additional hypercube-derived families.
+
+    The paper's Section 3 situates Butterfly/de Bruijn/Kautz among the
+    bounded-degree relatives of the hypercube (citing Leighton [19]); the
+    cube-connected cycles and shuffle-exchange networks are the other two
+    classical members of that family, and make good extra benchmarks for
+    the general bounds (no published separator refinement applies to
+    them, so they exercise the Fig. 4 path of the code). *)
+
+(** [cube_connected_cycles dim] — [CCC(dim)]: each hypercube corner blown
+    up into a [dim]-cycle, vertex [(w, i)] joined to [(w, i±1)] and to
+    [(w xor 2^i, i)].  [dim ≥ 3] (smaller dims degenerate to multi-edges).
+    Undirected, [dim·2^dim] vertices, 3-regular. *)
+val cube_connected_cycles : int -> Digraph.t
+
+(** [shuffle_exchange dim] — [SE(dim)] on [2^dim] binary strings with
+    exchange edges [w ↔ w xor 1] and shuffle edges [w ↔ rol(w)]
+    (undirected; the two fixed points of the rotation lose their shuffle
+    loop).  [dim ≥ 2]. *)
+val shuffle_exchange : int -> Digraph.t
+
+(** [shuffle_exchange_directed dim] — shuffle arcs oriented [w → rol(w)],
+    exchange arcs kept in both directions. *)
+val shuffle_exchange_directed : int -> Digraph.t
+
+(** [knoedel ~delta ~n] — the Knödel graph [W_{Δ,n}] ([n] even,
+    [1 ≤ Δ ≤ ⌊log₂ n⌋]): vertices [(i, j)], [i ∈ {0,1}],
+    [j ∈ 0..n/2-1], with edges [(0, j) – (1, (j + 2^k - 1) mod n/2)] for
+    [k = 0..Δ-1].  The classical minimum-gossip graphs: [W_{⌊log n⌋,n}]
+    gossips in the optimal number of full-duplex rounds. *)
+val knoedel : delta:int -> n:int -> Digraph.t

@@ -1,0 +1,74 @@
+let unreachable = max_int
+
+let bfs_multi g srcs =
+  let n = Digraph.n_vertices g in
+  let dist = Array.make n unreachable in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Metrics.bfs_multi: source out of range";
+      if dist.(s) = unreachable then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    srcs;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = dist.(u) in
+    Array.iter
+      (fun v ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- du + 1;
+          Queue.add v queue
+        end)
+      (Digraph.out_neighbors g u)
+  done;
+  dist
+
+let bfs g src = bfs_multi g [ src ]
+
+let distance g u v =
+  let dist = bfs g u in
+  dist.(v)
+
+let set_distance g v1 v2 =
+  if v1 = [] || v2 = [] then invalid_arg "Metrics.set_distance: empty set";
+  let dist = bfs_multi g v1 in
+  List.fold_left (fun acc v -> min acc dist.(v)) unreachable v2
+
+let eccentricity g v =
+  let dist = bfs g v in
+  Array.fold_left
+    (fun acc d -> if d = unreachable || acc = unreachable then unreachable else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Digraph.n_vertices g in
+  let best = ref 0 in
+  (try
+     for v = 0 to n - 1 do
+       let e = eccentricity g v in
+       if e = unreachable then begin
+         best := unreachable;
+         raise Exit
+       end;
+       if e > !best then best := e
+     done
+   with Exit -> ());
+  !best
+
+let diameter_sampled g ~samples ~seed =
+  let n = Digraph.n_vertices g in
+  if samples >= n then diameter g
+  else begin
+    let rng = Gossip_util.Prng.create seed in
+    let best = ref 0 in
+    for _ = 1 to samples do
+      let v = Gossip_util.Prng.int rng n in
+      let e = eccentricity g v in
+      if e <> unreachable && e > !best then best := e
+    done;
+    !best
+  end
+
+let all_pairs g = Array.init (Digraph.n_vertices g) (fun v -> bfs g v)

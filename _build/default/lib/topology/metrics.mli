@@ -1,0 +1,43 @@
+(** Distance computations on digraphs.
+
+    Lower bounds talk about distances twice: the diameter is the trivial
+    gossip bound (some item must travel a full diameter), and the
+    separator bounds of Theorem 5.1 need the minimum directed distance
+    between two vertex sets.  Everything here is plain breadth-first
+    search; arcs are unweighted rounds. *)
+
+(** [unreachable] marks unreachable vertices in distance arrays
+    ([max_int]). *)
+val unreachable : int
+
+(** [bfs g src] is the array of directed distances from [src]. *)
+val bfs : Digraph.t -> int -> int array
+
+(** [bfs_multi g srcs] is the array of distances from the nearest source. *)
+val bfs_multi : Digraph.t -> int list -> int array
+
+(** [distance g u v] is the directed distance, or [unreachable]. *)
+val distance : Digraph.t -> int -> int -> int
+
+(** [set_distance g v1 v2] is [min { dist(x, y) | x ∈ v1, y ∈ v2 }] — the
+    quantity the ⟨α, l⟩-separator definition (Def. 3.5) bounds from below.
+    @raise Invalid_argument if either set is empty. *)
+val set_distance : Digraph.t -> int list -> int list -> int
+
+(** [eccentricity g v] is the largest distance from [v]; [unreachable] if
+    some vertex cannot be reached. *)
+val eccentricity : Digraph.t -> int -> int
+
+(** [diameter g] is the exact diameter by [n] BFS runs — fine for the
+    network sizes of the experiments; [unreachable] when not strongly
+    connected. *)
+val diameter : Digraph.t -> int
+
+(** [diameter_sampled g ~samples ~seed] is a lower estimate of the
+    diameter from BFS at randomly sampled sources; exact when
+    [samples >= n]. *)
+val diameter_sampled : Digraph.t -> samples:int -> seed:int -> int
+
+(** [all_pairs g] is the full distance matrix [d.(u).(v)]; quadratic
+    memory, intended for small test networks. *)
+val all_pairs : Digraph.t -> int array array

@@ -1,0 +1,93 @@
+let line_digraph g =
+  let arcs = Array.of_list (Digraph.arcs g) in
+  let index = Hashtbl.create (Array.length arcs) in
+  Array.iteri (fun i arc -> Hashtbl.replace index arc i) arcs;
+  let out = ref [] in
+  Array.iteri
+    (fun i (_, v) ->
+      Array.iter
+        (fun w ->
+          match Hashtbl.find_opt index (v, w) with
+          | Some j when j <> i -> out := (i, j) :: !out
+          | _ -> ())
+        (Digraph.out_neighbors g v))
+    arcs;
+  let labels =
+    Array.map
+      (fun (u, v) ->
+        Printf.sprintf "%s>%s" (Digraph.label g u) (Digraph.label g v))
+      arcs
+  in
+  Digraph.make ~labels
+    ~name:(Printf.sprintf "L(%s)" (Digraph.name g))
+    (Array.length arcs) !out
+
+let line_vertex_of_arc g (u, v) =
+  let arcs = Digraph.arcs g in
+  let rec find i = function
+    | [] -> raise Not_found
+    | a :: rest -> if a = (u, v) then i else find (i + 1) rest
+  in
+  find 0 arcs
+
+let cartesian_product a b =
+  let na = Digraph.n_vertices a and nb = Digraph.n_vertices b in
+  let idx x y = (x * nb) + y in
+  let arcs = ref [] in
+  for x = 0 to na - 1 do
+    for y = 0 to nb - 1 do
+      Array.iter
+        (fun x' -> arcs := (idx x y, idx x' y) :: !arcs)
+        (Digraph.out_neighbors a x);
+      Array.iter
+        (fun y' -> arcs := (idx x y, idx x y') :: !arcs)
+        (Digraph.out_neighbors b y)
+    done
+  done;
+  let labels =
+    Array.init (na * nb) (fun v ->
+        Printf.sprintf "(%s,%s)"
+          (Digraph.label a (v / nb))
+          (Digraph.label b (v mod nb)))
+  in
+  Digraph.make ~labels
+    ~name:(Printf.sprintf "%s x %s" (Digraph.name a) (Digraph.name b))
+    (na * nb) !arcs
+
+let power g k =
+  if k < 1 then invalid_arg "Operations.power: k must be >= 1";
+  let rec go acc i = if i = 1 then acc else go (cartesian_product acc g) (i - 1) in
+  Digraph.rename (go g k) (Printf.sprintf "%s^%d" (Digraph.name g) k)
+
+let degree_sequences g =
+  let n = Digraph.n_vertices g in
+  let outs = List.init n (Digraph.out_degree g) in
+  let ins = List.init n (Digraph.in_degree g) in
+  (List.sort compare outs, List.sort compare ins)
+
+let same_shape a b =
+  Digraph.n_vertices a = Digraph.n_vertices b
+  && Digraph.n_arcs a = Digraph.n_arcs b
+  && Digraph.is_symmetric a = Digraph.is_symmetric b
+  && degree_sequences a = degree_sequences b
+
+let isomorphic_by a b f =
+  let n = Digraph.n_vertices a in
+  Array.length f = n
+  && Digraph.n_vertices b = n
+  && Digraph.n_arcs a = Digraph.n_arcs b
+  && (let seen = Array.make n false in
+      Array.for_all
+        (fun v ->
+          if v < 0 || v >= n || seen.(v) then false
+          else begin
+            seen.(v) <- true;
+            true
+          end)
+        f)
+  &&
+  let ok = ref true in
+  Digraph.iter_arcs
+    (fun u v -> if not (Digraph.mem_arc b f.(u) f.(v)) then ok := false)
+    a;
+  !ok

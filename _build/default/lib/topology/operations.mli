@@ -1,0 +1,41 @@
+(** Graph operations: line digraphs and cartesian products.
+
+    The families of Section 3 are not ad hoc: de Bruijn digraphs are
+    iterated line digraphs of complete digraphs-with-loops, Kautz
+    digraphs are iterated line digraphs of complete digraphs, grids and
+    tori are cartesian products of paths and cycles, and the hypercube is
+    a product power of [K₂].  These operations make those relationships
+    executable, and the tests verify the classical isomorphisms by
+    explicit bijections. *)
+
+(** [line_digraph g] — vertices are the arcs of [g]; there is an arc from
+    [(u, v)] to [(v, w)] for every consecutive pair.  Labels are
+    ["u>v"] over [g]'s labels.  Self-loops in the result (possible when
+    [g] has a 2-cycle, e.g. [(u,v) → (v,u) → (u,v)]... which is a
+    2-cycle, not a loop — loops cannot arise since [g] itself has none)
+    do not occur. *)
+val line_digraph : Digraph.t -> Digraph.t
+
+(** [line_vertex_of_arc g (u, v)] — index of arc [(u, v)] in
+    [line_digraph g]'s vertex numbering; total order is [Digraph.arcs].
+    @raise Not_found if the arc is absent. *)
+val line_vertex_of_arc : Digraph.t -> int * int -> int
+
+(** [cartesian_product a b] — vertices are pairs [(x, y)] (encoded
+    [x * n_b + y]); [(x, y) → (x', y)] for arcs [x → x'] of [a] and
+    [(x, y) → (x, y')] for arcs [y → y'] of [b]. *)
+val cartesian_product : Digraph.t -> Digraph.t -> Digraph.t
+
+(** [power g k] — the [k]-fold cartesian product of [g] with itself,
+    [k ≥ 1].  [power (complete 2) d] is the hypercube [Q(d)]. *)
+val power : Digraph.t -> int -> Digraph.t
+
+(** [same_shape a b] — cheap isomorphism-necessary checks: vertex and arc
+    counts, sorted out- and in-degree sequences, symmetry flags.  Used by
+    the tests together with explicit bijections. *)
+val same_shape : Digraph.t -> Digraph.t -> bool
+
+(** [isomorphic_by a b f] — verifies that the vertex map [f] (an array of
+    length [n_vertices a]) is a bijection carrying arcs of [a] exactly
+    onto arcs of [b]. *)
+val isomorphic_by : Digraph.t -> Digraph.t -> int array -> bool

@@ -1,0 +1,59 @@
+module Prng = Gossip_util.Prng
+
+let regular ~n ~degree ~seed =
+  if n < 2 || degree < 1 || degree >= n then
+    invalid_arg "Random_graphs.regular: need 1 <= degree < n, n >= 2";
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Random_graphs.regular: n·degree must be even";
+  let rng = Prng.create seed in
+  let attempt () =
+    (* configuration model: one stub per (vertex, slot), random perfect
+       matching of stubs *)
+    let stubs = Array.init (n * degree) (fun i -> i / degree) in
+    Prng.shuffle rng stubs;
+    let edges = Hashtbl.create (n * degree / 2) in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < Array.length stubs do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      if u = v || Hashtbl.mem edges (min u v, max u v) then ok := false
+      else Hashtbl.replace edges (min u v, max u v) ();
+      i := !i + 2
+    done;
+    if !ok then Some (Hashtbl.fold (fun e () acc -> e :: acc) edges []) else None
+  in
+  let rec retry k =
+    if k = 0 then failwith "Random_graphs.regular: too many restarts"
+    else match attempt () with Some edges -> edges | None -> retry (k - 1)
+  in
+  let edges = retry 1000 in
+  let arcs = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) edges in
+  Digraph.make ~name:(Printf.sprintf "R(%d,%d)" n degree) n arcs
+
+let erdos_renyi_digraph ~n ~p ~seed =
+  if n < 1 || p < 0.0 || p > 1.0 then
+    invalid_arg "Random_graphs.erdos_renyi_digraph: bad parameters";
+  let rng = Prng.create seed in
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Prng.float rng 1.0 < p then arcs := (u, v) :: !arcs
+    done
+  done;
+  Digraph.make ~name:(Printf.sprintf "G(%d,%.2f)" n p) n !arcs
+
+let strongly_connected_digraph ~n ~extra_arcs ~seed =
+  if n < 2 || extra_arcs < 0 then
+    invalid_arg "Random_graphs.strongly_connected_digraph: bad parameters";
+  let rng = Prng.create seed in
+  let arcs = ref (List.init n (fun i -> (i, (i + 1) mod n))) in
+  let added = ref 0 and tries = ref 0 in
+  while !added < extra_arcs && !tries < 100 * extra_arcs do
+    incr tries;
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && not (List.mem (u, v) !arcs) then begin
+      arcs := (u, v) :: !arcs;
+      incr added
+    end
+  done;
+  Digraph.make ~name:(Printf.sprintf "SC(%d,+%d)" n extra_arcs) n !arcs

@@ -1,0 +1,26 @@
+(** Random network generators.
+
+    The paper's general bounds (Fig. 4) hold for {e every} network, so
+    random instances are the natural stress test: random regular graphs
+    are the classic "generic bounded-degree network", and random strongly
+    connected digraphs exercise the directed machinery.  All generators
+    are deterministic given the seed. *)
+
+(** [regular ~n ~degree ~seed] — a random [degree]-regular simple
+    undirected graph on [n] vertices via the configuration model with
+    restarts (pairs stubs uniformly; resamples on self-loops or
+    multi-edges).  Requires [n·degree] even, [degree < n].
+    @raise Invalid_argument on infeasible parameters; gives up (raises
+    [Failure]) only if 1000 restarts fail, which for [degree ≤ √n] is
+    vanishingly unlikely. *)
+val regular : n:int -> degree:int -> seed:int -> Digraph.t
+
+(** [erdos_renyi_digraph ~n ~p ~seed] — each ordered pair becomes an arc
+    independently with probability [p] (no self-loops). *)
+val erdos_renyi_digraph : n:int -> p:float -> seed:int -> Digraph.t
+
+(** [strongly_connected_digraph ~n ~extra_arcs ~seed] — a random directed
+    cycle (guaranteeing strong connectivity) plus [extra_arcs] random
+    chords. *)
+val strongly_connected_digraph :
+  n:int -> extra_arcs:int -> seed:int -> Digraph.t

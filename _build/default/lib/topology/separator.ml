@@ -1,0 +1,145 @@
+type t = { alpha : float; ell : float; v1 : int list; v2 : int list }
+
+type measurement = { distance : int; min_size : int; n : int }
+
+let log2 = Gossip_util.Numeric.log2
+
+let ipow base e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e lsr 1)
+    else go acc (b * b) (e lsr 1)
+  in
+  go 1 base e
+
+let custom ~alpha ~ell ~v1 ~v2 = { alpha; ell; v1; v2 }
+
+let is_low ~d sym = float_of_int sym <= float_of_int d /. 2.0
+
+(* Split by the top string symbol: "low" means x_(D-1) <= d/2. *)
+let top_symbol_low ~d ~dim x =
+  let s = Families.string_of_code ~d ~dim x in
+  is_low ~d s.(dim - 1)
+
+let butterfly ~d ~dim =
+  let words = ipow d dim in
+  let v1 = ref [] and v2 = ref [] in
+  for x = 0 to words - 1 do
+    (* BF index of (x, 0) is x. *)
+    if top_symbol_low ~d ~dim x then v1 := x :: !v1 else v2 := x :: !v2
+  done;
+  { alpha = log2 (float_of_int d) /. 2.0;
+    ell = 2.0 /. log2 (float_of_int d);
+    v1 = !v1;
+    v2 = !v2 }
+
+let wrapped_butterfly_directed ~d ~dim =
+  let words = ipow d dim in
+  let v1 = ref [] and v2 = ref [] in
+  for x = 0 to words - 1 do
+    if top_symbol_low ~d ~dim x then v1 := (((dim - 1) * words) + x) :: !v1
+    else v2 := x :: !v2
+  done;
+  { alpha = log2 (float_of_int d) /. 2.0;
+    ell = 2.0 /. log2 (float_of_int d);
+    v1 = !v1;
+    v2 = !v2 }
+
+(* Sparse checked positions h·j (h = ceil(sqrt D)), as in Lemma 3.1. *)
+let sparse_positions dim =
+  let h = max 1 (int_of_float (ceil (sqrt (float_of_int dim)))) in
+  let rec go j acc =
+    if h * j >= dim then List.rev acc else go (j + 1) ((h * j) :: acc)
+  in
+  go 0 []
+
+(* Block of h consecutive positions starting at [start]. *)
+let block_positions dim start =
+  let h = max 1 (int_of_float (ceil (sqrt (float_of_int dim)))) in
+  let stop = min dim (start + h) in
+  List.init (stop - start) (fun i -> start + i)
+
+let constrained ~d ~low positions s =
+  List.for_all
+    (fun p -> if low then is_low ~d s.(p) else not (is_low ~d s.(p)))
+    positions
+
+let wrapped_butterfly ~d ~dim =
+  let words = ipow d dim in
+  let positions = sparse_positions dim in
+  let mid_level = dim / 2 in
+  let v1 = ref [] and v2 = ref [] in
+  for x = 0 to words - 1 do
+    let s = Families.string_of_code ~d ~dim x in
+    if constrained ~d ~low:true positions s then v1 := x :: !v1
+    else if constrained ~d ~low:false positions s then
+      v2 := ((mid_level * words) + x) :: !v2
+  done;
+  { alpha = 2.0 *. log2 (float_of_int d) /. 3.0;
+    ell = 3.0 /. (2.0 *. log2 (float_of_int d));
+    v1 = !v1;
+    v2 = !v2 }
+
+(* Shift-network separator: X1 constrains the sparse positions low, X2
+   constrains a block of h consecutive positions high.  With the block at
+   the top the directed distance is >= D - h + 1; with the block in the
+   middle the undirected distance is >= D/2 - O(h). *)
+let shift_sets ~d ~dim ~decode ~count ~block_start =
+  let low_positions = sparse_positions dim in
+  let high_positions = block_positions dim block_start in
+  let v1 = ref [] and v2 = ref [] in
+  for v = 0 to count - 1 do
+    let s = decode v in
+    if constrained ~d ~low:true low_positions s then v1 := v :: !v1
+    else if constrained ~d ~low:false high_positions s then v2 := v :: !v2
+  done;
+  (!v1, !v2)
+
+let h_of dim = max 1 (int_of_float (ceil (sqrt (float_of_int dim))))
+
+let de_bruijn_generic ~d ~dim ~block_start ~ell =
+  let count = ipow d dim in
+  let v1, v2 =
+    shift_sets ~d ~dim
+      ~decode:(fun v -> Families.string_of_code ~d ~dim v)
+      ~count ~block_start
+  in
+  { alpha = log2 (float_of_int d); ell; v1; v2 }
+
+let de_bruijn ~d ~dim =
+  de_bruijn_generic ~d ~dim
+    ~block_start:(dim - h_of dim)
+    ~ell:(1.0 /. log2 (float_of_int d))
+
+let de_bruijn_undirected ~d ~dim =
+  de_bruijn_generic ~d ~dim
+    ~block_start:(max 0 ((dim - h_of dim) / 2))
+    ~ell:(1.0 /. (2.0 *. log2 (float_of_int d)))
+
+let kautz_generic ~d ~dim ~block_start ~ell =
+  let count = (d + 1) * ipow d (dim - 1) in
+  let v1, v2 =
+    shift_sets ~d ~dim
+      ~decode:(fun v -> Families.kautz_string_of_vertex ~d ~dim v)
+      ~count ~block_start
+  in
+  { alpha = log2 (float_of_int d); ell; v1; v2 }
+
+let kautz ~d ~dim =
+  kautz_generic ~d ~dim
+    ~block_start:(dim - h_of dim)
+    ~ell:(1.0 /. log2 (float_of_int d))
+
+let kautz_undirected ~d ~dim =
+  kautz_generic ~d ~dim
+    ~block_start:(max 0 ((dim - h_of dim) / 2))
+    ~ell:(1.0 /. (2.0 *. log2 (float_of_int d)))
+
+let measure g sep =
+  if sep.v1 = [] || sep.v2 = [] then
+    invalid_arg "Separator.measure: empty separator set";
+  {
+    distance = Metrics.set_distance g sep.v1 sep.v2;
+    min_size = min (List.length sep.v1) (List.length sep.v2);
+    n = Digraph.n_vertices g;
+  }

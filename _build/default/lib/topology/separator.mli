@@ -1,0 +1,81 @@
+(** ⟨α, l⟩-separators (Definition 3.5) and the constructions of Lemma 3.1.
+
+    A family has an ⟨α, l⟩-separator when every member contains vertex
+    sets [V1, V2] with directed distance [l·log n − o(log n)] and both of
+    size at least [2^(α·l·log n − o(log n))].  The separator feeds
+    Theorem 5.1: large, far-apart sets force many distinct long dipaths
+    through the delay digraph.
+
+    Each constructor returns both the numeric parameters [(α, l)] and
+    concrete vertex sets, so the tests re-measure the distance and size
+    claims by BFS on generated instances.
+
+    {b Correction to Lemma 3.1 for shift networks.}  The paper's proof
+    constrains the same string positions [{h·j}] (with [h = ⌈√D⌉]) in both
+    [X1] and [X2] for de Bruijn and Kautz.  In those networks arcs
+    {e shift} the string, so after one hop the constrained positions of
+    [X1] and [X2] no longer align and the two sets are at distance 1 (we
+    measure exactly that on generated instances).  We therefore use the
+    corrected sets: [X1] constrains positions [{h·j}] to low symbols and
+    [X2] constrains the {e top block} [\[D-h, D)] to high symbols.  In the
+    directed digraph an [t]-step walk aligns [u]'s positions [p] with
+    [v]'s positions [p + t], and every window of length [h] contains a
+    multiple of [h], so every [t ≤ D - h] is blocked: the directed
+    distance is at least [D - h + 1 = D - O(√D)], with
+    [|X1|, |X2| ≥ d^(D - O(√D))] — exactly the claimed ⟨log d, 1/log d⟩.
+    For the {e undirected} de Bruijn/Kautz graphs backward shifts can slide
+    any edge-anchored block away, so we provide a middle-block variant
+    certifying distance [D/2 - O(√D)], i.e. ⟨log d, 1/(2 log d)⟩; the
+    published Fig. 5/6 rows use [l = 1/log d], which our machinery can
+    only certify for the directed case (see EXPERIMENTS.md). *)
+
+type t = {
+  alpha : float;  (** the density exponent α of Definition 3.5 *)
+  ell : float;  (** the distance coefficient l of Definition 3.5 *)
+  v1 : int list;  (** concrete first set for this instance *)
+  v2 : int list;  (** concrete second set for this instance *)
+}
+
+(** [butterfly ~d ~dim] — [α = log(d)/2], [l = 2/log(d)]; the sets split
+    level 0 by the top string symbol (distance [2D]). *)
+val butterfly : d:int -> dim:int -> t
+
+(** [wrapped_butterfly_directed ~d ~dim] — [α = log(d)/2],
+    [l = 2/log(d)]; level [D-1] against level 0 (distance [2D - 1]). *)
+val wrapped_butterfly_directed : d:int -> dim:int -> t
+
+(** [wrapped_butterfly ~d ~dim] — [α = 2·log(d)/3], [l = 3/(2·log d)];
+    strings constrained every [⌈√D⌉] positions, levels 0 and [D/2]
+    (distance [3D/2 - O(√D)]). *)
+val wrapped_butterfly : d:int -> dim:int -> t
+
+(** [de_bruijn ~d ~dim] — corrected construction for the {e directed}
+    [DB(d, D)]: [α = log(d)], [l = 1/log(d)], distance [≥ D - ⌈√D⌉ + 1]. *)
+val de_bruijn : d:int -> dim:int -> t
+
+(** [de_bruijn_undirected ~d ~dim] — middle-block variant sound for the
+    undirected graph: [α = log(d)], [l = 1/(2·log d)], distance
+    [≥ D/2 - O(√D)]. *)
+val de_bruijn_undirected : d:int -> dim:int -> t
+
+(** [kautz ~d ~dim] — corrected construction for the directed [K(d, D)],
+    same parameters as {!de_bruijn}. *)
+val kautz : d:int -> dim:int -> t
+
+(** [kautz_undirected ~d ~dim] — middle-block variant, same parameters as
+    {!de_bruijn_undirected}. *)
+val kautz_undirected : d:int -> dim:int -> t
+
+(** [custom ~alpha ~ell ~v1 ~v2] packages a user-provided separator. *)
+val custom : alpha:float -> ell:float -> v1:int list -> v2:int list -> t
+
+(** Result of measuring a separator on a concrete digraph. *)
+type measurement = {
+  distance : int;  (** [min dist(V1, V2)] *)
+  min_size : int;  (** [min(|V1|, |V2|)] *)
+  n : int;  (** vertices of the host digraph *)
+}
+
+(** [measure g sep] BFS-checks the claimed distance and sizes.
+    @raise Invalid_argument if a set is empty or out of range. *)
+val measure : Digraph.t -> t -> measurement

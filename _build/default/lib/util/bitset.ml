@@ -1,0 +1,99 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63
+(* We keep one bit of each OCaml int unused so the representation is
+   identical on every platform dune targets here. *)
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make (max 1 (words_for n)) 0 }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then
+    invalid_arg (Printf.sprintf "Bitset: element %d outside universe %d" i s.n)
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  if i < 0 || i >= s.n then false
+  else
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    s.words.(w) land (1 lsl b) <> 0
+
+let singleton n i =
+  let s = create n in
+  add s i;
+  s
+
+let union_into ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Bitset.union_into: capacity mismatch";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let copy s = { n = s.n; words = Array.copy s.words }
+
+let union a b =
+  let r = copy a in
+  union_into ~src:b ~dst:r;
+  r
+
+let inter a b =
+  if a.n <> b.n then invalid_arg "Bitset.inter: capacity mismatch";
+  let r = create a.n in
+  for w = 0 to Array.length r.words - 1 do
+    r.words.(w) <- a.words.(w) land b.words.(w)
+  done;
+  r
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_full s = cardinal s = s.n
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let subset a b =
+  a.n = b.n
+  && Array.for_all2 (fun wa wb -> wa land lnot wb = 0) a.words b.words
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if mem s i then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n xs =
+  let s = create n in
+  List.iter (add s) xs;
+  s
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

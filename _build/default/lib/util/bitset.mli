@@ -1,0 +1,73 @@
+(** Fixed-capacity bitsets.
+
+    Knowledge sets in gossip simulations are subsets of the [n] information
+    items, one per processor, so the whole simulator state is an array of
+    [n] bitsets of capacity [n].  This module provides a compact array-of-
+    words representation tuned for the two hot operations of the simulator:
+    in-place union and full-set detection. *)
+
+type t
+
+(** [create n] is the empty set over the universe [{0, ..., n-1}].
+    @raise Invalid_argument if [n < 0]. *)
+val create : int -> t
+
+(** [capacity s] is the size of the universe [s] was created with. *)
+val capacity : t -> int
+
+(** [singleton n i] is the set [{i}] over universe size [n]. *)
+val singleton : int -> int -> t
+
+(** [add s i] inserts element [i] in place.
+    @raise Invalid_argument if [i] is outside the universe. *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes element [i] in place. *)
+val remove : t -> int -> unit
+
+(** [mem s i] tests membership. Elements outside the universe are absent. *)
+val mem : t -> int -> bool
+
+(** [union_into ~src ~dst] adds every element of [src] to [dst] in place.
+    The two sets must share the same capacity. *)
+val union_into : src:t -> dst:t -> unit
+
+(** [union a b] is a fresh set holding the union of [a] and [b]. *)
+val union : t -> t -> t
+
+(** [inter a b] is a fresh set holding the intersection. *)
+val inter : t -> t -> t
+
+(** [cardinal s] is the number of elements in [s]. *)
+val cardinal : t -> int
+
+(** [is_full s] is [true] iff [s] contains its whole universe. *)
+val is_full : t -> bool
+
+(** [is_empty s] is [true] iff [s] has no element. *)
+val is_empty : t -> bool
+
+(** [copy s] is an independent copy of [s]. *)
+val copy : t -> t
+
+(** [equal a b] is set equality (capacities must match for [true]). *)
+val equal : t -> t -> bool
+
+(** [subset a b] is [true] iff every element of [a] belongs to [b]. *)
+val subset : t -> t -> bool
+
+(** [iter f s] applies [f] to every element in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over elements in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [elements s] lists the elements in increasing order. *)
+val elements : t -> int list
+
+(** [of_list n xs] is the set over universe [n] holding the elements of
+    [xs]. *)
+val of_list : int -> int list -> t
+
+(** [pp] prints as [{e1, e2, ...}]. *)
+val pp : Format.formatter -> t -> unit

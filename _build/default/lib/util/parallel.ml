@@ -1,0 +1,36 @@
+let recommended_domains () =
+  let cpus =
+    match Domain.recommended_domain_count () with c when c > 0 -> c | _ -> 1
+  in
+  max 1 (min 8 (cpus - 1))
+
+(* Static chunking: worker [w] handles indices with [i mod workers = w].
+   Interleaving balances load when costs vary smoothly across the index
+   range (e.g. vertex blocks of growing size). *)
+let init ?domains n f =
+  let workers = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  if n <= 0 then [||]
+  else if workers = 1 || n < 4 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let work w () =
+      let i = ref w in
+      while !i < n do
+        results.(!i) <- Some (f !i);
+        i := !i + workers
+      done
+    in
+    let handles =
+      List.init (workers - 1) (fun w -> Domain.spawn (work (w + 1)))
+    in
+    work 0 ();
+    List.iter Domain.join handles;
+    Array.map
+      (function Some x -> x | None -> assert false (* all indices covered *))
+      results
+  end
+
+let map ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))
+
+let max_float ?domains f arr =
+  Array.fold_left Float.max neg_infinity (map ?domains f arr)

@@ -1,0 +1,28 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    The heavy loops of this library are embarrassingly parallel: the norm
+    of the delay matrix is a max over independent per-vertex blocks
+    (norm property 8), table generation is a map over independent
+    families, BFS sweeps are per-source.  This module provides a static
+    chunking parallel map over arrays — deterministic output, pure worker
+    functions required — sized to the machine.
+
+    The functions degrade gracefully: with [domains = 1] (or on tiny
+    inputs) they run sequentially with no domain spawn. *)
+
+(** [recommended_domains ()] is a conservative worker count:
+    [max 1 (min 8 (cpu_count - 1))] (the runtime's own domain counts as
+    one). *)
+val recommended_domains : unit -> int
+
+(** [map ?domains f arr] is [Array.map f arr] computed on [domains]
+    workers (default {!recommended_domains}).  [f] must be pure — it runs
+    concurrently on OCaml domains. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [init ?domains n f] is [Array.init n f] in parallel. *)
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** [max_float ?domains f arr] is [max over x of f x], [neg_infinity] on
+    the empty array. *)
+val max_float : ?domains:int -> ('a -> float) -> 'a array -> float

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All randomized pieces of the library (random systolic protocols,
+    random matrices in tests, sampled diameters) draw from this generator
+    so that every experiment is reproducible from a single integer seed,
+    independently of the OCaml stdlib [Random] state. *)
+
+type t
+
+(** [create seed] is a fresh generator stream. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator continuing from the same state. *)
+val copy : t -> t
+
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives a new independent stream, advancing [t]. *)
+val split : t -> t

@@ -1,0 +1,92 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let make ~title headers =
+  let n = List.length headers in
+  let aligns = Array.make (max 1 n) Right in
+  if n > 0 then aligns.(0) <- Left;
+  { title; headers; aligns; rows = [] }
+
+let set_align t i align =
+  if i < 0 || i >= Array.length t.aligns then
+    invalid_arg "Table.set_align: column out of range";
+  t.aligns.(i) <- align
+
+let add_row t cells =
+  if List.length cells > List.length t.headers then
+    invalid_arg "Table.add_row: more cells than headers";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make (max 1 ncols) 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) t.rows;
+  let buf = Buffer.create 1024 in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iteri
+      (fun i w ->
+        if i < ncols then begin
+          Buffer.add_string buf (String.make (w + 2) '-');
+          Buffer.add_char buf '+'
+        end)
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    let cells = Array.of_list cells in
+    Buffer.add_char buf '|';
+    for i = 0 to ncols - 1 do
+      let c = if i < Array.length cells then cells.(i) else "" in
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+      Buffer.add_string buf " |"
+    done;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf ("== " ^ t.title ^ " ==");
+    Buffer.add_char buf '\n'
+  end;
+  hline ();
+  line t.headers;
+  hline ();
+  List.iter
+    (function Cells c -> line c | Separator -> hline ())
+    (List.rev t.rows);
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_f ?(decimals = 4) x = Printf.sprintf "%.*f" decimals x
+
+let cell_i n = string_of_int n

@@ -1,0 +1,37 @@
+(** Plain-text table rendering for the benchmark reports.
+
+    The benchmark harness regenerates every numeric table of the paper
+    (Figs. 4, 5, 6, 8) and prints them in the same row/column layout; this
+    module provides the ASCII layout engine so that each experiment only
+    supplies headers and cells. *)
+
+type align = Left | Right | Center
+
+type t
+
+(** [make ~title headers] starts a table with the given column headers.
+    All columns default to right alignment except the first (left). *)
+val make : title:string -> string list -> t
+
+(** [set_align t i align] overrides the alignment of column [i]. *)
+val set_align : t -> int -> align -> unit
+
+(** [add_row t cells] appends a row; missing cells render empty, extra
+    cells are rejected.
+    @raise Invalid_argument if [cells] is longer than the header. *)
+val add_row : t -> string list -> unit
+
+(** [add_sep t] appends a horizontal separator line. *)
+val add_sep : t -> unit
+
+(** [render t] lays the table out with box-drawing dashes and pipes. *)
+val render : t -> string
+
+(** [print t] renders to stdout followed by a newline. *)
+val print : t -> unit
+
+(** [cell_f ?decimals x] formats a float cell (default 4 decimals). *)
+val cell_f : ?decimals:int -> float -> string
+
+(** [cell_i n] formats an integer cell. *)
+val cell_i : int -> string

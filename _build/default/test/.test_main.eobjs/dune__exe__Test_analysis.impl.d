@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Buffer Builders Core Families Format Gossip_delay Gossip_protocol Gossip_topology List Protocol String Systolic

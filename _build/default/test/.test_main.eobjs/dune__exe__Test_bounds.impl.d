@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Catalog Float General Gossip_bounds Gossip_topology Gossip_util List Option Printf QCheck QCheck_alcotest Separator_bounds String Tables

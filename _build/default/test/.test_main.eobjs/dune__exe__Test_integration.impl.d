@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Buffer Builders Core Families Float Format Gossip_bounds Gossip_delay Gossip_protocol Gossip_simulate Gossip_topology List Metrics Option Printf Protocol Systolic

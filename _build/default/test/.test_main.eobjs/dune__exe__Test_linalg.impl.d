@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Dense Float Fun Gossip_linalg Gossip_util Lanczos List Poly QCheck QCheck_alcotest Sparse Spectral Vec

@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Builders Digraph Engine Families Faults Gossip_protocol Gossip_simulate Gossip_topology Gossip_util List Metrics Option Protocol QCheck QCheck_alcotest Systolic

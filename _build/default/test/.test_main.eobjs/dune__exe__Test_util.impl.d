@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Float Fun Gossip_util List Numeric Parallel Prng QCheck QCheck_alcotest String Table

@@ -1,0 +1,100 @@
+(* Tests for the Core.Analysis facade: the one-call reports a downstream
+   user sees first. *)
+
+open Gossip_topology
+open Gossip_protocol
+module Analysis = Core.Analysis
+module Certificate = Gossip_delay.Certificate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_analyze_network_fields () =
+  let g = Families.kautz 2 4 in
+  let r = Analysis.analyze_network g in
+  check "name" true (r.Analysis.name = "K(2,4)");
+  check_int "n" 24 r.Analysis.n;
+  check "symmetric" true r.Analysis.symmetric;
+  check_int "diameter" 4 r.Analysis.diameter;
+  check_int "degree parameter" 3 r.Analysis.degree_parameter;
+  check_int "six periods by default" 6 (List.length r.Analysis.general_bounds);
+  (* bounds decrease with s and exceed the non-systolic one *)
+  let values = List.map snd r.Analysis.general_bounds in
+  check "monotone" true
+    (List.for_all2 (fun a b -> a >= b -. 1e-9) values (List.tl values @ [ 0.0 ]));
+  check "all above non-systolic" true
+    (List.for_all (fun v -> v >= r.Analysis.nonsystolic_bound -. 1e-9) values);
+  (* full-duplex bounds are below half-duplex ones at each s *)
+  check "fd <= hd" true
+    (List.for_all2
+       (fun (_, hd) (_, fd) -> fd <= hd +. 1e-9)
+       r.Analysis.general_bounds r.Analysis.general_bounds_fd)
+
+let test_analyze_network_custom_periods () =
+  let g = Families.path 6 in
+  let r = Analysis.analyze_network ~periods:[ 4; 10 ] g in
+  check_int "two periods" 2 (List.length r.Analysis.general_bounds);
+  check "directed network also analyzable" true
+    (let d = Analysis.analyze_network (Families.de_bruijn_directed 2 4) in
+     not d.Analysis.symmetric)
+
+let test_certify_protocol_consistency () =
+  let sys = Builders.cycle_rotate 10 in
+  let r = Analysis.certify_protocol sys in
+  check "network name" true (r.Analysis.network = "C(10)");
+  check_int "period recorded" 4 r.Analysis.period;
+  (match r.Analysis.gossip_time with
+  | Some t ->
+      check "cert <= gossip" true
+        (r.Analysis.certificate.Certificate.bound <= t);
+      check "gossip >= diameter" true (t >= r.Analysis.diameter)
+  | None -> Alcotest.fail "cycle protocol should complete");
+  (match r.Analysis.broadcast_time with
+  | Some b -> check "broadcast <= gossip" true
+      (Some b <= r.Analysis.gossip_time)
+  | None -> Alcotest.fail "broadcast should complete");
+  check "asymptotic term positive" true (r.Analysis.asymptotic_main_term > 0.0)
+
+let test_certify_protocol_incomplete () =
+  (* a protocol that cannot gossip still gets analyzed at the horizon *)
+  let g = Families.path 4 in
+  let sys = Systolic.make g Protocol.Half_duplex [ [ (0, 1) ] ] in
+  let r = Analysis.certify_protocol ~horizon:30 sys in
+  check "no gossip time" true (r.Analysis.gossip_time = None);
+  check "certificate still computed" true
+    (r.Analysis.certificate.Certificate.bound >= 1)
+
+let test_certify_full_duplex_mode_coefficient () =
+  let hd = Analysis.certify_protocol (Builders.hypercube_sweep ~dim:3 ~full_duplex:false) in
+  let fd = Analysis.certify_protocol (Builders.hypercube_sweep ~dim:3 ~full_duplex:true) in
+  (* e_fd(s) <= e(s) pointwise, so the fd asymptotic term is smaller for
+     the same network even at the smaller fd period *)
+  check "fd main term below hd" true
+    (fd.Analysis.asymptotic_main_term <= hd.Analysis.asymptotic_main_term +. 1e-9)
+
+let test_reports_render () =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Analysis.pp_network_report ppf (Analysis.analyze_network (Families.cycle 6));
+  Analysis.pp_protocol_report ppf
+    (Analysis.certify_protocol (Builders.cycle_rotate 6));
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "mentions network" true (contains "C(6)");
+  check "mentions certificate" true (contains "certified lower bound");
+  check "mentions modes" true (contains "half-duplex")
+
+let suite =
+  [
+    ("analyze_network fields", `Quick, test_analyze_network_fields);
+    ("analyze_network custom periods", `Quick, test_analyze_network_custom_periods);
+    ("certify_protocol consistency", `Quick, test_certify_protocol_consistency);
+    ("certify_protocol incomplete", `Quick, test_certify_protocol_incomplete);
+    ("fd vs hd coefficients", `Quick, test_certify_full_duplex_mode_coefficient);
+    ("reports render", `Quick, test_reports_render);
+  ]

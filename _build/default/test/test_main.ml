@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "systolic_gossip"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("topology", Test_topology.suite);
+      ("protocol", Test_protocol.suite);
+      ("simulate", Test_simulate.suite);
+      ("delay", Test_delay.suite);
+      ("bounds", Test_bounds.suite);
+      ("search", Test_search.suite);
+      ("extensions", Test_extensions.suite);
+      ("analysis", Test_analysis.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the simulation engine: whispering-model semantics, gossip
+   and broadcast completion, and the structural invariants every run must
+   satisfy (monotone knowledge, gossip >= broadcast >= diameter-ish). *)
+
+open Gossip_topology
+open Gossip_protocol
+open Gossip_simulate
+module Bitset = Gossip_util.Bitset
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let get = function Some x -> x | None -> Alcotest.fail "expected completion"
+
+let test_initial_state () =
+  let st = Engine.initial_state 4 in
+  check_int "items known initially" 4 (Engine.items_known st);
+  check "each knows own item" true
+    (List.for_all
+       (fun v -> Bitset.mem (Engine.knowledge st v) v)
+       [ 0; 1; 2; 3 ]);
+  check "knows nothing else" false (Bitset.mem (Engine.knowledge st 0) 1);
+  check "not complete" false (Engine.all_complete st)
+
+let test_apply_round_directed () =
+  let st = Engine.initial_state 3 in
+  Engine.apply_round st [ (0, 1) ];
+  check "1 learned 0" true (Bitset.mem (Engine.knowledge st 1) 0);
+  check "0 learned nothing" false (Bitset.mem (Engine.knowledge st 0) 1);
+  Engine.apply_round st [ (1, 2) ];
+  check "2 learned both" true
+    (Bitset.mem (Engine.knowledge st 2) 0 && Bitset.mem (Engine.knowledge st 2) 1)
+
+let test_apply_round_exchange_snapshots () =
+  (* full-duplex exchange must swap start-of-round knowledge, not leak
+     within-round updates *)
+  let st = Engine.initial_state 2 in
+  Engine.apply_round st [ (0, 1); (1, 0) ];
+  check "both complete after one exchange" true (Engine.all_complete st);
+  (* three vertices: chain of two exchanges in successive rounds *)
+  let st = Engine.initial_state 3 in
+  Engine.apply_round st [ (0, 1); (1, 0) ];
+  check "2 still isolated" true
+    (Bitset.cardinal (Engine.knowledge st 2) = 1)
+
+let test_snapshot_needed_case () =
+  (* round (0->1) and (1->2) is NOT a matching, but apply_round must still
+     be correct for matchings where a sender is also a receiver only via
+     the opposite arc; verify the snapshot logic using a full-duplex pair
+     plus observer *)
+  let st = Engine.initial_state 4 in
+  Engine.apply_round st [ (0, 1); (1, 0); (2, 3) ];
+  check "0 has {0,1}" true
+    (Bitset.elements (Engine.knowledge st 0) = [ 0; 1 ]);
+  check "1 has {0,1}" true
+    (Bitset.elements (Engine.knowledge st 1) = [ 0; 1 ]);
+  check "3 has {2,3}" true
+    (Bitset.elements (Engine.knowledge st 3) = [ 2; 3 ])
+
+let test_run_protocol () =
+  let g = Families.path 3 in
+  let p =
+    Protocol.make g Protocol.Half_duplex
+      [ [ (0, 1) ]; [ (1, 2) ]; [ (2, 1) ]; [ (1, 0) ] ]
+  in
+  let o = Engine.run_protocol p in
+  check "completed" true (o.Engine.completed_at = Some 4);
+  check "full coverage" true (o.Engine.coverage = 1.0)
+
+let test_run_protocol_incomplete () =
+  let g = Families.path 3 in
+  let p = Protocol.make g Protocol.Half_duplex [ [ (0, 1) ] ] in
+  let o = Engine.run_protocol p in
+  check "incomplete" true (o.Engine.completed_at = None);
+  check "partial coverage" true (o.Engine.coverage < 1.0 && o.Engine.coverage > 0.0)
+
+let test_gossip_time_known_protocols () =
+  (* full-duplex hypercube allgather completes in exactly dim rounds *)
+  check_int "Q4 fd gossip = 4" 4
+    (get (Engine.gossip_time (Builders.hypercube_sweep ~dim:4 ~full_duplex:true)));
+  check_int "Q4 hd gossip = 8" 8
+    (get (Engine.gossip_time (Builders.hypercube_sweep ~dim:4 ~full_duplex:false)));
+  (* even cycle rotate completes in ~n rounds *)
+  let t = get (Engine.gossip_time (Builders.cycle_rotate 12)) in
+  check "cycle rotate close to n" true (t >= 6 && t <= 14)
+
+let test_gossip_cap () =
+  (* a protocol that never completes: only one edge of the path ever used *)
+  let g = Families.path 4 in
+  let sys = Systolic.make g Protocol.Half_duplex [ [ (0, 1) ] ] in
+  check "cap returns None" true (Engine.gossip_time ~cap:50 sys = None)
+
+let test_broadcast_vs_gossip () =
+  List.iter
+    (fun sys ->
+      let gt = Engine.gossip_time sys in
+      let bt = Engine.broadcast_time sys ~src:0 in
+      match (gt, bt) with
+      | Some g, Some b ->
+          check "broadcast <= gossip" true (b <= g);
+          let diam =
+            Metrics.diameter (Systolic.graph sys)
+          in
+          check "gossip >= diameter" true (g >= diam)
+      | _ -> Alcotest.fail "expected completion")
+    [
+      Builders.path_wave 8;
+      Builders.cycle_rotate 8;
+      Builders.hypercube_sweep ~dim:3 ~full_duplex:false;
+      Builders.edge_coloring_half_duplex (Families.de_bruijn 2 4);
+      Builders.edge_coloring_full_duplex (Families.kautz 2 3);
+      Builders.edge_coloring_half_duplex (Families.complete_dary_tree 2 3);
+    ]
+
+let test_per_round_coverage_monotone () =
+  let sys = Builders.edge_coloring_half_duplex (Families.grid 3 3) in
+  let cov = Engine.per_round_coverage sys ~rounds:40 in
+  let ok = ref true in
+  for i = 1 to Array.length cov - 1 do
+    if cov.(i) < cov.(i - 1) -. 1e-12 then ok := false
+  done;
+  check "coverage monotone" true !ok;
+  check "starts above 1/n" true (cov.(0) >= 1.0 /. 9.0);
+  check "ends complete" true (cov.(39) = 1.0)
+
+(* --- Faults --- *)
+
+let test_faults_p0_matches_baseline () =
+  let sys = Builders.cycle_rotate 12 in
+  let base = Option.get (Engine.gossip_time sys) in
+  let o = Faults.gossip_time_with_faults sys ~drop_probability:0.0 ~seed:3 in
+  check "p=0 matches fault-free" true (o.Faults.completed_at = Some base);
+  check "no drops at p=0" true (o.Faults.drops = 0)
+
+let test_faults_p1_never_completes () =
+  let sys = Builders.cycle_rotate 8 in
+  let o = Faults.gossip_time_with_faults ~cap:100 sys ~drop_probability:1.0 ~seed:3 in
+  check "p=1 never completes" true (o.Faults.completed_at = None);
+  check "everything dropped" true (o.Faults.drops = o.Faults.activations)
+
+let test_faults_deterministic () =
+  let sys = Builders.hypercube_sweep ~dim:4 ~full_duplex:false in
+  let a = Faults.gossip_time_with_faults sys ~drop_probability:0.3 ~seed:11 in
+  let b = Faults.gossip_time_with_faults sys ~drop_probability:0.3 ~seed:11 in
+  check "same seed same outcome" true (a = b);
+  let c = Faults.gossip_time_with_faults sys ~drop_probability:0.3 ~seed:12 in
+  check "different seed may differ in drops" true
+    (c.Faults.activations > 0)
+
+let test_faults_slowdown () =
+  let sys = Builders.hypercube_sweep ~dim:4 ~full_duplex:false in
+  let base = Option.get (Engine.gossip_time sys) in
+  let o = Faults.gossip_time_with_faults sys ~drop_probability:0.2 ~seed:5 in
+  (match o.Faults.completed_at with
+  | Some t -> check "faulty time >= fault-free" true (t >= base)
+  | None -> ());
+  let curve = Faults.slowdown_curve sys ~probabilities:[ 0.0; 0.2 ] ~seed:5 in
+  match (List.assoc 0.0 curve, List.assoc 0.2 curve) with
+  | Some t0, Some t2 -> check "curve increases" true (t2 >= t0)
+  | _ -> Alcotest.fail "curve incomplete"
+
+let test_faults_validation () =
+  let sys = Builders.cycle_rotate 8 in
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Faults: drop_probability must be in [0, 1]") (fun () ->
+      ignore (Faults.gossip_time_with_faults sys ~drop_probability:1.5 ~seed:0))
+
+(* Knowledge sets only ever grow, and every known item is explained by a
+   dipath in time (we check growth + final size bound). *)
+let prop_knowledge_monotone =
+  QCheck.Test.make ~name:"knowledge sets grow monotonically" ~count:50
+    QCheck.(pair (int_range 0 10_000) (int_range 1 6))
+    (fun (seed, period) ->
+      let g = Families.de_bruijn 2 3 in
+      let sys =
+        Builders.random_systolic g Protocol.Half_duplex ~period ~seed
+          ~density:0.8
+      in
+      let n = Digraph.n_vertices g in
+      let st = Engine.initial_state n in
+      let ok = ref true in
+      for i = 0 to (4 * period) - 1 do
+        let before = Array.init n (fun v -> Bitset.copy (Engine.knowledge st v)) in
+        Engine.apply_round st (Systolic.period_round sys i);
+        for v = 0 to n - 1 do
+          if not (Bitset.subset before.(v) (Engine.knowledge st v)) then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* Gossip time is at least the eccentricity-based bound for every protocol
+   that completes: an item from the farthest vertex needs >= diameter
+   rounds. *)
+let prop_gossip_at_least_diameter =
+  QCheck.Test.make ~name:"gossip time >= diameter when complete" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 2 8))
+    (fun (seed, period) ->
+      let g = Families.kautz 2 3 in
+      let sys =
+        Builders.random_systolic g Protocol.Half_duplex ~period ~seed
+          ~density:1.0
+      in
+      match Engine.gossip_time ~cap:500 sys with
+      | None -> true
+      | Some t -> t >= Metrics.diameter g)
+
+(* One extra item per round per processor at most: gossip on n vertices
+   takes at least n-1 activations into any fixed vertex... globally,
+   items_known grows by at most one per arc activation. *)
+let prop_items_bounded_by_activations =
+  QCheck.Test.make ~name:"items learned <= total activation budget" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Families.de_bruijn 2 3 in
+      let n = Digraph.n_vertices g in
+      let sys =
+        Builders.random_systolic g Protocol.Half_duplex ~period:4 ~seed
+          ~density:1.0
+      in
+      let st = Engine.initial_state n in
+      let budget = ref 0 in
+      let ok = ref true in
+      for i = 0 to 19 do
+        let round = Systolic.period_round sys i in
+        (* each arc (x,y) can add at most |know(x)| <= n items *)
+        budget := !budget + (List.length round * n);
+        Engine.apply_round st round;
+        if Engine.items_known st > n + !budget then ok := false
+      done;
+      !ok)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("initial state", `Quick, test_initial_state);
+    ("apply round directed", `Quick, test_apply_round_directed);
+    ("exchange snapshots", `Quick, test_apply_round_exchange_snapshots);
+    ("snapshot with observer", `Quick, test_snapshot_needed_case);
+    ("run protocol", `Quick, test_run_protocol);
+    ("run protocol incomplete", `Quick, test_run_protocol_incomplete);
+    ("gossip time known protocols", `Quick, test_gossip_time_known_protocols);
+    ("gossip cap", `Quick, test_gossip_cap);
+    ("broadcast vs gossip vs diameter", `Quick, test_broadcast_vs_gossip);
+    ("coverage monotone", `Quick, test_per_round_coverage_monotone);
+    ("faults p=0 baseline", `Quick, test_faults_p0_matches_baseline);
+    ("faults p=1 stalls", `Quick, test_faults_p1_never_completes);
+    ("faults deterministic", `Quick, test_faults_deterministic);
+    ("faults slowdown", `Quick, test_faults_slowdown);
+    ("faults validation", `Quick, test_faults_validation);
+    q prop_knowledge_monotone;
+    q prop_gossip_at_least_diameter;
+    q prop_items_bounded_by_activations;
+  ]

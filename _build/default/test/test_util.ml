@@ -1,0 +1,266 @@
+(* Unit and property tests for Gossip_util: bitsets, PRNG, numeric
+   solvers, table rendering. *)
+
+open Gossip_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Bitset --- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check "empty" true (Bitset.is_empty s);
+  check_int "cardinal 0" 0 (Bitset.cardinal s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_int "cardinal 4" 4 (Bitset.cardinal s);
+  check "mem 63" true (Bitset.mem s 63);
+  check "mem 64" true (Bitset.mem s 64);
+  check "not mem 65" false (Bitset.mem s 65);
+  check "not mem out of range" false (Bitset.mem s 1000);
+  Bitset.remove s 63;
+  check "removed" false (Bitset.mem s 63);
+  check_int "cardinal 3" 3 (Bitset.cardinal s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset: element 10 outside universe 10") (fun () ->
+      Bitset.add s 10);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Bitset.create: negative capacity") (fun () ->
+      ignore (Bitset.create (-1)))
+
+let test_bitset_union () =
+  let a = Bitset.of_list 50 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 50 [ 3; 4; 48 ] in
+  let u = Bitset.union a b in
+  check_int "union cardinal" 5 (Bitset.cardinal u);
+  Alcotest.(check (list int)) "union elements" [ 1; 2; 3; 4; 48 ]
+    (Bitset.elements u);
+  let i = Bitset.inter a b in
+  Alcotest.(check (list int)) "inter elements" [ 3 ] (Bitset.elements i);
+  Bitset.union_into ~src:b ~dst:a;
+  check "in place union" true (Bitset.equal a u)
+
+let test_bitset_full () =
+  let s = Bitset.create 65 in
+  for i = 0 to 64 do
+    Bitset.add s i
+  done;
+  check "full" true (Bitset.is_full s);
+  Bitset.remove s 64;
+  check "not full" false (Bitset.is_full s)
+
+let test_bitset_subset () =
+  let a = Bitset.of_list 20 [ 1; 5 ] in
+  let b = Bitset.of_list 20 [ 1; 5; 9 ] in
+  check "subset" true (Bitset.subset a b);
+  check "not superset" false (Bitset.subset b a);
+  check "copy independent" true
+    (let c = Bitset.copy a in
+     Bitset.add c 2;
+     not (Bitset.mem a 2))
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/elements roundtrip" ~count:200
+    QCheck.(small_list (int_bound 63))
+    (fun xs ->
+      let s = Bitset.of_list 64 xs in
+      Bitset.elements s = List.sort_uniq compare xs)
+
+let prop_bitset_union_card =
+  QCheck.Test.make ~name:"bitset |A∪B| + |A∩B| = |A| + |B|" ~count:200
+    QCheck.(pair (small_list (int_bound 99)) (small_list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      Bitset.cardinal (Bitset.union a b) + Bitset.cardinal (Bitset.inter a b)
+      = Bitset.cardinal a + Bitset.cardinal b)
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs = List.init 100 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1000) in
+  check "same seed same stream" true (xs = ys);
+  let c = Prng.create 43 in
+  let zs = List.init 100 (fun _ -> Prng.int c 1000) in
+  check "different seed different stream" false (xs = zs)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  let ok = ref true in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 17 in
+    if x < 0 || x >= 17 then ok := false;
+    let f = Prng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then ok := false
+  done;
+  check "int and float in range" true !ok;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int rng 0))
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check "shuffle is a permutation" true (sorted = Array.init 50 Fun.id);
+  check "shuffle moved something" true (a <> Array.init 50 Fun.id)
+
+let test_prng_copy_split () =
+  let a = Prng.create 1 in
+  let b = Prng.copy a in
+  check "copy continues identically" true
+    (List.init 10 (fun _ -> Prng.int a 100)
+    = List.init 10 (fun _ -> Prng.int b 100));
+  let c = Prng.split a in
+  check "split diverges" false
+    (List.init 10 (fun _ -> Prng.int a 100)
+    = List.init 10 (fun _ -> Prng.int c 100))
+
+(* --- Numeric --- *)
+
+let test_bisect () =
+  let r = Numeric.bisect ~lo:0.0 ~hi:2.0 (fun x -> (x *. x) -. 2.0) in
+  check "sqrt 2 by bisection" true (Float.abs (r -. sqrt 2.0) < 1e-9)
+
+let test_brent () =
+  let r = Numeric.brent ~lo:0.0 ~hi:2.0 (fun x -> (x *. x *. x) +. x -. 1.0) in
+  check "brent root of x^3+x-1" true (Float.abs (r -. 0.6823278038) < 1e-9);
+  (* endpoints that are already roots *)
+  let z = Numeric.brent ~lo:0.0 ~hi:1.0 (fun x -> x) in
+  check "root at endpoint" true (z = 0.0)
+
+let test_brent_invalid_bracket () =
+  Alcotest.check_raises "non-bracketing"
+    (Invalid_argument
+       "Numeric.brent: f(1)=1 and f(2)=4 do not bracket a root") (fun () ->
+      ignore (Numeric.brent ~lo:1.0 ~hi:2.0 (fun x -> x *. x)))
+
+let test_golden_max () =
+  let x, v = Numeric.golden_max ~lo:0.0 ~hi:4.0 (fun x -> -.((x -. 1.3) ** 2.0)) in
+  check "golden argmax" true (Float.abs (x -. 1.3) < 1e-6);
+  check "golden max value" true (Float.abs v < 1e-10)
+
+let test_grid_max_multimodal () =
+  (* two humps; grid must find the global one near x = 3 (the overlap of
+     the smaller hump shifts the true maximum slightly left of 3) *)
+  let f x = exp (-.((x -. 3.0) ** 2.0)) +. (0.5 *. exp (-.((x -. 0.5) ** 2.0))) in
+  let x, v = Numeric.grid_max ~lo:0.0 ~hi:4.0 f in
+  check "grid_max finds global hump" true (Float.abs (x -. 3.0) < 1e-2);
+  check "grid_max value at least f(3)" true (v >= f 3.0)
+
+let test_log2_phi () =
+  check "log2 8 = 3" true (Numeric.approx_equal (Numeric.log2 8.0) 3.0);
+  check "phi satisfies phi^2 = phi + 1" true
+    (Numeric.approx_equal (Numeric.phi ** 2.0) (Numeric.phi +. 1.0))
+
+let prop_brent_vs_bisect =
+  QCheck.Test.make ~name:"brent agrees with bisect on monotone cubics"
+    ~count:100
+    QCheck.(float_range 0.1 5.0)
+    (fun a ->
+      let f x = (x *. x *. x) +. (a *. x) -. 1.0 in
+      let r1 = Numeric.brent ~lo:0.0 ~hi:1.0 f in
+      let r2 = Numeric.bisect ~lo:0.0 ~hi:1.0 f in
+      Float.abs (r1 -. r2) < 1e-8)
+
+(* --- Parallel --- *)
+
+let test_parallel_map_matches_sequential () =
+  let arr = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  check "parallel map = sequential map" true
+    (Parallel.map ~domains:4 f arr = Array.map f arr);
+  check "parallel map 1 domain" true
+    (Parallel.map ~domains:1 f arr = Array.map f arr);
+  check "empty array" true (Parallel.map ~domains:4 f [||] = [||])
+
+let test_parallel_init () =
+  check "init matches" true
+    (Parallel.init ~domains:3 257 (fun i -> i * 2) = Array.init 257 (fun i -> i * 2));
+  check "init 0" true (Parallel.init ~domains:3 0 (fun i -> i) = [||])
+
+let test_parallel_max_float () =
+  let arr = Array.init 100 float_of_int in
+  check "max" true
+    (Parallel.max_float ~domains:4 (fun x -> -.((x -. 42.0) ** 2.0)) arr = 0.0);
+  check "empty is neg_infinity" true
+    (Parallel.max_float ~domains:2 Fun.id [||] = neg_infinity);
+  check "recommended >= 1" true (Parallel.recommended_domains () >= 1)
+
+let prop_parallel_deterministic =
+  QCheck.Test.make ~name:"parallel map deterministic across domain counts"
+    ~count:30
+    QCheck.(pair (small_list int) (int_range 1 6))
+    (fun (xs, domains) ->
+      let arr = Array.of_list xs in
+      Parallel.map ~domains (fun x -> x + 1) arr
+      = Array.map (fun x -> x + 1) arr)
+
+(* --- Table --- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.make ~title:"demo" [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1.00" ];
+  Table.add_row t [ "beta"; "2.50" ];
+  Table.add_sep t;
+  let s = Table.render t in
+  check "has title" true (contains ~sub:"== demo ==" s);
+  check "contains alpha row" true (contains ~sub:"alpha" s);
+  check "right-aligns numbers" true (contains ~sub:" 1.00 |" s);
+  let lines = String.split_on_char '\n' s in
+  check "enough lines" true (List.length lines >= 7)
+
+let test_table_cells () =
+  Alcotest.(check string) "float cell" "3.1416" (Table.cell_f 3.14159265);
+  Alcotest.(check string) "float cell decimals" "3.14" (Table.cell_f ~decimals:2 3.14159);
+  Alcotest.(check string) "int cell" "42" (Table.cell_i 42)
+
+let test_table_errors () =
+  let t = Table.make ~title:"" [ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("bitset basic", `Quick, test_bitset_basic);
+    ("bitset bounds", `Quick, test_bitset_bounds);
+    ("bitset union/inter", `Quick, test_bitset_union);
+    ("bitset full detection", `Quick, test_bitset_full);
+    ("bitset subset/copy", `Quick, test_bitset_subset);
+    ("prng determinism", `Quick, test_prng_deterministic);
+    ("prng bounds", `Quick, test_prng_bounds);
+    ("prng shuffle", `Quick, test_prng_shuffle_permutes);
+    ("prng copy/split", `Quick, test_prng_copy_split);
+    ("numeric bisect", `Quick, test_bisect);
+    ("numeric brent", `Quick, test_brent);
+    ("numeric brent invalid bracket", `Quick, test_brent_invalid_bracket);
+    ("numeric golden max", `Quick, test_golden_max);
+    ("numeric grid max multimodal", `Quick, test_grid_max_multimodal);
+    ("numeric log2/phi", `Quick, test_log2_phi);
+    ("parallel map", `Quick, test_parallel_map_matches_sequential);
+    ("parallel init", `Quick, test_parallel_init);
+    ("parallel max_float", `Quick, test_parallel_max_float);
+    ("table render", `Quick, test_table_render);
+    ("table cells", `Quick, test_table_cells);
+    ("table errors", `Quick, test_table_errors);
+    q prop_bitset_roundtrip;
+    q prop_bitset_union_card;
+    q prop_brent_vs_bisect;
+    q prop_parallel_deterministic;
+  ]
