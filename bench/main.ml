@@ -24,7 +24,8 @@
      Part 18 scale           simulator throughput on growing networks
      Part 19 ablation        worst-case local pattern = balanced split
      Part 20 messages        obliviousness overhead in transmissions
-     Part 21 Bechamel        one micro-benchmark per table *)
+     Part 21 Bechamel        one micro-benchmark per table
+     Part 22 cache stats     shared-context hit/miss accounting *)
 
 open Core
 module Table = Util.Table
@@ -49,6 +50,11 @@ let section title =
   Printf.printf "\n############ %s ############\n\n" title
 
 let ss = [ 3; 4; 5; 6; 7; 8 ]
+
+(* One memoizing context shared by every certificate-heavy part below:
+   Part 8's gossip times and delay digraphs are re-served to Part 10's
+   sandwich rows, and Part 22 reports the accumulated cache traffic. *)
+let ctx = Context.create ()
 
 (* ---------------------------------------------------------------- *)
 (* Part 1: Fig. 4                                                    *)
@@ -304,11 +310,11 @@ let certificate_cases () =
 let run_certificates () =
   List.filter_map
     (fun (name, sys) ->
-      match Engine.gossip_time sys with
+      match Context.gossip_time ctx sys with
       | None -> None
       | Some t ->
-          let dg = Delay_digraph.of_systolic sys ~length:t in
-          let cert = Certificate.certify dg ~mode:(Systolic.mode sys) in
+          let dg = Context.delay_digraph ctx sys ~length:t in
+          let cert = Context.certify ctx dg ~mode:(Systolic.mode sys) in
           Some (name, sys, t, cert))
     (certificate_cases ())
 
@@ -327,7 +333,7 @@ let print_certificates () =
           name;
           string_of_int (Digraph.n_vertices g);
           string_of_int (Systolic.period sys);
-          string_of_int (Metrics.diameter g);
+          string_of_int (Context.diameter ctx g);
           string_of_int cert.Certificate.bound;
           string_of_int measured;
           Table.cell_f cert.Certificate.norm;
@@ -354,15 +360,15 @@ let run_norm_sweep () =
     Builders.random_systolic g Protocol.Protocol.Full_duplex ~period:s ~seed:11
       ~density:1.0
   in
-  let dg_hd = Delay_digraph.of_systolic hd ~length:(4 * s) in
-  let dg_fd = Delay_digraph.of_systolic fd ~length:(4 * s) in
+  let dg_hd = Context.delay_digraph ctx hd ~length:(4 * s) in
+  let dg_fd = Context.delay_digraph ctx fd ~length:(4 * s) in
   List.map
     (fun lambda ->
       ( lambda,
-        Delay_matrix.norm_blockwise dg_hd lambda,
+        Context.norm ctx dg_hd lambda,
         Delay_matrix.closed_form_bound ~mode:Protocol.Protocol.Half_duplex
           ~window:s lambda,
-        Delay_matrix.norm_blockwise dg_fd lambda,
+        Context.norm ctx dg_fd lambda,
         Delay_matrix.closed_form_bound ~mode:Protocol.Protocol.Full_duplex
           ~window:s lambda ))
     [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.637; 0.7; 0.8 ]
@@ -411,13 +417,13 @@ let run_sandwich () =
       List.filter_map
         (fun dim ->
           let sys = make dim in
-          match Engine.gossip_time sys with
+          match Context.gossip_time ctx sys with
           | None -> None
           | Some t ->
               let g = Systolic.graph sys in
               let n = Digraph.n_vertices g in
-              let dg = Delay_digraph.of_systolic sys ~length:t in
-              let cert = Certificate.certify dg ~mode:(Systolic.mode sys) in
+              let dg = Context.delay_digraph ctx sys ~length:t in
+              let cert = Context.certify ctx dg ~mode:(Systolic.mode sys) in
               let logn = Util.Numeric.log2 (float_of_int n) in
               Some (name, dim, n, cert.Certificate.bound, General.e_inf *. logn, t))
         [ 3; 4; 5; 6 ])
@@ -1032,4 +1038,8 @@ let () =
   section "Part 20: message complexity";
   print_messages ();
   section "Part 21: Bechamel micro-benchmarks";
-  run_bechamel ()
+  run_bechamel ();
+  section "Part 22: pipeline cache statistics";
+  Format.printf "%a@." Context.pp_stats ctx;
+  if Util.Instrument.enabled () then
+    Format.printf "%a@?" Util.Instrument.pp_summary ()

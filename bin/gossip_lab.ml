@@ -5,12 +5,58 @@
      analyze  FAMILY DIM       closed-form bounds for one network
      simulate FAMILY DIM       run a periodic protocol and certify it
      info     FAMILY DIM       structural facts about a network
+     stats    FAMILY DIM       exercise the memoizing pipeline, dump stats
 
    FAMILY is one of: path cycle complete hypercube grid torus tree
-   bf dwbf wbf ddb db dk k (the latter seven take a degree with -d). *)
+   bf dwbf wbf ddb db dk k (the latter seven take a degree with -d).
+
+   Every subcommand accepts --domains N (worker domains for the parallel
+   stages) and --trace (record span timings / cache counters and print a
+   summary after the run). *)
 
 open Core
 module C = Cmdliner
+
+(* --- shared --domains / --trace plumbing --- *)
+
+let domains_arg =
+  C.Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel stages (table rows, blockwise \
+           norms, BFS sweeps, candidate batches).  Default: automatic.")
+
+let trace_arg =
+  C.Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record span timings and cache counters and print a summary after \
+           the run (equivalent to setting GOSSIP_TRACE=1).")
+
+(* Evaluated before the positional arguments of every subcommand; returns
+   unit so command runners just prepend it. *)
+let setup_term =
+  let setup domains trace =
+    match domains with
+    | Some d when d < 1 ->
+        `Error (true, "option '--domains': value must be at least 1")
+    | _ ->
+        Util.Parallel.set_default_domains domains;
+        if trace then Util.Instrument.set_enabled true;
+        `Ok ()
+  in
+  C.Term.(ret (const setup $ domains_arg $ trace_arg))
+
+let report ?ctx () =
+  if Util.Instrument.enabled () then begin
+    (match ctx with
+    | Some ctx -> Format.printf "%a@." Context.pp_stats ctx
+    | None -> ());
+    Format.printf "%a@?" Util.Instrument.pp_summary ()
+  end
 
 let build_network family d dim =
   let module F = Topology.Families in
@@ -116,38 +162,44 @@ let tables_cmd =
       (Bounds.Tables.fig5 ~ss) ss;
     print_fig6 ();
     print_family_table ~title:"Fig. 8 — full-duplex systolic bounds"
-      (Bounds.Tables.fig8 ~ss) ss
+      (Bounds.Tables.fig8 ~ss) ss;
+    report ()
   in
   C.Cmd.v (C.Cmd.info "tables" ~doc:"Regenerate the paper's numeric tables.")
-    C.Term.(const run $ const ())
+    C.Term.(const run $ setup_term)
 
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run family d dim =
+  let run () family d dim =
     let g = build_network family d dim in
+    let ctx = Context.create () in
     Format.printf "%a@." Analysis.pp_network_report
-      (Analysis.analyze_network g)
+      (Analysis.analyze_network ~ctx g);
+    report ~ctx ()
   in
   C.Cmd.v
     (C.Cmd.info "analyze" ~doc:"Closed-form lower bounds for one network.")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg)
 
 (* --- simulate --- *)
 
+let default_systolic g full_duplex =
+  if Topology.Digraph.is_symmetric g then
+    if full_duplex then Protocol.Builders.edge_coloring_full_duplex g
+    else Protocol.Builders.edge_coloring_half_duplex g
+  else
+    Protocol.Builders.random_systolic g Protocol.Protocol.Directed ~period:8
+      ~seed:1 ~density:1.0
+
 let simulate_cmd =
-  let run family d dim full_duplex =
+  let run () family d dim full_duplex =
     let g = build_network family d dim in
-    let sys =
-      if Topology.Digraph.is_symmetric g then
-        if full_duplex then Protocol.Builders.edge_coloring_full_duplex g
-        else Protocol.Builders.edge_coloring_half_duplex g
-      else
-        Protocol.Builders.random_systolic g Protocol.Protocol.Directed
-          ~period:8 ~seed:1 ~density:1.0
-    in
+    let sys = default_systolic g full_duplex in
+    let ctx = Context.create () in
     Format.printf "%a@." Analysis.pp_protocol_report
-      (Analysis.certify_protocol sys)
+      (Analysis.certify_protocol ~ctx sys);
+    report ~ctx ()
   in
   let fd =
     C.Arg.(
@@ -157,12 +209,12 @@ let simulate_cmd =
   C.Cmd.v
     (C.Cmd.info "simulate"
        ~doc:"Run a periodic protocol on the network and certify it.")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ fd)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd)
 
 (* --- price --- *)
 
 let price_cmd =
-  let run family d dim s_max =
+  let run () family d dim s_max =
     let g = build_network family d dim in
     if Topology.Digraph.n_vertices g > 12 then
       failwith "price: exhaustive search needs a tiny network (n <= 12)";
@@ -185,7 +237,8 @@ let price_cmd =
             Printf.printf "s=%d: no s-systolic gossip protocol exists\n" s
         | Search.Systolic_optimal.Too_large ->
             Printf.printf "s=%d: sweep too large\n" s)
-      systolic
+      systolic;
+    report ()
   in
   let s_max =
     C.Arg.(value & opt int 5 & info [ "s-max" ] ~docv:"S" ~doc:"Largest period.")
@@ -193,12 +246,12 @@ let price_cmd =
   C.Cmd.v
     (C.Cmd.info "price"
        ~doc:"Exact price of systolization on a tiny network (exhaustive).")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ s_max)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ s_max)
 
 (* --- dot --- *)
 
 let dot_cmd =
-  let run family d dim delay =
+  let run () family d dim delay =
     let g = build_network family d dim in
     if delay then begin
       let sys =
@@ -224,12 +277,12 @@ let dot_cmd =
   in
   C.Cmd.v
     (C.Cmd.info "dot" ~doc:"Emit the network (or its delay digraph) as Graphviz DOT.")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ delay)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ delay)
 
 (* --- optimal (exhaustive) --- *)
 
 let optimal_cmd =
-  let run family d dim full_duplex =
+  let run () family d dim full_duplex =
     let g = build_network family d dim in
     let mode =
       if not (Topology.Digraph.is_symmetric g) then Protocol.Protocol.Directed
@@ -241,11 +294,12 @@ let optimal_cmd =
         Printf.printf "optimal gossip: %d rounds (%d states explored)\n"
           r.Search.Optimal.rounds r.Search.Optimal.states_explored
     | None -> print_endline "gossip search exceeded the state budget");
-    match Search.Optimal.broadcast_number g mode ~src:0 with
+    (match Search.Optimal.broadcast_number g mode ~src:0 with
     | Some r ->
         Printf.printf "optimal broadcast from 0: %d rounds\n"
           r.Search.Optimal.rounds
-    | None -> print_endline "broadcast search exceeded the state budget"
+    | None -> print_endline "broadcast search exceeded the state budget");
+    report ()
   in
   let fd =
     C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex mode.")
@@ -253,12 +307,12 @@ let optimal_cmd =
   C.Cmd.v
     (C.Cmd.info "optimal"
        ~doc:"Exact optimal gossip/broadcast (tiny networks, <= 24 vertices).")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ fd)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd)
 
 (* --- broadcast --- *)
 
 let broadcast_cmd =
-  let run family d dim src =
+  let run () family d dim src =
     let g = build_network family d dim in
     let mode =
       if Topology.Digraph.is_symmetric g then Protocol.Protocol.Half_duplex
@@ -272,34 +326,38 @@ let broadcast_cmd =
     Printf.printf "c(d)·log n asymptotic: %.2f\n"
       (Bounds.Broadcast.asymptotic_coefficient g
       *. Util.Numeric.log2
-           (float_of_int (Topology.Digraph.n_vertices g)))
+           (float_of_int (Topology.Digraph.n_vertices g)));
+    report ()
   in
   let src =
     C.Arg.(value & opt int 0 & info [ "src" ] ~docv:"V" ~doc:"Source vertex.")
   in
   C.Cmd.v
     (C.Cmd.info "broadcast" ~doc:"Greedy broadcast schedule and bounds.")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg $ src)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ src)
 
 (* --- certify a protocol file --- *)
 
 let certify_file_cmd =
-  let run path refine =
+  let run () path refine =
     let sys = Protocol.Protocol_io.load path in
-    let report = Analysis.certify_protocol sys in
-    Format.printf "%a@." Analysis.pp_protocol_report report;
-    if refine then begin
-      match report.Analysis.gossip_time with
-      | Some t ->
-          let dg = Delay.Delay_digraph.of_systolic sys ~length:t in
-          let cert =
-            Delay.Certificate.certify ~refine:true dg
-              ~mode:(Protocol.Systolic.mode sys)
-          in
-          Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
-            cert.Delay.Certificate.bound cert.Delay.Certificate.lambda
-      | None -> ()
-    end
+    let ctx = Context.create () in
+    let protocol_report = Analysis.certify_protocol ~ctx sys in
+    Format.printf "%a@." Analysis.pp_protocol_report protocol_report;
+    (if refine then
+       match protocol_report.Analysis.gossip_time with
+       | Some t ->
+           (* The refinement re-sweeps the coarse λ grid over the same
+              delay digraph, so every coarse norm solve is a cache hit. *)
+           let dg = Context.delay_digraph ctx sys ~length:t in
+           let cert =
+             Context.certify ctx ~refine:true dg
+               ~mode:(Protocol.Systolic.mode sys)
+           in
+           Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
+             cert.Delay.Certificate.bound cert.Delay.Certificate.lambda
+       | None -> ());
+    report ~ctx ()
   in
   let path =
     C.Arg.(
@@ -313,22 +371,65 @@ let certify_file_cmd =
   C.Cmd.v
     (C.Cmd.info "certify-file"
        ~doc:"Load a protocol from a text file, run it, certify it.")
-    C.Term.(const run $ path $ refine)
+    C.Term.(const run $ setup_term $ path $ refine)
+
+(* --- stats: exercise the memoizing pipeline --- *)
+
+let stats_cmd =
+  let run () family d dim full_duplex =
+    let g = build_network family d dim in
+    let sys = default_systolic g full_duplex in
+    let ctx = Context.create () in
+    let mode = Protocol.Systolic.mode sys in
+    let s = Protocol.Systolic.period sys in
+    (* Cold pass: simulate, expand, certify — every artifact is a miss. *)
+    let cold = Analysis.certify_protocol ~ctx sys in
+    Format.printf "%a@." Analysis.pp_protocol_report cold;
+    (* Refined certificate over the same delay digraph: the coarse λ grid
+       is revisited, so its norm solves are cache hits. *)
+    (match cold.Analysis.gossip_time with
+    | Some t ->
+        let dg = Context.delay_digraph ctx sys ~length:t in
+        let refined = Context.certify ctx ~refine:true dg ~mode in
+        Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
+          refined.Delay.Certificate.bound refined.Delay.Certificate.lambda
+    | None -> ());
+    (* Warm pass: everything served from the cache. *)
+    let warm = Analysis.certify_protocol ~ctx sys in
+    Printf.printf "warm re-analysis identical: %b\n" (cold = warm);
+    let oracle = Context.lower_bounds ctx g ~mode ~s:(Some s) in
+    Printf.printf "oracle sound lower bound: %d rounds\n"
+      oracle.Bounds.Oracle.sound;
+    Format.printf "%a@." Context.pp_stats ctx;
+    if Util.Instrument.enabled () then
+      Format.printf "%a@?" Util.Instrument.pp_summary ()
+  in
+  let fd =
+    C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex protocol.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "stats"
+       ~doc:
+         "Run a certificate workload twice through one shared memoizing \
+          context and print cache statistics (and span timings under \
+          --trace).")
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd)
 
 (* --- info --- *)
 
 let info_cmd =
-  let run family d dim =
+  let run () family d dim =
     let g = build_network family d dim in
     Format.printf "%a@." Topology.Digraph.pp g;
     Format.printf "diameter: %d@." (Topology.Metrics.diameter g);
     Format.printf "degree parameter d: %d@."
       (Topology.Digraph.degree_parameter g);
     Format.printf "strongly connected: %b@."
-      (Topology.Digraph.is_strongly_connected g)
+      (Topology.Digraph.is_strongly_connected g);
+    report ()
   in
   C.Cmd.v (C.Cmd.info "info" ~doc:"Structural facts about a network.")
-    C.Term.(const run $ family_arg $ degree_arg $ dim_arg)
+    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg)
 
 let () =
   let doc = "systolic gossip lower-bound laboratory" in
@@ -336,6 +437,6 @@ let () =
     (C.Cmd.eval
        (C.Cmd.group (C.Cmd.info "gossip_lab" ~doc)
           [
-            tables_cmd; analyze_cmd; simulate_cmd; info_cmd; price_cmd;
-            dot_cmd; certify_file_cmd; optimal_cmd; broadcast_cmd;
+            tables_cmd; analyze_cmd; simulate_cmd; info_cmd; stats_cmd;
+            price_cmd; dot_cmd; certify_file_cmd; optimal_cmd; broadcast_cmd;
           ]))

@@ -11,9 +11,11 @@ type t = {
   asymptotic_refined : float option;
 }
 
-let lower_bounds ?family g ~mode ~s =
+let lower_bounds ?family ?diameter g ~mode ~s =
   let n = Digraph.n_vertices g in
-  let diameter = Metrics.diameter g in
+  let diameter =
+    match diameter with Some d -> d | None -> Metrics.diameter g
+  in
   let doubling = Broadcast.trivial ~n in
   let two_systolic = if s = Some 2 then Some (n - 1) else None in
   let logn = Gossip_util.Numeric.log2 (float_of_int n) in

@@ -31,11 +31,15 @@ type t = {
       (** separator-refined main term when [g] matches a catalog family *)
 }
 
-(** [lower_bounds ?family g ~mode ~s] — [s = None] means non-systolic
-    ([s → ∞]); [family] optionally names a catalog row (e.g.
-    ["DB(2,D)"]) whose ⟨α, l⟩ should be applied. *)
+(** [lower_bounds ?family ?diameter g ~mode ~s] — [s = None] means
+    non-systolic ([s → ∞]); [family] optionally names a catalog row
+    (e.g. ["DB(2,D)"]) whose ⟨α, l⟩ should be applied.  [diameter], when
+    supplied (e.g. from a memoizing {e analysis context} that already
+    swept the network), is trusted instead of re-running the BFS sweep —
+    the returned bounds are identical either way. *)
 val lower_bounds :
   ?family:string ->
+  ?diameter:int ->
   Gossip_topology.Digraph.t ->
   mode:Gossip_protocol.Protocol.mode ->
   s:int option ->

@@ -1,10 +1,20 @@
+module Parallel = Gossip_util.Parallel
+module Instrument = Gossip_util.Instrument
+
 type fig4_row = { s : int; lambda : float; e : float }
+
+(* Each family row (and each fig4 period) is an independent closed-form
+   computation — root solves and separator formulas — so the tables map
+   over them in parallel, preserving order. *)
+let parallel_rows name f items =
+  Instrument.span name (fun () ->
+      Array.to_list (Parallel.map f (Array.of_list items)))
 
 let fig4 ~s_max =
   if s_max < 3 then invalid_arg "Tables.fig4: s_max must be >= 3";
-  List.init (s_max - 2) (fun i ->
-      let s = i + 3 in
-      { s; lambda = General.lambda_star s; e = General.e s })
+  parallel_rows "bounds.fig4"
+    (fun s -> { s; lambda = General.lambda_star s; e = General.e s })
+    (List.init (s_max - 2) (fun i -> i + 3))
 
 let fig4_inf = { s = max_int; lambda = General.lambda_star_inf; e = General.e_inf }
 
@@ -20,7 +30,7 @@ let cell_of ~separator_value ~general =
   }
 
 let fig5 ~ss =
-  List.map
+  parallel_rows "bounds.fig5"
     (fun (f : Catalog.t) ->
       let cells =
         List.map
@@ -44,7 +54,7 @@ type fig6_row = {
 }
 
 let fig6 () =
-  List.map
+  parallel_rows "bounds.fig6"
     (fun (f : Catalog.t) ->
       let sep =
         Separator_bounds.e_half_duplex_inf ~alpha:f.Catalog.alpha
@@ -61,7 +71,7 @@ let fig6 () =
     Catalog.families
 
 let fig8 ~ss =
-  List.map
+  parallel_rows "bounds.fig8"
     (fun (f : Catalog.t) ->
       let cells =
         List.map
@@ -79,7 +89,7 @@ let fig8 ~ss =
 let fig8_general ~ss = List.map (fun s -> (s, General.e_fd s)) ss
 
 let fig8_inf () =
-  List.map
+  parallel_rows "bounds.fig8-inf"
     (fun (f : Catalog.t) ->
       let sep =
         Separator_bounds.e_full_duplex_inf ~alpha:f.Catalog.alpha
@@ -105,17 +115,14 @@ let fig5_extended ~ds ~ss =
       (Printf.sprintf "DB(%d,D)" d, ld, 1.0 /. ld);
     ]
   in
-  List.concat_map
-    (fun d ->
-      List.map
-        (fun (key, alpha, ell) ->
-          let cells =
-            List.map
-              (fun s ->
-                let sep = Separator_bounds.e_half_duplex ~alpha ~ell ~s in
-                (s, cell_of ~separator_value:sep ~general:(General.e s)))
-              ss
-          in
-          { key; cells })
-        (shapes d))
-    ds
+  parallel_rows "bounds.fig5-extended"
+    (fun (key, alpha, ell) ->
+      let cells =
+        List.map
+          (fun s ->
+            let sep = Separator_bounds.e_half_duplex ~alpha ~ell ~s in
+            (s, cell_of ~separator_value:sep ~general:(General.e s)))
+          ss
+      in
+      { key; cells })
+    (List.concat_map shapes ds)

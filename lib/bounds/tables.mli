@@ -9,7 +9,11 @@
 type fig4_row = { s : int; lambda : float; e : float }
 
 (** [fig4 ~s_max] — rows for [s = 3 .. s_max]; {!fig4_inf} the [s → ∞]
-    row ([λ = 1/φ], [e = 1.4404]). *)
+    row ([λ = 1/φ], [e = 1.4404]).  Every table in this module computes
+    its rows in parallel over families/periods (worker count from
+    {!Gossip_util.Parallel.recommended_domains}, i.e. the process-wide
+    [--domains] knob); rows are independent closed-form computations and
+    output order is preserved. *)
 val fig4 : s_max:int -> fig4_row list
 
 val fig4_inf : fig4_row

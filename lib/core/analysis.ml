@@ -19,14 +19,19 @@ type network_report = {
   nonsystolic_bound : float;
 }
 
-let analyze_network ?(periods = [ 3; 4; 5; 6; 7; 8 ]) g =
+let analyze_network ?ctx ?(periods = [ 3; 4; 5; 6; 7; 8 ]) g =
   let n = Digraph.n_vertices g in
+  let diameter =
+    match ctx with
+    | Some ctx -> Context.diameter ctx g
+    | None -> Metrics.diameter g
+  in
   {
     name = Digraph.name g;
     n;
     arcs = Digraph.n_arcs g;
     symmetric = Digraph.is_symmetric g;
-    diameter = Metrics.diameter g;
+    diameter;
     degree_parameter = Digraph.degree_parameter g;
     general_bounds =
       List.map
@@ -51,18 +56,29 @@ type protocol_report = {
   asymptotic_main_term : float;
 }
 
-let certify_protocol ?horizon p =
+let certify_protocol ?ctx ?horizon p =
   let g = Systolic.graph p in
   let n = Digraph.n_vertices g in
-  let gossip_time = Engine.gossip_time ?cap:horizon p in
+  let gossip_time =
+    match ctx with
+    | Some ctx -> Context.gossip_time ctx ?cap:horizon p
+    | None -> Engine.gossip_time ?cap:horizon p
+  in
   let length =
     match (gossip_time, horizon) with
     | Some t, _ -> t
     | None, Some h -> h
     | None, None -> (8 * Systolic.period p * n) + 64
   in
-  let dg = Delay_digraph.of_systolic p ~length in
-  let certificate = Certificate.certify dg ~mode:(Systolic.mode p) in
+  let certificate =
+    match ctx with
+    | Some ctx ->
+        let dg = Context.delay_digraph ctx p ~length in
+        Context.certify ctx dg ~mode:(Systolic.mode p)
+    | None ->
+        let dg = Delay_digraph.of_systolic p ~length in
+        Certificate.certify dg ~mode:(Systolic.mode p)
+  in
   let s = max 3 (Systolic.period p) in
   let e_coeff =
     match Systolic.mode p with
@@ -75,7 +91,10 @@ let certify_protocol ?horizon p =
     period = Systolic.period p;
     gossip_time;
     broadcast_time = Engine.broadcast_time ?cap:horizon p ~src:0;
-    diameter = Metrics.diameter g;
+    diameter =
+      (match ctx with
+      | Some ctx -> Context.diameter ctx g
+      | None -> Metrics.diameter g);
     certificate;
     asymptotic_main_term = General.coefficient_of_log ~e_coeff ~n;
   }

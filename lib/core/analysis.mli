@@ -19,10 +19,15 @@ type network_report = {
   nonsystolic_bound : float;  (** [1.4404·log₂ n] *)
 }
 
-(** [analyze_network ?periods g] — closed-form lower bounds for [g]
-    (default periods 3..8). *)
+(** [analyze_network ?ctx ?periods g] — closed-form lower bounds for [g]
+    (default periods 3..8).  With [ctx], the diameter sweep is served
+    from (and recorded in) the shared {!Context}; the report is identical
+    either way. *)
 val analyze_network :
-  ?periods:int list -> Gossip_topology.Digraph.t -> network_report
+  ?ctx:Context.t ->
+  ?periods:int list ->
+  Gossip_topology.Digraph.t ->
+  network_report
 
 (** Outcome of running and certifying one systolic protocol. *)
 type protocol_report = {
@@ -37,12 +42,19 @@ type protocol_report = {
   asymptotic_main_term : float;  (** [e(s)·log₂ n] for comparison *)
 }
 
-(** [certify_protocol ?horizon p] — simulate the systolic protocol to
-    completion (or [horizon] rounds), build its delay digraph, and emit
-    the Theorem 4.1 certificate.  The certified bound is guaranteed (and
-    checked in the tests) to be at most the measured gossip time. *)
+(** [certify_protocol ?ctx ?horizon p] — simulate the systolic protocol
+    to completion (or [horizon] rounds), build its delay digraph, and
+    emit the Theorem 4.1 certificate.  The certified bound is guaranteed
+    (and checked in the tests) to be at most the measured gossip time.
+    With [ctx], the simulation, the delay digraph and every norm solve
+    of the certificate's λ sweep go through the shared {!Context} — a
+    repeated analysis of the same protocol is nearly free, and the
+    report is identical either way. *)
 val certify_protocol :
-  ?horizon:int -> Gossip_protocol.Systolic.t -> protocol_report
+  ?ctx:Context.t ->
+  ?horizon:int ->
+  Gossip_protocol.Systolic.t ->
+  protocol_report
 
 (** [pp_network_report] and [pp_protocol_report] render for humans. *)
 val pp_network_report : Format.formatter -> network_report -> unit

@@ -1,0 +1,336 @@
+module Digraph = Gossip_topology.Digraph
+module Metrics = Gossip_topology.Metrics
+module Separator = Gossip_topology.Separator
+module Protocol = Gossip_protocol.Protocol
+module Systolic = Gossip_protocol.Systolic
+module Spectral = Gossip_linalg.Spectral
+module Delay_digraph = Gossip_delay.Delay_digraph
+module Delay_matrix = Gossip_delay.Delay_matrix
+module Certificate = Gossip_delay.Certificate
+module General = Gossip_bounds.General
+module Oracle = Gossip_bounds.Oracle
+module Engine = Gossip_simulate.Engine
+module Instrument = Gossip_util.Instrument
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type 'v entry = { value : 'v; mutable last_use : int }
+
+(* One artifact table, erased to the operations the LRU sweep needs so
+   heterogeneous tables can share a single eviction policy. *)
+type shelf = {
+  occupancy : unit -> int;
+  oldest : unit -> (int * (unit -> unit)) option;
+      (* last-use tick of the least recently used entry, and a closure
+         removing exactly that entry *)
+  drop_all : unit -> unit;
+}
+
+let make_shelf (tbl : ('k, 'v entry) Hashtbl.t) =
+  {
+    occupancy = (fun () -> Hashtbl.length tbl);
+    oldest =
+      (fun () ->
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (t, _) when t <= e.last_use -> acc
+            | _ -> Some (e.last_use, fun () -> Hashtbl.remove tbl k))
+          tbl None);
+    drop_all = (fun () -> Hashtbl.reset tbl);
+  }
+
+type t = {
+  capacity : int;
+  domains : int option;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+  diameters : (string, int entry) Hashtbl.t;
+  separators : (string, Separator.measurement entry) Hashtbl.t;
+  dgs : (string * int, Delay_digraph.t entry) Hashtbl.t;
+  norms : (string * string * float, float entry) Hashtbl.t;
+  blocks : (string * float * int, Gossip_linalg.Dense.t entry) Hashtbl.t;
+  lambdas : (string * int, float entry) Hashtbl.t;
+  times : (string * int, int option entry) Hashtbl.t;
+  shelves : shelf list;
+}
+
+let create ?(capacity = 4096) ?domains () =
+  if capacity < 1 then invalid_arg "Context.create: capacity < 1";
+  let diameters = Hashtbl.create 32 in
+  let separators = Hashtbl.create 32 in
+  let dgs = Hashtbl.create 32 in
+  let norms = Hashtbl.create 256 in
+  let blocks = Hashtbl.create 256 in
+  let lambdas = Hashtbl.create 32 in
+  let times = Hashtbl.create 32 in
+  {
+    capacity;
+    domains;
+    lock = Mutex.create ();
+    tick = 0;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+    diameters;
+    separators;
+    dgs;
+    norms;
+    blocks;
+    lambdas;
+    times;
+    shelves =
+      [
+        make_shelf diameters;
+        make_shelf separators;
+        make_shelf dgs;
+        make_shelf norms;
+        make_shelf blocks;
+        make_shelf lambdas;
+        make_shelf times;
+      ];
+  }
+
+let domains ctx = ctx.domains
+
+(* {2 Fingerprints} *)
+
+let mix h x = h := (!h * 1_000_003) lxor x
+
+let fingerprint g =
+  let h = ref 0x9e3779b9 in
+  mix h (Digraph.n_vertices g);
+  Digraph.iter_arcs (fun u v -> mix h ((u * 65_599) + v + 1)) g;
+  Printf.sprintf "%s|%d|%d|%x" (Digraph.name g) (Digraph.n_vertices g)
+    (Digraph.n_arcs g) (!h land max_int)
+
+let protocol_fingerprint sys =
+  let h = ref 0x51ed270b in
+  List.iter
+    (fun round ->
+      mix h 0x2545f49;
+      List.iter (fun (u, v) -> mix h ((u * 65_599) + v + 1)) round)
+    (Systolic.period_rounds sys);
+  Printf.sprintf "%s|%s|s%d|%x"
+    (fingerprint (Systolic.graph sys))
+    (Protocol.mode_to_string (Systolic.mode sys))
+    (Systolic.period sys) (!h land max_int)
+
+(* The activations determine the whole delay digraph (its arcs follow
+   from the window), so hashing them plus the dimensions is a faithful
+   structural digest.  O(activations) per call — negligible next to any
+   norm solve over the same digraph. *)
+let dg_fingerprint dg =
+  let h = ref 0x7f4a7c15 in
+  mix h (Delay_digraph.window dg);
+  mix h (Delay_digraph.protocol_length dg);
+  let m = Delay_digraph.n_activations dg in
+  mix h m;
+  for k = 0 to m - 1 do
+    let a = Delay_digraph.activation dg k in
+    mix h a.Delay_digraph.src;
+    mix h a.Delay_digraph.dst;
+    mix h a.Delay_digraph.round
+  done;
+  Printf.sprintf "%s|dg%d@%d|%x"
+    (fingerprint (Delay_digraph.graph dg))
+    (Delay_digraph.window dg)
+    (Delay_digraph.protocol_length dg)
+    (!h land max_int)
+
+let separator_digest (sep : Separator.t) =
+  let h = ref 0x3c6ef372 in
+  List.iter (fun v -> mix h (v + 1)) sep.Separator.v1;
+  mix h 0x1234567;
+  List.iter (fun v -> mix h (v + 1)) sep.Separator.v2;
+  Printf.sprintf "%h|%h|%x" sep.Separator.alpha sep.Separator.ell
+    (!h land max_int)
+
+let options_digest = function
+  | None -> "default"
+  | Some (o : Spectral.options) ->
+      Printf.sprintf "%h|%d|%d" o.Spectral.tol o.Spectral.max_iter
+        o.Spectral.seed
+
+(* {2 Bookkeeping core} *)
+
+let total_entries ctx =
+  List.fold_left (fun acc s -> acc + s.occupancy ()) 0 ctx.shelves
+
+(* Caller holds [ctx.lock].  Returns how many entries were dropped. *)
+let evict_locked ctx =
+  let evicted = ref 0 in
+  let stuck = ref false in
+  while (not !stuck) && total_entries ctx > ctx.capacity do
+    let victim =
+      List.fold_left
+        (fun acc shelf ->
+          match shelf.oldest () with
+          | None -> acc
+          | Some (t, _) as c -> (
+              match acc with Some (t', _) when t' <= t -> acc | _ -> c))
+        None ctx.shelves
+    in
+    match victim with
+    | None -> stuck := true
+    | Some (_, remove) ->
+        remove ();
+        ctx.n_evictions <- ctx.n_evictions + 1;
+        incr evicted
+  done;
+  !evicted
+
+let lookup ctx tbl key =
+  Mutex.lock ctx.lock;
+  let found =
+    match Hashtbl.find_opt tbl key with
+    | Some e ->
+        ctx.tick <- ctx.tick + 1;
+        e.last_use <- ctx.tick;
+        ctx.n_hits <- ctx.n_hits + 1;
+        Some e.value
+    | None ->
+        ctx.n_misses <- ctx.n_misses + 1;
+        None
+  in
+  Mutex.unlock ctx.lock;
+  (match found with
+  | Some _ -> Instrument.add "context.hit" 1
+  | None -> Instrument.add "context.miss" 1);
+  found
+
+let store ctx tbl key v =
+  Mutex.lock ctx.lock;
+  let evicted =
+    if Hashtbl.mem tbl key then 0 (* a racing miss beat us; keep theirs *)
+    else begin
+      ctx.tick <- ctx.tick + 1;
+      Hashtbl.replace tbl key { value = v; last_use = ctx.tick };
+      evict_locked ctx
+    end
+  in
+  Mutex.unlock ctx.lock;
+  if evicted > 0 then Instrument.add "context.evict" evicted
+
+(* Lookup under the lock, compute outside it (artifact builders can be
+   expensive and may themselves run parallel workers), insert under the
+   lock.  A racing miss computes twice; both arrive at the same value. *)
+let memo ctx tbl key compute =
+  match lookup ctx tbl key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      store ctx tbl key v;
+      v
+
+(* {2 Cached artifacts} *)
+
+let diameter ctx g =
+  memo ctx ctx.diameters (fingerprint g) (fun () ->
+      Metrics.diameter ?domains:ctx.domains g)
+
+let separator_measure ctx g sep =
+  memo ctx ctx.separators
+    (fingerprint g ^ "|" ^ separator_digest sep)
+    (fun () -> Separator.measure g sep)
+
+let delay_digraph ctx sys ~length =
+  memo ctx ctx.dgs
+    (protocol_fingerprint sys, length)
+    (fun () -> Delay_digraph.of_systolic sys ~length)
+
+let norm ctx ?options dg lambda =
+  memo ctx ctx.norms
+    (dg_fingerprint dg, options_digest options, lambda)
+    (fun () ->
+      Delay_matrix.norm_blockwise ?options ?domains:ctx.domains dg lambda)
+
+let vertex_block ctx dg lambda x =
+  memo ctx ctx.blocks
+    (dg_fingerprint dg, lambda, x)
+    (fun () -> Delay_matrix.vertex_block dg lambda x)
+
+let lambda_star ctx ~mode s =
+  let cls =
+    match mode with
+    | Protocol.Directed | Protocol.Half_duplex -> "hd"
+    | Protocol.Full_duplex -> "fd"
+  in
+  memo ctx ctx.lambdas (cls, s) (fun () ->
+      match mode with
+      | Protocol.Directed | Protocol.Half_duplex -> General.lambda_star s
+      | Protocol.Full_duplex -> General.lambda_star_fd s)
+
+let gossip_time ctx ?cap sys =
+  let cap_key = match cap with Some c -> c | None -> -1 in
+  memo ctx ctx.times
+    (protocol_fingerprint sys, cap_key)
+    (fun () -> Engine.gossip_time ?cap sys)
+
+(* {2 Context-aware pipeline entry points} *)
+
+let certify ctx ?lambdas ?refine ?options dg ~mode =
+  Certificate.certify ?lambdas ?refine ?options
+    ~norm:(fun dg l -> norm ctx ?options dg l)
+    dg ~mode
+
+let certify_systolic ctx ?lambdas ?refine ?options sys =
+  Certificate.certify_systolic ?lambdas ?refine ?options
+    ~norm:(fun dg l -> norm ctx ?options dg l)
+    ~expand:(fun sys ~length -> delay_digraph ctx sys ~length)
+    sys
+
+let lower_bounds ctx ?family g ~mode ~s =
+  Oracle.lower_bounds ?family ~diameter:(diameter ctx g) g ~mode ~s
+
+(* {2 Accounting} *)
+
+let stats ctx =
+  Mutex.lock ctx.lock;
+  let s =
+    {
+      hits = ctx.n_hits;
+      misses = ctx.n_misses;
+      evictions = ctx.n_evictions;
+      entries = total_entries ctx;
+      capacity = ctx.capacity;
+    }
+  in
+  Mutex.unlock ctx.lock;
+  s
+
+let reset_stats ctx =
+  Mutex.lock ctx.lock;
+  ctx.n_hits <- 0;
+  ctx.n_misses <- 0;
+  ctx.n_evictions <- 0;
+  Mutex.unlock ctx.lock
+
+let clear ctx =
+  Mutex.lock ctx.lock;
+  List.iter (fun s -> s.drop_all ()) ctx.shelves;
+  ctx.n_hits <- 0;
+  ctx.n_misses <- 0;
+  ctx.n_evictions <- 0;
+  ctx.tick <- 0;
+  Mutex.unlock ctx.lock
+
+let pp_stats ppf ctx =
+  let s = stats ctx in
+  let total = s.hits + s.misses in
+  let rate =
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.hits /. float_of_int total
+  in
+  Format.fprintf ppf
+    "cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d/%d entries"
+    s.hits s.misses rate s.evictions s.entries s.capacity

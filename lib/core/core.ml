@@ -19,6 +19,9 @@
       protocols by exhaustive search on small networks.
     - {!Bounds}: closed-form [e(s)] coefficients, separator-refined
       bounds, and the data behind every table of the paper.
+    - {!Context}: shared memoizing artifact store — cached delay
+      digraphs, norm solves, diameters, critical roots — feeding every
+      layer above.
     - {!Analysis}: one-call network / protocol reports. *)
 
 module Util = Gossip_util
@@ -29,4 +32,5 @@ module Simulate = Gossip_simulate
 module Delay = Gossip_delay
 module Search = Gossip_search
 module Bounds = Gossip_bounds
+module Context = Context
 module Analysis = Analysis

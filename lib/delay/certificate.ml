@@ -53,9 +53,14 @@ let smallest_feasible ~nu ~lambda ~pairs ~m1 ~m2 ~start ~horizon =
   in
   scan 1
 
-let certify_generic ?lambdas ?(refine = false) ?options dg ~mode ~pairs
+let certify_generic ?lambdas ?(refine = false) ?options ?norm dg ~mode ~pairs
     ~pred_src ~pred_dst ~start_of =
   let lambdas = match lambdas with Some l -> l | None -> default_lambdas in
+  let norm =
+    match norm with
+    | Some f -> f
+    | None -> fun dg lambda -> Delay_matrix.norm_blockwise ?options dg lambda
+  in
   let horizon = Delay_digraph.protocol_length dg in
   let m1 = cumulative_counts dg pred_src in
   let m2 = cumulative_counts dg pred_dst in
@@ -63,7 +68,7 @@ let certify_generic ?lambdas ?(refine = false) ?options dg ~mode ~pairs
   let best = ref None in
   let consider lambda =
     if lambda > 0.0 && lambda < 1.0 then begin
-      let nu = Delay_matrix.norm_blockwise ?options dg lambda in
+      let nu = norm dg lambda in
       let bound =
         smallest_feasible ~nu ~lambda ~pairs ~m1 ~m2 ~start:(start_of ())
           ~horizon
@@ -96,17 +101,18 @@ let certify_generic ?lambdas ?(refine = false) ?options dg ~mode ~pairs
   | Some c -> c
   | None -> invalid_arg "Certificate.certify: no valid lambda supplied"
 
-let certify ?lambdas ?refine ?options dg ~mode =
+let certify ?lambdas ?refine ?options ?norm dg ~mode =
   let n =
     float_of_int (Gossip_topology.Digraph.n_vertices (Delay_digraph.graph dg))
   in
-  certify_generic ?lambdas ?refine ?options dg ~mode
-    ~pairs:(n *. (n -. 1.0))
-    ~pred_src:(fun _ -> true)
-    ~pred_dst:(fun _ -> true)
-    ~start_of:(fun () -> 1)
+  Gossip_util.Instrument.span "delay.certify" (fun () ->
+      certify_generic ?lambdas ?refine ?options ?norm dg ~mode
+        ~pairs:(n *. (n -. 1.0))
+        ~pred_src:(fun _ -> true)
+        ~pred_dst:(fun _ -> true)
+        ~start_of:(fun () -> 1))
 
-let certify_separator ?lambdas ?refine ?options dg ~mode ~sep =
+let certify_separator ?lambdas ?refine ?options ?norm dg ~mode ~sep =
   let open Gossip_topology.Separator in
   let g = Delay_digraph.graph dg in
   let v1 = Hashtbl.create 64 and v2 = Hashtbl.create 64 in
@@ -114,13 +120,15 @@ let certify_separator ?lambdas ?refine ?options dg ~mode ~sep =
   List.iter (fun v -> Hashtbl.replace v2 v ()) sep.v2;
   let c1 = List.length sep.v1 and c2 = List.length sep.v2 in
   let dist = Gossip_topology.Metrics.set_distance g sep.v1 sep.v2 in
-  certify_generic ?lambdas ?refine ?options dg ~mode
-    ~pairs:(float_of_int c1 *. float_of_int c2)
-    ~pred_src:(fun a -> Hashtbl.mem v1 a.Delay_digraph.src)
-    ~pred_dst:(fun a -> Hashtbl.mem v2 a.Delay_digraph.dst)
-    ~start_of:(fun () -> max 1 (dist - 1))
+  Gossip_util.Instrument.span "delay.certify-separator" (fun () ->
+      certify_generic ?lambdas ?refine ?options ?norm dg ~mode
+        ~pairs:(float_of_int c1 *. float_of_int c2)
+        ~pred_src:(fun a -> Hashtbl.mem v1 a.Delay_digraph.src)
+        ~pred_dst:(fun a -> Hashtbl.mem v2 a.Delay_digraph.dst)
+        ~start_of:(fun () -> max 1 (dist - 1)))
 
-let certify_systolic ?lambdas ?refine ?options sys =
+let certify_systolic ?lambdas ?refine ?options ?norm
+    ?(expand = fun sys ~length -> Delay_digraph.of_systolic sys ~length) sys =
   let module Systolic = Gossip_protocol.Systolic in
   let s = Systolic.period sys in
   let mode = Systolic.mode sys in
@@ -132,8 +140,8 @@ let certify_systolic ?lambdas ?refine ?options sys =
      completion scale. *)
   let max_length = max (8 * s) (4 * s * n) in
   let rec go length previous =
-    let dg = Delay_digraph.of_systolic sys ~length in
-    let cert = certify ?lambdas ?refine ?options dg ~mode in
+    let dg = expand sys ~length in
+    let cert = certify ?lambdas ?refine ?options ?norm dg ~mode in
     match previous with
     | Some p when p.bound = cert.bound -> cert
     | _ when 2 * length > max_length -> cert

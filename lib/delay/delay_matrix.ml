@@ -34,17 +34,18 @@ let norm ?options dg lambda =
 
 let norm_blockwise ?options ?domains dg lambda =
   check_lambda lambda;
-  let g = Delay_digraph.graph dg in
-  let n = Gossip_topology.Digraph.n_vertices g in
-  let block_norm x =
-    let block = vertex_block dg lambda x in
-    if Dense.rows block > 0 && Dense.cols block > 0 then
-      Spectral.norm2_dense ?options block
-    else 0.0
-  in
-  Float.max 0.0
-    (Gossip_util.Parallel.max_float ?domains block_norm
-       (Array.init n Fun.id))
+  Gossip_util.Instrument.span "delay.norm-blockwise" (fun () ->
+      let g = Delay_digraph.graph dg in
+      let n = Gossip_topology.Digraph.n_vertices g in
+      let block_norm x =
+        let block = vertex_block dg lambda x in
+        if Dense.rows block > 0 && Dense.cols block > 0 then
+          Spectral.norm2_dense ?options block
+        else 0.0
+      in
+      Float.max 0.0
+        (Gossip_util.Parallel.max_float ?domains block_norm
+           (Array.init n Fun.id)))
 
 let closed_form_bound ~mode ~window lambda =
   check_lambda lambda;

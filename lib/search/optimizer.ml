@@ -3,9 +3,17 @@ module Protocol = Gossip_protocol.Protocol
 module Systolic = Gossip_protocol.Systolic
 module Prng = Gossip_util.Prng
 
-type options = { iterations : int; restarts : int; seed : int; cap : int }
+type options = {
+  iterations : int;
+  restarts : int;
+  seed : int;
+  cap : int;
+  batch : int;
+  domains : int option;
+}
 
-let default_options = { iterations = 400; restarts = 3; seed = 1; cap = 0 }
+let default_options =
+  { iterations = 400; restarts = 3; seed = 1; cap = 0; batch = 1; domains = None }
 
 let check_size g =
   if Digraph.n_vertices g > 62 then
@@ -106,15 +114,30 @@ let effective_cap options g s =
   if options.cap > 0 then options.cap
   else (8 * s * Digraph.n_vertices g) + 64
 
-let climb rng g mode ~cap ~iterations start =
+(* Candidate evaluation is the hot loop: [evaluate] is pure, so a batch
+   of mutations drawn sequentially from the rng (keeping the random
+   stream deterministic) can be scored concurrently.  With [batch = 1]
+   (the default) the accept/reject trajectory is bit-identical to the
+   classic sequential climber; larger batches explore [batch] neighbours
+   of the incumbent per step and greedily take the best scoring one. *)
+let climb rng g mode ~cap ~iterations ~batch ~domains start =
+  let batch = max 1 batch in
   let best = ref start in
   let best_score = ref (fst (evaluate g start ~cap)) in
   for _ = 1 to iterations do
-    let candidate = mutate rng g mode !best in
-    let score, _ = evaluate g candidate ~cap in
-    if score <= !best_score then begin
-      best := candidate;
-      best_score := score
+    let candidates = Array.init batch (fun _ -> mutate rng g mode !best) in
+    let scores =
+      Gossip_util.Parallel.map ?domains
+        (fun candidate -> fst (evaluate g candidate ~cap))
+        candidates
+    in
+    let pick = ref 0 in
+    for i = 1 to batch - 1 do
+      if scores.(i) < scores.(!pick) then pick := i
+    done;
+    if scores.(!pick) <= !best_score then begin
+      best := candidates.(!pick);
+      best_score := scores.(!pick)
     end
   done;
   (!best, !best_score)
@@ -138,7 +161,10 @@ let improve ?(options = default_options) sys =
   let best = ref start in
   let best_score = ref (fst (evaluate g start ~cap)) in
   for _ = 1 to max 1 options.restarts do
-    let p, score = climb rng g mode ~cap ~iterations:options.iterations !best in
+    let p, score =
+      climb rng g mode ~cap ~iterations:options.iterations
+        ~batch:options.batch ~domains:options.domains !best
+    in
     if score <= !best_score then begin
       best := p;
       best_score := score
@@ -162,7 +188,10 @@ let search ?(options = default_options) g mode ~s =
   let best_score = ref (fst (evaluate g !best ~cap)) in
   for _ = 1 to max 1 options.restarts do
     let start = random_start () in
-    let p, score = climb rng g mode ~cap ~iterations:options.iterations start in
+    let p, score =
+      climb rng g mode ~cap ~iterations:options.iterations
+        ~batch:options.batch ~domains:options.domains start
+    in
     if score <= !best_score then begin
       best := p;
       best_score := score

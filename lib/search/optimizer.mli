@@ -18,10 +18,18 @@ type options = {
   restarts : int;
   seed : int;
   cap : int;  (** simulation horizon per evaluation *)
+  batch : int;
+      (** candidates drawn and scored per move (default 1 — the classic
+          sequential climber, trajectory bit-identical to older
+          versions); larger batches score their candidates in parallel
+          through {!Gossip_util.Parallel} and greedily take the best *)
+  domains : int option;
+      (** workers for batched scoring; [None] defers to
+          {!Gossip_util.Parallel.recommended_domains} *)
 }
 
 (** [default_options] — 400 iterations, 3 restarts, seed 1,
-    cap [8·s·n]-ish chosen per call. *)
+    cap [8·s·n]-ish chosen per call, batch 1, machine-sized domains. *)
 val default_options : options
 
 (** [improve ?options sys] — hill-climb starting from [sys]; returns the

@@ -12,6 +12,13 @@ let knowledge st v = st.know.(v)
 let items_known st =
   Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 st.know
 
+(* Fraction of the n² (vertex, item) pairs already known; guarded so the
+   degenerate empty network reports full coverage instead of dividing by
+   zero.  Single source of truth for every coverage figure below. *)
+let coverage_of st =
+  if st.n = 0 then 1.0
+  else float_of_int (items_known st) /. float_of_int (st.n * st.n)
+
 let all_complete st = Array.for_all Bitset.is_full st.know
 
 let apply_round st round =
@@ -54,10 +61,7 @@ let run_protocol p =
     incr i;
     if all_complete st then completed := Some !i
   done;
-  let coverage =
-    float_of_int (items_known st) /. float_of_int (max 1 (n * n))
-  in
-  { completed_at = !completed; rounds_run = !i; coverage }
+  { completed_at = !completed; rounds_run = !i; coverage = coverage_of st }
 
 let default_cap p =
   let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
@@ -90,4 +94,4 @@ let per_round_coverage p ~rounds =
   let st = initial_state n in
   Array.init rounds (fun i ->
       apply_round st (Systolic.period_round p i);
-      float_of_int (items_known st) /. float_of_int (n * n))
+      coverage_of st)

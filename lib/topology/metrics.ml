@@ -42,7 +42,7 @@ let eccentricity g v =
     (fun acc d -> if d = unreachable || acc = unreachable then unreachable else max acc d)
     0 dist
 
-let diameter g =
+let diameter_seq g =
   let n = Digraph.n_vertices g in
   let best = ref 0 in
   (try
@@ -56,6 +56,24 @@ let diameter g =
      done
    with Exit -> ());
   !best
+
+let diameter ?domains g =
+  let n = Digraph.n_vertices g in
+  Gossip_util.Instrument.span "topology.diameter" (fun () ->
+      (* tiny networks: the early-exit sequential sweep beats any domain
+         spawn; otherwise one BFS per source, parallel over sources, with
+         a fold keeping the sequential semantics (any unreachable vertex
+         poisons the max) *)
+      if n < 64 && domains = None then diameter_seq g
+      else
+        let eccs =
+          Gossip_util.Parallel.init ?domains n (fun v -> eccentricity g v)
+        in
+        Array.fold_left
+          (fun acc e ->
+            if e = unreachable || acc = unreachable then unreachable
+            else max acc e)
+          0 eccs)
 
 let diameter_sampled g ~samples ~seed =
   let n = Digraph.n_vertices g in
@@ -71,4 +89,5 @@ let diameter_sampled g ~samples ~seed =
     !best
   end
 
-let all_pairs g = Array.init (Digraph.n_vertices g) (fun v -> bfs g v)
+let all_pairs ?domains g =
+  Gossip_util.Parallel.init ?domains (Digraph.n_vertices g) (fun v -> bfs g v)

@@ -28,16 +28,18 @@ val set_distance : Digraph.t -> int list -> int list -> int
     some vertex cannot be reached. *)
 val eccentricity : Digraph.t -> int -> int
 
-(** [diameter g] is the exact diameter by [n] BFS runs — fine for the
-    network sizes of the experiments; [unreachable] when not strongly
-    connected. *)
-val diameter : Digraph.t -> int
+(** [diameter ?domains g] is the exact diameter by [n] BFS runs, one per
+    source, parallel over sources ([domains] defaults to
+    {!Gossip_util.Parallel.recommended_domains}); [unreachable] when not
+    strongly connected. *)
+val diameter : ?domains:int -> Digraph.t -> int
 
 (** [diameter_sampled g ~samples ~seed] is a lower estimate of the
     diameter from BFS at randomly sampled sources; exact when
     [samples >= n]. *)
 val diameter_sampled : Digraph.t -> samples:int -> seed:int -> int
 
-(** [all_pairs g] is the full distance matrix [d.(u).(v)]; quadratic
-    memory, intended for small test networks. *)
-val all_pairs : Digraph.t -> int array array
+(** [all_pairs ?domains g] is the full distance matrix [d.(u).(v)],
+    parallel over sources; quadratic memory, intended for small test
+    networks. *)
+val all_pairs : ?domains:int -> Digraph.t -> int array array

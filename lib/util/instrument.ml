@@ -1,0 +1,92 @@
+let env_enabled =
+  match Sys.getenv_opt "GOSSIP_TRACE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let enabled_flag = Atomic.make env_enabled
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+  max_s : float;
+}
+
+(* All accumulators live behind one mutex: span exits and counter bumps
+   are rare relative to the work they measure, so contention is not a
+   concern even from worker domains. *)
+let lock = Mutex.create ()
+let span_tbl : (string, span_stat) Hashtbl.t = Hashtbl.create 32
+let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let record_span name dt =
+  locked (fun () ->
+      let prev =
+        match Hashtbl.find_opt span_tbl name with
+        | Some s -> s
+        | None -> { span_name = name; calls = 0; total_s = 0.0; max_s = 0.0 }
+      in
+      Hashtbl.replace span_tbl name
+        {
+          prev with
+          calls = prev.calls + 1;
+          total_s = prev.total_s +. dt;
+          max_s = Float.max prev.max_s dt;
+        })
+
+let span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> record_span name (Unix.gettimeofday () -. t0))
+      f
+  end
+
+let add name k =
+  if enabled () then
+    locked (fun () ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
+        Hashtbl.replace counter_tbl name (prev + k))
+
+let spans () =
+  locked (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) span_tbl [])
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
+
+let counters () =
+  locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) counter_tbl [])
+  |> List.sort compare
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset span_tbl;
+      Hashtbl.reset counter_tbl)
+
+let pp_summary ppf () =
+  let ss = spans () and cs = counters () in
+  if ss = [] && cs = [] then
+    Format.fprintf ppf "instrumentation: nothing recorded@."
+  else begin
+    if ss <> [] then begin
+      Format.fprintf ppf "%-36s %8s %12s %12s@." "span" "calls" "total ms"
+        "max ms";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "%-36s %8d %12.3f %12.3f@." s.span_name s.calls
+            (1000.0 *. s.total_s) (1000.0 *. s.max_s))
+        ss
+    end;
+    if cs <> [] then begin
+      if ss <> [] then Format.pp_print_newline ppf ();
+      Format.fprintf ppf "%-36s %8s@." "counter" "value";
+      List.iter (fun (k, v) -> Format.fprintf ppf "%-36s %8d@." k v) cs
+    end
+  end
+
+let summary_string () = Format.asprintf "%a" pp_summary ()

@@ -1,0 +1,57 @@
+(** Lightweight instrumentation: named spans, timers and counters.
+
+    The analysis pipeline measures itself through this module: every
+    heavy artifact build (delay digraph expansion, norm evaluation, BFS
+    diameter sweep, certificate search) runs inside a {!span}, and the
+    memoizing context counts its cache hits and misses with {!add}.
+
+    Recording is off by default and costs one branch per call site.  It
+    turns on when the environment variable [GOSSIP_TRACE] is set to
+    [1]/[true]/[yes]/[on] at program start, or programmatically with
+    {!set_enabled} (the [--trace] flag of [gossip_lab]).  All state is
+    global, mutex-protected — spans may be entered from worker domains —
+    and cleared by {!reset}. *)
+
+(** [enabled ()] — is recording currently on? *)
+val enabled : unit -> bool
+
+(** [set_enabled b] switches recording on or off at runtime. *)
+val set_enabled : bool -> unit
+
+(** [span name f] runs [f ()] and, when enabled, adds its wall-clock
+    duration to the accumulator for [name].  Exceptions propagate; the
+    time until the raise is still recorded.  Nesting is fine — each name
+    accumulates independently. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** [add name k] adds [k] to counter [name] (created at 0), when
+    enabled.  Use for event counts: cache hits, evictions, spawned
+    domains. *)
+val add : string -> int -> unit
+
+(** Accumulated statistics of one span name. *)
+type span_stat = {
+  span_name : string;
+  calls : int;  (** completed invocations *)
+  total_s : float;  (** summed wall-clock seconds *)
+  max_s : float;  (** longest single invocation *)
+}
+
+(** [spans ()] — all span accumulators, sorted by descending total
+    time.  Empty when nothing was recorded. *)
+val spans : unit -> span_stat list
+
+(** [counters ()] — all counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** [reset ()] clears every span and counter (the enabled flag is
+    untouched). *)
+val reset : unit -> unit
+
+(** [pp_summary ppf ()] prints a two-part formatted report: span table
+    (name, calls, total ms, max ms) then counter table.  Prints a
+    placeholder line when nothing was recorded. *)
+val pp_summary : Format.formatter -> unit -> unit
+
+(** [summary_string ()] is {!pp_summary} rendered to a string. *)
+val summary_string : unit -> string

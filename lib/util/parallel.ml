@@ -1,8 +1,26 @@
+(* One process-wide knob: the CLI's --domains flag (or a library user)
+   sets it once and every parallel loop in the stack picks it up without
+   threading a parameter through each layer. *)
+let default_override = Atomic.make None
+
+let set_default_domains d =
+  (match d with
+  | Some d when d < 1 -> invalid_arg "Parallel.set_default_domains: d < 1"
+  | _ -> ());
+  Atomic.set default_override d
+
+let default_domains () = Atomic.get default_override
+
 let recommended_domains () =
-  let cpus =
-    match Domain.recommended_domain_count () with c when c > 0 -> c | _ -> 1
-  in
-  max 1 (min 8 (cpus - 1))
+  match Atomic.get default_override with
+  | Some d -> d
+  | None ->
+      let cpus =
+        match Domain.recommended_domain_count () with
+        | c when c > 0 -> c
+        | _ -> 1
+      in
+      max 1 (min 8 (cpus - 1))
 
 (* Static chunking: worker [w] handles indices with [i mod workers = w].
    Interleaving balances load when costs vary smoothly across the index
@@ -12,6 +30,7 @@ let init ?domains n f =
   if n <= 0 then [||]
   else if workers = 1 || n < 4 then Array.init n f
   else begin
+    Instrument.add "parallel.domain-spawns" (workers - 1);
     let results = Array.make n None in
     let work w () =
       let i = ref w in

@@ -10,7 +10,18 @@
     The functions degrade gracefully: with [domains = 1] (or on tiny
     inputs) they run sequentially with no domain spawn. *)
 
-(** [recommended_domains ()] is a conservative worker count:
+(** [set_default_domains d] installs a process-wide default worker count
+    used by every call site that does not pass [?domains] explicitly —
+    the single knob behind the CLI's [--domains] flag.  [None] restores
+    the machine-sized default.
+    @raise Invalid_argument if [d < 1]. *)
+val set_default_domains : int option -> unit
+
+(** [default_domains ()] is the current override, if any. *)
+val default_domains : unit -> int option
+
+(** [recommended_domains ()] is the installed default
+    ({!set_default_domains}), or a conservative machine-sized count:
     [max 1 (min 8 (cpu_count - 1))] (the runtime's own domain counts as
     one). *)
 val recommended_domains : unit -> int

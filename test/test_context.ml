@@ -1,0 +1,212 @@
+(* Tests for the shared memoizing analysis context: hit/miss accounting,
+   fingerprint separation of equal-size inputs, LRU eviction, and — most
+   importantly — that every context-served artifact is identical to its
+   uncached computation. *)
+
+module Context = Core.Context
+module Analysis = Core.Analysis
+module Families = Gossip_topology.Families
+module Digraph = Gossip_topology.Digraph
+module Metrics = Gossip_topology.Metrics
+module Separator = Gossip_topology.Separator
+module Protocol = Gossip_protocol.Protocol
+module Systolic = Gossip_protocol.Systolic
+module Builders = Gossip_protocol.Builders
+module Engine = Gossip_simulate.Engine
+module Delay_digraph = Gossip_delay.Delay_digraph
+module Delay_matrix = Gossip_delay.Delay_matrix
+module Certificate = Gossip_delay.Certificate
+module General = Gossip_bounds.General
+module Oracle = Gossip_bounds.Oracle
+module Dense = Gossip_linalg.Dense
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let tiny_sys () = Builders.edge_coloring_half_duplex (Families.hypercube 3)
+
+let test_norm_cache_hit () =
+  let ctx = Context.create () in
+  let dg = Delay_digraph.of_systolic (tiny_sys ()) ~length:8 in
+  let a = Context.norm ctx dg 0.5 in
+  let s1 = Context.stats ctx in
+  check_int "first eval misses" 1 s1.Context.misses;
+  check_int "no hit yet" 0 s1.Context.hits;
+  let b = Context.norm ctx dg 0.5 in
+  let s2 = Context.stats ctx in
+  check_int "repeated eval hits" 1 s2.Context.hits;
+  check_int "no extra miss" 1 s2.Context.misses;
+  check "cached value bit-identical" true
+    (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b));
+  check "agrees with direct evaluation" true
+    (a = Delay_matrix.norm_blockwise dg 0.5);
+  ignore (Context.norm ctx dg 0.6);
+  check_int "different lambda misses" 2 (Context.stats ctx).Context.misses
+
+let test_distinct_graphs_no_collision () =
+  (* Same name, same vertex and arc counts, different structure: the
+     fingerprints must differ, so cached artifacts never cross over. *)
+  let a = Digraph.make ~name:"G" 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let b = Digraph.make ~name:"G" 4 [ (0, 2); (2, 1); (1, 3); (3, 0) ] in
+  check "same-shape fingerprints differ" true
+    (Context.fingerprint a <> Context.fingerprint b);
+  let ctx = Context.create () in
+  check_int "diameter of a" (Metrics.diameter a) (Context.diameter ctx a);
+  check_int "diameter of b" (Metrics.diameter b) (Context.diameter ctx b);
+  let s = Context.stats ctx in
+  check_int "both were misses" 2 s.Context.misses;
+  check_int "no false hit" 0 s.Context.hits
+
+let test_protocol_fingerprint_distinguishes () =
+  let g = Families.hypercube 3 in
+  let hd = Builders.edge_coloring_half_duplex g in
+  let fd = Builders.edge_coloring_full_duplex g in
+  check "mode enters the fingerprint" true
+    (Context.protocol_fingerprint hd <> Context.protocol_fingerprint fd);
+  check "fingerprint is reproducible" true
+    (Context.protocol_fingerprint hd = Context.protocol_fingerprint hd)
+
+let test_oracle_identical_with_and_without_ctx () =
+  let ctx = Context.create () in
+  List.iter
+    (fun (g, mode, s) ->
+      let plain = Oracle.lower_bounds g ~mode ~s in
+      let cold = Context.lower_bounds ctx g ~mode ~s in
+      let warm = Context.lower_bounds ctx g ~mode ~s in
+      check "oracle identical with context" true (plain = cold);
+      check "warm oracle identical" true (plain = warm))
+    [
+      (Families.hypercube 3, Protocol.Half_duplex, Some 4);
+      (Families.de_bruijn 2 4, Protocol.Half_duplex, None);
+      (Families.hypercube 3, Protocol.Full_duplex, Some 3);
+      (Families.cycle 9, Protocol.Half_duplex, Some 2);
+    ];
+  check "diameters were served from cache" true
+    ((Context.stats ctx).Context.hits > 0)
+
+let test_certify_matches_plain () =
+  let sys = tiny_sys () in
+  let mode = Systolic.mode sys in
+  let t =
+    match Engine.gossip_time sys with
+    | Some t -> t
+    | None -> Alcotest.fail "tiny systolic protocol must complete"
+  in
+  let ctx = Context.create () in
+  let dg = Context.delay_digraph ctx sys ~length:t in
+  let plain =
+    Certificate.certify (Delay_digraph.of_systolic sys ~length:t) ~mode
+  in
+  let cached = Context.certify ctx dg ~mode in
+  check "certificate identical with context" true (plain = cached);
+  (* The refinement sweep revisits the coarse winner's λ, so it must be
+     served from the cache populated by the coarse pass. *)
+  Context.reset_stats ctx;
+  let refined = Context.certify ctx ~refine:true dg ~mode in
+  check "refined bound no worse" true
+    (refined.Certificate.bound >= cached.Certificate.bound);
+  check "refine reused cached norm solves" true
+    ((Context.stats ctx).Context.hits > 0)
+
+let test_certify_systolic_matches_plain () =
+  let sys = tiny_sys () in
+  let ctx = Context.create () in
+  let plain = Certificate.certify_systolic sys in
+  let cold = Context.certify_systolic ctx sys in
+  check "certify_systolic identical with context" true (plain = cold);
+  Context.reset_stats ctx;
+  let warm = Context.certify_systolic ctx sys in
+  check "warm certify_systolic identical" true (cold = warm);
+  let s = Context.stats ctx in
+  check "warm run is all hits" true (s.Context.hits > 0 && s.Context.misses = 0)
+
+let test_analysis_reports_identical () =
+  let g = Families.hypercube 3 in
+  let ctx = Context.create () in
+  check "network report identical" true
+    (Analysis.analyze_network g = Analysis.analyze_network ~ctx g);
+  let sys = tiny_sys () in
+  check "protocol report identical" true
+    (Analysis.certify_protocol sys = Analysis.certify_protocol ~ctx sys)
+
+let test_lambda_star_and_gossip_time () =
+  let ctx = Context.create () in
+  let hd = Context.lambda_star ctx ~mode:Protocol.Half_duplex 5 in
+  check "matches General.lambda_star" true (hd = General.lambda_star 5);
+  check "directed shares the half-duplex root" true
+    (hd = Context.lambda_star ctx ~mode:Protocol.Directed 5);
+  check "directed query was a hit" true ((Context.stats ctx).Context.hits >= 1);
+  check "full-duplex root differs" true
+    (Context.lambda_star ctx ~mode:Protocol.Full_duplex 5
+    = General.lambda_star_fd 5);
+  let sys = tiny_sys () in
+  check "gossip_time matches engine" true
+    (Context.gossip_time ctx sys = Engine.gossip_time sys);
+  check "capped gossip_time matches engine" true
+    (Context.gossip_time ctx ~cap:3 sys = Engine.gossip_time ~cap:3 sys)
+
+let test_separator_and_vertex_block () =
+  let ctx = Context.create () in
+  let g = Families.hypercube 3 in
+  let sep = Separator.custom ~alpha:1.0 ~ell:1.0 ~v1:[ 0 ] ~v2:[ 7 ] in
+  let m = Context.separator_measure ctx g sep in
+  check "measurement matches direct" true (m = Separator.measure g sep);
+  check "repeated measurement identical" true
+    (m = Context.separator_measure ctx g sep);
+  let dg = Delay_digraph.of_systolic (tiny_sys ()) ~length:8 in
+  let blk = Context.vertex_block ctx dg 0.5 0 in
+  let direct = Delay_matrix.vertex_block dg 0.5 0 in
+  check "block dims match" true
+    (Dense.rows blk = Dense.rows direct && Dense.cols blk = Dense.cols direct);
+  let same = ref true in
+  for i = 0 to Dense.rows blk - 1 do
+    for j = 0 to Dense.cols blk - 1 do
+      if Dense.get blk i j <> Dense.get direct i j then same := false
+    done
+  done;
+  check "block entries match" true !same
+
+let test_lru_eviction () =
+  let ctx = Context.create ~capacity:2 () in
+  let dg = Delay_digraph.of_systolic (tiny_sys ()) ~length:8 in
+  List.iter (fun l -> ignore (Context.norm ctx dg l)) [ 0.2; 0.3; 0.4; 0.5 ];
+  let s = Context.stats ctx in
+  check "capacity respected" true (s.Context.entries <= 2);
+  check "evictions counted" true (s.Context.evictions >= 2);
+  (* the cache now holds λ ∈ {0.4, 0.5}; 0.2 was evicted first *)
+  Context.reset_stats ctx;
+  ignore (Context.norm ctx dg 0.2);
+  check_int "evicted entry recomputes" 1 (Context.stats ctx).Context.misses;
+  ignore (Context.norm ctx dg 0.5);
+  check_int "recent entry still hits" 1 (Context.stats ctx).Context.hits;
+  Context.clear ctx;
+  let s = Context.stats ctx in
+  check "clear empties the store" true
+    (s.Context.entries = 0 && s.Context.hits = 0 && s.Context.misses = 0)
+
+let test_create_validation () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Context.create: capacity < 1") (fun () ->
+      ignore (Context.create ~capacity:0 ()));
+  let ctx = Context.create ~domains:2 () in
+  check "domains recorded" true (Context.domains ctx = Some 2);
+  check "no domains by default" true
+    (Context.domains (Context.create ()) = None)
+
+let suite =
+  [
+    ("norm cache hit on repeated lambda", `Quick, test_norm_cache_hit);
+    ("equal-size graphs do not collide", `Quick,
+      test_distinct_graphs_no_collision);
+    ("protocol fingerprint distinguishes", `Quick,
+      test_protocol_fingerprint_distinguishes);
+    ("oracle identical with/without ctx", `Quick,
+      test_oracle_identical_with_and_without_ctx);
+    ("certify matches plain", `Quick, test_certify_matches_plain);
+    ("certify_systolic matches plain", `Quick,
+      test_certify_systolic_matches_plain);
+    ("analysis reports identical", `Quick, test_analysis_reports_identical);
+    ("lambda_star and gossip_time", `Quick, test_lambda_star_and_gossip_time);
+    ("separator and vertex block", `Quick, test_separator_and_vertex_block);
+    ("lru eviction", `Quick, test_lru_eviction);
+    ("create validation", `Quick, test_create_validation);
+  ]

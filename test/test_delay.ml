@@ -115,6 +115,29 @@ let test_norm_equals_blockwise () =
         (Numeric.approx_equal ~eps:1e-6 a b))
     [ 0.3; 0.6; 0.8 ]
 
+(* The parallel blockwise norm takes a per-vertex max of independently
+   computed block norms, so the worker count must not change even the
+   last bit of the result. *)
+let test_norm_blockwise_parallel_bitwise () =
+  let sys =
+    Builders.random_systolic (Families.de_bruijn 2 4) Protocol.Half_duplex
+      ~period:5 ~seed:2 ~density:0.9
+  in
+  let dg = Delay_digraph.of_systolic sys ~length:20 in
+  List.iter
+    (fun lambda ->
+      let seq = Delay_matrix.norm_blockwise ~domains:1 dg lambda in
+      List.iter
+        (fun domains ->
+          let par = Delay_matrix.norm_blockwise ~domains dg lambda in
+          check
+            (Printf.sprintf "bit-identical at lambda=%.2f domains=%d" lambda
+               domains)
+            true
+            (Int64.equal (Int64.bits_of_float seq) (Int64.bits_of_float par)))
+        [ 2; 4 ])
+    [ 0.3; 0.6; 0.8 ]
+
 (* Lemma 4.3 / 6.1: ‖M(λ)‖ <= closed form, for random protocols in every
    mode. *)
 let prop_norm_bound_half_duplex =
@@ -527,6 +550,8 @@ let suite =
     ("delay matrix entries", `Quick, test_delay_matrix_entries);
     ("delay matrix lambda validation", `Quick, test_delay_matrix_lambda_validation);
     ("norm = blockwise norm (prop 8)", `Quick, test_norm_equals_blockwise);
+    ("blockwise norm parallel bit-identical", `Quick,
+      test_norm_blockwise_parallel_bitwise);
     ("key property: path counting", `Quick, test_key_property_path_counting);
     ("pattern construction", `Quick, test_pattern_construction);
     ("d_{i,j} values", `Quick, test_d_values);

@@ -8,6 +8,7 @@ let () =
       ("simulate", Test_simulate.suite);
       ("delay", Test_delay.suite);
       ("bounds", Test_bounds.suite);
+      ("context", Test_context.suite);
       ("search", Test_search.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);

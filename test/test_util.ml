@@ -205,6 +205,45 @@ let prop_parallel_deterministic =
       Parallel.map ~domains (fun x -> x + 1) arr
       = Array.map (fun x -> x + 1) arr)
 
+let test_parallel_domains_sweep () =
+  (* map/init/max_float must agree with the sequential result at every
+     worker count, including the degenerate empty and singleton inputs. *)
+  List.iter
+    (fun n ->
+      let arr = Array.init n (fun i -> (i * 37) mod 101) in
+      let f x = (x * x) - (3 * x) in
+      let g x = float_of_int x /. 7.0 in
+      let map_ref = Array.map f arr in
+      let init_ref = Array.init n (fun i -> i * i) in
+      let max_ref =
+        Array.fold_left (fun acc x -> Float.max acc (g x)) neg_infinity arr
+      in
+      List.iter
+        (fun domains ->
+          check (Printf.sprintf "map n=%d domains=%d" n domains) true
+            (Parallel.map ~domains f arr = map_ref);
+          check (Printf.sprintf "init n=%d domains=%d" n domains) true
+            (Parallel.init ~domains n (fun i -> i * i) = init_ref);
+          check (Printf.sprintf "max n=%d domains=%d" n domains) true
+            (Parallel.max_float ~domains g arr = max_ref))
+        [ 1; 2; 4 ])
+    [ 0; 1; 513 ]
+
+let test_parallel_default_override () =
+  let before = Parallel.default_domains () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.set_default_domains before)
+    (fun () ->
+      Parallel.set_default_domains (Some 2);
+      check "override stored" true (Parallel.default_domains () = Some 2);
+      check "override wins" true (Parallel.recommended_domains () = 2);
+      Alcotest.check_raises "zero rejected"
+        (Invalid_argument "Parallel.set_default_domains: d < 1") (fun () ->
+          Parallel.set_default_domains (Some 0));
+      Parallel.set_default_domains None;
+      check "cleared" true (Parallel.default_domains () = None);
+      check "recommended >= 1" true (Parallel.recommended_domains () >= 1))
+
 (* --- Table --- *)
 
 let contains ~sub s =
@@ -235,6 +274,70 @@ let test_table_errors () =
     (Invalid_argument "Table.add_row: more cells than headers") (fun () ->
       Table.add_row t [ "1"; "2" ])
 
+(* --- Instrument --- *)
+
+let test_instrument_records () =
+  let was = Instrument.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.reset ();
+      Instrument.set_enabled was)
+    (fun () ->
+      Instrument.set_enabled true;
+      Instrument.reset ();
+      check_int "span returns value" 42
+        (Instrument.span "test.span" (fun () -> 41 + 1));
+      ignore (Instrument.span "test.span" (fun () -> 0));
+      Instrument.add "test.counter" 3;
+      Instrument.add "test.counter" 2;
+      check "span accumulated" true
+        (List.exists
+           (fun s ->
+             s.Instrument.span_name = "test.span"
+             && s.Instrument.calls = 2
+             && s.Instrument.total_s >= 0.0
+             && s.Instrument.max_s <= s.Instrument.total_s +. 1e-9)
+           (Instrument.spans ()));
+      check_int "counter accumulated" 5
+        (List.assoc "test.counter" (Instrument.counters ()));
+      check "summary names the span" true
+        (contains ~sub:"test.span" (Instrument.summary_string ()));
+      Instrument.reset ();
+      check "reset clears" true
+        (Instrument.spans () = [] && Instrument.counters () = []))
+
+let test_instrument_disabled_is_silent () =
+  let was = Instrument.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.reset ();
+      Instrument.set_enabled was)
+    (fun () ->
+      Instrument.set_enabled false;
+      Instrument.reset ();
+      check_int "span still runs" 7 (Instrument.span "off.span" (fun () -> 7));
+      Instrument.add "off.counter" 1;
+      check "nothing recorded" true
+        (Instrument.spans () = [] && Instrument.counters () = []);
+      check "placeholder summary" true
+        (contains ~sub:"nothing recorded" (Instrument.summary_string ())))
+
+let test_instrument_span_exception () =
+  let was = Instrument.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.reset ();
+      Instrument.set_enabled was)
+    (fun () ->
+      Instrument.set_enabled true;
+      Instrument.reset ();
+      Alcotest.check_raises "exception propagates" Exit (fun () ->
+          Instrument.span "raising.span" (fun () -> raise Exit));
+      check "time until the raise is recorded" true
+        (List.exists
+           (fun s -> s.Instrument.span_name = "raising.span")
+           (Instrument.spans ())))
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -256,6 +359,11 @@ let suite =
     ("parallel map", `Quick, test_parallel_map_matches_sequential);
     ("parallel init", `Quick, test_parallel_init);
     ("parallel max_float", `Quick, test_parallel_max_float);
+    ("parallel domain sweep", `Quick, test_parallel_domains_sweep);
+    ("parallel default override", `Quick, test_parallel_default_override);
+    ("instrument records", `Quick, test_instrument_records);
+    ("instrument disabled", `Quick, test_instrument_disabled_is_silent);
+    ("instrument span exception", `Quick, test_instrument_span_exception);
     ("table render", `Quick, test_table_render);
     ("table cells", `Quick, test_table_cells);
     ("table errors", `Quick, test_table_errors);
