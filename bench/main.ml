@@ -995,51 +995,130 @@ let run_bechamel () =
   Table.print t
 
 (* ---------------------------------------------------------------- *)
+(* Driver: named parts, per-part wall timing, machine-readable report *)
+(* ---------------------------------------------------------------- *)
 
-let () =
-  section "Part 1: Fig. 4 — general systolic lower bounds";
-  print_fig4 ();
-  section "Part 2: Figs. 1-3 — local matrices Mx, Nx, Ox";
-  print_fig1_3 ();
-  section "Part 3: Fig. 5 — separator-refined systolic bounds";
-  print_fig5 ();
-  section "Part 4: Fig. 6 — non-systolic bounds";
-  print_fig6 ();
-  section "Part 5: Fig. 7 — full-duplex local matrix";
-  print_fig7 ();
-  section "Part 6: Fig. 8 — full-duplex bounds";
-  print_fig8 ();
-  section "Part 7: separator measurements (Lemma 3.1)";
-  print_separators ();
-  section "Part 8: Theorem 4.1 certificates";
-  print_certificates ();
-  section "Part 9: norm sweep (Lemmas 4.3 / 6.1)";
-  print_norm_sweep ();
-  section "Part 10: upper vs lower sandwich";
-  print_sandwich ();
-  section "Part 11: price of systolization (exhaustive search)";
-  print_price ();
-  section "Part 12: weighted-diameter extension";
-  print_weighted_diameter ();
-  section "Part 13: extra hypercube-derived families";
-  print_extra_families ();
-  section "Part 14: Fig. 5 extended (d = 4, 5)";
-  print_fig5_extended ();
-  section "Part 15: fault tolerance";
-  print_faults ();
-  section "Part 16: Lanczos cross-validation";
-  print_lanczos_crosscheck ();
-  section "Part 17: broadcasting";
-  print_broadcast ();
-  section "Part 18: scale";
-  print_scale ();
-  section "Part 19: local-pattern ablation";
-  print_pattern_ablation ();
-  section "Part 20: message complexity";
-  print_messages ();
-  section "Part 21: Bechamel micro-benchmarks";
-  run_bechamel ();
-  section "Part 22: pipeline cache statistics";
+let print_cache_stats () =
   Format.printf "%a@." Context.pp_stats ctx;
   if Util.Instrument.enabled () then
     Format.printf "%a@?" Util.Instrument.pp_summary ()
+
+let parts =
+  [
+    (1, "fig4", "Part 1: Fig. 4 — general systolic lower bounds", print_fig4);
+    (2, "local-matrices", "Part 2: Figs. 1-3 — local matrices Mx, Nx, Ox",
+     print_fig1_3);
+    (3, "fig5", "Part 3: Fig. 5 — separator-refined systolic bounds",
+     print_fig5);
+    (4, "fig6", "Part 4: Fig. 6 — non-systolic bounds", print_fig6);
+    (5, "fig7", "Part 5: Fig. 7 — full-duplex local matrix", print_fig7);
+    (6, "fig8", "Part 6: Fig. 8 — full-duplex bounds", print_fig8);
+    (7, "separators", "Part 7: separator measurements (Lemma 3.1)",
+     print_separators);
+    (8, "certificates", "Part 8: Theorem 4.1 certificates", print_certificates);
+    (9, "norm-sweep", "Part 9: norm sweep (Lemmas 4.3 / 6.1)", print_norm_sweep);
+    (10, "sandwich", "Part 10: upper vs lower sandwich", print_sandwich);
+    (11, "price", "Part 11: price of systolization (exhaustive search)",
+     print_price);
+    (12, "weighted-diameter", "Part 12: weighted-diameter extension",
+     print_weighted_diameter);
+    (13, "extra-families", "Part 13: extra hypercube-derived families",
+     print_extra_families);
+    (14, "fig5-extended", "Part 14: Fig. 5 extended (d = 4, 5)",
+     print_fig5_extended);
+    (15, "faults", "Part 15: fault tolerance", print_faults);
+    (16, "lanczos", "Part 16: Lanczos cross-validation",
+     print_lanczos_crosscheck);
+    (17, "broadcast", "Part 17: broadcasting", print_broadcast);
+    (18, "scale", "Part 18: scale", print_scale);
+    (19, "ablation", "Part 19: local-pattern ablation", print_pattern_ablation);
+    (20, "messages", "Part 20: message complexity", print_messages);
+    (21, "bechamel", "Part 21: Bechamel micro-benchmarks", run_bechamel);
+    (22, "cache-stats", "Part 22: pipeline cache statistics", print_cache_stats);
+  ]
+
+(* Minimal argv parsing — the bench stays a plain executable:
+     bench [--json PATH] [--parts 1,8,22]                             *)
+let usage () =
+  prerr_endline
+    "usage: bench [--json PATH] [--parts N,M,...]\n\
+    \  --json PATH   write a machine-readable report (schema \
+     gossip-bench/1) to PATH\n\
+    \  --parts LIST  run only the comma-separated part numbers (default: all)";
+  exit 2
+
+let parse_args () =
+  let json_path = ref None and selected = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        go rest
+    | "--parts" :: list :: rest ->
+        let ids =
+          List.filter_map
+            (fun tok ->
+              match int_of_string_opt (String.trim tok) with
+              | Some i -> Some i
+              | None -> usage ())
+            (String.split_on_char ',' list)
+        in
+        selected := Some ids;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!json_path, !selected)
+
+let () =
+  let json_path, selected = parse_args () in
+  let wanted id =
+    match selected with None -> true | Some ids -> List.mem id ids
+  in
+  let timings = ref [] in
+  let t_start = Util.Instrument.now_ns () in
+  List.iter
+    (fun (id, name, title, run) ->
+      if wanted id then begin
+        section title;
+        let t0 = Util.Instrument.now_ns () in
+        run ();
+        let dt =
+          Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e9
+        in
+        Util.Instrument.observe "bench.part_seconds" dt;
+        timings := (id, name, dt) :: !timings
+      end)
+    parts;
+  let total =
+    Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t_start) /. 1e9
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let module J = Util.Json in
+      let report =
+        J.Obj
+          [
+            ("schema", J.Str "gossip-bench/1");
+            ( "parts",
+              J.List
+                (List.rev_map
+                   (fun (id, name, dt) ->
+                     J.Obj
+                       [
+                         ("part", J.Int id);
+                         ("name", J.Str name);
+                         ("seconds", J.Float dt);
+                       ])
+                   !timings) );
+            ("total_seconds", J.Float total);
+            ("cache", Context.stats_json ctx);
+            ("metrics", Util.Instrument.metrics_json ());
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.to_string_pretty report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nbench report written to %s\n" path

@@ -11,8 +11,11 @@
    bf dwbf wbf ddb db dk k (the latter seven take a degree with -d).
 
    Every subcommand accepts --domains N (worker domains for the parallel
-   stages) and --trace (record span timings / cache counters and print a
-   summary after the run). *)
+   stages), --trace (record span timings / cache counters and print a
+   summary after the run) and --trace-out FILE (stream every span and
+   event as JSONL to FILE; see doc/telemetry.md).  The data-producing
+   subcommands additionally accept --json (emit the result as a JSON
+   object on stdout instead of the human rendering). *)
 
 open Core
 module C = Cmdliner
@@ -36,19 +39,40 @@ let trace_arg =
           "Record span timings and cache counters and print a summary after \
            the run (equivalent to setting GOSSIP_TRACE=1).")
 
+let trace_out_arg =
+  C.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream spans and events as JSON Lines to $(docv) (equivalent to \
+           setting GOSSIP_TRACE_FILE; schema in doc/telemetry.md).")
+
 (* Evaluated before the positional arguments of every subcommand; returns
    unit so command runners just prepend it. *)
 let setup_term =
-  let setup domains trace =
+  let setup domains trace trace_out =
     match domains with
     | Some d when d < 1 ->
         `Error (true, "option '--domains': value must be at least 1")
     | _ ->
         Util.Parallel.set_default_domains domains;
         if trace then Util.Instrument.set_enabled true;
+        (match trace_out with
+        | Some path -> Util.Instrument.set_trace_file (Some path)
+        | None -> ());
         `Ok ()
   in
-  C.Term.(ret (const setup $ domains_arg $ trace_arg))
+  C.Term.(ret (const setup $ domains_arg $ trace_arg $ trace_out_arg))
+
+let json_arg =
+  C.Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the result as a JSON object on stdout instead of the human \
+           rendering (suppresses the --trace summary; cache statistics are \
+           embedded in the object).")
 
 let report ?ctx () =
   if Util.Instrument.enabled () then begin
@@ -57,6 +81,13 @@ let report ?ctx () =
     | None -> ());
     Format.printf "%a@?" Util.Instrument.pp_summary ()
   end
+
+let print_json j = print_endline (Util.Json.to_string_pretty j)
+
+(* Append fields (cache stats, coverage, …) to an object result. *)
+let obj_with extra = function
+  | Util.Json.Obj fields -> Util.Json.Obj (fields @ extra)
+  | other -> other
 
 let build_network family d dim =
   let module F = Topology.Families in
@@ -155,18 +186,21 @@ let print_fig6 () =
   Util.Table.print t
 
 let tables_cmd =
-  let run () =
+  let run () json =
     let ss = [ 3; 4; 5; 6; 7; 8 ] in
-    print_fig4 ();
-    print_family_table ~title:"Fig. 5 — separator-refined systolic bounds"
-      (Bounds.Tables.fig5 ~ss) ss;
-    print_fig6 ();
-    print_family_table ~title:"Fig. 8 — full-duplex systolic bounds"
-      (Bounds.Tables.fig8 ~ss) ss;
-    report ()
+    if json then print_json (Bounds.Tables.to_json ~s_max:8 ~ss ())
+    else begin
+      print_fig4 ();
+      print_family_table ~title:"Fig. 5 — separator-refined systolic bounds"
+        (Bounds.Tables.fig5 ~ss) ss;
+      print_fig6 ();
+      print_family_table ~title:"Fig. 8 — full-duplex systolic bounds"
+        (Bounds.Tables.fig8 ~ss) ss;
+      report ()
+    end
   in
   C.Cmd.v (C.Cmd.info "tables" ~doc:"Regenerate the paper's numeric tables.")
-    C.Term.(const run $ setup_term)
+    C.Term.(const run $ setup_term $ json_arg)
 
 (* --- analyze --- *)
 
@@ -193,13 +227,25 @@ let default_systolic g full_duplex =
       ~seed:1 ~density:1.0
 
 let simulate_cmd =
-  let run () family d dim full_duplex =
+  let run () family d dim full_duplex json =
     let g = build_network family d dim in
     let sys = default_systolic g full_duplex in
     let ctx = Context.create () in
-    Format.printf "%a@." Analysis.pp_protocol_report
-      (Analysis.certify_protocol ~ctx sys);
-    report ~ctx ()
+    let r = Analysis.certify_protocol ~ctx sys in
+    if json then begin
+      (* The report cached only the completion time; replay the run to
+         capture the full dissemination curve for the JSON consumer. *)
+      let run = Simulate.Engine.gossip_run sys in
+      print_json
+        (obj_with
+           [ ("cache", Context.stats_json ctx) ]
+           (Analysis.protocol_report_to_json ~coverage:run.Simulate.Engine.curve
+              r))
+    end
+    else begin
+      Format.printf "%a@." Analysis.pp_protocol_report r;
+      report ~ctx ()
+    end
   in
   let fd =
     C.Arg.(
@@ -209,7 +255,9 @@ let simulate_cmd =
   C.Cmd.v
     (C.Cmd.info "simulate"
        ~doc:"Run a periodic protocol on the network and certify it.")
-    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd)
+    C.Term.(
+      const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd
+      $ json_arg)
 
 (* --- price --- *)
 
@@ -282,24 +330,48 @@ let dot_cmd =
 (* --- optimal (exhaustive) --- *)
 
 let optimal_cmd =
-  let run () family d dim full_duplex =
+  let run () family d dim full_duplex json =
     let g = build_network family d dim in
     let mode =
       if not (Topology.Digraph.is_symmetric g) then Protocol.Protocol.Directed
       else if full_duplex then Protocol.Protocol.Full_duplex
       else Protocol.Protocol.Half_duplex
     in
-    (match Search.Optimal.gossip_number g mode with
-    | Some r ->
-        Printf.printf "optimal gossip: %d rounds (%d states explored)\n"
-          r.Search.Optimal.rounds r.Search.Optimal.states_explored
-    | None -> print_endline "gossip search exceeded the state budget");
-    (match Search.Optimal.broadcast_number g mode ~src:0 with
-    | Some r ->
-        Printf.printf "optimal broadcast from 0: %d rounds\n"
-          r.Search.Optimal.rounds
-    | None -> print_endline "broadcast search exceeded the state budget");
-    report ()
+    let gossip = Search.Optimal.gossip_number g mode in
+    let broadcast = Search.Optimal.broadcast_number g mode ~src:0 in
+    if json then begin
+      let module J = Util.Json in
+      let result_json = function
+        | Some (r : Search.Optimal.result) ->
+            J.Obj
+              [
+                ("rounds", J.Int r.Search.Optimal.rounds);
+                ("states_explored", J.Int r.Search.Optimal.states_explored);
+              ]
+        | None -> J.Null
+      in
+      print_json
+        (J.Obj
+           [
+             ("network", J.Str (Topology.Digraph.name g));
+             ("mode", J.Str (Protocol.Protocol.mode_to_string mode));
+             ("gossip", result_json gossip);
+             ("broadcast", result_json broadcast);
+           ])
+    end
+    else begin
+      (match gossip with
+      | Some r ->
+          Printf.printf "optimal gossip: %d rounds (%d states explored)\n"
+            r.Search.Optimal.rounds r.Search.Optimal.states_explored
+      | None -> print_endline "gossip search exceeded the state budget");
+      (match broadcast with
+      | Some r ->
+          Printf.printf "optimal broadcast from 0: %d rounds\n"
+            r.Search.Optimal.rounds
+      | None -> print_endline "broadcast search exceeded the state budget");
+      report ()
+    end
   in
   let fd =
     C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex mode.")
@@ -307,7 +379,9 @@ let optimal_cmd =
   C.Cmd.v
     (C.Cmd.info "optimal"
        ~doc:"Exact optimal gossip/broadcast (tiny networks, <= 24 vertices).")
-    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd)
+    C.Term.(
+      const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd
+      $ json_arg)
 
 (* --- broadcast --- *)
 
@@ -339,25 +413,40 @@ let broadcast_cmd =
 (* --- certify a protocol file --- *)
 
 let certify_file_cmd =
-  let run () path refine =
+  let run () path refine json =
     let sys = Protocol.Protocol_io.load path in
     let ctx = Context.create () in
     let protocol_report = Analysis.certify_protocol ~ctx sys in
-    Format.printf "%a@." Analysis.pp_protocol_report protocol_report;
-    (if refine then
-       match protocol_report.Analysis.gossip_time with
-       | Some t ->
-           (* The refinement re-sweeps the coarse λ grid over the same
-              delay digraph, so every coarse norm solve is a cache hit. *)
-           let dg = Context.delay_digraph ctx sys ~length:t in
-           let cert =
-             Context.certify ctx ~refine:true dg
-               ~mode:(Protocol.Systolic.mode sys)
-           in
-           Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
-             cert.Delay.Certificate.bound cert.Delay.Certificate.lambda
-       | None -> ());
-    report ~ctx ()
+    let refined =
+      if not refine then None
+      else
+        match protocol_report.Analysis.gossip_time with
+        | Some t ->
+            (* The refinement re-sweeps the coarse λ grid over the same
+               delay digraph, so every coarse norm solve is a cache hit. *)
+            let dg = Context.delay_digraph ctx sys ~length:t in
+            Some
+              (Context.certify ctx ~refine:true dg
+                 ~mode:(Protocol.Systolic.mode sys))
+        | None -> None
+    in
+    if json then
+      print_json
+        (obj_with
+           ((match refined with
+            | Some cert -> [ ("refined", Delay.Certificate.to_json cert) ]
+            | None -> [])
+           @ [ ("cache", Context.stats_json ctx) ])
+           (Analysis.protocol_report_to_json protocol_report))
+    else begin
+      Format.printf "%a@." Analysis.pp_protocol_report protocol_report;
+      (match refined with
+      | Some cert ->
+          Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
+            cert.Delay.Certificate.bound cert.Delay.Certificate.lambda
+      | None -> ());
+      report ~ctx ()
+    end
   in
   let path =
     C.Arg.(
@@ -371,12 +460,12 @@ let certify_file_cmd =
   C.Cmd.v
     (C.Cmd.info "certify-file"
        ~doc:"Load a protocol from a text file, run it, certify it.")
-    C.Term.(const run $ setup_term $ path $ refine)
+    C.Term.(const run $ setup_term $ path $ refine $ json_arg)
 
 (* --- stats: exercise the memoizing pipeline --- *)
 
 let stats_cmd =
-  let run () family d dim full_duplex =
+  let run () family d dim full_duplex json =
     let g = build_network family d dim in
     let sys = default_systolic g full_duplex in
     let ctx = Context.create () in
@@ -384,25 +473,48 @@ let stats_cmd =
     let s = Protocol.Systolic.period sys in
     (* Cold pass: simulate, expand, certify — every artifact is a miss. *)
     let cold = Analysis.certify_protocol ~ctx sys in
-    Format.printf "%a@." Analysis.pp_protocol_report cold;
+    if not json then
+      Format.printf "%a@." Analysis.pp_protocol_report cold;
     (* Refined certificate over the same delay digraph: the coarse λ grid
        is revisited, so its norm solves are cache hits. *)
-    (match cold.Analysis.gossip_time with
-    | Some t ->
-        let dg = Context.delay_digraph ctx sys ~length:t in
-        let refined = Context.certify ctx ~refine:true dg ~mode in
+    let refined =
+      match cold.Analysis.gossip_time with
+      | Some t ->
+          let dg = Context.delay_digraph ctx sys ~length:t in
+          Some (Context.certify ctx ~refine:true dg ~mode)
+      | None -> None
+    in
+    (match refined with
+    | Some cert when not json ->
         Printf.printf "refined certificate: >= %d rounds (lambda=%.3f)\n"
-          refined.Delay.Certificate.bound refined.Delay.Certificate.lambda
-    | None -> ());
+          cert.Delay.Certificate.bound cert.Delay.Certificate.lambda
+    | _ -> ());
     (* Warm pass: everything served from the cache. *)
     let warm = Analysis.certify_protocol ~ctx sys in
-    Printf.printf "warm re-analysis identical: %b\n" (cold = warm);
     let oracle = Context.lower_bounds ctx g ~mode ~s:(Some s) in
-    Printf.printf "oracle sound lower bound: %d rounds\n"
-      oracle.Bounds.Oracle.sound;
-    Format.printf "%a@." Context.pp_stats ctx;
-    if Util.Instrument.enabled () then
-      Format.printf "%a@?" Util.Instrument.pp_summary ()
+    if json then begin
+      let module J = Util.Json in
+      print_json
+        (J.Obj
+           ([ ("report", Analysis.protocol_report_to_json cold) ]
+           @ (match refined with
+             | Some cert -> [ ("refined", Delay.Certificate.to_json cert) ]
+             | None -> [])
+           @ [
+               ("warm_identical", J.Bool (cold = warm));
+               ("oracle_sound", J.Int oracle.Bounds.Oracle.sound);
+               ("cache", Context.stats_json ctx);
+               ("metrics", Util.Instrument.metrics_json ());
+             ]))
+    end
+    else begin
+      Printf.printf "warm re-analysis identical: %b\n" (cold = warm);
+      Printf.printf "oracle sound lower bound: %d rounds\n"
+        oracle.Bounds.Oracle.sound;
+      Format.printf "%a@." Context.pp_stats ctx;
+      if Util.Instrument.enabled () then
+        Format.printf "%a@?" Util.Instrument.pp_summary ()
+    end
   in
   let fd =
     C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex protocol.")
@@ -413,7 +525,9 @@ let stats_cmd =
          "Run a certificate workload twice through one shared memoizing \
           context and print cache statistics (and span timings under \
           --trace).")
-    C.Term.(const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd)
+    C.Term.(
+      const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd
+      $ json_arg)
 
 (* --- info --- *)
 

@@ -1,18 +1,23 @@
 module Parallel = Gossip_util.Parallel
 module Instrument = Gossip_util.Instrument
+module Json = Gossip_util.Json
 
 type fig4_row = { s : int; lambda : float; e : float }
 
 (* Each family row (and each fig4 period) is an independent closed-form
    computation — root solves and separator formulas — so the tables map
-   over them in parallel, preserving order. *)
-let parallel_rows name f items =
-  Instrument.span name (fun () ->
+   over them in parallel, preserving order.  The span is tagged with the
+   row count plus any table-specific parameters, so a trace identifies
+   which table instance produced which timings. *)
+let parallel_rows ?(attrs = []) name f items =
+  let attrs = ("rows", Json.Int (List.length items)) :: attrs in
+  Instrument.span name ~attrs (fun () ->
       Array.to_list (Parallel.map f (Array.of_list items)))
 
 let fig4 ~s_max =
   if s_max < 3 then invalid_arg "Tables.fig4: s_max must be >= 3";
   parallel_rows "bounds.fig4"
+    ~attrs:[ ("s_max", Json.Int s_max) ]
     (fun s -> { s; lambda = General.lambda_star s; e = General.e s })
     (List.init (s_max - 2) (fun i -> i + 3))
 
@@ -29,8 +34,11 @@ let cell_of ~separator_value ~general =
     improves = separator_value > general +. 1e-9;
   }
 
+let ss_attr ss = ("ss", Json.List (List.map (fun s -> Json.Int s) ss))
+
 let fig5 ~ss =
   parallel_rows "bounds.fig5"
+    ~attrs:[ ss_attr ss ]
     (fun (f : Catalog.t) ->
       let cells =
         List.map
@@ -72,6 +80,7 @@ let fig6 () =
 
 let fig8 ~ss =
   parallel_rows "bounds.fig8"
+    ~attrs:[ ss_attr ss ]
     (fun (f : Catalog.t) ->
       let cells =
         List.map
@@ -116,6 +125,10 @@ let fig5_extended ~ds ~ss =
     ]
   in
   parallel_rows "bounds.fig5-extended"
+    ~attrs:
+      [
+        ("ds", Json.List (List.map (fun d -> Json.Int d) ds)); ss_attr ss;
+      ]
     (fun (key, alpha, ell) ->
       let cells =
         List.map
@@ -126,3 +139,60 @@ let fig5_extended ~ds ~ss =
       in
       { key; cells })
     (List.concat_map shapes ds)
+
+(* Machine-readable form of the tables above, one sub-object per figure.
+   Fig. 4's infinite-period row keeps [s = max_int] internally but is
+   exported under its own "inf" key so consumers never see the sentinel. *)
+
+let fig4_row_json r =
+  Json.Obj
+    [ ("s", Json.Int r.s); ("lambda", Json.Float r.lambda); ("e", Json.Float r.e) ]
+
+let cell_json (s, c) =
+  Json.Obj
+    [
+      ("s", Json.Int s);
+      ("value", Json.Float c.value);
+      ("general", Json.Float c.general);
+      ("improves", Json.Bool c.improves);
+    ]
+
+let family_row_json (r : family_row) =
+  Json.Obj
+    [ ("key", Json.Str r.key); ("cells", Json.List (List.map cell_json r.cells)) ]
+
+let fig6_row_json (r : fig6_row) =
+  Json.Obj
+    [
+      ("key", Json.Str r.key);
+      ("separator", Json.Float r.separator_value);
+      ("baseline", Json.Float r.baseline);
+      ("diameter_coeff", Json.Float r.diameter_coeff);
+      ("best", Json.Float r.best);
+    ]
+
+let to_json ?(s_max = 8) ?(ss = [ 3; 4; 5; 6; 7; 8 ]) () =
+  Json.Obj
+    [
+      ( "fig4",
+        Json.Obj
+          [
+            ("rows", Json.List (List.map fig4_row_json (fig4 ~s_max)));
+            ( "inf",
+              Json.Obj
+                [
+                  ("lambda", Json.Float fig4_inf.lambda);
+                  ("e", Json.Float fig4_inf.e);
+                ] );
+          ] );
+      ("fig5", Json.List (List.map family_row_json (fig5 ~ss)));
+      ("fig6", Json.List (List.map fig6_row_json (fig6 ())));
+      ("fig8", Json.List (List.map family_row_json (fig8 ~ss)));
+      ( "fig8_general",
+        Json.List
+          (List.map
+             (fun (s, e) ->
+               Json.Obj [ ("s", Json.Int s); ("e", Json.Float e) ])
+             (fig8_general ~ss)) );
+      ("fig8_inf", Json.List (List.map fig6_row_json (fig8_inf ())));
+    ]

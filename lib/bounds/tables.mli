@@ -62,3 +62,11 @@ val fig8_inf : unit -> fig6_row list
     a slight improvement over the general bound appears for [s > 8];
     this table exhibits it. Row keys are as in {!fig5}. *)
 val fig5_extended : ds:int list -> ss:int list -> family_row list
+
+(** [to_json ?s_max ?ss ()] — every table above as one JSON object
+    [{fig4: {rows, inf}, fig5, fig6, fig8, fig8_general, fig8_inf}],
+    the machine-readable form behind [gossip_lab tables --json].
+    [s_max] (default 8) bounds Fig. 4's periods, [ss] (default
+    [[3; 4; 5; 6; 7; 8]], all must be [>= 3]) selects the periods of
+    the per-family tables. *)
+val to_json : ?s_max:int -> ?ss:int list -> unit -> Gossip_util.Json.t

@@ -99,6 +99,55 @@ let certify_protocol ?ctx ?horizon p =
     asymptotic_main_term = General.coefficient_of_log ~e_coeff ~n;
   }
 
+module Json = Gossip_util.Json
+
+let int_opt_json = function Some t -> Json.Int t | None -> Json.Null
+
+let bounds_json l =
+  Json.List
+    (List.map
+       (fun (s, b) -> Json.Obj [ ("s", Json.Int s); ("bound", Json.Float b) ])
+       l)
+
+let network_report_to_json r =
+  Json.Obj
+    [
+      ("name", Json.Str r.name);
+      ("n", Json.Int r.n);
+      ("arcs", Json.Int r.arcs);
+      ("symmetric", Json.Bool r.symmetric);
+      ("diameter", Json.Int r.diameter);
+      ("degree_parameter", Json.Int r.degree_parameter);
+      ("general_bounds", bounds_json r.general_bounds);
+      ("general_bounds_fd", bounds_json r.general_bounds_fd);
+      ("nonsystolic_bound", Json.Float r.nonsystolic_bound);
+    ]
+
+let protocol_report_to_json ?coverage r =
+  let base =
+    [
+      ("network", Json.Str r.network);
+      ("mode", Json.Str (Protocol.mode_to_string r.mode));
+      ("period", Json.Int r.period);
+      ("gossip_time", int_opt_json r.gossip_time);
+      ("broadcast_time", int_opt_json r.broadcast_time);
+      ("diameter", Json.Int r.diameter);
+      ("certificate", Certificate.to_json r.certificate);
+      ("asymptotic_main_term", Json.Float r.asymptotic_main_term);
+    ]
+  in
+  let extra =
+    match coverage with
+    | None -> []
+    | Some curve ->
+        [
+          ( "coverage",
+            Json.List (Array.to_list (Array.map (fun c -> Json.Float c) curve))
+          );
+        ]
+  in
+  Json.Obj (base @ extra)
+
 let pp_network_report ppf r =
   Format.fprintf ppf "network %s: n=%d, arcs=%d, %s, diameter=%d, d=%d@\n"
     r.name r.n r.arcs

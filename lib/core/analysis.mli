@@ -60,3 +60,13 @@ val certify_protocol :
 val pp_network_report : Format.formatter -> network_report -> unit
 
 val pp_protocol_report : Format.formatter -> protocol_report -> unit
+
+(** [network_report_to_json] / [protocol_report_to_json] are the
+    machine-readable forms behind the CLI's [--json] modes.  The
+    optional [coverage] array (the per-round dissemination curve of
+    {!Gossip_simulate.Engine.gossip_run}) is appended as a ["coverage"]
+    field when given. *)
+val network_report_to_json : network_report -> Gossip_util.Json.t
+
+val protocol_report_to_json :
+  ?coverage:float array -> protocol_report -> Gossip_util.Json.t

@@ -125,27 +125,12 @@ let protocol_fingerprint sys =
     (Protocol.mode_to_string (Systolic.mode sys))
     (Systolic.period sys) (!h land max_int)
 
-(* The activations determine the whole delay digraph (its arcs follow
-   from the window), so hashing them plus the dimensions is a faithful
-   structural digest.  O(activations) per call — negligible next to any
-   norm solve over the same digraph. *)
+(* The delay digraph digest now lives with the structure itself (the
+   certificate telemetry tags its spans with the same string); the
+   context only prefixes it with the full network fingerprint so cache
+   keys keep distinguishing same-named graphs with different arc lists. *)
 let dg_fingerprint dg =
-  let h = ref 0x7f4a7c15 in
-  mix h (Delay_digraph.window dg);
-  mix h (Delay_digraph.protocol_length dg);
-  let m = Delay_digraph.n_activations dg in
-  mix h m;
-  for k = 0 to m - 1 do
-    let a = Delay_digraph.activation dg k in
-    mix h a.Delay_digraph.src;
-    mix h a.Delay_digraph.dst;
-    mix h a.Delay_digraph.round
-  done;
-  Printf.sprintf "%s|dg%d@%d|%x"
-    (fingerprint (Delay_digraph.graph dg))
-    (Delay_digraph.window dg)
-    (Delay_digraph.protocol_length dg)
-    (!h land max_int)
+  fingerprint (Delay_digraph.graph dg) ^ "|" ^ Delay_digraph.fingerprint dg
 
 let separator_digest (sep : Separator.t) =
   let h = ref 0x3c6ef372 in
@@ -218,8 +203,10 @@ let store ctx tbl key v =
       evict_locked ctx
     end
   in
+  let entries = total_entries ctx in
   Mutex.unlock ctx.lock;
-  if evicted > 0 then Instrument.add "context.evict" evicted
+  if evicted > 0 then Instrument.add "context.evict" evicted;
+  Instrument.set_gauge "context.entries" (float_of_int entries)
 
 (* Lookup under the lock, compute outside it (artifact builders can be
    expensive and may themselves run parallel workers), insert under the
@@ -323,6 +310,18 @@ let clear ctx =
   ctx.n_evictions <- 0;
   ctx.tick <- 0;
   Mutex.unlock ctx.lock
+
+let stats_json ctx =
+  let module J = Gossip_util.Json in
+  let s = stats ctx in
+  J.Obj
+    [
+      ("hits", J.Int s.hits);
+      ("misses", J.Int s.misses);
+      ("evictions", J.Int s.evictions);
+      ("entries", J.Int s.entries);
+      ("capacity", J.Int s.capacity);
+    ]
 
 let pp_stats ppf ctx =
   let s = stats ctx in

@@ -15,9 +15,9 @@
     re-analysing the same network is free.  The store is bounded:
     [capacity] entries across all artifact kinds, evicting the least
     recently used entry first.  Hits, misses and evictions are counted
-    (and mirrored into {!Gossip_util.Instrument} counters
-    ["context.hit"] / ["context.miss"] / ["context.evict"] when tracing
-    is enabled).
+    and always mirrored into the {!Gossip_util.Instrument} counters
+    ["context.hit"] / ["context.miss"] / ["context.evict"], with the
+    current occupancy on the ["context.entries"] gauge.
 
     A context is cheap to create and safe to share across sequential
     analyses; concurrent callers from several domains are tolerated (the
@@ -164,6 +164,11 @@ val reset_stats : t -> unit
 
 (** [clear ctx] drops every cached artifact and zeroes the counters. *)
 val clear : t -> unit
+
+(** [stats_json ctx] — the same counters as {!stats} as a JSON object
+    [{hits, misses, evictions, entries, capacity}]; embedded in every
+    [--json] CLI result and in the bench report's ["cache"] field. *)
+val stats_json : t -> Gossip_util.Json.t
 
 (** [pp_stats ppf ctx] — one-line human-readable summary, e.g.
     [cache: 37 hits, 12 misses (75.5% hit rate), 0 evictions, 12/4096

@@ -101,11 +101,21 @@ let certify_generic ?lambdas ?(refine = false) ?options ?norm dg ~mode ~pairs
   | Some c -> c
   | None -> invalid_arg "Certificate.certify: no valid lambda supplied"
 
+(* Structural span tags: the digest identifies which delay digraph a
+   recorded certificate search ran over, so traces of repeated runs can
+   be diffed artifact by artifact. *)
+let span_attrs dg =
+  [
+    ("dg", Gossip_util.Json.Str (Delay_digraph.fingerprint dg));
+    ("activations", Gossip_util.Json.Int (Delay_digraph.n_activations dg));
+    ("window", Gossip_util.Json.Int (Delay_digraph.window dg));
+  ]
+
 let certify ?lambdas ?refine ?options ?norm dg ~mode =
   let n =
     float_of_int (Gossip_topology.Digraph.n_vertices (Delay_digraph.graph dg))
   in
-  Gossip_util.Instrument.span "delay.certify" (fun () ->
+  Gossip_util.Instrument.span "delay.certify" ~attrs:(span_attrs dg) (fun () ->
       certify_generic ?lambdas ?refine ?options ?norm dg ~mode
         ~pairs:(n *. (n -. 1.0))
         ~pred_src:(fun _ -> true)
@@ -120,7 +130,8 @@ let certify_separator ?lambdas ?refine ?options ?norm dg ~mode ~sep =
   List.iter (fun v -> Hashtbl.replace v2 v ()) sep.v2;
   let c1 = List.length sep.v1 and c2 = List.length sep.v2 in
   let dist = Gossip_topology.Metrics.set_distance g sep.v1 sep.v2 in
-  Gossip_util.Instrument.span "delay.certify-separator" (fun () ->
+  Gossip_util.Instrument.span "delay.certify-separator" ~attrs:(span_attrs dg)
+    (fun () ->
       certify_generic ?lambdas ?refine ?options ?norm dg ~mode
         ~pairs:(float_of_int c1 *. float_of_int c2)
         ~pred_src:(fun a -> Hashtbl.mem v1 a.Delay_digraph.src)
@@ -148,3 +159,14 @@ let certify_systolic ?lambdas ?refine ?options ?norm
     | _ -> go (2 * length) (Some cert)
   in
   go (4 * s) None
+
+let to_json c =
+  let module J = Gossip_util.Json in
+  J.Obj
+    [
+      ("bound", J.Int c.bound);
+      ("lambda", J.Float c.lambda);
+      ("norm", J.Float c.norm);
+      ("closed_form", J.Float c.closed_form);
+      ("activations", J.Int c.activations);
+    ]

@@ -66,6 +66,12 @@ val certify_separator :
 val impossible_t :
   nu:float -> lambda:float -> pairs:float -> m:float -> start:int -> int -> bool
 
+(** [to_json c] — the certificate as a JSON object
+    [{bound, lambda, norm, closed_form, activations}], the
+    machine-readable form used by the [--json] CLI modes and the bench
+    report. *)
+val to_json : t -> Gossip_util.Json.t
+
 (** [certify_systolic ?lambdas ?refine ?options ?norm ?expand sys] —
     horizon-free certificate for a systolic protocol: expands the period
     to growing lengths until the certified bound stabilizes (two

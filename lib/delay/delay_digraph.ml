@@ -101,6 +101,28 @@ let graph dg = dg.graph
 let activations_in dg x = dg.by_dst.(x)
 let activations_out dg x = dg.by_src.(x)
 
+(* The activations determine the whole delay digraph (its arcs follow
+   from the window), so hashing them plus the dimensions is a faithful
+   structural digest.  O(activations) per call — negligible next to any
+   norm solve over the same digraph. *)
+let fingerprint dg =
+  let h = ref 0x7f4a7c15 in
+  let mix x = h := (!h * 1_000_003) lxor x in
+  mix dg.window;
+  mix dg.protocol_length;
+  let m = n_activations dg in
+  mix m;
+  for k = 0 to m - 1 do
+    let a = dg.activations.(k) in
+    mix a.src;
+    mix a.dst;
+    mix a.round
+  done;
+  Printf.sprintf "%s|n%d|dg%d@%d|%x"
+    (Gossip_topology.Digraph.name dg.graph)
+    (Gossip_topology.Digraph.n_vertices dg.graph)
+    dg.window dg.protocol_length (!h land max_int)
+
 let distances_from dg k =
   let m = n_activations dg in
   let dist = Array.make m max_int in

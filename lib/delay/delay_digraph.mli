@@ -64,6 +64,14 @@ val activations_in : t -> int -> int array
 
 val activations_out : t -> int -> int array
 
+(** [fingerprint dg] — structural digest of the delay digraph: network
+    name and size, window, protocol length, and a rolling hash over the
+    full activation list.  Two structurally different expansions of
+    equal size yield different fingerprints (up to hash collision over
+    62 bits).  Used as a cache key by {!Core.Context} and as the span
+    tag of the certificate telemetry.  O(activations) per call. *)
+val fingerprint : t -> string
+
 (** [distances_from dg k] returns, for every activation, the total weight
     of a dipath from [k] to it ([max_int] when unreachable).  Along any
     dipath the weights telescope to the round difference of the

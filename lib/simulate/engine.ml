@@ -67,7 +67,7 @@ let default_cap p =
   let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
   (8 * Systolic.period p * n) + 64
 
-let run_until ~cap ~done_ p =
+let run_until ?probe ~cap ~done_ p =
   let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
   let st = initial_state n in
   let result = ref None in
@@ -75,19 +75,40 @@ let run_until ~cap ~done_ p =
   while !result = None && !i < cap do
     apply_round st (Systolic.period_round p !i);
     incr i;
+    (match probe with
+    | Some f -> f ~round:!i ~coverage:(coverage_of st)
+    | None -> ());
     if done_ st then result := Some !i
   done;
   !result
 
-let gossip_time ?cap p =
+let gossip_time ?probe ?cap p =
   let cap = match cap with Some c -> c | None -> default_cap p in
-  run_until ~cap ~done_:all_complete p
+  run_until ?probe ~cap ~done_:all_complete p
 
-let broadcast_time ?cap p ~src =
+let broadcast_time ?probe ?cap p ~src =
   let cap = match cap with Some c -> c | None -> default_cap p in
-  run_until ~cap
+  run_until ?probe ~cap
     ~done_:(fun st -> Array.for_all (fun s -> Bitset.mem s src) st.know)
     p
+
+type run = { time : int option; curve : float array }
+
+let gossip_run ?cap p =
+  let module Instrument = Gossip_util.Instrument in
+  let module Json = Gossip_util.Json in
+  let curve = ref [] in
+  let streaming = Instrument.tracing () in
+  let probe ~round ~coverage =
+    curve := coverage :: !curve;
+    if streaming then
+      Instrument.event "engine.round"
+        ~attrs:[ ("round", Json.Int round); ("coverage", Json.Float coverage) ]
+  in
+  let time =
+    Instrument.span "simulate.gossip-run" (fun () -> gossip_time ~probe ?cap p)
+  in
+  { time; curve = Array.of_list (List.rev !curve) }
 
 let per_round_coverage p ~rounds =
   let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in

@@ -44,14 +44,37 @@ type outcome = {
     reports the earliest completion round. *)
 val run_protocol : Gossip_protocol.Protocol.t -> outcome
 
-(** [gossip_time ?cap p] expands the systolic protocol [p] until gossip
-    completes and returns the number of rounds, or [None] if still
-    incomplete after [cap] rounds (default [8·s·n + 64]). *)
-val gossip_time : ?cap:int -> Gossip_protocol.Systolic.t -> int option
+(** [gossip_time ?probe ?cap p] expands the systolic protocol [p] until
+    gossip completes and returns the number of rounds, or [None] if still
+    incomplete after [cap] rounds (default [8·s·n + 64]).  [probe], when
+    given, observes every executed round (1-based) together with the
+    coverage — the fraction of the [n²] (processor, item) pairs known
+    after it — without perturbing the run. *)
+val gossip_time :
+  ?probe:(round:int -> coverage:float -> unit) ->
+  ?cap:int ->
+  Gossip_protocol.Systolic.t ->
+  int option
 
-(** [broadcast_time ?cap p ~src] — rounds until everyone knows [src]'s
-    item under systolic protocol [p]. *)
-val broadcast_time : ?cap:int -> Gossip_protocol.Systolic.t -> src:int -> int option
+(** [broadcast_time ?probe ?cap p ~src] — rounds until everyone knows
+    [src]'s item under systolic protocol [p]. *)
+val broadcast_time :
+  ?probe:(round:int -> coverage:float -> unit) ->
+  ?cap:int ->
+  Gossip_protocol.Systolic.t ->
+  src:int ->
+  int option
+
+(** A gossip run with its full dissemination record. *)
+type run = { time : int option; curve : float array }
+
+(** [gossip_run ?cap p] is {!gossip_time} plus observability: the
+    coverage curve ([curve.(i)] = coverage after round [i+1]) is always
+    recorded, the run executes under the ["simulate.gossip-run"]
+    instrumentation span, and — when a trace sink is installed — every
+    round streams an ["engine.round"] JSONL event carrying its coverage.
+    Backs [gossip_lab simulate --json]. *)
+val gossip_run : ?cap:int -> Gossip_protocol.Systolic.t -> run
 
 (** [per_round_coverage p ~rounds] runs [rounds] rounds of the systolic
     protocol and returns the coverage fraction after each round — the

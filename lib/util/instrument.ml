@@ -1,9 +1,13 @@
-let env_enabled =
-  match Sys.getenv_opt "GOSSIP_TRACE" with
+external monotonic_ns : unit -> int64 = "gossip_monotonic_ns"
+
+let now_ns = monotonic_ns
+
+let env_truthy name =
+  match Sys.getenv_opt name with
   | Some ("1" | "true" | "yes" | "on") -> true
   | _ -> false
 
-let enabled_flag = Atomic.make env_enabled
+let enabled_flag = Atomic.make (env_truthy "GOSSIP_TRACE")
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
@@ -14,16 +18,173 @@ type span_stat = {
   max_s : float;
 }
 
-(* All accumulators live behind one mutex: span exits and counter bumps
-   are rare relative to the work they measure, so contention is not a
-   concern even from worker domains. *)
+type histogram = {
+  hist_name : string;
+  upper_bounds : float array;
+  bucket_counts : int array;
+  count : int;
+  sum : float;
+  min_value : float;
+  max_value : float;
+}
+
+(* Mutable accumulator behind a {!histogram} snapshot. *)
+type hist_acc = {
+  bounds : float array;
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+(* Half-decade latency buckets, 1 µs .. 10 s.  Span durations and any
+   other [observe] without explicit bounds land here. *)
+let latency_bounds =
+  [|
+    1e-6; 3.16e-6; 1e-5; 3.16e-5; 1e-4; 3.16e-4; 1e-3; 3.16e-3; 1e-2;
+    3.16e-2; 1e-1; 3.16e-1; 1.0; 3.16; 10.0;
+  |]
+
+(* All accumulators live behind one mutex: span exits, counter bumps and
+   trace lines are rare relative to the work they measure, so contention
+   is not a concern even from worker domains. *)
 let lock = Mutex.create ()
 let span_tbl : (string, span_stat) Hashtbl.t = Hashtbl.create 32
 let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+let gauge_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+let hist_tbl : (string, hist_acc) Hashtbl.t = Hashtbl.create 32
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* {2 JSONL trace sink} *)
+
+let sink : out_channel option Atomic.t = Atomic.make None
+
+let tracing () = Atomic.get sink <> None
+
+let close_sink () =
+  match Atomic.exchange sink None with
+  | None -> ()
+  | Some oc -> ( try flush oc; close_out oc with Sys_error _ -> ())
+
+let set_trace_file path =
+  close_sink ();
+  match path with
+  | None -> ()
+  | Some p -> Atomic.set sink (Some (open_out p))
+
+let () = at_exit close_sink
+
+let domain_id () = (Domain.self () :> int)
+
+let emit fields =
+  match Atomic.get sink with
+  | None -> ()
+  | Some oc ->
+      let line = Json.to_string (Json.Obj fields) in
+      locked (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+
+(* Wall clock for event timestamps only; all durations are monotonic. *)
+let base_fields ev name attrs =
+  ("ev", Json.Str ev)
+  :: ("name", Json.Str name)
+  :: ("ts", Json.Float (Unix.gettimeofday ()))
+  :: ("mono_ns", Json.Int (Int64.to_int (monotonic_ns ())))
+  :: ("dom", Json.Int (domain_id ()))
+  :: attrs
+
+let event ?(attrs = []) name =
+  if tracing () then emit (base_fields "point" name attrs)
+
+(* {2 Metrics registry (unconditional)} *)
+
+let add name k =
+  locked (fun () ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
+      Hashtbl.replace counter_tbl name (prev + k))
+
+let set_gauge name v = locked (fun () -> Hashtbl.replace gauge_tbl name v)
+
+let observe_locked ?(bounds = latency_bounds) name v =
+  let acc =
+    match Hashtbl.find_opt hist_tbl name with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            n = 0;
+            total = 0.0;
+            lo = Float.infinity;
+            hi = Float.neg_infinity;
+          }
+        in
+        Hashtbl.add hist_tbl name a;
+        a
+  in
+  let nb = Array.length acc.bounds in
+  let rec bucket i = if i >= nb || v <= acc.bounds.(i) then i else bucket (i + 1) in
+  acc.counts.(bucket 0) <- acc.counts.(bucket 0) + 1;
+  acc.n <- acc.n + 1;
+  acc.total <- acc.total +. v;
+  acc.lo <- Float.min acc.lo v;
+  acc.hi <- Float.max acc.hi v
+
+let observe ?bounds name v = locked (fun () -> observe_locked ?bounds name v)
+
+let snapshot_hist name (a : hist_acc) =
+  {
+    hist_name = name;
+    upper_bounds = Array.copy a.bounds;
+    bucket_counts = Array.copy a.counts;
+    count = a.n;
+    sum = a.total;
+    min_value = a.lo;
+    max_value = a.hi;
+  }
+
+let histograms () =
+  locked (fun () ->
+      Hashtbl.fold (fun k a acc -> snapshot_hist k a :: acc) hist_tbl [])
+  |> List.sort (fun a b -> compare a.hist_name b.hist_name)
+
+let histogram name =
+  locked (fun () ->
+      Option.map (snapshot_hist name) (Hashtbl.find_opt hist_tbl name))
+
+(* Linear interpolation within the bucket holding the q-th rank; the
+   first bucket starts at the observed minimum and the overflow bucket
+   ends at the observed maximum, so the estimate is always within the
+   observed range. *)
+let quantile h q =
+  if h.count = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int h.count in
+    let nb = Array.length h.upper_bounds in
+    let rec go i cum =
+      if i > nb then h.max_value
+      else
+        let c = h.bucket_counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo = if i = 0 then h.min_value else h.upper_bounds.(i - 1) in
+          let hi = if i = nb then h.max_value else h.upper_bounds.(i) in
+          let frac = (target -. cum) /. float_of_int c in
+          Float.min h.max_value (Float.max h.min_value (lo +. ((hi -. lo) *. frac)))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0.0
+  end
+
+(* {2 Spans} *)
 
 let record_span name dt =
   locked (fun () ->
@@ -38,55 +199,140 @@ let record_span name dt =
           calls = prev.calls + 1;
           total_s = prev.total_s +. dt;
           max_s = Float.max prev.max_s dt;
-        })
+        };
+      observe_locked name dt)
 
-let span name f =
-  if not (enabled ()) then f ()
+let span ?(attrs = []) name f =
+  let streamed = tracing () in
+  if not (enabled () || streamed) then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
+    if streamed then emit (base_fields "span_begin" name attrs);
+    let t0 = monotonic_ns () in
     Fun.protect
-      ~finally:(fun () -> record_span name (Unix.gettimeofday () -. t0))
+      ~finally:(fun () ->
+        let dt_ns = Int64.sub (monotonic_ns ()) t0 in
+        record_span name (Int64.to_float dt_ns /. 1e9);
+        if streamed then
+          emit
+            (base_fields "span_end" name
+               (("dur_ns", Json.Int (Int64.to_int dt_ns)) :: attrs)))
       f
   end
 
-let add name k =
-  if enabled () then
-    locked (fun () ->
-        let prev = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name) in
-        Hashtbl.replace counter_tbl name (prev + k))
+(* {2 Reading back} *)
 
 let spans () =
   locked (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) span_tbl [])
-  |> List.sort (fun a b -> compare b.total_s a.total_s)
+  |> List.sort (fun a b ->
+         match compare b.total_s a.total_s with
+         | 0 -> compare a.span_name b.span_name
+         | c -> c)
 
 let counters () =
   locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) counter_tbl [])
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let gauges () =
+  locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset () =
   locked (fun () ->
       Hashtbl.reset span_tbl;
-      Hashtbl.reset counter_tbl)
+      Hashtbl.reset counter_tbl;
+      Hashtbl.reset gauge_tbl;
+      Hashtbl.reset hist_tbl)
+
+(* {2 Rendering} *)
+
+let span_quantiles name =
+  match histogram name with
+  | Some h when h.count > 0 -> (quantile h 0.5, quantile h 0.95)
+  | _ -> (Float.nan, Float.nan)
 
 let pp_summary ppf () =
-  let ss = spans () and cs = counters () in
-  if ss = [] && cs = [] then
+  let ss = spans () and cs = counters () and gs = gauges () in
+  if ss = [] && cs = [] && gs = [] then
     Format.fprintf ppf "instrumentation: nothing recorded@."
   else begin
     if ss <> [] then begin
-      Format.fprintf ppf "%-36s %8s %12s %12s@." "span" "calls" "total ms"
-        "max ms";
+      Format.fprintf ppf "%-36s %8s %12s %12s %12s %12s@." "span" "calls"
+        "total ms" "max ms" "p50 ms" "p95 ms";
       List.iter
         (fun s ->
-          Format.fprintf ppf "%-36s %8d %12.3f %12.3f@." s.span_name s.calls
-            (1000.0 *. s.total_s) (1000.0 *. s.max_s))
+          let p50, p95 = span_quantiles s.span_name in
+          Format.fprintf ppf "%-36s %8d %12.3f %12.3f %12.3f %12.3f@."
+            s.span_name s.calls (1000.0 *. s.total_s) (1000.0 *. s.max_s)
+            (1000.0 *. p50) (1000.0 *. p95))
         ss
     end;
     if cs <> [] then begin
       if ss <> [] then Format.pp_print_newline ppf ();
       Format.fprintf ppf "%-36s %8s@." "counter" "value";
       List.iter (fun (k, v) -> Format.fprintf ppf "%-36s %8d@." k v) cs
+    end;
+    if gs <> [] then begin
+      if ss <> [] || cs <> [] then Format.pp_print_newline ppf ();
+      Format.fprintf ppf "%-36s %12s@." "gauge" "value";
+      List.iter (fun (k, v) -> Format.fprintf ppf "%-36s %12.3f@." k v) gs
     end
   end
 
 let summary_string () = Format.asprintf "%a" pp_summary ()
+
+let finite_or_null f = if Float.is_nan f || Float.abs f = Float.infinity then Json.Null else Json.Float f
+
+let histogram_json h =
+  let buckets =
+    List.init
+      (Array.length h.bucket_counts)
+      (fun i ->
+        Json.Obj
+          [
+            ( "le",
+              if i < Array.length h.upper_bounds then
+                Json.Float h.upper_bounds.(i)
+              else Json.Str "inf" );
+            ("count", Json.Int h.bucket_counts.(i));
+          ])
+  in
+  Json.Obj
+    [
+      ("name", Json.Str h.hist_name);
+      ("count", Json.Int h.count);
+      ("sum", finite_or_null h.sum);
+      ("min", finite_or_null h.min_value);
+      ("max", finite_or_null h.max_value);
+      ("p50", finite_or_null (quantile h 0.5));
+      ("p95", finite_or_null (quantile h 0.95));
+      ("buckets", Json.List buckets);
+    ]
+
+let metrics_json () =
+  let span_json s =
+    let p50, p95 = span_quantiles s.span_name in
+    Json.Obj
+      [
+        ("name", Json.Str s.span_name);
+        ("calls", Json.Int s.calls);
+        ("total_s", Json.Float s.total_s);
+        ("max_s", Json.Float s.max_s);
+        ("p50_s", finite_or_null p50);
+        ("p95_s", finite_or_null p95);
+      ]
+  in
+  Json.Obj
+    [
+      ("spans", Json.List (List.map span_json (spans ())));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges ())) );
+      ("histograms", Json.List (List.map histogram_json (histograms ())));
+    ]
+
+(* Install the environment-selected trace file at program start. *)
+let () =
+  match Sys.getenv_opt "GOSSIP_TRACE_FILE" with
+  | Some p when p <> "" -> set_trace_file (Some p)
+  | _ -> ()

@@ -1,57 +1,162 @@
-(** Lightweight instrumentation: named spans, timers and counters.
+(** Structured telemetry: spans, events, counters, gauges, histograms.
 
     The analysis pipeline measures itself through this module: every
     heavy artifact build (delay digraph expansion, norm evaluation, BFS
-    diameter sweep, certificate search) runs inside a {!span}, and the
-    memoizing context counts its cache hits and misses with {!add}.
+    diameter sweep, certificate search) runs inside a {!span}, the
+    memoizing context counts its cache traffic with {!add}, and the
+    simulation engine streams its per-round coverage curve with
+    {!event}.
 
-    Recording is off by default and costs one branch per call site.  It
-    turns on when the environment variable [GOSSIP_TRACE] is set to
-    [1]/[true]/[yes]/[on] at program start, or programmatically with
-    {!set_enabled} (the [--trace] flag of [gossip_lab]).  All state is
-    global, mutex-protected — spans may be entered from worker domains —
-    and cleared by {!reset}. *)
+    Two independent switches control what happens:
 
-(** [enabled ()] — is recording currently on? *)
+    - {b Aggregation} ({!enabled}, [GOSSIP_TRACE=1], the [--trace] flag
+      of [gossip_lab]): when on, spans accumulate per-name call counts,
+      total/max durations and a latency {e histogram} (p50/p95 in
+      {!pp_summary}).  Span durations are measured on the {e monotonic}
+      clock, so wall-clock steps (NTP) can never produce negative or
+      inflated times.
+    - {b Streaming} ({!set_trace_file}, [GOSSIP_TRACE_FILE], the
+      [--trace-out] flag): when a trace file is installed, every span
+      emits [span_begin]/[span_end] events and {!event} emits [point]
+      events, one compact JSON object per line (JSONL).  Each line
+      carries a wall-clock timestamp [ts], a monotonic [mono_ns], the
+      worker domain id [dom] and the caller's attributes; [span_end]
+      additionally carries the monotonic [dur_ns].  Streaming implies
+      span aggregation for the streamed spans.  See [doc/telemetry.md]
+      for the schema.
+
+    The {e metrics registry} — counters ({!add}), gauges ({!set_gauge})
+    and histograms ({!observe}) — records {b unconditionally}: cache
+    hit/miss accounting must not vanish just because tracing is off.
+    Only span {e timing} is gated on the switches above.
+
+    All state is global and mutex-protected — spans and events may be
+    entered from worker domains (trace lines never interleave) — and
+    cleared by {!reset}. *)
+
+(** {1 Switches} *)
+
+(** [enabled ()] — is span aggregation currently on? *)
 val enabled : unit -> bool
 
-(** [set_enabled b] switches recording on or off at runtime. *)
+(** [set_enabled b] switches span aggregation on or off at runtime. *)
 val set_enabled : bool -> unit
 
-(** [span name f] runs [f ()] and, when enabled, adds its wall-clock
-    duration to the accumulator for [name].  Exceptions propagate; the
-    time until the raise is still recorded.  Nesting is fine — each name
-    accumulates independently. *)
-val span : string -> (unit -> 'a) -> 'a
+(** [set_trace_file (Some path)] opens [path] (truncating) and streams
+    JSONL events to it until [set_trace_file None] (which flushes and
+    closes; also done automatically at exit).  The environment variable
+    [GOSSIP_TRACE_FILE] installs a trace file at program start. *)
+val set_trace_file : string option -> unit
 
-(** [add name k] adds [k] to counter [name] (created at 0), when
-    enabled.  Use for event counts: cache hits, evictions, spawned
-    domains. *)
+(** [tracing ()] — is a JSONL trace file currently installed?  Cheap;
+    poll it before building per-round event attributes in hot loops. *)
+val tracing : unit -> bool
+
+(** {1 Clock} *)
+
+(** [now_ns ()] — the monotonic clock, in nanoseconds from an arbitrary
+    origin.  Differences are meaningful; absolute values are not. *)
+val now_ns : unit -> int64
+
+(** {1 Spans and events} *)
+
+(** [span ?attrs name f] runs [f ()] and, when aggregation or streaming
+    is on, records its monotonic duration under [name] (and into the
+    [name] latency histogram), emitting [span_begin]/[span_end] events
+    when streaming.  [attrs] — e.g. a structural fingerprint of the
+    artifact being built — are attached to both events.  Exceptions
+    propagate; the time until the raise is still recorded.  Nesting is
+    fine — each name accumulates independently. *)
+val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** [event ?attrs name] emits one [point] JSONL event when streaming is
+    on; a no-op otherwise.  Use for instants: per-round coverage probes,
+    worker start-up. *)
+val event : ?attrs:(string * Json.t) list -> string -> unit
+
+(** {1 Metrics registry (unconditional)} *)
+
+(** [add name k] adds [k] to counter [name] (created at 0).  Use for
+    event counts: cache hits, evictions, spawned domains.  Always
+    records, independent of the tracing switches. *)
 val add : string -> int -> unit
+
+(** [set_gauge name v] sets gauge [name] to its latest value [v]. *)
+val set_gauge : string -> float -> unit
+
+(** [observe ?bounds name v] adds [v] to histogram [name].  [bounds]
+    (strictly increasing bucket upper edges, default: half-decade
+    latency buckets 1µs..10s) is fixed at the histogram's first
+    observation; later [bounds] arguments are ignored.  Values above the
+    last edge land in an overflow bucket. *)
+val observe : ?bounds:float array -> string -> float -> unit
+
+(** {1 Reading back} *)
 
 (** Accumulated statistics of one span name. *)
 type span_stat = {
   span_name : string;
   calls : int;  (** completed invocations *)
-  total_s : float;  (** summed wall-clock seconds *)
+  total_s : float;  (** summed monotonic seconds *)
   max_s : float;  (** longest single invocation *)
 }
 
-(** [spans ()] — all span accumulators, sorted by descending total
-    time.  Empty when nothing was recorded. *)
+(** Immutable snapshot of one histogram. *)
+type histogram = {
+  hist_name : string;
+  upper_bounds : float array;  (** bucket upper edges, increasing *)
+  bucket_counts : int array;
+      (** per-bucket counts; one longer than [upper_bounds] — the last
+          entry is the overflow bucket *)
+  count : int;
+  sum : float;
+  min_value : float;
+  max_value : float;
+}
+
+(** [spans ()] — all span accumulators, sorted by descending total time
+    with the name as tiebreak (fully deterministic across runs). *)
 val spans : unit -> span_stat list
 
 (** [counters ()] — all counters, sorted by name. *)
 val counters : unit -> (string * int) list
 
-(** [reset ()] clears every span and counter (the enabled flag is
-    untouched). *)
+(** [gauges ()] — all gauges, sorted by name. *)
+val gauges : unit -> (string * float) list
+
+(** [histograms ()] — snapshots of all histograms, sorted by name. *)
+val histograms : unit -> histogram list
+
+(** [histogram name] — snapshot of one histogram, if it exists. *)
+val histogram : string -> histogram option
+
+(** [quantile h q] estimates the [q]-quantile ([0 ≤ q ≤ 1]) of [h] by
+    linear interpolation inside the bucket holding the target rank; the
+    estimate is clamped to the observed [min]/[max].  NaN on an empty
+    histogram. *)
+val quantile : histogram -> float -> float
+
+(** [reset ()] clears every span, counter, gauge and histogram (the
+    switches and trace file are untouched). *)
 val reset : unit -> unit
 
-(** [pp_summary ppf ()] prints a two-part formatted report: span table
-    (name, calls, total ms, max ms) then counter table.  Prints a
-    placeholder line when nothing was recorded. *)
+(** {1 Rendering} *)
+
+(** [pp_summary ppf ()] prints a formatted report: span table (name,
+    calls, total/max/p50/p95 ms), counter table, gauge table.  Ordering
+    is fully deterministic (total-time descending, name tiebreak).
+    Prints a placeholder line when nothing was recorded. *)
 val pp_summary : Format.formatter -> unit -> unit
 
 (** [summary_string ()] is {!pp_summary} rendered to a string. *)
 val summary_string : unit -> string
+
+(** [histogram_json h] — one histogram as JSON: name, count, sum,
+    min/max, p50/p95 and the cumulative-style bucket list
+    [{le, count}] (the overflow bucket has [le = "inf"]). *)
+val histogram_json : histogram -> Json.t
+
+(** [metrics_json ()] — the whole registry as one JSON object:
+    [{spans, counters, gauges, histograms}].  This is the [metrics]
+    section of the bench report and of [gossip_lab stats --json]. *)
+val metrics_json : unit -> Json.t

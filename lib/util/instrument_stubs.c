@@ -1,0 +1,18 @@
+/* Monotonic clock for Gossip_util.Instrument span timing.
+ *
+ * OCaml's Unix library exposes only the wall clock (gettimeofday),
+ * which NTP can step backwards or forwards mid-span; CLOCK_MONOTONIC
+ * cannot.  One tiny stub keeps the library free of external timing
+ * packages. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim value gossip_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

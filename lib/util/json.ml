@@ -1,0 +1,351 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* {2 Printing} *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Shortest %g rendering that parses back to the same float; forced to
+   contain '.' or an exponent so the reader can tell floats from ints. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else begin
+    let try_fmt fmt =
+      let s = Printf.sprintf fmt f in
+      if float_of_string s = f then Some s else None
+    in
+    let s =
+      match try_fmt "%.12g" with
+      | Some s -> s
+      | None -> (
+          match try_fmt "%.15g" with
+          | Some s -> s
+          | None -> Printf.sprintf "%.17g" f)
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
+
+let rec write ~indent ~level buf j =
+  let pad n = Buffer.add_string buf (String.make (n * 2) ' ') in
+  let sep_items items f =
+    match indent with
+    | false ->
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            f x)
+          items
+    | true ->
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '\n';
+            pad (level + 1);
+            f x)
+          items;
+        Buffer.add_char buf '\n';
+        pad level
+  in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      sep_items items (write ~indent ~level:(level + 1) buf);
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      sep_items fields (fun (k, v) ->
+          Buffer.add_char buf '"';
+          escape_into buf k;
+          Buffer.add_string buf "\":";
+          if indent then Buffer.add_char buf ' ';
+          write ~indent ~level:(level + 1) buf v);
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write ~indent:false ~level:0 buf j;
+  Buffer.contents buf
+
+let to_string_pretty j =
+  let buf = Buffer.create 256 in
+  write ~indent:true ~level:0 buf j;
+  Buffer.contents buf
+
+let pp ppf j = Format.pp_print_string ppf (to_string_pretty j)
+
+(* {2 Parsing} *)
+
+exception Parse_error of int * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue := false
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c.pos (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> fail c.pos (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos (Printf.sprintf "invalid literal, expected %s" word)
+
+let utf8_of_code buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 c =
+  let digit ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> fail c.pos "invalid hex digit in \\u escape"
+  in
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek c with
+    | Some ch -> v := (!v * 16) + digit ch
+    | None -> fail c.pos "truncated \\u escape");
+    advance c
+  done;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c.pos "truncated escape"
+        | Some ch ->
+            advance c;
+            (match ch with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                let u = hex4 c in
+                if u >= 0xD800 && u <= 0xDBFF then begin
+                  (* high surrogate: a low surrogate must follow *)
+                  (match (peek c, c.pos + 1 < String.length c.src) with
+                  | Some '\\', true when c.src.[c.pos + 1] = 'u' ->
+                      advance c;
+                      advance c;
+                      let lo = hex4 c in
+                      if lo >= 0xDC00 && lo <= 0xDFFF then
+                        utf8_of_code buf
+                          (0x10000
+                          + ((u - 0xD800) lsl 10)
+                          + (lo - 0xDC00))
+                      else fail c.pos "unpaired surrogate"
+                  | _ -> fail c.pos "unpaired surrogate")
+                end
+                else if u >= 0xDC00 && u <= 0xDFFF then
+                  fail c.pos "unpaired surrogate"
+                else utf8_of_code buf u
+            | _ -> fail (c.pos - 1) "invalid escape character");
+            go ())
+    | Some ch when Char.code ch < 0x20 ->
+        fail c.pos "unescaped control character in string"
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  if peek c = Some '-' then advance c;
+  let digits () =
+    let saw = ref false in
+    let continue = ref true in
+    while !continue do
+      match peek c with
+      | Some '0' .. '9' ->
+          saw := true;
+          advance c
+      | _ -> continue := false
+    done;
+    if not !saw then fail c.pos "expected digit"
+  in
+  digits ();
+  if peek c = Some '.' then begin
+    is_float := true;
+    advance c;
+    digits ()
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance c;
+      (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+      digits ()
+  | _ -> ());
+  let s = String.sub c.src start (c.pos - start) in
+  if !is_float then Float (float_of_string s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> Float (float_of_string s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string c)
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some ch -> fail c.pos (Printf.sprintf "unexpected character %c" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then fail c.pos "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+(* {2 Accessors} *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None

@@ -33,6 +33,16 @@ let init ?domains n f =
     Instrument.add "parallel.domain-spawns" (workers - 1);
     let results = Array.make n None in
     let work w () =
+      (* Emitted from inside the worker, so the event's [dom] field is
+         stamped with the worker's own domain id. *)
+      if Instrument.tracing () then
+        Instrument.event "parallel.worker"
+          ~attrs:
+            [
+              ("worker", Json.Int w);
+              ("workers", Json.Int workers);
+              ("items", Json.Int n);
+            ];
       let i = ref w in
       while !i < n do
         results.(!i) <- Some (f !i);

@@ -1,0 +1,355 @@
+(* Telemetry layer: Util.Json emitter/parser, Instrument histograms,
+   JSONL trace streams, and the machine-readable table export.
+
+   The JSON tests are adversarial on purpose — control characters,
+   quotes, backslashes, non-ASCII bytes, surrogate-pair escapes — since
+   every trace line and every --json result flows through this printer
+   and must survive the round trip through this parser. *)
+
+module Json = Gossip_util.Json
+module Instrument = Gossip_util.Instrument
+module Parallel = Gossip_util.Parallel
+module Tables = Gossip_bounds.Tables
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let checkf msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+(* --- Json: printing --- *)
+
+let test_json_print () =
+  check_str "compact object" {|{"a":1,"b":[true,null,"x"]}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null; Json.Str "x" ]);
+          ]));
+  check_str "empty containers" {|{"o":{},"l":[]}|}
+    (Json.to_string (Json.Obj [ ("o", Json.Obj []); ("l", Json.List []) ]));
+  check_str "negative int" "-42" (Json.to_string (Json.Int (-42)));
+  (* floats must re-parse to the same value and always look like floats *)
+  check_str "float keeps a point" "1.0" (Json.to_string (Json.Float 1.0));
+  check_str "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_str "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_escaping () =
+  check_str "quotes and backslashes" {|"a\"b\\c"|}
+    (Json.to_string (Json.Str {|a"b\c|}));
+  check_str "named escapes" {|"\n\t\r\b\f"|}
+    (Json.to_string (Json.Str "\n\t\r\b\012"));
+  check_str "other control chars as \\u" "\"\\u0000\\u001f\""
+    (Json.to_string (Json.Str "\000\031"));
+  (* non-ASCII bytes (UTF-8 payloads) pass through untouched *)
+  check_str "utf8 passthrough" "\"\xc3\xa9\"" (Json.to_string (Json.Str "\xc3\xa9"))
+
+(* --- Json: parsing and round trips --- *)
+
+let roundtrip j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+
+let test_json_roundtrip_adversarial () =
+  let strings =
+    [
+      "";
+      "plain";
+      {|quote " backslash \ slash /|};
+      "newline\n tab\t cr\r";
+      "\000\001\031\127";
+      "\xe2\x88\x80x\xe2\x88\x83y";  (* ∀x∃y *)
+      String.make 300 '\\';
+      "ends with quote\"";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match roundtrip (Json.Str s) with
+      | Json.Str s' -> check_str "string survives round trip" s s'
+      | _ -> Alcotest.fail "string did not parse back to a string")
+    strings;
+  let deep =
+    Json.Obj
+      [
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.5; Json.Bool false ]);
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Obj []; Json.Null ]) ]);
+      ]
+  in
+  check "structure survives round trip" true (roundtrip deep = deep)
+
+let test_json_parse_escapes () =
+  (* \uXXXX escapes, including a surrogate pair, decode to UTF-8 *)
+  (match Json.of_string "\"A\\u00e9\\u2200\"" with
+  | Ok (Json.Str s) -> check_str "unicode escapes" "A\xc3\xa9\xe2\x88\x80" s
+  | _ -> Alcotest.fail "unicode escapes did not parse");
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) -> check_str "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair did not parse");
+  (match Json.of_string "[1, -2.5e3, true, null]" with
+  | Ok (Json.List [ Json.Int 1; Json.Float f; Json.Bool true; Json.Null ]) ->
+      checkf "exponent float" (-2500.0) f
+  | _ -> Alcotest.fail "mixed list did not parse")
+
+let test_json_parse_rejects () =
+  let rejects s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "nulx"; "\"unterminated"; "1 2";
+      "{\"a\" 1}"; "[1] trailing"; "\"bad \\q escape\"";
+    ]
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json float round trip"
+    QCheck.(float_range (-1e15) 1e15)
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') -> f = f'
+      | Ok (Json.Int i) -> float_of_int i = f
+      | _ -> false)
+
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json string round trip" QCheck.string
+    (fun s ->
+      match Json.of_string (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> s = s'
+      | _ -> false)
+
+(* --- Histograms --- *)
+
+let test_histogram_known_inputs () =
+  Instrument.reset ();
+  let bounds = [| 1.0; 2.0; 4.0 |] in
+  List.iter
+    (Instrument.observe ~bounds "t.hist")
+    [ 0.5; 1.5; 1.5; 3.0; 8.0 ];
+  match Instrument.histogram "t.hist" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check "edges fixed at creation" true (h.Instrument.upper_bounds = bounds);
+      check "bucket counts" true
+        (h.Instrument.bucket_counts = [| 1; 2; 1; 1 |]);
+      check_int "count" 5 h.Instrument.count;
+      checkf "sum" 14.5 h.Instrument.sum;
+      checkf "min" 0.5 h.Instrument.min_value;
+      checkf "max" 8.0 h.Instrument.max_value;
+      (* p50: rank 2.5 falls in bucket (1, 2] after 1 below; 1.5 of the
+         bucket's 2 observations -> 1 + 0.75 * (2 - 1) = 1.75 *)
+      checkf "p50 interpolates" 1.75 (Instrument.quantile h 0.5);
+      (* p95: rank 4.75 falls in the overflow bucket, whose range is
+         (4, max = 8]; 0.75 through it -> 7.0 *)
+      checkf "p95 in overflow bucket" 7.0 (Instrument.quantile h 0.95);
+      checkf "q=0 clamps to min" 0.5 (Instrument.quantile h 0.0);
+      checkf "q=1 clamps to max" 8.0 (Instrument.quantile h 1.0);
+      Instrument.reset ()
+
+let test_histogram_json_shape () =
+  Instrument.reset ();
+  Instrument.observe ~bounds:[| 1.0 |] "t.hist" 0.5;
+  Instrument.observe "t.hist" 2.0;
+  (* ignored bounds: fixed at creation *)
+  (match Instrument.histogram "t.hist" with
+  | Some h -> (
+      match Instrument.histogram_json h with
+      | Json.Obj fields ->
+          check "has name" true
+            (List.assoc "name" fields = Json.Str "t.hist");
+          check "has p50 and p95" true
+            (List.mem_assoc "p50" fields && List.mem_assoc "p95" fields);
+          (match List.assoc "buckets" fields with
+          | Json.List [ _; Json.Obj overflow ] ->
+              check "overflow le is the string inf" true
+                (List.assoc "le" overflow = Json.Str "inf")
+          | _ -> Alcotest.fail "expected two buckets")
+      | _ -> Alcotest.fail "histogram_json is not an object")
+  | None -> Alcotest.fail "histogram missing");
+  Instrument.reset ()
+
+(* --- JSONL trace files --- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+(* Every line parses; span_begin/span_end balance per (dom, name). *)
+let well_formed_trace lines =
+  let opened = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "trace line %S: %s" line e
+      | Ok j -> (
+          let field name = Json.member name j in
+          check "line is an object with ev" true
+            (match field "ev" with Some (Json.Str _) -> true | _ -> false);
+          check "line carries mono_ns" true
+            (match field "mono_ns" with Some (Json.Int _) -> true | _ -> false);
+          let dom =
+            match field "dom" with Some (Json.Int d) -> d | _ -> -1
+          in
+          let name =
+            match field "name" with Some (Json.Str s) -> s | _ -> ""
+          in
+          let key = (dom, name) in
+          let count = try Hashtbl.find opened key with Not_found -> 0 in
+          match field "ev" with
+          | Some (Json.Str "span_begin") -> Hashtbl.replace opened key (count + 1)
+          | Some (Json.Str "span_end") ->
+              if count = 0 then
+                Alcotest.failf "span_end %S without begin" name
+              else Hashtbl.replace opened key (count - 1)
+          | _ -> ()))
+    lines;
+  Hashtbl.iter
+    (fun (_, name) count ->
+      if count <> 0 then Alcotest.failf "span %S left %d open" name count)
+    opened
+
+let trace_workload ~domains () =
+  (* spans (some nested, one raising), point events, and a parallel map
+     whose worker events are stamped from inside each domain *)
+  Instrument.span "t.outer" ~attrs:[ ("k", Json.Str "v\"esc") ] (fun () ->
+      Instrument.span "t.inner" (fun () -> ignore (Sys.opaque_identity 1)));
+  (try Instrument.span "t.raise" (fun () -> raise Exit) with Exit -> ());
+  Instrument.event "t.point" ~attrs:[ ("i", Json.Int 3) ];
+  ignore (Parallel.init ~domains 64 (fun i -> i * i))
+
+let test_trace_jsonl ~domains () =
+  let path = Filename.temp_file "gossip_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.set_trace_file None;
+      Instrument.reset ();
+      Sys.remove path)
+    (fun () ->
+      Instrument.reset ();
+      Instrument.set_trace_file (Some path);
+      trace_workload ~domains ();
+      Instrument.set_trace_file None;
+      let lines = read_lines path in
+      check "trace is non-empty" true (List.length lines > 0);
+      well_formed_trace lines;
+      (* the parallel workload streams one event per worker domain *)
+      let worker_events =
+        List.filter
+          (fun l ->
+            match Json.of_string l with
+            | Ok j -> Json.member "name" j = Some (Json.Str "parallel.worker")
+            | Error _ -> false)
+          lines
+      in
+      if domains > 1 then
+        check_int "one event per worker" domains (List.length worker_events))
+
+let test_trace_single_domain () = test_trace_jsonl ~domains:1 ()
+let test_trace_multi_domain () = test_trace_jsonl ~domains:4 ()
+
+let test_engine_round_events () =
+  let path = Filename.temp_file "gossip_engine" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.set_trace_file None;
+      Instrument.reset ();
+      Sys.remove path)
+    (fun () ->
+      Instrument.reset ();
+      Instrument.set_trace_file (Some path);
+      let sys =
+        Gossip_protocol.Builders.edge_coloring_half_duplex
+          (Gossip_topology.Families.cycle 8)
+      in
+      let run = Gossip_simulate.Engine.gossip_run sys in
+      Instrument.set_trace_file None;
+      let lines = read_lines path in
+      well_formed_trace lines;
+      let rounds =
+        List.filter
+          (fun l ->
+            match Json.of_string l with
+            | Ok j -> Json.member "name" j = Some (Json.Str "engine.round")
+            | Error _ -> false)
+          lines
+      in
+      check_int "one event per simulated round"
+        (Array.length run.Gossip_simulate.Engine.curve)
+        (List.length rounds);
+      (match run.Gossip_simulate.Engine.time with
+      | Some t ->
+          check_int "curve covers the whole run" t
+            (Array.length run.Gossip_simulate.Engine.curve)
+      | None -> Alcotest.fail "gossip did not complete");
+      check "curve ends complete" true
+        (run.Gossip_simulate.Engine.curve.(Array.length
+                                             run.Gossip_simulate.Engine.curve
+                                           - 1)
+        = 1.0))
+
+(* --- Golden: the machine-readable tables --- *)
+
+let test_tables_json_golden () =
+  (* Corollary 4.4 (Fig. 4): the e(s) values the paper states. *)
+  let expected = [ (3, 2.8808); (4, 1.8133); (5, 1.6502); (8, 1.4721) ] in
+  let j = roundtrip (Tables.to_json ~s_max:8 ()) in
+  let fig4 =
+    match Json.member "fig4" j with
+    | Some f -> f
+    | None -> Alcotest.fail "no fig4 key"
+  in
+  let rows =
+    match Json.member "rows" fig4 with
+    | Some (Json.List rows) -> rows
+    | _ -> Alcotest.fail "no fig4 rows"
+  in
+  let e_of s =
+    match
+      List.find_opt (fun r -> Json.member "s" r = Some (Json.Int s)) rows
+    with
+    | Some r -> (
+        match Json.member "e" r with
+        | Some j -> Option.get (Json.to_float_opt j)
+        | None -> Alcotest.fail "row lacks e")
+    | None -> Alcotest.failf "no row for s=%d" s
+  in
+  List.iter
+    (fun (s, paper) ->
+      Alcotest.(check (float 5e-4))
+        (Printf.sprintf "e(%d) matches Corollary 4.4" s)
+        paper (e_of s))
+    expected;
+  match Json.member "inf" fig4 with
+  | Some inf ->
+      Alcotest.(check (float 5e-4))
+        "e(inf) = 1.4404" 1.4404
+        (Option.get (Json.to_float_opt (Option.get (Json.member "e" inf))))
+  | None -> Alcotest.fail "no fig4 inf row"
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("json printing", `Quick, test_json_print);
+    ("json escaping", `Quick, test_json_escaping);
+    ("json adversarial round trip", `Quick, test_json_roundtrip_adversarial);
+    ("json parse escapes", `Quick, test_json_parse_escapes);
+    ("json parse rejects garbage", `Quick, test_json_parse_rejects);
+    ("histogram known inputs", `Quick, test_histogram_known_inputs);
+    ("histogram json shape", `Quick, test_histogram_json_shape);
+    ("trace jsonl, 1 domain", `Quick, test_trace_single_domain);
+    ("trace jsonl, 4 domains", `Quick, test_trace_multi_domain);
+    ("engine round events", `Quick, test_engine_round_events);
+    ("tables json golden (Cor 4.4)", `Quick, test_tables_json_golden);
+    q prop_json_float_roundtrip;
+    q prop_json_string_roundtrip;
+  ]

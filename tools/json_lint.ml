@@ -1,0 +1,88 @@
+(* json_lint: validate JSON produced by the telemetry layer.
+
+   Modes (selected by argv):
+     (none)    stdin holds one JSON document; parse it strictly
+     --jsonl   stdin holds JSON Lines; every non-empty line must parse
+     --trace   JSON Lines as above, plus trace-specific checks: every
+               line is an object with an "ev" field, and span_begin /
+               span_end events balance per (domain, span name)
+
+   Exit status 0 when valid; 1 with a diagnostic on stderr otherwise.
+   Used by CI to validate `gossip_lab ... --json` output, bench reports
+   and GOSSIP_TRACE_FILE streams with the same parser the test suite
+   exercises. *)
+
+module Json = Gossip_util.Json
+
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let lint_json src =
+  match Json.of_string src with
+  | Ok _ -> ()
+  | Error e -> fail "invalid JSON: %s" e
+
+let lint_lines ~trace src =
+  (* (dom, span name) -> open span count; trace mode only *)
+  let open_spans = Hashtbl.create 64 in
+  let events = ref 0 in
+  let check_trace_line lineno j =
+    let str_field name =
+      match Json.member name j with
+      | Some (Json.Str s) -> Some s
+      | _ -> None
+    in
+    let dom =
+      match Json.member "dom" j with Some (Json.Int d) -> d | _ -> -1
+    in
+    match str_field "ev" with
+    | None -> fail "line %d: trace event lacks an \"ev\" field" lineno
+    | Some ev -> (
+        let name = match str_field "name" with Some n -> n | None -> "" in
+        let key = (dom, name) in
+        let count = try Hashtbl.find open_spans key with Not_found -> 0 in
+        match ev with
+        | "span_begin" -> Hashtbl.replace open_spans key (count + 1)
+        | "span_end" ->
+            if count = 0 then
+              fail "line %d: span_end %S (dom %d) without matching span_begin"
+                lineno name dom
+            else Hashtbl.replace open_spans key (count - 1)
+        | _ -> ())
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if String.trim line <> "" then begin
+        incr events;
+        match Json.of_string line with
+        | Error e -> fail "line %d: invalid JSON: %s" lineno e
+        | Ok j -> if trace then check_trace_line lineno j
+      end)
+    (String.split_on_char '\n' src);
+  if trace then
+    Hashtbl.iter
+      (fun (dom, name) count ->
+        if count <> 0 then
+          fail "unbalanced span %S (dom %d): %d span_begin without span_end"
+            name dom count)
+      open_spans;
+  Printf.printf "ok: %d line(s) valid\n" !events
+
+let () =
+  let src = read_all stdin in
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> lint_json src
+  | [ "--jsonl" ] -> lint_lines ~trace:false src
+  | [ "--trace" ] -> lint_lines ~trace:true src
+  | _ ->
+      prerr_endline "usage: json_lint [--jsonl | --trace] < input";
+      exit 2
