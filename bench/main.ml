@@ -25,7 +25,8 @@
      Part 19 ablation        worst-case local pattern = balanced split
      Part 20 messages        obliviousness overhead in transmissions
      Part 21 Bechamel        one micro-benchmark per table
-     Part 22 cache stats     shared-context hit/miss accounting *)
+     Part 22 cache stats     shared-context hit/miss accounting
+     Part 23 serve           wire codec and bounded-queue hot paths *)
 
 open Core
 module Table = Util.Table
@@ -652,8 +653,15 @@ let print_faults () =
       Table.add_row t
         (name
         :: List.map
-             (fun (_, m) ->
-               match m with Some v -> Printf.sprintf "%.1f" v | None -> "DNF")
+             (fun (pt : Simulate.Faults.slowdown_point) ->
+               match pt.Simulate.Faults.mean with
+               | Some v ->
+                   if pt.Simulate.Faults.completed < pt.Simulate.Faults.trials
+                   then
+                     Printf.sprintf "%.1f (%d/%d)" v
+                       pt.Simulate.Faults.completed pt.Simulate.Faults.trials
+                   else Printf.sprintf "%.1f" v
+               | None -> "DNF")
              curve))
     (run_faults ());
   Table.print t;
@@ -1003,6 +1011,63 @@ let print_cache_stats () =
   if Util.Instrument.enabled () then
     Format.printf "%a@?" Util.Instrument.pp_summary ()
 
+(* Part 23: the serving layer's hot paths — wire codec round trips and
+   bounded-queue admission — measured standalone, without sockets, so the
+   numbers isolate protocol overhead from network and evaluation cost. *)
+let print_serve_bench () =
+  let module Wire = Gossip_serve.Wire in
+  let module Bq = Gossip_serve.Bounded_queue in
+  let rate label iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (label, float_of_int iters /. dt)
+  in
+  let request =
+    {
+      Wire.id = Util.Json.Int 7;
+      op =
+        Wire.Bound
+          {
+            net = { Wire.family = "hypercube"; dim = 8; degree = 2 };
+            s = Some 4;
+            full_duplex = false;
+          };
+      timeout_ms = Some 2000;
+    }
+  in
+  let encoded = Util.Json.to_string (Wire.request_to_json request) in
+  let response =
+    Wire.ok_response ~id:(Util.Json.Int 7)
+      (Util.Json.Obj [ ("sound", Util.Json.Int 12) ])
+  in
+  let encoded_resp = Util.Json.to_string response in
+  let q = Bq.create ~capacity:1024 in
+  let rows =
+    [
+      rate "request encode (to_json + print)" 50_000 (fun () ->
+          ignore (Util.Json.to_string (Wire.request_to_json request)));
+      rate "request decode (parse + validate)" 50_000 (fun () ->
+          match Util.Json.of_string encoded with
+          | Ok j -> ignore (Wire.parse_request j)
+          | Error _ -> assert false);
+      rate "response decode" 50_000 (fun () ->
+          match Util.Json.of_string encoded_resp with
+          | Ok j -> ignore (Wire.parse_response j)
+          | Error _ -> assert false);
+      rate "queue push+pop pair" 200_000 (fun () ->
+          ignore (Bq.try_push q request);
+          ignore (Bq.pop q));
+    ]
+  in
+  let t = Table.make ~title:"Serving layer hot paths" [ "operation"; "ops/s" ] in
+  List.iter
+    (fun (label, rate) -> Table.add_row t [ label; Printf.sprintf "%.0f" rate ])
+    rows;
+  Table.print t
+
 let parts =
   [
     (1, "fig4", "Part 1: Fig. 4 — general systolic lower bounds", print_fig4);
@@ -1035,6 +1100,8 @@ let parts =
     (20, "messages", "Part 20: message complexity", print_messages);
     (21, "bechamel", "Part 21: Bechamel micro-benchmarks", run_bechamel);
     (22, "cache-stats", "Part 22: pipeline cache statistics", print_cache_stats);
+    (23, "serve", "Part 23: serving layer (wire codec, bounded queue)",
+     print_serve_bench);
   ]
 
 (* Minimal argv parsing — the bench stays a plain executable:

@@ -82,12 +82,20 @@ let report ?ctx () =
     Format.printf "%a@?" Util.Instrument.pp_summary ()
   end
 
-let print_json j = print_endline (Util.Json.to_string_pretty j)
-
 (* Append fields (cache stats, coverage, …) to an object result. *)
 let obj_with extra = function
   | Util.Json.Obj fields -> Util.Json.Obj (fields @ extra)
   | other -> other
+
+(* Every --json envelope leads with the build version, mirroring the
+   server's response envelopes (doc/serving.md). *)
+let print_json j =
+  print_endline
+    (Util.Json.to_string_pretty
+       (match j with
+       | Util.Json.Obj fields ->
+           Util.Json.Obj (("version", Util.Json.Str Version.string) :: fields)
+       | other -> other))
 
 let build_network family d dim =
   let module F = Topology.Families in
@@ -529,6 +537,90 @@ let stats_cmd =
       const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd
       $ json_arg)
 
+(* --- faults: slowdown under i.i.d. arc drops --- *)
+
+let faults_cmd =
+  let run () family d dim full_duplex trials seed probabilities json =
+    let g = build_network family d dim in
+    let sys = default_systolic g full_duplex in
+    let curve =
+      Simulate.Faults.slowdown_curve sys ~trials ~probabilities ~seed
+    in
+    if json then
+      let module J = Util.Json in
+      print_json
+        (J.Obj
+           [
+             ("network", J.Str (Topology.Digraph.name g));
+             ("period", J.Int (Protocol.Systolic.period sys));
+             ("trials", J.Int trials);
+             ("seed", J.Int seed);
+             ( "curve",
+               J.List (List.map Simulate.Faults.point_to_json curve) );
+           ])
+    else begin
+      let t =
+        Util.Table.make
+          ~title:
+            (Printf.sprintf "%s — mean gossip time under arc drops (%d trials)"
+               (Topology.Digraph.name g) trials)
+          [ "p"; "mean"; "completed" ]
+      in
+      List.iter
+        (fun (pt : Simulate.Faults.slowdown_point) ->
+          Util.Table.add_row t
+            [
+              Printf.sprintf "%.2f" pt.Simulate.Faults.probability;
+              (match pt.Simulate.Faults.mean with
+              | Some m -> Printf.sprintf "%.1f" m
+              | None -> "DNF");
+              Printf.sprintf "%d/%d" pt.Simulate.Faults.completed
+                pt.Simulate.Faults.trials;
+            ])
+        curve;
+      Util.Table.print t;
+      report ()
+    end
+  in
+  let fd =
+    C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex protocol.")
+  in
+  let trials =
+    C.Arg.(
+      value & opt int 5
+      & info [ "trials" ] ~docv:"N" ~doc:"Trials per drop probability.")
+  in
+  let seed =
+    C.Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let probabilities =
+    C.Arg.(
+      value
+      & opt (list float) [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
+      & info [ "p"; "probabilities" ] ~docv:"P,..."
+          ~doc:"Comma-separated arc-drop probabilities.")
+  in
+  C.Cmd.v
+    (C.Cmd.info "faults"
+       ~doc:
+         "Slowdown curve under i.i.d. arc drops, with per-probability \
+          completion counts (non-completing trials are excluded from the \
+          mean, so the counts matter).")
+    C.Term.(
+      const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd $ trials
+      $ seed $ probabilities $ json_arg)
+
+(* --- version --- *)
+
+let version_cmd =
+  let run () json =
+    if json then print_json (Util.Json.Obj [])
+    else print_endline Version.string
+  in
+  C.Cmd.v
+    (C.Cmd.info "version" ~doc:"Print the build version.")
+    C.Term.(const run $ C.Term.const () $ json_arg)
+
 (* --- info --- *)
 
 let info_cmd =
@@ -549,8 +641,9 @@ let () =
   let doc = "systolic gossip lower-bound laboratory" in
   exit
     (C.Cmd.eval
-       (C.Cmd.group (C.Cmd.info "gossip_lab" ~doc)
+       (C.Cmd.group (C.Cmd.info "gossip_lab" ~doc ~version:Version.string)
           [
             tables_cmd; analyze_cmd; simulate_cmd; info_cmd; stats_cmd;
-            price_cmd; dot_cmd; certify_file_cmd; optimal_cmd; broadcast_cmd;
+            faults_cmd; price_cmd; dot_cmd; certify_file_cmd; optimal_cmd;
+            broadcast_cmd; version_cmd;
           ]))

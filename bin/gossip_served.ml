@@ -1,0 +1,168 @@
+(* gossip_served: long-lived concurrent analysis server.
+
+   Serves the library's analyses (tables / bound / simulate / certify /
+   stats) over newline-delimited JSON on a Unix-domain or TCP socket,
+   evaluating requests on a pool of worker domains that share one
+   memoizing Core.Context — repeated queries are cache hits instead of
+   cold CLI runs.  Wire schema and semantics: doc/serving.md.
+
+   Subcommands:
+     serve     run the daemon (default)
+     version   print the build version
+
+   The daemon drains gracefully on SIGTERM/SIGINT or a `shutdown`
+   request: stop accepting, answer everything already admitted, exit. *)
+
+open Gossip_serve
+module C = Cmdliner
+
+let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
+    default_timeout_ms eval_domains trace trace_out =
+  (match trace_out with
+  | Some path -> Core.Util.Instrument.set_trace_file (Some path)
+  | None -> ());
+  if trace then Core.Util.Instrument.set_enabled true;
+  (* Parallelism comes from concurrent worker domains; nested parallel
+     loops inside one request default to a single domain so [workers]
+     requests never oversubscribe the machine. *)
+  Core.Util.Parallel.set_default_domains (Some (max 1 eval_domains));
+  let listen =
+    if workers < 1 then `Error (true, "--workers: value must be at least 1")
+    else if queue_capacity < 1 then
+      `Error (true, "--queue-capacity: value must be at least 1")
+    else if max_frame_bytes < 2 then
+      `Error (true, "--max-frame-bytes: value must be at least 2")
+    else
+      match (socket, tcp_port) with
+      | Some path, None -> `Ok (Server.Unix_socket path)
+      | None, Some port -> `Ok (Server.Tcp (host, port))
+      | None, None -> `Ok (Server.Unix_socket "gossip_served.sock")
+      | Some _, Some _ -> `Error (true, "--socket and --tcp are exclusive")
+  in
+  match listen with
+  | `Error _ as e -> e
+  | `Ok listen -> (
+      let config =
+        {
+          (Server.default_config ~listen) with
+          Server.workers;
+          queue_capacity;
+          max_frame_bytes;
+          default_timeout_ms;
+        }
+      in
+      match Server.create config with
+      | exception Unix.Unix_error (err, _, arg) ->
+          `Error
+            ( false,
+              Printf.sprintf "cannot listen on %s: %s"
+                (match listen with
+                | Server.Unix_socket p -> p
+                | Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+                (Unix.error_message err ^ if arg = "" then "" else " " ^ arg) )
+      | server ->
+          let stop _ = Server.request_stop server in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Server.start server;
+          Printf.eprintf "gossip_served %s listening on %s (%d workers, queue %d)\n%!"
+            Core.Version.string
+            (match listen with
+            | Server.Unix_socket p -> p
+            | Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+            config.Server.workers config.Server.queue_capacity;
+          Server.join server;
+          prerr_endline "gossip_served: drained, bye";
+          `Ok ())
+
+let serve_term =
+  let socket =
+    C.Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) (the default, at \
+                ./gossip_served.sock).")
+  in
+  let tcp =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on TCP port $(docv) instead.")
+  in
+  let host =
+    C.Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address for --tcp.")
+  in
+  let workers =
+    C.Arg.(
+      value
+      & opt int (Core.Util.Parallel.recommended_domains ())
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains evaluating requests concurrently.")
+  in
+  let queue_capacity =
+    C.Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Bounded request queue length; a full queue answers \
+                queue_full immediately (backpressure).")
+  in
+  let max_frame_bytes =
+    C.Arg.(
+      value
+      & opt int Wire.default_max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"N"
+          ~doc:"Reject request frames longer than $(docv) bytes.")
+  in
+  let default_timeout_ms =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-timeout-ms" ] ~docv:"MS"
+          ~doc:"Deadline for requests that carry no timeout_ms of their own.")
+  in
+  let eval_domains =
+    C.Arg.(
+      value & opt int 1
+      & info [ "eval-domains" ] ~docv:"N"
+          ~doc:"Worker domains available to parallel loops INSIDE one \
+                request evaluation (default 1: the pool itself is the \
+                parallelism).")
+  in
+  let trace =
+    C.Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Aggregate span timings (GOSSIP_TRACE=1).")
+  in
+  let trace_out =
+    C.Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Stream spans and events as JSON Lines to $(docv).")
+  in
+  C.Term.(
+    ret
+      (const serve_run $ socket $ tcp $ host $ workers $ queue_capacity
+     $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out))
+
+let serve_cmd =
+  C.Cmd.v
+    (C.Cmd.info "serve" ~doc:"Run the analysis server (default command).")
+    serve_term
+
+let version_cmd =
+  C.Cmd.v
+    (C.Cmd.info "version" ~doc:"Print the build version.")
+    C.Term.(const (fun () -> print_endline Core.Version.string) $ const ())
+
+let () =
+  let doc = "concurrent systolic-gossip analysis server" in
+  exit
+    (C.Cmd.eval
+       (C.Cmd.group
+          ~default:serve_term
+          (C.Cmd.info "gossip_served" ~doc ~version:Core.Version.string)
+          [ serve_cmd; version_cmd ]))

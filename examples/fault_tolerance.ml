@@ -41,8 +41,11 @@ let () =
       Table.add_row t
         (name
         :: List.map
-             (fun (_, mean) ->
-               match mean with
+             (fun (pt : Simulate.Faults.slowdown_point) ->
+               match pt.Simulate.Faults.mean with
+               | Some m when pt.Simulate.Faults.completed < pt.Simulate.Faults.trials ->
+                   Printf.sprintf "%.1f (%d/%d)" m pt.Simulate.Faults.completed
+                     pt.Simulate.Faults.trials
                | Some m -> Printf.sprintf "%.1f" m
                | None -> "DNF")
              curve))

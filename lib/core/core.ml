@@ -34,3 +34,4 @@ module Search = Gossip_search
 module Bounds = Gossip_bounds
 module Context = Context
 module Analysis = Analysis
+module Version = Version

@@ -1,0 +1,9 @@
+(** The one version constant shared by every executable.
+
+    [gossip_lab] and [gossip_served] both report this string from their
+    [version] subcommands and [--version] flags, and every JSON object
+    the CLI and server emit carries it as ["version"], so a client can
+    always tell which build answered. *)
+
+(** Semantic version of the library and its executables. *)
+val string : string

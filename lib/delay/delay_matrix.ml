@@ -43,9 +43,9 @@ let norm_blockwise ?options ?domains dg lambda =
           Spectral.norm2_dense ?options block
         else 0.0
       in
-      Float.max 0.0
-        (Gossip_util.Parallel.max_float ?domains block_norm
-           (Array.init n Fun.id)))
+      (* Fused per-worker reduction: no per-vertex norm array (and no
+         index array) is materialized for what is a single max. *)
+      Gossip_util.Parallel.reduce ?domains n block_norm Float.max 0.0)
 
 let closed_form_bound ~mode ~window lambda =
   check_lambda lambda;

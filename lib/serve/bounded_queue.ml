@@ -1,0 +1,50 @@
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bounded_queue.create: capacity < 1";
+  {
+    items = Queue.create ();
+    capacity;
+    closed = false;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let with_lock q f =
+  Mutex.lock q.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.mu) f
+
+let try_push q x =
+  with_lock q (fun () ->
+      if q.closed then `Closed
+      else if Queue.length q.items >= q.capacity then `Full
+      else begin
+        Queue.push x q.items;
+        Condition.signal q.nonempty;
+        `Ok
+      end)
+
+let pop q =
+  with_lock q (fun () ->
+      while Queue.is_empty q.items && not q.closed do
+        Condition.wait q.nonempty q.mu
+      done;
+      if Queue.is_empty q.items then None else Some (Queue.pop q.items))
+
+let close q =
+  with_lock q (fun () ->
+      if not q.closed then begin
+        q.closed <- true;
+        (* every blocked consumer must re-check the closed flag *)
+        Condition.broadcast q.nonempty
+      end)
+
+let length q = with_lock q (fun () -> Queue.length q.items)
+let capacity q = q.capacity
+let is_closed q = with_lock q (fun () -> q.closed)

@@ -1,0 +1,33 @@
+(** Bounded multi-producer / multi-consumer blocking queue.
+
+    The server's admission point: connection readers [try_push] parsed
+    requests and the worker pool [pop]s them.  The bound is the server's
+    {e backpressure} — when the queue is full, [try_push] fails
+    immediately and the caller replies [queue_full] instead of buffering
+    without limit.  Producers never block; only consumers do.
+
+    Safe across threads and domains (one mutex, one condition); [pop]
+    wakes promptly on push and on close. *)
+
+type 'a t
+
+(** [create ~capacity] — an empty queue holding at most [capacity]
+    elements.  @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [try_push q x] — [`Ok] and enqueued, [`Full] when at capacity,
+    [`Closed] after {!close}.  Never blocks. *)
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+(** [pop q] blocks until an element is available ([Some x]) or the queue
+    is closed {e and} drained ([None]).  Elements pushed before {!close}
+    are still delivered — close means "no new work", not "drop work". *)
+val pop : 'a t -> 'a option
+
+(** [close q] — reject further pushes and, once the backlog drains, make
+    every blocked and future [pop] return [None].  Idempotent. *)
+val close : 'a t -> unit
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_closed : 'a t -> bool

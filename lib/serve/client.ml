@@ -1,0 +1,62 @@
+module Json = Gossip_util.Json
+
+type t = { ic : in_channel; oc : out_channel }
+
+let sockaddr_of_listen = function
+  | Server.Unix_socket path -> Unix.ADDR_UNIX path
+  | Server.Tcp (host, port) ->
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | addr -> addr
+        | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (addr, port)
+
+let connect listen =
+  let domain =
+    match listen with
+    | Server.Unix_socket _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of_listen listen)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let rec connect_retry ?(attempts = 50) ?(delay = 0.1) listen =
+  match connect listen with
+  | c -> c
+  | exception (Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) as e) ->
+      if attempts <= 1 then raise e
+      else begin
+        Thread.delay delay;
+        connect_retry ~attempts:(attempts - 1) ~delay listen
+      end
+
+let send_line c s =
+  output_string c.oc s;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv c =
+  match Wire.read_frame c.ic ~max_bytes:(16 * 1024 * 1024) with
+  | Error Wire.Eof -> Error "connection closed by server"
+  | Error Wire.Oversized -> Error "response frame too large"
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      Error "connection lost"
+  | Ok line -> (
+      match Json.of_string line with
+      | Error e -> Error (Printf.sprintf "garbled response: %s" e)
+      | Ok j -> Wire.parse_response j)
+
+let call c ?(id = Json.Null) ?timeout_ms op =
+  let req = { Wire.id; op; timeout_ms } in
+  match
+    Wire.write_frame c.oc (Wire.request_to_json req)
+  with
+  | () -> recv c
+  | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost"
+
+let close c = close_out_noerr c.oc

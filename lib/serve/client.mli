@@ -1,0 +1,37 @@
+(** Minimal synchronous client for the {!Wire} protocol.
+
+    One connection, one request in flight: [call] writes a frame and
+    blocks for the next response line.  That is all the load generator
+    and the tests need; a pipelining client only has to correlate the
+    [id] fields itself.  The raw [send_line]/[recv] pair exists so tests
+    can speak deliberately malformed frames. *)
+
+type t
+
+(** [connect listen] — connect to a server bound at [listen].
+    @raise Unix.Unix_error when nobody listens there. *)
+val connect : Server.listen -> t
+
+(** [connect_retry ?attempts ?delay listen] retries [connect] (default
+    50 × 0.1 s) while the server is still binding; for tests and the
+    load generator racing a freshly started daemon. *)
+val connect_retry : ?attempts:int -> ?delay:float -> Server.listen -> t
+
+(** [call c ?id ?timeout_ms op] — send the request, wait for one
+    response frame, parse it.  [Error] covers transport loss and
+    unparsable responses; protocol-level failures come back as
+    [Ok { outcome = Error _; _ }]. *)
+val call :
+  t ->
+  ?id:Gossip_util.Json.t ->
+  ?timeout_ms:int ->
+  Wire.op ->
+  (Wire.response, string) result
+
+(** [send_line c s] writes one raw line (no JSON validation). *)
+val send_line : t -> string -> unit
+
+(** [recv c] — the next response frame, parsed. *)
+val recv : t -> (Wire.response, string) result
+
+val close : t -> unit

@@ -1,0 +1,401 @@
+module Json = Gossip_util.Json
+module Instrument = Gossip_util.Instrument
+
+type listen = Unix_socket of string | Tcp of string * int
+
+type config = {
+  listen : listen;
+  workers : int;
+  queue_capacity : int;
+  max_frame_bytes : int;
+  default_timeout_ms : int option;
+}
+
+let default_config ~listen =
+  {
+    listen;
+    workers = Gossip_util.Parallel.recommended_domains ();
+    queue_capacity = 64;
+    max_frame_bytes = Wire.default_max_frame_bytes;
+    default_timeout_ms = None;
+  }
+
+(* A connection is shared between its reader thread and any worker
+   holding one of its jobs.  [refs] counts the reader (1) plus admitted
+   jobs; the fd closes only when it reaches 0, so a worker never writes
+   to a recycled descriptor.  To unblock a reader stuck in [read] we
+   [Unix.shutdown] the socket (close(2) would not interrupt it on
+   Linux); the actual close happens on the last release. *)
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  write_mu : Mutex.t;
+  state_mu : Mutex.t;
+  mutable refs : int;
+  mutable dead : bool;  (** stop writing: peer gone or kill requested *)
+  mutable shut : bool;  (** Unix.shutdown already issued *)
+  mutable closed : bool;
+}
+
+type job = {
+  conn : conn;
+  request : Wire.request;
+  deadline_ns : int64 option;  (** monotonic, measured from admission *)
+}
+
+type t = {
+  config : config;
+  disp : Dispatch.t;
+  listen_fd : Unix.file_descr;
+  queue : job Bounded_queue.t;
+  stopping : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+  mutable accept_thread : Thread.t option;
+  conns_mu : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable drained : bool;
+  drain_mu : Mutex.t;
+}
+
+(* --- connection lifecycle --- *)
+
+let conn_release c =
+  Mutex.lock c.state_mu;
+  c.refs <- c.refs - 1;
+  if c.refs <= 0 && not c.closed then begin
+    c.closed <- true;
+    (* [oc] owns the fd; [ic] shares it and must NOT be closed too — a
+       second close(2) could hit a recycled descriptor of another
+       thread.  The channel buffer is reclaimed by the GC. *)
+    close_out_noerr c.oc
+  end;
+  Mutex.unlock c.state_mu
+
+let conn_retain_for_job c =
+  Mutex.lock c.state_mu;
+  c.refs <- c.refs + 1;
+  Mutex.unlock c.state_mu
+
+(* Stop the conversation without closing: wakes a reader blocked in
+   [read]; the last {!conn_release} then closes the descriptor. *)
+let conn_kill c =
+  Mutex.lock c.state_mu;
+  c.dead <- true;
+  if (not c.shut) && not c.closed then begin
+    c.shut <- true;
+    try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock c.state_mu
+
+let send c json =
+  Mutex.lock c.write_mu;
+  let ok =
+    if c.dead || c.closed then false
+    else
+      try
+        Wire.write_frame c.oc json;
+        true
+      with Sys_error _ | Unix.Unix_error _ ->
+        c.dead <- true;
+        false
+  in
+  Mutex.unlock c.write_mu;
+  ok
+
+(* --- worker pool --- *)
+
+let process_job t job =
+  Instrument.set_gauge "serve.queue_depth"
+    (float_of_int (Bounded_queue.length t.queue));
+  let req = job.request in
+  let id = req.Wire.id in
+  let now = Instrument.now_ns () in
+  let expired =
+    match job.deadline_ns with Some d -> now > d | None -> false
+  in
+  if expired then begin
+    Instrument.add "serve.rejected.deadline" 1;
+    ignore
+      (send job.conn
+         (Wire.error_response ~id ~code:Wire.Deadline_exceeded
+            ~message:"request expired before a worker picked it up"))
+  end
+  else begin
+    let t0 = Instrument.now_ns () in
+    let outcome =
+      Instrument.span "serve.request"
+        ~attrs:[ ("op", Json.Str (Wire.op_name req.Wire.op)) ]
+        (fun () -> Dispatch.eval t.disp req.Wire.op)
+    in
+    let dt = Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9 in
+    Instrument.observe "serve.request_seconds" dt;
+    Instrument.add "serve.requests" 1;
+    ignore
+      (send job.conn
+         (match outcome with
+         | Ok result -> Wire.ok_response ~id result
+         | Error (code, message) -> Wire.error_response ~id ~code ~message))
+  end;
+  conn_release job.conn
+
+let worker_loop t () =
+  let rec go () =
+    match Bounded_queue.pop t.queue with
+    | Some job ->
+        process_job t job;
+        go ()
+    | None -> ()
+  in
+  go ()
+
+(* --- stopping --- *)
+
+let stop_requested t = Atomic.get t.stopping
+
+(* Also runs inside signal handlers: no locks, only an atomic flip and a
+   syscall.  shutdown(2) on the listening socket makes a blocked
+   accept(2) return, which is how the accept thread learns to exit. *)
+let request_stop t =
+  if not (Atomic.exchange t.stopping true) then
+    try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+
+(* --- readers --- *)
+
+let admit t conn (req : Wire.request) =
+  let timeout_ms =
+    match req.Wire.timeout_ms with
+    | Some _ as x -> x
+    | None -> t.config.default_timeout_ms
+  in
+  let deadline_ns =
+    Option.map
+      (fun ms ->
+        Int64.add (Instrument.now_ns ()) (Int64.of_int (ms * 1_000_000)))
+      timeout_ms
+  in
+  conn_retain_for_job conn;
+  let job = { conn; request = req; deadline_ns } in
+  match Bounded_queue.try_push t.queue job with
+  | `Ok ->
+      Instrument.set_gauge "serve.queue_depth"
+        (float_of_int (Bounded_queue.length t.queue))
+  | `Full ->
+      conn_release conn;
+      Instrument.add "serve.rejected.queue_full" 1;
+      ignore
+        (send conn
+           (Wire.error_response ~id:req.Wire.id ~code:Wire.Queue_full
+              ~message:
+                (Printf.sprintf "request queue full (capacity %d); retry later"
+                   t.config.queue_capacity)))
+  | `Closed ->
+      conn_release conn;
+      ignore
+        (send conn
+           (Wire.error_response ~id:req.Wire.id ~code:Wire.Shutting_down
+              ~message:"server is draining"))
+
+let reader_loop t conn () =
+  let max_bytes = t.config.max_frame_bytes in
+  let rec go () =
+    match Wire.read_frame conn.ic ~max_bytes with
+    | exception (Sys_error _ | Unix.Unix_error _) -> ()
+    | Error Wire.Eof -> ()
+    | Error Wire.Oversized ->
+        Instrument.add "serve.rejected.oversized" 1;
+        ignore
+          (send conn
+             (Wire.error_response ~id:Json.Null ~code:Wire.Oversized_frame
+                ~message:
+                  (Printf.sprintf "frame exceeds %d bytes; closing connection"
+                     max_bytes)));
+        (* the stream is no longer framed; don't try to resync *)
+        conn_kill conn
+    | Ok "" -> go () (* tolerated keep-alive *)
+    | Ok line ->
+        (match Json.of_string line with
+        | Error e ->
+            (* malformed input answers an error but the connection —
+               still correctly framed — survives *)
+            ignore
+              (send conn
+                 (Wire.error_response ~id:Json.Null ~code:Wire.Bad_request
+                    ~message:(Printf.sprintf "invalid JSON: %s" e)))
+        | Ok frame -> (
+            match Wire.parse_request frame with
+            | Error msg ->
+                let id =
+                  Option.value ~default:Json.Null (Json.member "id" frame)
+                in
+                ignore
+                  (send conn
+                     (Wire.error_response ~id ~code:Wire.Bad_request
+                        ~message:msg))
+            | Ok req when stop_requested t ->
+                ignore
+                  (send conn
+                     (Wire.error_response ~id:req.Wire.id
+                        ~code:Wire.Shutting_down ~message:"server is draining"))
+            | Ok ({ Wire.op = Wire.Shutdown; _ } as req) ->
+                (* mark the server as stopping BEFORE the ack leaves, so a
+                   client that saw the ack observes [stop_requested]; the
+                   actual drain runs in [join]/[shutdown], not here *)
+                request_stop t;
+                ignore
+                  (send conn
+                     (Wire.ok_response ~id:req.Wire.id
+                        (Json.Obj [ ("stopping", Json.Bool true) ])))
+            | Ok req -> admit t conn req));
+        if not conn.dead then go ()
+  in
+  go ();
+  conn_release conn
+
+(* --- accept loop --- *)
+
+let accept_loop t () =
+  let rec go () =
+    if stop_requested t then ()
+    else
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | exception Unix.Unix_error _ ->
+          if stop_requested t then ()
+          else begin
+            (* transient accept failure (ECONNABORTED, EMFILE…): don't
+               spin at full speed *)
+            Thread.delay 0.05;
+            go ()
+          end
+      | fd, _addr ->
+          if stop_requested t then (try Unix.close fd with _ -> ())
+          else begin
+            Instrument.add "serve.accepted" 1;
+            let conn =
+              {
+                fd;
+                ic = Unix.in_channel_of_descr fd;
+                oc = Unix.out_channel_of_descr fd;
+                write_mu = Mutex.create ();
+                state_mu = Mutex.create ();
+                refs = 1 (* the reader *);
+                dead = false;
+                shut = false;
+                closed = false;
+              }
+            in
+            let reader = Thread.create (reader_loop t conn) () in
+            Mutex.lock t.conns_mu;
+            t.conns <- conn :: t.conns;
+            t.readers <- reader :: t.readers;
+            Mutex.unlock t.conns_mu;
+            go ()
+          end
+  in
+  go ()
+
+(* --- lifecycle --- *)
+
+let unlink_if_socket path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let create ?dispatch (config : config) =
+  if config.workers < 1 then invalid_arg "Server.create: workers < 1";
+  if config.queue_capacity < 1 then
+    invalid_arg "Server.create: queue_capacity < 1";
+  if config.max_frame_bytes < 2 then
+    invalid_arg "Server.create: max_frame_bytes < 2";
+  (* a peer that disappears mid-reply must surface as EPIPE on the
+     write, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let disp = match dispatch with Some d -> d | None -> Dispatch.create () in
+  let listen_fd =
+    match config.listen with
+    | Unix_socket path ->
+        unlink_if_socket path;
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.bind fd (Unix.ADDR_UNIX path)
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        Unix.listen fd 64;
+        fd
+    | Tcp (host, port) ->
+        let addr =
+          match Unix.inet_addr_of_string host with
+          | addr -> addr
+          | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        (try Unix.bind fd (Unix.ADDR_INET (addr, port))
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        Unix.listen fd 64;
+        fd
+  in
+  {
+    config;
+    disp;
+    listen_fd;
+    queue = Bounded_queue.create ~capacity:config.queue_capacity;
+    stopping = Atomic.make false;
+    workers = [];
+    accept_thread = None;
+    conns_mu = Mutex.create ();
+    conns = [];
+    readers = [];
+    drained = false;
+    drain_mu = Mutex.create ();
+  }
+
+let start t =
+  t.workers <-
+    List.init t.config.workers (fun _ -> Domain.spawn (worker_loop t));
+  t.accept_thread <- Some (Thread.create (accept_loop t) ())
+
+let shutdown t =
+  request_stop t;
+  Mutex.lock t.drain_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.drain_mu)
+    (fun () ->
+      if not t.drained then begin
+        t.drained <- true;
+        (match t.accept_thread with Some th -> Thread.join th | None -> ());
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        (* no new admissions; the workers drain what was accepted *)
+        Bounded_queue.close t.queue;
+        List.iter Domain.join t.workers;
+        t.workers <- [];
+        (* every admitted job has been answered; wake the readers and
+           collect them *)
+        Mutex.lock t.conns_mu;
+        let conns = t.conns and readers = t.readers in
+        t.conns <- [];
+        t.readers <- [];
+        Mutex.unlock t.conns_mu;
+        List.iter conn_kill conns;
+        List.iter Thread.join readers;
+        match t.config.listen with
+        | Unix_socket path -> unlink_if_socket path
+        | Tcp _ -> ()
+      end)
+
+let join t =
+  (* poll rather than sleep on a condition: request_stop must stay
+     callable from a signal handler, where taking a mutex could deadlock
+     against the very thread the handler interrupted *)
+  while not (stop_requested t) do
+    Thread.delay 0.1
+  done;
+  shutdown t
+
+let dispatch t = t.disp

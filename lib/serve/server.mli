@@ -1,0 +1,79 @@
+(** The concurrent analysis server behind [gossip_served].
+
+    Architecture (doc/serving.md has the full story):
+
+    - an {e accept thread} takes connections on a Unix-domain or TCP
+      socket and starts one lightweight {e reader thread} per connection;
+    - readers decode newline-delimited JSON frames ({!Wire}), validate
+      them, and [try_push] jobs onto one {e bounded queue}
+      ({!Bounded_queue}) — a full queue is answered immediately with a
+      [queue_full] error reply (backpressure, never unbounded buffering);
+    - a pool of {e worker domains} pops jobs, checks the per-request
+      deadline, evaluates through the shared {!Dispatch} (one memoizing
+      {!Core.Context} for the whole process) and writes the reply under
+      the connection's write mutex — replies may therefore leave in
+      completion order, not request order;
+    - malformed input is answered with [bad_request] and the connection
+      {e survives}; only an oversized frame (framing no longer
+      trustworthy) closes it;
+    - {!shutdown} (also triggered by the [shutdown] operation and by the
+      daemon's SIGTERM/SIGINT handlers) stops accepting, lets the queue
+      drain, joins the workers and closes every connection.
+
+    Telemetry: every request runs in a ["serve.request"] span tagged with
+    its operation, latencies land in the ["serve.request_seconds"]
+    histogram (p50/p95 via {!Gossip_util.Instrument}), queue occupancy on
+    the ["serve.queue_depth"] gauge, and the
+    ["serve.accepted"]/["serve.requests"]/["serve.rejected.*"] counters
+    track admission. *)
+
+type listen =
+  | Unix_socket of string  (** path; unlinked on bind and on shutdown *)
+  | Tcp of string * int  (** bind address and port *)
+
+type config = {
+  listen : listen;
+  workers : int;  (** worker domains evaluating requests *)
+  queue_capacity : int;  (** bounded queue length — the backpressure knob *)
+  max_frame_bytes : int;  (** per-frame size limit *)
+  default_timeout_ms : int option;
+      (** deadline applied to requests that carry no [timeout_ms] *)
+}
+
+(** [default_config ~listen] — {!Gossip_util.Parallel.recommended_domains}
+    workers, queue capacity 64, 1 MiB frames, no default deadline. *)
+val default_config : listen:listen -> config
+
+type t
+
+(** [create ?dispatch config] binds and listens (so a subsequent client
+    [connect] cannot race the bind) but accepts nothing yet.
+    @raise Unix.Unix_error when the address is unavailable. *)
+val create : ?dispatch:Dispatch.t -> config -> t
+
+(** [start t] spawns the worker domains and the accept thread and
+    returns immediately. *)
+val start : t -> unit
+
+(** [shutdown t] — graceful drain, callable from any thread and
+    idempotent: stop accepting, answer nothing new, finish every job
+    already admitted, join the workers, close every connection (and
+    unlink the Unix socket).  Blocks until done. *)
+val shutdown : t -> unit
+
+(** [stop_requested t] — has a drain been requested (by {!shutdown}, the
+    [shutdown] operation, or a signal handler via {!request_stop})? *)
+val stop_requested : t -> bool
+
+(** [request_stop t] — async-signal-safe trigger: marks the server as
+    stopping and unblocks the accept thread, without draining.  The
+    thread sitting in {!join} performs the drain. *)
+val request_stop : t -> unit
+
+(** [join t] blocks until a stop is requested, then runs the {!shutdown}
+    drain.  The daemon's main thread lives here. *)
+val join : t -> unit
+
+(** [dispatch t] — the dispatcher (hence context) this server evaluates
+    with; useful for in-process tests. *)
+val dispatch : t -> Dispatch.t

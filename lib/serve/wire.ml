@@ -1,0 +1,331 @@
+module Json = Gossip_util.Json
+
+type net = { family : string; dim : int; degree : int }
+
+type protocol_spec =
+  | Inline of string
+  | Built of { net : net; full_duplex : bool }
+
+type op =
+  | Ping
+  | Version
+  | Shutdown
+  | Stats
+  | Sleep of { ms : int }
+  | Tables of { s_max : int; ss : int list }
+  | Bound of { net : net; s : int option; full_duplex : bool }
+  | Simulate of { net : net; full_duplex : bool }
+  | Certify of { spec : protocol_spec; refine : bool }
+
+let op_name = function
+  | Ping -> "ping"
+  | Version -> "version"
+  | Shutdown -> "shutdown"
+  | Stats -> "stats"
+  | Sleep _ -> "sleep"
+  | Tables _ -> "tables"
+  | Bound _ -> "bound"
+  | Simulate _ -> "simulate"
+  | Certify _ -> "certify"
+
+type request = { id : Json.t; op : op; timeout_ms : int option }
+
+(* --- parameter validation helpers --- *)
+
+let ( let* ) = Result.bind
+
+let known_families =
+  [
+    "path"; "cycle"; "complete"; "hypercube"; "grid"; "torus"; "tree"; "bf";
+    "dwbf"; "wbf"; "ddb"; "db"; "dk"; "k";
+  ]
+
+let field params key = Json.member key params
+
+let int_field ?default params key ~min ~max =
+  match field params key with
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "missing parameter %S" key))
+  | Some (Json.Int i) when i >= min && i <= max -> Ok i
+  | Some (Json.Int i) ->
+      Error (Printf.sprintf "parameter %S = %d out of range [%d, %d]" key i min max)
+  | Some _ -> Error (Printf.sprintf "parameter %S must be an integer" key)
+
+let bool_field params key ~default =
+  match field params key with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "parameter %S must be a boolean" key)
+
+let string_field params key =
+  match field params key with
+  | Some (Json.Str s) -> Ok (Some s)
+  | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "parameter %S must be a string" key)
+
+(* DIM is capped conservatively: the server exists for small cacheable
+   queries, and an attacker-sized hypercube would pin a worker for
+   minutes.  The cap matches what the bench exercises. *)
+let parse_net params =
+  let* family =
+    match field params "family" with
+    | Some (Json.Str s) when List.mem s known_families -> Ok s
+    | Some (Json.Str s) -> Error (Printf.sprintf "unknown family %S" s)
+    | Some _ -> Error "parameter \"family\" must be a string"
+    | None -> Error "missing parameter \"family\""
+  in
+  let* dim = int_field params "dim" ~min:1 ~max:64 in
+  let* degree = int_field ~default:2 params "degree" ~min:1 ~max:16 in
+  Ok { family; dim; degree }
+
+let parse_op op params =
+  match op with
+  | "ping" -> Ok Ping
+  | "version" -> Ok Version
+  | "shutdown" -> Ok Shutdown
+  | "stats" -> Ok Stats
+  | "sleep" ->
+      let* ms = int_field params "ms" ~min:0 ~max:60_000 in
+      Ok (Sleep { ms })
+  | "tables" ->
+      let* s_max = int_field ~default:8 params "s_max" ~min:3 ~max:32 in
+      let* ss =
+        match field params "ss" with
+        | None -> Ok [ 3; 4; 5; 6; 7; 8 ]
+        | Some (Json.List items) ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | Json.Int s :: rest when s >= 3 && s <= 32 -> go (s :: acc) rest
+              | _ -> Error "parameter \"ss\" must be a list of integers >= 3"
+            in
+            if items = [] then Error "parameter \"ss\" must be non-empty"
+            else go [] items
+        | Some _ -> Error "parameter \"ss\" must be a list of integers >= 3"
+      in
+      Ok (Tables { s_max; ss })
+  | "bound" ->
+      let* net = parse_net params in
+      let* s =
+        match field params "s" with
+        | None | Some Json.Null -> Ok None
+        | Some (Json.Int s) when s >= 2 && s <= 64 -> Ok (Some s)
+        | Some _ -> Error "parameter \"s\" must be an integer in [2, 64] or null"
+      in
+      let* full_duplex = bool_field params "full_duplex" ~default:false in
+      Ok (Bound { net; s; full_duplex })
+  | "simulate" ->
+      let* net = parse_net params in
+      let* full_duplex = bool_field params "full_duplex" ~default:false in
+      Ok (Simulate { net; full_duplex })
+  | "certify" ->
+      let* refine = bool_field params "refine" ~default:false in
+      let* inline = string_field params "protocol" in
+      let* spec =
+        match inline with
+        | Some text ->
+            if field params "family" <> None then
+              Error "parameters \"protocol\" and \"family\" are exclusive"
+            else Ok (Inline text)
+        | None ->
+            let* net = parse_net params in
+            let* full_duplex = bool_field params "full_duplex" ~default:false in
+            Ok (Built { net; full_duplex })
+      in
+      Ok (Certify { spec; refine })
+  | other -> Error (Printf.sprintf "unknown operation %S" other)
+
+let parse_request j =
+  match j with
+  | Json.Obj _ ->
+      let id = Option.value ~default:Json.Null (Json.member "id" j) in
+      let* op =
+        match Json.member "op" j with
+        | Some (Json.Str op) -> Ok op
+        | Some _ -> Error "field \"op\" must be a string"
+        | None -> Error "missing field \"op\""
+      in
+      let params = Option.value ~default:(Json.Obj []) (Json.member "params" j) in
+      let* params =
+        match params with
+        | Json.Obj _ -> Ok params
+        | _ -> Error "field \"params\" must be an object"
+      in
+      let* op = parse_op op params in
+      let* timeout_ms =
+        match Json.member "timeout_ms" j with
+        | None | Some Json.Null -> Ok None
+        | Some (Json.Int t) when t >= 0 -> Ok (Some t)
+        | Some _ -> Error "field \"timeout_ms\" must be a non-negative integer"
+      in
+      Ok { id; op; timeout_ms }
+  | _ -> Error "request frame must be a JSON object"
+
+let net_to_fields { family; dim; degree } =
+  [
+    ("family", Json.Str family);
+    ("dim", Json.Int dim);
+    ("degree", Json.Int degree);
+  ]
+
+let op_params = function
+  | Ping | Version | Shutdown | Stats -> []
+  | Sleep { ms } -> [ ("ms", Json.Int ms) ]
+  | Tables { s_max; ss } ->
+      [
+        ("s_max", Json.Int s_max);
+        ("ss", Json.List (List.map (fun s -> Json.Int s) ss));
+      ]
+  | Bound { net; s; full_duplex } ->
+      net_to_fields net
+      @ [
+          ("s", match s with Some s -> Json.Int s | None -> Json.Null);
+          ("full_duplex", Json.Bool full_duplex);
+        ]
+  | Simulate { net; full_duplex } ->
+      net_to_fields net @ [ ("full_duplex", Json.Bool full_duplex) ]
+  | Certify { spec; refine } ->
+      (match spec with
+      | Inline text -> [ ("protocol", Json.Str text) ]
+      | Built { net; full_duplex } ->
+          net_to_fields net @ [ ("full_duplex", Json.Bool full_duplex) ])
+      @ [ ("refine", Json.Bool refine) ]
+
+let request_to_json r =
+  Json.Obj
+    ([ ("id", r.id); ("op", Json.Str (op_name r.op)) ]
+    @ (match op_params r.op with [] -> [] | ps -> [ ("params", Json.Obj ps) ])
+    @
+    match r.timeout_ms with
+    | Some t -> [ ("timeout_ms", Json.Int t) ]
+    | None -> [])
+
+(* --- responses --- *)
+
+type error_code =
+  | Bad_request
+  | Queue_full
+  | Deadline_exceeded
+  | Oversized_frame
+  | Shutting_down
+  | Internal
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Queue_full -> "queue_full"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Oversized_frame -> "oversized_frame"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "queue_full" -> Some Queue_full
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "oversized_frame" -> Some Oversized_frame
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response = {
+  resp_id : Json.t;
+  resp_version : string;
+  outcome : (Json.t, error_code * string) result;
+}
+
+let ok_response ~id result =
+  Json.Obj
+    [
+      ("id", id);
+      ("version", Json.Str Core.Version.string);
+      ("ok", Json.Bool true);
+      ("result", result);
+    ]
+
+let error_response ~id ~code ~message =
+  Json.Obj
+    [
+      ("id", id);
+      ("version", Json.Str Core.Version.string);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [
+            ("code", Json.Str (error_code_to_string code));
+            ("message", Json.Str message);
+          ] );
+    ]
+
+let parse_response j =
+  match j with
+  | Json.Obj _ ->
+      let resp_id = Option.value ~default:Json.Null (Json.member "id" j) in
+      let* resp_version =
+        match Json.member "version" j with
+        | Some (Json.Str v) -> Ok v
+        | _ -> Error "response lacks a \"version\" string"
+      in
+      let* ok =
+        match Json.member "ok" j with
+        | Some (Json.Bool b) -> Ok b
+        | _ -> Error "response lacks an \"ok\" boolean"
+      in
+      if ok then
+        match Json.member "result" j with
+        | Some result -> Ok { resp_id; resp_version; outcome = Ok result }
+        | None -> Error "ok response lacks a \"result\""
+      else
+        let* err =
+          match Json.member "error" j with
+          | Some (Json.Obj _ as e) -> Ok e
+          | _ -> Error "error response lacks an \"error\" object"
+        in
+        let* code =
+          match Json.member "code" err with
+          | Some (Json.Str c) -> (
+              match error_code_of_string c with
+              | Some c -> Ok c
+              | None -> Error (Printf.sprintf "unknown error code %S" c))
+          | _ -> Error "error object lacks a \"code\" string"
+        in
+        let message =
+          match Json.member "message" err with
+          | Some (Json.Str m) -> m
+          | _ -> ""
+        in
+        Ok { resp_id; resp_version; outcome = Error (code, message) }
+  | _ -> Error "response frame must be a JSON object"
+
+(* --- framing --- *)
+
+let default_max_frame_bytes = 1 lsl 20
+
+type frame_error = Eof | Oversized
+
+let read_frame ic ~max_bytes =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | '\n' ->
+        let line = Buffer.contents buf in
+        let len = String.length line in
+        if len > 0 && line.[len - 1] = '\r' then
+          Ok (String.sub line 0 (len - 1))
+        else Ok line
+    | c ->
+        if Buffer.length buf >= max_bytes then Error Oversized
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then Error Eof
+        else Ok (Buffer.contents buf) (* unterminated final frame *)
+  in
+  go ()
+
+let write_frame oc j =
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  flush oc

@@ -1,0 +1,122 @@
+(** Wire protocol of [gossip_served]: newline-delimited JSON frames.
+
+    One request or response per line, each a single compact JSON object
+    ({!Gossip_util.Json}).  Requests name an operation already exposed by
+    the library — the same computations as the [gossip_lab --json]
+    subcommands — plus control operations:
+
+    {v
+    {"id": 7, "op": "tables", "params": {"s_max": 8}, "timeout_ms": 2000}
+    {"id": 7, "version": "0.3.0", "ok": true, "result": {...}}
+    {"id": 8, "version": "0.3.0", "ok": false,
+     "error": {"code": "queue_full", "message": "..."}}
+    v}
+
+    [id] is an arbitrary JSON value echoed verbatim in the response
+    (absent means [null]); responses on one connection may arrive out of
+    request order, so clients with several requests in flight must
+    correlate by [id].  The full schema, including every operation's
+    parameters, is documented in [doc/serving.md]. *)
+
+module Json = Gossip_util.Json
+
+(** {1 Operations} *)
+
+(** Network naming a request operates on — the same [FAMILY]/[DIM]/[-d]
+    triple as the [gossip_lab] subcommands. *)
+type net = { family : string; dim : int; degree : int }
+
+(** Which protocol a [certify] request certifies. *)
+type protocol_spec =
+  | Inline of string
+      (** protocol text in the {!Gossip_protocol.Protocol_io} format *)
+  | Built of { net : net; full_duplex : bool }
+      (** the default systolic protocol for a named network *)
+
+type op =
+  | Ping  (** liveness probe; result [{"pong": true}] *)
+  | Version  (** result [{"version": ...}] *)
+  | Shutdown  (** acknowledge, then drain the server gracefully *)
+  | Stats  (** cache + metrics snapshot of the serving process *)
+  | Sleep of { ms : int }
+      (** hold a worker for [ms] milliseconds; a testing aid for the
+          backpressure and deadline paths *)
+  | Tables of { s_max : int; ss : int list }
+  | Bound of { net : net; s : int option; full_duplex : bool }
+  | Simulate of { net : net; full_duplex : bool }
+  | Certify of { spec : protocol_spec; refine : bool }
+
+(** [op_name op] — the wire name ("ping", "tables", …); used as the
+    ["op"] field, in telemetry attributes and in the loadgen mix. *)
+val op_name : op -> string
+
+(** {1 Requests} *)
+
+type request = {
+  id : Json.t;  (** echoed verbatim; [Null] when absent *)
+  op : op;
+  timeout_ms : int option;
+      (** per-request deadline, measured from admission; see
+          [doc/serving.md] for the exact semantics *)
+}
+
+(** [parse_request j] validates a decoded frame into a typed request.
+    Unknown operations, missing or ill-typed parameters and out-of-range
+    values are rejected with a human-readable reason (the server turns
+    it into a [bad_request] reply). *)
+val parse_request : Json.t -> (request, string) result
+
+(** [request_to_json r] — the canonical wire form of [r];
+    [parse_request (request_to_json r) = Ok r] (golden-tested). *)
+val request_to_json : request -> Json.t
+
+(** {1 Responses} *)
+
+type error_code =
+  | Bad_request  (** malformed JSON, unknown op, invalid parameters *)
+  | Queue_full  (** bounded queue at capacity — retry later *)
+  | Deadline_exceeded  (** request expired before a worker picked it up *)
+  | Oversized_frame  (** frame longer than the server's limit *)
+  | Shutting_down  (** server is draining; no new work accepted *)
+  | Internal  (** evaluation raised unexpectedly *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+type response = {
+  resp_id : Json.t;
+  resp_version : string;
+  outcome : (Json.t, error_code * string) result;
+      (** [Ok result] or [Error (code, message)] *)
+}
+
+(** [ok_response ~id result] / [error_response ~id ~code ~message] build
+    the response envelope; both stamp {!Core.Version.string}. *)
+val ok_response : id:Json.t -> Json.t -> Json.t
+
+val error_response : id:Json.t -> code:error_code -> message:string -> Json.t
+
+(** [parse_response j] — the client-side inverse of the builders above. *)
+val parse_response : Json.t -> (response, string) result
+
+(** {1 Framing} *)
+
+(** Default frame limit, 1 MiB.  Frames are single lines; the limit
+    bounds per-connection memory and is enforced while reading, so an
+    oversized frame never gets buffered whole. *)
+val default_max_frame_bytes : int
+
+type frame_error =
+  | Eof  (** peer closed the connection cleanly *)
+  | Oversized  (** line exceeded [max_bytes]; the stream is unframed
+                   from here on, so the connection must be closed *)
+
+(** [read_frame ic ~max_bytes] — one line, without its terminator
+    (a trailing [\r] is also stripped).  Empty lines are returned as
+    empty strings; callers skip them (tolerated as keep-alives). *)
+val read_frame : in_channel -> max_bytes:int -> (string, frame_error) result
+
+(** [write_frame oc j] writes [j] compactly followed by a newline and
+    flushes.  Not thread-safe per channel — the server serializes writers
+    with a per-connection mutex. *)
+val write_frame : out_channel -> Json.t -> unit

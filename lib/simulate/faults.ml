@@ -41,6 +41,13 @@ let gossip_time_with_faults ?cap p ~drop_probability ~seed =
   done;
   { completed_at = !completed; drops = !drops; activations = !activations }
 
+type slowdown_point = {
+  probability : float;
+  mean : float option;
+  completed : int;
+  trials : int;
+}
+
 let slowdown_curve ?cap ?(trials = 5) p ~probabilities ~seed =
   List.map
     (fun prob ->
@@ -53,13 +60,24 @@ let slowdown_curve ?cap ?(trials = 5) p ~probabilities ~seed =
         | { completed_at = Some time; _ } -> times := time :: !times
         | { completed_at = None; _ } -> ()
       done;
+      let completed = List.length !times in
       let mean =
         match !times with
         | [] -> None
         | ts ->
             Some
               (float_of_int (List.fold_left ( + ) 0 ts)
-              /. float_of_int (List.length ts))
+              /. float_of_int completed)
       in
-      (prob, mean))
+      { probability = prob; mean; completed; trials })
     probabilities
+
+let point_to_json pt =
+  let module J = Gossip_util.Json in
+  J.Obj
+    [
+      ("probability", J.Float pt.probability);
+      ("mean", match pt.mean with Some m -> J.Float m | None -> J.Null);
+      ("completed", J.Int pt.completed);
+      ("trials", J.Int pt.trials);
+    ]

@@ -27,14 +27,30 @@ val gossip_time_with_faults :
   seed:int ->
   outcome
 
-(** [slowdown_curve ?cap ?trials p ~probabilities ~seed] — mean completion
-    time (over [trials], default 5, counting only completing runs) for
-    each drop probability; [None] when no trial completed within the
-    cap. *)
+(** One drop probability on a slowdown curve.  The mean is taken over the
+    {e completing} trials only, so it is meaningless without [completed]:
+    at high drop rates a protocol can look "fast" because only its lucky
+    runs finish.  [completed]/[trials] makes the survivorship explicit. *)
+type slowdown_point = {
+  probability : float;
+  mean : float option;
+      (** mean completion round over completing trials; [None] when no
+          trial completed within the cap *)
+  completed : int;  (** trials that completed within the cap *)
+  trials : int;  (** trials attempted *)
+}
+
+(** [slowdown_curve ?cap ?trials p ~probabilities ~seed] — one
+    {!slowdown_point} per drop probability ([trials] defaults to 5). *)
 val slowdown_curve :
   ?cap:int ->
   ?trials:int ->
   Gossip_protocol.Systolic.t ->
   probabilities:float list ->
   seed:int ->
-  (float * float option) list
+  slowdown_point list
+
+(** [point_to_json pt] — [{probability, mean, completed, trials}] with
+    [mean = null] when no trial completed; the element schema of the
+    ["curve"] array in [gossip_lab faults --json]. *)
+val point_to_json : slowdown_point -> Gossip_util.Json.t

@@ -61,5 +61,46 @@ let init ?domains n f =
 
 let map ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))
 
+(* Fused map-reduce: each worker folds its strided slice into a local
+   accumulator, and the per-worker partials are combined in worker order.
+   Nothing of size [n] is ever materialized.  Workers fold different
+   interleavings of the index range, so [combine] must be associative and
+   commutative for the result to be domain-count independent. *)
+let reduce ?domains n f combine init =
+  let workers = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  if n <= 0 then init
+  else if workers = 1 || n < 4 then begin
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := combine !acc (f i)
+    done;
+    !acc
+  end
+  else begin
+    Instrument.add "parallel.domain-spawns" (workers - 1);
+    let work w () =
+      if Instrument.tracing () then
+        Instrument.event "parallel.worker"
+          ~attrs:
+            [
+              ("worker", Json.Int w);
+              ("workers", Json.Int workers);
+              ("items", Json.Int n);
+            ];
+      let acc = ref init in
+      let i = ref w in
+      while !i < n do
+        acc := combine !acc (f !i);
+        i := !i + workers
+      done;
+      !acc
+    in
+    let handles =
+      List.init (workers - 1) (fun w -> Domain.spawn (work (w + 1)))
+    in
+    let first = work 0 () in
+    List.fold_left (fun acc h -> combine acc (Domain.join h)) first handles
+  end
+
 let max_float ?domains f arr =
-  Array.fold_left Float.max neg_infinity (map ?domains f arr)
+  reduce ?domains (Array.length arr) (fun i -> f arr.(i)) Float.max neg_infinity

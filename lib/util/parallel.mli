@@ -34,6 +34,18 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [init ?domains n f] is [Array.init n f] in parallel. *)
 val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 
+(** [reduce ?domains n f combine init] folds [combine] over
+    [f 0 … f (n-1)] starting from [init], fused: each worker folds its
+    strided slice into a local accumulator and the per-worker partials
+    are combined at the join — no intermediate array of size [n] is ever
+    allocated (unlike reducing over the result of {!map}).  Workers fold
+    different interleavings of the index range, so [combine] must be
+    associative {e and} commutative (and [init] its identity) for the
+    result to be independent of the worker count — true for [max], [min],
+    and exact sums; floating-point [+.] is only approximately so.
+    Returns [init] when [n <= 0]. *)
+val reduce : ?domains:int -> int -> (int -> 'a) -> ('a -> 'a -> 'a) -> 'a -> 'a
+
 (** [max_float ?domains f arr] is [max over x of f x], [neg_infinity] on
-    the empty array. *)
+    the empty array.  Implemented as a fused {!reduce}. *)
 val max_float : ?domains:int -> ('a -> float) -> 'a array -> float

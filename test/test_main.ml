@@ -14,4 +14,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
       ("integration", Test_integration.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,577 @@
+(* The serving subsystem: bounded queue semantics, wire-protocol golden
+   round trips and rejections, and end-to-end runs against an in-process
+   server on a Unix socket — concurrent clients, malformed and oversized
+   frames, the queue-full backpressure reply, deadline-exceeded replies,
+   and graceful shutdown. *)
+
+module Json = Gossip_util.Json
+module Queue_ = Gossip_serve.Bounded_queue
+module Wire = Gossip_serve.Wire
+module Dispatch = Gossip_serve.Dispatch
+module Server = Gossip_serve.Server
+module Client = Gossip_serve.Client
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- bounded queue --- *)
+
+let test_queue_basic () =
+  let q = Queue_.create ~capacity:2 in
+  check_int "capacity" 2 (Queue_.capacity q);
+  check "push 1" true (Queue_.try_push q 1 = `Ok);
+  check "push 2" true (Queue_.try_push q 2 = `Ok);
+  check "push 3 full" true (Queue_.try_push q 3 = `Full);
+  check_int "length" 2 (Queue_.length q);
+  check "pop fifo" true (Queue_.pop q = Some 1);
+  check "freed a slot" true (Queue_.try_push q 4 = `Ok);
+  check "pop 2" true (Queue_.pop q = Some 2);
+  check "pop 4" true (Queue_.pop q = Some 4);
+  Queue_.close q;
+  check "push after close" true (Queue_.try_push q 5 = `Closed);
+  check "pop after close drained" true (Queue_.pop q = None);
+  check "closed" true (Queue_.is_closed q);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Bounded_queue.create: capacity < 1") (fun () ->
+      ignore (Queue_.create ~capacity:0))
+
+let test_queue_close_drains_backlog () =
+  let q = Queue_.create ~capacity:4 in
+  ignore (Queue_.try_push q "a");
+  ignore (Queue_.try_push q "b");
+  Queue_.close q;
+  (* close means "no new work", not "drop work" *)
+  check "backlog a" true (Queue_.pop q = Some "a");
+  check "backlog b" true (Queue_.pop q = Some "b");
+  check "then None" true (Queue_.pop q = None)
+
+let test_queue_concurrent () =
+  let q = Queue_.create ~capacity:1024 in
+  let producers = 4 and per = 250 in
+  let popped = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec go () =
+          match Queue_.pop q with
+          | Some x ->
+              popped := x :: !popped;
+              go ()
+          | None -> ()
+        in
+        go ())
+      ()
+  in
+  let ts =
+    List.init producers (fun p ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per - 1 do
+              while Queue_.try_push q ((p * per) + i) <> `Ok do
+                Thread.yield ()
+              done
+            done)
+          ())
+  in
+  List.iter Thread.join ts;
+  Queue_.close q;
+  Thread.join consumer;
+  check_int "all delivered" (producers * per) (List.length !popped);
+  check "no duplicates" true
+    (List.length (List.sort_uniq compare !popped) = producers * per)
+
+(* --- wire: golden round trips --- *)
+
+let net = { Wire.family = "hypercube"; dim = 4; degree = 2 }
+
+let all_ops =
+  [
+    Wire.Ping;
+    Wire.Version;
+    Wire.Shutdown;
+    Wire.Stats;
+    Wire.Sleep { ms = 250 };
+    Wire.Tables { s_max = 8; ss = [ 3; 4; 5 ] };
+    Wire.Bound { net; s = Some 4; full_duplex = false };
+    Wire.Bound { net; s = None; full_duplex = true };
+    Wire.Simulate { net; full_duplex = true };
+    Wire.Certify { spec = Wire.Built { net; full_duplex = false }; refine = true };
+    Wire.Certify { spec = Wire.Inline "mode half_duplex\nn 2\nperiod 1\nround 0: 0>1"; refine = false };
+  ]
+
+let test_wire_request_roundtrip () =
+  List.iteri
+    (fun i op ->
+      let req = { Wire.id = Json.Int i; op; timeout_ms = Some (100 + i) } in
+      match Wire.parse_request (Wire.request_to_json req) with
+      | Ok req' ->
+          check (Printf.sprintf "roundtrip %s" (Wire.op_name op)) true
+            (req = req')
+      | Error e -> Alcotest.failf "roundtrip %s: %s" (Wire.op_name op) e)
+    all_ops;
+  (* no id, no timeout *)
+  let req = { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None } in
+  check "bare ping" true (Wire.parse_request (Wire.request_to_json req) = Ok req)
+
+let test_wire_golden_requests () =
+  (* frames as a foreign client would write them *)
+  let cases =
+    [
+      ( {|{"op":"ping"}|},
+        { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None } );
+      ( {|{"id":7,"op":"tables","params":{"s_max":6,"ss":[3,4]},"timeout_ms":500}|},
+        {
+          Wire.id = Json.Int 7;
+          op = Wire.Tables { s_max = 6; ss = [ 3; 4 ] };
+          timeout_ms = Some 500;
+        } );
+      ( {|{"id":"abc","op":"bound","params":{"family":"cycle","dim":16}}|},
+        {
+          Wire.id = Json.Str "abc";
+          op =
+            Wire.Bound
+              {
+                net = { Wire.family = "cycle"; dim = 16; degree = 2 };
+                s = None;
+                full_duplex = false;
+              };
+          timeout_ms = None;
+        } );
+      ( {|{"op":"simulate","params":{"family":"db","dim":3,"degree":2,"full_duplex":false}}|},
+        {
+          Wire.id = Json.Null;
+          op =
+            Wire.Simulate
+              {
+                net = { Wire.family = "db"; dim = 3; degree = 2 };
+                full_duplex = false;
+              };
+          timeout_ms = None;
+        } );
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      match Json.of_string src with
+      | Error e -> Alcotest.failf "golden frame did not parse: %s" e
+      | Ok j -> (
+          match Wire.parse_request j with
+          | Ok req -> check src true (req = expected)
+          | Error e -> Alcotest.failf "golden frame rejected: %s" e))
+    cases
+
+let test_wire_rejections () =
+  let reject src frag =
+    let j = Result.get_ok (Json.of_string src) in
+    match Wire.parse_request j with
+    | Ok _ -> Alcotest.failf "accepted %s" src
+    | Error msg ->
+        check (Printf.sprintf "reject %s" src) true
+          (let found = ref false in
+           let fl = String.length frag and ml = String.length msg in
+           for i = 0 to ml - fl do
+             if String.sub msg i fl = frag then found := true
+           done;
+           !found)
+  in
+  reject {|[1,2,3]|} "object";
+  reject {|{"params":{}}|} "op";
+  reject {|{"op":"frobnicate"}|} "unknown operation";
+  reject {|{"op":"bound","params":{"dim":4}}|} "family";
+  reject {|{"op":"bound","params":{"family":"moebius","dim":4}}|} "unknown family";
+  reject {|{"op":"bound","params":{"family":"cycle","dim":0}}|} "out of range";
+  reject {|{"op":"bound","params":{"family":"cycle","dim":"big"}}|} "integer";
+  reject {|{"op":"tables","params":{"ss":[2]}}|} "ss";
+  reject {|{"op":"tables","params":{"ss":[]}}|} "non-empty";
+  reject {|{"op":"ping","timeout_ms":-5}|} "timeout_ms";
+  reject {|{"op":"sleep"}|} "ms";
+  reject {|{"op":"certify","params":{"protocol":"x","family":"cycle","dim":4}}|}
+    "exclusive"
+
+let test_wire_response_roundtrip () =
+  let ok = Wire.ok_response ~id:(Json.Int 3) (Json.Obj [ ("pong", Json.Bool true) ]) in
+  (match Wire.parse_response ok with
+  | Ok r ->
+      check "ok id" true (r.Wire.resp_id = Json.Int 3);
+      check_str "ok version" Core.Version.string r.Wire.resp_version;
+      check "ok outcome" true
+        (r.Wire.outcome = Ok (Json.Obj [ ("pong", Json.Bool true) ]))
+  | Error e -> Alcotest.fail e);
+  let err =
+    Wire.error_response ~id:Json.Null ~code:Wire.Queue_full ~message:"full"
+  in
+  (match Wire.parse_response err with
+  | Ok r ->
+      check "err outcome" true (r.Wire.outcome = Error (Wire.Queue_full, "full"))
+  | Error e -> Alcotest.fail e);
+  (* every error code survives the string round trip *)
+  List.iter
+    (fun c ->
+      check "code roundtrip" true
+        (Wire.error_code_of_string (Wire.error_code_to_string c) = Some c))
+    [
+      Wire.Bad_request; Wire.Queue_full; Wire.Deadline_exceeded;
+      Wire.Oversized_frame; Wire.Shutting_down; Wire.Internal;
+    ]
+
+let test_wire_framing () =
+  let frames_of s ~max_bytes =
+    let path = Filename.temp_file "wiretest" ".txt" in
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc;
+    let ic = open_in_bin path in
+    let rec go acc =
+      match Wire.read_frame ic ~max_bytes with
+      | Ok f -> go (Ok f :: acc)
+      | Error e -> List.rev (Error e :: acc)
+    in
+    let r = go [] in
+    close_in ic;
+    Sys.remove path;
+    r
+  in
+  check "plain lines" true
+    (frames_of "a\nbb\n" ~max_bytes:10 = [ Ok "a"; Ok "bb"; Error Wire.Eof ]);
+  check "crlf stripped" true
+    (frames_of "a\r\n" ~max_bytes:10 = [ Ok "a"; Error Wire.Eof ]);
+  check "unterminated final frame" true
+    (frames_of "tail" ~max_bytes:10 = [ Ok "tail"; Error Wire.Eof ]);
+  check "oversized detected" true
+    (match frames_of "0123456789ABCDEF\n" ~max_bytes:8 with
+    | Error Wire.Oversized :: _ -> true
+    | _ -> false);
+  check "empty line is empty frame" true
+    (frames_of "\nx\n" ~max_bytes:10 = [ Ok ""; Ok "x"; Error Wire.Eof ])
+
+(* --- dispatch --- *)
+
+let test_dispatch_direct () =
+  let d = Dispatch.create () in
+  (match Dispatch.eval d Wire.Ping with
+  | Ok j -> check "pong" true (Json.member "pong" j = Some (Json.Bool true))
+  | Error _ -> Alcotest.fail "ping failed");
+  (match Dispatch.eval d (Wire.Tables { s_max = 8; ss = [ 3; 4; 5; 6; 7; 8 ] }) with
+  | Ok j ->
+      check "tables matches direct library call" true
+        (j = Gossip_bounds.Tables.to_json ~s_max:8 ~ss:[ 3; 4; 5; 6; 7; 8 ] ())
+  | Error _ -> Alcotest.fail "tables failed");
+  (* the oversize gate fires before any construction *)
+  (match
+     Dispatch.eval d
+       (Wire.Bound
+          {
+            net = { Wire.family = "hypercube"; dim = 60; degree = 2 };
+            s = None;
+            full_duplex = false;
+          })
+   with
+  | Error (Wire.Bad_request, msg) ->
+      check "too-large message" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "oversized network must be rejected");
+  (* unparsable inline protocol is a bad request, not an internal error *)
+  match
+    Dispatch.eval d
+      (Wire.Certify { spec = Wire.Inline "not a protocol"; refine = false })
+  with
+  | Error (Wire.Bad_request, _) -> ()
+  | _ -> Alcotest.fail "garbage protocol must be a bad_request"
+
+(* --- end-to-end --- *)
+
+let fresh_socket_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gserve-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let with_server ?dispatch ?(workers = 2) ?(queue_capacity = 16)
+    ?(max_frame_bytes = Wire.default_max_frame_bytes) f =
+  let path = fresh_socket_path () in
+  let listen = Server.Unix_socket path in
+  let config =
+    {
+      (Server.default_config ~listen) with
+      Server.workers;
+      queue_capacity;
+      max_frame_bytes;
+    }
+  in
+  let server = Server.create ?dispatch config in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () -> f server listen)
+
+let expect_ok = function
+  | Ok { Wire.outcome = Ok result; _ } -> result
+  | Ok { Wire.outcome = Error (code, msg); _ } ->
+      Alcotest.failf "server error %s: %s" (Wire.error_code_to_string code) msg
+  | Error e -> Alcotest.failf "transport error: %s" e
+
+let test_e2e_basic_ops () =
+  with_server (fun server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let pong = expect_ok (Client.call c ~id:(Json.Int 1) Wire.Ping) in
+          check "pong" true (Json.member "pong" pong = Some (Json.Bool true));
+          let v = expect_ok (Client.call c Wire.Version) in
+          check "version op" true
+            (Json.member "version" v = Some (Json.Str Core.Version.string));
+          (* tables over the wire = the direct library call *)
+          let t =
+            expect_ok
+              (Client.call c (Wire.Tables { s_max = 8; ss = [ 3; 4; 5; 6; 7; 8 ] }))
+          in
+          check "tables = direct" true
+            (t = Gossip_bounds.Tables.to_json ~s_max:8 ~ss:[ 3; 4; 5; 6; 7; 8 ] ());
+          (* bound over the wire = the direct oracle *)
+          let g = Gossip_topology.Families.hypercube 4 in
+          let direct =
+            Gossip_bounds.Oracle.lower_bounds g
+              ~mode:Gossip_protocol.Protocol.Half_duplex ~s:(Some 4)
+          in
+          let b =
+            expect_ok
+              (Client.call c
+                 (Wire.Bound
+                    {
+                      net = { Wire.family = "hypercube"; dim = 4; degree = 2 };
+                      s = Some 4;
+                      full_duplex = false;
+                    }))
+          in
+          check "bound sound = direct" true
+            (Json.member "sound" b = Some (Json.Int direct.Gossip_bounds.Oracle.sound));
+          check "bound diameter = direct" true
+            (Json.member "diameter" b
+            = Some (Json.Int direct.Gossip_bounds.Oracle.diameter));
+          (* the repeat is a cache hit *)
+          let hits () =
+            (Core.Context.stats (Dispatch.context (Server.dispatch server)))
+              .Core.Context.hits
+          in
+          let stats0 = hits () in
+          let _again =
+            expect_ok
+              (Client.call c
+                 (Wire.Bound
+                    {
+                      net = { Wire.family = "hypercube"; dim = 4; degree = 2 };
+                      s = Some 4;
+                      full_duplex = false;
+                    }))
+          in
+          check "repeat query hits the cache" true (hits () > stats0)))
+
+let test_e2e_simulate_matches_direct () =
+  with_server (fun _server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let result =
+            expect_ok
+              (Client.call c
+                 (Wire.Simulate
+                    {
+                      net = { Wire.family = "hypercube"; dim = 3; degree = 2 };
+                      full_duplex = false;
+                    }))
+          in
+          let g = Gossip_topology.Families.hypercube 3 in
+          let sys = Gossip_protocol.Builders.edge_coloring_half_duplex g in
+          let direct = Core.Analysis.certify_protocol sys in
+          let run = Gossip_simulate.Engine.gossip_run sys in
+          check "simulate = direct library call" true
+            (result
+            = Core.Analysis.protocol_report_to_json
+                ~coverage:run.Gossip_simulate.Engine.curve direct)))
+
+let test_e2e_malformed_frame_connection_survives () =
+  with_server (fun _server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send_line c "this is not json";
+          (match Client.recv c with
+          | Ok { Wire.outcome = Error (Wire.Bad_request, _); _ } -> ()
+          | _ -> Alcotest.fail "expected bad_request");
+          (* unknown op: id still echoed *)
+          Client.send_line c {|{"id":42,"op":"frobnicate"}|};
+          (match Client.recv c with
+          | Ok { Wire.resp_id = Json.Int 42; outcome = Error (Wire.Bad_request, _); _ } ->
+              ()
+          | _ -> Alcotest.fail "expected bad_request with echoed id");
+          (* the connection survived both *)
+          let pong = expect_ok (Client.call c Wire.Ping) in
+          check "still alive" true
+            (Json.member "pong" pong = Some (Json.Bool true))))
+
+let test_e2e_oversized_frame_closes_connection () =
+  with_server ~max_frame_bytes:128 (fun _server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send_line c (String.make 300 'x');
+          (match Client.recv c with
+          | Ok { Wire.outcome = Error (Wire.Oversized_frame, _); _ } -> ()
+          | other ->
+              Alcotest.failf "expected oversized_frame, got %s"
+                (match other with
+                | Ok _ -> "another reply"
+                | Error e -> "transport: " ^ e));
+          (* the stream is unframed from here: server closes *)
+          match Client.recv c with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "connection should be closed"))
+
+let test_e2e_deadline_exceeded () =
+  with_server ~workers:1 (fun _server listen ->
+      let a = Client.connect_retry listen in
+      let b = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close a;
+          Client.close b)
+        (fun () ->
+          (* occupy the only worker … *)
+          Client.send_line a {|{"id":"slow","op":"sleep","params":{"ms":400}}|};
+          Thread.delay 0.1;
+          (* … so this deadline has long expired when a worker frees up *)
+          match Client.call b ~id:(Json.Int 9) ~timeout_ms:1 Wire.Ping with
+          | Ok { Wire.resp_id = Json.Int 9; outcome = Error (Wire.Deadline_exceeded, _); _ } ->
+              (* the slow request itself still completed *)
+              (match Client.recv a with
+              | Ok { Wire.resp_id = Json.Str "slow"; outcome = Ok _; _ } -> ()
+              | _ -> Alcotest.fail "sleep reply lost")
+          | other ->
+              Alcotest.failf "expected deadline_exceeded, got %s"
+                (match other with
+                | Ok { Wire.outcome = Ok _; _ } -> "success"
+                | Ok { Wire.outcome = Error (c, _); _ } ->
+                    Wire.error_code_to_string c
+                | Error e -> "transport: " ^ e)))
+
+let test_e2e_queue_full () =
+  with_server ~workers:1 ~queue_capacity:1 (fun _server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* worker takes the first sleep; the second fills the queue *)
+          Client.send_line c {|{"id":1,"op":"sleep","params":{"ms":400}}|};
+          Thread.delay 0.1;
+          Client.send_line c {|{"id":2,"op":"sleep","params":{"ms":10}}|};
+          Thread.delay 0.05;
+          Client.send_line c {|{"id":3,"op":"ping"}|};
+          (* the rejection is written by the reader thread immediately,
+             out of order w.r.t. the queued work *)
+          match Client.recv c with
+          | Ok { Wire.resp_id = Json.Int 3; outcome = Error (Wire.Queue_full, _); _ } ->
+              (match Client.recv c with
+              | Ok { Wire.resp_id = Json.Int 1; outcome = Ok _; _ } -> (
+                  match Client.recv c with
+                  | Ok { Wire.resp_id = Json.Int 2; outcome = Ok _; _ } -> ()
+                  | _ -> Alcotest.fail "queued sleep reply lost")
+              | _ -> Alcotest.fail "running sleep reply lost")
+          | other ->
+              Alcotest.failf "expected queue_full for id 3, got %s"
+                (match other with
+                | Ok { Wire.outcome = Ok _; _ } -> "a success"
+                | Ok { Wire.outcome = Error (code, _); _ } ->
+                    Wire.error_code_to_string code
+                | Error e -> "transport: " ^ e)))
+
+let test_e2e_concurrent_clients () =
+  with_server ~workers:3 ~queue_capacity:64 (fun _server listen ->
+      let clients = 4 and per_client = 20 in
+      let failures = ref 0 in
+      let mu = Mutex.create () in
+      let ops i =
+        match i mod 3 with
+        | 0 -> Wire.Ping
+        | 1 -> Wire.Tables { s_max = 8; ss = [ 3; 4; 5; 6; 7; 8 ] }
+        | _ ->
+            Wire.Bound
+              {
+                net = { Wire.family = "cycle"; dim = 16; degree = 2 };
+                s = Some 4;
+                full_duplex = false;
+              }
+      in
+      let expected_tables =
+        Gossip_bounds.Tables.to_json ~s_max:8 ~ss:[ 3; 4; 5; 6; 7; 8 ] ()
+      in
+      let worker cidx () =
+        let c = Client.connect_retry listen in
+        for i = 0 to per_client - 1 do
+          let id = Json.Int ((cidx * 1000) + i) in
+          match Client.call c ~id (ops i) with
+          | Ok { Wire.resp_id; outcome = Ok result; _ } ->
+              let good =
+                resp_id = id
+                && (i mod 3 <> 1 || result = expected_tables)
+              in
+              if not good then begin
+                Mutex.lock mu;
+                incr failures;
+                Mutex.unlock mu
+              end
+          | _ ->
+              Mutex.lock mu;
+              incr failures;
+              Mutex.unlock mu
+        done;
+        Client.close c
+      in
+      let ts = List.init clients (fun c -> Thread.create (worker c) ()) in
+      List.iter Thread.join ts;
+      check_int "no dropped or garbled replies" 0 !failures)
+
+let test_e2e_shutdown_op () =
+  with_server (fun server listen ->
+      let c = Client.connect_retry listen in
+      (match Client.call c ~id:(Json.Int 1) Wire.Shutdown with
+      | Ok { Wire.outcome = Ok j; _ } ->
+          check "ack" true (Json.member "stopping" j = Some (Json.Bool true))
+      | _ -> Alcotest.fail "shutdown not acknowledged");
+      Client.close c;
+      check "stop requested" true (Server.stop_requested server);
+      (* drain (idempotent with the with_server finally) *)
+      Server.shutdown server;
+      (* the socket is gone: new connections fail *)
+      match Client.connect listen with
+      | exception Unix.Unix_error _ -> ()
+      | c2 ->
+          Client.close c2;
+          Alcotest.fail "connect after shutdown should fail")
+
+let suite =
+  [
+    ("bounded queue basics", `Quick, test_queue_basic);
+    ("bounded queue close drains", `Quick, test_queue_close_drains_backlog);
+    ("bounded queue concurrent", `Quick, test_queue_concurrent);
+    ("wire request roundtrip", `Quick, test_wire_request_roundtrip);
+    ("wire golden requests", `Quick, test_wire_golden_requests);
+    ("wire rejections", `Quick, test_wire_rejections);
+    ("wire response roundtrip", `Quick, test_wire_response_roundtrip);
+    ("wire framing", `Quick, test_wire_framing);
+    ("dispatch direct", `Quick, test_dispatch_direct);
+    ("e2e basic ops", `Quick, test_e2e_basic_ops);
+    ("e2e simulate matches direct", `Quick, test_e2e_simulate_matches_direct);
+    ("e2e malformed frame survives", `Quick, test_e2e_malformed_frame_connection_survives);
+    ("e2e oversized frame closes", `Quick, test_e2e_oversized_frame_closes_connection);
+    ("e2e deadline exceeded", `Quick, test_e2e_deadline_exceeded);
+    ("e2e queue full", `Quick, test_e2e_queue_full);
+    ("e2e concurrent clients", `Quick, test_e2e_concurrent_clients);
+    ("e2e shutdown op", `Quick, test_e2e_shutdown_op);
+  ]

@@ -155,9 +155,21 @@ let test_faults_slowdown () =
   | Some t -> check "faulty time >= fault-free" true (t >= base)
   | None -> ());
   let curve = Faults.slowdown_curve sys ~probabilities:[ 0.0; 0.2 ] ~seed:5 in
-  match (List.assoc 0.0 curve, List.assoc 0.2 curve) with
+  let point p =
+    List.find (fun pt -> pt.Faults.probability = p) curve
+  in
+  let p0 = point 0.0 and p2 = point 0.2 in
+  check "fault-free trials all complete" true
+    (p0.Faults.completed = p0.Faults.trials);
+  check "completed never exceeds trials" true
+    (List.for_all (fun pt -> pt.Faults.completed <= pt.Faults.trials) curve);
+  (match (p0.Faults.mean, p2.Faults.mean) with
   | Some t0, Some t2 -> check "curve increases" true (t2 >= t0)
-  | _ -> Alcotest.fail "curve incomplete"
+  | _ -> Alcotest.fail "curve incomplete");
+  check "mean iff completed > 0" true
+    (List.for_all
+       (fun pt -> (pt.Faults.mean <> None) = (pt.Faults.completed > 0))
+       curve)
 
 let test_faults_validation () =
   let sys = Builders.cycle_rotate 8 in

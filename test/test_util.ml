@@ -196,6 +196,33 @@ let test_parallel_max_float () =
     (Parallel.max_float ~domains:2 Fun.id [||] = neg_infinity);
   check "recommended >= 1" true (Parallel.recommended_domains () >= 1)
 
+let test_parallel_reduce () =
+  (* max and exact integer sums are associative+commutative, so the
+     reduction must agree with the sequential fold at every worker
+     count. *)
+  List.iter
+    (fun n ->
+      let f i = (i * 13) mod 257 in
+      let sum_ref = ref 0 in
+      for i = 0 to n - 1 do
+        sum_ref := !sum_ref + f i
+      done;
+      let max_ref = ref min_int in
+      for i = 0 to n - 1 do
+        max_ref := max !max_ref (f i)
+      done;
+      List.iter
+        (fun domains ->
+          check (Printf.sprintf "reduce sum n=%d domains=%d" n domains) true
+            (Parallel.reduce ~domains n f ( + ) 0 = !sum_ref);
+          if n > 0 then
+            check (Printf.sprintf "reduce max n=%d domains=%d" n domains) true
+              (Parallel.reduce ~domains n f max min_int = !max_ref))
+        [ 1; 2; 4; 7 ])
+    [ 0; 1; 3; 100; 513 ];
+  check "reduce empty returns init" true
+    (Parallel.reduce ~domains:4 0 (fun _ -> assert false) ( + ) 42 = 42)
+
 let prop_parallel_deterministic =
   QCheck.Test.make ~name:"parallel map deterministic across domain counts"
     ~count:30
@@ -362,6 +389,7 @@ let suite =
     ("parallel map", `Quick, test_parallel_map_matches_sequential);
     ("parallel init", `Quick, test_parallel_init);
     ("parallel max_float", `Quick, test_parallel_max_float);
+    ("parallel reduce", `Quick, test_parallel_reduce);
     ("parallel domain sweep", `Quick, test_parallel_domains_sweep);
     ("parallel default override", `Quick, test_parallel_default_override);
     ("instrument records", `Quick, test_instrument_records);

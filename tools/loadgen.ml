@@ -1,0 +1,350 @@
+(* loadgen: hammer a running gossip_served with concurrent connections.
+
+   usage: loadgen (--socket PATH | --tcp HOST:PORT)
+            [--connections N]   client connections, one thread each (2)
+            [--requests N]      total requests across connections (100)
+            [--mix SPEC]        weighted op mix, e.g. "tables:4,bound:3,
+                                ping:2,simulate:1" (that is the default)
+            [--timeout-ms MS]   per-request deadline sent with each call
+            [--report PATH]     write the JSON report there (default stdout)
+            [--require-cache-hits]  exit 1 unless the server reports
+                                    context cache hits > 0
+
+   Emits a `gossip-loadgen/1` JSON report: throughput, latency
+   percentiles (p50/p95/p99), per-op and per-error-code counts, and the
+   server's own cache statistics fetched with a final `stats` request.
+
+   Exit status: 0 on a clean run; 1 when any reply was dropped or
+   garbled (a *protocol* error — valid error replies such as queue_full
+   are counted separately, not failures) or when --require-cache-hits is
+   not met.  Used by CI as the end-to-end gate (doc/serving.md). *)
+
+module Json = Gossip_util.Json
+module Serve = Gossip_serve
+
+let usage () =
+  prerr_endline
+    "usage: loadgen (--socket PATH | --tcp HOST:PORT) [--connections N]\n\
+    \         [--requests N] [--mix SPEC] [--timeout-ms MS] [--report PATH]\n\
+    \         [--require-cache-hits]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("loadgen: " ^ m); exit 2) fmt
+
+(* --- request mix --- *)
+
+(* Parameter sets rotated through by request index: repetition is the
+   point (the server's cache should absorb it), variety keeps more than
+   one artifact in play. *)
+let nets =
+  [|
+    { Serve.Wire.family = "cycle"; dim = 16; degree = 2 };
+    { Serve.Wire.family = "hypercube"; dim = 4; degree = 2 };
+    { Serve.Wire.family = "db"; dim = 3; degree = 2 };
+    { Serve.Wire.family = "complete"; dim = 8; degree = 2 };
+  |]
+
+let op_of_name name i =
+  let net = nets.(i mod Array.length nets) in
+  match name with
+  | "ping" -> Serve.Wire.Ping
+  | "version" -> Serve.Wire.Version
+  | "stats" -> Serve.Wire.Stats
+  | "tables" -> Serve.Wire.Tables { s_max = 8; ss = [ 3; 4; 5; 6; 7; 8 ] }
+  | "bound" -> Serve.Wire.Bound { net; s = Some 4; full_duplex = false }
+  | "simulate" -> Serve.Wire.Simulate { net; full_duplex = false }
+  | "certify" ->
+      Serve.Wire.Certify
+        { spec = Serve.Wire.Built { net; full_duplex = false }; refine = false }
+  | other -> fail "unknown op %S in mix" other
+
+let parse_mix spec =
+  let entries =
+    List.filter_map
+      (fun tok ->
+        let tok = String.trim tok in
+        if tok = "" then None
+        else
+          match String.split_on_char ':' tok with
+          | [ name; weight ] -> (
+              match int_of_string_opt weight with
+              | Some w when w > 0 -> Some (name, w)
+              | _ -> fail "bad weight in mix entry %S" tok)
+          | [ name ] -> Some (name, 1)
+          | _ -> fail "bad mix entry %S" tok)
+      (String.split_on_char ',' spec)
+  in
+  if entries = [] then fail "empty mix";
+  (* weighted round-robin: expand weights into a repeating schedule *)
+  Array.of_list
+    (List.concat_map (fun (name, w) -> List.init w (fun _ -> name)) entries)
+
+(* --- argument parsing --- *)
+
+type args = {
+  target : Serve.Server.listen;
+  connections : int;
+  requests : int;
+  mix : string array;
+  timeout_ms : int option;
+  report : string option;
+  require_cache_hits : bool;
+}
+
+let parse_args () =
+  let target = ref None
+  and connections = ref 2
+  and requests = ref 100
+  and mix = ref "tables:4,bound:3,ping:2,simulate:1"
+  and timeout_ms = ref None
+  and report = ref None
+  and require_cache_hits = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--socket" :: path :: rest ->
+        target := Some (Serve.Server.Unix_socket path);
+        go rest
+    | "--tcp" :: hostport :: rest ->
+        (match String.rindex_opt hostport ':' with
+        | Some i -> (
+            let host = String.sub hostport 0 i in
+            let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+            match int_of_string_opt port with
+            | Some p -> target := Some (Serve.Server.Tcp (host, p))
+            | None -> usage ())
+        | None -> usage ());
+        go rest
+    | "--connections" :: n :: rest ->
+        connections := (match int_of_string_opt n with Some v when v >= 1 -> v | _ -> usage ());
+        go rest
+    | "--requests" :: n :: rest ->
+        requests := (match int_of_string_opt n with Some v when v >= 1 -> v | _ -> usage ());
+        go rest
+    | "--mix" :: spec :: rest ->
+        mix := spec;
+        go rest
+    | "--timeout-ms" :: ms :: rest ->
+        timeout_ms := (match int_of_string_opt ms with Some v when v >= 0 -> Some v | _ -> usage ());
+        go rest
+    | "--report" :: path :: rest ->
+        report := Some path;
+        go rest
+    | "--require-cache-hits" :: rest ->
+        require_cache_hits := true;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  match !target with
+  | None -> usage ()
+  | Some target ->
+      {
+        target;
+        connections = !connections;
+        requests = !requests;
+        mix = parse_mix !mix;
+        timeout_ms = !timeout_ms;
+        report = !report;
+        require_cache_hits = !require_cache_hits;
+      }
+
+(* --- measurement --- *)
+
+type tally = {
+  mutable ok : int;
+  mutable protocol_errors : int;
+  by_code : (string, int) Hashtbl.t;
+  by_op : (string, int * float) Hashtbl.t;  (* count, summed ms *)
+  mutable latencies_ms : float list;
+  mu : Mutex.t;
+}
+
+let now_s () = Unix.gettimeofday ()
+
+let record tally ~op_name ~latency_ms outcome =
+  Mutex.lock tally.mu;
+  (match outcome with
+  | `Ok -> tally.ok <- tally.ok + 1
+  | `Server_error code ->
+      let key = Serve.Wire.error_code_to_string code in
+      Hashtbl.replace tally.by_code key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally.by_code key))
+  | `Protocol msg ->
+      tally.protocol_errors <- tally.protocol_errors + 1;
+      Printf.eprintf "loadgen: protocol error: %s\n%!" msg);
+  let count, sum =
+    Option.value ~default:(0, 0.0) (Hashtbl.find_opt tally.by_op op_name)
+  in
+  Hashtbl.replace tally.by_op op_name (count + 1, sum +. latency_ms);
+  tally.latencies_ms <- latency_ms :: tally.latencies_ms;
+  Mutex.unlock tally.mu
+
+let run_connection args tally ~conn_index ~first ~count =
+  match Serve.Client.connect_retry args.target with
+  | exception e ->
+      Mutex.lock tally.mu;
+      tally.protocol_errors <- tally.protocol_errors + count;
+      Mutex.unlock tally.mu;
+      Printf.eprintf "loadgen: connection %d failed: %s\n%!" conn_index
+        (Printexc.to_string e)
+  | client ->
+      for k = 0 to count - 1 do
+        let i = first + k in
+        let name = args.mix.(i mod Array.length args.mix) in
+        let op = op_of_name name i in
+        let id = Json.Int i in
+        let t0 = now_s () in
+        let outcome =
+          match Serve.Client.call client ~id ?timeout_ms:args.timeout_ms op with
+          | Error msg -> `Protocol msg
+          | Ok resp ->
+              if resp.Serve.Wire.resp_id <> id then
+                `Protocol
+                  (Printf.sprintf "response id mismatch on request %d" i)
+              else (
+                match resp.Serve.Wire.outcome with
+                | Ok _ -> `Ok
+                | Error (code, _) -> `Server_error code)
+        in
+        record tally ~op_name:name ~latency_ms:((now_s () -. t0) *. 1000.0)
+          outcome
+      done;
+      Serve.Client.close client
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(min hi (n - 1)) *. frac)
+
+let fetch_server_stats args =
+  match Serve.Client.connect_retry args.target with
+  | exception _ -> None
+  | client ->
+      let r = Serve.Client.call client Serve.Wire.Stats in
+      Serve.Client.close client;
+      (match r with
+      | Ok { Serve.Wire.outcome = Ok result; _ } -> Some result
+      | _ -> None)
+
+let () =
+  let args = parse_args () in
+  let tally =
+    {
+      ok = 0;
+      protocol_errors = 0;
+      by_code = Hashtbl.create 8;
+      by_op = Hashtbl.create 8;
+      latencies_ms = [];
+      mu = Mutex.create ();
+    }
+  in
+  let per_conn = args.requests / args.connections in
+  let extra = args.requests mod args.connections in
+  let t_start = now_s () in
+  let threads =
+    List.init args.connections (fun c ->
+        let count = per_conn + if c < extra then 1 else 0 in
+        let first = (c * per_conn) + min c extra in
+        Thread.create
+          (fun () -> run_connection args tally ~conn_index:c ~first ~count)
+          ())
+  in
+  List.iter Thread.join threads;
+  let duration = now_s () -. t_start in
+  let stats = fetch_server_stats args in
+  let latencies = Array.of_list tally.latencies_ms in
+  Array.sort compare latencies;
+  let mean =
+    if Array.length latencies = 0 then nan
+    else Array.fold_left ( +. ) 0.0 latencies /. float_of_int (Array.length latencies)
+  in
+  let fin v = if Float.is_finite v then Json.Float v else Json.Null in
+  let cache_hits =
+    match stats with
+    | Some s -> (
+        match Json.member "cache" s with
+        | Some c -> (
+            match Json.member "hits" c with
+            | Some (Json.Int h) -> Some h
+            | _ -> None)
+        | None -> None)
+    | None -> None
+  in
+  let report =
+    Json.Obj
+      [
+        ("schema", Json.Str "gossip-loadgen/1");
+        ("version", Json.Str Core.Version.string);
+        ( "target",
+          Json.Str
+            (match args.target with
+            | Serve.Server.Unix_socket p -> "unix:" ^ p
+            | Serve.Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p) );
+        ("connections", Json.Int args.connections);
+        ("requests", Json.Int args.requests);
+        ("ok", Json.Int tally.ok);
+        ("protocol_errors", Json.Int tally.protocol_errors);
+        ( "errors_by_code",
+          Json.Obj
+            (List.sort compare
+               (Hashtbl.fold
+                  (fun k v acc -> (k, Json.Int v) :: acc)
+                  tally.by_code [])) );
+        ("duration_seconds", Json.Float duration);
+        ( "throughput_rps",
+          fin (float_of_int args.requests /. Float.max duration 1e-9) );
+        ( "latency_ms",
+          Json.Obj
+            [
+              ("mean", fin mean);
+              ("p50", fin (quantile latencies 0.50));
+              ("p95", fin (quantile latencies 0.95));
+              ("p99", fin (quantile latencies 0.99));
+              ( "max",
+                if Array.length latencies = 0 then Json.Null
+                else fin latencies.(Array.length latencies - 1) );
+            ] );
+        ( "by_op",
+          Json.Obj
+            (List.sort compare
+               (Hashtbl.fold
+                  (fun name (count, sum) acc ->
+                    ( name,
+                      Json.Obj
+                        [
+                          ("count", Json.Int count);
+                          ("mean_ms", fin (sum /. float_of_int count));
+                        ] )
+                    :: acc)
+                  tally.by_op [])) );
+        ( "server_stats",
+          match stats with Some s -> s | None -> Json.Null );
+      ]
+  in
+  let rendered = Json.to_string_pretty report ^ "\n" in
+  (match args.report with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc rendered;
+      close_out oc;
+      Printf.printf "loadgen report written to %s\n" path
+  | None -> print_string rendered);
+  if tally.protocol_errors > 0 then begin
+    Printf.eprintf "loadgen: %d protocol errors\n%!" tally.protocol_errors;
+    exit 1
+  end;
+  if args.require_cache_hits then begin
+    match cache_hits with
+    | Some h when h > 0 -> ()
+    | Some _ ->
+        prerr_endline "loadgen: --require-cache-hits: server reports 0 hits";
+        exit 1
+    | None ->
+        prerr_endline
+          "loadgen: --require-cache-hits: could not read server cache stats";
+        exit 1
+  end
