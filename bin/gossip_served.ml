@@ -17,7 +17,8 @@ open Gossip_serve
 module C = Cmdliner
 
 let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
-    default_timeout_ms eval_domains trace trace_out =
+    default_timeout_ms eval_domains trace trace_out access_log metrics_dump
+    metrics_dump_interval_ms =
   (match trace_out with
   | Some path -> Core.Util.Instrument.set_trace_file (Some path)
   | None -> ());
@@ -49,6 +50,7 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           queue_capacity;
           max_frame_bytes;
           default_timeout_ms;
+          access_log;
         }
       in
       match Server.create config with
@@ -65,6 +67,37 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
           Server.start server;
+          (* Periodic metrics snapshots: write-then-rename so a scraper
+             never reads a torn file; one final dump at shutdown so the
+             file reflects the whole run. *)
+          let dump_metrics path =
+            let tmp = path ^ ".tmp" in
+            match open_out tmp with
+            | exception Sys_error _ -> ()
+            | oc ->
+                output_string oc
+                  (Core.Util.Json.to_string_pretty
+                     (Metrics.metrics_json (Server.metrics server)));
+                output_char oc '\n';
+                close_out oc;
+                (try Sys.rename tmp path with Sys_error _ -> ())
+          in
+          let dumper =
+            Option.map
+              (fun path ->
+                Thread.create
+                  (fun () ->
+                    let interval =
+                      Float.max 0.05
+                        (float_of_int metrics_dump_interval_ms /. 1000.0)
+                    in
+                    while not (Server.stop_requested server) do
+                      Thread.delay interval;
+                      dump_metrics path
+                    done)
+                  ())
+              metrics_dump
+          in
           Printf.eprintf "gossip_served %s listening on %s (%d workers, queue %d)\n%!"
             Core.Version.string
             (match listen with
@@ -72,6 +105,8 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
             | Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
             config.Server.workers config.Server.queue_capacity;
           Server.join server;
+          (match dumper with Some th -> Thread.join th | None -> ());
+          Option.iter dump_metrics metrics_dump;
           prerr_endline "gossip_served: drained, bye";
           `Ok ())
 
@@ -143,10 +178,35 @@ let serve_term =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Stream spans and events as JSON Lines to $(docv).")
   in
+  let access_log =
+    C.Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:"Append one JSON line per answered request to $(docv): \
+                {ts, req_id, conn, op, status, queue_wait_ms, service_ms, \
+                id}.")
+  in
+  let metrics_dump =
+    C.Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-dump" ] ~docv:"FILE"
+          ~doc:"Periodically write the gossip-metrics/1 snapshot to $(docv) \
+                (atomic write-then-rename), plus a final dump at shutdown.")
+  in
+  let metrics_dump_interval_ms =
+    C.Arg.(
+      value & opt int 5000
+      & info
+          [ "metrics-dump-interval-ms" ]
+          ~docv:"MS" ~doc:"Interval between --metrics-dump snapshots.")
+  in
   C.Term.(
     ret
       (const serve_run $ socket $ tcp $ host $ workers $ queue_capacity
-     $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out))
+     $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out
+     $ access_log $ metrics_dump $ metrics_dump_interval_ms))
 
 let serve_cmd =
   C.Cmd.v

@@ -20,11 +20,27 @@ type stats = {
   capacity : int;
 }
 
+type kind_stats = {
+  k_hits : int;
+  k_misses : int;
+  k_evictions : int;
+  k_entries : int;
+}
+
 type 'v entry = { value : 'v; mutable last_use : int }
+
+(* Mutable per-artifact-kind accounting behind a {!kind_stats} snapshot. *)
+type kind_acc = {
+  mutable a_hits : int;
+  mutable a_misses : int;
+  mutable a_evictions : int;
+}
 
 (* One artifact table, erased to the operations the LRU sweep needs so
    heterogeneous tables can share a single eviction policy. *)
 type shelf = {
+  shelf_kind : string;
+  acc : kind_acc;
   occupancy : unit -> int;
   oldest : unit -> (int * (unit -> unit)) option;
       (* last-use tick of the least recently used entry, and a closure
@@ -32,8 +48,10 @@ type shelf = {
   drop_all : unit -> unit;
 }
 
-let make_shelf (tbl : ('k, 'v entry) Hashtbl.t) =
+let make_shelf shelf_kind (tbl : ('k, 'v entry) Hashtbl.t) =
   {
+    shelf_kind;
+    acc = { a_hits = 0; a_misses = 0; a_evictions = 0 };
     occupancy = (fun () -> Hashtbl.length tbl);
     oldest =
       (fun () ->
@@ -62,6 +80,9 @@ type t = {
   lambdas : (string * int, float entry) Hashtbl.t;
   times : (string * int, int option entry) Hashtbl.t;
   shelves : shelf list;
+      (* the shelf list doubles as the kind registry: artifact accessors
+         name their shelf and per-kind hit/miss/eviction counters live
+         on it *)
 }
 
 let create ?(capacity = 4096) ?domains () =
@@ -90,13 +111,13 @@ let create ?(capacity = 4096) ?domains () =
     times;
     shelves =
       [
-        make_shelf diameters;
-        make_shelf separators;
-        make_shelf dgs;
-        make_shelf norms;
-        make_shelf blocks;
-        make_shelf lambdas;
-        make_shelf times;
+        make_shelf "diameter" diameters;
+        make_shelf "separator" separators;
+        make_shelf "delay_digraph" dgs;
+        make_shelf "norm" norms;
+        make_shelf "block" blocks;
+        make_shelf "lambda_star" lambdas;
+        make_shelf "gossip_time" times;
       ];
   }
 
@@ -161,20 +182,27 @@ let evict_locked ctx =
         (fun acc shelf ->
           match shelf.oldest () with
           | None -> acc
-          | Some (t, _) as c -> (
-              match acc with Some (t', _) when t' <= t -> acc | _ -> c))
+          | Some (t, remove) -> (
+              match acc with
+              | Some (t', _, _) when t' <= t -> acc
+              | _ -> Some (t, shelf, remove)))
         None ctx.shelves
     in
     match victim with
     | None -> stuck := true
-    | Some (_, remove) ->
+    | Some (_, shelf, remove) ->
         remove ();
         ctx.n_evictions <- ctx.n_evictions + 1;
+        shelf.acc.a_evictions <- shelf.acc.a_evictions + 1;
         incr evicted
   done;
   !evicted
 
-let lookup ctx tbl key =
+let shelf_named ctx kind =
+  List.find (fun s -> s.shelf_kind = kind) ctx.shelves
+
+let lookup ctx ~kind tbl key =
+  let shelf = shelf_named ctx kind in
   Mutex.lock ctx.lock;
   let found =
     match Hashtbl.find_opt tbl key with
@@ -182,15 +210,29 @@ let lookup ctx tbl key =
         ctx.tick <- ctx.tick + 1;
         e.last_use <- ctx.tick;
         ctx.n_hits <- ctx.n_hits + 1;
+        shelf.acc.a_hits <- shelf.acc.a_hits + 1;
         Some e.value
     | None ->
         ctx.n_misses <- ctx.n_misses + 1;
+        shelf.acc.a_misses <- shelf.acc.a_misses + 1;
         None
   in
   Mutex.unlock ctx.lock;
   (match found with
   | Some _ -> Instrument.add "context.hit" 1
   | None -> Instrument.add "context.miss" 1);
+  (* one point event per lookup when a trace is streaming: with the
+     serving layer's ambient request attributes this is what lets the
+     offline analyzer split a request into cache-hit and rebuild work *)
+  if Instrument.tracing () then
+    Instrument.event "context.lookup"
+      ~attrs:
+        [
+          ("kind", Gossip_util.Json.Str kind);
+          ( "outcome",
+            Gossip_util.Json.Str
+              (match found with Some _ -> "hit" | None -> "miss") );
+        ];
   found
 
 let store ctx tbl key v =
@@ -211,8 +253,8 @@ let store ctx tbl key v =
 (* Lookup under the lock, compute outside it (artifact builders can be
    expensive and may themselves run parallel workers), insert under the
    lock.  A racing miss computes twice; both arrive at the same value. *)
-let memo ctx tbl key compute =
-  match lookup ctx tbl key with
+let memo ctx ~kind tbl key compute =
+  match lookup ctx ~kind tbl key with
   | Some v -> v
   | None ->
       let v = compute () in
@@ -222,27 +264,27 @@ let memo ctx tbl key compute =
 (* {2 Cached artifacts} *)
 
 let diameter ctx g =
-  memo ctx ctx.diameters (fingerprint g) (fun () ->
+  memo ctx ~kind:"diameter" ctx.diameters (fingerprint g) (fun () ->
       Metrics.diameter ?domains:ctx.domains g)
 
 let separator_measure ctx g sep =
-  memo ctx ctx.separators
+  memo ctx ~kind:"separator" ctx.separators
     (fingerprint g ^ "|" ^ separator_digest sep)
     (fun () -> Separator.measure g sep)
 
 let delay_digraph ctx sys ~length =
-  memo ctx ctx.dgs
+  memo ctx ~kind:"delay_digraph" ctx.dgs
     (protocol_fingerprint sys, length)
     (fun () -> Delay_digraph.of_systolic sys ~length)
 
 let norm ctx ?options dg lambda =
-  memo ctx ctx.norms
+  memo ctx ~kind:"norm" ctx.norms
     (dg_fingerprint dg, options_digest options, lambda)
     (fun () ->
       Delay_matrix.norm_blockwise ?options ?domains:ctx.domains dg lambda)
 
 let vertex_block ctx dg lambda x =
-  memo ctx ctx.blocks
+  memo ctx ~kind:"block" ctx.blocks
     (dg_fingerprint dg, lambda, x)
     (fun () -> Delay_matrix.vertex_block dg lambda x)
 
@@ -252,14 +294,14 @@ let lambda_star ctx ~mode s =
     | Protocol.Directed | Protocol.Half_duplex -> "hd"
     | Protocol.Full_duplex -> "fd"
   in
-  memo ctx ctx.lambdas (cls, s) (fun () ->
+  memo ctx ~kind:"lambda_star" ctx.lambdas (cls, s) (fun () ->
       match mode with
       | Protocol.Directed | Protocol.Half_duplex -> General.lambda_star s
       | Protocol.Full_duplex -> General.lambda_star_fd s)
 
 let gossip_time ctx ?cap sys =
   let cap_key = match cap with Some c -> c | None -> -1 in
-  memo ctx ctx.times
+  memo ctx ~kind:"gossip_time" ctx.times
     (protocol_fingerprint sys, cap_key)
     (fun () -> Engine.gossip_time ?cap sys)
 
@@ -295,11 +337,37 @@ let stats ctx =
   Mutex.unlock ctx.lock;
   s
 
+let stats_by_kind ctx =
+  Mutex.lock ctx.lock;
+  let per =
+    List.map
+      (fun s ->
+        ( s.shelf_kind,
+          {
+            k_hits = s.acc.a_hits;
+            k_misses = s.acc.a_misses;
+            k_evictions = s.acc.a_evictions;
+            k_entries = s.occupancy ();
+          } ))
+      ctx.shelves
+  in
+  Mutex.unlock ctx.lock;
+  per
+
+let reset_kind_accs ctx =
+  List.iter
+    (fun s ->
+      s.acc.a_hits <- 0;
+      s.acc.a_misses <- 0;
+      s.acc.a_evictions <- 0)
+    ctx.shelves
+
 let reset_stats ctx =
   Mutex.lock ctx.lock;
   ctx.n_hits <- 0;
   ctx.n_misses <- 0;
   ctx.n_evictions <- 0;
+  reset_kind_accs ctx;
   Mutex.unlock ctx.lock
 
 let clear ctx =
@@ -308,12 +376,14 @@ let clear ctx =
   ctx.n_hits <- 0;
   ctx.n_misses <- 0;
   ctx.n_evictions <- 0;
+  reset_kind_accs ctx;
   ctx.tick <- 0;
   Mutex.unlock ctx.lock
 
 let stats_json ctx =
   let module J = Gossip_util.Json in
   let s = stats ctx in
+  let per = stats_by_kind ctx in
   J.Obj
     [
       ("hits", J.Int s.hits);
@@ -321,6 +391,19 @@ let stats_json ctx =
       ("evictions", J.Int s.evictions);
       ("entries", J.Int s.entries);
       ("capacity", J.Int s.capacity);
+      ( "by_kind",
+        J.Obj
+          (List.map
+             (fun (kind, k) ->
+               ( kind,
+                 J.Obj
+                   [
+                     ("hits", J.Int k.k_hits);
+                     ("misses", J.Int k.k_misses);
+                     ("evictions", J.Int k.k_evictions);
+                     ("entries", J.Int k.k_entries);
+                   ] ))
+             per) );
     ]
 
 let pp_stats ppf ctx =

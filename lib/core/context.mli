@@ -36,6 +36,14 @@ type stats = {
   capacity : int;
 }
 
+(** Per-artifact-kind accounting snapshot (one artifact table each). *)
+type kind_stats = {
+  k_hits : int;
+  k_misses : int;
+  k_evictions : int;
+  k_entries : int;
+}
+
 (** [create ?capacity ?domains ()] — an empty context.  [capacity]
     (default 4096) bounds the total number of cached artifacts;
     [domains], when given, is passed to every parallel artifact builder
@@ -159,15 +167,24 @@ val lower_bounds :
 (** [stats ctx] — current hit/miss/eviction/occupancy counters. *)
 val stats : t -> stats
 
+(** [stats_by_kind ctx] — the same counters broken down per artifact
+    kind, in a fixed order: ["diameter"], ["separator"],
+    ["delay_digraph"], ["norm"], ["block"], ["lambda_star"],
+    ["gossip_time"].  The kind totals sum to {!stats}. *)
+val stats_by_kind : t -> (string * kind_stats) list
+
 (** [reset_stats ctx] zeroes the counters, keeping cached artifacts. *)
 val reset_stats : t -> unit
 
 (** [clear ctx] drops every cached artifact and zeroes the counters. *)
 val clear : t -> unit
 
-(** [stats_json ctx] — the same counters as {!stats} as a JSON object
-    [{hits, misses, evictions, entries, capacity}]; embedded in every
-    [--json] CLI result and in the bench report's ["cache"] field. *)
+(** [stats_json ctx] — the counters as a JSON object [{hits, misses,
+    evictions, entries, capacity, by_kind}], where [by_kind] maps each
+    artifact kind to its own [{hits, misses, evictions, entries}]
+    ({!stats_by_kind}); embedded in every [--json] CLI result, in the
+    bench report's ["cache"] field, and in the server's [stats] op —
+    which is what makes live cache behaviour visible per artifact. *)
 val stats_json : t -> Gossip_util.Json.t
 
 (** [pp_stats ppf ctx] — one-line human-readable summary, e.g.

@@ -4,6 +4,7 @@ open Core
 
 type t = {
   ctx : Context.t;
+  metrics : Metrics.t;
   (* whole-response memo for the tables op: identical parameters are by
      far the most repeated query, and the result is a pure function of
      them.  Bounded like the context, but tiny in practice. *)
@@ -11,7 +12,7 @@ type t = {
   memo_mu : Mutex.t;
 }
 
-let create ?ctx () =
+let create ?ctx ?metrics () =
   let ctx =
     match ctx with
     | Some ctx -> ctx
@@ -20,7 +21,15 @@ let create ?ctx () =
            parallelism from concurrent worker domains, not nested spawns *)
         Context.create ~domains:1 ()
   in
-  { ctx; tables_memo = Hashtbl.create 16; memo_mu = Mutex.create () }
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None ->
+        (* standalone dispatcher (tests, embedding): a metrics value with
+           no workers and no queue still answers the observability ops *)
+        Metrics.create ~workers:0 ~queue_capacity:0 ()
+  in
+  { ctx; metrics; tables_memo = Hashtbl.create 16; memo_mu = Mutex.create () }
 
 let context d = d.ctx
 
@@ -225,6 +234,9 @@ let eval_op d (op : Wire.op) =
              ("cache", Context.stats_json d.ctx);
              ("metrics", Instrument.metrics_json ());
            ])
+  | Wire.Metrics -> Ok (Metrics.metrics_json d.metrics)
+  | Wire.Health -> Ok (Metrics.health_json d.metrics)
+  | Wire.Spans -> Ok (Metrics.spans_json ())
   | Wire.Sleep { ms } ->
       Unix.sleepf (float_of_int ms /. 1000.0);
       Ok (Json.Obj [ ("slept_ms", Json.Int ms) ])

@@ -17,11 +17,15 @@
 
 type t
 
-(** [create ?ctx ()] — a dispatcher over [ctx] (default: a fresh
-    {!Core.Context} sized for serving, with artifact builders pinned to
-    one domain each — parallelism comes from concurrent workers, not
-    from nested spawns). *)
-val create : ?ctx:Core.Context.t -> unit -> t
+(** [create ?ctx ?metrics ()] — a dispatcher over [ctx] (default: a
+    fresh {!Core.Context} sized for serving, with artifact builders
+    pinned to one domain each — parallelism comes from concurrent
+    workers, not from nested spawns).  [metrics] is the live
+    observability state the [metrics] / [health] / [spans] ops answer
+    from; the server passes its own so dispatcher answers reflect the
+    real queue and workers, a standalone dispatcher defaults to an
+    inert one ([workers:0], no queue). *)
+val create : ?ctx:Core.Context.t -> ?metrics:Metrics.t -> unit -> t
 
 val context : t -> Core.Context.t
 

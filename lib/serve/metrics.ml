@@ -1,0 +1,261 @@
+module Json = Gossip_util.Json
+module Instrument = Gossip_util.Instrument
+module Rolling = Gossip_util.Rolling
+
+(* One second per slot, five minutes of slots: the single window serves
+   every exposed horizon by merging its most recent 10 / 60 / 300
+   slots. *)
+let slot_ns = 1_000_000_000L
+let window_slots = 300
+let horizons = [ ("10s", 10); ("1m", 60); ("5m", 300) ]
+
+(* Same stub as {!Gossip_util.Instrument.monotonic_ns}: the per-request
+   [observe] is on the dispatch hot path and a direct unboxed call
+   beats an indirect boxed one through the stored closure. *)
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "gossip_monotonic_ns" "gossip_monotonic_ns_unboxed"
+[@@noalloc]
+
+type per_op = {
+  lat : Rolling.t;  (* answered-request latency, seconds *)
+  err : Rolling.t;  (* error replies, count only *)
+  mutable total : int;  (* cumulative answered (ok + error) *)
+  mutable total_errors : int;
+}
+
+type t = {
+  clock : unit -> int64;
+  default_clock : bool;
+  user_clock : (unit -> int64) option;  (* forwarded to rolling windows *)
+  started_ns : int64;
+  workers : int;
+  queue_capacity : int;
+  wedge_ms : int;
+  mu : Mutex.t;  (* guards [ops] and the cumulative totals *)
+  ops : (string, per_op) Hashtbl.t;
+  queue_wait : Rolling.t;  (* queue wait of answered requests, seconds *)
+  queue_depth : int Atomic.t;
+  conns : int Atomic.t;
+  busy_since_ns : int64 Atomic.t array;  (* per worker; 0 = idle *)
+}
+
+let create ?clock ?(wedge_ms = 30_000) ~workers ~queue_capacity () =
+  let user_clock = clock in
+  let clock = match clock with Some c -> c | None -> Instrument.now_ns in
+  {
+    clock;
+    default_clock = user_clock = None;
+    user_clock;
+    started_ns = clock ();
+    workers;
+    queue_capacity;
+    wedge_ms;
+    mu = Mutex.create ();
+    ops = Hashtbl.create 16;
+    queue_wait = Rolling.create ?clock:user_clock ~slot_ns ~slots:window_slots ();
+    queue_depth = Atomic.make 0;
+    conns = Atomic.make 0;
+    busy_since_ns = Array.init workers (fun _ -> Atomic.make 0L);
+  }
+
+let now t = if t.default_clock then monotonic_ns () else t.clock ()
+
+(* Caller holds [t.mu]. *)
+let per_op_locked t op =
+  match Hashtbl.find_opt t.ops op with
+  | Some p -> p
+  | None ->
+      let p =
+        {
+          lat = Rolling.create ?clock:t.user_clock ~slot_ns ~slots:window_slots ();
+          err = Rolling.create ?clock:t.user_clock ~slot_ns ~slots:window_slots ();
+          total = 0;
+          total_errors = 0;
+        }
+      in
+      Hashtbl.add t.ops op p;
+      p
+
+(* One clock read and one [t.mu] critical section per observation; the
+   rolling windows take their own (uncontended in practice) locks. *)
+let observe t ~op ~ok ~queue_wait_s ~service_s =
+  let now_ns = now t in
+  Mutex.lock t.mu;
+  let p = per_op_locked t op in
+  p.total <- p.total + 1;
+  if not ok then p.total_errors <- p.total_errors + 1;
+  Mutex.unlock t.mu;
+  Rolling.observe_at p.lat ~now_ns (queue_wait_s +. service_s);
+  Rolling.observe_at t.queue_wait ~now_ns queue_wait_s;
+  if not ok then Rolling.add_at p.err ~now_ns 1
+
+let observe_rejected t ~op ~code =
+  ignore code;
+  observe t ~op ~ok:false ~queue_wait_s:0.0 ~service_s:0.0
+
+let set_queue_depth t n = Atomic.set t.queue_depth n
+let worker_busy t w = Atomic.set t.busy_since_ns.(w) (now t)
+let worker_idle t w = Atomic.set t.busy_since_ns.(w) 0L
+let conn_opened t = Atomic.incr t.conns
+let conn_closed t = Atomic.decr t.conns
+
+let in_flight t =
+  Array.fold_left
+    (fun acc a -> if Atomic.get a <> 0L then acc + 1 else acc)
+    0 t.busy_since_ns
+
+let wedged_workers t =
+  let now = now t in
+  let limit_ns = Int64.of_int (t.wedge_ms * 1_000_000) in
+  Array.fold_left
+    (fun acc a ->
+      let since = Atomic.get a in
+      if since <> 0L && Int64.compare (Int64.sub now since) limit_ns > 0 then
+        acc + 1
+      else acc)
+    0 t.busy_since_ns
+
+let queue_saturated t =
+  t.queue_capacity > 0 && Atomic.get t.queue_depth >= t.queue_capacity
+
+let healthy t = (not (queue_saturated t)) && wedged_workers t = 0
+
+let uptime_s t = Int64.to_float (Int64.sub (now t) t.started_ns) /. 1e9
+
+(* {2 JSON snapshots} *)
+
+let fin v = if Float.is_finite v then Json.Float v else Json.Null
+
+let ms v = fin (1000.0 *. v)
+
+let latency_summary snap =
+  Json.Obj
+    [
+      ("mean", ms (Rolling.mean snap));
+      ("p50", ms (Rolling.quantile snap 0.50));
+      ("p95", ms (Rolling.quantile snap 0.95));
+      ("p99", ms (Rolling.quantile snap 0.99));
+      ("max", if snap.Rolling.count = 0 then Json.Null else ms snap.Rolling.max_v);
+    ]
+
+let sorted_ops t =
+  Mutex.lock t.mu;
+  let ops = Hashtbl.fold (fun k p acc -> (k, p) :: acc) t.ops [] in
+  Mutex.unlock t.mu;
+  List.sort (fun (a, _) (b, _) -> compare a b) ops
+
+let window_json t ops window =
+  let op_json (name, p) =
+    let lat = Rolling.snapshot ~window p.lat in
+    if lat.Rolling.count = 0 && Rolling.count ~window p.err = 0 then None
+    else
+      Some
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int lat.Rolling.count);
+              ("errors", Json.Int (Rolling.count ~window p.err));
+              ("rps", fin (Rolling.rate lat));
+              ("latency_ms", latency_summary lat);
+            ] )
+  in
+  Json.Obj
+    [
+      ("ops", Json.Obj (List.filter_map op_json ops));
+      ( "queue_wait_ms",
+        latency_summary (Rolling.snapshot ~window t.queue_wait) );
+    ]
+
+let metrics_json t =
+  let ops = sorted_ops t in
+  let totals =
+    List.map
+      (fun (name, p) ->
+        ( name,
+          Json.Obj
+            [ ("count", Json.Int p.total); ("errors", Json.Int p.total_errors) ]
+        ))
+      ops
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-metrics/1");
+      ("version", Json.Str Core.Version.string);
+      ("uptime_s", fin (uptime_s t));
+      ( "gauges",
+        Json.Obj
+          [
+            ("queue_depth", Json.Int (Atomic.get t.queue_depth));
+            ("queue_capacity", Json.Int t.queue_capacity);
+            ("in_flight", Json.Int (in_flight t));
+            ("workers", Json.Int t.workers);
+            ("connections", Json.Int (Atomic.get t.conns));
+          ] );
+      ( "windows",
+        Json.Obj
+          (List.map (fun (name, w) -> (name, window_json t ops w)) horizons) );
+      ("totals", Json.Obj [ ("ops", Json.Obj totals) ]) ;
+    ]
+
+let health_json t =
+  let saturated = queue_saturated t in
+  let wedged = wedged_workers t in
+  let reasons =
+    (if saturated then
+       [
+         Printf.sprintf "request queue saturated (%d/%d)"
+           (Atomic.get t.queue_depth) t.queue_capacity;
+       ]
+     else [])
+    @
+    if wedged > 0 then
+      [
+        Printf.sprintf "%d worker(s) busy longer than %d ms" wedged t.wedge_ms;
+      ]
+    else []
+  in
+  let ok = reasons = [] in
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-health/1");
+      ("version", Json.Str Core.Version.string);
+      ("status", Json.Str (if ok then "ok" else "degraded"));
+      ("ok", Json.Bool ok);
+      ("reasons", Json.List (List.map (fun r -> Json.Str r) reasons));
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int (Atomic.get t.queue_depth));
+            ("capacity", Json.Int t.queue_capacity);
+            ("saturated", Json.Bool saturated);
+          ] );
+      ("in_flight", Json.Int (in_flight t));
+      ("workers", Json.Int t.workers);
+      ("wedged_workers", Json.Int wedged);
+      ("uptime_s", fin (uptime_s t));
+    ]
+
+let spans_json () =
+  let span_json (s : Instrument.span_stat) =
+    let p50, p95 =
+      match Instrument.histogram s.Instrument.span_name with
+      | Some h when h.Instrument.count > 0 ->
+          (Instrument.quantile h 0.5, Instrument.quantile h 0.95)
+      | _ -> (Float.nan, Float.nan)
+    in
+    Json.Obj
+      [
+        ("name", Json.Str s.Instrument.span_name);
+        ("calls", Json.Int s.Instrument.calls);
+        ("total_s", fin s.Instrument.total_s);
+        ("max_s", fin s.Instrument.max_s);
+        ("p50_s", fin p50);
+        ("p95_s", fin p95);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-spans/1");
+      ("version", Json.Str Core.Version.string);
+      ("spans", Json.List (List.map span_json (Instrument.spans ())));
+    ]

@@ -1,0 +1,95 @@
+(** Live observability state of a serving process.
+
+    One value of this type holds everything the [metrics] and [health]
+    operations expose: per-operation rolling windows
+    ({!Gossip_util.Rolling} — one 300-slot window of 1-second slots per
+    op, snapshotted over the last 10s / 1m / 5m), cumulative per-op
+    totals, queue-depth / in-flight / connection gauges, and per-worker
+    busy stamps backing the wedged-worker detection.
+
+    All updates are cheap and safe from concurrent worker domains and
+    reader threads: rolling windows carry their own mutexes, gauges and
+    busy stamps are atomics.
+
+    Health semantics: the server is {e degraded} when the bounded queue
+    is saturated (depth ≥ capacity — new requests are being refused
+    with [queue_full]) or when any worker has been busy on one request
+    for longer than the wedge deadline ([wedge_ms], default 30s) —
+    liveness, not load: a wedged worker means requests can stall
+    indefinitely.  A degraded server still {e answers} [health] (the
+    reader thread evaluates it, bypassing the queue); readiness is the
+    consumer's decision based on [status]. *)
+
+type t
+
+(** [create ?clock ?wedge_ms ~workers ~queue_capacity ()] — fresh state
+    for a server with [workers] worker domains and a bounded queue of
+    [queue_capacity] (0 means "no queue": the saturation check is
+    disabled).  [wedge_ms] (default 30_000) is the busy deadline past
+    which a worker counts as wedged.  [clock] (default
+    {!Gossip_util.Instrument.now_ns}) drives the rolling windows and
+    busy stamps; injectable for tests. *)
+val create :
+  ?clock:(unit -> int64) ->
+  ?wedge_ms:int ->
+  workers:int ->
+  queue_capacity:int ->
+  unit ->
+  t
+
+(** {1 Feeding} *)
+
+(** [observe t ~op ~ok ~queue_wait_s ~service_s] records one answered
+    request: latency into the op's rolling window and cumulative
+    totals; [ok = false] also bumps the op's rolling and cumulative
+    error counts.  Call {e before} sending the reply, so a client that
+    has all its replies reads totals that already include them. *)
+val observe :
+  t -> op:string -> ok:bool -> queue_wait_s:float -> service_s:float -> unit
+
+(** [observe_rejected t ~op ~code] records a request answered with an
+    error at admission ([queue_full], [shutting_down]) or dequeue
+    ([deadline_exceeded]): counted as an error with zero service time. *)
+val observe_rejected : t -> op:string -> code:string -> unit
+
+(** [set_queue_depth t n] — the bounded queue's current occupancy. *)
+val set_queue_depth : t -> int -> unit
+
+(** [worker_busy t w] / [worker_idle t w] stamp worker [w] (0-based) as
+    having started / finished a job; the busy duration backs the wedge
+    check. *)
+val worker_busy : t -> int -> unit
+
+val worker_idle : t -> int -> unit
+
+(** [conn_opened t] / [conn_closed t] track the open-connection gauge. *)
+val conn_opened : t -> unit
+
+val conn_closed : t -> unit
+
+(** {1 Reading} *)
+
+(** [in_flight t] — number of workers currently busy on a job. *)
+val in_flight : t -> int
+
+(** [healthy t] — [true] iff neither degradation condition holds. *)
+val healthy : t -> bool
+
+(** [metrics_json t] — versioned snapshot (schema [gossip-metrics/1]):
+    uptime, gauges ([queue_depth], [queue_capacity], [in_flight],
+    [workers], [connections]), [windows.{10s,1m,5m}] with per-op
+    [{count, errors, rps, latency_ms: {mean,p50,p95,p99,max}}] and a
+    queue-wait histogram summary, and cumulative [totals] per op.
+    Documented in [doc/serving.md]. *)
+val metrics_json : t -> Gossip_util.Json.t
+
+(** [health_json t] — versioned probe result (schema [gossip-health/1]):
+    [status] (["ok"] | ["degraded"]), [ok] boolean, human-readable
+    [reasons] for the degradation, queue depth/capacity/saturation,
+    in-flight and wedged worker counts, uptime. *)
+val health_json : t -> Gossip_util.Json.t
+
+(** [spans_json ()] — the process's span aggregates as a versioned
+    snapshot (schema [gossip-spans/1]); a thin wrapper over
+    {!Gossip_util.Instrument.spans} with per-span p50/p95. *)
+val spans_json : unit -> Gossip_util.Json.t

@@ -9,6 +9,7 @@ type config = {
   queue_capacity : int;
   max_frame_bytes : int;
   default_timeout_ms : int option;
+  access_log : string option;
 }
 
 let default_config ~listen =
@@ -18,6 +19,7 @@ let default_config ~listen =
     queue_capacity = 64;
     max_frame_bytes = Wire.default_max_frame_bytes;
     default_timeout_ms = None;
+    access_log = None;
   }
 
 (* A connection is shared between its reader thread and any worker
@@ -27,6 +29,7 @@ let default_config ~listen =
    [Unix.shutdown] the socket (close(2) would not interrupt it on
    Linux); the actual close happens on the last release. *)
 type conn = {
+  conn_id : int;  (** minted at accept; the [conn] trace attribute *)
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
@@ -41,15 +44,22 @@ type conn = {
 type job = {
   conn : conn;
   request : Wire.request;
+  req_id : int;  (** process-unique, minted when the frame was accepted *)
+  admitted_ns : int64;  (** monotonic queue-entry stamp *)
   deadline_ns : int64 option;  (** monotonic, measured from admission *)
 }
 
 type t = {
   config : config;
   disp : Dispatch.t;
+  metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   queue : job Bounded_queue.t;
   stopping : bool Atomic.t;
+  req_counter : int Atomic.t;
+  conn_counter : int Atomic.t;
+  access_mu : Mutex.t;
+  mutable access_oc : out_channel option;
   mutable workers : unit Domain.t list;
   mutable accept_thread : Thread.t option;
   conns_mu : Mutex.t;
@@ -58,6 +68,52 @@ type t = {
   mutable drained : bool;
   drain_mu : Mutex.t;
 }
+
+(* --- request identity and observability plumbing --- *)
+
+let next_req_id t = Atomic.fetch_and_add t.req_counter 1
+
+let req_attrs ~req_id ~op ~conn_id =
+  [
+    ("req_id", Json.Int req_id);
+    ("op", Json.Str op);
+    ("conn", Json.Int conn_id);
+  ]
+
+(* One compact JSON object per answered request — the access log.  The
+   line is self-contained (wall timestamp, request identity, outcome,
+   queue-wait/service split in milliseconds, the client's echoed id), so
+   the file is greppable without the trace. *)
+let access_log t ~req_id ~conn_id ~op ~status ~queue_wait_s ~service_s ~id =
+  match t.access_oc with
+  | None -> ()
+  | Some oc ->
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("ts", Json.Float (Unix.gettimeofday ()));
+               ("req_id", Json.Int req_id);
+               ("conn", Json.Int conn_id);
+               ("op", Json.Str op);
+               ("status", Json.Str status);
+               ("queue_wait_ms", Json.Float (1000.0 *. queue_wait_s));
+               ("service_ms", Json.Float (1000.0 *. service_s));
+               ("id", id);
+             ])
+      in
+      Mutex.lock t.access_mu;
+      (try
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ -> ());
+      Mutex.unlock t.access_mu
+
+let note_queue_depth t =
+  let depth = Bounded_queue.length t.queue in
+  Metrics.set_queue_depth t.metrics depth;
+  Instrument.set_gauge "serve.queue_depth" (float_of_int depth)
 
 (* --- connection lifecycle --- *)
 
@@ -106,32 +162,75 @@ let send c json =
 
 (* --- worker pool --- *)
 
-let process_job t job =
-  Instrument.set_gauge "serve.queue_depth"
-    (float_of_int (Bounded_queue.length t.queue));
+let process_job t ~worker job =
+  note_queue_depth t;
   let req = job.request in
   let id = req.Wire.id in
+  let op = Wire.op_name req.Wire.op in
+  let conn_id = job.conn.conn_id in
   let now = Instrument.now_ns () in
+  let queue_wait_s =
+    Int64.to_float (Int64.sub now job.admitted_ns) /. 1e9
+  in
+  Instrument.observe "serve.queue_wait_seconds" queue_wait_s;
   let expired =
     match job.deadline_ns with Some d -> now > d | None -> false
   in
   if expired then begin
     Instrument.add "serve.rejected.deadline" 1;
+    Instrument.event "serve.reject"
+      ~attrs:
+        (req_attrs ~req_id:job.req_id ~op ~conn_id
+        @ [ ("code", Json.Str "deadline_exceeded") ]);
+    Metrics.observe_rejected t.metrics ~op ~code:"deadline_exceeded";
+    access_log t ~req_id:job.req_id ~conn_id ~op ~status:"deadline_exceeded"
+      ~queue_wait_s ~service_s:0.0 ~id;
     ignore
       (send job.conn
          (Wire.error_response ~id ~code:Wire.Deadline_exceeded
             ~message:"request expired before a worker picked it up"))
   end
   else begin
-    let t0 = Instrument.now_ns () in
-    let outcome =
-      Instrument.span "serve.request"
-        ~attrs:[ ("op", Json.Str (Wire.op_name req.Wire.op)) ]
-        (fun () -> Dispatch.eval t.disp req.Wire.op)
+    Metrics.worker_busy t.metrics worker;
+    (* request attributes are only consumed by the streaming trace;
+       skip building and installing them when no trace is attached so
+       the untraced hot path pays nothing for them *)
+    let tracing = Instrument.tracing () in
+    let attrs =
+      if tracing then
+        req_attrs ~req_id:job.req_id ~op ~conn_id
+        @ [
+            ( "queue_wait_ns",
+              Json.Int (Int64.to_int (Int64.sub now job.admitted_ns)) );
+          ]
+      else []
     in
-    let dt = Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9 in
-    Instrument.observe "serve.request_seconds" dt;
+    let t0 = Instrument.now_ns () in
+    (* ambient attributes: every span/event the evaluation triggers —
+       context lookups, norm solves, engine rounds — tags itself with
+       this request.  Safe: each worker domain runs exactly one thread. *)
+    let outcome =
+      Instrument.span "serve.request" ~attrs (fun () ->
+          if tracing then
+            Instrument.with_ambient_attrs
+              (req_attrs ~req_id:job.req_id ~op ~conn_id) (fun () ->
+                Dispatch.eval t.disp req.Wire.op)
+          else Dispatch.eval t.disp req.Wire.op)
+    in
+    let service_s =
+      Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9
+    in
+    Metrics.worker_idle t.metrics worker;
+    Instrument.observe "serve.request_seconds" service_s;
     Instrument.add "serve.requests" 1;
+    let ok, status =
+      match outcome with
+      | Ok _ -> (true, "ok")
+      | Error (code, _) -> (false, Wire.error_code_to_string code)
+    in
+    Metrics.observe t.metrics ~op ~ok ~queue_wait_s ~service_s;
+    access_log t ~req_id:job.req_id ~conn_id ~op ~status ~queue_wait_s
+      ~service_s ~id;
     ignore
       (send job.conn
          (match outcome with
@@ -140,11 +239,11 @@ let process_job t job =
   end;
   conn_release job.conn
 
-let worker_loop t () =
+let worker_loop t worker () =
   let rec go () =
     match Bounded_queue.pop t.queue with
     | Some job ->
-        process_job t job;
+        process_job t ~worker job;
         go ()
     | None -> ()
   in
@@ -164,27 +263,39 @@ let request_stop t =
 
 (* --- readers --- *)
 
-let admit t conn (req : Wire.request) =
+let admit t conn (req : Wire.request) ~req_id =
+  let op = Wire.op_name req.Wire.op in
   let timeout_ms =
     match req.Wire.timeout_ms with
     | Some _ as x -> x
     | None -> t.config.default_timeout_ms
   in
+  let admitted_ns = Instrument.now_ns () in
   let deadline_ns =
     Option.map
-      (fun ms ->
-        Int64.add (Instrument.now_ns ()) (Int64.of_int (ms * 1_000_000)))
+      (fun ms -> Int64.add admitted_ns (Int64.of_int (ms * 1_000_000)))
       timeout_ms
   in
   conn_retain_for_job conn;
-  let job = { conn; request = req; deadline_ns } in
+  let job = { conn; request = req; req_id; admitted_ns; deadline_ns } in
   match Bounded_queue.try_push t.queue job with
   | `Ok ->
-      Instrument.set_gauge "serve.queue_depth"
-        (float_of_int (Bounded_queue.length t.queue))
+      note_queue_depth t;
+      if Instrument.tracing () then
+        Instrument.event "serve.admit"
+          ~attrs:
+            (req_attrs ~req_id ~op ~conn_id:conn.conn_id
+            @ [ ("queue_depth", Json.Int (Bounded_queue.length t.queue)) ])
   | `Full ->
       conn_release conn;
       Instrument.add "serve.rejected.queue_full" 1;
+      Instrument.event "serve.reject"
+        ~attrs:
+          (req_attrs ~req_id ~op ~conn_id:conn.conn_id
+          @ [ ("code", Json.Str "queue_full") ]);
+      Metrics.observe_rejected t.metrics ~op ~code:"queue_full";
+      access_log t ~req_id ~conn_id:conn.conn_id ~op ~status:"queue_full"
+        ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
       ignore
         (send conn
            (Wire.error_response ~id:req.Wire.id ~code:Wire.Queue_full
@@ -193,10 +304,41 @@ let admit t conn (req : Wire.request) =
                    t.config.queue_capacity)))
   | `Closed ->
       conn_release conn;
+      Metrics.observe_rejected t.metrics ~op ~code:"shutting_down";
+      access_log t ~req_id ~conn_id:conn.conn_id ~op ~status:"shutting_down"
+        ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
       ignore
         (send conn
            (Wire.error_response ~id:req.Wire.id ~code:Wire.Shutting_down
               ~message:"server is draining"))
+
+(* The observability ops answer from the reader thread, bypassing the
+   queue and the worker pool: [health] must stay answerable when the
+   queue is saturated or every worker is wedged — that is exactly when
+   it matters — and the snapshots they serialize are cheap.  The span
+   carries explicit (not ambient) attributes because reader threads
+   share a domain. *)
+let eval_inline t (req : Wire.request) ~req_id ~conn_id =
+  let op = Wire.op_name req.Wire.op in
+  let attrs =
+    if Instrument.tracing () then
+      req_attrs ~req_id ~op ~conn_id @ [ ("queue_wait_ns", Json.Int 0) ]
+    else []
+  in
+  let t0 = Instrument.now_ns () in
+  let result =
+    Instrument.span "serve.request" ~attrs (fun () ->
+        match req.Wire.op with
+        | Wire.Metrics -> Metrics.metrics_json t.metrics
+        | Wire.Health -> Metrics.health_json t.metrics
+        | _ -> Metrics.spans_json ())
+  in
+  let service_s = Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9 in
+  Instrument.add "serve.requests" 1;
+  Metrics.observe t.metrics ~op ~ok:true ~queue_wait_s:0.0 ~service_s;
+  access_log t ~req_id ~conn_id ~op ~status:"ok" ~queue_wait_s:0.0 ~service_s
+    ~id:req.Wire.id;
+  Wire.ok_response ~id:req.Wire.id result
 
 let reader_loop t conn () =
   let max_bytes = t.config.max_frame_bytes in
@@ -220,6 +362,10 @@ let reader_loop t conn () =
         | Error e ->
             (* malformed input answers an error but the connection —
                still correctly framed — survives *)
+            Metrics.observe_rejected t.metrics ~op:"invalid" ~code:"bad_request";
+            access_log t ~req_id:(next_req_id t) ~conn_id:conn.conn_id
+              ~op:"invalid" ~status:"bad_request" ~queue_wait_s:0.0
+              ~service_s:0.0 ~id:Json.Null;
             ignore
               (send conn
                  (Wire.error_response ~id:Json.Null ~code:Wire.Bad_request
@@ -230,10 +376,22 @@ let reader_loop t conn () =
                 let id =
                   Option.value ~default:Json.Null (Json.member "id" frame)
                 in
+                Metrics.observe_rejected t.metrics ~op:"invalid"
+                  ~code:"bad_request";
+                access_log t ~req_id:(next_req_id t) ~conn_id:conn.conn_id
+                  ~op:"invalid" ~status:"bad_request" ~queue_wait_s:0.0
+                  ~service_s:0.0 ~id;
                 ignore
                   (send conn
                      (Wire.error_response ~id ~code:Wire.Bad_request
                         ~message:msg))
+            | Ok ({ Wire.op = Wire.Metrics | Wire.Health | Wire.Spans; _ } as
+                  req) ->
+                (* observability stays on even while draining *)
+                ignore
+                  (send conn
+                     (eval_inline t req ~req_id:(next_req_id t)
+                        ~conn_id:conn.conn_id))
             | Ok req when stop_requested t ->
                 ignore
                   (send conn
@@ -248,10 +406,11 @@ let reader_loop t conn () =
                   (send conn
                      (Wire.ok_response ~id:req.Wire.id
                         (Json.Obj [ ("stopping", Json.Bool true) ])))
-            | Ok req -> admit t conn req));
+            | Ok req -> admit t conn req ~req_id:(next_req_id t)));
         if not conn.dead then go ()
   in
   go ();
+  Metrics.conn_closed t.metrics;
   conn_release conn
 
 (* --- accept loop --- *)
@@ -273,8 +432,13 @@ let accept_loop t () =
           if stop_requested t then (try Unix.close fd with _ -> ())
           else begin
             Instrument.add "serve.accepted" 1;
+            Metrics.conn_opened t.metrics;
+            let conn_id = Atomic.fetch_and_add t.conn_counter 1 in
+            Instrument.event "serve.accept"
+              ~attrs:[ ("conn", Json.Int conn_id) ];
             let conn =
               {
+                conn_id;
                 fd;
                 ic = Unix.in_channel_of_descr fd;
                 oc = Unix.out_channel_of_descr fd;
@@ -305,7 +469,7 @@ let unlink_if_socket path =
   | _ -> ()
   | exception Unix.Unix_error _ -> ()
 
-let create ?dispatch (config : config) =
+let create ?dispatch ?metrics (config : config) =
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
   if config.queue_capacity < 1 then
     invalid_arg "Server.create: queue_capacity < 1";
@@ -314,7 +478,17 @@ let create ?dispatch (config : config) =
   (* a peer that disappears mid-reply must surface as EPIPE on the
      write, not kill the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let disp = match dispatch with Some d -> d | None -> Dispatch.create () in
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None ->
+        Metrics.create ~workers:config.workers
+          ~queue_capacity:config.queue_capacity ()
+  in
+  let disp =
+    match dispatch with Some d -> d | None -> Dispatch.create ~metrics ()
+  in
+  let access_oc = Option.map open_out config.access_log in
   let listen_fd =
     match config.listen with
     | Unix_socket path ->
@@ -344,9 +518,14 @@ let create ?dispatch (config : config) =
   {
     config;
     disp;
+    metrics;
     listen_fd;
     queue = Bounded_queue.create ~capacity:config.queue_capacity;
     stopping = Atomic.make false;
+    req_counter = Atomic.make 1;
+    conn_counter = Atomic.make 1;
+    access_mu = Mutex.create ();
+    access_oc;
     workers = [];
     accept_thread = None;
     conns_mu = Mutex.create ();
@@ -358,7 +537,7 @@ let create ?dispatch (config : config) =
 
 let start t =
   t.workers <-
-    List.init t.config.workers (fun _ -> Domain.spawn (worker_loop t));
+    List.init t.config.workers (fun w -> Domain.spawn (worker_loop t w));
   t.accept_thread <- Some (Thread.create (accept_loop t) ())
 
 let shutdown t =
@@ -384,6 +563,11 @@ let shutdown t =
         Mutex.unlock t.conns_mu;
         List.iter conn_kill conns;
         List.iter Thread.join readers;
+        (match t.access_oc with
+        | Some oc ->
+            t.access_oc <- None;
+            (try flush oc; close_out oc with Sys_error _ -> ())
+        | None -> ());
         match t.config.listen with
         | Unix_socket path -> unlink_if_socket path
         | Tcp _ -> ()
@@ -399,3 +583,4 @@ let join t =
   shutdown t
 
 let dispatch t = t.disp
+let metrics t = t.metrics

@@ -20,12 +20,28 @@
       daemon's SIGTERM/SIGINT handlers) stops accepting, lets the queue
       drain, joins the workers and closes every connection.
 
-    Telemetry: every request runs in a ["serve.request"] span tagged with
-    its operation, latencies land in the ["serve.request_seconds"]
-    histogram (p50/p95 via {!Gossip_util.Instrument}), queue occupancy on
-    the ["serve.queue_depth"] gauge, and the
+    Telemetry: every request is assigned a process-unique [req_id] when
+    its frame is parsed and runs in a ["serve.request"] span tagged
+    [req_id] / [op] / [conn] / [queue_wait_ns]; admission and refusal
+    are marked by ["serve.admit"] / ["serve.reject"] point events with
+    the same identity, so a JSONL trace reconstructs each request's
+    critical path (queue wait vs service).  During evaluation the same
+    attributes are installed as {e ambient}
+    ({!Gossip_util.Instrument.with_ambient_attrs}), so context lookups
+    and solver spans deep in the library tag themselves with the
+    request.  Latencies land in the ["serve.request_seconds"] and
+    ["serve.queue_wait_seconds"] histograms, queue occupancy on the
+    ["serve.queue_depth"] gauge, and the
     ["serve.accepted"]/["serve.requests"]/["serve.rejected.*"] counters
-    track admission. *)
+    track admission.  Independently of tracing, a {!Metrics.t} keeps
+    rolling per-op windows behind the [metrics] / [health] / [spans]
+    operations — those three are answered inline by the reader thread,
+    bypassing the queue, so they stay responsive exactly when the
+    queue is saturated.
+
+    When [config.access_log] is set, every answered request appends one
+    compact JSON line [{ts, req_id, conn, op, status, queue_wait_ms,
+    service_ms, id}] to that file (see doc/serving.md). *)
 
 type listen =
   | Unix_socket of string  (** path; unlinked on bind and on shutdown *)
@@ -38,18 +54,28 @@ type config = {
   max_frame_bytes : int;  (** per-frame size limit *)
   default_timeout_ms : int option;
       (** deadline applied to requests that carry no [timeout_ms] *)
+  access_log : string option;
+      (** when set, one JSON line per answered request is appended to
+          this file (truncated on open) *)
 }
 
 (** [default_config ~listen] — {!Gossip_util.Parallel.recommended_domains}
-    workers, queue capacity 64, 1 MiB frames, no default deadline. *)
+    workers, queue capacity 64, 1 MiB frames, no default deadline, no
+    access log. *)
 val default_config : listen:listen -> config
 
 type t
 
-(** [create ?dispatch config] binds and listens (so a subsequent client
-    [connect] cannot race the bind) but accepts nothing yet.
+(** [create ?dispatch ?metrics config] binds and listens (so a
+    subsequent client [connect] cannot race the bind) but accepts
+    nothing yet.  [metrics] (default: fresh, sized to the config)
+    receives every observation; pass your own to share it with an
+    embedding process.  When [dispatch] is omitted the server's
+    dispatcher is created over the same metrics value, so the
+    observability ops answer identically whether evaluated inline or
+    through the queue.
     @raise Unix.Unix_error when the address is unavailable. *)
-val create : ?dispatch:Dispatch.t -> config -> t
+val create : ?dispatch:Dispatch.t -> ?metrics:Metrics.t -> config -> t
 
 (** [start t] spawns the worker domains and the accept thread and
     returns immediately. *)
@@ -77,3 +103,7 @@ val join : t -> unit
 (** [dispatch t] — the dispatcher (hence context) this server evaluates
     with; useful for in-process tests. *)
 val dispatch : t -> Dispatch.t
+
+(** [metrics t] — the live observability state this server feeds; the
+    same value the [metrics] and [health] operations snapshot. *)
+val metrics : t -> Metrics.t

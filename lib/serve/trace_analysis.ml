@@ -1,0 +1,445 @@
+module Json = Gossip_util.Json
+
+(* Everything we know about one request id after the scan.  [admitted]
+   and [rejected] come from the serve.admit / serve.reject point events;
+   the queue-wait/service split comes from the serve.request span_end,
+   whose attributes carry queue_wait_ns and dur_ns.  [spans] collects
+   every OTHER span_end tagged with this req_id (via ambient
+   attributes): the request's waterfall, in trace order. *)
+type req = {
+  mutable r_op : string;
+  mutable r_conn : int;
+  mutable admitted : bool;
+  mutable rejected : string option;  (* rejection code *)
+  mutable queue_wait_ns : int option;
+  mutable service_ns : int option;
+  mutable start_mono : int option;  (* serve.request span start, mono ns *)
+  mutable r_spans : (string * int * int) list;  (* name, offset_ns, dur_ns *)
+  mutable lookups_hit : int;
+  mutable lookups_miss : int;
+}
+
+(* Per-(domain, span-name) begin/end balance; an imbalance means the
+   trace lost events or a span never closed. *)
+type balance = { mutable begins : int; mutable ends : int }
+
+type span_agg = {
+  mutable s_count : int;
+  mutable s_total_ns : float;
+  mutable s_max_ns : int;
+  mutable durs : int list;  (* all durations, ns; for exact quantiles *)
+}
+
+type t = {
+  mutable lines : int;
+  mutable events : int;
+  mutable parse_errors : int;
+  reqs : (int, req) Hashtbl.t;
+  spans : (string, span_agg) Hashtbl.t;
+  bal : (int * string, balance) Hashtbl.t;
+}
+
+let create () =
+  {
+    lines = 0;
+    events = 0;
+    parse_errors = 0;
+    reqs = Hashtbl.create 256;
+    spans = Hashtbl.create 64;
+    bal = Hashtbl.create 64;
+  }
+
+let int_field j k = Option.bind (Json.member k j) Json.to_int_opt
+let str_field j k = Option.bind (Json.member k j) Json.to_string_opt
+
+let req_for t id =
+  match Hashtbl.find_opt t.reqs id with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          r_op = "?";
+          r_conn = -1;
+          admitted = false;
+          rejected = None;
+          queue_wait_ns = None;
+          service_ns = None;
+          start_mono = None;
+          r_spans = [];
+          lookups_hit = 0;
+          lookups_miss = 0;
+        }
+      in
+      Hashtbl.add t.reqs id r;
+      r
+
+let agg_for t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some a -> a
+  | None ->
+      let a = { s_count = 0; s_total_ns = 0.0; s_max_ns = 0; durs = [] } in
+      Hashtbl.add t.spans name a;
+      a
+
+let bal_for t key =
+  match Hashtbl.find_opt t.bal key with
+  | Some b -> b
+  | None ->
+      let b = { begins = 0; ends = 0 } in
+      Hashtbl.add t.bal key b;
+      b
+
+let note_identity r j =
+  (match str_field j "op" with Some op -> r.r_op <- op | None -> ());
+  match int_field j "conn" with Some c -> r.r_conn <- c | None -> ()
+
+let ingest_json t j =
+  t.events <- t.events + 1;
+  let ev = Option.value ~default:"" (str_field j "ev") in
+  let name = Option.value ~default:"" (str_field j "name") in
+  let dom = Option.value ~default:0 (int_field j "dom") in
+  let req_id = int_field j "req_id" in
+  (match ev with
+  | "span_begin" ->
+      let b = bal_for t (dom, name) in
+      b.begins <- b.begins + 1
+  | "span_end" ->
+      let b = bal_for t (dom, name) in
+      b.ends <- b.ends + 1;
+      let dur = Option.value ~default:0 (int_field j "dur_ns") in
+      let a = agg_for t name in
+      a.s_count <- a.s_count + 1;
+      a.s_total_ns <- a.s_total_ns +. float_of_int dur;
+      if dur > a.s_max_ns then a.s_max_ns <- dur;
+      a.durs <- dur :: a.durs
+  | _ -> ());
+  match req_id with
+  | None -> ()
+  | Some id -> (
+      let r = req_for t id in
+      note_identity r j;
+      match (ev, name) with
+      | "point", "serve.admit" -> r.admitted <- true
+      | "span_begin", "serve.request" -> (
+          (* precedes every child span in the stream, so waterfall
+             offsets resolve on first pass *)
+          match int_field j "mono_ns" with
+          | Some m -> r.start_mono <- Some m
+          | None -> ())
+      | "point", "serve.reject" ->
+          r.rejected <- Some (Option.value ~default:"?" (str_field j "code"))
+      | "point", "context.lookup" -> (
+          match str_field j "outcome" with
+          | Some "hit" -> r.lookups_hit <- r.lookups_hit + 1
+          | Some "miss" -> r.lookups_miss <- r.lookups_miss + 1
+          | _ -> ())
+      | "span_end", "serve.request" ->
+          let dur = Option.value ~default:0 (int_field j "dur_ns") in
+          r.service_ns <- Some dur;
+          r.queue_wait_ns <- int_field j "queue_wait_ns";
+          (match int_field j "mono_ns" with
+          | Some m -> r.start_mono <- Some (m - dur)
+          | None -> ())
+      | "span_end", _ ->
+          let dur = Option.value ~default:0 (int_field j "dur_ns") in
+          let off =
+            match (int_field j "mono_ns", r.start_mono) with
+            | Some m, Some s -> m - dur - s
+            | _ -> 0
+          in
+          r.r_spans <- (name, off, dur) :: r.r_spans
+      | _ -> ())
+
+let ingest_line t line =
+  if String.trim line <> "" then begin
+    t.lines <- t.lines + 1;
+    match Json.of_string line with
+    | Ok j -> ingest_json t j
+    | Error _ -> t.parse_errors <- t.parse_errors + 1
+  end
+
+let of_lines lines =
+  let t = create () in
+  List.iter (ingest_line t) lines;
+  t
+
+let of_channel ic =
+  let t = create () in
+  (try
+     while true do
+       ingest_line t (input_line ic)
+     done
+   with End_of_file -> ());
+  t
+
+(* {2 Derived views} *)
+
+let fold_reqs t f init = Hashtbl.fold (fun id r acc -> f id r acc) t.reqs init
+
+let answered r = r.service_ns <> None && r.queue_wait_ns <> None
+let complete r = answered r || r.rejected <> None
+let zero_span r = r.admitted && r.service_ns = None && r.rejected = None
+
+let coverage t =
+  let seen = Hashtbl.length t.reqs in
+  if seen = 0 then 1.0
+  else
+    let ok = fold_reqs t (fun _ r n -> if complete r then n + 1 else n) 0 in
+    float_of_int ok /. float_of_int seen
+
+let unbalanced t =
+  Hashtbl.fold
+    (fun (dom, name) b acc ->
+      if b.begins <> b.ends then (dom, name, b.begins, b.ends) :: acc else acc)
+    t.bal []
+  |> List.sort compare
+
+let problems t =
+  let ub =
+    List.map
+      (fun (dom, name, b, e) ->
+        Printf.sprintf "unbalanced span %S on domain %d: %d begin(s), %d end(s)"
+          name dom b e)
+      (unbalanced t)
+  in
+  let zs = fold_reqs t (fun _ r n -> if zero_span r then n + 1 else n) 0 in
+  let zs =
+    if zs > 0 then
+      [ Printf.sprintf "%d admitted request(s) produced no serve.request span" zs ]
+    else []
+  in
+  let cov = coverage t in
+  let cv =
+    if Hashtbl.length t.reqs > 0 && cov < 0.99 then
+      [
+        Printf.sprintf
+          "request coverage %.1f%% < 99%%: %d of %d request ids reconstructed"
+          (100.0 *. cov)
+          (fold_reqs t (fun _ r n -> if complete r then n + 1 else n) 0)
+          (Hashtbl.length t.reqs);
+      ]
+    else []
+  in
+  ub @ zs @ cv
+
+(* {2 Summaries} *)
+
+let ms_of_ns ns = float_of_int ns /. 1e6
+
+(* Exact order statistics over the collected values — this is offline
+   analysis, not the live estimator. *)
+let summary_ms values_ns =
+  let a = Array.of_list values_ns in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Json.Null
+  else
+    let q p = ms_of_ns a.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+    let total = Array.fold_left (fun s v -> s +. float_of_int v) 0.0 a in
+    Json.Obj
+      [
+        ("mean", Json.Float (ms_of_ns (int_of_float (total /. float_of_int n))));
+        ("p50", Json.Float (q 0.50));
+        ("p95", Json.Float (q 0.95));
+        ("p99", Json.Float (q 0.99));
+        ("max", Json.Float (ms_of_ns a.(n - 1)));
+      ]
+
+let answered_reqs t =
+  fold_reqs t (fun id r acc -> if answered r then (id, r) :: acc else acc) []
+
+let by_op t =
+  let tbl = Hashtbl.create 16 in
+  fold_reqs t
+    (fun _ r () ->
+      if complete r then begin
+        let waits, svcs, count, rejected =
+          match Hashtbl.find_opt tbl r.r_op with
+          | Some x -> x
+          | None -> ([], [], 0, 0)
+        in
+        let entry =
+          match (r.queue_wait_ns, r.service_ns) with
+          | Some w, Some s -> (w :: waits, s :: svcs, count + 1, rejected)
+          | _ -> (waits, svcs, count + 1, rejected + 1)
+        in
+        Hashtbl.replace tbl r.r_op entry
+      end)
+    ();
+  Hashtbl.fold (fun op x acc -> (op, x) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let slowest t ~top_k =
+  answered_reqs t
+  |> List.sort (fun (_, a) (_, b) ->
+         compare
+           (Option.value ~default:0 b.service_ns
+           + Option.value ~default:0 b.queue_wait_ns)
+           (Option.value ~default:0 a.service_ns
+           + Option.value ~default:0 a.queue_wait_ns))
+  |> List.filteri (fun i _ -> i < top_k)
+
+let waterfall_json r =
+  Json.List
+    (List.rev_map
+       (fun (name, off, dur) ->
+         Json.Obj
+           [
+             ("span", Json.Str name);
+             ("offset_ms", Json.Float (ms_of_ns off));
+             ("dur_ms", Json.Float (ms_of_ns dur));
+           ])
+       r.r_spans)
+
+let to_json ?(top_k = 10) t =
+  let seen = Hashtbl.length t.reqs in
+  let n_complete = fold_reqs t (fun _ r n -> if complete r then n + 1 else n) 0 in
+  let n_rejected =
+    fold_reqs t (fun _ r n -> if r.rejected <> None then n + 1 else n) 0
+  in
+  let n_zero = fold_reqs t (fun _ r n -> if zero_span r then n + 1 else n) 0 in
+  let answered = answered_reqs t in
+  let waits = List.filter_map (fun (_, r) -> r.queue_wait_ns) answered in
+  let svcs = List.filter_map (fun (_, r) -> r.service_ns) answered in
+  let sum l = List.fold_left (fun a v -> a +. float_of_int v) 0.0 l in
+  let share =
+    let w = sum waits and s = sum svcs in
+    if w +. s > 0.0 then Json.Float (w /. (w +. s)) else Json.Null
+  in
+  let span_rows =
+    Hashtbl.fold (fun name a acc -> (name, a) :: acc) t.spans []
+    |> List.sort (fun (_, a) (_, b) -> compare b.s_total_ns a.s_total_ns)
+    |> List.map (fun (name, a) ->
+           Json.Obj
+             [
+               ("name", Json.Str name);
+               ("count", Json.Int a.s_count);
+               ("total_ms", Json.Float (a.s_total_ns /. 1e6));
+               ("max_ms", Json.Float (ms_of_ns a.s_max_ns));
+               ("summary_ms", summary_ms a.durs);
+             ])
+  in
+  let balance_rows =
+    List.map
+      (fun (dom, name, b, e) ->
+        Json.Obj
+          [
+            ("dom", Json.Int dom);
+            ("name", Json.Str name);
+            ("begins", Json.Int b);
+            ("ends", Json.Int e);
+          ])
+      (unbalanced t)
+  in
+  let op_rows =
+    List.map
+      (fun (op, (waits, svcs, count, rejected)) ->
+        ( op,
+          Json.Obj
+            [
+              ("count", Json.Int count);
+              ("rejected", Json.Int rejected);
+              ("queue_wait_ms", summary_ms waits);
+              ("service_ms", summary_ms svcs);
+            ] ))
+      (by_op t)
+  in
+  let slow_rows =
+    List.map
+      (fun (id, r) ->
+        Json.Obj
+          [
+            ("req_id", Json.Int id);
+            ("op", Json.Str r.r_op);
+            ("conn", Json.Int r.r_conn);
+            ( "queue_wait_ms",
+              Json.Float (ms_of_ns (Option.value ~default:0 r.queue_wait_ns)) );
+            ( "service_ms",
+              Json.Float (ms_of_ns (Option.value ~default:0 r.service_ns)) );
+            ("cache_hits", Json.Int r.lookups_hit);
+            ("cache_misses", Json.Int r.lookups_miss);
+            ("waterfall", waterfall_json r);
+          ])
+      (slowest t ~top_k)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-trace-report/1");
+      ("version", Json.Str Core.Version.string);
+      ( "lines",
+        Json.Obj
+          [
+            ("total", Json.Int t.lines);
+            ("events", Json.Int t.events);
+            ("parse_errors", Json.Int t.parse_errors);
+          ] );
+      ("spans", Json.List span_rows);
+      ( "span_balance",
+        Json.Obj
+          [
+            ("balanced", Json.Bool (balance_rows = []));
+            ("unbalanced", Json.List balance_rows);
+          ] );
+      ( "requests",
+        Json.Obj
+          [
+            ("seen", Json.Int seen);
+            ("complete", Json.Int n_complete);
+            ("rejected", Json.Int n_rejected);
+            ("zero_span", Json.Int n_zero);
+            ("coverage", Json.Float (coverage t));
+            ("queue_wait_ms", summary_ms waits);
+            ("service_ms", summary_ms svcs);
+            ("queue_wait_share", share);
+          ] );
+      ("by_op", Json.Obj op_rows);
+      ("slowest", Json.List slow_rows);
+      ("problems", Json.List (List.map (fun p -> Json.Str p) (problems t)));
+    ]
+
+let pp ?(top_k = 10) ppf t =
+  let fp fmt = Format.fprintf ppf fmt in
+  fp "trace: %d lines, %d events, %d parse error(s)@." t.lines t.events
+    t.parse_errors;
+  let seen = Hashtbl.length t.reqs in
+  let n_complete = fold_reqs t (fun _ r n -> if complete r then n + 1 else n) 0 in
+  let n_rejected =
+    fold_reqs t (fun _ r n -> if r.rejected <> None then n + 1 else n) 0
+  in
+  fp "requests: %d seen, %d complete (%d rejected), coverage %.1f%%@." seen
+    n_complete n_rejected
+    (100.0 *. coverage t);
+  let answered = answered_reqs t in
+  let waits = List.filter_map (fun (_, r) -> r.queue_wait_ns) answered in
+  let svcs = List.filter_map (fun (_, r) -> r.service_ns) answered in
+  let sum l = List.fold_left (fun a v -> a +. float_of_int v) 0.0 l in
+  let w = sum waits and s = sum svcs in
+  if w +. s > 0.0 then
+    fp "latency split: %.1f%% queue wait, %.1f%% service@."
+      (100.0 *. w /. (w +. s))
+      (100.0 *. s /. (w +. s));
+  fp "@.per-op:@.";
+  List.iter
+    (fun (op, (waits, svcs, count, rejected)) ->
+      let mean l =
+        match l with
+        | [] -> 0.0
+        | l -> sum l /. float_of_int (List.length l) /. 1e6
+      in
+      fp "  %-10s %6d req  %4d rejected  wait %8.3f ms  service %8.3f ms@." op
+        count rejected (mean waits) (mean svcs))
+    (by_op t);
+  fp "@.slowest %d:@." top_k;
+  List.iter
+    (fun (id, r) ->
+      fp "  #%-6d %-10s wait %8.3f ms  service %8.3f ms  (%d hit / %d miss)@."
+        id r.r_op
+        (ms_of_ns (Option.value ~default:0 r.queue_wait_ns))
+        (ms_of_ns (Option.value ~default:0 r.service_ns))
+        r.lookups_hit r.lookups_miss)
+    (slowest t ~top_k);
+  match problems t with
+  | [] -> fp "@.no problems detected@."
+  | ps ->
+      fp "@.problems:@.";
+      List.iter (fun p -> fp "  - %s@." p) ps

@@ -1,0 +1,53 @@
+(** Offline analysis of a JSONL trace written by a serving process.
+
+    The server tags every request's spans and events with its [req_id]
+    (see {!Server}); this module ingests the resulting trace
+    ([--trace-out] / {!Gossip_util.Instrument.set_trace_file}) and
+    reconstructs per-request critical paths — how long each request
+    waited in the bounded queue versus how long a worker actually
+    computed, which cached artifacts it touched, where the slow ones
+    spent their time.
+
+    The analyzer is deliberately tolerant: lines that fail to parse are
+    counted, not fatal, and spans from non-request activity (startup,
+    benchmarks sharing the file) aggregate normally without confusing
+    request accounting.
+
+    [tools/trace_report] is the command-line face of this module; CI
+    runs it with [--check] over the loadgen trace. *)
+
+type t
+
+(** [of_lines lines] ingests one trace, one JSONL line per element
+    (empty lines are skipped). *)
+val of_lines : string list -> t
+
+(** [of_channel ic] reads [ic] to EOF and ingests it. *)
+val of_channel : in_channel -> t
+
+(** {1 Health of the trace itself} *)
+
+(** [problems t] — human-readable defects that make the trace
+    untrustworthy, empty when sound:
+    - a span name whose [span_begin] / [span_end] counts differ on some
+      domain (lost or torn spans);
+    - requests that were admitted but produced no [serve.request] span
+      at all (zero-span requests);
+    - request coverage below 99% — fewer than 99% of the request ids
+      seen in the trace could be reconstructed as either answered
+      (span with a queue-wait/service split) or rejected. *)
+val problems : t -> string list
+
+(** {1 Reports} *)
+
+(** [to_json ?top_k t] — versioned report (schema
+    [gossip-trace-report/1]): line counts, per-span aggregates,
+    span-balance table, request reconstruction summary with
+    queue-wait / service quantiles and the queue-wait share of total
+    latency, per-op breakdown, the [top_k] (default 10) slowest
+    requests each with its span waterfall, and {!problems}.  Schema
+    documented in [doc/telemetry.md]. *)
+val to_json : ?top_k:int -> t -> Gossip_util.Json.t
+
+(** [pp ?top_k ppf t] — the same report for humans. *)
+val pp : ?top_k:int -> Format.formatter -> t -> unit

@@ -11,6 +11,9 @@ type op =
   | Version
   | Shutdown
   | Stats
+  | Metrics
+  | Health
+  | Spans
   | Sleep of { ms : int }
   | Tables of { s_max : int; ss : int list }
   | Bound of { net : net; s : int option; full_duplex : bool }
@@ -22,6 +25,9 @@ let op_name = function
   | Version -> "version"
   | Shutdown -> "shutdown"
   | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Health -> "health"
+  | Spans -> "spans"
   | Sleep _ -> "sleep"
   | Tables _ -> "tables"
   | Bound _ -> "bound"
@@ -86,6 +92,9 @@ let parse_op op params =
   | "version" -> Ok Version
   | "shutdown" -> Ok Shutdown
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
+  | "health" -> Ok Health
+  | "spans" -> Ok Spans
   | "sleep" ->
       let* ms = int_field params "ms" ~min:0 ~max:60_000 in
       Ok (Sleep { ms })
@@ -170,7 +179,7 @@ let net_to_fields { family; dim; degree } =
   ]
 
 let op_params = function
-  | Ping | Version | Shutdown | Stats -> []
+  | Ping | Version | Shutdown | Stats | Metrics | Health | Spans -> []
   | Sleep { ms } -> [ ("ms", Json.Int ms) ]
   | Tables { s_max; ss } ->
       [

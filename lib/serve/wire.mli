@@ -38,6 +38,21 @@ type op =
   | Version  (** result [{"version": ...}] *)
   | Shutdown  (** acknowledge, then drain the server gracefully *)
   | Stats  (** cache + metrics snapshot of the serving process *)
+  | Metrics
+      (** live rolling-window metrics: per-op throughput, error counts
+          and latency p50/p95/p99 over the last 10s/1m/5m, plus queue
+          and in-flight gauges (schema [gossip-metrics/1]).  Answered by
+          the reader thread, never queued — still observable when the
+          queue is saturated. *)
+  | Health
+      (** readiness/liveness probe (schema [gossip-health/1]): status
+          [ok] or [degraded] (queue saturated, or a worker wedged past
+          the wedge deadline).  Answered by the reader thread. *)
+  | Spans
+      (** span aggregates of the serving process (schema
+          [gossip-spans/1]); populated when span aggregation is on
+          ([--trace] / a streaming trace).  Answered by the reader
+          thread. *)
   | Sleep of { ms : int }
       (** hold a worker for [ms] milliseconds; a testing aid for the
           backpressure and deadline paths *)

@@ -1,4 +1,6 @@
-external monotonic_ns : unit -> int64 = "gossip_monotonic_ns"
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "gossip_monotonic_ns" "gossip_monotonic_ns_unboxed"
+[@@noalloc]
 
 let now_ns = monotonic_ns
 
@@ -80,6 +82,23 @@ let () = at_exit close_sink
 
 let domain_id () = (Domain.self () :> int)
 
+(* Ambient attributes: a per-domain stack of attribute lists that every
+   span/event emitted by that domain attaches automatically.  The
+   serving layer's worker domains scope a request's [req_id]/[op]/[conn]
+   here, so the spans of artifact builders deep inside the analysis
+   pipeline tag themselves with the request that triggered them without
+   any plumbing.  Domain-local, not thread-local: only safe to set from
+   a domain running a single thread (worker domains are). *)
+let ambient_key : (string * Json.t) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let ambient_attrs () = Domain.DLS.get ambient_key
+
+let with_ambient_attrs attrs f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key (attrs @ prev);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
+
 let emit fields =
   match Atomic.get sink with
   | None -> ()
@@ -90,14 +109,20 @@ let emit fields =
           output_char oc '\n';
           flush oc)
 
-(* Wall clock for event timestamps only; all durations are monotonic. *)
+(* Wall clock for event timestamps only; all durations are monotonic.
+   Explicit attributes win over ambient ones of the same name. *)
 let base_fields ev name attrs =
+  let ambient =
+    match Domain.DLS.get ambient_key with
+    | [] -> []
+    | amb -> List.filter (fun (k, _) -> not (List.mem_assoc k attrs)) amb
+  in
   ("ev", Json.Str ev)
   :: ("name", Json.Str name)
   :: ("ts", Json.Float (Unix.gettimeofday ()))
   :: ("mono_ns", Json.Int (Int64.to_int (monotonic_ns ())))
   :: ("dom", Json.Int (domain_id ()))
-  :: attrs
+  :: (attrs @ ambient)
 
 let event ?(attrs = []) name =
   if tracing () then emit (base_fields "point" name attrs)

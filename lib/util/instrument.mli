@@ -74,6 +74,20 @@ val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
     worker start-up. *)
 val event : ?attrs:(string * Json.t) list -> string -> unit
 
+(** [with_ambient_attrs attrs f] runs [f ()] with [attrs] pushed onto
+    the calling {e domain}'s ambient attribute stack: every span and
+    event the domain emits inside [f] carries them in addition to its
+    own attributes (explicit attributes win on a name clash).  This is
+    how the serving layer threads [req_id]/[op]/[conn] through to the
+    artifact-builder spans a request triggers.  Domain-local, not
+    thread-local — only use from a domain running a single thread, or
+    the attributes may leak across sys-thread interleavings. *)
+val with_ambient_attrs : (string * Json.t) list -> (unit -> 'a) -> 'a
+
+(** [ambient_attrs ()] — the calling domain's current ambient stack,
+    outermost scope last. *)
+val ambient_attrs : unit -> (string * Json.t) list
+
 (** {1 Metrics registry (unconditional)} *)
 
 (** [add name k] adds [k] to counter [name] (created at 0).  Use for

@@ -16,3 +16,13 @@ CAMLprim value gossip_monotonic_ns(value unit)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
 }
+
+/* Unboxed fast path for native code: no caml_copy_int64 allocation, no
+ * generic C-call prologue.  clock_gettime neither allocates nor raises,
+ * so the OCaml side declares it [@@noalloc]. */
+CAMLprim int64_t gossip_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}

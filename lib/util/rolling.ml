@@ -1,0 +1,176 @@
+let default_bounds =
+  [|
+    1e-6; 3.16e-6; 1e-5; 3.16e-5; 1e-4; 3.16e-4; 1e-3; 3.16e-3; 1e-2;
+    3.16e-2; 1e-1; 3.16e-1; 1.0; 3.16; 10.0;
+  |]
+
+(* Same stub as {!Instrument.monotonic_ns}; redeclared here so the
+   default-clock hot path is a direct unboxed call instead of an
+   indirect boxed call through a stored closure. *)
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "gossip_monotonic_ns" "gossip_monotonic_ns_unboxed"
+[@@noalloc]
+
+(* Slot [i] of the arrays below holds data for the absolute slot index
+   [epoch.(i)] (monotonic time divided by [slot_ns]); since absolute
+   indices map to array positions modulo [slots], a slot is stale —
+   and recycled on the next write — exactly when its epoch no longer
+   matches the index the current time maps there.  [counts] includes
+   [add]s; the histogram buckets hold only [observe]d values, so
+   quantiles and means are over values alone. *)
+type t = {
+  clock : unit -> int64;
+  default_clock : bool;  (* take the direct [monotonic_ns] fast path *)
+  slot_ns : int64;
+  slot_ns_i : int;  (* the same value; slot indices use int division *)
+  slots : int;
+  bounds : float array;
+  mu : Mutex.t;
+  epoch : int array;
+  counts : int array;
+  sums : float array;
+  lows : float array;
+  highs : float array;
+  buckets : int array array;
+}
+
+let create ?clock ?(bounds = default_bounds) ~slot_ns ~slots () =
+  if slots < 1 then invalid_arg "Rolling.create: slots < 1";
+  if Int64.compare slot_ns 1L < 0 then invalid_arg "Rolling.create: slot_ns < 1";
+  let default_clock = clock = None in
+  let clock = match clock with Some c -> c | None -> Instrument.now_ns in
+  {
+    clock;
+    default_clock;
+    slot_ns;
+    slot_ns_i = Int64.to_int slot_ns;
+    slots;
+    bounds = Array.copy bounds;
+    mu = Mutex.create ();
+    epoch = Array.make slots (-1);
+    counts = Array.make slots 0;
+    sums = Array.make slots 0.0;
+    lows = Array.make slots Float.infinity;
+    highs = Array.make slots Float.neg_infinity;
+    buckets = Array.init slots (fun _ -> Array.make (Array.length bounds + 1) 0);
+  }
+
+let now t = if t.default_clock then monotonic_ns () else t.clock ()
+let abs_slot t = Int64.to_int (now t) / t.slot_ns_i
+
+(* Caller holds [t.mu]. *)
+let slot_for t abs =
+  let i = abs mod t.slots in
+  if t.epoch.(i) <> abs then begin
+    t.epoch.(i) <- abs;
+    t.counts.(i) <- 0;
+    t.sums.(i) <- 0.0;
+    t.lows.(i) <- Float.infinity;
+    t.highs.(i) <- Float.neg_infinity;
+    Array.fill t.buckets.(i) 0 (Array.length t.buckets.(i)) 0
+  end;
+  i
+
+let bucket_of bounds v =
+  let nb = Array.length bounds in
+  let rec go i = if i >= nb || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe_at t ~now_ns v =
+  let abs = Int64.to_int now_ns / t.slot_ns_i in
+  Mutex.lock t.mu;
+  let i = slot_for t abs in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sums.(i) <- t.sums.(i) +. v;
+  if v < t.lows.(i) then t.lows.(i) <- v;
+  if v > t.highs.(i) then t.highs.(i) <- v;
+  let b = bucket_of t.bounds v in
+  t.buckets.(i).(b) <- t.buckets.(i).(b) + 1;
+  Mutex.unlock t.mu
+
+let observe t v = observe_at t ~now_ns:(now t) v
+
+let add_at t ~now_ns k =
+  let abs = Int64.to_int now_ns / t.slot_ns_i in
+  Mutex.lock t.mu;
+  let i = slot_for t abs in
+  t.counts.(i) <- t.counts.(i) + k;
+  Mutex.unlock t.mu
+
+let add t k = add_at t ~now_ns:(now t) k
+
+type snapshot = {
+  window_s : float;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  bounds : float array;
+  bucket_counts : int array;
+}
+
+let snapshot ?window t =
+  let window =
+    match window with None -> t.slots | Some w -> max 1 (min w t.slots)
+  in
+  let now_abs = abs_slot t in
+  let oldest = now_abs - window + 1 in
+  let acc_count = ref 0
+  and acc_sum = ref 0.0
+  and acc_lo = ref Float.infinity
+  and acc_hi = ref Float.neg_infinity in
+  let acc_buckets = Array.make (Array.length t.bounds + 1) 0 in
+  Mutex.lock t.mu;
+  for i = 0 to t.slots - 1 do
+    if t.epoch.(i) >= oldest && t.epoch.(i) <= now_abs then begin
+      acc_count := !acc_count + t.counts.(i);
+      acc_sum := !acc_sum +. t.sums.(i);
+      acc_lo := Float.min !acc_lo t.lows.(i);
+      acc_hi := Float.max !acc_hi t.highs.(i);
+      Array.iteri (fun b c -> acc_buckets.(b) <- acc_buckets.(b) + c) t.buckets.(i)
+    end
+  done;
+  Mutex.unlock t.mu;
+  {
+    window_s = float_of_int window *. Int64.to_float t.slot_ns /. 1e9;
+    count = !acc_count;
+    sum = !acc_sum;
+    min_v = !acc_lo;
+    max_v = !acc_hi;
+    bounds = t.bounds;
+    bucket_counts = acc_buckets;
+  }
+
+let count ?window t = (snapshot ?window t).count
+
+let rate s = if s.window_s <= 0.0 then Float.nan else float_of_int s.count /. s.window_s
+
+let mean s =
+  let values = Array.fold_left ( + ) 0 s.bucket_counts in
+  if values = 0 then Float.nan else s.sum /. float_of_int values
+
+(* Same estimator as {!Instrument.quantile}, on the merged buckets:
+   interpolate inside the bucket holding the target rank, using the
+   observed min as the floor of the first bucket and the observed max
+   as the ceiling of the overflow bucket. *)
+let quantile s q =
+  let n = Array.fold_left ( + ) 0 s.bucket_counts in
+  if n = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int n in
+    let nb = Array.length s.bounds in
+    let rec go i cum =
+      if i > nb then s.max_v
+      else
+        let c = s.bucket_counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo = if i = 0 then s.min_v else s.bounds.(i - 1) in
+          let hi = if i = nb then s.max_v else s.bounds.(i) in
+          let frac = (target -. cum) /. float_of_int c in
+          Float.min s.max_v (Float.max s.min_v (lo +. ((hi -. lo) *. frac)))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0.0
+  end

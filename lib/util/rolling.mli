@@ -1,0 +1,92 @@
+(** Fixed-slot sliding windows over counters and latency histograms.
+
+    A rolling window divides time into [slots] consecutive slots of
+    [slot_ns] nanoseconds each and keeps one accumulator per slot; an
+    observation lands in the slot covering the current monotonic time,
+    lazily recycling whatever stale slot occupied that array position.
+    Reading merges the slots that fall inside the requested window, so a
+    snapshot over the last [k] slots reflects roughly the last
+    [k * slot_ns] nanoseconds of traffic — old observations age out
+    slot by slot, with no background thread and no per-observation
+    allocation.
+
+    One window can serve several horizons: the serving layer keeps a
+    single 300-slot window of 1-second slots per operation and snapshots
+    it over the last 10 / 60 / 300 slots for its 10s / 1m / 5m metrics.
+
+    Each window is protected by its own mutex, making observations from
+    concurrent worker domains safe and cheap (the critical section is a
+    handful of array writes).  The clock is injectable for tests;
+    production windows run on {!Instrument.now_ns}. *)
+
+type t
+
+(** Half-decade latency buckets, 1 µs .. 10 s — the same edges as the
+    {!Instrument} default, so rolling quantiles and lifetime quantiles
+    are comparable. *)
+val default_bounds : float array
+
+(** [create ?clock ?bounds ~slot_ns ~slots ()] — an empty window of
+    [slots] slots of [slot_ns] nanoseconds each.  [bounds] are the
+    histogram bucket upper edges (default {!default_bounds});
+    observations above the last edge land in an overflow bucket.
+    [clock] (default {!Instrument.now_ns}) is read at every observation
+    and snapshot.
+    @raise Invalid_argument if [slots < 1] or [slot_ns < 1]. *)
+val create :
+  ?clock:(unit -> int64) ->
+  ?bounds:float array ->
+  slot_ns:int64 ->
+  slots:int ->
+  unit ->
+  t
+
+(** [observe t v] records value [v] (a latency in seconds, typically)
+    into the current slot: count, sum, min/max and histogram bucket. *)
+val observe : t -> float -> unit
+
+(** [add t k] bumps the current slot's count by [k] without recording a
+    value — a pure event counter (throughput, errors). *)
+val add : t -> int -> unit
+
+(** [observe_at t ~now_ns v] / [add_at t ~now_ns k] — as {!observe} /
+    {!add} but with the clock sample supplied by the caller, so a hot
+    path updating several windows per event pays for one clock read.
+    [now_ns] must come from the same (monotonic) clock the window was
+    created with. *)
+val observe_at : t -> now_ns:int64 -> float -> unit
+
+val add_at : t -> now_ns:int64 -> int -> unit
+
+(** Merged view over the most recent slots.  [min_v] is [+inf] and
+    [max_v] is [-inf] when [count = 0]. *)
+type snapshot = {
+  window_s : float;  (** seconds the merged slots span *)
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  bounds : float array;
+  bucket_counts : int array;  (** one longer than [bounds]: overflow last *)
+}
+
+(** [snapshot ?window t] merges the slots whose time range intersects
+    the last [window] slots (default: all of them), including the
+    current partially-filled slot.  [window] is clamped to
+    [\[1, slots\]]. *)
+val snapshot : ?window:int -> t -> snapshot
+
+(** [count ?window t] — just the merged count. *)
+val count : ?window:int -> t -> int
+
+(** [rate s] — [count /. window_s], events per second over the window. *)
+val rate : snapshot -> float
+
+(** [mean s] — [sum /. count]; NaN when empty. *)
+val mean : snapshot -> float
+
+(** [quantile s q] estimates the [q]-quantile by linear interpolation
+    inside the bucket holding the target rank, clamped to the observed
+    [min_v]/[max_v] (the same estimator as {!Instrument.quantile}).  NaN
+    when empty, or when the window holds only [add]s (no values). *)
+val quantile : snapshot -> float -> float

@@ -192,9 +192,47 @@ let test_create_validation () =
   check "no domains by default" true
     (Context.domains (Context.create ()) = None)
 
+let test_stats_by_kind () =
+  let ctx = Context.create () in
+  let g = Families.hypercube 3 in
+  ignore (Context.diameter ctx g);
+  ignore (Context.diameter ctx g);
+  let by_kind = Context.stats_by_kind ctx in
+  (match List.assoc_opt "diameter" by_kind with
+  | Some k ->
+      check_int "diameter hits" 1 k.Context.k_hits;
+      check_int "diameter misses" 1 k.Context.k_misses;
+      check_int "diameter entries" 1 k.Context.k_entries
+  | None -> Alcotest.fail "no diameter shelf in stats_by_kind");
+  (* untouched shelves report zeros, and the per-kind rows sum to the
+     global counters *)
+  (match List.assoc_opt "norm" by_kind with
+  | Some k ->
+      check_int "norm untouched" 0 (k.Context.k_hits + k.Context.k_misses)
+  | None -> Alcotest.fail "no norm shelf in stats_by_kind");
+  let s = Context.stats ctx in
+  let sum f = List.fold_left (fun a (_, k) -> a + f k) 0 by_kind in
+  check_int "kind hits sum to total" s.Context.hits
+    (sum (fun k -> k.Context.k_hits));
+  check_int "kind misses sum to total" s.Context.misses
+    (sum (fun k -> k.Context.k_misses));
+  (* the JSON snapshot carries the same breakdown *)
+  let module J = Gossip_util.Json in
+  let j = Context.stats_json ctx in
+  let dig path j =
+    List.fold_left
+      (fun acc k -> Option.bind acc (J.member k))
+      (Some j) path
+  in
+  check "stats_json by_kind diameter hits" true
+    (dig [ "by_kind"; "diameter"; "hits" ] j = Some (J.Int 1));
+  check "stats_json by_kind diameter misses" true
+    (dig [ "by_kind"; "diameter"; "misses" ] j = Some (J.Int 1))
+
 let suite =
   [
     ("norm cache hit on repeated lambda", `Quick, test_norm_cache_hit);
+    ("stats by kind", `Quick, test_stats_by_kind);
     ("equal-size graphs do not collide", `Quick,
       test_distinct_graphs_no_collision);
     ("protocol fingerprint distinguishes", `Quick,

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "systolic_gossip"
     [
       ("util", Test_util.suite);
+      ("rolling", Test_rolling.suite);
       ("telemetry", Test_telemetry.suite);
       ("linalg", Test_linalg.suite);
       ("topology", Test_topology.suite);

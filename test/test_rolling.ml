@@ -1,0 +1,163 @@
+(* Util.Rolling: slot rotation at boundaries, quantile estimation on
+   known inputs, caller-supplied clock samples, and concurrent
+   observers from multiple domains. *)
+
+module Rolling = Gossip_util.Rolling
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let close ?(eps = 1e-9) what a b =
+  check (Printf.sprintf "%s: %g ~ %g" what a b) true (Float.abs (a -. b) <= eps)
+
+(* A window on a hand-cranked clock: 4 slots of 1000 ns. *)
+let manual () =
+  let t_ref = ref 0L in
+  let w = Rolling.create ~clock:(fun () -> !t_ref) ~slot_ns:1000L ~slots:4 () in
+  (w, t_ref)
+
+let test_empty () =
+  let w, _ = manual () in
+  let s = Rolling.snapshot w in
+  check_int "count" 0 s.Rolling.count;
+  close "sum" s.Rolling.sum 0.0;
+  check "min is +inf" true (s.Rolling.min_v = Float.infinity);
+  check "max is -inf" true (s.Rolling.max_v = Float.neg_infinity);
+  check "mean NaN" true (Float.is_nan (Rolling.mean s));
+  check "quantile NaN" true (Float.is_nan (Rolling.quantile s 0.5));
+  close "window spans 4 slots" s.Rolling.window_s 4e-6
+
+let test_rotation_at_slot_boundaries () =
+  let w, clock = manual () in
+  (* one observation per slot, at the last tick of each *)
+  clock := 999L;
+  Rolling.observe w 1.0;
+  clock := 1000L;
+  (* first tick of slot 1: the boundary separates the two *)
+  Rolling.observe w 2.0;
+  check_int "window=1 sees only the current slot" 1 (Rolling.count ~window:1 w);
+  check_int "window=2 sees both" 2 (Rolling.count ~window:2 w);
+  clock := 2500L;
+  Rolling.observe w 3.0;
+  clock := 3999L;
+  Rolling.observe w 4.0;
+  check_int "all four slots live" 4 (Rolling.count w);
+  (* slot 4 reuses array position 0 and must recycle the 1.0 from t=999 *)
+  clock := 4000L;
+  Rolling.observe w 5.0;
+  let s = Rolling.snapshot w in
+  check_int "oldest slot aged out" 4 s.Rolling.count;
+  close "recycled slot's value gone from the sum" s.Rolling.sum
+    (2.0 +. 3.0 +. 4.0 +. 5.0);
+  close "min is from the surviving slots" s.Rolling.min_v 2.0;
+  (* jumping far ahead stales every slot *)
+  clock := 100_000L;
+  check_int "long silence empties the window" 0 (Rolling.count w)
+
+let test_add_only_counters () =
+  let w, clock = manual () in
+  Rolling.add w 5;
+  clock := 1000L;
+  Rolling.add w 7;
+  let s = Rolling.snapshot w in
+  check_int "adds accumulate" 12 s.Rolling.count;
+  check "no values, no quantile" true (Float.is_nan (Rolling.quantile s 0.5));
+  close "rate over the 4-slot window" (Rolling.rate s) (12.0 /. 4e-6)
+
+let test_quantiles_known_inputs () =
+  let w, _ = manual () in
+  (* a single repeated value: every quantile collapses onto it, because
+     the estimator clamps interpolation to the observed min/max *)
+  for _ = 1 to 100 do
+    Rolling.observe w 0.5
+  done;
+  let s = Rolling.snapshot w in
+  close "p50 of constant" (Rolling.quantile s 0.5) 0.5;
+  close "p99 of constant" (Rolling.quantile s 0.99) 0.5;
+  close "mean of constant" (Rolling.mean s) 0.5;
+  (* bimodal: 50 fast (2 ms) + 50 slow (200 ms).  Ranks below the
+     midpoint land in the fast bucket, above it in the slow bucket. *)
+  let w2, _ = manual () in
+  for _ = 1 to 50 do
+    Rolling.observe w2 0.002
+  done;
+  for _ = 1 to 50 do
+    Rolling.observe w2 0.2
+  done;
+  let s2 = Rolling.snapshot w2 in
+  close "bimodal mean" (Rolling.mean s2) 0.101;
+  close "bimodal min" s2.Rolling.min_v 0.002;
+  close "bimodal max" s2.Rolling.max_v 0.2;
+  let p25 = Rolling.quantile s2 0.25 and p75 = Rolling.quantile s2 0.75 in
+  check "p25 in the fast mode" true (p25 >= 0.002 && p25 <= 0.00316);
+  check "p75 in the slow mode" true (p75 >= 0.1 && p75 <= 0.2);
+  check "quantiles ordered" true (p25 < p75)
+
+let test_observe_at_shares_clock_sample () =
+  let w, clock = manual () in
+  (* explicit samples land in the slot the sample says, not the slot the
+     window's own clock says *)
+  clock := 0L;
+  Rolling.observe_at w ~now_ns:3500L 1.0;
+  Rolling.add_at w ~now_ns:3500L 2;
+  (* from the window clock's viewpoint (t = 0) the sample's slot is in
+     the future, so it is not merged yet *)
+  check_int "future slot not visible at t=0" 0 (Rolling.count w);
+  clock := 3500L;
+  check_int "visible at the sample's own time, window=1" 3
+    (Rolling.count ~window:1 w);
+  (* the window's own clock path lands in the same slot now *)
+  Rolling.observe w 2.0;
+  check_int "mixed observe/observe_at share the slot" 4
+    (Rolling.count ~window:1 w)
+
+let test_window_clamping () =
+  let w, clock = manual () in
+  Rolling.observe w 1.0;
+  clock := 3000L;
+  Rolling.observe w 2.0;
+  check_int "window 0 clamps to 1" 1 (Rolling.count ~window:0 w);
+  check_int "window beyond slots clamps to slots" 2 (Rolling.count ~window:99 w)
+
+let test_concurrent_domains () =
+  (* default monotonic clock; 4 domains hammer one window.  300 slots of
+     1 s mean nothing ages out during the test, so every observation
+     must be visible: the per-window mutex may not lose updates. *)
+  let w = Rolling.create ~slot_ns:1_000_000_000L ~slots:300 () in
+  let per = 10_000 in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              if i land 1 = 0 then Rolling.observe w (float_of_int d +. 0.5)
+              else Rolling.add w 1
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = Rolling.snapshot w in
+  check_int "no lost updates" (4 * per) s.Rolling.count;
+  (* only the observed half carries values *)
+  check_int "histogram holds the observed half" (4 * per / 2)
+    (Array.fold_left ( + ) 0 s.Rolling.bucket_counts);
+  close "max is the largest domain's value" s.Rolling.max_v 3.5;
+  close "min is the smallest domain's value" s.Rolling.min_v 0.5
+
+let test_create_validation () =
+  Alcotest.check_raises "slots < 1"
+    (Invalid_argument "Rolling.create: slots < 1") (fun () ->
+      ignore (Rolling.create ~slot_ns:1000L ~slots:0 ()));
+  Alcotest.check_raises "slot_ns < 1"
+    (Invalid_argument "Rolling.create: slot_ns < 1") (fun () ->
+      ignore (Rolling.create ~slot_ns:0L ~slots:4 ()))
+
+let suite =
+  [
+    ("empty snapshot", `Quick, test_empty);
+    ("rotation at slot boundaries", `Quick, test_rotation_at_slot_boundaries);
+    ("add-only counters", `Quick, test_add_only_counters);
+    ("quantiles on known inputs", `Quick, test_quantiles_known_inputs);
+    ("observe_at shares a clock sample", `Quick, test_observe_at_shares_clock_sample);
+    ("window clamping", `Quick, test_window_clamping);
+    ("concurrent domains", `Quick, test_concurrent_domains);
+    ("create validation", `Quick, test_create_validation);
+  ]

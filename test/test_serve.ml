@@ -10,6 +10,17 @@ module Wire = Gossip_serve.Wire
 module Dispatch = Gossip_serve.Dispatch
 module Server = Gossip_serve.Server
 module Client = Gossip_serve.Client
+module Metrics = Gossip_serve.Metrics
+module Trace_analysis = Gossip_serve.Trace_analysis
+
+(* [dig ["a";"b"] j] follows nested object members. *)
+let rec dig path j =
+  match path with
+  | [] -> Some j
+  | k :: rest -> Option.bind (Json.member k j) (dig rest)
+
+let dig_int path j = Option.bind (dig path j) Json.to_int_opt
+let dig_str path j = Option.bind (dig path j) Json.to_string_opt
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -91,6 +102,9 @@ let all_ops =
     Wire.Version;
     Wire.Shutdown;
     Wire.Stats;
+    Wire.Metrics;
+    Wire.Health;
+    Wire.Spans;
     Wire.Sleep { ms = 250 };
     Wire.Tables { s_max = 8; ss = [ 3; 4; 5 ] };
     Wire.Bound { net; s = Some 4; full_duplex = false };
@@ -279,6 +293,156 @@ let test_dispatch_direct () =
   | Error (Wire.Bad_request, _) -> ()
   | _ -> Alcotest.fail "garbage protocol must be a bad_request"
 
+(* --- metrics: golden JSON shapes on a hand-cranked clock --- *)
+
+let test_metrics_json_shape () =
+  let t_ref = ref 1_000_000_000L in
+  let m =
+    Metrics.create ~clock:(fun () -> !t_ref) ~workers:2 ~queue_capacity:8 ()
+  in
+  Metrics.conn_opened m;
+  Metrics.set_queue_depth m 3;
+  Metrics.observe m ~op:"ping" ~ok:true ~queue_wait_s:0.0001 ~service_s:0.001;
+  Metrics.observe m ~op:"ping" ~ok:true ~queue_wait_s:0.0002 ~service_s:0.002;
+  Metrics.observe m ~op:"bound" ~ok:false ~queue_wait_s:0.0 ~service_s:0.01;
+  let j = Metrics.metrics_json m in
+  check "schema" true (dig_str [ "schema" ] j = Some "gossip-metrics/1");
+  check "version" true
+    (dig_str [ "version" ] j = Some Core.Version.string);
+  check "gauge queue_depth" true (dig_int [ "gauges"; "queue_depth" ] j = Some 3);
+  check "gauge capacity" true (dig_int [ "gauges"; "queue_capacity" ] j = Some 8);
+  check "gauge workers" true (dig_int [ "gauges"; "workers" ] j = Some 2);
+  check "gauge connections" true (dig_int [ "gauges"; "connections" ] j = Some 1);
+  check "totals ping" true
+    (dig_int [ "totals"; "ops"; "ping"; "count" ] j = Some 2);
+  check "totals ping errors" true
+    (dig_int [ "totals"; "ops"; "ping"; "errors" ] j = Some 0);
+  check "totals bound errors" true
+    (dig_int [ "totals"; "ops"; "bound"; "errors" ] j = Some 1);
+  List.iter
+    (fun h ->
+      check (h ^ " window counts ping") true
+        (dig_int [ "windows"; h; "ops"; "ping"; "count" ] j = Some 2);
+      check (h ^ " window has quantiles") true
+        (match dig [ "windows"; h; "ops"; "ping"; "latency_ms"; "p95" ] j with
+        | Some (Json.Float v) -> v > 0.0
+        | _ -> false);
+      check (h ^ " window has queue_wait summary") true
+        (dig [ "windows"; h; "queue_wait_ms"; "p50" ] j <> None))
+    [ "10s"; "1m"; "5m" ];
+  (* six minutes later the 5m window has aged everything out; the
+     cumulative totals have not *)
+  t_ref := Int64.add !t_ref 360_000_000_000L;
+  let j' = Metrics.metrics_json m in
+  check "windows aged out" true
+    (dig [ "windows"; "5m"; "ops"; "ping" ] j' = None);
+  check "totals survive" true
+    (dig_int [ "totals"; "ops"; "ping"; "count" ] j' = Some 2)
+
+let test_health_json_transitions () =
+  let t_ref = ref 1_000_000_000L in
+  let m =
+    Metrics.create
+      ~clock:(fun () -> !t_ref)
+      ~wedge_ms:100 ~workers:2 ~queue_capacity:4 ()
+  in
+  let status () = dig_str [ "status" ] (Metrics.health_json m) in
+  check "schema" true
+    (dig_str [ "schema" ] (Metrics.health_json m) = Some "gossip-health/1");
+  check "fresh server is ok" true (status () = Some "ok");
+  check "healthy agrees" true (Metrics.healthy m);
+  (* saturated queue degrades … *)
+  Metrics.set_queue_depth m 4;
+  check "saturated queue degrades" true (status () = Some "degraded");
+  check "saturation reported" true
+    (dig [ "queue"; "saturated" ] (Metrics.health_json m) = Some (Json.Bool true));
+  Metrics.set_queue_depth m 1;
+  check "drained queue recovers" true (status () = Some "ok");
+  (* … and so does a worker stuck past the wedge threshold *)
+  Metrics.worker_busy m 0;
+  check "busy under threshold is ok" true (status () = Some "ok");
+  t_ref := Int64.add !t_ref 200_000_000L;
+  check "wedged worker degrades" true (status () = Some "degraded");
+  check "wedged count" true
+    (dig_int [ "wedged_workers" ] (Metrics.health_json m) = Some 1);
+  Metrics.worker_idle m 0;
+  check "idle worker recovers" true (status () = Some "ok")
+
+(* --- offline trace analysis on a hand-built trace --- *)
+
+let test_trace_analysis () =
+  let lines =
+    [
+      (* request 1: admitted, one child span, a cache hit *)
+      {|{"ev":"point","name":"serve.admit","ts":"t","mono_ns":1000,"dom":0,"req_id":1,"op":"bound","conn":1}|};
+      {|{"ev":"span_begin","name":"serve.request","ts":"t","mono_ns":2000,"dom":1,"req_id":1,"op":"bound","conn":1,"queue_wait_ns":1000}|};
+      {|{"ev":"span_begin","name":"dispatch.bound","ts":"t","mono_ns":2100,"dom":1,"req_id":1}|};
+      {|{"ev":"point","name":"context.lookup","ts":"t","mono_ns":2200,"dom":1,"req_id":1,"outcome":"hit"}|};
+      {|{"ev":"span_end","name":"dispatch.bound","ts":"t","mono_ns":2700,"dom":1,"dur_ns":600,"req_id":1}|};
+      {|{"ev":"span_end","name":"serve.request","ts":"t","mono_ns":3000,"dom":1,"dur_ns":1000,"req_id":1,"op":"bound","conn":1,"queue_wait_ns":1000}|};
+      (* request 2: admitted but no spans ever tagged with it *)
+      {|{"ev":"point","name":"serve.admit","ts":"t","mono_ns":4000,"dom":0,"req_id":2,"op":"ping","conn":1}|};
+      (* request 3: rejected at admission *)
+      {|{"ev":"point","name":"serve.reject","ts":"t","mono_ns":5000,"dom":0,"req_id":3,"op":"ping","conn":2,"code":"queue_full"}|};
+      (* an unbalanced span on another domain *)
+      {|{"ev":"span_begin","name":"wedged.op","ts":"t","mono_ns":6000,"dom":2}|};
+      "this line is not JSON";
+    ]
+  in
+  let t = Trace_analysis.of_lines lines in
+  let j = Trace_analysis.to_json t in
+  check "report schema" true
+    (dig_str [ "schema" ] j = Some "gossip-trace-report/1");
+  check "parse errors counted" true
+    (dig_int [ "lines"; "parse_errors" ] j = Some 1);
+  check "requests seen" true (dig_int [ "requests"; "seen" ] j = Some 3);
+  (* "complete" covers answered AND rejected requests: both tell the
+     whole story of their request id *)
+  check "complete" true (dig_int [ "requests"; "complete" ] j = Some 2);
+  check "rejected" true (dig_int [ "requests"; "rejected" ] j = Some 1);
+  check "zero-span" true (dig_int [ "requests"; "zero_span" ] j = Some 1);
+  (* request 1's waterfall: the child span sits 100 ns after the
+     request span began *)
+  (match dig [ "slowest" ] j with
+  | Some (Json.List (first :: _)) ->
+      check "slowest is req 1" true (dig_int [ "req_id" ] first = Some 1);
+      check "queue wait threaded" true
+        (match dig [ "queue_wait_ms" ] first with
+        | Some (Json.Float v) -> Float.abs (v -. 0.001) < 1e-12
+        | _ -> false);
+      check "cache hit counted" true (dig_int [ "cache_hits" ] first = Some 1);
+      (match dig [ "waterfall" ] first with
+      | Some (Json.List [ span ]) ->
+          check "child span name" true
+            (dig_str [ "span" ] span = Some "dispatch.bound");
+          check "child offset from request start" true
+            (match dig [ "offset_ms" ] span with
+            | Some (Json.Float v) -> Float.abs (v -. 1e-4) < 1e-12
+            | _ -> false)
+      | _ -> Alcotest.fail "expected one waterfall entry")
+  | _ -> Alcotest.fail "expected a non-empty slowest list");
+  (* problems: the zero-span request and the unbalanced span *)
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let problems = Trace_analysis.problems t in
+  check "zero-span flagged" true
+    (List.exists (fun p -> contains p "produced no serve.request span") problems);
+  check "unbalanced flagged" true
+    (List.exists (fun p -> contains p "unbalanced span") problems);
+  (* a clean trace has none *)
+  let clean =
+    Trace_analysis.of_lines
+      [
+        {|{"ev":"point","name":"serve.admit","ts":"t","mono_ns":1,"dom":0,"req_id":1,"op":"ping","conn":1}|};
+        {|{"ev":"span_begin","name":"serve.request","ts":"t","mono_ns":2,"dom":1,"req_id":1,"op":"ping","conn":1}|};
+        {|{"ev":"span_end","name":"serve.request","ts":"t","mono_ns":9,"dom":1,"dur_ns":7,"req_id":1,"op":"ping","conn":1,"queue_wait_ns":1}|};
+      ]
+  in
+  check "clean trace has no problems" true (Trace_analysis.problems clean = [])
+
 (* --- end-to-end --- *)
 
 let fresh_socket_path =
@@ -290,7 +454,7 @@ let fresh_socket_path =
       (Printf.sprintf "gserve-%d-%d.sock" (Unix.getpid ()) !counter)
 
 let with_server ?dispatch ?(workers = 2) ?(queue_capacity = 16)
-    ?(max_frame_bytes = Wire.default_max_frame_bytes) f =
+    ?(max_frame_bytes = Wire.default_max_frame_bytes) ?access_log f =
   let path = fresh_socket_path () in
   let listen = Server.Unix_socket path in
   let config =
@@ -299,6 +463,7 @@ let with_server ?dispatch ?(workers = 2) ?(queue_capacity = 16)
       Server.workers;
       queue_capacity;
       max_frame_bytes;
+      access_log;
     }
   in
   let server = Server.create ?dispatch config in
@@ -537,6 +702,140 @@ let test_e2e_concurrent_clients () =
       List.iter Thread.join ts;
       check_int "no dropped or garbled replies" 0 !failures)
 
+let test_e2e_metrics_ops () =
+  (* span aggregates only accumulate while instrumentation is on *)
+  let was = Gossip_util.Instrument.enabled () in
+  Gossip_util.Instrument.set_enabled true;
+  Fun.protect ~finally:(fun () -> Gossip_util.Instrument.set_enabled was)
+  @@ fun () ->
+  with_server (fun _server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* generate some traffic, then read the counters back *)
+          for i = 1 to 5 do
+            ignore (expect_ok (Client.call c ~id:(Json.Int i) Wire.Ping))
+          done;
+          let m = expect_ok (Client.call c Wire.Metrics) in
+          check "metrics schema" true
+            (dig_str [ "schema" ] m = Some "gossip-metrics/1");
+          check "five pings counted" true
+            (match dig_int [ "totals"; "ops"; "ping"; "count" ] m with
+            | Some n -> n >= 5
+            | None -> false);
+          check "10s window sees them" true
+            (match dig_int [ "windows"; "10s"; "ops"; "ping"; "count" ] m with
+            | Some n -> n >= 5
+            | None -> false);
+          (* another round moves the totals *)
+          ignore (expect_ok (Client.call c Wire.Ping));
+          let m2 = expect_ok (Client.call c Wire.Metrics) in
+          check "totals advance" true
+            (dig_int [ "totals"; "ops"; "ping"; "count" ] m2
+            > dig_int [ "totals"; "ops"; "ping"; "count" ] m);
+          (* the metrics op itself is counted (answered inline) *)
+          check "metrics op counted" true
+            (match dig_int [ "totals"; "ops"; "metrics"; "count" ] m2 with
+            | Some n -> n >= 1
+            | None -> false);
+          let h = expect_ok (Client.call c Wire.Health) in
+          check "health schema" true
+            (dig_str [ "schema" ] h = Some "gossip-health/1");
+          check "idle server healthy" true (dig_str [ "status" ] h = Some "ok");
+          let s = expect_ok (Client.call c Wire.Spans) in
+          check "spans schema" true
+            (dig_str [ "schema" ] s = Some "gossip-spans/1");
+          check "serve.request span listed" true
+            (match dig [ "spans" ] s with
+            | Some (Json.List spans) ->
+                List.exists
+                  (fun sp -> dig_str [ "name" ] sp = Some "serve.request")
+                  spans
+            | _ -> false)))
+
+let test_e2e_health_degrades_under_saturation () =
+  (* one worker, one queue slot: a running sleep plus a queued sleep
+     saturate the server.  The health probe must still be answered —
+     inline, bypassing the full queue — and must say "degraded". *)
+  with_server ~workers:1 ~queue_capacity:1 (fun _server listen ->
+      let a = Client.connect_retry listen in
+      let b = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close a;
+          Client.close b)
+        (fun () ->
+          Client.send_line a {|{"id":1,"op":"sleep","params":{"ms":400}}|};
+          Thread.delay 0.1;
+          Client.send_line a {|{"id":2,"op":"sleep","params":{"ms":10}}|};
+          Thread.delay 0.05;
+          let h = expect_ok (Client.call b Wire.Health) in
+          check "degraded under saturation" true
+            (dig_str [ "status" ] h = Some "degraded");
+          check "saturation is the reason" true
+            (dig [ "queue"; "saturated" ] h = Some (Json.Bool true));
+          (* after the backlog drains the same probe says ok *)
+          (match (Client.recv a, Client.recv a) with
+          | Ok _, Ok _ -> ()
+          | _ -> Alcotest.fail "sleep replies lost");
+          let h' = expect_ok (Client.call b Wire.Health) in
+          check "recovers after drain" true
+            (dig_str [ "status" ] h' = Some "ok")))
+
+let test_e2e_access_log_shape () =
+  let log = Filename.temp_file "gserve-access" ".jsonl" in
+  with_server ~access_log:log (fun server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          ignore (expect_ok (Client.call c ~id:(Json.Int 1) Wire.Ping));
+          ignore (expect_ok (Client.call c ~id:(Json.Str "v") Wire.Version));
+          Client.send_line c {|{"id":42,"op":"frobnicate"}|};
+          ignore (Client.recv c));
+      (* shutdown flushes and closes the log *)
+      Server.shutdown server;
+      let ic = open_in log in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Sys.remove log;
+      let lines = List.rev !lines in
+      check "one line per answered request" true (List.length lines >= 2);
+      List.iter
+        (fun line ->
+          match Json.of_string line with
+          | Error e -> Alcotest.failf "access log line not JSON (%s): %s" e line
+          | Ok j ->
+              check "ts" true
+                (match dig [ "ts" ] j with
+                | Some (Json.Float v) -> v > 0.0
+                | _ -> false);
+              check "req_id" true
+                (match dig_int [ "req_id" ] j with
+                | Some n -> n > 0
+                | None -> false);
+              check "conn" true (dig_int [ "conn" ] j <> None);
+              check "op" true (dig_str [ "op" ] j <> None);
+              check "status" true (dig_str [ "status" ] j <> None);
+              check "queue_wait_ms" true (dig [ "queue_wait_ms" ] j <> None);
+              check "service_ms" true (dig [ "service_ms" ] j <> None))
+        lines;
+      let status_of line =
+        match Json.of_string line with
+        | Ok j -> dig_str [ "status" ] j
+        | Error _ -> None
+      in
+      check "ok statuses present" true
+        (List.exists (fun l -> status_of l = Some "ok") lines);
+      check "the bad request is logged too" true
+        (List.exists (fun l -> status_of l = Some "bad_request") lines))
+
 let test_e2e_shutdown_op () =
   with_server (fun server listen ->
       let c = Client.connect_retry listen in
@@ -566,6 +865,9 @@ let suite =
     ("wire response roundtrip", `Quick, test_wire_response_roundtrip);
     ("wire framing", `Quick, test_wire_framing);
     ("dispatch direct", `Quick, test_dispatch_direct);
+    ("metrics json shape", `Quick, test_metrics_json_shape);
+    ("health json transitions", `Quick, test_health_json_transitions);
+    ("trace analysis", `Quick, test_trace_analysis);
     ("e2e basic ops", `Quick, test_e2e_basic_ops);
     ("e2e simulate matches direct", `Quick, test_e2e_simulate_matches_direct);
     ("e2e malformed frame survives", `Quick, test_e2e_malformed_frame_connection_survives);
@@ -573,5 +875,8 @@ let suite =
     ("e2e deadline exceeded", `Quick, test_e2e_deadline_exceeded);
     ("e2e queue full", `Quick, test_e2e_queue_full);
     ("e2e concurrent clients", `Quick, test_e2e_concurrent_clients);
+    ("e2e metrics/health/spans ops", `Quick, test_e2e_metrics_ops);
+    ("e2e health degrades when saturated", `Quick, test_e2e_health_degrades_under_saturation);
+    ("e2e access log shape", `Quick, test_e2e_access_log_shape);
     ("e2e shutdown op", `Quick, test_e2e_shutdown_op);
   ]

@@ -9,15 +9,27 @@
             [--report PATH]     write the JSON report there (default stdout)
             [--require-cache-hits]  exit 1 unless the server reports
                                     context cache hits > 0
+            [--expect-healthy]  exit 1 unless a final `health` request
+                                reports status "ok"
 
    Emits a `gossip-loadgen/1` JSON report: throughput, latency
    percentiles (p50/p95/p99), per-op and per-error-code counts, and the
-   server's own cache statistics fetched with a final `stats` request.
+   server's own view fetched post-run: `stats` (cache), `metrics`
+   (rolling windows + cumulative totals) and `health`.
+
+   The server totals are cross-checked against the client-side per-op
+   counts: because the server records each request before sending its
+   reply, by the time every reply has arrived the server-side count for
+   an op can never be below the client-side count (it can be above —
+   earlier runs against the same server also accumulated).  A lower
+   server count on a clean run means lost accounting and fails the run.
 
    Exit status: 0 on a clean run; 1 when any reply was dropped or
    garbled (a *protocol* error — valid error replies such as queue_full
-   are counted separately, not failures) or when --require-cache-hits is
-   not met.  Used by CI as the end-to-end gate (doc/serving.md). *)
+   are counted separately, not failures), when the metrics cross-check
+   fails on an otherwise clean run, or when --require-cache-hits /
+   --expect-healthy is not met.  Used by CI as the end-to-end gate
+   (doc/serving.md). *)
 
 module Json = Gossip_util.Json
 module Serve = Gossip_serve
@@ -26,7 +38,7 @@ let usage () =
   prerr_endline
     "usage: loadgen (--socket PATH | --tcp HOST:PORT) [--connections N]\n\
     \         [--requests N] [--mix SPEC] [--timeout-ms MS] [--report PATH]\n\
-    \         [--require-cache-hits]";
+    \         [--require-cache-hits] [--expect-healthy]";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("loadgen: " ^ m); exit 2) fmt
@@ -50,6 +62,10 @@ let op_of_name name i =
   | "ping" -> Serve.Wire.Ping
   | "version" -> Serve.Wire.Version
   | "stats" -> Serve.Wire.Stats
+  | "metrics" -> Serve.Wire.Metrics
+  | "health" -> Serve.Wire.Health
+  | "spans" -> Serve.Wire.Spans
+  | "sleep" -> Serve.Wire.Sleep { ms = 10 }
   | "tables" -> Serve.Wire.Tables { s_max = 8; ss = [ 3; 4; 5; 6; 7; 8 ] }
   | "bound" -> Serve.Wire.Bound { net; s = Some 4; full_duplex = false }
   | "simulate" -> Serve.Wire.Simulate { net; full_duplex = false }
@@ -89,6 +105,7 @@ type args = {
   timeout_ms : int option;
   report : string option;
   require_cache_hits : bool;
+  expect_healthy : bool;
 }
 
 let parse_args () =
@@ -98,7 +115,8 @@ let parse_args () =
   and mix = ref "tables:4,bound:3,ping:2,simulate:1"
   and timeout_ms = ref None
   and report = ref None
-  and require_cache_hits = ref false in
+  and require_cache_hits = ref false
+  and expect_healthy = ref false in
   let rec go = function
     | [] -> ()
     | "--socket" :: path :: rest ->
@@ -132,6 +150,9 @@ let parse_args () =
     | "--require-cache-hits" :: rest ->
         require_cache_hits := true;
         go rest
+    | "--expect-healthy" :: rest ->
+        expect_healthy := true;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -146,6 +167,7 @@ let parse_args () =
         timeout_ms = !timeout_ms;
         report = !report;
         require_cache_hits = !require_cache_hits;
+        expect_healthy = !expect_healthy;
       }
 
 (* --- measurement --- *)
@@ -220,15 +242,61 @@ let quantile sorted q =
     let frac = rank -. floor rank in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(min hi (n - 1)) *. frac)
 
-let fetch_server_stats args =
+let fetch_op args op =
   match Serve.Client.connect_retry args.target with
   | exception _ -> None
   | client ->
-      let r = Serve.Client.call client Serve.Wire.Stats in
+      let r = Serve.Client.call client op in
       Serve.Client.close client;
       (match r with
       | Ok { Serve.Wire.outcome = Ok result; _ } -> Some result
       | _ -> None)
+
+(* Ops the loadgen itself (or its post-run probes) may have issued
+   outside the measured mix; excluded from the count cross-check. *)
+let meta_ops = [ "stats"; "metrics"; "health"; "spans" ]
+
+(* Server-side count for [op] from the metrics snapshot's cumulative
+   totals; None when the snapshot lacks it. *)
+let server_op_count metrics op =
+  Option.bind (Json.member "totals" metrics) (fun t ->
+      Option.bind (Json.member "ops" t) (fun ops ->
+          Option.bind (Json.member op ops) (fun o ->
+              Option.bind (Json.member "count" o) Json.to_int_opt)))
+
+(* The invariant (server observes before it replies) gives
+   server >= client per op once all replies are in; strict equality
+   would be wrong when earlier runs hit the same server. *)
+let crosscheck tally metrics =
+  match metrics with
+  | None -> (Json.Null, true)
+  | Some m ->
+      let rows, all_ok =
+        Hashtbl.fold
+          (fun op (client_count, _) (rows, all_ok) ->
+            if List.mem op meta_ops then (rows, all_ok)
+            else
+              let server = server_op_count m op in
+              let consistent =
+                match server with Some s -> s >= client_count | None -> false
+              in
+              ( ( op,
+                  Json.Obj
+                    [
+                      ("client", Json.Int client_count);
+                      ( "server",
+                        match server with
+                        | Some s -> Json.Int s
+                        | None -> Json.Null );
+                      ("consistent", Json.Bool consistent);
+                    ] )
+                :: rows,
+                all_ok && consistent ))
+          tally.by_op ([], true)
+      in
+      ( Json.Obj
+          (List.sort compare rows @ [ ("consistent", Json.Bool all_ok) ]),
+        all_ok )
 
 let () =
   let args = parse_args () in
@@ -255,7 +323,10 @@ let () =
   in
   List.iter Thread.join threads;
   let duration = now_s () -. t_start in
-  let stats = fetch_server_stats args in
+  let stats = fetch_op args Serve.Wire.Stats in
+  let server_metrics = fetch_op args Serve.Wire.Metrics in
+  let server_health = fetch_op args Serve.Wire.Health in
+  let crosscheck_json, counts_consistent = crosscheck tally server_metrics in
   let latencies = Array.of_list tally.latencies_ms in
   Array.sort compare latencies;
   let mean =
@@ -323,6 +394,9 @@ let () =
                   tally.by_op [])) );
         ( "server_stats",
           match stats with Some s -> s | None -> Json.Null );
+        ( "server_health",
+          match server_health with Some h -> h | None -> Json.Null );
+        ("metrics_crosscheck", crosscheck_json);
       ]
   in
   let rendered = Json.to_string_pretty report ^ "\n" in
@@ -336,6 +410,28 @@ let () =
   if tally.protocol_errors > 0 then begin
     Printf.eprintf "loadgen: %d protocol errors\n%!" tally.protocol_errors;
     exit 1
+  end;
+  (* only meaningful on a clean run: a dropped reply already explains a
+     low client count *)
+  if not counts_consistent then begin
+    prerr_endline
+      "loadgen: metrics cross-check failed: server-side op counts below \
+       client-side";
+    exit 1
+  end;
+  if args.expect_healthy then begin
+    let status =
+      Option.bind server_health (fun h ->
+          Option.bind (Json.member "status" h) Json.to_string_opt)
+    in
+    match status with
+    | Some "ok" -> ()
+    | Some other ->
+        Printf.eprintf "loadgen: --expect-healthy: server reports %S\n%!" other;
+        exit 1
+    | None ->
+        prerr_endline "loadgen: --expect-healthy: could not read server health";
+        exit 1
   end;
   if args.require_cache_hits then begin
     match cache_hits with
