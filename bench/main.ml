@@ -1224,6 +1224,131 @@ let print_observability_overhead () =
     rt_ns
     (100.0 *. added_ns /. rt_ns)
 
+(* Part 25: what the robustness machinery costs when it is NOT in use.
+   PR 5 put two things on every request's path: the worker's exception
+   barrier (a Fun.protect + try/with around the job) and the chaos
+   check (one match on a [Chaos.t option]).  Both must vanish next to
+   the ~87 ns observability overhead Part 24 prices: installing an
+   OCaml exception handler costs nothing on the non-raising path, and
+   matching [None] is a pointer test.  The third row turns chaos ON
+   with negligible probabilities to price [Chaos.decide] itself — the
+   per-request seeded draw a soak pays on every queued op. *)
+let print_robustness_overhead () =
+  let module Serve = Gossip_serve in
+  let disp = Serve.Dispatch.create () in
+  let metrics = Serve.Metrics.create ~workers:1 ~queue_capacity:64 () in
+  let q = Serve.Bounded_queue.create ~capacity:64 in
+  let iters = 20_000 in
+  let encoded =
+    Util.Json.to_string
+      (Serve.Wire.request_to_json
+         { Serve.Wire.id = Util.Json.Int 7; op = Serve.Wire.Ping; timeout_ms = None })
+  in
+  (* the production per-request pipeline (Part 24's `Rolling` shape) *)
+  let pipeline i =
+    let req =
+      match Util.Json.of_string encoded with
+      | Ok j -> (
+          match Serve.Wire.parse_request j with
+          | Ok r -> r
+          | Error _ -> assert false)
+      | Error _ -> assert false
+    in
+    ignore (Serve.Bounded_queue.try_push q req);
+    ignore (Serve.Bounded_queue.pop q);
+    Util.Instrument.set_gauge "serve.queue_depth" 0.0;
+    Util.Instrument.add "serve.requests" 1;
+    let reply =
+      Util.Instrument.span "serve.request" (fun () ->
+          let t0 = Util.Instrument.now_ns () in
+          let r = Serve.Dispatch.eval disp req.Serve.Wire.op in
+          let dt =
+            Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e9
+          in
+          Util.Instrument.observe "serve.request_seconds" dt;
+          Serve.Metrics.observe metrics ~op:"ping" ~ok:true ~queue_wait_s:0.0
+            ~service_s:dt;
+          ignore i;
+          match r with
+          | Ok result -> Serve.Wire.ok_response ~id:req.Serve.Wire.id result
+          | Error (code, message) ->
+              Serve.Wire.error_response ~id:req.Serve.Wire.id ~code ~message)
+    in
+    ignore (Util.Json.to_string reply)
+  in
+  let released = ref 0 in
+  (* exactly what the worker loop wraps around every job since PR 5:
+     the conn-release finaliser, the chaos decision, the panic and
+     stall hooks, the reply-fault match — all on the no-fault path *)
+  let guarded chaos i =
+    Fun.protect
+      ~finally:(fun () -> incr released)
+      (fun () ->
+        let decision =
+          match Sys.opaque_identity (chaos : Serve.Chaos.t option) with
+          | None -> Serve.Chaos.no_fault
+          | Some plan -> Serve.Chaos.decide plan ~req_id:i
+        in
+        if decision.Serve.Chaos.panic then raise Serve.Chaos.Panic;
+        if decision.Serve.Chaos.dispatch_latency_ms > 0 then
+          Thread.delay
+            (float_of_int decision.Serve.Chaos.dispatch_latency_ms /. 1000.0);
+        (try pipeline i with Serve.Chaos.Panic -> ());
+        match decision.Serve.Chaos.reply with None | Some _ -> ())
+  in
+  let tiny_chaos =
+    (* probabilities so small no fault ever fires in 20k requests, so
+       the row prices the decision draw, not the faults *)
+    match Serve.Chaos.make ~seed:42 ~drop:1e-12 () with
+    | Some plan -> Some plan
+    | None -> assert false
+  in
+  let rate f =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      f i
+    done;
+    float_of_int iters /. (Unix.gettimeofday () -. t0)
+  in
+  for i = 1 to 1_000 do
+    pipeline i;
+    guarded None i;
+    guarded tiny_chaos i
+  done;
+  (* the deltas under measurement are tens of ns on a ~1.5 µs pipeline:
+     interleave the variants and keep each one's best pass, so shared
+     noise (GC pauses, scheduling) cancels instead of masquerading as
+     overhead *)
+  let bare = ref 0.0 and disabled = ref 0.0 and enabled = ref 0.0 in
+  for _ = 1 to 5 do
+    bare := Float.max !bare (rate pipeline);
+    disabled := Float.max !disabled (rate (guarded None));
+    enabled := Float.max !enabled (rate (guarded tiny_chaos))
+  done;
+  let bare = !bare and disabled = !disabled and enabled = !enabled in
+  let ns v = 1e9 /. v in
+  let delta v = ns v -. ns bare in
+  let t =
+    Table.make ~title:"Robustness machinery on the dispatch hot path"
+      [ "path"; "requests/s"; "ns/req"; "added ns" ]
+  in
+  Table.add_row t
+    [ "pipeline, no barrier (PR 4 shape)"; Printf.sprintf "%.0f" bare;
+      Printf.sprintf "%.0f" (ns bare); "—" ];
+  Table.add_row t
+    [ "+ barrier + chaos check (chaos off)"; Printf.sprintf "%.0f" disabled;
+      Printf.sprintf "%.0f" (ns disabled);
+      Printf.sprintf "%+.0f" (delta disabled) ];
+  Table.add_row t
+    [ "+ Chaos.decide (chaos on, faults ~never)";
+      Printf.sprintf "%.0f" enabled; Printf.sprintf "%.0f" (ns enabled);
+      Printf.sprintf "%+.0f" (delta enabled) ];
+  Table.print t;
+  Printf.printf
+    "barrier + disabled-chaos check: %+.0f ns/request (target: lost in the \
+     noise of Part 24's ~87 ns observability overhead)\n"
+    (delta disabled)
+
 let parts =
   [
     (1, "fig4", "Part 1: Fig. 4 — general systolic lower bounds", print_fig4);
@@ -1260,6 +1385,8 @@ let parts =
      print_serve_bench);
     (24, "observability", "Part 24: request tagging + rolling metrics overhead",
      print_observability_overhead);
+    (25, "robustness", "Part 25: exception barrier + disabled-chaos overhead",
+     print_robustness_overhead);
   ]
 
 (* Minimal argv parsing — the bench stays a plain executable:

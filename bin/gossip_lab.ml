@@ -537,15 +537,28 @@ let stats_cmd =
       const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd
       $ json_arg)
 
-(* --- faults: slowdown under i.i.d. arc drops --- *)
+(* --- faults: slowdown under i.i.d. / permanent / bursty arc faults --- *)
 
 let faults_cmd =
-  let run () family d dim full_duplex trials seed probabilities json =
+  let run () family d dim full_duplex trials seed model probabilities ks
+      p_recover json =
     let g = build_network family d dim in
     let sys = default_systolic g full_duplex in
-    let curve =
-      Simulate.Faults.slowdown_curve sys ~trials ~probabilities ~seed
+    let models =
+      match model with
+      | "iid" -> List.map (fun p -> Simulate.Faults.Iid { p }) probabilities
+      | "permanent" ->
+          List.map (fun k -> Simulate.Faults.Permanent { k }) ks
+      | "bursty" ->
+          List.map
+            (fun p -> Simulate.Faults.Bursty { p_fail = p; p_recover })
+            probabilities
+      | other ->
+          Printf.eprintf
+            "gossip_lab: --model must be iid, permanent or bursty (got %S)\n" other;
+          exit 2
     in
+    let curve = Simulate.Faults.curve sys ~trials ~models ~seed in
     if json then
       let module J = Util.Json in
       print_json
@@ -553,29 +566,43 @@ let faults_cmd =
            [
              ("network", J.Str (Topology.Digraph.name g));
              ("period", J.Int (Protocol.Systolic.period sys));
+             ("model", J.Str model);
              ("trials", J.Int trials);
              ("seed", J.Int seed);
              ( "curve",
-               J.List (List.map Simulate.Faults.point_to_json curve) );
+               J.List (List.map Simulate.Faults.curve_point_to_json curve) );
            ])
     else begin
+      let param_label = function
+        | Simulate.Faults.Iid { p } -> Printf.sprintf "%.2f" p
+        | Simulate.Faults.Permanent { k } -> string_of_int k
+        | Simulate.Faults.Bursty { p_fail; p_recover } ->
+            Printf.sprintf "%.2f/%.2f" p_fail p_recover
+      in
+      let param_header =
+        match model with
+        | "permanent" -> "k"
+        | "bursty" -> "p_fail/p_rec"
+        | _ -> "p"
+      in
       let t =
         Util.Table.make
           ~title:
-            (Printf.sprintf "%s — mean gossip time under arc drops (%d trials)"
-               (Topology.Digraph.name g) trials)
-          [ "p"; "mean"; "completed" ]
+            (Printf.sprintf
+               "%s — mean gossip time under %s arc faults (%d trials)"
+               (Topology.Digraph.name g) model trials)
+          [ param_header; "mean"; "completed" ]
       in
       List.iter
-        (fun (pt : Simulate.Faults.slowdown_point) ->
+        (fun (pt : Simulate.Faults.curve_point) ->
           Util.Table.add_row t
             [
-              Printf.sprintf "%.2f" pt.Simulate.Faults.probability;
-              (match pt.Simulate.Faults.mean with
+              param_label pt.Simulate.Faults.cp_model;
+              (match pt.Simulate.Faults.cp_mean with
               | Some m -> Printf.sprintf "%.1f" m
               | None -> "DNF");
-              Printf.sprintf "%d/%d" pt.Simulate.Faults.completed
-                pt.Simulate.Faults.trials;
+              Printf.sprintf "%d/%d" pt.Simulate.Faults.cp_completed
+                pt.Simulate.Faults.cp_trials;
             ])
         curve;
       Util.Table.print t;
@@ -588,27 +615,53 @@ let faults_cmd =
   let trials =
     C.Arg.(
       value & opt int 5
-      & info [ "trials" ] ~docv:"N" ~doc:"Trials per drop probability.")
+      & info [ "trials" ] ~docv:"N" ~doc:"Trials per curve point.")
   in
   let seed =
     C.Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let model =
+    C.Arg.(
+      value & opt string "iid"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Fault model: $(b,iid) (independent drops with probability p), \
+             $(b,permanent) (k arcs fail for the whole run; see --k), or \
+             $(b,bursty) (per-arc on/off process: fails with p, recovers \
+             with --p-recover).")
   in
   let probabilities =
     C.Arg.(
       value
       & opt (list float) [ 0.0; 0.05; 0.1; 0.2; 0.3 ]
       & info [ "p"; "probabilities" ] ~docv:"P,..."
-          ~doc:"Comma-separated arc-drop probabilities.")
+          ~doc:
+            "Comma-separated fault probabilities (drop probability for \
+             iid, failure probability for bursty).")
+  in
+  let ks =
+    C.Arg.(
+      value
+      & opt (list int) [ 0; 1; 2; 4 ]
+      & info [ "k" ] ~docv:"K,..."
+          ~doc:"Comma-separated failed-arc counts for --model permanent.")
+  in
+  let p_recover =
+    C.Arg.(
+      value & opt float 0.1
+      & info [ "p-recover" ] ~docv:"P"
+          ~doc:"Per-activation recovery probability for --model bursty.")
   in
   C.Cmd.v
     (C.Cmd.info "faults"
        ~doc:
-         "Slowdown curve under i.i.d. arc drops, with per-probability \
-          completion counts (non-completing trials are excluded from the \
-          mean, so the counts matter).")
+         "Slowdown curve under arc faults — i.i.d. drops, permanent arc \
+          failures, or bursty (on/off) losses — with per-point completion \
+          counts (non-completing trials are excluded from the mean, so \
+          the counts matter).")
     C.Term.(
       const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd $ trials
-      $ seed $ probabilities $ json_arg)
+      $ seed $ model $ probabilities $ ks $ p_recover $ json_arg)
 
 (* --- version --- *)
 

@@ -18,7 +18,7 @@ module C = Cmdliner
 
 let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
     default_timeout_ms eval_domains trace trace_out access_log metrics_dump
-    metrics_dump_interval_ms =
+    metrics_dump_interval_ms chaos_args =
   (match trace_out with
   | Some path -> Core.Util.Instrument.set_trace_file (Some path)
   | None -> ());
@@ -40,9 +40,21 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
       | None, None -> `Ok (Server.Unix_socket "gossip_served.sock")
       | Some _, Some _ -> `Error (true, "--socket and --tcp are exclusive")
   in
-  match listen with
-  | `Error _ as e -> e
-  | `Ok listen -> (
+  let chaos =
+    let seed, drop, corrupt, delay, delay_ms, panic, disp_lat, disp_lat_ms =
+      chaos_args
+    in
+    match
+      Chaos.make ~seed ~drop ~corrupt ~delay ~delay_ms ~panic
+        ~dispatch_latency:disp_lat ~dispatch_latency_ms:disp_lat_ms ()
+    with
+    | chaos -> `Ok chaos
+    | exception Invalid_argument msg -> `Error (true, msg)
+  in
+  match (listen, chaos) with
+  | (`Error _ as e), _ -> e
+  | _, (`Error _ as e) -> e
+  | `Ok listen, `Ok chaos -> (
       let config =
         {
           (Server.default_config ~listen) with
@@ -51,6 +63,7 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           max_frame_bytes;
           default_timeout_ms;
           access_log;
+          chaos;
         }
       in
       match Server.create config with
@@ -104,6 +117,11 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
             | Server.Unix_socket p -> p
             | Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
             config.Server.workers config.Server.queue_capacity;
+          (match chaos with
+          | Some plan ->
+              Printf.eprintf "gossip_served: CHAOS ENABLED (%s)\n%!"
+                (Chaos.describe plan)
+          | None -> ());
           Server.join server;
           (match dumper with Some th -> Thread.join th | None -> ());
           Option.iter dump_metrics metrics_dump;
@@ -202,11 +220,53 @@ let serve_term =
           [ "metrics-dump-interval-ms" ]
           ~docv:"MS" ~doc:"Interval between --metrics-dump snapshots.")
   in
+  (* The chaos flags bundle into one term: they configure a single
+     Chaos.make call and stand or fall together. *)
+  let chaos_args =
+    let p name doc =
+      C.Arg.(value & opt float 0.0 & info [ name ] ~docv:"P" ~doc)
+    in
+    let ms name doc =
+      C.Arg.(value & opt int 25 & info [ name ] ~docv:"MS" ~doc)
+    in
+    let seed =
+      C.Arg.(
+        value & opt int 0
+        & info [ "chaos-seed" ] ~docv:"N"
+            ~doc:"Seed for the fault plan; decisions are a pure function \
+                  of (seed, req_id), so a run reproduces from its seed.")
+    in
+    let drop = p "chaos-drop" "Probability a reply is silently dropped." in
+    let corrupt =
+      p "chaos-corrupt" "Probability a reply frame is corrupted on write."
+    in
+    let delay = p "chaos-delay" "Probability a reply is delayed." in
+    let delay_ms = ms "chaos-delay-ms" "Delay applied by --chaos-delay." in
+    let panic =
+      p "chaos-panic"
+        "Probability the worker domain panics on a request (answered \
+         internal_error, then the domain dies and is respawned by the \
+         supervisor)."
+    in
+    let disp_lat =
+      p "chaos-dispatch-latency"
+        "Probability of an artificial stall before evaluation."
+    in
+    let disp_lat_ms =
+      ms "chaos-dispatch-latency-ms"
+        "Stall applied by --chaos-dispatch-latency."
+    in
+    C.Term.(
+      const (fun seed drop corrupt delay delay_ms panic dl dl_ms ->
+          (seed, drop, corrupt, delay, delay_ms, panic, dl, dl_ms))
+      $ seed $ drop $ corrupt $ delay $ delay_ms $ panic $ disp_lat
+      $ disp_lat_ms)
+  in
   C.Term.(
     ret
       (const serve_run $ socket $ tcp $ host $ workers $ queue_capacity
      $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out
-     $ access_log $ metrics_dump $ metrics_dump_interval_ms))
+     $ access_log $ metrics_dump $ metrics_dump_interval_ms $ chaos_args))
 
 let serve_cmd =
   C.Cmd.v

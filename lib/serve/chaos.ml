@@ -1,0 +1,100 @@
+open Gossip_util
+
+exception Panic
+
+type reply_fault = Drop | Corrupt | Delay_ms of int
+
+type decision = {
+  dispatch_latency_ms : int;
+  panic : bool;
+  reply : reply_fault option;
+}
+
+let no_fault = { dispatch_latency_ms = 0; panic = false; reply = None }
+
+type t = {
+  seed : int;
+  drop : float;
+  corrupt : float;
+  delay : float;
+  delay_ms : int;
+  panic_p : float;
+  dispatch_latency : float;
+  dispatch_latency_ms : int;
+}
+
+let check_p name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Chaos: %s must be in [0, 1]" name)
+
+let check_ms name ms =
+  if ms < 0 then invalid_arg (Printf.sprintf "Chaos: %s must be >= 0" name)
+
+let make ?(seed = 0) ?(drop = 0.0) ?(corrupt = 0.0) ?(delay = 0.0)
+    ?(delay_ms = 25) ?(panic = 0.0) ?(dispatch_latency = 0.0)
+    ?(dispatch_latency_ms = 25) () =
+  check_p "drop" drop;
+  check_p "corrupt" corrupt;
+  check_p "delay" delay;
+  check_p "panic" panic;
+  check_p "dispatch-latency" dispatch_latency;
+  check_ms "delay-ms" delay_ms;
+  check_ms "dispatch-latency-ms" dispatch_latency_ms;
+  if drop +. corrupt +. delay > 1.0 then
+    invalid_arg "Chaos: drop + corrupt + delay must be at most 1";
+  if drop = 0.0 && corrupt = 0.0 && delay = 0.0 && panic = 0.0 && dispatch_latency = 0.0
+  then None
+  else
+    Some
+      {
+        seed;
+        drop;
+        corrupt;
+        delay;
+        delay_ms;
+        panic_p = panic;
+        dispatch_latency;
+        dispatch_latency_ms;
+      }
+
+(* One throwaway splitmix stream per request, seeded from (plan seed,
+   req_id).  The multiplier spreads consecutive req_ids across the seed
+   space; splitmix's finalizer does the rest. *)
+let decide t ~req_id =
+  let rng = Prng.create (t.seed + (req_id * 0x2545F491)) in
+  let dispatch_latency_ms =
+    if t.dispatch_latency > 0.0 && Prng.float rng 1.0 < t.dispatch_latency then
+      t.dispatch_latency_ms
+    else 0
+  in
+  let panic = t.panic_p > 0.0 && Prng.float rng 1.0 < t.panic_p in
+  (* A single uniform draw against cumulative thresholds keeps the three
+     reply faults mutually exclusive with the advertised marginals. *)
+  let u = Prng.float rng 1.0 in
+  let reply =
+    if u < t.drop then Some Drop
+    else if u < t.drop +. t.corrupt then Some Corrupt
+    else if u < t.drop +. t.corrupt +. t.delay then Some (Delay_ms t.delay_ms)
+    else None
+  in
+  { dispatch_latency_ms; panic; reply }
+
+let describe t =
+  Printf.sprintf
+    "seed=%d drop=%.3f corrupt=%.3f delay=%.3f(%dms) panic=%.3f \
+     dispatch-latency=%.3f(%dms)"
+    t.seed t.drop t.corrupt t.delay t.delay_ms t.panic_p t.dispatch_latency
+    t.dispatch_latency_ms
+
+let to_json t =
+  Json.Obj
+    [
+      ("seed", Json.Int t.seed);
+      ("drop", Json.Float t.drop);
+      ("corrupt", Json.Float t.corrupt);
+      ("delay", Json.Float t.delay);
+      ("delay_ms", Json.Int t.delay_ms);
+      ("panic", Json.Float t.panic_p);
+      ("dispatch_latency", Json.Float t.dispatch_latency);
+      ("dispatch_latency_ms", Json.Int t.dispatch_latency_ms);
+    ]

@@ -1,0 +1,85 @@
+(** Seeded, deterministic fault injection for the serving stack.
+
+    A chaos plan is a set of per-request fault probabilities.  The
+    decision for a request is a pure function of [(seed, req_id)] — two
+    servers booted with the same seed inject exactly the same faults on
+    the same request ids, whichever worker picks each job up and in
+    whatever order.  That determinism is what makes a chaos soak
+    debuggable: a failure reproduces from the seed.
+
+    Faults model the ways a serving process really misbehaves:
+
+    - {e dispatch latency}: the worker stalls before evaluating
+      (CPU contention, a cold cache, a GC pause);
+    - {e worker panic}: the worker domain dies mid-job (the job is still
+      answered [internal] by the exception barrier, then the domain
+      terminates and the {!Supervisor} respawns it);
+    - {e dropped reply}: the evaluation completes but the reply never
+      leaves (a lost packet, a crashed proxy) — the client's deadline is
+      its only recourse;
+    - {e corrupted reply}: the reply frame is garbled on write (still
+      one line, so framing survives; the payload does not);
+    - {e delayed reply}: the reply leaves late (a saturated NIC, a slow
+      peer).
+
+    Chaos applies to {e queued} operations only.  The inline
+    observability ops ([metrics] / [health] / [spans]) are never
+    faulted: they are the instruments by which an operator watches the
+    storm, and blinding them would make every soak unobservable.
+
+    A disabled plan is represented as [None] ({!make} returns [None]
+    when every probability is zero), so the server's hot path pays one
+    pattern match on an option and nothing else. *)
+
+type t
+
+(** Raised by the server's worker when the plan injects a panic; treated
+    by the worker-loop barrier as a simulated domain crash — the job is
+    answered [internal], then the exception escapes and kills the
+    domain so the supervisor's respawn path runs for real. *)
+exception Panic
+
+(** What a reply suffers, at most one per request. *)
+type reply_fault =
+  | Drop  (** evaluate, then never write the reply *)
+  | Corrupt  (** write a deliberately unparsable frame instead *)
+  | Delay_ms of int  (** sleep this long before writing the reply *)
+
+type decision = {
+  dispatch_latency_ms : int;  (** stall before evaluation; 0 = none *)
+  panic : bool;  (** kill the worker domain on this job *)
+  reply : reply_fault option;
+}
+
+(** The all-clear decision; what a disabled plan always yields. *)
+val no_fault : decision
+
+(** [make ()] builds a plan, or [None] when every probability is zero —
+    callers thread the option so a disabled plan costs one match.
+    Probabilities default to [0.0]; magnitudes ([delay_ms],
+    [dispatch_latency_ms]) default to 25 ms.  [drop], [corrupt] and
+    [delay] are mutually exclusive per request and must sum to at most
+    1; [panic] and [dispatch_latency] are drawn independently.
+    @raise Invalid_argument on a probability outside [0, 1], a sum of
+    reply probabilities above 1, or a negative magnitude. *)
+val make :
+  ?seed:int ->
+  ?drop:float ->
+  ?corrupt:float ->
+  ?delay:float ->
+  ?delay_ms:int ->
+  ?panic:float ->
+  ?dispatch_latency:float ->
+  ?dispatch_latency_ms:int ->
+  unit ->
+  t option
+
+(** [decide t ~req_id] — the faults this request suffers.  Pure in
+    [(seed, req_id)]: stable across workers, threads and reorderings. *)
+val decide : t -> req_id:int -> decision
+
+(** [describe t] — a one-line human summary for the startup banner. *)
+val describe : t -> string
+
+(** [to_json t] — the plan's parameters, for reports and traces. *)
+val to_json : t -> Gossip_util.Json.t

@@ -1,6 +1,6 @@
 module Json = Gossip_util.Json
 
-type t = { ic : in_channel; oc : out_channel }
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 let sockaddr_of_listen = function
   | Server.Unix_socket path -> Unix.ADDR_UNIX path
@@ -23,7 +23,7 @@ let connect listen =
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
 let rec connect_retry ?(attempts = 50) ?(delay = 0.1) listen =
   match connect listen with
@@ -60,3 +60,4 @@ let call c ?(id = Json.Null) ?timeout_ms op =
   | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost"
 
 let close c = close_out_noerr c.oc
+let fd c = c.fd

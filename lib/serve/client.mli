@@ -34,4 +34,8 @@ val send_line : t -> string -> unit
 (** [recv c] — the next response frame, parsed. *)
 val recv : t -> (Wire.response, string) result
 
+(** [fd c] — the underlying socket, for callers that need raw I/O with
+    deadlines ({!Resilient_client} reads it through [Unix.select]). *)
+val fd : t -> Unix.file_descr
+
 val close : t -> unit

@@ -37,6 +37,9 @@ type t = {
   queue_depth : int Atomic.t;
   conns : int Atomic.t;
   busy_since_ns : int64 Atomic.t array;  (* per worker; 0 = idle *)
+  worker_restarts : int Atomic.t;  (* cumulative supervisor respawns *)
+  workers_missing : int Atomic.t;  (* dead slots awaiting respawn *)
+  write_errors : int Atomic.t;  (* reply writes lost to EPIPE & friends *)
 }
 
 let create ?clock ?(wedge_ms = 30_000) ~workers ~queue_capacity () =
@@ -56,6 +59,9 @@ let create ?clock ?(wedge_ms = 30_000) ~workers ~queue_capacity () =
     queue_depth = Atomic.make 0;
     conns = Atomic.make 0;
     busy_since_ns = Array.init workers (fun _ -> Atomic.make 0L);
+    worker_restarts = Atomic.make 0;
+    workers_missing = Atomic.make 0;
+    write_errors = Atomic.make 0;
   }
 
 let now t = if t.default_clock then monotonic_ns () else t.clock ()
@@ -98,6 +104,12 @@ let worker_busy t w = Atomic.set t.busy_since_ns.(w) (now t)
 let worker_idle t w = Atomic.set t.busy_since_ns.(w) 0L
 let conn_opened t = Atomic.incr t.conns
 let conn_closed t = Atomic.decr t.conns
+let note_worker_restart t = Atomic.incr t.worker_restarts
+let set_workers_missing t n = Atomic.set t.workers_missing n
+let note_write_error t = Atomic.incr t.write_errors
+let worker_restarts t = Atomic.get t.worker_restarts
+let workers_missing t = Atomic.get t.workers_missing
+let write_errors t = Atomic.get t.write_errors
 
 let in_flight t =
   Array.fold_left
@@ -118,7 +130,10 @@ let wedged_workers t =
 let queue_saturated t =
   t.queue_capacity > 0 && Atomic.get t.queue_depth >= t.queue_capacity
 
-let healthy t = (not (queue_saturated t)) && wedged_workers t = 0
+let healthy t =
+  (not (queue_saturated t))
+  && wedged_workers t = 0
+  && Atomic.get t.workers_missing = 0
 
 let uptime_s t = Int64.to_float (Int64.sub (now t) t.started_ns) /. 1e9
 
@@ -189,6 +204,9 @@ let metrics_json t =
             ("queue_capacity", Json.Int t.queue_capacity);
             ("in_flight", Json.Int (in_flight t));
             ("workers", Json.Int t.workers);
+            ("workers_missing", Json.Int (Atomic.get t.workers_missing));
+            ("worker_restarts", Json.Int (Atomic.get t.worker_restarts));
+            ("write_errors", Json.Int (Atomic.get t.write_errors));
             ("connections", Json.Int (Atomic.get t.conns));
           ] );
       ( "windows",
@@ -200,6 +218,7 @@ let metrics_json t =
 let health_json t =
   let saturated = queue_saturated t in
   let wedged = wedged_workers t in
+  let missing = Atomic.get t.workers_missing in
   let reasons =
     (if saturated then
        [
@@ -207,11 +226,15 @@ let health_json t =
            (Atomic.get t.queue_depth) t.queue_capacity;
        ]
      else [])
+    @ (if wedged > 0 then
+         [
+           Printf.sprintf "%d worker(s) busy longer than %d ms" wedged
+             t.wedge_ms;
+         ]
+       else [])
     @
-    if wedged > 0 then
-      [
-        Printf.sprintf "%d worker(s) busy longer than %d ms" wedged t.wedge_ms;
-      ]
+    if missing > 0 then
+      [ Printf.sprintf "worker pool incomplete (%d dead, awaiting respawn)" missing ]
     else []
   in
   let ok = reasons = [] in
@@ -232,6 +255,9 @@ let health_json t =
       ("in_flight", Json.Int (in_flight t));
       ("workers", Json.Int t.workers);
       ("wedged_workers", Json.Int wedged);
+      ("workers_missing", Json.Int missing);
+      ("worker_restarts", Json.Int (Atomic.get t.worker_restarts));
+      ("write_errors", Json.Int (Atomic.get t.write_errors));
       ("uptime_s", fin (uptime_s t));
     ]
 

@@ -13,12 +13,14 @@
 
     Health semantics: the server is {e degraded} when the bounded queue
     is saturated (depth ≥ capacity — new requests are being refused
-    with [queue_full]) or when any worker has been busy on one request
+    with [queue_full]), when any worker has been busy on one request
     for longer than the wedge deadline ([wedge_ms], default 30s) —
     liveness, not load: a wedged worker means requests can stall
-    indefinitely.  A degraded server still {e answers} [health] (the
-    reader thread evaluates it, bypassing the queue); readiness is the
-    consumer's decision based on [status]. *)
+    indefinitely — or when the worker pool is incomplete (a worker
+    domain died and its supervisor respawn has not landed yet).  A
+    degraded server still {e answers} [health] (the reader thread
+    evaluates it, bypassing the queue); readiness is the consumer's
+    decision based on [status]. *)
 
 type t
 
@@ -67,17 +69,40 @@ val conn_opened : t -> unit
 
 val conn_closed : t -> unit
 
+(** [note_worker_restart t] — a supervisor respawned a dead worker
+    domain; cumulative, exposed as the [worker_restarts] gauge. *)
+val note_worker_restart : t -> unit
+
+(** [set_workers_missing t n] — [n] worker slots are currently dead
+    (crashed, respawn pending).  A non-zero value degrades health. *)
+val set_workers_missing : t -> int -> unit
+
+(** [note_write_error t] — a reply write failed (EPIPE / ECONNRESET,
+    i.e. the client vanished); the connection was closed, the worker
+    survived. *)
+val note_write_error : t -> unit
+
 (** {1 Reading} *)
 
 (** [in_flight t] — number of workers currently busy on a job. *)
 val in_flight : t -> int
+
+(** Cumulative supervisor respawns. *)
+val worker_restarts : t -> int
+
+(** Dead worker slots right now (0 once the pool is whole). *)
+val workers_missing : t -> int
+
+(** Cumulative reply-write failures tolerated. *)
+val write_errors : t -> int
 
 (** [healthy t] — [true] iff neither degradation condition holds. *)
 val healthy : t -> bool
 
 (** [metrics_json t] — versioned snapshot (schema [gossip-metrics/1]):
     uptime, gauges ([queue_depth], [queue_capacity], [in_flight],
-    [workers], [connections]), [windows.{10s,1m,5m}] with per-op
+    [workers], [workers_missing], [worker_restarts], [write_errors],
+    [connections]), [windows.{10s,1m,5m}] with per-op
     [{count, errors, rps, latency_ms: {mean,p50,p95,p99,max}}] and a
     queue-wait histogram summary, and cumulative [totals] per op.
     Documented in [doc/serving.md]. *)

@@ -1,0 +1,86 @@
+(** A {!Client} that survives the faults {!Chaos} injects — and the
+    real-world failures they model.
+
+    One [call] is a small supervised loop around the wire exchange:
+
+    - {e reconnect}: a lost or refused connection is re-established
+      automatically (counted in [stats.reconnects]);
+    - {e bounded retries with backoff}: transport errors, garbled
+      replies, per-attempt timeouts and the retryable server errors
+      ([queue_full], [deadline_exceeded], [internal]) are retried up to
+      [policy.max_attempts] times, sleeping an exponentially growing,
+      seeded-jittered backoff between attempts;
+    - {e deadline budget}: the whole call — attempts, backoffs,
+      reconnects — must finish within [policy.call_budget_ms]; each
+      attempt additionally waits at most [policy.attempt_timeout_ms]
+      for its reply;
+    - {e id correlation}: every attempt sends a fresh client-unique
+      integer [id]; a reply bearing any other id is a stale answer to an
+      earlier timed-out attempt and is dropped ([stats.stale_dropped]) —
+      a retry can therefore never be double-counted as the answer to a
+      different attempt.
+
+    Non-retryable server errors ([bad_request], [oversized_frame],
+    [shutting_down]) surface immediately as {!Fatal}: retrying a request
+    the server {e rejected} (rather than {e failed}) would loop
+    pointlessly.  When retries or budget run out the call returns
+    {!Exhausted} with the last error — an explicit outcome, never a
+    silent loss; the chaos soak's reconciliation counts on that.
+
+    Reads bypass the connection's buffered channel: replies are read
+    from the raw fd under [Unix.select] with a monotonic deadline, so a
+    server that never answers (a dropped reply) costs exactly the
+    attempt timeout, not a blocked thread.
+
+    Not thread-safe: one [t] per thread, like the {!Client} it wraps. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts per call, first one included *)
+  base_backoff_ms : int;  (** backoff before the first retry *)
+  max_backoff_ms : int;  (** exponential growth is capped here *)
+  attempt_timeout_ms : int;  (** per-attempt reply deadline *)
+  call_budget_ms : int;  (** wall-clock budget for the whole call *)
+}
+
+(** 6 attempts, 10 ms base / 500 ms cap backoff, 1 s per attempt, 10 s
+    per call. *)
+val default_policy : policy
+
+(** Why a call failed definitively. *)
+type failure =
+  | Fatal of Wire.error_code * string
+      (** the server rejected the request; retrying cannot help *)
+  | Exhausted of string
+      (** attempts or budget ran out; the string is the last error *)
+
+type stats = {
+  calls : int;
+  ok : int;
+  fatal : int;
+  gave_up : int;  (** calls that returned [Exhausted] *)
+  attempts : int;  (** wire exchanges tried, first attempts included *)
+  retries : int;  (** attempts beyond the first of their call *)
+  reconnects : int;  (** connections (re-)established after the first *)
+  stale_dropped : int;  (** replies discarded by id correlation *)
+  garbled : int;  (** unparsable reply lines tolerated *)
+}
+
+type t
+
+(** [connect ?policy ?seed listen] — establish the first connection
+    (retrying while the server is still binding, like
+    {!Client.connect_retry}).  [seed] (default 0) drives the backoff
+    jitter deterministically.
+    @raise Unix.Unix_error when the server never becomes reachable. *)
+val connect : ?policy:policy -> ?seed:int -> Server.listen -> t
+
+(** [call t ?timeout_ms op] — the resilient exchange described above.
+    [timeout_ms] is forwarded to the server as the request's deadline;
+    the client-side deadlines come from the policy. *)
+val call :
+  t -> ?timeout_ms:int -> Wire.op -> (Wire.response, failure) result
+
+(** Cumulative counters since [connect]. *)
+val stats : t -> stats
+
+val close : t -> unit

@@ -10,6 +10,7 @@ type config = {
   max_frame_bytes : int;
   default_timeout_ms : int option;
   access_log : string option;
+  chaos : Chaos.t option;  (** fault injection; [None] = disabled *)
 }
 
 let default_config ~listen =
@@ -20,6 +21,7 @@ let default_config ~listen =
     max_frame_bytes = Wire.default_max_frame_bytes;
     default_timeout_ms = None;
     access_log = None;
+    chaos = None;
   }
 
 (* A connection is shared between its reader thread and any worker
@@ -60,7 +62,7 @@ type t = {
   conn_counter : int Atomic.t;
   access_mu : Mutex.t;
   mutable access_oc : out_channel option;
-  mutable workers : unit Domain.t list;
+  mutable super : Supervisor.t option;
   mutable accept_thread : Thread.t option;
   conns_mu : Mutex.t;
   mutable conns : conn list;
@@ -145,7 +147,12 @@ let conn_kill c =
   end;
   Mutex.unlock c.state_mu
 
-let send c json =
+(* A failed write (EPIPE / ECONNRESET / any I/O error: the peer hung up
+   mid-conversation) marks only this connection dead and is counted; the
+   calling worker or reader carries on.  SIGPIPE is already ignored
+   process-wide (see [create]), so the failure arrives as an exception,
+   never a signal. *)
+let send t c json =
   Mutex.lock c.write_mu;
   let ok =
     if c.dead || c.closed then false
@@ -155,6 +162,31 @@ let send c json =
         true
       with Sys_error _ | Unix.Unix_error _ ->
         c.dead <- true;
+        Instrument.add "serve.write_errors" 1;
+        Metrics.note_write_error t.metrics;
+        false
+  in
+  Mutex.unlock c.write_mu;
+  ok
+
+(* Chaos only: emit a deliberately unparsable reply line.  Framing is
+   preserved (one '\n'-terminated line) so the client can resync; the
+   payload is not valid JSON, so the client must treat it as garbage. *)
+let send_corrupt t c json =
+  Mutex.lock c.write_mu;
+  let ok =
+    if c.dead || c.closed then false
+    else
+      try
+        output_string c.oc "#chaos-corrupt ";
+        output_string c.oc (Json.to_string json);
+        output_char c.oc '\n';
+        flush c.oc;
+        true
+      with Sys_error _ | Unix.Unix_error _ ->
+        c.dead <- true;
+        Instrument.add "serve.write_errors" 1;
+        Metrics.note_write_error t.metrics;
         false
   in
   Mutex.unlock c.write_mu;
@@ -162,6 +194,24 @@ let send c json =
 
 (* --- worker pool --- *)
 
+(* Write one reply under an (optional) injected reply fault.  Faults
+   strike after evaluation and accounting — the work was done and
+   observed; only the reply is lost, garbled or late, exactly the
+   failure a real network serves up. *)
+let send_reply t conn ~(fault : Chaos.reply_fault option) json =
+  match fault with
+  | None -> ignore (send t conn json)
+  | Some Chaos.Drop -> Instrument.add "serve.chaos.dropped_replies" 1
+  | Some Chaos.Corrupt ->
+      Instrument.add "serve.chaos.corrupted_replies" 1;
+      ignore (send_corrupt t conn json)
+  | Some (Chaos.Delay_ms ms) ->
+      Instrument.add "serve.chaos.delayed_replies" 1;
+      Thread.delay (float_of_int ms /. 1000.0);
+      ignore (send t conn json)
+
+(* NOTE: the caller ([worker_loop]) owns the job's connection reference
+   and releases it whether we return or raise. *)
 let process_job t ~worker job =
   note_queue_depth t;
   let req = job.request in
@@ -186,11 +236,18 @@ let process_job t ~worker job =
     access_log t ~req_id:job.req_id ~conn_id ~op ~status:"deadline_exceeded"
       ~queue_wait_s ~service_s:0.0 ~id;
     ignore
-      (send job.conn
+      (send t job.conn
          (Wire.error_response ~id ~code:Wire.Deadline_exceeded
             ~message:"request expired before a worker picked it up"))
   end
   else begin
+    (* one match on an option when chaos is off — the entire hot-path
+       cost of the fault-injection layer (measured in bench Part 25) *)
+    let decision =
+      match t.config.chaos with
+      | None -> Chaos.no_fault
+      | Some plan -> Chaos.decide plan ~req_id:job.req_id
+    in
     Metrics.worker_busy t.metrics worker;
     (* request attributes are only consumed by the streaming trace;
        skip building and installing them when no trace is attached so
@@ -206,16 +263,32 @@ let process_job t ~worker job =
       else []
     in
     let t0 = Instrument.now_ns () in
+    if decision.Chaos.dispatch_latency_ms > 0 then begin
+      Instrument.add "serve.chaos.dispatch_latency" 1;
+      (* inside the busy window and the service clock: the stall is
+         real worker time, and wedge detection must see it *)
+      Thread.delay (float_of_int decision.Chaos.dispatch_latency_ms /. 1000.0)
+    end;
     (* ambient attributes: every span/event the evaluation triggers —
        context lookups, norm solves, engine rounds — tags itself with
-       this request.  Safe: each worker domain runs exactly one thread. *)
+       this request.  Safe: each worker domain runs exactly one thread.
+       An injected panic raises from inside the span: [Instrument.span]
+       is exception-safe, so the trace stays balanced and the barrier
+       above us answers the client. *)
     let outcome =
       Instrument.span "serve.request" ~attrs (fun () ->
+          let eval () =
+            if decision.Chaos.panic then begin
+              Instrument.add "serve.chaos.panics" 1;
+              raise Chaos.Panic
+            end;
+            Dispatch.eval t.disp req.Wire.op
+          in
           if tracing then
             Instrument.with_ambient_attrs
-              (req_attrs ~req_id:job.req_id ~op ~conn_id) (fun () ->
-                Dispatch.eval t.disp req.Wire.op)
-          else Dispatch.eval t.disp req.Wire.op)
+              (req_attrs ~req_id:job.req_id ~op ~conn_id)
+              eval
+          else eval ())
     in
     let service_s =
       Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9
@@ -231,20 +304,64 @@ let process_job t ~worker job =
     Metrics.observe t.metrics ~op ~ok ~queue_wait_s ~service_s;
     access_log t ~req_id:job.req_id ~conn_id ~op ~status ~queue_wait_s
       ~service_s ~id;
-    ignore
-      (send job.conn
-         (match outcome with
-         | Ok result -> Wire.ok_response ~id result
-         | Error (code, message) -> Wire.error_response ~id ~code ~message))
-  end;
-  conn_release job.conn
+    send_reply t job.conn ~fault:decision.Chaos.reply
+      (match outcome with
+      | Ok result -> Wire.ok_response ~id result
+      | Error (code, message) -> Wire.error_response ~id ~code ~message)
+  end
+
+(* The per-job exception barrier.  [Dispatch.eval] already converts
+   evaluation failures into error replies, so anything arriving here is
+   a worker-level fault: an injected {!Chaos.Panic} or a genuine bug in
+   the serving path itself.  Either way the client gets a definitive
+   [internal] answer — a job must never vanish silently — and the
+   request is observed so loadgen's reconciliation still balances. *)
+let answer_panicked_job t ~worker job exn =
+  let req = job.request in
+  let op = Wire.op_name req.Wire.op in
+  let conn_id = job.conn.conn_id in
+  (* the panic interrupted the busy window; clear the stamp or the
+     wedge detector would count this worker busy forever *)
+  Metrics.worker_idle t.metrics worker;
+  Instrument.add "serve.job_panics" 1;
+  Instrument.event "serve.panic"
+    ~attrs:
+      (req_attrs ~req_id:job.req_id ~op ~conn_id
+      @ [ ("exn", Json.Str (Printexc.to_string exn)) ]);
+  Metrics.observe t.metrics ~op ~ok:false ~queue_wait_s:0.0 ~service_s:0.0;
+  access_log t ~req_id:job.req_id ~conn_id ~op ~status:"internal"
+    ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
+  let message =
+    match exn with
+    | Chaos.Panic -> "worker panicked (injected fault); request not served"
+    | e -> Printf.sprintf "worker panicked: %s" (Printexc.to_string e)
+  in
+  ignore
+    (send t job.conn
+       (Wire.error_response ~id:req.Wire.id ~code:Wire.Internal ~message))
 
 let worker_loop t worker () =
   let rec go () =
     match Bounded_queue.pop t.queue with
     | Some job ->
-        process_job t ~worker job;
-        go ()
+        (* the finally runs on every exit path, so the connection's
+           refcount balances even when the job panics *)
+        let fatal =
+          Fun.protect
+            ~finally:(fun () -> conn_release job.conn)
+            (fun () ->
+              try
+                process_job t ~worker job;
+                None
+              with exn ->
+                answer_panicked_job t ~worker job exn;
+                (* an injected panic is a simulated domain crash: after
+                   answering, die for real so the supervisor's respawn
+                   path runs end to end.  Everything else is survived —
+                   the barrier's whole purpose. *)
+                (match exn with Chaos.Panic -> Some exn | _ -> None))
+        in
+        (match fatal with Some exn -> raise exn | None -> go ())
     | None -> ()
   in
   go ()
@@ -297,7 +414,7 @@ let admit t conn (req : Wire.request) ~req_id =
       access_log t ~req_id ~conn_id:conn.conn_id ~op ~status:"queue_full"
         ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
       ignore
-        (send conn
+        (send t conn
            (Wire.error_response ~id:req.Wire.id ~code:Wire.Queue_full
               ~message:
                 (Printf.sprintf "request queue full (capacity %d); retry later"
@@ -308,7 +425,7 @@ let admit t conn (req : Wire.request) ~req_id =
       access_log t ~req_id ~conn_id:conn.conn_id ~op ~status:"shutting_down"
         ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
       ignore
-        (send conn
+        (send t conn
            (Wire.error_response ~id:req.Wire.id ~code:Wire.Shutting_down
               ~message:"server is draining"))
 
@@ -349,7 +466,7 @@ let reader_loop t conn () =
     | Error Wire.Oversized ->
         Instrument.add "serve.rejected.oversized" 1;
         ignore
-          (send conn
+          (send t conn
              (Wire.error_response ~id:Json.Null ~code:Wire.Oversized_frame
                 ~message:
                   (Printf.sprintf "frame exceeds %d bytes; closing connection"
@@ -367,7 +484,7 @@ let reader_loop t conn () =
               ~op:"invalid" ~status:"bad_request" ~queue_wait_s:0.0
               ~service_s:0.0 ~id:Json.Null;
             ignore
-              (send conn
+              (send t conn
                  (Wire.error_response ~id:Json.Null ~code:Wire.Bad_request
                     ~message:(Printf.sprintf "invalid JSON: %s" e)))
         | Ok frame -> (
@@ -382,19 +499,19 @@ let reader_loop t conn () =
                   ~op:"invalid" ~status:"bad_request" ~queue_wait_s:0.0
                   ~service_s:0.0 ~id;
                 ignore
-                  (send conn
+                  (send t conn
                      (Wire.error_response ~id ~code:Wire.Bad_request
                         ~message:msg))
             | Ok ({ Wire.op = Wire.Metrics | Wire.Health | Wire.Spans; _ } as
                   req) ->
                 (* observability stays on even while draining *)
                 ignore
-                  (send conn
+                  (send t conn
                      (eval_inline t req ~req_id:(next_req_id t)
                         ~conn_id:conn.conn_id))
             | Ok req when stop_requested t ->
                 ignore
-                  (send conn
+                  (send t conn
                      (Wire.error_response ~id:req.Wire.id
                         ~code:Wire.Shutting_down ~message:"server is draining"))
             | Ok ({ Wire.op = Wire.Shutdown; _ } as req) ->
@@ -403,7 +520,7 @@ let reader_loop t conn () =
                    actual drain runs in [join]/[shutdown], not here *)
                 request_stop t;
                 ignore
-                  (send conn
+                  (send t conn
                      (Wire.ok_response ~id:req.Wire.id
                         (Json.Obj [ ("stopping", Json.Bool true) ])))
             | Ok req -> admit t conn req ~req_id:(next_req_id t)));
@@ -526,7 +643,7 @@ let create ?dispatch ?metrics (config : config) =
     conn_counter = Atomic.make 1;
     access_mu = Mutex.create ();
     access_oc;
-    workers = [];
+    super = None;
     accept_thread = None;
     conns_mu = Mutex.create ();
     conns = [];
@@ -536,8 +653,18 @@ let create ?dispatch ?metrics (config : config) =
   }
 
 let start t =
-  t.workers <-
-    List.init t.config.workers (fun w -> Domain.spawn (worker_loop t w));
+  t.super <-
+    Some
+      (Supervisor.start ~workers:t.config.workers
+         ~stopping:(fun () -> stop_requested t)
+         ~on_restart:(fun slot ->
+           Instrument.add "serve.worker_restarts" 1;
+           Metrics.note_worker_restart t.metrics;
+           Instrument.event "serve.worker_restart"
+             ~attrs:[ ("worker", Json.Int slot) ])
+         ~on_missing:(fun n -> Metrics.set_workers_missing t.metrics n)
+         ~body:(fun slot -> worker_loop t slot ())
+         ());
   t.accept_thread <- Some (Thread.create (accept_loop t) ())
 
 let shutdown t =
@@ -550,10 +677,15 @@ let shutdown t =
         t.drained <- true;
         (match t.accept_thread with Some th -> Thread.join th | None -> ());
         (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-        (* no new admissions; the workers drain what was accepted *)
+        (* no new admissions; the workers drain what was accepted.
+           [stop_requested] is already true, so the supervisor will not
+           respawn the workers as they exit. *)
         Bounded_queue.close t.queue;
-        List.iter Domain.join t.workers;
-        t.workers <- [];
+        (match t.super with
+        | Some s ->
+            Supervisor.shutdown s;
+            t.super <- None
+        | None -> ());
         (* every admitted job has been answered; wake the readers and
            collect them *)
         Mutex.lock t.conns_mu;

@@ -41,7 +41,20 @@
 
     When [config.access_log] is set, every answered request appends one
     compact JSON line [{ts, req_id, conn, op, status, queue_wait_ms,
-    service_ms, id}] to that file (see doc/serving.md). *)
+    service_ms, id}] to that file (see doc/serving.md).
+
+    Robustness (doc/robustness.md has the full story): each worker runs
+    its jobs under an {e exception barrier} — an exception escaping the
+    serving path answers the client [internal] instead of losing the
+    request; a worker domain that nevertheless dies is respawned by a
+    {!Supervisor} heartbeat (counted in [worker_restarts], health
+    degraded while the pool is incomplete); reply writes that fail
+    because the peer vanished (EPIPE / ECONNRESET) close only that
+    connection and bump [write_errors].  When [config.chaos] is set
+    ({!Chaos}), queued requests suffer seeded, deterministic faults —
+    dropped / corrupted / delayed replies, injected dispatch latency,
+    worker panics — while the inline observability ops stay exempt so
+    the storm remains observable. *)
 
 type listen =
   | Unix_socket of string  (** path; unlinked on bind and on shutdown *)
@@ -57,11 +70,15 @@ type config = {
   access_log : string option;
       (** when set, one JSON line per answered request is appended to
           this file (truncated on open) *)
+  chaos : Chaos.t option;
+      (** fault-injection plan for queued requests; [None] (the
+          default) disables injection entirely — the hot path then pays
+          a single pattern match *)
 }
 
 (** [default_config ~listen] — {!Gossip_util.Parallel.recommended_domains}
     workers, queue capacity 64, 1 MiB frames, no default deadline, no
-    access log. *)
+    access log, no chaos. *)
 val default_config : listen:listen -> config
 
 type t

@@ -1,0 +1,102 @@
+type slot = {
+  index : int;
+  mutable domain : unit Domain.t option;  (* touched only by start/heartbeat/shutdown *)
+  exited : bool Atomic.t;  (* set by the dying domain itself *)
+}
+
+type t = {
+  slots : slot array;
+  restart_count : int Atomic.t;
+  stopping : unit -> bool;
+  shutting : bool Atomic.t;
+  on_restart : int -> unit;
+  on_missing : int -> unit;
+  body : int -> unit;
+  heartbeat_s : float;
+  mutable heartbeat : Thread.t option;
+}
+
+(* The exited flag is the last thing a domain does, so by the time the
+   heartbeat sees it the body is gone and Domain.join returns at once.
+   Exceptions are swallowed here: anything that escapes the body is a
+   crash by definition, and the respawn is the response. *)
+let slot_main t slot () =
+  (try t.body slot.index with _ -> ());
+  Atomic.set slot.exited true
+
+let spawn t slot =
+  Atomic.set slot.exited false;
+  slot.domain <- Some (Domain.spawn (slot_main t slot))
+
+let heartbeat_loop t () =
+  while not (Atomic.get t.shutting) do
+    Thread.delay t.heartbeat_s;
+    if (not (Atomic.get t.shutting)) && not (t.stopping ()) then begin
+      let missing =
+        Array.fold_left
+          (fun n s -> if Atomic.get s.exited then n + 1 else n)
+          0 t.slots
+      in
+      if missing > 0 then begin
+        t.on_missing missing;
+        Array.iter
+          (fun s ->
+            if Atomic.get s.exited && not (t.stopping ()) then begin
+              (match s.domain with Some d -> Domain.join d | None -> ());
+              spawn t s;
+              Atomic.incr t.restart_count;
+              t.on_restart s.index
+            end)
+          t.slots;
+        t.on_missing 0
+      end
+    end
+  done
+
+let start ~workers ?(heartbeat_ms = 50) ~stopping ~on_restart ~on_missing
+    ~body () =
+  if workers <= 0 then invalid_arg "Supervisor: workers must be positive";
+  if heartbeat_ms <= 0 then
+    invalid_arg "Supervisor: heartbeat_ms must be positive";
+  let t =
+    {
+      slots =
+        Array.init workers (fun index ->
+            { index; domain = None; exited = Atomic.make false });
+      restart_count = Atomic.make 0;
+      stopping;
+      shutting = Atomic.make false;
+      on_restart;
+      on_missing;
+      body;
+      heartbeat_s = float_of_int heartbeat_ms /. 1000.0;
+      heartbeat = None;
+    }
+  in
+  Array.iter (spawn t) t.slots;
+  t.heartbeat <- Some (Thread.create (heartbeat_loop t) ());
+  t
+
+let restarts t = Atomic.get t.restart_count
+
+let alive t =
+  Array.fold_left
+    (fun n s ->
+      if s.domain <> None && not (Atomic.get s.exited) then n + 1 else n)
+    0 t.slots
+
+let shutdown t =
+  Atomic.set t.shutting true;
+  (match t.heartbeat with
+  | Some th ->
+      Thread.join th;
+      t.heartbeat <- None
+  | None -> ());
+  Array.iter
+    (fun s ->
+      match s.domain with
+      | Some d ->
+          Domain.join d;
+          s.domain <- None
+      | None -> ())
+    t.slots

@@ -1,0 +1,52 @@
+(** Self-healing worker pool: spawn [workers] domains and keep them
+    alive until told to stop.
+
+    Each worker occupies a fixed {e slot} ([0 .. workers-1]); the slot
+    index is the worker's identity for metrics (busy stamps, restart
+    events), so a respawned worker inherits its predecessor's slot.  A
+    heartbeat thread polls the slots: when a domain has exited while the
+    pool is not stopping — an escaped exception, i.e. a crash — the dead
+    domain is joined and a fresh one is spawned in the same slot, and
+    [on_restart slot] fires.  [on_missing n] reports the number of dead
+    slots just before the respawn pass and [on_missing 0] after it, so
+    the caller can degrade and restore health around the gap.
+
+    What this can and cannot heal: an OCaml domain cannot be killed or
+    interrupted from outside, so a {e dead} worker (body returned or
+    raised) is respawned, but a {e wedged} worker (alive and stuck) can
+    only be detected and reported — that is {!Metrics.wedged_workers}'
+    job, and the pool stays degraded until the worker comes back on its
+    own.  The barrier in the server's worker loop makes death rare
+    (ordinary exceptions are answered, not propagated); the supervisor
+    is the backstop for the exceptions that are meant to escape. *)
+
+type t
+
+(** [start ~workers ~stopping ~on_restart ~on_missing ~body ()] spawns
+    [workers] domains running [body slot] and a heartbeat thread that
+    respawns crashed ones every [heartbeat_ms] (default 50) until
+    [stopping ()] is true.  A body that raises counts as a crash; the
+    exception is swallowed (the barrier in [body] should have dealt with
+    it).  A body that returns while [stopping ()] is false also counts
+    as a crash and is respawned.
+    @raise Invalid_argument if [workers <= 0] or [heartbeat_ms <= 0]. *)
+val start :
+  workers:int ->
+  ?heartbeat_ms:int ->
+  stopping:(unit -> bool) ->
+  on_restart:(int -> unit) ->
+  on_missing:(int -> unit) ->
+  body:(int -> unit) ->
+  unit ->
+  t
+
+(** Total respawns performed since [start]. *)
+val restarts : t -> int
+
+(** Number of slots whose domain is currently running. *)
+val alive : t -> int
+
+(** Stop the heartbeat and join every worker domain.  The caller must
+    first make [stopping ()] true {e and} unblock the workers (close the
+    queue they pop from), or this blocks forever.  Idempotent. *)
+val shutdown : t -> unit

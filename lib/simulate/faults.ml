@@ -7,15 +7,90 @@ type outcome = {
   activations : int;
 }
 
-let gossip_time_with_faults ?cap p ~drop_probability ~seed =
-  if drop_probability < 0.0 || drop_probability > 1.0 then
-    invalid_arg "Faults: drop_probability must be in [0, 1]";
+type model =
+  | Iid of { p : float }
+  | Permanent of { k : int }
+  | Bursty of { p_fail : float; p_recover : float }
+
+let model_name = function
+  | Iid _ -> "iid"
+  | Permanent _ -> "permanent"
+  | Bursty _ -> "bursty"
+
+let check_probability name v =
+  if v < 0.0 || v > 1.0 then
+    invalid_arg (Printf.sprintf "Faults: %s must be in [0, 1]" name)
+
+let validate_model = function
+  | Iid { p } -> check_probability "drop_probability" p
+  | Permanent { k } -> if k < 0 then invalid_arg "Faults: k must be >= 0"
+  | Bursty { p_fail; p_recover } ->
+      check_probability "p_fail" p_fail;
+      check_probability "p_recover" p_recover
+
+(* Distinct arcs across one period, in first-appearance order (so the
+   seeded shuffle below is reproducible across OCaml versions). *)
+let period_arcs p =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  for i = 0 to Systolic.period p - 1 do
+    List.iter
+      (fun arc ->
+        if not (Hashtbl.mem seen arc) then begin
+          Hashtbl.add seen arc ();
+          acc := arc :: !acc
+        end)
+      (Systolic.period_round p i)
+  done;
+  Array.of_list (List.rev !acc)
+
+(* [decider model rng] — a per-activation drop predicate.  Setup (the
+   permanent-failure shuffle) draws from [rng] once, up front; the i.i.d.
+   model draws from [rng] per activation — exactly the legacy draw order,
+   so pre-model seeds reproduce byte-identical runs. *)
+let decider p model rng =
+  match model with
+  | Iid { p = prob } -> fun _arc -> Prng.float rng 1.0 < prob
+  | Permanent { k } ->
+      let arcs = period_arcs p in
+      Prng.shuffle rng arcs;
+      let failed = Hashtbl.create (max 1 (min k (Array.length arcs))) in
+      Array.iteri
+        (fun i arc -> if i < k then Hashtbl.add failed arc ())
+        arcs;
+      fun arc -> Hashtbl.mem failed arc
+  | Bursty { p_fail; p_recover } ->
+      (* Gilbert on/off chain per arc, each with its own derived stream:
+         the state an arc is in depends only on (seed, arc, its own
+         activation count), never on how arcs interleave. *)
+      let states = Hashtbl.create 64 in
+      let seed0 = Prng.int rng max_int in
+      fun arc ->
+        let good, arng =
+          match Hashtbl.find_opt states arc with
+          | Some s -> s
+          | None ->
+              let s =
+                (ref true, Prng.create (seed0 lxor (Hashtbl.hash arc * 0x9E3779B1)))
+              in
+              Hashtbl.add states arc s;
+              s
+        in
+        (if !good then begin
+           if Prng.float arng 1.0 < p_fail then good := false
+         end
+         else if Prng.float arng 1.0 < p_recover then good := true);
+        not !good
+
+let run ?cap p ~model ~seed =
+  validate_model model;
   let g = Systolic.graph p in
   let n = Gossip_topology.Digraph.n_vertices g in
   let cap =
     match cap with Some c -> c | None -> (16 * Systolic.period p * n) + 64
   in
   let rng = Prng.create seed in
+  let drop_arc = decider p model rng in
   let st = Engine.initial_state n in
   let drops = ref 0 and activations = ref 0 in
   let completed = ref None in
@@ -24,9 +99,9 @@ let gossip_time_with_faults ?cap p ~drop_probability ~seed =
     let round = Systolic.period_round p !i in
     let surviving =
       List.filter
-        (fun _ ->
+        (fun arc ->
           incr activations;
-          if Prng.float rng 1.0 < drop_probability then begin
+          if drop_arc arc then begin
             incr drops;
             false
           end
@@ -40,6 +115,11 @@ let gossip_time_with_faults ?cap p ~drop_probability ~seed =
     if Engine.all_complete st then completed := Some !i
   done;
   { completed_at = !completed; drops = !drops; activations = !activations }
+
+let gossip_time_with_faults ?cap p ~drop_probability ~seed =
+  if drop_probability < 0.0 || drop_probability > 1.0 then
+    invalid_arg "Faults: drop_probability must be in [0, 1]";
+  run ?cap p ~model:(Iid { p = drop_probability }) ~seed
 
 type slowdown_point = {
   probability : float;
@@ -81,3 +161,52 @@ let point_to_json pt =
       ("completed", J.Int pt.completed);
       ("trials", J.Int pt.trials);
     ]
+
+type curve_point = {
+  cp_model : model;
+  cp_mean : float option;
+  cp_completed : int;
+  cp_trials : int;
+}
+
+let curve ?cap ?(trials = 5) p ~models ~seed =
+  List.map
+    (fun model ->
+      let times = ref [] in
+      for t = 1 to trials do
+        match run ?cap p ~model ~seed:(seed + (t * 7919)) with
+        | { completed_at = Some time; _ } -> times := time :: !times
+        | { completed_at = None; _ } -> ()
+      done;
+      let completed = List.length !times in
+      let mean =
+        match !times with
+        | [] -> None
+        | ts ->
+            Some
+              (float_of_int (List.fold_left ( + ) 0 ts)
+              /. float_of_int completed)
+      in
+      { cp_model = model; cp_mean = mean; cp_completed = completed;
+        cp_trials = trials })
+    models
+
+let model_params_json model =
+  let module J = Gossip_util.Json in
+  match model with
+  | Iid { p } -> [ ("probability", J.Float p) ]
+  | Permanent { k } -> [ ("k", J.Int k) ]
+  | Bursty { p_fail; p_recover } ->
+      [ ("p_fail", J.Float p_fail); ("p_recover", J.Float p_recover) ]
+
+let curve_point_to_json pt =
+  let module J = Gossip_util.Json in
+  J.Obj
+    (("model", J.Str (model_name pt.cp_model))
+     :: model_params_json pt.cp_model
+    @ [
+        ( "mean",
+          match pt.cp_mean with Some m -> J.Float m | None -> J.Null );
+        ("completed", J.Int pt.cp_completed);
+        ("trials", J.Int pt.cp_trials);
+      ])

@@ -4,18 +4,48 @@
     the same period repeats regardless of what has been delivered — which
     also makes it naturally tolerant to transient link failures: a lost
     transmission is retried [s] rounds later by the very same arc.  This
-    module drops each arc activation independently with probability [p]
-    and measures the slowdown, giving the examples and benches a
-    robustness axis the paper's model treats implicitly (its bounds hold
-    a fortiori under failures, since failures only remove transmissions).
+    module drops arc activations under three fault models and measures
+    the slowdown, giving the examples and benches a robustness axis the
+    paper's model treats implicitly (its bounds hold a fortiori under
+    failures, since failures only remove transmissions):
 
-    Faults are deterministic given the seed. *)
+    - {e i.i.d.} — each activation is dropped independently with
+      probability [p]; the transient-noise model;
+    - {e permanent} — [k] distinct arcs of the period, chosen by a
+      seeded shuffle, fail for the whole run; models broken links.  A
+      systolic protocol has no routing around them, so this probes how
+      much redundancy the period itself carries;
+    - {e bursty} — each arc runs its own seeded on/off (Gilbert) chain:
+      a good arc fails with [p_fail] per activation, a failed one
+      recovers with [p_recover]; losses arrive in runs, the way real
+      links misbehave.  Expected burst length is [1/p_recover]
+      activations of that arc.
+
+    Faults are deterministic given the seed; the bursty model derives
+    one stream per arc, so an arc's state depends only on the seed and
+    its own activation count, never on how rounds interleave arcs. *)
 
 type outcome = {
   completed_at : int option;  (** completion round under faults *)
   drops : int;  (** arc activations suppressed *)
   activations : int;  (** arc activations attempted *)
 }
+
+type model =
+  | Iid of { p : float }  (** independent per-activation drops *)
+  | Permanent of { k : int }  (** [k] arcs removed for the whole run *)
+  | Bursty of { p_fail : float; p_recover : float }
+      (** per-arc on/off process; drops while "off" *)
+
+(** The wire name of a model: ["iid"], ["permanent"], ["bursty"]. *)
+val model_name : model -> string
+
+(** [run ?cap p ~model ~seed] — one faulted run.  [cap] defaults to
+    [16 · period · n + 64] rounds, after which [completed_at = None].
+    With [Iid] this reproduces {!gossip_time_with_faults} draw for draw.
+    @raise Invalid_argument on probabilities outside [0, 1] or [k < 0]. *)
+val run :
+  ?cap:int -> Gossip_protocol.Systolic.t -> model:model -> seed:int -> outcome
 
 (** [gossip_time_with_faults ?cap p ~drop_probability ~seed] runs the
     systolic protocol with i.i.d. arc drops.
@@ -52,5 +82,33 @@ val slowdown_curve :
 
 (** [point_to_json pt] — [{probability, mean, completed, trials}] with
     [mean = null] when no trial completed; the element schema of the
-    ["curve"] array in [gossip_lab faults --json]. *)
+    ["curve"] array in [gossip_lab faults --json] under the i.i.d.
+    model. *)
 val point_to_json : slowdown_point -> Gossip_util.Json.t
+
+(** One fault model on a multi-model curve; same survivorship caveat as
+    {!slowdown_point}. *)
+type curve_point = {
+  cp_model : model;
+  cp_mean : float option;
+  cp_completed : int;
+  cp_trials : int;
+}
+
+(** [curve ?cap ?trials p ~models ~seed] — one {!curve_point} per model
+    ([trials] defaults to 5; trial [t] runs with seed [seed + 7919·t],
+    matching {!slowdown_curve}'s offsets). *)
+val curve :
+  ?cap:int ->
+  ?trials:int ->
+  Gossip_protocol.Systolic.t ->
+  models:model list ->
+  seed:int ->
+  curve_point list
+
+(** [curve_point_to_json pt] — the point with its model spelled out:
+    [{"model": "iid", "probability": p, ...}] /
+    [{"model": "permanent", "k": k, ...}] /
+    [{"model": "bursty", "p_fail": f, "p_recover": r, ...}], each
+    followed by [mean] / [completed] / [trials]. *)
+val curve_point_to_json : curve_point -> Gossip_util.Json.t

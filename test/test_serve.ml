@@ -12,6 +12,9 @@ module Server = Gossip_serve.Server
 module Client = Gossip_serve.Client
 module Metrics = Gossip_serve.Metrics
 module Trace_analysis = Gossip_serve.Trace_analysis
+module Chaos = Gossip_serve.Chaos
+module Supervisor = Gossip_serve.Supervisor
+module Resilient = Gossip_serve.Resilient_client
 
 (* [dig ["a";"b"] j] follows nested object members. *)
 let rec dig path j =
@@ -454,7 +457,8 @@ let fresh_socket_path =
       (Printf.sprintf "gserve-%d-%d.sock" (Unix.getpid ()) !counter)
 
 let with_server ?dispatch ?(workers = 2) ?(queue_capacity = 16)
-    ?(max_frame_bytes = Wire.default_max_frame_bytes) ?access_log f =
+    ?(max_frame_bytes = Wire.default_max_frame_bytes) ?access_log
+    ?(chaos = None) f =
   let path = fresh_socket_path () in
   let listen = Server.Unix_socket path in
   let config =
@@ -464,6 +468,7 @@ let with_server ?dispatch ?(workers = 2) ?(queue_capacity = 16)
       queue_capacity;
       max_frame_bytes;
       access_log;
+      chaos;
     }
   in
   let server = Server.create ?dispatch config in
@@ -854,6 +859,404 @@ let test_e2e_shutdown_op () =
           Client.close c2;
           Alcotest.fail "connect after shutdown should fail")
 
+(* --- robustness: chaos plans, supervision, resilient client --- *)
+
+let test_chaos_plan_and_decisions () =
+  check "all-zero plan compiles out" true (Chaos.make () = None);
+  check "explicit zeros too" true
+    (Chaos.make ~seed:9 ~drop:0.0 ~corrupt:0.0 ~delay:0.0 ~panic:0.0
+       ~dispatch_latency:0.0 ()
+    = None);
+  let plan =
+    match
+      Chaos.make ~seed:7 ~drop:0.25 ~corrupt:0.2 ~delay:0.25 ~delay_ms:3
+        ~panic:0.15 ~dispatch_latency:0.3 ~dispatch_latency_ms:2 ()
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "plan with nonzero probabilities must be Some"
+  in
+  (* pure in (seed, req_id): recomputing yields identical decisions *)
+  for req_id = 1 to 200 do
+    check "decision deterministic" true
+      (Chaos.decide plan ~req_id = Chaos.decide plan ~req_id)
+  done;
+  (* over enough requests every configured fault appears, magnitudes are
+     the configured ones, and reply faults are mutually exclusive by
+     construction (the variant holds at most one) *)
+  let drops = ref 0 and corrupts = ref 0 and delays = ref 0 in
+  let panics = ref 0 and stalls = ref 0 and clean = ref 0 in
+  for req_id = 1 to 2000 do
+    let d = Chaos.decide plan ~req_id in
+    (match d.Chaos.reply with
+    | Some Chaos.Drop -> incr drops
+    | Some Chaos.Corrupt -> incr corrupts
+    | Some (Chaos.Delay_ms ms) ->
+        incr delays;
+        check_int "delay magnitude" 3 ms
+    | None -> incr clean);
+    if d.Chaos.panic then incr panics;
+    if d.Chaos.dispatch_latency_ms > 0 then begin
+      incr stalls;
+      check_int "stall magnitude" 2 d.Chaos.dispatch_latency_ms
+    end
+  done;
+  List.iter
+    (fun (name, count) -> check (name ^ " occurs") true (!count > 0))
+    [
+      ("drop", drops);
+      ("corrupt", corrupts);
+      ("delay", delays);
+      ("panic", panics);
+      ("stall", stalls);
+      ("clean request", clean);
+    ];
+  (* a different seed is a different plan *)
+  let plan' =
+    Option.get
+      (Chaos.make ~seed:8 ~drop:0.25 ~corrupt:0.2 ~delay:0.25 ~delay_ms:3
+         ~panic:0.15 ~dispatch_latency:0.3 ~dispatch_latency_ms:2 ())
+  in
+  let differs = ref false in
+  for req_id = 1 to 200 do
+    if Chaos.decide plan ~req_id <> Chaos.decide plan' ~req_id then
+      differs := true
+  done;
+  check "seed matters" true !differs;
+  let invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  invalid "probability > 1" (fun () -> Chaos.make ~drop:1.5 ());
+  invalid "negative probability" (fun () -> Chaos.make ~panic:(-0.1) ());
+  invalid "reply faults sum > 1" (fun () ->
+      Chaos.make ~drop:0.6 ~corrupt:0.3 ~delay:0.2 ());
+  invalid "negative magnitude" (fun () ->
+      Chaos.make ~delay:0.1 ~delay_ms:(-1) ())
+
+let test_supervisor_respawns_crashed_workers () =
+  let stopping = Atomic.make false in
+  let crashes_left = Atomic.make 2 in
+  let restarted = Atomic.make 0 in
+  (* the first two bodies crash immediately; their replacements block
+     like a well-behaved worker until told to stop *)
+  let body _slot =
+    if Atomic.fetch_and_add crashes_left (-1) > 0 then
+      failwith "injected crash"
+    else
+      while not (Atomic.get stopping) do
+        Thread.delay 0.005
+      done
+  in
+  let sup =
+    Supervisor.start ~workers:2 ~heartbeat_ms:10
+      ~stopping:(fun () -> Atomic.get stopping)
+      ~on_restart:(fun _slot -> Atomic.incr restarted)
+      ~on_missing:(fun _ -> ())
+      ~body ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (Supervisor.restarts sup < 2 || Supervisor.alive sup < 2)
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  check "both crashes respawned" true (Supervisor.restarts sup >= 2);
+  check_int "pool is whole again" 2 (Supervisor.alive sup);
+  check_int "on_restart fired once per respawn" (Supervisor.restarts sup)
+    (Atomic.get restarted);
+  Atomic.set stopping true;
+  Supervisor.shutdown sup
+
+let test_queue_domain_shutdown_race () =
+  (* Four pushing domains race a concurrent [close].  The contract under
+     test: every push either returned [`Ok] and its item is drained
+     after close, or was refused with [`Closed] — accepted work is never
+     dropped, refused work is never admitted, and nothing hangs. *)
+  for round = 0 to 4 do
+    let q = Queue_.create ~capacity:8192 in
+    let domains = 4 and per = 500 in
+    let pushers =
+      List.init domains (fun d ->
+          Domain.spawn (fun () ->
+              let accepted = ref [] in
+              let fulls = ref 0 in
+              for i = 0 to per - 1 do
+                let item = (d * per) + i in
+                match Queue_.try_push q item with
+                | `Ok -> accepted := item :: !accepted
+                | `Closed -> ()
+                | `Full -> incr fulls
+              done;
+              (!accepted, !fulls)))
+    in
+    (* close somewhere in the middle of the pushing, at a slightly
+       different point each round *)
+    Thread.delay (0.0002 *. float_of_int round);
+    Queue_.close q;
+    let results = List.map Domain.join pushers in
+    let accepted = List.concat_map fst results in
+    let fulls = List.fold_left (fun a (_, f) -> a + f) 0 results in
+    check_int "capacity was never the limiter" 0 fulls;
+    let drained = ref [] in
+    let rec drain () =
+      match Queue_.pop q with
+      | Some x ->
+          drained := x :: !drained;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    let sort = List.sort compare in
+    check "accepted and drained agree exactly" true
+      (sort accepted = sort !drained);
+    check "closed for good" true (Queue_.try_push q (-1) = `Closed)
+  done
+
+let test_e2e_write_error_counted_worker_survives () =
+  with_server (fun _server listen ->
+      (* admit a slow job, then vanish before the reply can be written *)
+      let doomed = Client.connect_retry listen in
+      Client.send_line doomed {|{"id":1,"op":"sleep","params":{"ms":150}}|};
+      Thread.delay 0.05;
+      Client.close doomed;
+      (* let the worker finish the sleep and hit the dead descriptor *)
+      Thread.delay 0.4;
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let pong = expect_ok (Client.call c Wire.Ping) in
+          check "worker survived the failed write" true
+            (Json.member "pong" pong = Some (Json.Bool true));
+          let m = expect_ok (Client.call c Wire.Metrics) in
+          check "write error counted" true
+            (match dig_int [ "gauges"; "write_errors" ] m with
+            | Some n -> n >= 1
+            | None -> false);
+          check "a write error is not a worker death" true
+            (dig_int [ "gauges"; "worker_restarts" ] m = Some 0);
+          (* health stays ok: a hung-up peer is the peer's problem *)
+          let h = expect_ok (Client.call c Wire.Health) in
+          check "healthy despite write error" true
+            (dig_str [ "status" ] h = Some "ok")))
+
+(* Poll health over a raw client until the pool reports ok, or fail. *)
+let wait_healthy c ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let h = expect_ok (Client.call c Wire.Health) in
+    if dig_str [ "status" ] h = Some "ok" then h
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "health did not recover: %s" (Json.to_string h)
+    else begin
+      Thread.delay 0.1;
+      go ()
+    end
+  in
+  go ()
+
+let test_e2e_chaos_panic_respawn_and_recovery () =
+  with_server
+    ~chaos:(Chaos.make ~seed:1 ~panic:1.0 ())
+    (fun _server listen ->
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* every queued op panics its worker — yet every request is
+             still answered, as internal_error, by the barrier *)
+          for i = 1 to 4 do
+            match Client.call c ~id:(Json.Int i) Wire.Ping with
+            | Ok { Wire.resp_id = Json.Int j; outcome = Error (Wire.Internal, msg); _ }
+              when j = i ->
+                check "panic is named in the error" true
+                  (String.length msg > 0)
+            | other ->
+                Alcotest.failf "expected internal_error for ping %d, got %s" i
+                  (match other with
+                  | Ok { Wire.outcome = Ok _; _ } -> "success"
+                  | Ok { Wire.outcome = Error (code, _); _ } ->
+                      Wire.error_code_to_string code
+                  | Error e -> "transport: " ^ e)
+          done;
+          (* inline observability is exempt from chaos and keeps working
+             mid-storm *)
+          let m = expect_ok (Client.call c Wire.Metrics) in
+          check "metrics op unfaulted" true
+            (dig_str [ "schema" ] m = Some "gossip-metrics/1");
+          (* the supervisor refills the pool; health returns to ok *)
+          let h = wait_healthy c ~timeout_s:5.0 in
+          check "health reports the restarts" true
+            (match dig_int [ "worker_restarts" ] h with
+            | Some n -> n >= 1
+            | None -> false);
+          check "no worker left missing" true
+            (dig_int [ "workers_missing" ] h = Some 0);
+          let m' = expect_ok (Client.call c Wire.Metrics) in
+          check "restart gauge advanced" true
+            (match dig_int [ "gauges"; "worker_restarts" ] m' with
+            | Some n -> n >= 1
+            | None -> false);
+          check "panics counted as ping errors" true
+            (match dig_int [ "totals"; "ops"; "ping"; "errors" ] m' with
+            | Some n -> n >= 4
+            | None -> false)))
+
+let test_e2e_resilient_client_survives_drops () =
+  with_server
+    ~chaos:(Chaos.make ~seed:5 ~drop:0.4 ())
+    (fun _server listen ->
+      let policy =
+        {
+          Resilient.max_attempts = 10;
+          base_backoff_ms = 2;
+          max_backoff_ms = 20;
+          attempt_timeout_ms = 250;
+          call_budget_ms = 10_000;
+        }
+      in
+      let rc = Resilient.connect ~policy ~seed:3 listen in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close rc)
+        (fun () ->
+          for i = 1 to 12 do
+            match Resilient.call rc Wire.Ping with
+            | Ok { Wire.outcome = Ok _; _ } -> ()
+            | Ok _ -> Alcotest.failf "ping %d answered with an error" i
+            | Error (Resilient.Fatal (code, msg)) ->
+                Alcotest.failf "ping %d fatal %s: %s" i
+                  (Wire.error_code_to_string code)
+                  msg
+            | Error (Resilient.Exhausted msg) ->
+                Alcotest.failf "ping %d exhausted: %s" i msg
+          done;
+          let s = Resilient.stats rc in
+          check_int "every call accounted" s.Resilient.calls
+            (s.Resilient.ok + s.Resilient.fatal + s.Resilient.gave_up);
+          check_int "all calls succeeded" 12 s.Resilient.ok;
+          check "drops forced retries" true (s.Resilient.retries > 0);
+          check "retries beyond firsts add up" true
+            (s.Resilient.attempts = s.Resilient.calls + s.Resilient.retries)))
+
+let test_e2e_resilient_client_gives_up_explicitly () =
+  (* every reply dropped: the call must end in Exhausted — an explicit
+     verdict, never a hang or a silent loss *)
+  with_server
+    ~chaos:(Chaos.make ~seed:2 ~drop:1.0 ())
+    (fun _server listen ->
+      let policy =
+        {
+          Resilient.max_attempts = 3;
+          base_backoff_ms = 1;
+          max_backoff_ms = 4;
+          attempt_timeout_ms = 80;
+          call_budget_ms = 2_000;
+        }
+      in
+      let rc = Resilient.connect ~policy listen in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close rc)
+        (fun () ->
+          (match Resilient.call rc Wire.Ping with
+          | Error (Resilient.Exhausted msg) ->
+              check "last error is named" true (String.length msg > 0)
+          | Ok _ -> Alcotest.fail "call must not succeed under drop=1"
+          | Error (Resilient.Fatal _) ->
+              Alcotest.fail "a dropped reply is not a rejection");
+          let s = Resilient.stats rc in
+          check_int "gave up once" 1 s.Resilient.gave_up;
+          check_int "used every attempt" 3 s.Resilient.attempts);
+      (* the raw client still sees inline ops answered: chaos never
+         faults the observability plane *)
+      let c = Client.connect_retry listen in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let h = expect_ok (Client.call c Wire.Health) in
+          check "health exempt from chaos" true
+            (dig_str [ "schema" ] h = Some "gossip-health/1")))
+
+let test_e2e_resilient_client_tolerates_corruption () =
+  with_server
+    ~chaos:(Chaos.make ~seed:4 ~corrupt:1.0 ())
+    (fun _server listen ->
+      let policy =
+        {
+          Resilient.max_attempts = 3;
+          base_backoff_ms = 1;
+          max_backoff_ms = 4;
+          attempt_timeout_ms = 200;
+          call_budget_ms = 2_000;
+        }
+      in
+      let rc = Resilient.connect ~policy listen in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close rc)
+        (fun () ->
+          (match Resilient.call rc Wire.Ping with
+          | Error (Resilient.Exhausted _) -> ()
+          | Ok _ -> Alcotest.fail "corrupt frames must not parse as success"
+          | Error (Resilient.Fatal _) ->
+              Alcotest.fail "corruption is retryable, not fatal");
+          let s = Resilient.stats rc in
+          check "garbled frames recognised" true (s.Resilient.garbled >= 3)))
+
+let test_e2e_resilient_client_drops_stale_replies () =
+  (* every reply delayed well past the attempt timeout: late answers to
+     abandoned attempts must be discarded by id correlation, never
+     returned as the answer to a newer attempt *)
+  with_server
+    ~chaos:(Chaos.make ~seed:6 ~delay:1.0 ~delay_ms:250 ())
+    (fun _server listen ->
+      let policy =
+        {
+          Resilient.max_attempts = 4;
+          base_backoff_ms = 1;
+          max_backoff_ms = 4;
+          attempt_timeout_ms = 100;
+          call_budget_ms = 3_000;
+        }
+      in
+      let rc = Resilient.connect ~policy listen in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close rc)
+        (fun () ->
+          (match Resilient.call rc Wire.Ping with
+          | Error (Resilient.Exhausted _) -> ()
+          | Ok _ -> Alcotest.fail "no reply should beat the attempt timeout"
+          | Error (Resilient.Fatal _) -> Alcotest.fail "lateness is not fatal");
+          let s = Resilient.stats rc in
+          check "stale replies were correlated away" true
+            (s.Resilient.stale_dropped >= 1)))
+
+let test_e2e_resilient_client_fatal_not_retried () =
+  with_server (fun _server listen ->
+      let rc = Resilient.connect listen in
+      Fun.protect
+        ~finally:(fun () -> Resilient.close rc)
+        (fun () ->
+          (match
+             Resilient.call rc
+               (Wire.Bound
+                  {
+                    net = { Wire.family = "nosuch"; dim = 4; degree = 2 };
+                    s = Some 4;
+                    full_duplex = false;
+                  })
+           with
+          | Error (Resilient.Fatal (Wire.Bad_request, _)) -> ()
+          | Ok _ -> Alcotest.fail "unknown family must not succeed"
+          | Error (Resilient.Exhausted _) ->
+              Alcotest.fail "a rejection must not be retried"
+          | Error (Resilient.Fatal (code, _)) ->
+              Alcotest.failf "wrong fatal code %s"
+                (Wire.error_code_to_string code));
+          let s = Resilient.stats rc in
+          check_int "rejected on the first attempt" 1 s.Resilient.attempts;
+          check_int "no retries of a rejection" 0 s.Resilient.retries))
+
 let suite =
   [
     ("bounded queue basics", `Quick, test_queue_basic);
@@ -879,4 +1282,14 @@ let suite =
     ("e2e health degrades when saturated", `Quick, test_e2e_health_degrades_under_saturation);
     ("e2e access log shape", `Quick, test_e2e_access_log_shape);
     ("e2e shutdown op", `Quick, test_e2e_shutdown_op);
+    ("chaos plan decisions", `Quick, test_chaos_plan_and_decisions);
+    ("supervisor respawns crashes", `Quick, test_supervisor_respawns_crashed_workers);
+    ("bounded queue domain shutdown race", `Quick, test_queue_domain_shutdown_race);
+    ("e2e write error counted, worker survives", `Quick, test_e2e_write_error_counted_worker_survives);
+    ("e2e chaos panic respawn + recovery", `Quick, test_e2e_chaos_panic_respawn_and_recovery);
+    ("e2e resilient client survives drops", `Quick, test_e2e_resilient_client_survives_drops);
+    ("e2e resilient client gives up explicitly", `Quick, test_e2e_resilient_client_gives_up_explicitly);
+    ("e2e resilient client tolerates corruption", `Quick, test_e2e_resilient_client_tolerates_corruption);
+    ("e2e resilient client drops stale replies", `Quick, test_e2e_resilient_client_drops_stale_replies);
+    ("e2e resilient client does not retry rejections", `Quick, test_e2e_resilient_client_fatal_not_retried);
   ]

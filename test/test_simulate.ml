@@ -6,6 +6,7 @@ open Gossip_topology
 open Gossip_protocol
 open Gossip_simulate
 module Bitset = Gossip_util.Bitset
+module Json = Gossip_util.Json
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -175,7 +176,130 @@ let test_faults_validation () =
   let sys = Builders.cycle_rotate 8 in
   Alcotest.check_raises "bad probability"
     (Invalid_argument "Faults: drop_probability must be in [0, 1]") (fun () ->
-      ignore (Faults.gossip_time_with_faults sys ~drop_probability:1.5 ~seed:0))
+      ignore (Faults.gossip_time_with_faults sys ~drop_probability:1.5 ~seed:0));
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Faults: k must be >= 0") (fun () ->
+      ignore (Faults.run sys ~model:(Faults.Permanent { k = -1 }) ~seed:0));
+  Alcotest.check_raises "bad p_recover"
+    (Invalid_argument "Faults: p_recover must be in [0, 1]") (fun () ->
+      ignore
+        (Faults.run sys
+           ~model:(Faults.Bursty { p_fail = 0.1; p_recover = 2.0 })
+           ~seed:0))
+
+(* --- fault models beyond i.i.d. --- *)
+
+let test_faults_iid_model_matches_legacy () =
+  (* [run ~model:Iid] must reproduce [gossip_time_with_faults] draw for
+     draw: same seed, same outcome, byte for byte *)
+  let sys = Builders.hypercube_sweep ~dim:4 ~full_duplex:false in
+  List.iter
+    (fun p ->
+      let legacy =
+        Faults.gossip_time_with_faults sys ~drop_probability:p ~seed:11
+      in
+      let modern = Faults.run sys ~model:(Faults.Iid { p }) ~seed:11 in
+      check "iid model = legacy path" true (legacy = modern))
+    [ 0.0; 0.1; 0.3; 0.6 ]
+
+let test_faults_permanent_k0_matches_baseline () =
+  let sys = Builders.cycle_rotate 12 in
+  let base = Option.get (Engine.gossip_time sys) in
+  let o = Faults.run sys ~model:(Faults.Permanent { k = 0 }) ~seed:3 in
+  check "k=0 is fault-free" true (o.Faults.completed_at = Some base);
+  check "k=0 drops nothing" true (o.Faults.drops = 0)
+
+let test_faults_permanent_all_arcs_stalls () =
+  (* remove every arc of the period: nothing is ever delivered *)
+  let sys = Builders.cycle_rotate 8 in
+  let o =
+    Faults.run ~cap:100 sys ~model:(Faults.Permanent { k = max_int }) ~seed:3
+  in
+  check "no arcs, no completion" true (o.Faults.completed_at = None);
+  check "every activation dropped" true (o.Faults.drops = o.Faults.activations)
+
+let test_faults_permanent_monotone_and_deterministic () =
+  let sys = Builders.hypercube_sweep ~dim:4 ~full_duplex:false in
+  let run k = Faults.run ~cap:4096 sys ~model:(Faults.Permanent { k }) ~seed:7 in
+  check "same seed, same broken arcs" true (run 2 = run 2);
+  let o0 = run 0 and o2 = run 2 in
+  (* a run with permanently broken arcs can only be slower when both
+     complete (they share the seed, so the k=2 run is the k=0 run with
+     strictly fewer deliveries) *)
+  (match (o0.Faults.completed_at, o2.Faults.completed_at) with
+  | Some t0, Some t2 -> check "broken arcs never speed it up" true (t2 >= t0)
+  | Some _, None -> ()
+  | None, _ -> Alcotest.fail "fault-free run must complete");
+  check "k=2 drops activations" true (o2.Faults.drops > 0)
+
+let test_faults_bursty_p0_matches_baseline () =
+  let sys = Builders.cycle_rotate 12 in
+  let base = Option.get (Engine.gossip_time sys) in
+  let o =
+    Faults.run sys
+      ~model:(Faults.Bursty { p_fail = 0.0; p_recover = 0.5 })
+      ~seed:3
+  in
+  check "never-failing chain is fault-free" true
+    (o.Faults.completed_at = Some base);
+  check "no drops" true (o.Faults.drops = 0)
+
+let test_faults_bursty_deterministic_and_bursty () =
+  let sys = Builders.hypercube_sweep ~dim:4 ~full_duplex:false in
+  let model = Faults.Bursty { p_fail = 0.15; p_recover = 0.3 } in
+  let a = Faults.run ~cap:8192 sys ~model ~seed:11 in
+  let b = Faults.run ~cap:8192 sys ~model ~seed:11 in
+  check "same seed, same bursts" true (a = b);
+  check "bursts drop something" true (a.Faults.drops > 0);
+  (* at equal marginal loss, correlated losses hurt at least as much as
+     scattered ones on this sweep (the burst takes out the same frontier
+     arc for consecutive periods) — checked via the curve means *)
+  let pts =
+    Faults.curve ~cap:8192 ~trials:5 sys
+      ~models:
+        [
+          Faults.Iid { p = 0.3 };
+          Faults.Bursty { p_fail = 0.15; p_recover = 0.35 };
+        ]
+      ~seed:11
+  in
+  check "curve covers both models" true (List.length pts = 2)
+
+let test_faults_curve_points_json () =
+  let sys = Builders.cycle_rotate 8 in
+  let models =
+    [
+      Faults.Iid { p = 0.1 };
+      Faults.Permanent { k = 1 };
+      Faults.Bursty { p_fail = 0.1; p_recover = 0.5 };
+    ]
+  in
+  let pts = Faults.curve ~trials:3 sys ~models ~seed:5 in
+  let names =
+    List.map
+      (fun pt ->
+        match Json.member "model" (Faults.curve_point_to_json pt) with
+        | Some (Json.Str s) -> s
+        | _ -> "?")
+      pts
+  in
+  check "model names on the wire" true
+    (names = [ "iid"; "permanent"; "bursty" ]);
+  List.iter2
+    (fun pt model ->
+      let j = Faults.curve_point_to_json pt in
+      check "trials serialized" true (Json.member "trials" j = Some (Json.Int 3));
+      match model with
+      | Faults.Iid { p } ->
+          check "iid carries probability" true
+            (Json.member "probability" j = Some (Json.Float p))
+      | Faults.Permanent { k } ->
+          check "permanent carries k" true (Json.member "k" j = Some (Json.Int k))
+      | Faults.Bursty { p_fail; p_recover } ->
+          check "bursty carries both rates" true
+            (Json.member "p_fail" j = Some (Json.Float p_fail)
+            && Json.member "p_recover" j = Some (Json.Float p_recover)))
+    pts models
 
 (* Knowledge sets only ever grow, and every known item is explained by a
    dipath in time (we check growth + final size bound). *)
@@ -260,6 +384,13 @@ let suite =
     ("faults deterministic", `Quick, test_faults_deterministic);
     ("faults slowdown", `Quick, test_faults_slowdown);
     ("faults validation", `Quick, test_faults_validation);
+    ("faults iid model = legacy", `Quick, test_faults_iid_model_matches_legacy);
+    ("faults permanent k=0 baseline", `Quick, test_faults_permanent_k0_matches_baseline);
+    ("faults permanent all arcs stalls", `Quick, test_faults_permanent_all_arcs_stalls);
+    ("faults permanent monotone", `Quick, test_faults_permanent_monotone_and_deterministic);
+    ("faults bursty p_fail=0 baseline", `Quick, test_faults_bursty_p0_matches_baseline);
+    ("faults bursty deterministic", `Quick, test_faults_bursty_deterministic_and_bursty);
+    ("faults curve json", `Quick, test_faults_curve_points_json);
     q prop_knowledge_monotone;
     q prop_gossip_at_least_diameter;
     q prop_items_bounded_by_activations;

@@ -9,27 +9,48 @@
             [--report PATH]     write the JSON report there (default stdout)
             [--require-cache-hits]  exit 1 unless the server reports
                                     context cache hits > 0
-            [--expect-healthy]  exit 1 unless a final `health` request
-                                reports status "ok"
+            [--expect-healthy]  exit 1 unless `health` reports "ok"
+                                (polled for up to 5 s after the drain)
+            [--chaos-tolerant]  drive each connection through
+                                Serve.Resilient_client: reconnects,
+                                bounded retries with backoff, per-call
+                                budgets, stale-reply dropping
+            [--max-attempts N]        retry policy (chaos mode; 6)
+            [--attempt-timeout-ms MS] per-attempt reply deadline (1000)
+            [--call-budget-ms MS]     per-call wall budget (10000)
+            [--min-restarts N]  exit 1 unless the server's
+                                worker_restarts gauge is >= N
 
    Emits a `gossip-loadgen/1` JSON report: throughput, latency
    percentiles (p50/p95/p99), per-op and per-error-code counts, and the
    server's own view fetched post-run: `stats` (cache), `metrics`
-   (rolling windows + cumulative totals) and `health`.
+   (rolling windows + cumulative totals) and `health`.  In chaos mode
+   the report adds a `resilience` object (attempts, retries,
+   reconnects, stale replies dropped, garbled frames tolerated) and a
+   `gave_ups` count of calls whose retries ran out.
+
+   Every request must be accounted for exactly once — success, explicit
+   server error, protocol error, or gave-up; the report's `unaccounted`
+   field is the difference and any non-zero value fails the run.  That
+   is the chaos soak's headline guarantee: injected faults may slow
+   calls down or fail them *explicitly*, but can never lose one
+   silently.
 
    The server totals are cross-checked against the client-side per-op
    counts: because the server records each request before sending its
    reply, by the time every reply has arrived the server-side count for
    an op can never be below the client-side count (it can be above —
-   earlier runs against the same server also accumulated).  A lower
-   server count on a clean run means lost accounting and fails the run.
+   retried attempts and earlier runs against the same server also
+   accumulated).  A lower server count on a clean run means lost
+   accounting and fails the run.
 
    Exit status: 0 on a clean run; 1 when any reply was dropped or
    garbled (a *protocol* error — valid error replies such as queue_full
-   are counted separately, not failures), when the metrics cross-check
-   fails on an otherwise clean run, or when --require-cache-hits /
-   --expect-healthy is not met.  Used by CI as the end-to-end gate
-   (doc/serving.md). *)
+   are counted separately, not failures), when any request is
+   unaccounted, when the metrics cross-check fails on an otherwise
+   clean run, or when --require-cache-hits / --expect-healthy /
+   --min-restarts is not met.  Used by CI as the end-to-end gate
+   (doc/serving.md, doc/robustness.md). *)
 
 module Json = Gossip_util.Json
 module Serve = Gossip_serve
@@ -38,7 +59,9 @@ let usage () =
   prerr_endline
     "usage: loadgen (--socket PATH | --tcp HOST:PORT) [--connections N]\n\
     \         [--requests N] [--mix SPEC] [--timeout-ms MS] [--report PATH]\n\
-    \         [--require-cache-hits] [--expect-healthy]";
+    \         [--require-cache-hits] [--expect-healthy] [--chaos-tolerant]\n\
+    \         [--max-attempts N] [--attempt-timeout-ms MS]\n\
+    \         [--call-budget-ms MS] [--min-restarts N]";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("loadgen: " ^ m); exit 2) fmt
@@ -106,6 +129,11 @@ type args = {
   report : string option;
   require_cache_hits : bool;
   expect_healthy : bool;
+  chaos_tolerant : bool;
+  max_attempts : int;
+  attempt_timeout_ms : int;
+  call_budget_ms : int;
+  min_restarts : int;
 }
 
 let parse_args () =
@@ -116,7 +144,12 @@ let parse_args () =
   and timeout_ms = ref None
   and report = ref None
   and require_cache_hits = ref false
-  and expect_healthy = ref false in
+  and expect_healthy = ref false
+  and chaos_tolerant = ref false
+  and max_attempts = ref 6
+  and attempt_timeout_ms = ref 1000
+  and call_budget_ms = ref 10_000
+  and min_restarts = ref 0 in
   let rec go = function
     | [] -> ()
     | "--socket" :: path :: rest ->
@@ -153,6 +186,21 @@ let parse_args () =
     | "--expect-healthy" :: rest ->
         expect_healthy := true;
         go rest
+    | "--chaos-tolerant" :: rest ->
+        chaos_tolerant := true;
+        go rest
+    | "--max-attempts" :: n :: rest ->
+        max_attempts := (match int_of_string_opt n with Some v when v >= 1 -> v | _ -> usage ());
+        go rest
+    | "--attempt-timeout-ms" :: ms :: rest ->
+        attempt_timeout_ms := (match int_of_string_opt ms with Some v when v >= 1 -> v | _ -> usage ());
+        go rest
+    | "--call-budget-ms" :: ms :: rest ->
+        call_budget_ms := (match int_of_string_opt ms with Some v when v >= 1 -> v | _ -> usage ());
+        go rest
+    | "--min-restarts" :: n :: rest ->
+        min_restarts := (match int_of_string_opt n with Some v when v >= 0 -> v | _ -> usage ());
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -168,6 +216,11 @@ let parse_args () =
         report = !report;
         require_cache_hits = !require_cache_hits;
         expect_healthy = !expect_healthy;
+        chaos_tolerant = !chaos_tolerant;
+        max_attempts = !max_attempts;
+        attempt_timeout_ms = !attempt_timeout_ms;
+        call_budget_ms = !call_budget_ms;
+        min_restarts = !min_restarts;
       }
 
 (* --- measurement --- *)
@@ -175,9 +228,16 @@ let parse_args () =
 type tally = {
   mutable ok : int;
   mutable protocol_errors : int;
+  mutable gave_ups : int;  (* chaos mode: retries/budget ran out *)
   by_code : (string, int) Hashtbl.t;
   by_op : (string, int * float) Hashtbl.t;  (* count, summed ms *)
   mutable latencies_ms : float list;
+  (* resilience counters, merged from each connection's client *)
+  mutable r_attempts : int;
+  mutable r_retries : int;
+  mutable r_reconnects : int;
+  mutable r_stale_dropped : int;
+  mutable r_garbled : int;
   mu : Mutex.t;
 }
 
@@ -191,6 +251,9 @@ let record tally ~op_name ~latency_ms outcome =
       let key = Serve.Wire.error_code_to_string code in
       Hashtbl.replace tally.by_code key
         (1 + Option.value ~default:0 (Hashtbl.find_opt tally.by_code key))
+  | `Gave_up msg ->
+      tally.gave_ups <- tally.gave_ups + 1;
+      Printf.eprintf "loadgen: gave up: %s\n%!" msg
   | `Protocol msg ->
       tally.protocol_errors <- tally.protocol_errors + 1;
       Printf.eprintf "loadgen: protocol error: %s\n%!" msg);
@@ -199,6 +262,16 @@ let record tally ~op_name ~latency_ms outcome =
   in
   Hashtbl.replace tally.by_op op_name (count + 1, sum +. latency_ms);
   tally.latencies_ms <- latency_ms :: tally.latencies_ms;
+  Mutex.unlock tally.mu
+
+let merge_resilience tally (s : Serve.Resilient_client.stats) =
+  Mutex.lock tally.mu;
+  tally.r_attempts <- tally.r_attempts + s.Serve.Resilient_client.attempts;
+  tally.r_retries <- tally.r_retries + s.Serve.Resilient_client.retries;
+  tally.r_reconnects <- tally.r_reconnects + s.Serve.Resilient_client.reconnects;
+  tally.r_stale_dropped <-
+    tally.r_stale_dropped + s.Serve.Resilient_client.stale_dropped;
+  tally.r_garbled <- tally.r_garbled + s.Serve.Resilient_client.garbled;
   Mutex.unlock tally.mu
 
 let run_connection args tally ~conn_index ~first ~count =
@@ -232,6 +305,52 @@ let run_connection args tally ~conn_index ~first ~count =
           outcome
       done;
       Serve.Client.close client
+
+(* Chaos-tolerant twin of [run_connection]: the resilient client retries
+   transport faults and retryable server errors internally, so every
+   call lands in exactly one bucket — ok, explicit server error, or
+   gave-up.  Each connection gets its own jitter seed so backoffs
+   decorrelate. *)
+let run_connection_resilient args tally ~conn_index ~first ~count =
+  let policy =
+    {
+      Serve.Resilient_client.default_policy with
+      Serve.Resilient_client.max_attempts = args.max_attempts;
+      attempt_timeout_ms = args.attempt_timeout_ms;
+      call_budget_ms = args.call_budget_ms;
+    }
+  in
+  match
+    Serve.Resilient_client.connect ~policy ~seed:(0x10ad + conn_index)
+      args.target
+  with
+  | exception e ->
+      Mutex.lock tally.mu;
+      tally.protocol_errors <- tally.protocol_errors + count;
+      Mutex.unlock tally.mu;
+      Printf.eprintf "loadgen: connection %d failed: %s\n%!" conn_index
+        (Printexc.to_string e)
+  | client ->
+      for k = 0 to count - 1 do
+        let i = first + k in
+        let name = args.mix.(i mod Array.length args.mix) in
+        let op = op_of_name name i in
+        let t0 = now_s () in
+        let outcome =
+          match
+            Serve.Resilient_client.call client ?timeout_ms:args.timeout_ms op
+          with
+          | Ok _ -> `Ok
+          | Error (Serve.Resilient_client.Fatal (code, _)) ->
+              `Server_error code
+          | Error (Serve.Resilient_client.Exhausted msg) ->
+              `Gave_up (Printf.sprintf "request %d (%s): %s" i name msg)
+        in
+        record tally ~op_name:name ~latency_ms:((now_s () -. t0) *. 1000.0)
+          outcome
+      done;
+      merge_resilience tally (Serve.Resilient_client.stats client);
+      Serve.Resilient_client.close client
 
 let quantile sorted q =
   let n = Array.length sorted in
@@ -304,21 +423,30 @@ let () =
     {
       ok = 0;
       protocol_errors = 0;
+      gave_ups = 0;
       by_code = Hashtbl.create 8;
       by_op = Hashtbl.create 8;
       latencies_ms = [];
+      r_attempts = 0;
+      r_retries = 0;
+      r_reconnects = 0;
+      r_stale_dropped = 0;
+      r_garbled = 0;
       mu = Mutex.create ();
     }
   in
   let per_conn = args.requests / args.connections in
   let extra = args.requests mod args.connections in
+  let run_one =
+    if args.chaos_tolerant then run_connection_resilient else run_connection
+  in
   let t_start = now_s () in
   let threads =
     List.init args.connections (fun c ->
         let count = per_conn + if c < extra then 1 else 0 in
         let first = (c * per_conn) + min c extra in
         Thread.create
-          (fun () -> run_connection args tally ~conn_index:c ~first ~count)
+          (fun () -> run_one args tally ~conn_index:c ~first ~count)
           ())
   in
   List.iter Thread.join threads;
@@ -326,6 +454,27 @@ let () =
   let stats = fetch_op args Serve.Wire.Stats in
   let server_metrics = fetch_op args Serve.Wire.Metrics in
   let server_health = fetch_op args Serve.Wire.Health in
+  (* --expect-healthy allows the storm to settle: a panic on one of the
+     last requests leaves the pool briefly incomplete until the
+     supervisor's next heartbeat respawns the worker. *)
+  let server_health =
+    if not args.expect_healthy then server_health
+    else begin
+      let deadline = now_s () +. 5.0 in
+      let is_ok h =
+        Option.bind h (fun h -> Json.member "status" h)
+        = Some (Json.Str "ok")
+      in
+      let rec settle h =
+        if is_ok h || now_s () > deadline then h
+        else begin
+          Thread.delay 0.2;
+          settle (fetch_op args Serve.Wire.Health)
+        end
+      in
+      settle server_health
+    end
+  in
   let crosscheck_json, counts_consistent = crosscheck tally server_metrics in
   let latencies = Array.of_list tally.latencies_ms in
   Array.sort compare latencies;
@@ -345,6 +494,18 @@ let () =
         | None -> None)
     | None -> None
   in
+  let errors_by_code_total =
+    Hashtbl.fold (fun _ v acc -> acc + v) tally.by_code 0
+  in
+  let unaccounted =
+    args.requests - tally.ok - errors_by_code_total - tally.protocol_errors
+    - tally.gave_ups
+  in
+  let worker_restarts =
+    Option.bind server_metrics (fun m ->
+        Option.bind (Json.member "gauges" m) (fun g ->
+            Option.bind (Json.member "worker_restarts" g) Json.to_int_opt))
+  in
   let report =
     Json.Obj
       [
@@ -359,6 +520,20 @@ let () =
         ("requests", Json.Int args.requests);
         ("ok", Json.Int tally.ok);
         ("protocol_errors", Json.Int tally.protocol_errors);
+        ("gave_ups", Json.Int tally.gave_ups);
+        ("unaccounted", Json.Int unaccounted);
+        ("chaos_tolerant", Json.Bool args.chaos_tolerant);
+        ( "resilience",
+          if args.chaos_tolerant then
+            Json.Obj
+              [
+                ("attempts", Json.Int tally.r_attempts);
+                ("retries", Json.Int tally.r_retries);
+                ("reconnects", Json.Int tally.r_reconnects);
+                ("stale_dropped", Json.Int tally.r_stale_dropped);
+                ("garbled", Json.Int tally.r_garbled);
+              ]
+          else Json.Null );
         ( "errors_by_code",
           Json.Obj
             (List.sort compare
@@ -411,6 +586,11 @@ let () =
     Printf.eprintf "loadgen: %d protocol errors\n%!" tally.protocol_errors;
     exit 1
   end;
+  if unaccounted <> 0 then begin
+    Printf.eprintf "loadgen: %d requests unaccounted for (silent loss!)\n%!"
+      unaccounted;
+    exit 1
+  end;
   (* only meaningful on a clean run: a dropped reply already explains a
      low client count *)
   if not counts_consistent then begin
@@ -431,6 +611,21 @@ let () =
         exit 1
     | None ->
         prerr_endline "loadgen: --expect-healthy: could not read server health";
+        exit 1
+  end;
+  if args.min_restarts > 0 then begin
+    match worker_restarts with
+    | Some n when n >= args.min_restarts -> ()
+    | Some n ->
+        Printf.eprintf
+          "loadgen: --min-restarts: server reports %d worker restarts, \
+           wanted >= %d\n\
+           %!"
+          n args.min_restarts;
+        exit 1
+    | None ->
+        prerr_endline
+          "loadgen: --min-restarts: could not read worker_restarts gauge";
         exit 1
   end;
   if args.require_cache_hits then begin
