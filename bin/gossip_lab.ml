@@ -234,38 +234,183 @@ let default_systolic g full_duplex =
     Protocol.Builders.random_systolic g Protocol.Protocol.Directed ~period:8
       ~seed:1 ~density:1.0
 
+(* The materialized path: build the digraph, certify the protocol. *)
+let simulate_materialized family d dim full_duplex json =
+  let g = build_network family d dim in
+  let sys = default_systolic g full_duplex in
+  let ctx = Context.create () in
+  let r = Analysis.certify_protocol ~ctx sys in
+  if json then begin
+    (* The report cached only the completion time; replay the run to
+       capture the full dissemination curve for the JSON consumer. *)
+    let run = Simulate.Engine.gossip_run sys in
+    print_json
+      (obj_with
+         [ ("cache", Context.stats_json ctx) ]
+         (Analysis.protocol_report_to_json ~coverage:run.Simulate.Engine.curve r))
+  end
+  else begin
+    Format.printf "%a@." Analysis.pp_protocol_report r;
+    report ~ctx ()
+  end
+
+(* The implicit path: no digraph, no stored rounds — a Schedule sender
+   function drives the chunked engine blockwise.  This is the only way
+   to reach 10^6+ vertices. *)
+let simulate_implicit ~family ~n ~degree ~items ~checkpoint_every ~cap ~period
+    ~seed ~full_duplex ~json =
+  match
+    Protocol.Schedule.of_family ~family ~n ~degree ~period ~seed ~full_duplex ()
+  with
+  | Error e -> `Error (false, e)
+  | Ok (imp, sched) ->
+      let nv = Topology.Implicit.n_vertices imp in
+      let items = match items with Some k -> k | None -> min nv 64 in
+      let st = Simulate.Chunked.create ~items nv in
+      let t0 = Util.Instrument.now_ns () in
+      let outcome = Simulate.Chunked.run ?cap ~checkpoint_every st sched in
+      let wall_seconds =
+        Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e9
+      in
+      let domains = Util.Parallel.recommended_domains () in
+      if json then
+        print_json
+          (Simulate.Chunked.report_to_json ~family ~requested_n:n ~sched ~st
+             ~outcome ~wall_seconds ~domains)
+      else begin
+        Printf.printf "network   : %s (n = %d, requested %d)\n"
+          (Topology.Implicit.name imp) nv n;
+        Printf.printf "schedule  : %s (period %d, %s)\n"
+          (Protocol.Schedule.name sched)
+          (Protocol.Schedule.period sched)
+          (Protocol.Protocol.mode_to_string (Protocol.Schedule.mode sched));
+        Printf.printf "items     : %d tracked\n" items;
+        (match outcome.Simulate.Chunked.time with
+        | Some t -> Printf.printf "completed : after %d rounds\n" t
+        | None ->
+            Printf.printf "incomplete: stopped after %d rounds\n"
+              outcome.Simulate.Chunked.rounds_run);
+        Printf.printf "coverage  : %.6f\n"
+          outcome.Simulate.Chunked.final_coverage;
+        List.iter
+          (fun { Simulate.Chunked.round; coverage } ->
+            Printf.printf "  round %6d  coverage %.6f\n" round coverage)
+          outcome.Simulate.Chunked.checkpoints;
+        Printf.printf "wall      : %.3f s  (%.3g nodes*rounds/sec, %d domains)\n"
+          wall_seconds
+          (if wall_seconds > 0.0 then
+             float_of_int nv
+             *. float_of_int outcome.Simulate.Chunked.rounds_run
+             /. wall_seconds
+           else 0.0)
+          domains;
+        report ()
+      end;
+      `Ok ()
+
 let simulate_cmd =
-  let run () family d dim full_duplex json =
-    let g = build_network family d dim in
-    let sys = default_systolic g full_duplex in
-    let ctx = Context.create () in
-    let r = Analysis.certify_protocol ~ctx sys in
-    if json then begin
-      (* The report cached only the completion time; replay the run to
-         capture the full dissemination curve for the JSON consumer. *)
-      let run = Simulate.Engine.gossip_run sys in
-      print_json
-        (obj_with
-           [ ("cache", Context.stats_json ctx) ]
-           (Analysis.protocol_report_to_json ~coverage:run.Simulate.Engine.curve
-              r))
-    end
-    else begin
-      Format.printf "%a@." Analysis.pp_protocol_report r;
-      report ~ctx ()
-    end
+  let run () family_pos d dim_pos full_duplex json ifamily n items
+      checkpoint_every cap period seed =
+    match ifamily with
+    | Some family ->
+        simulate_implicit ~family ~n ~degree:d ~items ~checkpoint_every ~cap
+          ~period ~seed ~full_duplex ~json
+    | None -> (
+        match (family_pos, dim_pos) with
+        | Some family, Some dim ->
+            simulate_materialized family d dim full_duplex json;
+            `Ok ()
+        | _ ->
+            `Error
+              ( true,
+                "FAMILY and DIM are required unless --family is given (the \
+                 implicit large-scale path)" ))
   in
   let fd =
     C.Arg.(
       value & flag
       & info [ "full-duplex" ] ~doc:"Use a full-duplex protocol.")
   in
+  let family_opt =
+    C.Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Simulate an $(i,implicit) topology family with the chunked \
+             engine instead of materializing a digraph: one of de-bruijn, \
+             kautz, hypercube, torus, cycle, ccc.  Scales to millions of \
+             vertices; combine with --n.")
+  in
+  let n_opt =
+    C.Arg.(
+      value & opt int 1024
+      & info [ "n"; "nodes" ] ~docv:"N"
+          ~doc:
+            "Target vertex count for --family; the smallest family instance \
+             with at least $(docv) vertices is used.")
+  in
+  let items_opt =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "items" ] ~docv:"K"
+          ~doc:
+            "Track the dissemination of the first $(docv) items only \
+             (default: min(n, 64)).  Memory is n*$(docv) bits; --items equal \
+             to n is exact gossip.")
+  in
+  let checkpoint_opt =
+    C.Arg.(
+      value & opt int 32
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:
+            "Record (and, with --trace-out, stream) a coverage checkpoint \
+             every $(docv) rounds; 0 disables.")
+  in
+  let cap_opt =
+    C.Arg.(
+      value
+      & opt (some int) None
+      & info [ "cap" ] ~docv:"ROUNDS"
+          ~doc:"Stop an incomplete run after $(docv) rounds.")
+  in
+  let period_opt =
+    C.Arg.(
+      value & opt int 64
+      & info [ "period" ] ~docv:"S"
+          ~doc:
+            "Schedule period for the proposal-matching families (de Bruijn, \
+             Kautz).")
+  in
+  let seed_opt =
+    C.Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for the proposal-matching schedules.")
+  in
+  let family_pos =
+    C.Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FAMILY" ~doc:"Network family name (materialized path).")
+  in
+  let dim_pos =
+    C.Arg.(
+      value
+      & pos 1 (some int) None
+      & info [] ~docv:"DIM" ~doc:"Dimension / size parameter.")
+  in
   C.Cmd.v
     (C.Cmd.info "simulate"
-       ~doc:"Run a periodic protocol on the network and certify it.")
+       ~doc:
+         "Run a periodic protocol and certify it (FAMILY DIM), or drive the \
+          chunked engine over an implicit family (--family/--n).")
     C.Term.(
-      const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd
-      $ json_arg)
+      ret
+        (const run $ setup_term $ family_pos $ degree_arg $ dim_pos $ fd
+       $ json_arg $ family_opt $ n_opt $ items_opt $ checkpoint_opt $ cap_opt
+       $ period_opt $ seed_opt))
 
 (* --- price --- *)
 

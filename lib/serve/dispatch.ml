@@ -175,6 +175,34 @@ let eval_simulate d ~net ~full_duplex =
   let run = Simulate.Engine.gossip_run sys in
   Ok (Analysis.protocol_report_to_json ~coverage:run.Simulate.Engine.curve r)
 
+(* Family resolution rounds the target up to the smallest instance, so a
+   parse-gated [n] can still overshoot (up to the family's growth factor);
+   a post-resolution gate keeps the worst case bounded. *)
+let max_implicit_vertices = 1 lsl 18
+
+let eval_simulate_implicit ~family ~n ~items ~checkpoint_every ~period ~seed
+    ~degree ~full_duplex =
+  let* imp, sched =
+    Protocol.Schedule.of_family ~family ~n ~degree ~period ~seed ~full_duplex ()
+  in
+  let nv = Topology.Implicit.n_vertices imp in
+  if nv > max_implicit_vertices then
+    Error
+      (Printf.sprintf
+         "implicit network too large to serve (%d > %d vertices)" nv
+         max_implicit_vertices)
+  else begin
+    let st = Simulate.Chunked.create ~items nv in
+    let t0 = Instrument.now_ns () in
+    (* one domain: a serving process gets its parallelism from concurrent
+       worker domains, not nested spawns *)
+    let outcome = Simulate.Chunked.run ~domains:1 ~checkpoint_every st sched in
+    let wall_seconds = Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9 in
+    Ok
+      (Simulate.Chunked.report_to_json ~family ~requested_n:n ~sched ~st
+         ~outcome ~wall_seconds ~domains:1)
+  end
+
 let eval_certify d ~spec ~refine =
   let* sys =
     match spec with
@@ -243,6 +271,11 @@ let eval_op d (op : Wire.op) =
   | Wire.Tables { s_max; ss } -> eval_tables d ~s_max ~ss
   | Wire.Bound { net; s; full_duplex } -> eval_bound d ~net ~s ~full_duplex
   | Wire.Simulate { net; full_duplex } -> eval_simulate d ~net ~full_duplex
+  | Wire.Simulate_implicit
+      { family; n; items; checkpoint_every; period; seed; degree; full_duplex }
+    ->
+      eval_simulate_implicit ~family ~n ~items ~checkpoint_every ~period ~seed
+        ~degree ~full_duplex
   | Wire.Certify { spec; refine } -> eval_certify d ~spec ~refine
 
 let eval d op =

@@ -18,6 +18,16 @@ type op =
   | Tables of { s_max : int; ss : int list }
   | Bound of { net : net; s : int option; full_duplex : bool }
   | Simulate of { net : net; full_duplex : bool }
+  | Simulate_implicit of {
+      family : string;
+      n : int;
+      items : int;
+      checkpoint_every : int;
+      period : int;
+      seed : int;
+      degree : int;
+      full_duplex : bool;
+    }
   | Certify of { spec : protocol_spec; refine : bool }
 
 let op_name = function
@@ -32,6 +42,7 @@ let op_name = function
   | Tables _ -> "tables"
   | Bound _ -> "bound"
   | Simulate _ -> "simulate"
+  | Simulate_implicit _ -> "simulate_implicit"
   | Certify _ -> "certify"
 
 type request = { id : Json.t; op : op; timeout_ms : int option }
@@ -128,6 +139,33 @@ let parse_op op params =
       let* net = parse_net params in
       let* full_duplex = bool_field params "full_duplex" ~default:false in
       Ok (Simulate { net; full_duplex })
+  | "simulate_implicit" ->
+      (* the chunked-engine path: memory is n·items bits, but time is
+         O(n · rounds) on one worker, so the vertex gate is far above the
+         materialized ops' yet still bounds a worker to a few seconds *)
+      let* family =
+        match field params "family" with
+        | Some (Json.Str s)
+          when List.mem s Gossip_topology.Implicit.known_families ->
+            Ok s
+        | Some (Json.Str s) ->
+            Error (Printf.sprintf "unknown implicit family %S" s)
+        | Some _ -> Error "parameter \"family\" must be a string"
+        | None -> Error "missing parameter \"family\""
+      in
+      let* n = int_field params "n" ~min:3 ~max:(1 lsl 17) in
+      let* items = int_field ~default:32 params "items" ~min:1 ~max:128 in
+      let* checkpoint_every =
+        int_field ~default:32 params "checkpoint_every" ~min:0 ~max:65536
+      in
+      let* period = int_field ~default:64 params "period" ~min:1 ~max:4096 in
+      let* seed = int_field ~default:1 params "seed" ~min:0 ~max:1_000_000_000 in
+      let* degree = int_field ~default:2 params "degree" ~min:2 ~max:16 in
+      let* full_duplex = bool_field params "full_duplex" ~default:false in
+      Ok
+        (Simulate_implicit
+           { family; n; items; checkpoint_every; period; seed; degree;
+             full_duplex })
   | "certify" ->
       let* refine = bool_field params "refine" ~default:false in
       let* inline = string_field params "protocol" in
@@ -194,6 +232,19 @@ let op_params = function
         ]
   | Simulate { net; full_duplex } ->
       net_to_fields net @ [ ("full_duplex", Json.Bool full_duplex) ]
+  | Simulate_implicit
+      { family; n; items; checkpoint_every; period; seed; degree; full_duplex }
+    ->
+      [
+        ("family", Json.Str family);
+        ("n", Json.Int n);
+        ("items", Json.Int items);
+        ("checkpoint_every", Json.Int checkpoint_every);
+        ("period", Json.Int period);
+        ("seed", Json.Int seed);
+        ("degree", Json.Int degree);
+        ("full_duplex", Json.Bool full_duplex);
+      ]
   | Certify { spec; refine } ->
       (match spec with
       | Inline text -> [ ("protocol", Json.Str text) ]

@@ -59,6 +59,20 @@ type op =
   | Tables of { s_max : int; ss : int list }
   | Bound of { net : net; s : int option; full_duplex : bool }
   | Simulate of { net : net; full_duplex : bool }
+  | Simulate_implicit of {
+      family : string;
+      n : int;
+      items : int;
+      checkpoint_every : int;
+      period : int;
+      seed : int;
+      degree : int;
+      full_duplex : bool;
+    }
+      (** chunked-engine run over an implicit family
+          ({!Gossip_topology.Implicit.known_families}); [n] is the target
+          vertex count (gated at [2^17]), [items] the tracked-item count.
+          Result schema [gossip-simulate/1] (see [doc/simulation.md]). *)
   | Certify of { spec : protocol_spec; refine : bool }
 
 (** [op_name op] — the wire name ("ping", "tables", …); used as the

@@ -1,0 +1,90 @@
+(** Chunked blockwise simulation over implicit schedules.
+
+    The materialized {!Engine} keeps one bitset per processor over all
+    [n] items — n² bits, ~125 GB at a million vertices.  This engine
+    scales by tracking the dissemination of the first [items <= n]
+    items only, in one contiguous word array processed blockwise in
+    parallel: memory stays proportional to simulation state
+    ([n·items] bits), and rounds come from a {!Gossip_protocol.Schedule}
+    sender function, so nothing per-round is ever materialized either.
+
+    With [items = n] the semantics are bit-for-bit those of {!Engine}
+    (the equivalence property the tests pin); with [items = 1] a run is
+    a broadcast of item 0; small [items] (e.g. 64) is the scaling
+    configuration.  Rounds are applied in place: a matching's only
+    same-round feedback is a full-duplex exchange, which the owning
+    block writes atomically with the shared union of both sides, so the
+    result is identical to start-of-round-snapshot semantics and
+    deterministic for every worker count. *)
+
+type state
+
+(** [create ?items n] — vertex [v < items] starts knowing exactly item
+    [v]; everyone else knows nothing.  [items] defaults to [n] (exact
+    gossip) and is clamped to [0 <= items <= n].
+    @raise Invalid_argument on [n < 0]. *)
+val create : ?items:int -> int -> state
+
+val n_vertices : state -> int
+val items : state -> int
+
+(** [items_known st] is the number of set (vertex, item) bits,
+    maintained incrementally — O(1). *)
+val items_known : state -> int
+
+(** [knows st v i] — does vertex [v] currently know item [i]?  Items
+    beyond the tracked range are reported unknown. *)
+val knows : state -> int -> int -> bool
+
+(** [coverage st] is [items_known / (n · items)] (1.0 when the state is
+    empty) — the chunked analogue of {!Engine} coverage. *)
+val coverage : state -> float
+
+(** [complete st] — every vertex knows every tracked item. *)
+val complete : state -> bool
+
+(** [apply_round ?domains st sched round] executes (absolute) round
+    [round] of [sched] on [st], blockwise over the worker domains
+    (default {!Gossip_util.Parallel.recommended_domains}). *)
+val apply_round : ?domains:int -> state -> Gossip_protocol.Schedule.t -> int -> unit
+
+(** A streamed coverage sample. *)
+type checkpoint = { round : int; coverage : float }
+
+type outcome = {
+  time : int option;  (** first round after which the run was complete *)
+  rounds_run : int;
+  final_coverage : float;
+  checkpoints : checkpoint list;
+}
+
+(** [run ?domains ?cap ?checkpoint_every st sched] drives [st] under
+    [sched] until complete or [cap] rounds (default
+    [2n + 8·period·⌈log₂ n⌉ + 64] — covers linear-diameter cycles as
+    well as logarithmic families).  When [checkpoint_every = k > 0], a
+    coverage checkpoint is recorded every [k] rounds plus at the final
+    round, and — when a trace sink is installed — streamed as an
+    ["engine.checkpoint"] JSONL event.  The whole run executes under the
+    ["simulate.chunked-run"] instrumentation span. *)
+val run :
+  ?domains:int ->
+  ?cap:int ->
+  ?checkpoint_every:int ->
+  state ->
+  Gossip_protocol.Schedule.t ->
+  outcome
+
+(** [report_to_json …] renders the documented [gossip-simulate/1]
+    report object (schema, family, sizes, rounds, coverage, checkpoint
+    list, wall time, nodes·rounds/sec, domains) — shared by
+    [gossip_lab simulate --family] and the server's
+    [simulate_implicit] op. *)
+val report_to_json :
+  family:string ->
+  requested_n:int ->
+  sched:Gossip_protocol.Schedule.t ->
+  st:state ->
+  outcome:outcome ->
+  wall_seconds:float ->
+  domains:int ->
+  Gossip_util.Json.t

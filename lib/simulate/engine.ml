@@ -2,46 +2,77 @@ module Bitset = Gossip_util.Bitset
 module Protocol = Gossip_protocol.Protocol
 module Systolic = Gossip_protocol.Systolic
 
-type state = { n : int; know : Bitset.t array }
+(* Knowledge plus the reusable round scratch: generation-stamped marks
+   replace the per-round hashtables the engine used to allocate, and a
+   pool of snapshot buffers is blitted into instead of copied afresh.
+   [known] counts set (vertex, item) bits incrementally so coverage is
+   O(1) per query instead of a full state rescan. *)
+type state = {
+  n : int;
+  know : Bitset.t array;
+  mutable known : int;
+  mutable gen : int;
+  recv_gen : int array;
+  snap_gen : int array;
+  snap_slot : int array;
+  mutable pool : Bitset.t array;
+}
 
 let initial_state n =
-  { n; know = Array.init n (fun v -> Bitset.singleton n v) }
+  {
+    n;
+    know = Array.init n (fun v -> Bitset.singleton n v);
+    known = n;
+    gen = 0;
+    recv_gen = Array.make n 0;
+    snap_gen = Array.make n 0;
+    snap_slot = Array.make n 0;
+    pool = [||];
+  }
 
 let knowledge st v = st.know.(v)
-
-let items_known st =
-  Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 st.know
+let items_known st = st.known
 
 (* Fraction of the n² (vertex, item) pairs already known; guarded so the
    degenerate empty network reports full coverage instead of dividing by
    zero.  Single source of truth for every coverage figure below. *)
 let coverage_of st =
   if st.n = 0 then 1.0
-  else float_of_int (items_known st) /. float_of_int (st.n * st.n)
+  else float_of_int st.known /. float_of_int (st.n * st.n)
 
-let all_complete st = Array.for_all Bitset.is_full st.know
+let all_complete st = st.known = st.n * st.n
+
+let grow_pool st =
+  let old = Array.length st.pool in
+  let fresh = Array.init (max 4 old) (fun _ -> Bitset.create st.n) in
+  st.pool <- Array.append st.pool fresh
 
 let apply_round st round =
   (* A round is a matching, so a vertex receives from at most one sender;
      the only same-round feedback is a full-duplex exchange (both opposite
      arcs active), which needs start-of-round snapshots of both sides.  We
      snapshot a sender only when it also appears as a receiver. *)
-  let receivers = Hashtbl.create 16 in
-  List.iter (fun (_, y) -> Hashtbl.replace receivers y ()) round;
-  let snapshots = Hashtbl.create 4 in
+  st.gen <- st.gen + 1;
+  let gen = st.gen in
+  List.iter (fun (_, y) -> st.recv_gen.(y) <- gen) round;
+  let used = ref 0 in
   List.iter
     (fun (x, _) ->
-      if Hashtbl.mem receivers x && not (Hashtbl.mem snapshots x) then
-        Hashtbl.replace snapshots x (Bitset.copy st.know.(x)))
+      if st.recv_gen.(x) = gen && st.snap_gen.(x) <> gen then begin
+        if !used >= Array.length st.pool then grow_pool st;
+        Bitset.blit ~src:st.know.(x) ~dst:st.pool.(!used);
+        st.snap_slot.(x) <- !used;
+        st.snap_gen.(x) <- gen;
+        incr used
+      end)
     round;
   List.iter
     (fun (x, y) ->
       let src =
-        match Hashtbl.find_opt snapshots x with
-        | Some s -> s
-        | None -> st.know.(x)
+        if st.snap_gen.(x) = gen then st.pool.(st.snap_slot.(x))
+        else st.know.(x)
       in
-      Bitset.union_into ~src ~dst:st.know.(y))
+      st.known <- st.known + Bitset.union_into_count ~src ~dst:st.know.(y))
     round
 
 type outcome = {

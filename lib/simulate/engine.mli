@@ -21,7 +21,8 @@ val initial_state : int -> state
 (** [knowledge st v] is the (live, do not mutate) item set of [v]. *)
 val knowledge : state -> int -> Gossip_util.Bitset.t
 
-(** [items_known st] is the total count of (processor, item) pairs. *)
+(** [items_known st] is the total count of (processor, item) pairs,
+    maintained incrementally — O(1), never a state rescan. *)
 val items_known : state -> int
 
 (** [all_complete st] — every processor knows every item. *)
@@ -29,7 +30,9 @@ val all_complete : state -> bool
 
 (** [apply_round st round] executes one matching synchronously, mutating
     [st].  The round must be a valid matching (sender sets are snapshotted
-    only where an exchange demands it). *)
+    only where an exchange demands it).  Steady state allocates nothing:
+    marks and snapshot buffers are scratch owned by [st] and reused across
+    rounds. *)
 val apply_round : state -> Gossip_protocol.Protocol.round -> unit
 
 (** Result of running a protocol to completion or exhaustion. *)

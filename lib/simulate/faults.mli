@@ -47,6 +47,31 @@ val model_name : model -> string
 val run :
   ?cap:int -> Gossip_protocol.Systolic.t -> model:model -> seed:int -> outcome
 
+(** [iid_drop ~seed ~p] is a stateless i.i.d. drop predicate for
+    {!Gossip_protocol.Schedule.with_drops}: activation [(u, v)] at
+    (absolute) [round] is dropped with probability [p], decided by a
+    deterministic hash of [(seed, round, u, v)].  No per-arc state, so
+    it works on arc streams that are never materialized and is safe to
+    evaluate from any worker domain.  The permanent and bursty models
+    remain materialized-only — they need the period's arc set, or
+    per-arc chains.
+    @raise Invalid_argument unless [0 ≤ p ≤ 1]. *)
+val iid_drop : seed:int -> p:float -> round:int -> u:int -> v:int -> bool
+
+(** [implicit_gossip ?domains ?cap ?checkpoint_every ?items sched
+    ~drop_probability ~seed] runs the chunked engine over [sched] with
+    i.i.d. drops (the [p = 0] run is exactly the fault-free schedule)
+    and returns the final state with the outcome. *)
+val implicit_gossip :
+  ?domains:int ->
+  ?cap:int ->
+  ?checkpoint_every:int ->
+  ?items:int ->
+  Gossip_protocol.Schedule.t ->
+  drop_probability:float ->
+  seed:int ->
+  Chunked.state * Chunked.outcome
+
 (** [gossip_time_with_faults ?cap p ~drop_probability ~seed] runs the
     systolic protocol with i.i.d. arc drops.
     @raise Invalid_argument unless [0 ≤ drop_probability ≤ 1]. *)

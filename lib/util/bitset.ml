@@ -43,6 +43,28 @@ let union_into ~src ~dst =
     dst.words.(w) <- dst.words.(w) lor src.words.(w)
   done
 
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let union_into_count ~src ~dst =
+  if src.n <> dst.n then
+    invalid_arg "Bitset.union_into_count: capacity mismatch";
+  let added = ref 0 in
+  for w = 0 to Array.length dst.words - 1 do
+    let d = dst.words.(w) in
+    let u = d lor src.words.(w) in
+    if u <> d then begin
+      added := !added + popcount (u land lnot d);
+      dst.words.(w) <- u
+    end
+  done;
+  !added
+
+let blit ~src ~dst =
+  if src.n <> dst.n then invalid_arg "Bitset.blit: capacity mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length dst.words)
+
 let copy s = { n = s.n; words = Array.copy s.words }
 
 let union a b =
@@ -57,10 +79,6 @@ let inter a b =
     r.words.(w) <- a.words.(w) land b.words.(w)
   done;
   r
-
-let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 

@@ -32,6 +32,15 @@ val mem : t -> int -> bool
     The two sets must share the same capacity. *)
 val union_into : src:t -> dst:t -> unit
 
+(** [union_into_count ~src ~dst] is {!union_into} fused with the count of
+    elements of [src] that were {e not} already in [dst] — the simulation
+    engine's incremental knowledge bookkeeping.  One pass, no allocation. *)
+val union_into_count : src:t -> dst:t -> int
+
+(** [blit ~src ~dst] overwrites [dst] with the contents of [src] in place
+    (same capacity required) — reusable snapshot buffers for the engine. *)
+val blit : src:t -> dst:t -> unit
+
 (** [union a b] is a fresh set holding the union of [a] and [b]. *)
 val union : t -> t -> t
 

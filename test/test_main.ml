@@ -8,6 +8,7 @@ let () =
       ("topology", Test_topology.suite);
       ("protocol", Test_protocol.suite);
       ("simulate", Test_simulate.suite);
+      ("implicit", Test_implicit.suite);
       ("delay", Test_delay.suite);
       ("bounds", Test_bounds.suite);
       ("context", Test_context.suite);

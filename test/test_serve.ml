@@ -113,6 +113,17 @@ let all_ops =
     Wire.Bound { net; s = Some 4; full_duplex = false };
     Wire.Bound { net; s = None; full_duplex = true };
     Wire.Simulate { net; full_duplex = true };
+    Wire.Simulate_implicit
+      {
+        family = "de-bruijn";
+        n = 4096;
+        items = 32;
+        checkpoint_every = 16;
+        period = 64;
+        seed = 3;
+        degree = 2;
+        full_duplex = true;
+      };
     Wire.Certify { spec = Wire.Built { net; full_duplex = false }; refine = true };
     Wire.Certify { spec = Wire.Inline "mode half_duplex\nn 2\nperiod 1\nround 0: 0>1"; refine = false };
   ]
@@ -151,6 +162,23 @@ let test_wire_golden_requests () =
               {
                 net = { Wire.family = "cycle"; dim = 16; degree = 2 };
                 s = None;
+                full_duplex = false;
+              };
+          timeout_ms = None;
+        } );
+      ( {|{"op":"simulate_implicit","params":{"family":"hypercube","n":512}}|},
+        {
+          Wire.id = Json.Null;
+          op =
+            Wire.Simulate_implicit
+              {
+                family = "hypercube";
+                n = 512;
+                items = 32;
+                checkpoint_every = 32;
+                period = 64;
+                seed = 1;
+                degree = 2;
                 full_duplex = false;
               };
           timeout_ms = None;
@@ -201,6 +229,11 @@ let test_wire_rejections () =
   reject {|{"op":"bound","params":{"family":"cycle","dim":"big"}}|} "integer";
   reject {|{"op":"tables","params":{"ss":[2]}}|} "ss";
   reject {|{"op":"tables","params":{"ss":[]}}|} "non-empty";
+  reject {|{"op":"simulate_implicit","params":{"family":"path","n":64}}|}
+    "unknown implicit family";
+  reject {|{"op":"simulate_implicit","params":{"n":64}}|} "family";
+  reject {|{"op":"simulate_implicit","params":{"family":"cycle","n":10000000}}|}
+    "out of range";
   reject {|{"op":"ping","timeout_ms":-5}|} "timeout_ms";
   reject {|{"op":"sleep"}|} "ms";
   reject {|{"op":"certify","params":{"protocol":"x","family":"cycle","dim":4}}|}
@@ -295,6 +328,56 @@ let test_dispatch_direct () =
   with
   | Error (Wire.Bad_request, _) -> ()
   | _ -> Alcotest.fail "garbage protocol must be a bad_request"
+
+let test_dispatch_simulate_implicit () =
+  let d = Dispatch.create () in
+  (match
+     Dispatch.eval d
+       (Wire.Simulate_implicit
+          {
+            family = "hypercube";
+            n = 64;
+            items = 8;
+            checkpoint_every = 4;
+            period = 64;
+            seed = 1;
+            degree = 2;
+            full_duplex = true;
+          })
+   with
+  | Ok j ->
+      check "schema" true
+        (Json.member "schema" j = Some (Json.Str "gossip-simulate/1"));
+      check "completed" true
+        (Json.member "completed" j = Some (Json.Bool true));
+      check "n resolved" true (Json.member "n" j = Some (Json.Int 64));
+      check "items echoed" true (Json.member "items" j = Some (Json.Int 8));
+      check "checkpoints present" true
+        (match Json.member "checkpoints" j with
+        | Some (Json.List (_ :: _)) -> true
+        | _ -> false);
+      (* Q(6) full-duplex dimension sweep finishes in exactly dim rounds *)
+      check "rounds = dim" true (Json.member "rounds" j = Some (Json.Int 6))
+  | Error (_, msg) -> Alcotest.failf "simulate_implicit failed: %s" msg);
+  (* the post-resolution gate: degree-16 de Bruijn rounds 131072 up to
+     16^5 > 2^18 vertices *)
+  match
+    Dispatch.eval d
+      (Wire.Simulate_implicit
+         {
+           family = "de-bruijn";
+           n = 131072;
+           items = 8;
+           checkpoint_every = 0;
+           period = 64;
+           seed = 1;
+           degree = 16;
+           full_duplex = false;
+         })
+  with
+  | Error (Wire.Bad_request, msg) ->
+      check "oversized implicit rejected" true (String.length msg > 0)
+  | _ -> Alcotest.fail "oversized implicit network must be rejected"
 
 (* --- metrics: golden JSON shapes on a hand-cranked clock --- *)
 
@@ -1268,6 +1351,7 @@ let suite =
     ("wire response roundtrip", `Quick, test_wire_response_roundtrip);
     ("wire framing", `Quick, test_wire_framing);
     ("dispatch direct", `Quick, test_dispatch_direct);
+    ("dispatch simulate_implicit", `Quick, test_dispatch_simulate_implicit);
     ("metrics json shape", `Quick, test_metrics_json_shape);
     ("health json transitions", `Quick, test_health_json_transitions);
     ("trace analysis", `Quick, test_trace_analysis);

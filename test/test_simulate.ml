@@ -85,6 +85,28 @@ let test_gossip_time_known_protocols () =
   let t = get (Engine.gossip_time (Builders.cycle_rotate 12)) in
   check "cycle rotate close to n" true (t >= 6 && t <= 14)
 
+let test_items_known_incremental () =
+  (* the incremental counter must equal a recomputed full rescan after
+     every kind of round: directed arcs, exchanges, repeats *)
+  let recount st n =
+    let acc = ref 0 in
+    for v = 0 to n - 1 do
+      acc := !acc + Bitset.cardinal (Engine.knowledge st v)
+    done;
+    !acc
+  in
+  let sys = Builders.edge_coloring_full_duplex (Families.kautz 2 3) in
+  let n = Digraph.n_vertices (Systolic.graph sys) in
+  let st = Engine.initial_state n in
+  for i = 0 to 29 do
+    Engine.apply_round st (Systolic.period_round sys i);
+    check_int
+      (Printf.sprintf "incremental = rescan after round %d" i)
+      (recount st n) (Engine.items_known st)
+  done;
+  check "complete iff count says so" true
+    (Engine.all_complete st = (Engine.items_known st = n * n))
+
 let test_gossip_cap () =
   (* a protocol that never completes: only one edge of the path ever used *)
   let g = Families.path 4 in
@@ -376,6 +398,7 @@ let suite =
     ("run protocol", `Quick, test_run_protocol);
     ("run protocol incomplete", `Quick, test_run_protocol_incomplete);
     ("gossip time known protocols", `Quick, test_gossip_time_known_protocols);
+    ("items_known incremental", `Quick, test_items_known_incremental);
     ("gossip cap", `Quick, test_gossip_cap);
     ("broadcast vs gossip vs diameter", `Quick, test_broadcast_vs_gossip);
     ("coverage monotone", `Quick, test_per_round_coverage_monotone);
