@@ -1490,13 +1490,20 @@ let () =
     (fun (id, name, title, run) ->
       if wanted id then begin
         section title;
+        let r0 = Util.Resource.sample () in
         let t0 = Util.Instrument.now_ns () in
         run ();
         let dt =
           Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e9
         in
+        let r1 = Util.Resource.sample () in
         Util.Instrument.observe "bench.part_seconds" dt;
-        timings := (id, name, dt) :: !timings
+        (* per-part resource delta: what the part allocated and how the
+           collector worked for it, next to its wall time — this is the
+           section perf_diff compares across reports *)
+        timings :=
+          (id, name, dt, Util.Resource.delta_json ~before:r0 ~after:r1)
+          :: !timings
       end)
     parts;
   let total =
@@ -1513,12 +1520,13 @@ let () =
             ( "parts",
               J.List
                 (List.rev_map
-                   (fun (id, name, dt) ->
+                   (fun (id, name, dt, resource) ->
                      J.Obj
                        [
                          ("part", J.Int id);
                          ("name", J.Str name);
                          ("seconds", J.Float dt);
+                         ("resource", resource);
                        ])
                    !timings) );
             ("total_seconds", J.Float total);

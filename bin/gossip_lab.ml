@@ -258,7 +258,7 @@ let simulate_materialized family d dim full_duplex json =
    function drives the chunked engine blockwise.  This is the only way
    to reach 10^6+ vertices. *)
 let simulate_implicit ~family ~n ~degree ~items ~checkpoint_every ~cap ~period
-    ~seed ~full_duplex ~json =
+    ~seed ~full_duplex ~progress ~json =
   match
     Protocol.Schedule.of_family ~family ~n ~degree ~period ~seed ~full_duplex ()
   with
@@ -267,8 +267,35 @@ let simulate_implicit ~family ~n ~degree ~items ~checkpoint_every ~cap ~period
       let nv = Topology.Implicit.n_vertices imp in
       let items = match items with Some k -> k | None -> min nv 64 in
       let st = Simulate.Chunked.create ~items nv in
+      (* the ticker needs checkpoints to fire from; give it a cadence
+         even when the user left checkpointing off *)
+      let checkpoint_every =
+        if progress && checkpoint_every = 0 then 32 else checkpoint_every
+      in
+      let on_checkpoint =
+        if not progress then None
+        else
+          Some
+            (fun (c : Simulate.Chunked.checkpoint) ->
+              Printf.eprintf
+                "\rround %-8d cov %6.4f  %8.1f r/s  eta %-8s heap %.0f MB%s \
+                 %!"
+                c.Simulate.Chunked.round c.Simulate.Chunked.coverage
+                c.Simulate.Chunked.rounds_per_s
+                (match c.Simulate.Chunked.eta_s with
+                | Some e when e < 1.0 -> "<1s"
+                | Some e -> Printf.sprintf "%.0fs" e
+                | None -> "?")
+                c.Simulate.Chunked.heap_mb
+                (match c.Simulate.Chunked.rss_mb with
+                | Some r -> Printf.sprintf "  rss %.0f MB" r
+                | None -> ""))
+      in
       let t0 = Util.Instrument.now_ns () in
-      let outcome = Simulate.Chunked.run ?cap ~checkpoint_every st sched in
+      let outcome =
+        Simulate.Chunked.run ?cap ~checkpoint_every ?on_checkpoint st sched
+      in
+      if progress then prerr_newline ();
       let wall_seconds =
         Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e9
       in
@@ -293,8 +320,9 @@ let simulate_implicit ~family ~n ~degree ~items ~checkpoint_every ~cap ~period
         Printf.printf "coverage  : %.6f\n"
           outcome.Simulate.Chunked.final_coverage;
         List.iter
-          (fun { Simulate.Chunked.round; coverage } ->
-            Printf.printf "  round %6d  coverage %.6f\n" round coverage)
+          (fun { Simulate.Chunked.round; coverage; rounds_per_s; _ } ->
+            Printf.printf "  round %6d  coverage %.6f  (%.1f rounds/s)\n" round
+              coverage rounds_per_s)
           outcome.Simulate.Chunked.checkpoints;
         Printf.printf "wall      : %.3f s  (%.3g nodes*rounds/sec, %d domains)\n"
           wall_seconds
@@ -310,11 +338,11 @@ let simulate_implicit ~family ~n ~degree ~items ~checkpoint_every ~cap ~period
 
 let simulate_cmd =
   let run () family_pos d dim_pos full_duplex json ifamily n items
-      checkpoint_every cap period seed =
+      checkpoint_every cap period seed progress =
     match ifamily with
     | Some family ->
         simulate_implicit ~family ~n ~degree:d ~items ~checkpoint_every ~cap
-          ~period ~seed ~full_duplex ~json
+          ~period ~seed ~full_duplex ~progress ~json
     | None -> (
         match (family_pos, dim_pos) with
         | Some family, Some dim ->
@@ -389,6 +417,16 @@ let simulate_cmd =
       & info [ "seed" ] ~docv:"SEED"
           ~doc:"Seed for the proposal-matching schedules.")
   in
+  let progress_opt =
+    C.Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print a live progress ticker to stderr at every checkpoint: \
+             round, coverage, rounds/s, projected ETA and heap/RSS.  Implies \
+             a checkpoint cadence of 32 when --checkpoint-every is 0.  For \
+             million-node runs that would otherwise sit silent for minutes.")
+  in
   let family_pos =
     C.Arg.(
       value
@@ -410,7 +448,7 @@ let simulate_cmd =
       ret
         (const run $ setup_term $ family_pos $ degree_arg $ dim_pos $ fd
        $ json_arg $ family_opt $ n_opt $ items_opt $ checkpoint_opt $ cap_opt
-       $ period_opt $ seed_opt))
+       $ period_opt $ seed_opt $ progress_opt))
 
 (* --- price --- *)
 

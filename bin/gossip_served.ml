@@ -18,7 +18,7 @@ module C = Cmdliner
 
 let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
     default_timeout_ms eval_domains trace trace_out access_log metrics_dump
-    metrics_dump_interval_ms chaos_args =
+    metrics_dump_interval_ms max_heap_mb resource_interval_ms chaos_args =
   (match trace_out with
   | Some path -> Core.Util.Instrument.set_trace_file (Some path)
   | None -> ());
@@ -66,7 +66,10 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           chaos;
         }
       in
-      match Server.create config with
+      let metrics =
+        Metrics.create ~max_heap_mb ~workers ~queue_capacity ()
+      in
+      match Server.create ~metrics config with
       | exception Unix.Unix_error (err, _, arg) ->
           `Error
             ( false,
@@ -80,6 +83,15 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
           Server.start server;
+          (* Background resource sampler: keeps gc.*/proc.* gauges fresh
+             and feeds the metrics/health wire ops their live memory
+             numbers (the runaway-heap health check reads the latest
+             sample). *)
+          ignore
+            (Core.Util.Resource.start_sampler
+               ~interval_ms:resource_interval_ms
+               ~on_sample:(Metrics.note_resource metrics)
+               ());
           (* Periodic metrics snapshots: write-then-rename so a scraper
              never reads a torn file; one final dump at shutdown so the
              file reflects the whole run. *)
@@ -123,6 +135,7 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
                 (Chaos.describe plan)
           | None -> ());
           Server.join server;
+          Core.Util.Resource.stop_sampler ();
           (match dumper with Some th -> Thread.join th | None -> ());
           Option.iter dump_metrics metrics_dump;
           prerr_endline "gossip_served: drained, bye";
@@ -220,6 +233,23 @@ let serve_term =
           [ "metrics-dump-interval-ms" ]
           ~docv:"MS" ~doc:"Interval between --metrics-dump snapshots.")
   in
+  let max_heap_mb =
+    C.Arg.(
+      value & opt float 4096.0
+      & info [ "max-heap-mb" ] ~docv:"MB"
+          ~doc:"Degrade health once the GC heap exceeds $(docv) MB (a \
+                runaway heap will eventually take the process down); 0 \
+                disables the check.")
+  in
+  let resource_interval_ms =
+    C.Arg.(
+      value & opt int 1000
+      & info
+          [ "resource-interval-ms" ]
+          ~docv:"MS"
+          ~doc:"Interval of the background GC/RSS resource sampler feeding \
+                the metrics and health operations.")
+  in
   (* The chaos flags bundle into one term: they configure a single
      Chaos.make call and stand or fall together. *)
   let chaos_args =
@@ -266,7 +296,8 @@ let serve_term =
     ret
       (const serve_run $ socket $ tcp $ host $ workers $ queue_capacity
      $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out
-     $ access_log $ metrics_dump $ metrics_dump_interval_ms $ chaos_args))
+     $ access_log $ metrics_dump $ metrics_dump_interval_ms $ max_heap_mb
+     $ resource_interval_ms $ chaos_args))
 
 let serve_cmd =
   C.Cmd.v

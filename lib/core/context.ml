@@ -404,6 +404,8 @@ let stats_json ctx =
                      ("entries", J.Int k.k_entries);
                    ] ))
              per) );
+      (* memory next to hit rates: cache-size tuning needs both *)
+      ("resource", Gossip_util.Resource.(to_json (sample ())));
     ]
 
 let pp_stats ppf ctx =

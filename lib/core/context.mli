@@ -180,9 +180,12 @@ val reset_stats : t -> unit
 val clear : t -> unit
 
 (** [stats_json ctx] — the counters as a JSON object [{hits, misses,
-    evictions, entries, capacity, by_kind}], where [by_kind] maps each
-    artifact kind to its own [{hits, misses, evictions, entries}]
-    ({!stats_by_kind}); embedded in every [--json] CLI result, in the
+    evictions, entries, capacity, by_kind, resource}], where [by_kind]
+    maps each artifact kind to its own
+    [{hits, misses, evictions, entries}] ({!stats_by_kind}) and
+    [resource] is a point-in-time {!Gossip_util.Resource} snapshot
+    (heap, RSS, GC counts) — cache-size tuning needs memory numbers
+    next to hit rates; embedded in every [--json] CLI result, in the
     bench report's ["cache"] field, and in the server's [stats] op —
     which is what makes live cache behaviour visible per artifact. *)
 val stats_json : t -> Gossip_util.Json.t

@@ -1,6 +1,7 @@
 module Json = Gossip_util.Json
 module Instrument = Gossip_util.Instrument
 module Rolling = Gossip_util.Rolling
+module Resource = Gossip_util.Resource
 
 (* One second per slot, five minutes of slots: the single window serves
    every exposed horizon by merging its most recent 10 / 60 / 300
@@ -40,9 +41,15 @@ type t = {
   worker_restarts : int Atomic.t;  (* cumulative supervisor respawns *)
   workers_missing : int Atomic.t;  (* dead slots awaiting respawn *)
   write_errors : int Atomic.t;  (* reply writes lost to EPIPE & friends *)
+  max_heap_mb : float;  (* 0. = heap check disabled *)
+  (* last two sampler readings, stamped with the metrics clock so the
+     exposed GC/allocation rates are per second of *this* clock *)
+  last_resource : (int64 * Resource.snapshot) option Atomic.t;
+  prev_resource : (int64 * Resource.snapshot) option Atomic.t;
 }
 
-let create ?clock ?(wedge_ms = 30_000) ~workers ~queue_capacity () =
+let create ?clock ?(wedge_ms = 30_000) ?(max_heap_mb = 0.0) ~workers
+    ~queue_capacity () =
   let user_clock = clock in
   let clock = match clock with Some c -> c | None -> Instrument.now_ns in
   {
@@ -62,6 +69,9 @@ let create ?clock ?(wedge_ms = 30_000) ~workers ~queue_capacity () =
     worker_restarts = Atomic.make 0;
     workers_missing = Atomic.make 0;
     write_errors = Atomic.make 0;
+    max_heap_mb;
+    last_resource = Atomic.make None;
+    prev_resource = Atomic.make None;
   }
 
 let now t = if t.default_clock then monotonic_ns () else t.clock ()
@@ -130,10 +140,27 @@ let wedged_workers t =
 let queue_saturated t =
   t.queue_capacity > 0 && Atomic.get t.queue_depth >= t.queue_capacity
 
+let note_resource t snap =
+  Atomic.set t.prev_resource (Atomic.get t.last_resource);
+  Atomic.set t.last_resource (Some (now t, snap))
+
+let last_resource t = Option.map snd (Atomic.get t.last_resource)
+
+(* Some heap_mb when the limit is on and the last sampler reading
+   exceeds it — the "runaway heap" degradation. *)
+let heap_exceeded t =
+  if t.max_heap_mb <= 0.0 then None
+  else
+    match Atomic.get t.last_resource with
+    | Some (_, s) when s.Resource.heap_mb > t.max_heap_mb ->
+        Some s.Resource.heap_mb
+    | _ -> None
+
 let healthy t =
   (not (queue_saturated t))
   && wedged_workers t = 0
   && Atomic.get t.workers_missing = 0
+  && heap_exceeded t = None
 
 let uptime_s t = Int64.to_float (Int64.sub (now t) t.started_ns) /. 1e9
 
@@ -181,6 +208,47 @@ let window_json t ops window =
         latency_summary (Rolling.snapshot ~window t.queue_wait) );
     ]
 
+(* The last sampler snapshot, extended with per-second GC/allocation
+   rates derived from the previous one — "how fast is the collector
+   working right now", not just cumulative counters. *)
+let resource_json t =
+  match Atomic.get t.last_resource with
+  | None -> Json.Null
+  | Some (ns1, s1) ->
+      let alloc (s : Resource.snapshot) =
+        s.Resource.minor_words +. s.Resource.major_words
+        -. s.Resource.promoted_words
+      in
+      let rates =
+        match Atomic.get t.prev_resource with
+        | Some (ns0, s0) ->
+            let dt = Int64.to_float (Int64.sub ns1 ns0) /. 1e9 in
+            if dt <= 0.0 then []
+            else
+              let per_s v = fin (Float.max 0.0 (v /. dt)) in
+              [
+                ("alloc_words_per_s", per_s (alloc s1 -. alloc s0));
+                ( "minor_collections_per_s",
+                  per_s
+                    (float_of_int
+                       (s1.Resource.minor_collections
+                       - s0.Resource.minor_collections)) );
+                ( "major_collections_per_s",
+                  per_s
+                    (float_of_int
+                       (s1.Resource.major_collections
+                       - s0.Resource.major_collections)) );
+              ]
+        | None -> []
+      in
+      let limit =
+        if t.max_heap_mb > 0.0 then [ ("max_heap_mb", Json.Float t.max_heap_mb) ]
+        else []
+      in
+      (match Resource.to_json s1 with
+      | Json.Obj fields -> Json.Obj (fields @ rates @ limit)
+      | j -> j)
+
 let metrics_json t =
   let ops = sorted_ops t in
   let totals =
@@ -209,6 +277,7 @@ let metrics_json t =
             ("write_errors", Json.Int (Atomic.get t.write_errors));
             ("connections", Json.Int (Atomic.get t.conns));
           ] );
+      ("resource", resource_json t);
       ( "windows",
         Json.Obj
           (List.map (fun (name, w) -> (name, window_json t ops w)) horizons) );
@@ -219,6 +288,7 @@ let health_json t =
   let saturated = queue_saturated t in
   let wedged = wedged_workers t in
   let missing = Atomic.get t.workers_missing in
+  let heap = heap_exceeded t in
   let reasons =
     (if saturated then
        [
@@ -232,10 +302,20 @@ let health_json t =
              t.wedge_ms;
          ]
        else [])
+    @ (if missing > 0 then
+         [
+           Printf.sprintf "worker pool incomplete (%d dead, awaiting respawn)"
+             missing;
+         ]
+       else [])
     @
-    if missing > 0 then
-      [ Printf.sprintf "worker pool incomplete (%d dead, awaiting respawn)" missing ]
-    else []
+    match heap with
+    | Some mb ->
+        [
+          Printf.sprintf "heap %.0f MB exceeds the %.0f MB limit" mb
+            t.max_heap_mb;
+        ]
+    | None -> []
   in
   let ok = reasons = [] in
   Json.Obj
@@ -258,6 +338,16 @@ let health_json t =
       ("workers_missing", Json.Int missing);
       ("worker_restarts", Json.Int (Atomic.get t.worker_restarts));
       ("write_errors", Json.Int (Atomic.get t.write_errors));
+      ( "heap_mb",
+        match last_resource t with
+        | Some s -> Json.Float s.Resource.heap_mb
+        | None -> Json.Null );
+      ( "rss_mb",
+        match last_resource t with
+        | Some { Resource.rss_mb = Some r; _ } -> Json.Float r
+        | _ -> Json.Null );
+      ( "max_heap_mb",
+        if t.max_heap_mb > 0.0 then Json.Float t.max_heap_mb else Json.Null );
       ("uptime_s", fin (uptime_s t));
     ]
 

@@ -16,24 +16,30 @@
     with [queue_full]), when any worker has been busy on one request
     for longer than the wedge deadline ([wedge_ms], default 30s) —
     liveness, not load: a wedged worker means requests can stall
-    indefinitely — or when the worker pool is incomplete (a worker
-    domain died and its supervisor respawn has not landed yet).  A
-    degraded server still {e answers} [health] (the reader thread
+    indefinitely — when the worker pool is incomplete (a worker domain
+    died and its supervisor respawn has not landed yet), or when the
+    last resource sample ({!note_resource}, fed by the daemon's
+    background {!Gossip_util.Resource} sampler) shows the GC heap past
+    [max_heap_mb] — a runaway heap will take the process down with it.
+    A degraded server still {e answers} [health] (the reader thread
     evaluates it, bypassing the queue); readiness is the consumer's
     decision based on [status]. *)
 
 type t
 
-(** [create ?clock ?wedge_ms ~workers ~queue_capacity ()] — fresh state
-    for a server with [workers] worker domains and a bounded queue of
-    [queue_capacity] (0 means "no queue": the saturation check is
-    disabled).  [wedge_ms] (default 30_000) is the busy deadline past
-    which a worker counts as wedged.  [clock] (default
+(** [create ?clock ?wedge_ms ?max_heap_mb ~workers ~queue_capacity ()]
+    — fresh state for a server with [workers] worker domains and a
+    bounded queue of [queue_capacity] (0 means "no queue": the
+    saturation check is disabled).  [wedge_ms] (default 30_000) is the
+    busy deadline past which a worker counts as wedged.  [max_heap_mb]
+    (default 0 = disabled) degrades health once a {!note_resource}
+    sample shows the GC heap above it.  [clock] (default
     {!Gossip_util.Instrument.now_ns}) drives the rolling windows and
     busy stamps; injectable for tests. *)
 val create :
   ?clock:(unit -> int64) ->
   ?wedge_ms:int ->
+  ?max_heap_mb:float ->
   workers:int ->
   queue_capacity:int ->
   unit ->
@@ -82,6 +88,16 @@ val set_workers_missing : t -> int -> unit
     survived. *)
 val note_write_error : t -> unit
 
+(** [note_resource t snap] — record the latest process-resource sample.
+    The daemon's background {!Gossip_util.Resource} sampler calls this
+    about once a second; [metrics_json] derives its per-second GC/
+    allocation rates from the two most recent samples, and the heap
+    health check reads the latest one. *)
+val note_resource : t -> Gossip_util.Resource.snapshot -> unit
+
+(** [last_resource t] — the most recent {!note_resource} sample. *)
+val last_resource : t -> Gossip_util.Resource.snapshot option
+
 (** {1 Reading} *)
 
 (** [in_flight t] — number of workers currently busy on a job. *)
@@ -102,7 +118,10 @@ val healthy : t -> bool
 (** [metrics_json t] — versioned snapshot (schema [gossip-metrics/1]):
     uptime, gauges ([queue_depth], [queue_capacity], [in_flight],
     [workers], [workers_missing], [worker_restarts], [write_errors],
-    [connections]), [windows.{10s,1m,5m}] with per-op
+    [connections]), a [resource] object (the latest {!note_resource}
+    sample plus [alloc_words_per_s] / [minor_collections_per_s] /
+    [major_collections_per_s] rates; [null] before the first sample),
+    [windows.{10s,1m,5m}] with per-op
     [{count, errors, rps, latency_ms: {mean,p50,p95,p99,max}}] and a
     queue-wait histogram summary, and cumulative [totals] per op.
     Documented in [doc/serving.md]. *)
@@ -111,7 +130,9 @@ val metrics_json : t -> Gossip_util.Json.t
 (** [health_json t] — versioned probe result (schema [gossip-health/1]):
     [status] (["ok"] | ["degraded"]), [ok] boolean, human-readable
     [reasons] for the degradation, queue depth/capacity/saturation,
-    in-flight and wedged worker counts, uptime. *)
+    in-flight and wedged worker counts, [heap_mb] / [rss_mb] from the
+    latest resource sample ([null] before the first), the configured
+    [max_heap_mb] ([null] when the heap check is off), uptime. *)
 val health_json : t -> Gossip_util.Json.t
 
 (** [spans_json ()] — the process's span aggregates as a versioned

@@ -28,6 +28,8 @@ type span_agg = {
   mutable s_total_ns : float;
   mutable s_max_ns : int;
   mutable durs : int list;  (* all durations, ns; for exact quantiles *)
+  mutable s_alloc_words : float;  (* summed span_end alloc_words *)
+  mutable s_alloc_seen : int;  (* span_end events that carried the field *)
 }
 
 type t = {
@@ -77,7 +79,16 @@ let agg_for t name =
   match Hashtbl.find_opt t.spans name with
   | Some a -> a
   | None ->
-      let a = { s_count = 0; s_total_ns = 0.0; s_max_ns = 0; durs = [] } in
+      let a =
+        {
+          s_count = 0;
+          s_total_ns = 0.0;
+          s_max_ns = 0;
+          durs = [];
+          s_alloc_words = 0.0;
+          s_alloc_seen = 0;
+        }
+      in
       Hashtbl.add t.spans name a;
       a
 
@@ -111,7 +122,12 @@ let ingest_json t j =
       a.s_count <- a.s_count + 1;
       a.s_total_ns <- a.s_total_ns +. float_of_int dur;
       if dur > a.s_max_ns then a.s_max_ns <- dur;
-      a.durs <- dur :: a.durs
+      a.durs <- dur :: a.durs;
+      (match int_field j "alloc_words" with
+      | Some w ->
+          a.s_alloc_words <- a.s_alloc_words +. float_of_int w;
+          a.s_alloc_seen <- a.s_alloc_seen + 1
+      | None -> ())
   | _ -> ());
   match req_id with
   | None -> ()
@@ -187,6 +203,31 @@ let coverage t =
     let ok = fold_reqs t (fun _ r n -> if complete r then n + 1 else n) 0 in
     float_of_int ok /. float_of_int seen
 
+(* Allocation accounting: traces recorded since span_end grew the
+   alloc_words field carry it on every span_end; [alloc_instrumented]
+   distinguishes those from older traces (where its absence is not a
+   defect), and [alloc_missing] finds spans that only partially carry it
+   — which means the trace mixes recordings from different builds. *)
+let alloc_instrumented t =
+  Hashtbl.fold (fun _ a acc -> acc || a.s_alloc_seen > 0) t.spans false
+
+let alloc_total_words t =
+  Hashtbl.fold (fun _ a acc -> acc +. a.s_alloc_words) t.spans 0.0
+
+let alloc_missing t =
+  Hashtbl.fold
+    (fun name a acc ->
+      if a.s_alloc_seen < a.s_count then (name, a.s_alloc_seen, a.s_count) :: acc
+      else acc)
+    t.spans []
+  |> List.sort compare
+
+let top_allocators t ~top_k =
+  Hashtbl.fold (fun name a acc -> (name, a) :: acc) t.spans []
+  |> List.filter (fun (_, a) -> a.s_alloc_words > 0.0)
+  |> List.sort (fun (_, a) (_, b) -> compare b.s_alloc_words a.s_alloc_words)
+  |> List.filteri (fun i _ -> i < top_k)
+
 let unbalanced t =
   Hashtbl.fold
     (fun (dom, name) b acc ->
@@ -220,7 +261,17 @@ let problems t =
       ]
     else []
   in
-  ub @ zs @ cv
+  let am =
+    if alloc_instrumented t then
+      List.map
+        (fun (name, seen, count) ->
+          Printf.sprintf
+            "span %S: only %d of %d span_end event(s) carry alloc_words" name
+            seen count)
+        (alloc_missing t)
+    else []
+  in
+  ub @ zs @ cv @ am
 
 (* {2 Summaries} *)
 
@@ -316,8 +367,21 @@ let to_json ?(top_k = 10) t =
                ("count", Json.Int a.s_count);
                ("total_ms", Json.Float (a.s_total_ns /. 1e6));
                ("max_ms", Json.Float (ms_of_ns a.s_max_ns));
+               ("alloc_words", Json.Float a.s_alloc_words);
                ("summary_ms", summary_ms a.durs);
              ])
+  in
+  let alloc_rows =
+    List.map
+      (fun (name, a) ->
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("words", Json.Float a.s_alloc_words);
+            ( "words_per_call",
+              Json.Float (a.s_alloc_words /. float_of_int (max 1 a.s_count)) );
+          ])
+      (top_allocators t ~top_k)
   in
   let balance_rows =
     List.map
@@ -374,6 +438,13 @@ let to_json ?(top_k = 10) t =
             ("parse_errors", Json.Int t.parse_errors);
           ] );
       ("spans", Json.List span_rows);
+      ( "alloc",
+        Json.Obj
+          [
+            ("instrumented", Json.Bool (alloc_instrumented t));
+            ("total_words", Json.Float (alloc_total_words t));
+            ("top", Json.List alloc_rows);
+          ] );
       ( "span_balance",
         Json.Obj
           [
@@ -429,6 +500,17 @@ let pp ?(top_k = 10) ppf t =
       fp "  %-10s %6d req  %4d rejected  wait %8.3f ms  service %8.3f ms@." op
         count rejected (mean waits) (mean svcs))
     (by_op t);
+  if alloc_instrumented t then begin
+    fp "@.allocation: %.3g words total; top allocating spans:@."
+      (alloc_total_words t);
+    List.iter
+      (fun (name, a) ->
+        fp "  %-36s %12.3g words  (%.3g/call over %d calls)@." name
+          a.s_alloc_words
+          (a.s_alloc_words /. float_of_int (max 1 a.s_count))
+          a.s_count)
+      (top_allocators t ~top_k)
+  end;
   fp "@.slowest %d:@." top_k;
   List.iter
     (fun (id, r) ->

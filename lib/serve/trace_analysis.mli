@@ -35,18 +35,25 @@ val of_channel : in_channel -> t
       at all (zero-span requests);
     - request coverage below 99% — fewer than 99% of the request ids
       seen in the trace could be reconstructed as either answered
-      (span with a queue-wait/service split) or rejected. *)
+      (span with a queue-wait/service split) or rejected;
+    - when the trace carries [alloc_words] at all (recorded by a build
+      whose [span_end] events embed allocation deltas), span names
+      where only {e some} [span_end] events carry it — a mixed-build
+      trace whose allocation totals cannot be trusted.  Traces with no
+      [alloc_words] anywhere predate the field and are not flagged. *)
 val problems : t -> string list
 
 (** {1 Reports} *)
 
 (** [to_json ?top_k t] — versioned report (schema
-    [gossip-trace-report/1]): line counts, per-span aggregates,
-    span-balance table, request reconstruction summary with
-    queue-wait / service quantiles and the queue-wait share of total
-    latency, per-op breakdown, the [top_k] (default 10) slowest
-    requests each with its span waterfall, and {!problems}.  Schema
-    documented in [doc/telemetry.md]. *)
+    [gossip-trace-report/1]): line counts, per-span aggregates (each
+    with its summed [alloc_words]), an [alloc] section (whether the
+    trace is allocation-instrumented, total words, and the [top_k]
+    allocating span names with words per call), span-balance table,
+    request reconstruction summary with queue-wait / service quantiles
+    and the queue-wait share of total latency, per-op breakdown, the
+    [top_k] (default 10) slowest requests each with its span waterfall,
+    and {!problems}.  Schema documented in [doc/telemetry.md]. *)
 val to_json : ?top_k:int -> t -> Gossip_util.Json.t
 
 (** [pp ?top_k ppf t] — the same report for humans. *)

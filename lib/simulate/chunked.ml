@@ -125,7 +125,15 @@ let apply_round ?domains st sched round =
   in
   st.known <- st.known + delta
 
-type checkpoint = { round : int; coverage : float }
+type checkpoint = {
+  round : int;
+  coverage : float;
+  elapsed_s : float;
+  rounds_per_s : float;
+  eta_s : float option;
+  heap_mb : float;
+  rss_mb : float option;
+}
 
 type outcome = {
   time : int option;
@@ -143,7 +151,7 @@ let ceil_log2 n =
 let default_cap n period =
   (2 * n) + (8 * period * max 1 (ceil_log2 n)) + 64
 
-let run ?domains ?cap ?(checkpoint_every = 0) st sched =
+let run ?domains ?cap ?(checkpoint_every = 0) ?on_checkpoint st sched =
   if Schedule.n_vertices sched <> st.n then
     invalid_arg "Chunked.run: schedule and state disagree on vertex count";
   let cap =
@@ -153,19 +161,63 @@ let run ?domains ?cap ?(checkpoint_every = 0) st sched =
   let checkpoints = ref [] in
   let time = ref None in
   let i = ref 0 in
+  let t0 = Instrument.now_ns () in
+  (* previous checkpoint's (elapsed, coverage): the ETA extrapolates the
+     most recent inter-checkpoint coverage slope to coverage 1.0 —
+     robust to warm-up, and None once coverage stalls (an incomplete run
+     heading for the cap has no honest ETA). *)
+  let prev = ref (0.0, coverage st) in
+  let note_checkpoint () =
+    let c = coverage st in
+    let elapsed_s = Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9 in
+    let rounds_per_s =
+      if elapsed_s > 0.0 then float_of_int !i /. elapsed_s else 0.0
+    in
+    let eta_s =
+      if !time <> None then Some 0.0
+      else
+        let prev_t, prev_c = !prev in
+        let slope = (c -. prev_c) /. Float.max 1e-9 (elapsed_s -. prev_t) in
+        if slope > 0.0 then Some ((1.0 -. c) /. slope) else None
+    in
+    prev := (elapsed_s, c);
+    let res = Gossip_util.Resource.sample () in
+    let cp =
+      {
+        round = !i;
+        coverage = c;
+        elapsed_s;
+        rounds_per_s;
+        eta_s;
+        heap_mb = res.Gossip_util.Resource.heap_mb;
+        rss_mb = res.Gossip_util.Resource.rss_mb;
+      }
+    in
+    checkpoints := cp :: !checkpoints;
+    if streaming then
+      Instrument.event "engine.checkpoint"
+        ~attrs:
+          [
+            ("round", Json.Int !i);
+            ("coverage", Json.Float c);
+            ("elapsed_s", Json.Float elapsed_s);
+            ("rounds_per_s", Json.Float rounds_per_s);
+            ( "eta_s",
+              match eta_s with Some e -> Json.Float e | None -> Json.Null );
+            ("heap_mb", Json.Float cp.heap_mb);
+            ( "rss_mb",
+              match cp.rss_mb with Some r -> Json.Float r | None -> Json.Null
+            );
+          ];
+    match on_checkpoint with Some f -> f cp | None -> ()
+  in
   Instrument.span "simulate.chunked-run" (fun () ->
       while !time = None && !i < cap do
         apply_round ?domains st sched !i;
         incr i;
         if complete st then time := Some !i;
         if checkpoint_every > 0 && (!i mod checkpoint_every = 0 || !time <> None)
-        then begin
-          let c = coverage st in
-          checkpoints := { round = !i; coverage = c } :: !checkpoints;
-          if streaming then
-            Instrument.event "engine.checkpoint"
-              ~attrs:[ ("round", Json.Int !i); ("coverage", Json.Float c) ]
-        end
+        then note_checkpoint ()
       done);
   {
     time = !time;
@@ -207,6 +259,17 @@ let report_to_json ~family ~requested_n ~sched ~st ~outcome ~wall_seconds
                  [
                    ("round", Json.Int c.round);
                    ("coverage", Json.Float c.coverage);
+                   ("elapsed_s", Json.Float c.elapsed_s);
+                   ("rounds_per_s", Json.Float c.rounds_per_s);
+                   ( "eta_s",
+                     match c.eta_s with
+                     | Some e -> Json.Float e
+                     | None -> Json.Null );
+                   ("heap_mb", Json.Float c.heap_mb);
+                   ( "rss_mb",
+                     match c.rss_mb with
+                     | Some r -> Json.Float r
+                     | None -> Json.Null );
                  ])
              outcome.checkpoints) );
       ("wall_seconds", Json.Float wall_seconds);

@@ -48,8 +48,21 @@ val complete : state -> bool
     (default {!Gossip_util.Parallel.recommended_domains}). *)
 val apply_round : ?domains:int -> state -> Gossip_protocol.Schedule.t -> int -> unit
 
-(** A streamed coverage sample. *)
-type checkpoint = { round : int; coverage : float }
+(** A streamed progress sample: the deterministic coverage curve
+    ([round], [coverage] — identical at every worker count) plus the
+    run's live telemetry — elapsed wall time, throughput, the ETA
+    extrapolated from the most recent inter-checkpoint coverage slope
+    ([Some 0.] once complete; [None] while coverage is stalled) and a
+    heap/RSS reading ({!Gossip_util.Resource}). *)
+type checkpoint = {
+  round : int;
+  coverage : float;
+  elapsed_s : float;  (** monotonic seconds since [run] started *)
+  rounds_per_s : float;
+  eta_s : float option;  (** projected seconds to coverage 1.0 *)
+  heap_mb : float;
+  rss_mb : float option;
+}
 
 type outcome = {
   time : int option;  (** first round after which the run was complete *)
@@ -58,18 +71,21 @@ type outcome = {
   checkpoints : checkpoint list;
 }
 
-(** [run ?domains ?cap ?checkpoint_every st sched] drives [st] under
-    [sched] until complete or [cap] rounds (default
+(** [run ?domains ?cap ?checkpoint_every ?on_checkpoint st sched]
+    drives [st] under [sched] until complete or [cap] rounds (default
     [2n + 8·period·⌈log₂ n⌉ + 64] — covers linear-diameter cycles as
     well as logarithmic families).  When [checkpoint_every = k > 0], a
-    coverage checkpoint is recorded every [k] rounds plus at the final
-    round, and — when a trace sink is installed — streamed as an
-    ["engine.checkpoint"] JSONL event.  The whole run executes under the
+    {!checkpoint} is recorded every [k] rounds plus at the final round,
+    passed to [on_checkpoint] (the CLI's [--progress] ticker), and —
+    when a trace sink is installed — streamed as an
+    ["engine.checkpoint"] JSONL event carrying the full progress/
+    resource attribute set.  The whole run executes under the
     ["simulate.chunked-run"] instrumentation span. *)
 val run :
   ?domains:int ->
   ?cap:int ->
   ?checkpoint_every:int ->
+  ?on_checkpoint:(checkpoint -> unit) ->
   state ->
   Gossip_protocol.Schedule.t ->
   outcome

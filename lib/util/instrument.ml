@@ -227,20 +227,36 @@ let record_span name dt =
         };
       observe_locked name dt)
 
+(* Cumulative words allocated by the calling domain (minor + direct
+   major; promotions counted once).  Read only on the streamed path —
+   the quick_stat cost must never reach untraced spans.  The minor part
+   comes from [Gc.minor_words] (a live young-pointer read) because
+   [quick_stat]'s own counter lags behind by up to a minor heap. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
 let span ?(attrs = []) name f =
   let streamed = tracing () in
   if not (enabled () || streamed) then f ()
   else begin
     if streamed then emit (base_fields "span_begin" name attrs);
+    (* after the span_begin emit, so its own JSON rendering is not
+       charged to the span's allocation delta *)
+    let alloc0 = if streamed then allocated_words () else 0.0 in
     let t0 = monotonic_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dt_ns = Int64.sub (monotonic_ns ()) t0 in
         record_span name (Int64.to_float dt_ns /. 1e9);
-        if streamed then
+        if streamed then begin
+          let dw = Float.max 0.0 (allocated_words () -. alloc0) in
           emit
             (base_fields "span_end" name
-               (("dur_ns", Json.Int (Int64.to_int dt_ns)) :: attrs)))
+               (("dur_ns", Json.Int (Int64.to_int dt_ns))
+               :: ("alloc_words", Json.Int (int_of_float dw))
+               :: attrs))
+        end)
       f
   end
 

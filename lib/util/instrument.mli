@@ -21,9 +21,11 @@
       events, one compact JSON object per line (JSONL).  Each line
       carries a wall-clock timestamp [ts], a monotonic [mono_ns], the
       worker domain id [dom] and the caller's attributes; [span_end]
-      additionally carries the monotonic [dur_ns].  Streaming implies
-      span aggregation for the streamed spans.  See [doc/telemetry.md]
-      for the schema.
+      additionally carries the monotonic [dur_ns] and the words the
+      calling domain allocated inside the span ([alloc_words] — read
+      from the GC counters only on this streamed path, so the untraced
+      hot path pays nothing).  Streaming implies span aggregation for
+      the streamed spans.  See [doc/telemetry.md] for the schema.
 
     The {e metrics registry} — counters ({!add}), gauges ({!set_gauge})
     and histograms ({!observe}) — records {b unconditionally}: cache
@@ -63,10 +65,12 @@ val now_ns : unit -> int64
 (** [span ?attrs name f] runs [f ()] and, when aggregation or streaming
     is on, records its monotonic duration under [name] (and into the
     [name] latency histogram), emitting [span_begin]/[span_end] events
-    when streaming.  [attrs] — e.g. a structural fingerprint of the
-    artifact being built — are attached to both events.  Exceptions
-    propagate; the time until the raise is still recorded.  Nesting is
-    fine — each name accumulates independently. *)
+    when streaming; [span_end] carries [dur_ns] and the calling
+    domain's [alloc_words] delta across the span.  [attrs] — e.g. a
+    structural fingerprint of the artifact being built — are attached
+    to both events.  Exceptions propagate; the time until the raise is
+    still recorded.  Nesting is fine — each name accumulates
+    independently. *)
 val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 
 (** [event ?attrs name] emits one [point] JSONL event when streaming is

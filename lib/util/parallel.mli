@@ -8,7 +8,16 @@
     functions required — sized to the machine.
 
     The functions degrade gracefully: with [domains = 1] (or on tiny
-    inputs) they run sequentially with no domain spawn. *)
+    inputs) they run sequentially with no domain spawn.
+
+    {b Utilization telemetry}: when span timing is on
+    ({!Instrument.enabled} or {!Instrument.tracing}), every multi-worker
+    call records each worker's busy time as the
+    [parallel.worker_busy_ms.<w>] gauges plus a [parallel.utilization]
+    gauge (mean busy / max busy over the call's workers; 1.0 means a
+    perfectly balanced split).  Like span timing, the clocks are not
+    read when both switches are off, so untraced hot loops pay
+    nothing. *)
 
 (** [set_default_domains d] installs a process-wide default worker count
     used by every call site that does not pass [?domains] explicitly —

@@ -1,0 +1,158 @@
+type delta = {
+  d_name : string;
+  base_s : float;
+  cur_s : float;
+  pct : float option;
+  base_alloc_words : float option;
+  cur_alloc_words : float option;
+}
+
+type comparison = {
+  matched : delta list;
+  only_base : string list;
+  only_current : string list;
+  base_total_s : float;
+  cur_total_s : float;
+}
+
+let str_field j k = Option.bind (Json.member k j) Json.to_string_opt
+let float_field j k = Option.bind (Json.member k j) Json.to_float_opt
+
+let of_report j =
+  match str_field j "schema" with
+  | Some "gossip-bench/1" -> (
+      match Option.bind (Json.member "parts" j) Json.to_list_opt with
+      | None -> Error "report has no parts list"
+      | Some parts ->
+          let rec rows acc = function
+            | [] -> Ok (List.rev acc)
+            | p :: rest -> (
+                match (str_field p "name", float_field p "seconds") with
+                | Some name, Some seconds ->
+                    let alloc =
+                      Option.bind (Json.member "resource" p) (fun r ->
+                          float_field r "allocated_words")
+                    in
+                    rows ((name, seconds, alloc) :: acc) rest
+                | _ -> Error "part row without name or seconds")
+          in
+          rows [] parts)
+  | Some other -> Error (Printf.sprintf "unexpected schema %S" other)
+  | None -> Error "not a gossip-bench/1 report (no schema field)"
+
+let first_by_name rows name =
+  List.find_opt (fun (n, _, _) -> n = name) rows
+
+let compare_reports ~base ~current =
+  match (of_report base, of_report current) with
+  | Error e, _ -> Error (Printf.sprintf "baseline: %s" e)
+  | _, Error e -> Error (Printf.sprintf "current: %s" e)
+  | Ok b, Ok c ->
+      let matched =
+        List.filter_map
+          (fun (name, base_s, base_alloc) ->
+            match first_by_name c name with
+            | None -> None
+            | Some (_, cur_s, cur_alloc) ->
+                Some
+                  {
+                    d_name = name;
+                    base_s;
+                    cur_s;
+                    pct =
+                      (if base_s > 0.0 then
+                         Some ((cur_s -. base_s) /. base_s *. 100.0)
+                       else None);
+                    base_alloc_words = base_alloc;
+                    cur_alloc_words = cur_alloc;
+                  })
+          b
+      in
+      let names rows = List.map (fun (n, _, _) -> n) rows in
+      let missing_from other rows =
+        List.filter (fun n -> first_by_name other n = None) (names rows)
+      in
+      let total rows = List.fold_left (fun a (_, s, _) -> a +. s) 0.0 rows in
+      Ok
+        {
+          matched;
+          only_base = missing_from c b;
+          only_current = missing_from b c;
+          base_total_s = total b;
+          cur_total_s = total c;
+        }
+
+let gates ~tolerance_pct ~min_seconds d =
+  d.base_s >= min_seconds
+  && match d.pct with Some p -> p > tolerance_pct | None -> false
+
+let regressions ?(tolerance_pct = 25.0) ?(min_seconds = 0.01) c =
+  List.filter (gates ~tolerance_pct ~min_seconds) c.matched
+
+let describe d =
+  Printf.sprintf "%s: %.4fs -> %.4fs (%+.1f%%)" d.d_name d.base_s d.cur_s
+    (Option.value ~default:0.0 d.pct)
+
+let check ?tolerance_pct ?min_seconds c =
+  match regressions ?tolerance_pct ?min_seconds c with
+  | [] -> Ok ()
+  | rs -> Error (List.map describe rs)
+
+let render ?(tolerance_pct = 25.0) ?(min_seconds = 0.01) c =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%-44s %10s %10s %8s %12s\n" "part" "base s" "cur s" "delta%"
+    "alloc delta";
+  List.iter
+    (fun d ->
+      let pct =
+        match d.pct with Some p -> Printf.sprintf "%+7.1f" p | None -> "      -"
+      in
+      let alloc =
+        match (d.base_alloc_words, d.cur_alloc_words) with
+        | Some b, Some cu -> Printf.sprintf "%+.2e w" (cu -. b)
+        | _ -> "-"
+      in
+      pf "%-44s %10.4f %10.4f %8s %12s%s\n" d.d_name d.base_s d.cur_s pct alloc
+        (if gates ~tolerance_pct ~min_seconds d then "  REGRESSED" else ""))
+    c.matched;
+  pf "%-44s %10.4f %10.4f\n" "TOTAL" c.base_total_s c.cur_total_s;
+  List.iter (fun n -> pf "removed part: %s\n" n) c.only_base;
+  List.iter (fun n -> pf "new part: %s\n" n) c.only_current;
+  (match regressions ~tolerance_pct ~min_seconds c with
+  | [] ->
+      pf "no regressions beyond %.0f%% (parts under %.2fs are informational)\n"
+        tolerance_pct min_seconds
+  | rs -> pf "%d regression(s) beyond %.0f%%\n" (List.length rs) tolerance_pct);
+  Buffer.contents buf
+
+let opt_f = function Some v -> Json.Float v | None -> Json.Null
+
+let to_json ?(tolerance_pct = 25.0) ?(min_seconds = 0.01) c =
+  let row d =
+    Json.Obj
+      [
+        ("name", Json.Str d.d_name);
+        ("base_s", Json.Float d.base_s);
+        ("cur_s", Json.Float d.cur_s);
+        ("delta_pct", opt_f d.pct);
+        ("base_alloc_words", opt_f d.base_alloc_words);
+        ("cur_alloc_words", opt_f d.cur_alloc_words);
+        ("regressed", Json.Bool (gates ~tolerance_pct ~min_seconds d));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-perf-diff/1");
+      ("tolerance_pct", Json.Float tolerance_pct);
+      ("min_seconds", Json.Float min_seconds);
+      ("parts", Json.List (List.map row c.matched));
+      ("only_base", Json.List (List.map (fun n -> Json.Str n) c.only_base));
+      ( "only_current",
+        Json.List (List.map (fun n -> Json.Str n) c.only_current) );
+      ("base_total_s", Json.Float c.base_total_s);
+      ("cur_total_s", Json.Float c.cur_total_s);
+      ( "regressions",
+        Json.List
+          (List.map row (regressions ~tolerance_pct ~min_seconds c)) );
+    ]

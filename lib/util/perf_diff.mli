@@ -1,0 +1,76 @@
+(** Comparison of two [gossip-bench/1] reports — the regression gate.
+
+    The bench writes one JSON report per run ([--json]): a [parts] list
+    of [{part, name, seconds}] rows, each now carrying a [resource]
+    object (allocation/GC deltas and end-of-part heap/RSS).  This module
+    pairs the parts of a {e baseline} report with those of a {e current}
+    report {b by name} (part numbers may shift as the bench grows),
+    computes per-part wall-time and allocation deltas, and decides
+    whether the current run {e regressed}: any matched part whose time
+    grew by more than [tolerance_pct] percent {e and} whose baseline
+    time is at least [min_seconds] (sub-hundredth-second parts are pure
+    noise and are reported but never gate).
+
+    [tools/perf_diff] is a thin CLI over this module; CI runs it as
+    [perf_diff --check --tolerance 25 BENCH_BASELINE.json report.json]
+    and fails the build on a nonzero exit.  The committed
+    [BENCH_BASELINE.json] is re-seeded deliberately whenever a PR moves
+    a number for a defensible reason. *)
+
+(** One part present in both reports. *)
+type delta = {
+  d_name : string;
+  base_s : float;
+  cur_s : float;
+  pct : float option;  (** [(cur - base) / base * 100]; [None] when [base_s = 0] *)
+  base_alloc_words : float option;  (** from the part's [resource.allocated_words] *)
+  cur_alloc_words : float option;
+}
+
+(** The full pairing of two reports. *)
+type comparison = {
+  matched : delta list;  (** in baseline part order *)
+  only_base : string list;  (** parts that disappeared *)
+  only_current : string list;  (** parts that are new *)
+  base_total_s : float;
+  cur_total_s : float;
+}
+
+(** [of_report j] — the [(name, seconds, alloc_words option)] rows of a
+    [gossip-bench/1] report, or [Error] describing what is malformed
+    (wrong/missing schema, missing [parts], rows without name or
+    seconds). *)
+val of_report : Json.t -> ((string * float * float option) list, string) result
+
+(** [compare_reports ~base ~current] pairs two parsed reports.
+    Duplicate part names are resolved by first occurrence. *)
+val compare_reports :
+  base:Json.t -> current:Json.t -> (comparison, string) result
+
+(** [regressions ?tolerance_pct ?min_seconds c] — the matched parts that
+    gate: slower than [tolerance_pct] percent (default 25.0) with a
+    baseline of at least [min_seconds] (default 0.01). *)
+val regressions :
+  ?tolerance_pct:float -> ?min_seconds:float -> comparison -> delta list
+
+(** [check ?tolerance_pct ?min_seconds c] — [Ok ()] when nothing gates,
+    else [Error lines] with one human-readable line per regression. *)
+val check :
+  ?tolerance_pct:float ->
+  ?min_seconds:float ->
+  comparison ->
+  (unit, string list) result
+
+(** [render ?tolerance_pct ?min_seconds c] — the delta table: one row
+    per matched part (baseline s, current s, delta %, allocation delta
+    when both sides carry it, and a [REGRESSED] marker on gating rows),
+    plus totals and any added/removed parts.  This is the artifact CI
+    uploads. *)
+val render :
+  ?tolerance_pct:float -> ?min_seconds:float -> comparison -> string
+
+(** [to_json ?tolerance_pct ?min_seconds c] — the comparison as a
+    [gossip-perf-diff/1] object: per-part rows, totals, added/removed
+    parts and the gating regression list. *)
+val to_json :
+  ?tolerance_pct:float -> ?min_seconds:float -> comparison -> Json.t

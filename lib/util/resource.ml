@@ -1,0 +1,169 @@
+type snapshot = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  forced_major_collections : int;
+  heap_words : int;
+  heap_mb : float;
+  rss_mb : float option;
+}
+
+let words_to_mb w = w *. float_of_int (Sys.word_size / 8) /. (1024.0 *. 1024.0)
+
+(* [Gc.quick_stat]'s minor_words only advances at minor-collection
+   boundaries, which undercounts a fresh delta by up to a full minor
+   heap (~256k words).  [Gc.minor_words] reads the live young pointer,
+   so span-sized deltas are exact. *)
+let allocated_words () =
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* Resident pages from /proc/self/statm, field 2.  The page size is not
+   exposed by the stdlib; 4 KiB is correct on every platform that has
+   statm at all, and platforms that don't simply report None. *)
+let page_bytes = 4096.0
+
+let rss_mb () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match String.split_on_char ' ' (input_line ic) with
+          | _ :: resident :: _ -> (
+              match int_of_string_opt resident with
+              | Some pages ->
+                  Some (float_of_int pages *. page_bytes /. (1024.0 *. 1024.0))
+              | None -> None)
+          | _ | (exception End_of_file) -> None)
+
+let sample () =
+  let s = Gc.quick_stat () in
+  {
+    (* live young-pointer read, not the stale quick_stat counter *)
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    forced_major_collections = s.Gc.forced_major_collections;
+    heap_words = s.Gc.heap_words;
+    heap_mb = words_to_mb (float_of_int s.Gc.heap_words);
+    rss_mb = rss_mb ();
+  }
+
+let opt_mb = function None -> Json.Null | Some v -> Json.Float v
+
+let to_json s =
+  Json.Obj
+    [
+      ("minor_words", Json.Float s.minor_words);
+      ("promoted_words", Json.Float s.promoted_words);
+      ("major_words", Json.Float s.major_words);
+      ("minor_collections", Json.Int s.minor_collections);
+      ("major_collections", Json.Int s.major_collections);
+      ("compactions", Json.Int s.compactions);
+      ("forced_major_collections", Json.Int s.forced_major_collections);
+      ("heap_words", Json.Int s.heap_words);
+      ("heap_mb", Json.Float s.heap_mb);
+      ("rss_mb", opt_mb s.rss_mb);
+    ]
+
+let delta_json ~before ~after =
+  let dw a b = Json.Float (Float.max 0.0 (a -. b)) in
+  let di a b = Json.Int (max 0 (a - b)) in
+  let allocated s = s.minor_words +. s.major_words -. s.promoted_words in
+  Json.Obj
+    [
+      ("minor_words", dw after.minor_words before.minor_words);
+      ("promoted_words", dw after.promoted_words before.promoted_words);
+      ("major_words", dw after.major_words before.major_words);
+      ("allocated_words", dw (allocated after) (allocated before));
+      ("minor_collections", di after.minor_collections before.minor_collections);
+      ("major_collections", di after.major_collections before.major_collections);
+      ("heap_mb", Json.Float after.heap_mb);
+      ("rss_mb", opt_mb after.rss_mb);
+    ]
+
+let publish s =
+  Instrument.set_gauge "gc.minor_words" s.minor_words;
+  Instrument.set_gauge "gc.promoted_words" s.promoted_words;
+  Instrument.set_gauge "gc.major_words" s.major_words;
+  Instrument.set_gauge "gc.minor_collections" (float_of_int s.minor_collections);
+  Instrument.set_gauge "gc.major_collections" (float_of_int s.major_collections);
+  Instrument.set_gauge "gc.compactions" (float_of_int s.compactions);
+  Instrument.set_gauge "gc.heap_mb" s.heap_mb;
+  match s.rss_mb with
+  | Some v -> Instrument.set_gauge "proc.rss_mb" v
+  | None -> ()
+
+let sample_and_publish () =
+  let s = sample () in
+  publish s;
+  Instrument.add "resource.samples" 1;
+  s
+
+(* {2 Background sampler} *)
+
+(* One sampler per process.  The thread sleeps in short slices so
+   [stop_sampler] never waits more than ~50 ms behind a long interval. *)
+type sampler = { stop : bool Atomic.t; thread : Thread.t }
+
+let sampler_lock = Mutex.create ()
+let sampler : sampler option ref = ref None
+
+let sampler_loop ~interval_s ~on_sample stop =
+  while not (Atomic.get stop) do
+    (try
+       let s = sample_and_publish () in
+       match on_sample with
+       | Some f -> ( try f s with _ -> ())
+       | None -> ()
+     with _ -> ());
+    let slept = ref 0.0 in
+    while (not (Atomic.get stop)) && !slept < interval_s do
+      let slice = Float.min 0.05 (interval_s -. !slept) in
+      Thread.delay slice;
+      slept := !slept +. slice
+    done
+  done
+
+let start_sampler ?(interval_ms = 1000) ?on_sample () =
+  let interval_s = float_of_int (max 10 interval_ms) /. 1000.0 in
+  Mutex.lock sampler_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sampler_lock)
+    (fun () ->
+      match !sampler with
+      | Some _ -> false
+      | None ->
+          let stop = Atomic.make false in
+          let thread =
+            Thread.create (fun () -> sampler_loop ~interval_s ~on_sample stop) ()
+          in
+          sampler := Some { stop; thread };
+          true)
+
+let sampler_running () =
+  Mutex.lock sampler_lock;
+  let r = !sampler <> None in
+  Mutex.unlock sampler_lock;
+  r
+
+let stop_sampler () =
+  Mutex.lock sampler_lock;
+  let s = !sampler in
+  sampler := None;
+  Mutex.unlock sampler_lock;
+  match s with
+  | None -> ()
+  | Some { stop; thread } ->
+      Atomic.set stop true;
+      Thread.join thread
+
+let () = at_exit stop_sampler

@@ -1,0 +1,99 @@
+(** Process-resource observability: GC and memory telemetry.
+
+    Everything else in the stack measures {e time}; this module measures
+    {e space and collector work} — the other half of any performance
+    claim.  One {!snapshot} captures the allocation counters and heap
+    size from [Gc.quick_stat] plus the process resident set size (read
+    from [/proc/self/statm] on Linux; [None] where that file does not
+    exist, so every caller stays portable).
+
+    Three ways to consume it:
+
+    - {b One-shot}: {!sample} (and {!to_json} / {!delta_json}) for
+      report sections — bench parts, [gossip_lab stats --json], the
+      loadgen client-side accounting.
+    - {b Registry}: {!publish} pushes a snapshot into the
+      {!Instrument} gauge registry ([gc.minor_words], [gc.major_words],
+      [gc.promoted_words], [gc.minor_collections],
+      [gc.major_collections], [gc.compactions], [gc.heap_mb],
+      [proc.rss_mb]), so resource numbers ride along in every
+      [metrics_json] surface without new plumbing.
+    - {b Sampler}: {!start_sampler} runs a background thread that
+      samples and publishes every [interval_ms], optionally feeding each
+      snapshot to a callback — this is how [gossip_served] keeps its
+      [metrics]/[health] wire ops' memory numbers live.
+
+    Allocation counters in OCaml 5 are per-domain: {!allocated_words}
+    reads the calling domain's cumulative allocation, which is exactly
+    the right scope for the per-span [alloc_words] deltas
+    {!Instrument.span} emits.  Counters are monotone within a domain;
+    heap and RSS gauges move both ways. *)
+
+(** One point-in-time resource reading. *)
+type snapshot = {
+  minor_words : float;  (** cumulative words allocated in the minor heap *)
+  promoted_words : float;  (** cumulative words promoted minor → major *)
+  major_words : float;  (** cumulative words allocated in the major heap *)
+  minor_collections : int;  (** cumulative minor GC cycles *)
+  major_collections : int;  (** cumulative major GC cycles *)
+  compactions : int;  (** cumulative heap compactions *)
+  forced_major_collections : int;  (** major cycles forced by [Gc.full_major] &c. *)
+  heap_words : int;  (** current major heap size, words *)
+  heap_mb : float;  (** current major heap size, MiB *)
+  rss_mb : float option;  (** resident set size, MiB; [None] off-Linux *)
+}
+
+(** [allocated_words ()] — cumulative words allocated by the calling
+    domain (minor + direct major, promotions counted once).  Monotone
+    per domain; cheap enough for per-span deltas on traced paths. *)
+val allocated_words : unit -> float
+
+(** [rss_mb ()] — resident set size in MiB from [/proc/self/statm]
+    (pages × 4 KiB), or [None] when unreadable (non-Linux). *)
+val rss_mb : unit -> float option
+
+(** [sample ()] — snapshot the calling domain's GC counters, the shared
+    heap size and the process RSS.  No allocation beyond the returned
+    record; safe from any domain or thread. *)
+val sample : unit -> snapshot
+
+(** [to_json s] — the snapshot as a flat JSON object with the field
+    names of {!snapshot} ([rss_mb] is [null] when unavailable).  This is
+    the [resource] object embedded in bench parts, cache stats and
+    checkpoint events; documented in [doc/telemetry.md]. *)
+val to_json : snapshot -> Json.t
+
+(** [delta_json ~before ~after] — the allocation/collection {e deltas}
+    between two snapshots ([minor_words], [promoted_words],
+    [major_words], [allocated_words], [minor_collections],
+    [major_collections]) plus the {e end-state} gauges [heap_mb] /
+    [rss_mb].  Negative deltas (another domain's counters folded in
+    between reads) clamp to zero. *)
+val delta_json : before:snapshot -> after:snapshot -> Json.t
+
+(** [publish s] — write [s] into the {!Instrument} gauge registry under
+    the [gc.*] / [proc.*] names listed above. *)
+val publish : snapshot -> unit
+
+(** [sample_and_publish ()] = [sample] + [publish], returning the
+    snapshot; also bumps the [resource.samples] counter. *)
+val sample_and_publish : unit -> snapshot
+
+(** {1 Background sampler} *)
+
+(** [start_sampler ?interval_ms ?on_sample ()] starts one background
+    thread that calls {!sample_and_publish} every [interval_ms]
+    (default 1000, clamped to ≥ 10) and passes each snapshot to
+    [on_sample] (exceptions from the callback are swallowed).  Returns
+    [true] if a sampler was started, [false] if one was already running
+    — at most one sampler exists per process, so a second [start] is a
+    no-op rather than a second thread. *)
+val start_sampler :
+  ?interval_ms:int -> ?on_sample:(snapshot -> unit) -> unit -> bool
+
+(** [sampler_running ()] — is the background sampler currently alive? *)
+val sampler_running : unit -> bool
+
+(** [stop_sampler ()] signals the sampler thread and joins it; a no-op
+    when none is running.  Idempotent. *)
+val stop_sampler : unit -> unit

@@ -196,8 +196,14 @@ let test_chunked_deterministic_across_domains () =
         (get o1.Chunked.time) (get o4.Chunked.time);
       check_int (name ^ ": same final count")
         (Chunked.items_known st1) (Chunked.items_known st4);
-      check (name ^ ": same curve") true
-        (o1.Chunked.checkpoints = o4.Chunked.checkpoints))
+      (* project onto the deterministic fields: elapsed/rate/heap are
+         wall-clock telemetry and legitimately differ between runs *)
+      let curve o =
+        List.map
+          (fun c -> (c.Chunked.round, c.Chunked.coverage))
+          o.Chunked.checkpoints
+      in
+      check (name ^ ": same curve") true (curve o1 = curve o4))
     (all_cases false)
 
 let test_chunked_initial_state () =

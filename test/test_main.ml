@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("rolling", Test_rolling.suite);
       ("telemetry", Test_telemetry.suite);
+      ("resource", Test_resource.suite);
       ("linalg", Test_linalg.suite);
       ("topology", Test_topology.suite);
       ("protocol", Test_protocol.suite);

@@ -1,0 +1,305 @@
+(* Tests for Gossip_util.Resource (GC/memory snapshots and the
+   background sampler), the per-span [alloc_words] deltas streamed by
+   Instrument, and the Perf_diff regression gate. *)
+
+open Gossip_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- snapshots --- *)
+
+let churn words =
+  (* allocate roughly [words] words of minor-heap garbage *)
+  let n = words / 102 in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (Array.make 100 0.0))
+  done
+
+let test_counters_monotone () =
+  let before = Resource.sample () in
+  churn 500_000;
+  let after = Resource.sample () in
+  check "minor_words grows" true
+    (after.Resource.minor_words > before.Resource.minor_words);
+  check "allocated_words monotone" true
+    (Resource.allocated_words () >= before.Resource.minor_words);
+  check "minor collections never decrease" true
+    (after.Resource.minor_collections >= before.Resource.minor_collections);
+  check "major collections never decrease" true
+    (after.Resource.major_collections >= before.Resource.major_collections);
+  check "heap size positive" true (after.Resource.heap_words > 0);
+  check "heap_mb consistent" true
+    (abs_float
+       (after.Resource.heap_mb
+       -. (float_of_int after.Resource.heap_words *. 8.0 /. (1024.0 *. 1024.0))
+       )
+    < 1e-6);
+  match after.Resource.rss_mb with
+  | Some r -> check "rss positive when readable" true (r > 0.0)
+  | None -> () (* portable fallback: no /proc *)
+
+let test_snapshot_json_shape () =
+  let s = Resource.sample () in
+  let j = Resource.to_json s in
+  List.iter
+    (fun field ->
+      check (field ^ " present") true (Json.member field j <> None))
+    [
+      "minor_words";
+      "promoted_words";
+      "major_words";
+      "minor_collections";
+      "major_collections";
+      "compactions";
+      "forced_major_collections";
+      "heap_words";
+      "heap_mb";
+      "rss_mb";
+    ]
+
+let test_delta_json () =
+  let before = Resource.sample () in
+  churn 300_000;
+  let after = Resource.sample () in
+  let d = Resource.delta_json ~before ~after in
+  (match Json.member "allocated_words" d with
+  | Some (Json.Float w) -> check "delta sees the churn" true (w > 100_000.0)
+  | _ -> Alcotest.fail "delta_json lacks allocated_words");
+  (* swapped order: clamped to zero, never negative *)
+  let swapped = Resource.delta_json ~before:after ~after:before in
+  match Json.member "allocated_words" swapped with
+  | Some (Json.Float w) -> check "negative delta clamps" true (w = 0.0)
+  | _ -> Alcotest.fail "swapped delta_json lacks allocated_words"
+
+let test_snapshot_under_domains () =
+  (* sampling is safe from any domain; counters are per-domain so every
+     worker sees a well-formed snapshot of its own *)
+  let snaps =
+    Parallel.init ~domains:4 16 (fun _ ->
+        churn 10_000;
+        Resource.sample ())
+  in
+  Array.iter
+    (fun s ->
+      check "worker minor_words nonneg" true (s.Resource.minor_words >= 0.0);
+      check "worker heap positive" true (s.Resource.heap_words > 0))
+    snaps
+
+(* --- background sampler --- *)
+
+let test_sampler_lifecycle () =
+  Resource.stop_sampler ();
+  let seen = Atomic.make 0 in
+  let started =
+    Resource.start_sampler ~interval_ms:10
+      ~on_sample:(fun _ -> Atomic.incr seen)
+      ()
+  in
+  check "first start starts" true started;
+  check "second start is a no-op" false (Resource.start_sampler ());
+  check "running" true (Resource.sampler_running ());
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while Atomic.get seen < 2 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  check "sampler sampled at least twice" true (Atomic.get seen >= 2);
+  Resource.stop_sampler ();
+  check "stopped" false (Resource.sampler_running ());
+  Resource.stop_sampler ();
+  (* a fresh sampler can start after a stop *)
+  check "restartable" true (Resource.start_sampler ~interval_ms:10 ());
+  Resource.stop_sampler ();
+  check "stopped again" false (Resource.sampler_running ())
+
+let test_publish_gauges () =
+  Instrument.reset ();
+  ignore (Resource.sample_and_publish ());
+  let gauges = Instrument.gauges () in
+  let has name = List.mem_assoc name gauges in
+  List.iter
+    (fun g -> check (g ^ " gauge published") true (has g))
+    [
+      "gc.minor_words";
+      "gc.major_words";
+      "gc.minor_collections";
+      "gc.major_collections";
+      "gc.heap_mb";
+    ];
+  check "samples counted" true
+    (List.assoc_opt "resource.samples" (Instrument.counters ()) = Some 1);
+  Instrument.reset ()
+
+(* --- per-span alloc_words on the trace stream --- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if line = "" then acc else line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let span_end_alloc name lines =
+  List.find_map
+    (fun l ->
+      match Json.of_string l with
+      | Ok j
+        when Json.member "ev" j = Some (Json.Str "span_end")
+             && Json.member "name" j = Some (Json.Str name) ->
+          Json.(member "alloc_words" j |> Option.map to_int_opt)
+          |> Option.join
+      | _ -> None)
+    lines
+
+let test_span_alloc_words () =
+  let path = Filename.temp_file "gossip_alloc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.set_trace_file None;
+      Instrument.reset ();
+      Sys.remove path)
+    (fun () ->
+      Instrument.reset ();
+      Instrument.set_trace_file (Some path);
+      Instrument.span "alloc.heavy" (fun () -> churn 400_000);
+      Instrument.span "alloc.noop" (fun () -> ignore (Sys.opaque_identity 1));
+      Instrument.set_trace_file None;
+      let lines = read_lines path in
+      (match span_end_alloc "alloc.heavy" lines with
+      | Some w ->
+          check "allocating span sees its words" true (w >= 300_000)
+      | None -> Alcotest.fail "alloc.heavy span_end lacks alloc_words");
+      match span_end_alloc "alloc.noop" lines with
+      | Some w ->
+          (* the no-op span may still be charged a few closure/JSON
+             words, but nothing near a real workload *)
+          check "no-op span stays near zero" true (w < 10_000)
+      | None -> Alcotest.fail "alloc.noop span_end lacks alloc_words")
+
+(* --- perf_diff: the regression gate --- *)
+
+let bench_report parts =
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-bench/1");
+      ( "parts",
+        Json.List
+          (List.mapi
+             (fun i (name, seconds, alloc) ->
+               Json.Obj
+                 ([
+                    ("part", Json.Int (i + 1));
+                    ("name", Json.Str name);
+                    ("seconds", Json.Float seconds);
+                  ]
+                 @
+                 match alloc with
+                 | None -> []
+                 | Some w ->
+                     [
+                       ( "resource",
+                         Json.Obj [ ("allocated_words", Json.Float w) ] );
+                     ]))
+             parts) );
+    ]
+
+let compare_exn ~base ~current =
+  match Perf_diff.compare_reports ~base ~current with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let test_perf_diff_clean () =
+  let base =
+    bench_report
+      [ ("fig4", 0.5, Some 1e6); ("certificates", 6.0, Some 7e8) ]
+  in
+  let c = compare_exn ~base ~current:base in
+  check_int "both parts matched" 2 (List.length c.Perf_diff.matched);
+  check "identical reports pass" true
+    (Perf_diff.check c = Ok ());
+  check_int "no regressions" 0 (List.length (Perf_diff.regressions c))
+
+let test_perf_diff_seeded_regression () =
+  (* the acceptance scenario: a part seeded 50% slower must gate at the
+     default 25% tolerance — this predicate is exactly what drives the
+     CLI's nonzero exit under --check *)
+  let base = bench_report [ ("certificates", 1.0, Some 1e6) ] in
+  let current = bench_report [ ("certificates", 1.5, Some 2e6) ] in
+  let c = compare_exn ~base ~current in
+  (match Perf_diff.check c with
+  | Error [ line ] ->
+      check "regression line is descriptive" true (String.length line > 0)
+  | Error _ -> Alcotest.fail "expected exactly one regression line"
+  | Ok () -> Alcotest.fail "seeded regression slipped through the gate");
+  check "render marks it" true
+    (let t = Perf_diff.render c in
+     let re = "REGRESSED" in
+     let found = ref false in
+     let lr = String.length re and lt = String.length t in
+     for i = 0 to lt - lr do
+       if String.sub t i lr = re then found := true
+     done;
+     !found);
+  (* a 10% drift stays within the default tolerance *)
+  let mild = bench_report [ ("certificates", 1.1, Some 1e6) ] in
+  check "10% drift passes" true
+    (Perf_diff.check (compare_exn ~base ~current:mild) = Ok ())
+
+let test_perf_diff_noise_floor () =
+  (* sub-hundredth-second parts never gate, however large the ratio *)
+  let base = bench_report [ ("cache-stats", 0.001, None) ] in
+  let current = bench_report [ ("cache-stats", 0.005, None) ] in
+  let c = compare_exn ~base ~current in
+  check "tiny parts never gate" true (Perf_diff.check c = Ok ());
+  (* … unless the floor is lowered explicitly *)
+  check "explicit floor gates them" true
+    (Perf_diff.check ~min_seconds:0.0001 c <> Ok ())
+
+let test_perf_diff_part_drift () =
+  (* parts are paired by name, so renumbering does not raise spurious
+     regressions; added/removed parts are reported, not fatal *)
+  let base =
+    bench_report [ ("fig4", 0.5, None); ("retired-part", 2.0, None) ]
+  in
+  let current =
+    bench_report [ ("brand-new", 1.0, None); ("fig4", 0.5, None) ]
+  in
+  let c = compare_exn ~base ~current in
+  check_int "one part matched" 1 (List.length c.Perf_diff.matched);
+  check "removed part listed" true
+    (c.Perf_diff.only_base = [ "retired-part" ]);
+  check "new part listed" true (c.Perf_diff.only_current = [ "brand-new" ]);
+  check "drift alone does not gate" true (Perf_diff.check c = Ok ())
+
+let test_perf_diff_rejects_malformed () =
+  (match Perf_diff.of_report (Json.Obj [ ("schema", Json.Str "nope/1") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted");
+  match Perf_diff.of_report (Json.Obj [ ("schema", Json.Str "gossip-bench/1") ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing parts accepted"
+
+let suite =
+  [
+    Alcotest.test_case "counters monotone" `Quick test_counters_monotone;
+    Alcotest.test_case "snapshot json shape" `Quick test_snapshot_json_shape;
+    Alcotest.test_case "delta json" `Quick test_delta_json;
+    Alcotest.test_case "snapshot under 4 domains" `Quick
+      test_snapshot_under_domains;
+    Alcotest.test_case "sampler lifecycle" `Quick test_sampler_lifecycle;
+    Alcotest.test_case "publish gauges" `Quick test_publish_gauges;
+    Alcotest.test_case "span alloc_words" `Quick test_span_alloc_words;
+    Alcotest.test_case "perf_diff clean" `Quick test_perf_diff_clean;
+    Alcotest.test_case "perf_diff seeded regression" `Quick
+      test_perf_diff_seeded_regression;
+    Alcotest.test_case "perf_diff noise floor" `Quick
+      test_perf_diff_noise_floor;
+    Alcotest.test_case "perf_diff part drift" `Quick test_perf_diff_part_drift;
+    Alcotest.test_case "perf_diff rejects malformed" `Quick
+      test_perf_diff_rejects_malformed;
+  ]

@@ -454,7 +454,131 @@ let test_health_json_transitions () =
   Metrics.worker_idle m 0;
   check "idle worker recovers" true (status () = Some "ok")
 
+let snapshot_with ~heap_mb ~minor_words =
+  {
+    Gossip_util.Resource.minor_words;
+    promoted_words = 0.0;
+    major_words = 0.0;
+    minor_collections = 1;
+    major_collections = 0;
+    compactions = 0;
+    forced_major_collections = 0;
+    heap_words = int_of_float (heap_mb *. 1024.0 *. 1024.0 /. 8.0);
+    heap_mb;
+    rss_mb = Some (heap_mb +. 4.0);
+  }
+
+let test_metrics_resource_and_heap_health () =
+  let t_ref = ref 1_000_000_000L in
+  let m =
+    Metrics.create
+      ~clock:(fun () -> !t_ref)
+      ~max_heap_mb:100.0 ~workers:2 ~queue_capacity:8 ()
+  in
+  let status () = dig_str [ "status" ] (Metrics.health_json m) in
+  (* before any sample: resource is null, heap check cannot fire *)
+  check "no sample yet" true
+    (dig [ "resource" ] (Metrics.metrics_json m) = Some Json.Null);
+  check "no sample is healthy" true (status () = Some "ok");
+  (* a modest heap is healthy and visible in metrics and health *)
+  Metrics.note_resource m (snapshot_with ~heap_mb:40.0 ~minor_words:1e6);
+  check "sample stored" true (Metrics.last_resource m <> None);
+  check "heap in metrics" true
+    (dig [ "resource"; "heap_mb" ] (Metrics.metrics_json m)
+    = Some (Json.Float 40.0));
+  check "heap in health" true
+    (dig [ "heap_mb" ] (Metrics.health_json m) = Some (Json.Float 40.0));
+  check "modest heap is ok" true (status () = Some "ok");
+  (* allocation rate appears once two samples straddle a clock delta *)
+  t_ref := Int64.add !t_ref 2_000_000_000L;
+  Metrics.note_resource m (snapshot_with ~heap_mb:50.0 ~minor_words:5e6);
+  (match dig [ "resource"; "alloc_words_per_s" ] (Metrics.metrics_json m) with
+  | Some (Json.Float r) ->
+      check "alloc rate ~2e6 w/s" true (abs_float (r -. 2e6) < 1e3)
+  | _ -> Alcotest.fail "alloc_words_per_s missing after two samples");
+  (* a runaway heap degrades health with an explicit reason … *)
+  Metrics.note_resource m (snapshot_with ~heap_mb:150.0 ~minor_words:6e6);
+  check "runaway heap degrades" true (status () = Some "degraded");
+  check "healthy agrees" false (Metrics.healthy m);
+  (match dig [ "reasons" ] (Metrics.health_json m) with
+  | Some (Json.List reasons) ->
+      check "a reason mentions the heap" true
+        (List.exists
+           (function
+             | Json.Str s ->
+                 String.length s >= 4 && String.sub s 0 4 = "heap"
+             | _ -> false)
+           reasons)
+  | _ -> Alcotest.fail "degraded health carries no reasons");
+  (* … and recovers when the collector brings it back down *)
+  Metrics.note_resource m (snapshot_with ~heap_mb:60.0 ~minor_words:7e6);
+  check "shrunk heap recovers" true (status () = Some "ok")
+
 (* --- offline trace analysis on a hand-built trace --- *)
+
+let test_trace_alloc_aggregation () =
+  (* a fully instrumented trace aggregates; a mixed one is flagged *)
+  let full =
+    Trace_analysis.of_lines
+      [
+        {|{"ev":"span_begin","name":"a.hot","ts":"t","mono_ns":1000,"dom":0}|};
+        {|{"ev":"span_end","name":"a.hot","ts":"t","mono_ns":2000,"dom":0,"dur_ns":1000,"alloc_words":5000}|};
+        {|{"ev":"span_begin","name":"a.hot","ts":"t","mono_ns":3000,"dom":0}|};
+        {|{"ev":"span_end","name":"a.hot","ts":"t","mono_ns":4000,"dom":0,"dur_ns":1000,"alloc_words":3000}|};
+        {|{"ev":"span_begin","name":"b.cold","ts":"t","mono_ns":5000,"dom":0}|};
+        {|{"ev":"span_end","name":"b.cold","ts":"t","mono_ns":6000,"dom":0,"dur_ns":1000,"alloc_words":10}|};
+      ]
+  in
+  check "instrumented trace has no problems" true
+    (Trace_analysis.problems full = []);
+  let j = Trace_analysis.to_json full in
+  check "alloc instrumented" true
+    (dig [ "alloc"; "instrumented" ] j = Some (Json.Bool true));
+  check "alloc total words" true
+    (dig [ "alloc"; "total_words" ] j = Some (Json.Float 8010.0));
+  (match dig [ "alloc"; "top" ] j with
+  | Some (Json.List (first :: _)) ->
+      check "hottest allocator first" true
+        (dig_str [ "name" ] first = Some "a.hot");
+      check "words per call" true
+        (dig [ "words_per_call" ] first = Some (Json.Float 4000.0))
+  | _ -> Alcotest.fail "alloc.top missing or empty");
+  let mixed =
+    Trace_analysis.of_lines
+      [
+        {|{"ev":"span_begin","name":"a.hot","ts":"t","mono_ns":1000,"dom":0}|};
+        {|{"ev":"span_end","name":"a.hot","ts":"t","mono_ns":2000,"dom":0,"dur_ns":1000,"alloc_words":5000}|};
+        {|{"ev":"span_begin","name":"a.hot","ts":"t","mono_ns":3000,"dom":0}|};
+        {|{"ev":"span_end","name":"a.hot","ts":"t","mono_ns":4000,"dom":0,"dur_ns":1000}|};
+      ]
+  in
+  check "mixed trace is a problem" true
+    (List.exists
+       (fun p ->
+         String.length p > 0
+         &&
+         let has_sub s sub =
+           let ls = String.length s and lu = String.length sub in
+           let found = ref false in
+           for i = 0 to ls - lu do
+             if String.sub s i lu = sub then found := true
+           done;
+           !found
+         in
+         has_sub p "alloc_words")
+       (Trace_analysis.problems mixed));
+  let legacy =
+    Trace_analysis.of_lines
+      [
+        {|{"ev":"span_begin","name":"a.hot","ts":"t","mono_ns":1000,"dom":0}|};
+        {|{"ev":"span_end","name":"a.hot","ts":"t","mono_ns":2000,"dom":0,"dur_ns":1000}|};
+      ]
+  in
+  check "pre-alloc traces are not flagged" true
+    (Trace_analysis.problems legacy = []);
+  check "legacy trace not instrumented" true
+    (dig [ "alloc"; "instrumented" ] (Trace_analysis.to_json legacy)
+    = Some (Json.Bool false))
 
 let test_trace_analysis () =
   let lines =
@@ -1354,7 +1478,9 @@ let suite =
     ("dispatch simulate_implicit", `Quick, test_dispatch_simulate_implicit);
     ("metrics json shape", `Quick, test_metrics_json_shape);
     ("health json transitions", `Quick, test_health_json_transitions);
+    ("metrics resource + heap health", `Quick, test_metrics_resource_and_heap_health);
     ("trace analysis", `Quick, test_trace_analysis);
+    ("trace alloc aggregation", `Quick, test_trace_alloc_aggregation);
     ("e2e basic ops", `Quick, test_e2e_basic_ops);
     ("e2e simulate matches direct", `Quick, test_e2e_simulate_matches_direct);
     ("e2e malformed frame survives", `Quick, test_e2e_malformed_frame_connection_survives);

@@ -440,6 +440,7 @@ let () =
   let run_one =
     if args.chaos_tolerant then run_connection_resilient else run_connection
   in
+  let resource_start = Gossip_util.Resource.sample () in
   let t_start = now_s () in
   let threads =
     List.init args.connections (fun c ->
@@ -571,6 +572,17 @@ let () =
           match stats with Some s -> s | None -> Json.Null );
         ( "server_health",
           match server_health with Some h -> h | None -> Json.Null );
+        (* client-side GC/RSS next to the server's resource section, so
+           one artifact answers "who paid for this storm" *)
+        ( "client_resource",
+          let final = Gossip_util.Resource.sample () in
+          Json.Obj
+            [
+              ("final", Gossip_util.Resource.to_json final);
+              ( "delta",
+                Gossip_util.Resource.delta_json ~before:resource_start
+                  ~after:final );
+            ] );
         ("metrics_crosscheck", crosscheck_json);
       ]
   in

@@ -1,0 +1,95 @@
+(* perf_diff: compare two gossip-bench/1 reports — the regression gate.
+
+   usage: perf_diff BASELINE CURRENT [--check] [--tolerance PCT]
+                    [--min-seconds S] [--json PATH]
+
+   Pairs the parts of the two reports by name and prints a delta table
+   (wall seconds, delta %, per-part allocation delta from the embedded
+   resource sections).  --json also writes the comparison as
+   gossip-perf-diff/1.  --check turns any part slower than the
+   tolerance (default 25%, over a baseline of at least --min-seconds,
+   default 0.01s — faster parts are reported but never gate) into exit
+   status 1.  CI runs this against the committed BENCH_BASELINE.json. *)
+
+module Json = Gossip_util.Json
+module PD = Gossip_util.Perf_diff
+
+let usage () =
+  prerr_endline
+    "usage: perf_diff BASELINE CURRENT [--check] [--tolerance PCT] \
+     [--min-seconds S] [--json PATH]";
+  exit 2
+
+let read_report path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+      prerr_endline ("perf_diff: " ^ msg);
+      exit 2
+  | text -> (
+      match Json.of_string text with
+      | Ok j -> j
+      | Error e ->
+          Printf.eprintf "perf_diff: %s: %s\n" path e;
+          exit 2)
+
+let () =
+  let files = ref []
+  and check = ref false
+  and tolerance = ref 25.0
+  and min_seconds = ref 0.01
+  and json_out = ref None in
+  let float_arg s =
+    match float_of_string_opt s with
+    | Some v when v >= 0.0 -> v
+    | _ -> usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "--check" :: rest ->
+        check := true;
+        go rest
+    | "--tolerance" :: pct :: rest ->
+        tolerance := float_arg pct;
+        go rest
+    | "--min-seconds" :: s :: rest ->
+        min_seconds := float_arg s;
+        go rest
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        go rest
+    | arg :: rest when arg = "" || arg.[0] <> '-' ->
+        files := arg :: !files;
+        go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let base_path, cur_path =
+    match List.rev !files with [ b; c ] -> (b, c) | _ -> usage ()
+  in
+  let base = read_report base_path and current = read_report cur_path in
+  match PD.compare_reports ~base ~current with
+  | Error e ->
+      prerr_endline ("perf_diff: " ^ e);
+      exit 2
+  | Ok cmp ->
+      print_string
+        (PD.render ~tolerance_pct:!tolerance ~min_seconds:!min_seconds cmp);
+      (match !json_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Json.to_string_pretty
+               (PD.to_json ~tolerance_pct:!tolerance
+                  ~min_seconds:!min_seconds cmp));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "JSON comparison written to %s\n" path
+      | None -> ());
+      if !check then
+        match
+          PD.check ~tolerance_pct:!tolerance ~min_seconds:!min_seconds cmp
+        with
+        | Ok () -> ()
+        | Error lines ->
+            List.iter (fun l -> prerr_endline ("perf_diff: REGRESSION " ^ l)) lines;
+            exit 1
