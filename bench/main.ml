@@ -1404,6 +1404,187 @@ let print_scale_implicit () =
     "(the 10^6-vertex row is ~100x beyond Part 18's materialized ceiling;\n\
     \ memory is n x 64 bits of state, never an adjacency structure.)"
 
+(* ---------------------------------------------------------------- *)
+(* Part 27: cluster layer — ring hot path and router overhead        *)
+(* ---------------------------------------------------------------- *)
+
+(* Two costs decide whether fronting the shards with gossip_router is
+   affordable: the consistent-hash placement every keyed request pays
+   (pure CPU, measured standalone) and the extra socket hop + forward
+   the router adds over dialing a shard directly (measured against a
+   real in-process shard/router pair on Unix sockets; the mixed ops hit
+   the shard's warm cache after the first call, so the delta isolates
+   forwarding, not evaluation). *)
+let print_cluster_bench () =
+  let module Ring = Gossip_cluster.Ring in
+  let module Membership = Gossip_cluster.Membership in
+  let module Router = Gossip_cluster.Router in
+  let module Server = Gossip_serve.Server in
+  let module Client = Gossip_serve.Client in
+  let module Wire = Gossip_serve.Wire in
+  (* --- placement hot path --- *)
+  let shard_names = List.init 16 (fun i -> Printf.sprintf "shard-%02d" i) in
+  let ring = Ring.create ~vnodes:64 shard_names in
+  let keys = Array.init 1024 (fun i -> Printf.sprintf "key-%d" i) in
+  let counter = ref 0 in
+  let next_key () =
+    incr counter;
+    keys.(!counter land 1023)
+  in
+  let rate label iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (label, float_of_int iters /. dt)
+  in
+  let hot =
+    [
+      rate "hash64" 1_000_000 (fun () -> ignore (Ring.hash64 (next_key ())));
+      rate "ring lookup (16 shards x 64 vnodes)" 1_000_000 (fun () ->
+          ignore (Ring.lookup ring (next_key ())));
+      rate "ring replicas k=3" 200_000 (fun () ->
+          ignore (Ring.replicas ring ~k:3 (next_key ())));
+      rate "ring rebuild (16 shards x 64 vnodes)" 2_000 (fun () ->
+          ignore (Ring.create ~vnodes:64 shard_names));
+    ]
+  in
+  let t =
+    Table.make ~title:"Cluster placement hot paths" [ "operation"; "ops/s" ]
+  in
+  List.iter
+    (fun (label, r) ->
+      (match label with
+      | "ring lookup (16 shards x 64 vnodes)" ->
+          Util.Instrument.set_gauge "bench.cluster.ring_lookups_per_sec" r
+      | _ -> ());
+      Table.add_row t [ label; Printf.sprintf "%.0f" r ])
+    hot;
+  Table.print t;
+  (* --- router overhead vs a direct shard dial --- *)
+  let tmp = Filename.get_temp_dir_name () in
+  let sock name =
+    Filename.concat tmp (Printf.sprintf "gossip-bench-%s-%d.sock" name (Unix.getpid ()))
+  in
+  let spath = sock "shard" and rpath = sock "router" in
+  List.iter (fun p -> try Unix.unlink p with _ -> ()) [ spath; rpath ];
+  let shard_config =
+    {
+      (Server.default_config ~listen:(Server.Unix_socket spath)) with
+      Server.workers = 2;
+      queue_capacity = 64;
+    }
+  in
+  let shard = Server.create shard_config in
+  Server.start shard;
+  let membership =
+    Membership.create ~self:"bench-router" ~addr:("unix:" ^ rpath)
+      ~role:"router" ()
+  in
+  ignore
+    (Membership.merge membership
+       [
+         {
+           Membership.node = "bench-shard";
+           addr = "unix:" ^ spath;
+           role = "shard";
+           version = Version.string;
+           incarnation = 1;
+           heartbeat = 1;
+           status = Membership.Alive;
+         };
+       ]);
+  let metrics = Gossip_serve.Metrics.create ~workers:2 ~queue_capacity:64 () in
+  let router = Router.create ~membership ~metrics ~vnodes:64 ~replicas:1 () in
+  let router_config =
+    {
+      (Server.default_config ~listen:(Server.Unix_socket rpath)) with
+      Server.workers = 2;
+      queue_capacity = 64;
+      inline_observability = false;
+    }
+  in
+  let rserver =
+    Server.create ~metrics ~evaluate:(Router.evaluate router) router_config
+  in
+  Server.start rserver;
+  let percentiles listen op n =
+    let c = Client.connect_retry listen in
+    let lat = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let t0 = Util.Instrument.now_ns () in
+      (match Client.call c op with
+      | Ok { Wire.outcome = Ok _; _ } -> ()
+      | Ok { Wire.outcome = Error (code, msg); _ } ->
+          failwith (Wire.error_code_to_string code ^ ": " ^ msg)
+      | Error e -> failwith e);
+      lat.(i) <-
+        Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e3
+    done;
+    Client.close c;
+    Array.sort compare lat;
+    (lat.(n / 2), lat.(min (n - 1) (n * 99 / 100)))
+  in
+  let ping = Wire.Ping in
+  let mixed i =
+    if i land 1 = 0 then Wire.Tables { s_max = 8; ss = [ 3; 4; 5; 6 ] }
+    else
+      Wire.Bound
+        {
+          net = { Wire.family = "hypercube"; dim = 4; degree = 2 };
+          s = Some 4;
+          full_duplex = false;
+        }
+  in
+  let mixed_percentiles listen n =
+    let c = Client.connect_retry listen in
+    let lat = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let t0 = Util.Instrument.now_ns () in
+      (match Client.call c (mixed i) with
+      | Ok { Wire.outcome = Ok _; _ } -> ()
+      | Ok { Wire.outcome = Error (code, msg); _ } ->
+          failwith (Wire.error_code_to_string code ^ ": " ^ msg)
+      | Error e -> failwith e);
+      lat.(i) <-
+        Int64.to_float (Int64.sub (Util.Instrument.now_ns ()) t0) /. 1e3
+    done;
+    Client.close c;
+    Array.sort compare lat;
+    (lat.(n / 2), lat.(min (n - 1) (n * 99 / 100)))
+  in
+  let n = 2_000 in
+  let d_p50, d_p99 = percentiles (Server.Unix_socket spath) ping n in
+  let r_p50, r_p99 = percentiles (Server.Unix_socket rpath) ping n in
+  let dm_p50, dm_p99 = mixed_percentiles (Server.Unix_socket spath) n in
+  let rm_p50, rm_p99 = mixed_percentiles (Server.Unix_socket rpath) n in
+  Server.shutdown rserver;
+  Server.shutdown shard;
+  List.iter (fun p -> try Unix.unlink p with _ -> ()) [ spath; rpath ];
+  Util.Instrument.set_gauge "bench.cluster.router_ping_p50_us" r_p50;
+  Util.Instrument.set_gauge "bench.cluster.direct_ping_p50_us" d_p50;
+  let t =
+    Table.make ~title:"Router overhead (2000 calls per row, microseconds)"
+      [ "path"; "p50 us"; "p99 us" ]
+  in
+  List.iter
+    (fun (label, p50, p99) ->
+      Table.add_row t
+        [ label; Printf.sprintf "%.0f" p50; Printf.sprintf "%.0f" p99 ])
+    [
+      ("direct ping", d_p50, d_p99);
+      ("router ping", r_p50, r_p99);
+      ("direct mixed (tables/bound, warm cache)", dm_p50, dm_p99);
+      ("router mixed (tables/bound, warm cache)", rm_p50, rm_p99);
+    ];
+  Table.print t;
+  Printf.printf
+    "(router adds %.0f us to a p50 ping — one extra Unix-socket hop, a\n\
+    \ ring lookup and a forwarded frame; doc/cluster.md discusses the\n\
+    \ budget.)\n"
+    (r_p50 -. d_p50)
+
 let parts =
   [
     (1, "fig4", "Part 1: Fig. 4 — general systolic lower bounds", print_fig4);
@@ -1444,6 +1625,8 @@ let parts =
      print_robustness_overhead);
     (26, "scale-implicit", "Part 26: chunked-engine scaling to 10^6 vertices",
      print_scale_implicit);
+    (27, "cluster", "Part 27: cluster ring hot path + router overhead",
+     print_cluster_bench);
   ]
 
 (* Minimal argv parsing — the bench stays a plain executable:

@@ -18,7 +18,8 @@ module C = Cmdliner
 
 let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
     default_timeout_ms eval_domains trace trace_out access_log metrics_dump
-    metrics_dump_interval_ms max_heap_mb resource_interval_ms chaos_args =
+    metrics_dump_interval_ms max_heap_mb resource_interval_ms chaos_args
+    cluster_args =
   (match trace_out with
   | Some path -> Core.Util.Instrument.set_trace_file (Some path)
   | None -> ());
@@ -66,8 +67,12 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           chaos;
         }
       in
+      let node_id, join, advertise, gossip_interval_ms, suspicion_timeout_ms,
+          dead_timeout_ms =
+        cluster_args
+      in
       let metrics =
-        Metrics.create ~max_heap_mb ~workers ~queue_capacity ()
+        Metrics.create ?node:node_id ~max_heap_mb ~workers ~queue_capacity ()
       in
       match Server.create ~metrics config with
       | exception Unix.Unix_error (err, _, arg) ->
@@ -83,6 +88,36 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
           Server.start server;
+          (* Cluster membership: with --node-id this shard answers the
+             gossip/digest/drain ops and rumor-spreads its heartbeat to
+             --join seeds (typically the router) until live peers are
+             learned.  Routing itself lives in gossip_router; a shard
+             only has to stay visible. *)
+          let gossiper =
+            match node_id with
+            | None -> None
+            | Some self ->
+                let addr =
+                  match advertise with
+                  | Some a -> a
+                  | None -> Gossip_cluster.Transport.addr_of_listen listen
+                in
+                let membership =
+                  Gossip_cluster.Membership.create ~self ~addr ~role:"shard"
+                    ~suspicion_timeout_ms ~dead_timeout_ms ~seeds:join ()
+                in
+                Dispatch.set_cluster_handler (Server.dispatch server)
+                  (Gossip_cluster.Membership.handle membership);
+                let transport =
+                  Gossip_cluster.Transport.create
+                    ~policy:Gossip_cluster.Transport.gossip_policy ()
+                in
+                Some
+                  (Gossip_cluster.Gossiper.start ~membership ~transport
+                     ~interval_ms:gossip_interval_ms
+                     ~stopping:(fun () -> Server.stop_requested server)
+                     ())
+          in
           (* Background resource sampler: keeps gc.*/proc.* gauges fresh
              and feeds the metrics/health wire ops their live memory
              numbers (the runaway-heap health check reads the latest
@@ -136,6 +171,9 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           | None -> ());
           Server.join server;
           Core.Util.Resource.stop_sampler ();
+          (match gossiper with
+          | Some g -> Gossip_cluster.Gossiper.join g
+          | None -> ());
           (match dumper with Some th -> Thread.join th | None -> ());
           Option.iter dump_metrics metrics_dump;
           prerr_endline "gossip_served: drained, bye";
@@ -292,12 +330,62 @@ let serve_term =
       $ seed $ drop $ corrupt $ delay $ delay_ms $ panic $ disp_lat
       $ disp_lat_ms)
   in
+  let cluster_args =
+    let node_id =
+      C.Arg.(
+        value
+        & opt (some string) None
+        & info [ "node-id" ] ~docv:"ID"
+            ~doc:"Join a cluster as shard $(docv): answer the \
+                  gossip/digest/drain membership ops and heartbeat to the \
+                  --join seeds.  Without it the cluster ops answer \
+                  bad_request.")
+    in
+    let join =
+      C.Arg.(
+        value
+        & opt_all string []
+        & info [ "join" ] ~docv:"ADDR"
+            ~doc:"Seed addresses (unix:PATH | tcp:HOST:PORT) gossiped to \
+                  while no live peer is known; repeatable.  Typically the \
+                  router's address.")
+    in
+    let advertise =
+      C.Arg.(
+        value
+        & opt (some string) None
+        & info [ "advertise" ] ~docv:"ADDR"
+            ~doc:"Address other members should dial for this process \
+                  (default: derived from the listen address).")
+    in
+    let interval =
+      C.Arg.(
+        value & opt int 500
+        & info [ "gossip-interval-ms" ] ~docv:"MS"
+            ~doc:"Membership gossip round interval.")
+    in
+    let suspicion =
+      C.Arg.(
+        value & opt int 2_000
+        & info [ "suspicion-timeout-ms" ] ~docv:"MS"
+            ~doc:"A peer unheard-of for $(docv) ms becomes suspect.")
+    in
+    let dead =
+      C.Arg.(
+        value & opt int 6_000
+        & info [ "dead-timeout-ms" ] ~docv:"MS"
+            ~doc:"A peer unheard-of for $(docv) ms is declared dead.")
+    in
+    C.Term.(
+      const (fun a b c d e f -> (a, b, c, d, e, f))
+      $ node_id $ join $ advertise $ interval $ suspicion $ dead)
+  in
   C.Term.(
     ret
       (const serve_run $ socket $ tcp $ host $ workers $ queue_capacity
      $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out
      $ access_log $ metrics_dump $ metrics_dump_interval_ms $ max_heap_mb
-     $ resource_interval_ms $ chaos_args))
+     $ resource_interval_ms $ chaos_args $ cluster_args))
 
 let serve_cmd =
   C.Cmd.v

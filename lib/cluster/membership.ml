@@ -1,0 +1,403 @@
+module Json = Gossip_util.Json
+module Instrument = Gossip_util.Instrument
+module Prng = Gossip_util.Prng
+module Wire = Gossip_serve.Wire
+
+type status = Alive | Suspect | Draining | Dead
+
+let status_to_string = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Draining -> "draining"
+  | Dead -> "dead"
+
+let status_of_string = function
+  | "alive" -> Some Alive
+  | "suspect" -> Some Suspect
+  | "draining" -> Some Draining
+  | "dead" -> Some Dead
+  | _ -> None
+
+let severity = function Alive -> 0 | Suspect -> 1 | Draining -> 2 | Dead -> 3
+
+type entry = {
+  node : string;
+  addr : string;
+  role : string;
+  version : string;
+  incarnation : int;
+  heartbeat : int;
+  status : status;
+}
+
+(* Lexicographic freshness, severity as the tiebreak: the one total
+   order everything else (suspicion spread, refutation, drain
+   dominance) falls out of. *)
+let supersedes a b =
+  if a.incarnation <> b.incarnation then a.incarnation > b.incarnation
+  else if a.heartbeat <> b.heartbeat then a.heartbeat > b.heartbeat
+  else severity a.status > severity b.status
+
+(* Local bookkeeping per entry: when fresh evidence last won here. *)
+type slot = { e : entry; seen_ns : int64 }
+
+type t = {
+  self_id : string;
+  clock : unit -> int64;
+  rng : Prng.t;
+  fanout : int;
+  suspicion_timeout_ms : int;
+  dead_timeout_ms : int;
+  seeds : string list;
+  mu : Mutex.t;
+  table : (string, slot) Hashtbl.t;
+  mutable gen : int;  (* structural-change counter *)
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let create ~self ~addr ~role ?(version = Core.Version.string) ?clock ?(seed = 0)
+    ?(fanout = 2) ?(suspicion_timeout_ms = 2_000) ?(dead_timeout_ms = 6_000)
+    ?(seeds = []) () =
+  if fanout < 1 then invalid_arg "Membership.create: fanout must be >= 1";
+  if suspicion_timeout_ms < 1 || dead_timeout_ms < suspicion_timeout_ms then
+    invalid_arg
+      "Membership.create: need 1 <= suspicion_timeout_ms <= dead_timeout_ms";
+  let clock = match clock with Some c -> c | None -> Instrument.now_ns in
+  let t =
+    {
+      self_id = self;
+      clock;
+      rng = Prng.create seed;
+      fanout;
+      suspicion_timeout_ms;
+      dead_timeout_ms;
+      seeds = List.filter (fun a -> a <> addr) seeds;
+      mu = Mutex.create ();
+      table = Hashtbl.create 16;
+      gen = 0;
+    }
+  in
+  Hashtbl.replace t.table self
+    {
+      e =
+        {
+          node = self;
+          addr;
+          role;
+          version;
+          incarnation = 1;
+          heartbeat = 0;
+          status = Alive;
+        };
+      seen_ns = clock ();
+    };
+  t
+
+let self t = t.self_id
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ s acc -> s.e :: acc) t.table []
+      |> List.sort (fun a b -> compare a.node b.node))
+
+let find t node =
+  locked t (fun () -> Option.map (fun s -> s.e) (Hashtbl.find_opt t.table node))
+
+let generation t = locked t (fun () -> t.gen)
+
+(* Caller holds the mutex. *)
+let self_slot_locked t =
+  match Hashtbl.find_opt t.table t.self_id with
+  | Some s -> s
+  | None -> assert false (* self is inserted at create and never removed *)
+
+let heartbeat t =
+  locked t (fun () ->
+      let s = self_slot_locked t in
+      Hashtbl.replace t.table t.self_id
+        {
+          e = { s.e with heartbeat = s.e.heartbeat + 1 };
+          seen_ns = t.clock ();
+        })
+
+(* Structural = anything the router's ring or the digest can see. *)
+let structural_change a b =
+  a.status <> b.status || a.incarnation <> b.incarnation || a.addr <> b.addr
+  || a.role <> b.role || a.version <> b.version
+
+(* Caller holds the mutex.  One remote copy [r] folds in; returns
+   whether the local table changed. *)
+let merge_one_locked t r =
+  if r.node = t.self_id then begin
+    (* Somebody else's opinion of us.  If it is at least as fresh as
+       our own record and worse than what we claim, we cannot out-wait
+       it — out-rank it: bump the incarnation (SWIM refutation).  A
+       self-requested drain is not a rumor to refute. *)
+    let s = self_slot_locked t in
+    let own = s.e in
+    if
+      (not (supersedes own r))
+      && severity r.status > severity own.status
+      && own.status <> Draining
+    then begin
+      Hashtbl.replace t.table t.self_id
+        {
+          e = { own with incarnation = max own.incarnation r.incarnation + 1 };
+          seen_ns = t.clock ();
+        };
+      t.gen <- t.gen + 1;
+      true
+    end
+    else false
+  end
+  else
+    match Hashtbl.find_opt t.table r.node with
+    | None ->
+        Hashtbl.replace t.table r.node { e = r; seen_ns = t.clock () };
+        t.gen <- t.gen + 1;
+        true
+    | Some cur when supersedes r cur.e ->
+        Hashtbl.replace t.table r.node { e = r; seen_ns = t.clock () };
+        if structural_change r cur.e then t.gen <- t.gen + 1;
+        true
+    | Some _ -> false
+
+let merge t remote =
+  locked t (fun () ->
+      List.fold_left
+        (fun n r -> if merge_one_locked t r then n + 1 else n)
+        0 remote)
+
+let apply_timeouts t =
+  locked t (fun () ->
+      let now = t.clock () in
+      let overdue seen ms =
+        Int64.compare (Int64.sub now seen) (Int64.of_int (ms * 1_000_000)) > 0
+      in
+      Hashtbl.iter
+        (fun node s ->
+          if node <> t.self_id then
+            let next =
+              match s.e.status with
+              | Alive when overdue s.seen_ns t.dead_timeout_ms -> Some Dead
+              | Alive when overdue s.seen_ns t.suspicion_timeout_ms ->
+                  Some Suspect
+              | (Suspect | Draining) when overdue s.seen_ns t.dead_timeout_ms ->
+                  Some Dead
+              | _ -> None
+            in
+            match next with
+            | None -> ()
+            | Some status ->
+                (* local verdicts keep the entry's (inc, hb): the rumor
+                   spreads on the severity tiebreak and any fresher
+                   heartbeat from the node itself refutes it *)
+                Hashtbl.replace t.table node
+                  { s with e = { s.e with status } };
+                t.gen <- t.gen + 1)
+        t.table)
+
+let start_drain t =
+  locked t (fun () ->
+      let s = self_slot_locked t in
+      if s.e.status <> Draining then begin
+        Hashtbl.replace t.table t.self_id
+          {
+            e =
+              {
+                s.e with
+                status = Draining;
+                incarnation = s.e.incarnation + 1;
+              };
+            seen_ns = t.clock ();
+          };
+        t.gen <- t.gen + 1
+      end)
+
+let draining t =
+  locked t (fun () -> (self_slot_locked t).e.status = Draining)
+
+(* Heartbeat-independent: covers exactly what [structural_change]
+   watches, so converged tables agree on it while heartbeats churn. *)
+let digest_locked t =
+  let lines =
+    Hashtbl.fold
+      (fun _ s acc ->
+        Printf.sprintf "%s|%d|%s|%s|%s|%s" s.e.node s.e.incarnation
+          (status_to_string s.e.status)
+          s.e.addr s.e.role s.e.version
+        :: acc)
+      t.table []
+    |> List.sort compare
+  in
+  let h =
+    List.fold_left
+      (fun h line -> Ring.hash64 (Printf.sprintf "%Lx\n%s" h line))
+      0L lines
+  in
+  Printf.sprintf "%016Lx" h
+
+let digest t = locked t (fun () -> digest_locked t)
+
+let entry_json e =
+  Json.Obj
+    [
+      ("node", Json.Str e.node);
+      ("addr", Json.Str e.addr);
+      ("role", Json.Str e.role);
+      ("version", Json.Str e.version);
+      ("inc", Json.Int e.incarnation);
+      ("hb", Json.Int e.heartbeat);
+      ("status", Json.Str (status_to_string e.status));
+    ]
+
+let entry_of_json j =
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "entry: missing or non-string %S" k)
+  in
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "entry: missing or non-integer %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* node = str "node" in
+  let* addr = str "addr" in
+  let* role = str "role" in
+  let* version = str "version" in
+  let* incarnation = int "inc" in
+  let* heartbeat = int "hb" in
+  let* status_s = str "status" in
+  match status_of_string status_s with
+  | None -> Error (Printf.sprintf "entry: unknown status %S" status_s)
+  | Some status ->
+      Ok { node; addr; role; version; incarnation; heartbeat; status }
+
+let view_json_of t entries =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("schema", Json.Str "gossip-view/1");
+          ("from", Json.Str t.self_id);
+          ("digest", Json.Str (digest_locked t));
+          ("entries", Json.List (List.map entry_json (entries ())));
+        ])
+
+let view_json t =
+  view_json_of t (fun () ->
+      Hashtbl.fold (fun _ s acc -> s.e :: acc) t.table []
+      |> List.sort (fun a b -> compare a.node b.node))
+
+let self_view_json t =
+  view_json_of t (fun () -> [ (self_slot_locked t).e ])
+
+let entries_of_view j =
+  match Json.member "entries" j with
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match entry_of_json item with
+            | Ok e -> go (e :: acc) rest
+            | Error _ as e -> e)
+      in
+      go [] items
+  | _ -> Error "view: missing \"entries\" array"
+
+let digest_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "gossip-digest/1");
+      ("node", Json.Str t.self_id);
+      ("digest", Json.Str (digest t));
+      ("nodes", Json.Int (List.length (entries t)));
+    ]
+
+let handle t (op : Wire.op) =
+  match op with
+  | Wire.Mem_digest -> Ok (digest_json t)
+  | Wire.Gossip { view } -> (
+      match entries_of_view view with
+      | Error e -> Error e
+      | Ok remote ->
+          ignore (merge t remote);
+          Instrument.add "cluster.gossip_received" 1;
+          (* converged (sender's digest now equals ours): answer just
+             our heartbeat; otherwise pull them up with the full table *)
+          let sender_digest =
+            match Json.member "digest" view with
+            | Some (Json.Str d) -> Some d
+            | _ -> None
+          in
+          if sender_digest = Some (digest t) then Ok (self_view_json t)
+          else Ok (view_json t))
+  | Wire.Drain { node } -> (
+      match node with
+      | None -> (
+          start_drain t;
+          Ok (view_json t))
+      | Some n when n = t.self_id ->
+          start_drain t;
+          Ok (view_json t)
+      | Some n ->
+          Error
+            (Printf.sprintf "drain: this node is %S, not %S" t.self_id n))
+  | _ -> Error "not a cluster operation"
+
+(* Gossip targets for one round: live peers, or the bootstrap seeds
+   while we know nobody.  Chosen with the owned Prng — deterministic
+   under a fixed seed. *)
+let pick_targets t =
+  locked t (fun () ->
+      let peers =
+        Hashtbl.fold
+          (fun node s acc ->
+            if node <> t.self_id && s.e.status <> Dead && s.e.addr <> "" then
+              s.e.addr :: acc
+            else acc)
+          t.table []
+        |> List.sort compare
+      in
+      let pool = if peers = [] then t.seeds else peers in
+      let arr = Array.of_list pool in
+      Prng.shuffle t.rng arr;
+      Array.to_list (Array.sub arr 0 (min t.fanout (Array.length arr))))
+
+let tick t ~call =
+  heartbeat t;
+  apply_timeouts t;
+  let targets = pick_targets t in
+  List.iter
+    (fun addr ->
+      Instrument.add "cluster.gossip_sent" 1;
+      let push view =
+        match call addr (Wire.Gossip { view }) with
+        | Error _ -> Instrument.add "cluster.gossip_failed" 1
+        | Ok reply -> (
+            match entries_of_view reply with
+            | Ok remote -> ignore (merge t remote)
+            | Error _ -> Instrument.add "cluster.gossip_garbled" 1)
+      in
+      match call addr Wire.Mem_digest with
+      | Error _ -> Instrument.add "cluster.gossip_failed" 1
+      | Ok probe -> (
+          match Json.member "digest" probe with
+          | Some (Json.Str d) when d = digest t ->
+              (* anti-entropy says we agree: a bare heartbeat suffices *)
+              push (self_view_json t)
+          | _ -> push (view_json t)))
+    targets;
+  (* exchanges against dying peers take real time — sweep again so a
+     slow round cannot postpone a verdict past its deadline *)
+  apply_timeouts t
+
+let version_skew entries =
+  let versions =
+    List.sort_uniq compare (List.map (fun e -> e.version) entries)
+  in
+  max 0 (List.length versions - 1)

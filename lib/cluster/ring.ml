@@ -1,0 +1,100 @@
+module Json = Gossip_util.Json
+
+(* FNV-1a, 64-bit, then a murmur3-style avalanche finalizer.  The
+   wraparound multiplications are what both constructions specify, so
+   the native overflow semantics of [Int64.mul] are correct, not a bug.
+   The finalizer matters: bare FNV of short strings like ["s3#12"]
+   clusters in the high bits, and a ring orders tokens by exactly those
+   bits — without the mix, extra vnodes land next to existing tokens
+   and buy no balance at all. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fmix64 h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  fmix64 !h
+
+type t = {
+  vnodes : int;
+  nodes : string list;  (* sorted, distinct *)
+  tokens : (int64 * string) array;  (* sorted by unsigned token *)
+}
+
+let create ?(vnodes = 64) nodes =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let nodes = List.sort_uniq compare nodes in
+  let tokens =
+    List.concat_map
+      (fun node ->
+        List.init vnodes (fun i ->
+            (hash64 (Printf.sprintf "%s#%d" node i), node)))
+      nodes
+    |> Array.of_list
+  in
+  (* ties (astronomically unlikely with 64-bit FNV) break by node name,
+     keeping the ring a pure function of its inputs *)
+  Array.sort
+    (fun (h1, n1) (h2, n2) ->
+      match Int64.unsigned_compare h1 h2 with 0 -> compare n1 n2 | c -> c)
+    tokens;
+  { vnodes; nodes; tokens }
+
+let nodes t = t.nodes
+let vnodes t = t.vnodes
+
+(* First token clockwise from [h] (unsigned order), wrapping to 0. *)
+let successor t h =
+  let n = Array.length t.tokens in
+  if n = 0 then None
+  else begin
+    (* binary search: least index whose token is >= h *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst t.tokens.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    Some (if !lo = n then 0 else !lo)
+  end
+
+let lookup t key =
+  match successor t (hash64 key) with
+  | None -> None
+  | Some i -> Some (snd t.tokens.(i))
+
+let replicas t ~k key =
+  if k < 1 then invalid_arg "Ring.replicas: k must be >= 1";
+  match successor t (hash64 key) with
+  | None -> []
+  | Some start ->
+      let n = Array.length t.tokens in
+      let want = min k (List.length t.nodes) in
+      let rec walk i acc =
+        if List.length acc >= want then List.rev acc
+        else
+          let node = snd t.tokens.((start + i) mod n) in
+          walk (i + 1) (if List.mem node acc then acc else node :: acc)
+      in
+      walk 0 []
+
+let moved ~before ~after keys =
+  List.filter (fun k -> lookup before k <> lookup after k) keys
+
+let spec_json t =
+  Json.Obj
+    [
+      ("vnodes", Json.Int t.vnodes);
+      ("nodes", Json.List (List.map (fun n -> Json.Str n) t.nodes));
+    ]

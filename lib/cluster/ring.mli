@@ -1,0 +1,56 @@
+(** Consistent hashing: the stable assignment of request keys to shards.
+
+    Each node contributes [vnodes] tokens — the 64-bit hashes of
+    ["node#0" … "node#v-1"] — to one sorted array; a key belongs to the
+    node owning the first token clockwise from the key's own hash
+    (wrapping at the top).  Replicas continue the clockwise walk,
+    collecting the next {e distinct} nodes.
+
+    The construction is deterministic — two processes that agree on the
+    member list and [vnodes] agree on every placement, which is what
+    lets loadgen recompute the router's routing and audit per-shard
+    counters — and {e minimally moving}: adding or removing one node
+    only reassigns the keys whose clockwise walk met that node's
+    tokens, about [K/n] of them, so a rebalance never reshuffles the
+    whole key space (golden- and property-tested in
+    [test/test_cluster.ml]). *)
+
+type t
+
+(** FNV-1a on the UTF-8 bytes, 64-bit, finalized with a murmur3-style
+    avalanche mix (bare FNV of short token strings clusters in exactly
+    the bits the ring sorts by) — the ring's only hash.  Exposed so
+    tests and the router's bench can hash exactly like the ring. *)
+val hash64 : string -> int64
+
+(** [create ?vnodes nodes] — a ring over the distinct [nodes] (order
+    irrelevant; duplicates merged), [vnodes] (default 64) tokens each.
+    [create ~vnodes []] is a valid empty ring: every lookup answers
+    [None].
+    @raise Invalid_argument when [vnodes < 1]. *)
+val create : ?vnodes:int -> string list -> t
+
+val nodes : t -> string list
+(** sorted, distinct *)
+
+val vnodes : t -> int
+
+(** [lookup t key] — the node owning [key], or [None] on an empty
+    ring. *)
+val lookup : t -> string -> string option
+
+(** [replicas t ~k key] — the owner followed by the next distinct nodes
+    clockwise, at most [min k (nodes t)] of them, in walk order.  The
+    head (when any) is [lookup t key].
+    @raise Invalid_argument when [k < 1]. *)
+val replicas : t -> k:int -> string -> string list
+
+(** [moved ~before ~after keys] — the keys whose {!lookup} differs
+    between the two rings (a key unplaced on either ring counts as
+    moved only if placed on the other).  The minimal-movement tests are
+    phrased on this. *)
+val moved : before:t -> after:t -> string list -> string list
+
+(** [spec_json t] — [{"vnodes": v, "nodes": [...]}]; the router embeds
+    it in [stats] replies so clients can rebuild the placement. *)
+val spec_json : t -> Gossip_util.Json.t

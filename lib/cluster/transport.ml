@@ -1,0 +1,124 @@
+module Json = Gossip_util.Json
+module Server = Gossip_serve.Server
+module Wire = Gossip_serve.Wire
+module Resilient = Gossip_serve.Resilient_client
+
+let listen_of_addr addr =
+  match String.index_opt addr ':' with
+  | None -> Error (Printf.sprintf "address %S: expected unix:PATH or tcp:HOST:PORT" addr)
+  | Some i -> (
+      let scheme = String.sub addr 0 i in
+      let rest = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then Error (Printf.sprintf "address %S: empty path" addr)
+          else Ok (Server.Unix_socket rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None ->
+              Error (Printf.sprintf "address %S: expected tcp:HOST:PORT" addr)
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p > 0 && p < 65536 && host <> "" ->
+                  Ok (Server.Tcp (host, p))
+              | _ -> Error (Printf.sprintf "address %S: bad host or port" addr)))
+      | _ ->
+          Error
+            (Printf.sprintf "address %S: unknown scheme %S (unix | tcp)" addr
+               scheme))
+
+let addr_of_listen = function
+  | Server.Unix_socket path -> "unix:" ^ path
+  | Server.Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let default_policy =
+  {
+    Resilient.max_attempts = 2;
+    base_backoff_ms = 10;
+    max_backoff_ms = 100;
+    attempt_timeout_ms = 2_000;
+    call_budget_ms = 2_000;
+    connect_timeout_ms = 500;
+  }
+
+(* Membership rounds must never stall on a dying peer: the failure
+   detector's clock runs inside the same loop, so a 2s hang against one
+   dead socket delays EVERY verdict.  Gossip is periodic — the next
+   round is the retry — hence single attempts under a tight budget. *)
+let gossip_policy =
+  {
+    Resilient.max_attempts = 1;
+    base_backoff_ms = 5;
+    max_backoff_ms = 20;
+    attempt_timeout_ms = 300;
+    call_budget_ms = 350;
+    connect_timeout_ms = 200;
+  }
+
+type t = {
+  policy : Resilient.policy;
+  seed : int;
+  conns : (string, Resilient.t) Hashtbl.t;
+}
+
+let create ?(policy = default_policy) ?(seed = 0) () =
+  { policy; seed; conns = Hashtbl.create 8 }
+
+let forget t addr =
+  match Hashtbl.find_opt t.conns addr with
+  | None -> ()
+  | Some c ->
+      Hashtbl.remove t.conns addr;
+      Resilient.close c
+
+let close t =
+  Hashtbl.iter (fun _ c -> Resilient.close c) t.conns;
+  Hashtbl.reset t.conns
+
+(* [Resilient.connect] retries its full policy against a dead address;
+   for a transport that's the bounded cost of one failed round. *)
+let conn t addr =
+  match Hashtbl.find_opt t.conns addr with
+  | Some c -> Ok c
+  | None -> (
+      match listen_of_addr addr with
+      | Error _ as e -> e
+      | Ok listen -> (
+          match
+            Resilient.connect ~policy:t.policy
+              ~seed:(Int64.to_int (Ring.hash64 addr) lxor t.seed)
+              listen
+          with
+          | c ->
+              Hashtbl.replace t.conns addr c;
+              Ok c
+          | exception Unix.Unix_error (e, _, _) ->
+              Error
+                (Printf.sprintf "connect %s: %s" addr (Unix.error_message e))
+          | exception Sys_error e ->
+              Error (Printf.sprintf "connect %s: %s" addr e)))
+
+let exchange t addr op =
+  match conn t addr with
+  | Error e -> Error (`Down e)
+  | Ok c -> (
+      match Resilient.call c op with
+      | Ok resp -> (
+          match resp.Wire.outcome with
+          | Ok result -> Ok result
+          | Error (code, msg) -> Error (`Fatal (code, msg)))
+      | Error (Resilient.Fatal (code, msg)) -> Error (`Fatal (code, msg))
+      | Error (Resilient.Exhausted msg) ->
+          (* the peer may be gone for good; drop the cached client so a
+             replacement process at the same address gets a fresh dial *)
+          forget t addr;
+          Error (`Down msg))
+
+let call t addr op =
+  match exchange t addr op with
+  | Ok j -> Ok j
+  | Error (`Fatal (code, msg)) ->
+      Error (Printf.sprintf "%s: %s" (Wire.error_code_to_string code) msg)
+  | Error (`Down msg) -> Error msg

@@ -8,14 +8,20 @@
 
 type t
 
-(** [connect listen] — connect to a server bound at [listen].
-    @raise Unix.Unix_error when nobody listens there. *)
-val connect : Server.listen -> t
+(** [connect ?connect_timeout_ms listen] — connect to a server bound at
+    [listen].  With [connect_timeout_ms] set (> 0) the TCP handshake is
+    bounded: a black-holed peer raises [ETIMEDOUT] after that long
+    instead of wedging the caller in the kernel's own connect timeout.
+    Without it, the blocking [connect(2)] semantics are unchanged.
+    @raise Unix.Unix_error when nobody listens there (or the deadline
+    passes). *)
+val connect : ?connect_timeout_ms:int -> Server.listen -> t
 
-(** [connect_retry ?attempts ?delay listen] retries [connect] (default
-    50 × 0.1 s) while the server is still binding; for tests and the
-    load generator racing a freshly started daemon. *)
-val connect_retry : ?attempts:int -> ?delay:float -> Server.listen -> t
+(** [connect_retry ?attempts ?delay ?connect_timeout_ms listen] retries
+    [connect] (default 50 × 0.1 s) while the server is still binding;
+    for tests and the load generator racing a freshly started daemon. *)
+val connect_retry :
+  ?attempts:int -> ?delay:float -> ?connect_timeout_ms:int -> Server.listen -> t
 
 (** [call c ?id ?timeout_ms op] — send the request, wait for one
     response frame, parse it.  [Error] covers transport loss and

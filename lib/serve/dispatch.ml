@@ -10,6 +10,11 @@ type t = {
      them.  Bounded like the context, but tiny in practice. *)
   tables_memo : (string, Json.t) Hashtbl.t;
   memo_mu : Mutex.t;
+  (* cluster-plane ops (gossip / digest / drain) are owned by the
+     membership layer, which lives above this library; a member process
+     installs its handler here.  Mutable because membership is created
+     after the server (it needs the server's bound address). *)
+  mutable cluster : (Wire.op -> (Json.t, string) result) option;
 }
 
 let create ?ctx ?metrics () =
@@ -29,9 +34,16 @@ let create ?ctx ?metrics () =
            no workers and no queue still answers the observability ops *)
         Metrics.create ~workers:0 ~queue_capacity:0 ()
   in
-  { ctx; metrics; tables_memo = Hashtbl.create 16; memo_mu = Mutex.create () }
+  {
+    ctx;
+    metrics;
+    tables_memo = Hashtbl.create 16;
+    memo_mu = Mutex.create ();
+    cluster = None;
+  }
 
 let context d = d.ctx
+let set_cluster_handler d h = d.cluster <- Some h
 
 (* --- network construction with a size gate --- *)
 
@@ -277,6 +289,12 @@ let eval_op d (op : Wire.op) =
       eval_simulate_implicit ~family ~n ~items ~checkpoint_every ~period ~seed
         ~degree ~full_duplex
   | Wire.Certify { spec; refine } -> eval_certify d ~spec ~refine
+  | Wire.Gossip _ | Wire.Mem_digest | Wire.Drain _ -> (
+      match d.cluster with
+      | Some handler -> handler op
+      | None ->
+          Error
+            "not a cluster member (start the server with --join / --node-id)")
 
 let eval d op =
   match

@@ -29,6 +29,15 @@ val create : ?ctx:Core.Context.t -> ?metrics:Metrics.t -> unit -> t
 
 val context : t -> Core.Context.t
 
+(** [set_cluster_handler d h] — route the cluster-plane operations
+    ([gossip] / [digest] / [drain]) to [h]; [h]'s [Error] strings become
+    [bad_request] replies.  Installed by a process that joined a cluster
+    ({!Gossip_cluster.Membership.handle}); without a handler those ops
+    answer [bad_request: not a cluster member].  [h] must be safe to
+    call from several worker domains. *)
+val set_cluster_handler :
+  t -> (Wire.op -> (Gossip_util.Json.t, string) result) -> unit
+
 (** [eval d op] — the ["result"] payload for [op], or an error code and
     message.  Validation failures that only surface at evaluation time
     (an unparsable inline protocol, a network too large to simulate)

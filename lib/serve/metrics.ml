@@ -25,6 +25,7 @@ type per_op = {
 }
 
 type t = {
+  node : string option;  (* cluster node id; labels the JSON snapshots *)
   clock : unit -> int64;
   default_clock : bool;
   user_clock : (unit -> int64) option;  (* forwarded to rolling windows *)
@@ -48,11 +49,12 @@ type t = {
   prev_resource : (int64 * Resource.snapshot) option Atomic.t;
 }
 
-let create ?clock ?(wedge_ms = 30_000) ?(max_heap_mb = 0.0) ~workers
+let create ?node ?clock ?(wedge_ms = 30_000) ?(max_heap_mb = 0.0) ~workers
     ~queue_capacity () =
   let user_clock = clock in
   let clock = match clock with Some c -> c | None -> Instrument.now_ns in
   {
+    node;
     clock;
     default_clock = user_clock = None;
     user_clock;
@@ -249,6 +251,9 @@ let resource_json t =
       | Json.Obj fields -> Json.Obj (fields @ rates @ limit)
       | j -> j)
 
+let node_field t =
+  match t.node with Some n -> [ ("node", Json.Str n) ] | None -> []
+
 let metrics_json t =
   let ops = sorted_ops t in
   let totals =
@@ -261,9 +266,12 @@ let metrics_json t =
       ops
   in
   Json.Obj
-    [
-      ("schema", Json.Str "gossip-metrics/1");
-      ("version", Json.Str Core.Version.string);
+    ([
+       ("schema", Json.Str "gossip-metrics/1");
+       ("version", Json.Str Core.Version.string);
+     ]
+    @ node_field t
+    @ [
       ("uptime_s", fin (uptime_s t));
       ( "gauges",
         Json.Obj
@@ -278,11 +286,12 @@ let metrics_json t =
             ("connections", Json.Int (Atomic.get t.conns));
           ] );
       ("resource", resource_json t);
-      ( "windows",
-        Json.Obj
-          (List.map (fun (name, w) -> (name, window_json t ops w)) horizons) );
-      ("totals", Json.Obj [ ("ops", Json.Obj totals) ]) ;
-    ]
+        ( "windows",
+          Json.Obj
+            (List.map (fun (name, w) -> (name, window_json t ops w)) horizons)
+        );
+        ("totals", Json.Obj [ ("ops", Json.Obj totals) ]);
+      ])
 
 let health_json t =
   let saturated = queue_saturated t in
@@ -319,9 +328,12 @@ let health_json t =
   in
   let ok = reasons = [] in
   Json.Obj
-    [
-      ("schema", Json.Str "gossip-health/1");
-      ("version", Json.Str Core.Version.string);
+    ([
+       ("schema", Json.Str "gossip-health/1");
+       ("version", Json.Str Core.Version.string);
+     ]
+    @ node_field t
+    @ [
       ("status", Json.Str (if ok then "ok" else "degraded"));
       ("ok", Json.Bool ok);
       ("reasons", Json.List (List.map (fun r -> Json.Str r) reasons));
@@ -349,7 +361,7 @@ let health_json t =
       ( "max_heap_mb",
         if t.max_heap_mb > 0.0 then Json.Float t.max_heap_mb else Json.Null );
       ("uptime_s", fin (uptime_s t));
-    ]
+    ])
 
 let spans_json () =
   let span_json (s : Instrument.span_stat) =

@@ -27,16 +27,20 @@
 
 type t
 
-(** [create ?clock ?wedge_ms ?max_heap_mb ~workers ~queue_capacity ()]
+(** [create ?node ?clock ?wedge_ms ?max_heap_mb ~workers ~queue_capacity ()]
     — fresh state for a server with [workers] worker domains and a
     bounded queue of [queue_capacity] (0 means "no queue": the
-    saturation check is disabled).  [wedge_ms] (default 30_000) is the
-    busy deadline past which a worker counts as wedged.  [max_heap_mb]
-    (default 0 = disabled) degrades health once a {!note_resource}
-    sample shows the GC heap above it.  [clock] (default
-    {!Gossip_util.Instrument.now_ns}) drives the rolling windows and
-    busy stamps; injectable for tests. *)
+    saturation check is disabled).  [node] (default: absent) is the
+    process's cluster node id; when set, {!metrics_json} and
+    {!health_json} carry it as a top-level ["node"] field so fleet
+    aggregates and per-shard scrapes stay attributable.  [wedge_ms]
+    (default 30_000) is the busy deadline past which a worker counts as
+    wedged.  [max_heap_mb] (default 0 = disabled) degrades health once a
+    {!note_resource} sample shows the GC heap above it.  [clock]
+    (default {!Gossip_util.Instrument.now_ns}) drives the rolling
+    windows and busy stamps; injectable for tests. *)
 val create :
+  ?node:string ->
   ?clock:(unit -> int64) ->
   ?wedge_ms:int ->
   ?max_heap_mb:float ->

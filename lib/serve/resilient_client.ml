@@ -8,6 +8,7 @@ type policy = {
   max_backoff_ms : int;
   attempt_timeout_ms : int;
   call_budget_ms : int;
+  connect_timeout_ms : int;
 }
 
 let default_policy =
@@ -17,6 +18,7 @@ let default_policy =
     max_backoff_ms = 500;
     attempt_timeout_ms = 1_000;
     call_budget_ms = 10_000;
+    connect_timeout_ms = 1_000;
   }
 
 type failure =
@@ -61,7 +63,9 @@ let validate_policy p =
   if p.base_backoff_ms < 0 || p.max_backoff_ms < p.base_backoff_ms then
     invalid_arg "Resilient_client: backoff range is invalid";
   if p.attempt_timeout_ms < 1 || p.call_budget_ms < 1 then
-    invalid_arg "Resilient_client: timeouts must be >= 1 ms"
+    invalid_arg "Resilient_client: timeouts must be >= 1 ms";
+  if p.connect_timeout_ms < 1 then
+    invalid_arg "Resilient_client: connect_timeout_ms must be >= 1 ms"
 
 let connect ?(policy = default_policy) ?(seed = 0) listen =
   validate_policy policy;
@@ -69,7 +73,10 @@ let connect ?(policy = default_policy) ?(seed = 0) listen =
     listen;
     policy;
     rng = Prng.create seed;
-    conn = Some (Client.connect_retry listen);
+    conn =
+      Some
+        (Client.connect_retry ~connect_timeout_ms:policy.connect_timeout_ms
+           listen);
     rbuf = Buffer.create 4096;
     token = 1;
     s_calls = 0;
@@ -99,7 +106,10 @@ let ensure_conn t =
   match t.conn with
   | Some c -> Ok c
   | None -> (
-      match Client.connect t.listen with
+      match
+        Client.connect ~connect_timeout_ms:t.policy.connect_timeout_ms
+          t.listen
+      with
       | c ->
           Buffer.clear t.rbuf;
           t.conn <- Some c;

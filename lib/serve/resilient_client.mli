@@ -40,10 +40,14 @@ type policy = {
   max_backoff_ms : int;  (** exponential growth is capped here *)
   attempt_timeout_ms : int;  (** per-attempt reply deadline *)
   call_budget_ms : int;  (** wall-clock budget for the whole call *)
+  connect_timeout_ms : int;
+      (** TCP/Unix connect deadline on every (re)connect — a black-holed
+          peer costs this much, never the kernel's minutes-long default
+          ({!Client.connect}'s [connect_timeout_ms]) *)
 }
 
 (** 6 attempts, 10 ms base / 500 ms cap backoff, 1 s per attempt, 10 s
-    per call. *)
+    per call, 1 s per connect. *)
 val default_policy : policy
 
 (** Why a call failed definitively. *)

@@ -11,6 +11,11 @@ type config = {
   default_timeout_ms : int option;
   access_log : string option;
   chaos : Chaos.t option;  (** fault injection; [None] = disabled *)
+  inline_observability : bool;
+      (** answer [metrics]/[health]/[spans] from the reader thread,
+          bypassing the queue (the default).  The router turns this off:
+          its observability ops aggregate across the fleet, which is
+          worker business, not reader business. *)
 }
 
 let default_config ~listen =
@@ -22,6 +27,7 @@ let default_config ~listen =
     default_timeout_ms = None;
     access_log = None;
     chaos = None;
+    inline_observability = true;
   }
 
 (* A connection is shared between its reader thread and any worker
@@ -54,6 +60,7 @@ type job = {
 type t = {
   config : config;
   disp : Dispatch.t;
+  evaluate : Wire.op -> (Json.t, Wire.error_code * string) result;
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   queue : job Bounded_queue.t;
@@ -282,7 +289,7 @@ let process_job t ~worker job =
               Instrument.add "serve.chaos.panics" 1;
               raise Chaos.Panic
             end;
-            Dispatch.eval t.disp req.Wire.op
+            t.evaluate req.Wire.op
           in
           if tracing then
             Instrument.with_ambient_attrs
@@ -503,7 +510,8 @@ let reader_loop t conn () =
                      (Wire.error_response ~id ~code:Wire.Bad_request
                         ~message:msg))
             | Ok ({ Wire.op = Wire.Metrics | Wire.Health | Wire.Spans; _ } as
-                  req) ->
+                  req)
+              when t.config.inline_observability ->
                 (* observability stays on even while draining *)
                 ignore
                   (send t conn
@@ -586,7 +594,7 @@ let unlink_if_socket path =
   | _ -> ()
   | exception Unix.Unix_error _ -> ()
 
-let create ?dispatch ?metrics (config : config) =
+let create ?dispatch ?metrics ?evaluate (config : config) =
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
   if config.queue_capacity < 1 then
     invalid_arg "Server.create: queue_capacity < 1";
@@ -604,6 +612,9 @@ let create ?dispatch ?metrics (config : config) =
   in
   let disp =
     match dispatch with Some d -> d | None -> Dispatch.create ~metrics ()
+  in
+  let evaluate =
+    match evaluate with Some f -> f | None -> Dispatch.eval disp
   in
   let access_oc = Option.map open_out config.access_log in
   let listen_fd =
@@ -635,6 +646,7 @@ let create ?dispatch ?metrics (config : config) =
   {
     config;
     disp;
+    evaluate;
     metrics;
     listen_fd;
     queue = Bounded_queue.create ~capacity:config.queue_capacity;

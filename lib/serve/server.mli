@@ -74,6 +74,13 @@ type config = {
       (** fault-injection plan for queued requests; [None] (the
           default) disables injection entirely — the hot path then pays
           a single pattern match *)
+  inline_observability : bool;
+      (** answer [metrics] / [health] / [spans] from the reader thread,
+          bypassing the queue (the default, [true]) — they must stay
+          answerable when the queue is saturated.  The cluster router
+          sets [false] so those ops reach its own evaluator, which
+          aggregates across the whole fleet instead of answering for
+          one process. *)
 }
 
 (** [default_config ~listen] — {!Gossip_util.Parallel.recommended_domains}
@@ -83,16 +90,27 @@ val default_config : listen:listen -> config
 
 type t
 
-(** [create ?dispatch ?metrics config] binds and listens (so a
-    subsequent client [connect] cannot race the bind) but accepts
+(** [create ?dispatch ?metrics ?evaluate config] binds and listens (so
+    a subsequent client [connect] cannot race the bind) but accepts
     nothing yet.  [metrics] (default: fresh, sized to the config)
     receives every observation; pass your own to share it with an
     embedding process.  When [dispatch] is omitted the server's
     dispatcher is created over the same metrics value, so the
     observability ops answer identically whether evaluated inline or
-    through the queue.
+    through the queue.  [evaluate] (default: [Dispatch.eval] on that
+    dispatcher) is what worker domains run queued requests through —
+    the cluster router substitutes its ring-routing forwarder here and
+    reuses the rest of the server machinery (accept/readers/queue/
+    workers/supervisor) unchanged.  It must be safe to call from
+    several domains at once.
     @raise Unix.Unix_error when the address is unavailable. *)
-val create : ?dispatch:Dispatch.t -> ?metrics:Metrics.t -> config -> t
+val create :
+  ?dispatch:Dispatch.t ->
+  ?metrics:Metrics.t ->
+  ?evaluate:
+    (Wire.op -> (Gossip_util.Json.t, Wire.error_code * string) result) ->
+  config ->
+  t
 
 (** [start t] spawns the worker domains and the accept thread and
     returns immediately. *)

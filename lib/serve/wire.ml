@@ -29,6 +29,15 @@ type op =
       full_duplex : bool;
     }
   | Certify of { spec : protocol_spec; refine : bool }
+  (* cluster membership plane (lib/cluster): an epidemic gossip exchange
+     rides the ordinary wire protocol, so shards and the router need no
+     second listener.  [Gossip] carries the sender's membership view
+     verbatim (the cluster layer owns that schema, the wire layer only
+     checks it is an object); [Mem_digest] is the cheap anti-entropy
+     probe; [Drain] asks a shard to advertise itself as draining. *)
+  | Gossip of { view : Json.t }
+  | Mem_digest
+  | Drain of { node : string option }
 
 let op_name = function
   | Ping -> "ping"
@@ -44,6 +53,9 @@ let op_name = function
   | Simulate _ -> "simulate"
   | Simulate_implicit _ -> "simulate_implicit"
   | Certify _ -> "certify"
+  | Gossip _ -> "gossip"
+  | Mem_digest -> "digest"
+  | Drain _ -> "drain"
 
 type request = { id : Json.t; op : op; timeout_ms : int option }
 
@@ -181,6 +193,14 @@ let parse_op op params =
             Ok (Built { net; full_duplex })
       in
       Ok (Certify { spec; refine })
+  | "gossip" -> (
+      match params with
+      | Json.Obj (_ :: _) -> Ok (Gossip { view = params })
+      | _ -> Error "parameter object must carry the membership view")
+  | "digest" -> Ok Mem_digest
+  | "drain" ->
+      let* node = string_field params "node" in
+      Ok (Drain { node })
   | other -> Error (Printf.sprintf "unknown operation %S" other)
 
 let parse_request j =
@@ -251,6 +271,10 @@ let op_params = function
       | Built { net; full_duplex } ->
           net_to_fields net @ [ ("full_duplex", Json.Bool full_duplex) ])
       @ [ ("refine", Json.Bool refine) ]
+  | Gossip { view } -> ( match view with Json.Obj fields -> fields | _ -> [])
+  | Mem_digest -> []
+  | Drain { node } -> (
+      match node with Some n -> [ ("node", Json.Str n) ] | None -> [])
 
 let request_to_json r =
   Json.Obj

@@ -74,6 +74,22 @@ type op =
           vertex count (gated at [2^17]), [items] the tracked-item count.
           Result schema [gossip-simulate/1] (see [doc/simulation.md]). *)
   | Certify of { spec : protocol_spec; refine : bool }
+  | Gossip of { view : Json.t }
+      (** cluster-membership exchange ({!Gossip_cluster.Membership}):
+          [view] is the sender's membership view, carried verbatim — the
+          wire layer only requires a non-empty object.  Result: the
+          receiver's view, after merging.  Answered only by cluster
+          members (shards started with [--join], and the router). *)
+  | Mem_digest
+      (** wire name ["digest"]: the anti-entropy probe — result
+          [{digest, nodes, node}] summarizing the receiver's membership
+          table (heartbeat-independent, so converged tables agree). *)
+  | Drain of { node : string option }
+      (** ask a shard to advertise itself as draining (membership status
+          [draining], incarnation bumped): the router stops routing new
+          keys there while in-flight and straggler requests still
+          complete.  [node] must be absent or the receiver's own id on a
+          shard; on the router it names the shard to drain. *)
 
 (** [op_name op] — the wire name ("ping", "tables", …); used as the
     ["op"] field, in telemetry attributes and in the loadgen mix. *)

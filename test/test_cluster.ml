@@ -1,0 +1,530 @@
+(* lib/cluster: consistent-hash ring properties, membership merge
+   precedence and failure detection, and seeded in-process convergence
+   of the full gossip protocol — no sockets anywhere; the transport is
+   an injected function and time an injected clock. *)
+
+module Json = Gossip_util.Json
+module Cluster = Gossip_cluster
+module Ring = Cluster.Ring
+module Membership = Cluster.Membership
+module Router = Cluster.Router
+module Serve = Gossip_serve
+module Wire = Serve.Wire
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d" i)
+
+(* --- ring --- *)
+
+let test_ring_balance () =
+  let nodes = [ "s1"; "s2"; "s3"; "s4" ] in
+  let ks = keys 10_000 in
+  List.iter
+    (fun vnodes ->
+      let ring = Ring.create ~vnodes nodes in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun k ->
+          match Ring.lookup ring k with
+          | None -> Alcotest.fail "lookup on a populated ring"
+          | Some n ->
+              Hashtbl.replace counts n
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts n)))
+        ks;
+      List.iter
+        (fun n ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt counts n) in
+          check_bool
+            (Printf.sprintf "vnodes=%d: %s owns some keys" vnodes n)
+            true (c > 0))
+        nodes;
+      (* at the default token count the split must be genuinely even:
+         nobody below 10% or above 50% of a fair 25% share's space *)
+      if vnodes >= 64 then
+        List.iter
+          (fun n ->
+            let c = Option.value ~default:0 (Hashtbl.find_opt counts n) in
+            check_bool
+              (Printf.sprintf "vnodes=%d: %s within balance band (%d)" vnodes n
+                 c)
+              true
+              (c > 1_500 && c < 4_000))
+          nodes)
+    [ 1; 2; 4; 16; 64 ]
+
+let test_ring_minimal_movement () =
+  let nodes = [ "a"; "b"; "c"; "d"; "e"; "f" ] in
+  let ks = keys 6_000 in
+  let before = Ring.create ~vnodes:16 nodes in
+  (* leave: only the departed node's keys move, and they were its *)
+  let after_leave =
+    Ring.create ~vnodes:16 (List.filter (fun n -> n <> "c") nodes)
+  in
+  let moved = Ring.moved ~before ~after:after_leave ks in
+  List.iter
+    (fun k ->
+      check_string "a moved key belonged to the departed node" "c"
+        (Option.value ~default:"?" (Ring.lookup before k)))
+    moved;
+  let bound = 2 * List.length ks / List.length nodes in
+  check_bool
+    (Printf.sprintf "leave moves ~K/n keys (moved %d <= %d)"
+       (List.length moved) bound)
+    true
+    (List.length moved <= bound && moved <> []);
+  (* join: every moved key lands on the newcomer *)
+  let after_join = Ring.create ~vnodes:16 ("g" :: nodes) in
+  let moved = Ring.moved ~before ~after:after_join ks in
+  List.iter
+    (fun k ->
+      check_string "a moved key lands on the joining node" "g"
+        (Option.value ~default:"?" (Ring.lookup after_join k)))
+    moved;
+  let bound = 2 * List.length ks / (1 + List.length nodes) in
+  check_bool
+    (Printf.sprintf "join moves ~K/(n+1) keys (moved %d <= %d)"
+       (List.length moved) bound)
+    true
+    (List.length moved <= bound && moved <> [])
+
+let test_ring_replicas () =
+  let ring = Ring.create ~vnodes:8 [ "a"; "b"; "c"; "d"; "e" ] in
+  List.iter
+    (fun k ->
+      let reps = Ring.replicas ring ~k:3 k in
+      check_int "three distinct replicas" 3
+        (List.length (List.sort_uniq compare reps));
+      check_string "head is the lookup owner"
+        (Option.value ~default:"?" (Ring.lookup ring k))
+        (List.hd reps))
+    (keys 200);
+  (* k beyond the member count saturates at every node, still distinct *)
+  let reps = Ring.replicas ring ~k:9 "some-key" in
+  check_int "k > n yields all nodes" 5
+    (List.length (List.sort_uniq compare reps))
+
+let test_ring_determinism () =
+  let r1 = Ring.create ~vnodes:16 [ "a"; "b"; "c" ] in
+  let r2 = Ring.create ~vnodes:16 [ "c"; "a"; "b"; "a" ] in
+  check_bool "node order and duplicates are irrelevant" true
+    (Ring.nodes r1 = Ring.nodes r2);
+  List.iter
+    (fun k ->
+      check_bool "placements agree" true (Ring.lookup r1 k = Ring.lookup r2 k))
+    (keys 1_000);
+  let empty = Ring.create ~vnodes:4 [] in
+  check_bool "empty ring answers None" true (Ring.lookup empty "k" = None);
+  check_int "empty ring has no replicas" 0
+    (List.length (Ring.replicas empty ~k:2 "k"))
+
+(* --- membership: merge precedence --- *)
+
+let entry ?(addr = "") ?(role = "shard") ?(version = "t") ~inc ~hb status node
+    =
+  {
+    Membership.node;
+    addr;
+    role;
+    version;
+    incarnation = inc;
+    heartbeat = hb;
+    status;
+  }
+
+let test_supersedes_table () =
+  let open Membership in
+  let cases =
+    [
+      (* (a, b, a supersedes b), freshness first *)
+      (entry ~inc:2 ~hb:0 Alive "n", entry ~inc:1 ~hb:9 Dead "n", true);
+      (entry ~inc:1 ~hb:5 Alive "n", entry ~inc:1 ~hb:4 Suspect "n", true);
+      (entry ~inc:1 ~hb:4 Suspect "n", entry ~inc:1 ~hb:5 Alive "n", false);
+      (* equal freshness: severity breaks the tie *)
+      (entry ~inc:1 ~hb:3 Suspect "n", entry ~inc:1 ~hb:3 Alive "n", true);
+      (entry ~inc:1 ~hb:3 Dead "n", entry ~inc:1 ~hb:3 Draining "n", true);
+      (entry ~inc:1 ~hb:3 Alive "n", entry ~inc:1 ~hb:3 Dead "n", false);
+      (* identical copies do not replace each other *)
+      (entry ~inc:1 ~hb:3 Alive "n", entry ~inc:1 ~hb:3 Alive "n", false);
+    ]
+  in
+  List.iteri
+    (fun i (a, b, expect) ->
+      check_bool (Printf.sprintf "case %d" i) expect (Membership.supersedes a b))
+    cases
+
+let fake_clock () =
+  let t = ref 0L in
+  ( (fun () -> !t),
+    fun ms -> t := Int64.add !t (Int64.mul (Int64.of_int ms) 1_000_000L) )
+
+let test_merge_refutation () =
+  let clock, _advance = fake_clock () in
+  let m =
+    Membership.create ~self:"a" ~addr:"mem:a" ~role:"shard" ~version:"t"
+      ~clock ~seed:1 ()
+  in
+  (* a rumor calls us suspect at a freshness we cannot beat *)
+  ignore
+    (Membership.merge m [ entry ~inc:1 ~hb:50 Membership.Suspect "a" ]);
+  (match Membership.find m "a" with
+  | Some e ->
+      check_bool "self stays alive" true (e.Membership.status = Membership.Alive);
+      check_bool "incarnation bumped past the rumor" true
+        (e.Membership.incarnation >= 2)
+  | None -> Alcotest.fail "self entry must exist");
+  (* the refuted copy now dominates the rumor everywhere *)
+  let refuted = Option.get (Membership.find m "a") in
+  check_bool "refutation supersedes the rumor" true
+    (Membership.supersedes refuted
+       (entry ~inc:1 ~hb:50 Membership.Suspect "a"))
+
+let test_merge_rumor_and_refresh () =
+  let clock, _ = fake_clock () in
+  let m =
+    Membership.create ~self:"a" ~addr:"mem:a" ~role:"shard" ~version:"t"
+      ~clock ~seed:1 ()
+  in
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:3 Membership.Alive "b" ]);
+  (* equal-freshness suspicion wins the severity tiebreak *)
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:3 Membership.Suspect "b" ]);
+  check_bool "suspicion spread" true
+    ((Option.get (Membership.find m "b")).Membership.status
+    = Membership.Suspect);
+  (* but any fresher heartbeat refutes it *)
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:4 Membership.Alive "b" ]);
+  check_bool "fresher heartbeat refutes" true
+    ((Option.get (Membership.find m "b")).Membership.status = Membership.Alive);
+  (* merge reports 0 when nothing changes *)
+  check_int "idempotent merge" 0
+    (Membership.merge m [ entry ~inc:1 ~hb:4 Membership.Alive "b" ])
+
+let test_suspicion_to_dead () =
+  let clock, advance = fake_clock () in
+  let m =
+    Membership.create ~self:"a" ~addr:"mem:a" ~role:"shard" ~version:"t"
+      ~clock ~seed:1 ~suspicion_timeout_ms:1_000 ~dead_timeout_ms:3_000 ()
+  in
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:1 Membership.Alive "b" ]);
+  let status () = (Option.get (Membership.find m "b")).Membership.status in
+  advance 500;
+  Membership.apply_timeouts m;
+  check_bool "fresh peer stays alive" true (status () = Membership.Alive);
+  advance 1_000;
+  Membership.apply_timeouts m;
+  check_bool "overdue peer becomes suspect" true (status () = Membership.Suspect);
+  advance 2_000;
+  Membership.apply_timeouts m;
+  check_bool "long-overdue peer is dead" true (status () = Membership.Dead);
+  (* the verdict kept the entry's own freshness, so the node itself can
+     still refute with any newer heartbeat *)
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:2 Membership.Alive "b" ]);
+  check_bool "newer heartbeat resurrects" true (status () = Membership.Alive);
+  (* self is never suspected, however silent *)
+  advance 60_000;
+  Membership.apply_timeouts m;
+  check_bool "self immune to timeouts" true
+    ((Option.get (Membership.find m "a")).Membership.status = Membership.Alive)
+
+let test_drain_dominates () =
+  let clock, _ = fake_clock () in
+  let m =
+    Membership.create ~self:"b" ~addr:"mem:b" ~role:"shard" ~version:"t"
+      ~clock ~seed:1 ()
+  in
+  let before = Option.get (Membership.find m "b") in
+  Membership.start_drain m;
+  Membership.start_drain m;
+  let after = Option.get (Membership.find m "b") in
+  check_bool "draining" true (after.Membership.status = Membership.Draining);
+  check_int "incarnation bumped exactly once (idempotent)"
+    (before.Membership.incarnation + 1)
+    after.Membership.incarnation;
+  check_bool "drain entry dominates the alive fleet copy" true
+    (Membership.supersedes after before);
+  (* a drain survives the drained node's own later heartbeats *)
+  Membership.heartbeat m;
+  check_bool "still draining after heartbeat" true
+    ((Option.get (Membership.find m "b")).Membership.status
+    = Membership.Draining)
+
+let test_digest_stability () =
+  let clock, _ = fake_clock () in
+  let m =
+    Membership.create ~self:"a" ~addr:"mem:a" ~role:"shard" ~version:"t"
+      ~clock ~seed:1 ()
+  in
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:3 Membership.Alive "b" ]);
+  let d0 = Membership.digest m in
+  Membership.heartbeat m;
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:9 Membership.Alive "b" ]);
+  check_string "heartbeat churn keeps the digest" d0 (Membership.digest m);
+  let g0 = Membership.generation m in
+  Membership.heartbeat m;
+  check_int "generation ignores heartbeats" g0 (Membership.generation m);
+  ignore (Membership.merge m [ entry ~inc:1 ~hb:9 Membership.Suspect "b" ]);
+  check_bool "status change moves the digest" true
+    (Membership.digest m <> d0);
+  check_bool "status change moves the generation" true
+    (Membership.generation m > g0)
+
+(* --- convergence: a 5-node in-process cluster, injected transport --- *)
+
+(* Deterministic message-drop schedule: a little LCG, NOT the nodes' own
+   Prng — the protocol's seeds stay untouched by the fault injector. *)
+let dropper ~seed ~percent =
+  let state = ref (seed land 0xFFFF) in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod 100 < percent
+
+let mk_cluster ~n ~clock ~suspicion_timeout_ms ~dead_timeout_ms =
+  let name i = Printf.sprintf "n%d" (i + 1) in
+  let addr i = "mem:" ^ name i in
+  List.init n (fun i ->
+      let seeds = if i = 0 then [ addr 1 ] else [ addr 0 ] in
+      ( addr i,
+        Membership.create ~self:(name i) ~addr:(addr i) ~role:"shard"
+          ~version:"t" ~clock ~seed:(100 + i) ~fanout:2 ~suspicion_timeout_ms
+          ~dead_timeout_ms ~seeds () ))
+
+let converged members =
+  match members with
+  | [] -> true
+  | (_, first) :: rest ->
+      let d = Membership.digest first in
+      List.length (Membership.entries first) = 5
+      && List.for_all (fun (_, m) -> Membership.digest m = d) rest
+
+(* Runs rounds until every node holds the identical 5-entry table;
+   returns (rounds, final digest). *)
+let run_until_converged ~drop_percent ~drop_seed ~max_rounds members ~advance =
+  let alive = Hashtbl.create 8 in
+  List.iter (fun (a, m) -> Hashtbl.replace alive a m) members;
+  let drop = dropper ~seed:drop_seed ~percent:drop_percent in
+  let call addr op =
+    if drop () then Error "dropped"
+    else
+      match Hashtbl.find_opt alive addr with
+      | None -> Error "no such node"
+      | Some m -> Membership.handle m op
+  in
+  let rec go round =
+    if converged members then (round, Membership.digest (snd (List.hd members)))
+    else if round >= max_rounds then
+      Alcotest.failf "no convergence after %d rounds" max_rounds
+    else begin
+      List.iter (fun (_, m) -> Membership.tick m ~call) members;
+      advance 200;
+      go (round + 1)
+    end
+  in
+  go 0
+
+let test_convergence_under_drops () =
+  let clock, advance = fake_clock () in
+  let members =
+    mk_cluster ~n:5 ~clock ~suspicion_timeout_ms:600_000
+      ~dead_timeout_ms:1_200_000
+  in
+  let rounds, _digest =
+    run_until_converged ~drop_percent:30 ~drop_seed:7 ~max_rounds:40 members
+      ~advance
+  in
+  (* push/pull rumor spreading closes in O(log n) rounds; 5 nodes with
+     30% losses and fanout 2 has lots of slack below this ceiling *)
+  check_bool
+    (Printf.sprintf "converged within rumor-spreading bounds (%d rounds)"
+       rounds)
+    true (rounds <= 12);
+  List.iter
+    (fun (_, m) ->
+      List.iter
+        (fun (e : Membership.entry) ->
+          check_bool "everyone alive in the converged view" true
+            (e.Membership.status = Membership.Alive))
+        (Membership.entries m))
+    members
+
+let test_convergence_deterministic () =
+  let run () =
+    let clock, advance = fake_clock () in
+    let members =
+      mk_cluster ~n:5 ~clock ~suspicion_timeout_ms:600_000
+        ~dead_timeout_ms:1_200_000
+    in
+    run_until_converged ~drop_percent:30 ~drop_seed:42 ~max_rounds:40 members
+      ~advance
+  in
+  let r1, d1 = run () in
+  let r2, d2 = run () in
+  check_int "same seed, same round count" r1 r2;
+  check_string "same seed, same digest" d1 d2
+
+let test_convergence_after_death () =
+  let clock, advance = fake_clock () in
+  let members =
+    mk_cluster ~n:5 ~clock ~suspicion_timeout_ms:1_000 ~dead_timeout_ms:2_500
+  in
+  let alive = Hashtbl.create 8 in
+  List.iter (fun (a, m) -> Hashtbl.replace alive a m) members;
+  let call addr op =
+    match Hashtbl.find_opt alive addr with
+    | None -> Error "connection refused"
+    | Some m -> Membership.handle m op
+  in
+  (* converge first (no drops; timeouts far away at 200 ms rounds) *)
+  let rec settle r =
+    if not (converged members) then begin
+      if r > 40 then Alcotest.fail "no initial convergence";
+      List.iter (fun (_, m) -> Membership.tick m ~call) members;
+      advance 100;
+      settle (r + 1)
+    end
+  in
+  settle 0;
+  (* n5 dies: unreachable and no longer ticking *)
+  Hashtbl.remove alive "mem:n5";
+  let survivors = List.filter (fun (a, _) -> a <> "mem:n5") members in
+  let rec mourn r =
+    let settled =
+      List.for_all
+        (fun (_, m) ->
+          match Membership.find m "n5" with
+          | Some e -> e.Membership.status = Membership.Dead
+          | None -> false)
+        survivors
+    in
+    if not settled then begin
+      if r > 60 then Alcotest.fail "survivors never agreed on the death";
+      List.iter (fun (_, m) -> Membership.tick m ~call) survivors;
+      advance 200;
+      mourn (r + 1)
+    end
+  in
+  mourn 0;
+  (* and their digests agree again — the tombstone is part of the view *)
+  let d = Membership.digest (snd (List.hd survivors)) in
+  List.iter
+    (fun (_, m) -> check_string "survivor digests equal" d (Membership.digest m))
+    survivors;
+  List.iter
+    (fun (_, m) ->
+      List.iter
+        (fun (e : Membership.entry) ->
+          if e.Membership.node <> "n5" then
+            check_bool "no false verdicts on survivors" true
+              (e.Membership.status = Membership.Alive))
+        (Membership.entries m))
+    survivors
+
+(* --- routing --- *)
+
+let test_routing_key () =
+  check_bool "ping has no key" true (Router.routing_key Wire.Ping = None);
+  check_bool "metrics has no key" true (Router.routing_key Wire.Metrics = None);
+  check_bool "sleep has no key" true
+    (Router.routing_key (Wire.Sleep { ms = 5 }) = None);
+  let tables = Wire.Tables { s_max = 8; ss = [ 3; 4 ] } in
+  let k1 = Router.routing_key tables in
+  let k2 = Router.routing_key (Wire.Tables { s_max = 8; ss = [ 3; 4 ] }) in
+  check_bool "identical params, identical key" true (k1 = k2 && k1 <> None);
+  let k3 = Router.routing_key (Wire.Tables { s_max = 9; ss = [ 3; 4 ] }) in
+  check_bool "different params, different key" true (k1 <> k3);
+  (* the key pins placement: same op always lands on the same shard *)
+  let ring = Ring.create ~vnodes:16 [ "a"; "b"; "c" ] in
+  match (k1, k2) with
+  | Some a, Some b ->
+      check_bool "stable placement" true (Ring.lookup ring a = Ring.lookup ring b)
+  | _ -> Alcotest.fail "tables must carry a key"
+
+let test_router_ring_excludes_unroutable () =
+  let clock, _ = fake_clock () in
+  let m =
+    Membership.create ~self:"router" ~addr:"mem:r" ~role:"router" ~version:"t"
+      ~clock ~seed:1 ()
+  in
+  ignore
+    (Membership.merge m
+       [
+         entry ~addr:"mem:sa" ~inc:1 ~hb:1 Membership.Alive "sa";
+         entry ~addr:"mem:sb" ~inc:1 ~hb:1 Membership.Draining "sb";
+         entry ~addr:"mem:sc" ~inc:1 ~hb:1 Membership.Dead "sc";
+         entry ~addr:"mem:sd" ~inc:1 ~hb:1 Membership.Suspect "sd";
+       ]);
+  let metrics = Serve.Metrics.create ~workers:1 ~queue_capacity:4 () in
+  let router = Router.create ~membership:m ~metrics ~vnodes:8 ~replicas:2 () in
+  (* alive and suspect route; draining and dead never do — the
+     exclusion IS the drain *)
+  check_bool "ring holds exactly the routable shards" true
+    (Ring.nodes (Router.ring router) = [ "sa"; "sd" ]);
+  (* the router itself is no shard *)
+  check_bool "router not on its own ring" true
+    (not (List.mem "router" (Ring.nodes (Router.ring router))))
+
+let test_version_skew () =
+  let e v n = entry ~version:v ~inc:1 ~hb:1 Membership.Alive n in
+  check_int "uniform fleet has no skew" 0
+    (Membership.version_skew [ e "1" "a"; e "1" "b"; e "1" "c" ]);
+  check_int "one straggler, skew 1" 1
+    (Membership.version_skew [ e "1" "a"; e "2" "b"; e "1" "c" ]);
+  check_int "empty view has no skew" 0 (Membership.version_skew [])
+
+(* --- client connect deadline (the fix this PR ships) --- *)
+
+let test_connect_timeout_bounded () =
+  (* 10.255.255.1:9 is unroutable from anywhere sane: the handshake
+     black-holes, which is exactly what connect_timeout_ms bounds.  On
+     hosts that answer with an immediate network error that is fine
+     too — the property under test is "returns quickly", not how. *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Serve.Client.connect ~connect_timeout_ms:300
+       (Serve.Server.Tcp ("10.255.255.1", 9))
+   with
+  | client -> Serve.Client.close client
+  | exception Unix.Unix_error _ -> ()
+  | exception Sys_error _ -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool
+    (Printf.sprintf "connect returned in %.0f ms" (elapsed *. 1000.0))
+    true (elapsed < 2.0)
+
+let test_connect_timeout_validated () =
+  (match
+     Serve.Resilient_client.connect
+       ~policy:
+         {
+           Serve.Resilient_client.default_policy with
+           Serve.Resilient_client.connect_timeout_ms = 0;
+         }
+       (Serve.Server.Unix_socket "/nonexistent.sock")
+   with
+  | exception Invalid_argument _ -> ()
+  | exception _ -> Alcotest.fail "expected Invalid_argument"
+  | _ -> Alcotest.fail "a zero connect timeout must be rejected");
+  ()
+
+let suite =
+  [
+    ("ring balance across vnode configs", `Quick, test_ring_balance);
+    ("ring minimal movement on join/leave", `Quick, test_ring_minimal_movement);
+    ("ring replicas distinct", `Quick, test_ring_replicas);
+    ("ring deterministic + empty", `Quick, test_ring_determinism);
+    ("membership supersedes table", `Quick, test_supersedes_table);
+    ("membership self-refutation", `Quick, test_merge_refutation);
+    ("membership rumor + refresh", `Quick, test_merge_rumor_and_refresh);
+    ("membership suspicion to dead", `Quick, test_suspicion_to_dead);
+    ("membership drain dominates", `Quick, test_drain_dominates);
+    ("membership digest heartbeat-stable", `Quick, test_digest_stability);
+    ("convergence under 30% drops", `Quick, test_convergence_under_drops);
+    ("convergence deterministic by seed", `Quick, test_convergence_deterministic);
+    ("convergence after a death", `Quick, test_convergence_after_death);
+    ("routing key canonical", `Quick, test_routing_key);
+    ("router ring excludes unroutable", `Quick, test_router_ring_excludes_unroutable);
+    ("version skew gauge", `Quick, test_version_skew);
+    ("client connect timeout bounded", `Quick, test_connect_timeout_bounded);
+    ("connect timeout validated", `Quick, test_connect_timeout_validated);
+  ]

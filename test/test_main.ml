@@ -18,4 +18,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("integration", Test_integration.suite);
       ("serve", Test_serve.suite);
+      ("cluster", Test_cluster.suite);
     ]

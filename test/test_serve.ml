@@ -1322,6 +1322,7 @@ let test_e2e_resilient_client_survives_drops () =
           max_backoff_ms = 20;
           attempt_timeout_ms = 250;
           call_budget_ms = 10_000;
+          connect_timeout_ms = 1_000;
         }
       in
       let rc = Resilient.connect ~policy ~seed:3 listen in
@@ -1360,6 +1361,7 @@ let test_e2e_resilient_client_gives_up_explicitly () =
           max_backoff_ms = 4;
           attempt_timeout_ms = 80;
           call_budget_ms = 2_000;
+          connect_timeout_ms = 1_000;
         }
       in
       let rc = Resilient.connect ~policy listen in
@@ -1396,6 +1398,7 @@ let test_e2e_resilient_client_tolerates_corruption () =
           max_backoff_ms = 4;
           attempt_timeout_ms = 200;
           call_budget_ms = 2_000;
+          connect_timeout_ms = 1_000;
         }
       in
       let rc = Resilient.connect ~policy listen in
@@ -1424,6 +1427,7 @@ let test_e2e_resilient_client_drops_stale_replies () =
           max_backoff_ms = 4;
           attempt_timeout_ms = 100;
           call_budget_ms = 3_000;
+          connect_timeout_ms = 1_000;
         }
       in
       let rc = Resilient.connect ~policy listen in

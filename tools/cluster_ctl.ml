@@ -1,0 +1,113 @@
+(* cluster_ctl: poke a running cluster (or a single shard) over the wire.
+
+   usage: cluster_ctl (--socket PATH | --tcp HOST:PORT) COMMAND
+     health            print the health probe (cluster envelope on a router)
+     metrics           print the metrics snapshot
+     stats             print stats (membership + ring + shards on a router)
+     members           print the membership table, one line per node
+     digest            print the membership digest (convergence probe:
+                       converged processes print the SAME digest)
+     drain --node ID   mark shard ID draining: the router stops routing
+                       new keys there while in-flight work completes
+     shutdown          ask the target process to drain and exit
+
+   Exit status: 0 on an ok reply, 1 on an error reply or unreachable
+   target, 2 on usage errors.  CI's cluster soak scripts are built on
+   `digest` (convergence equality across survivors), `drain` and
+   `health`. *)
+
+module Json = Gossip_util.Json
+module Serve = Gossip_serve
+
+let usage () =
+  prerr_endline
+    "usage: cluster_ctl (--socket PATH | --tcp HOST:PORT)\n\
+    \         (health | metrics | stats | members | digest |\n\
+    \          drain --node ID | shutdown)";
+  exit 2
+
+let parse_target = function
+  | "--socket" :: path :: rest -> (Serve.Server.Unix_socket path, rest)
+  | "--tcp" :: hostport :: rest -> (
+      match String.rindex_opt hostport ':' with
+      | None -> usage ()
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port =
+            String.sub hostport (i + 1) (String.length hostport - i - 1)
+          in
+          match int_of_string_opt port with
+          | Some p -> (Serve.Server.Tcp (host, p), rest)
+          | None -> usage ()))
+  | _ -> usage ()
+
+let call target op =
+  match Serve.Client.connect_retry ~attempts:5 ~delay:0.1 target with
+  | exception e ->
+      Printf.eprintf "cluster_ctl: cannot connect: %s\n%!"
+        (Printexc.to_string e);
+      exit 1
+  | client -> (
+      let r = Serve.Client.call client op in
+      Serve.Client.close client;
+      match r with
+      | Error msg ->
+          Printf.eprintf "cluster_ctl: %s\n%!" msg;
+          exit 1
+      | Ok { Serve.Wire.outcome = Error (code, msg); _ } ->
+          Printf.eprintf "cluster_ctl: %s: %s\n%!"
+            (Serve.Wire.error_code_to_string code)
+            msg;
+          exit 1
+      | Ok { Serve.Wire.outcome = Ok result; _ } -> result)
+
+let print_json j = print_endline (Json.to_string_pretty j)
+
+(* One readable line per member, for humans and for grep-based CI
+   assertions: "node status inc hb role addr version". *)
+let print_members view =
+  match Gossip_cluster.Membership.entries_of_view view with
+  | Error e ->
+      Printf.eprintf "cluster_ctl: bad membership view: %s\n%!" e;
+      exit 1
+  | Ok entries ->
+      List.iter
+        (fun (e : Gossip_cluster.Membership.entry) ->
+          Printf.printf "%s %s inc=%d hb=%d %s %s %s\n"
+            e.Gossip_cluster.Membership.node
+            (Gossip_cluster.Membership.status_to_string
+               e.Gossip_cluster.Membership.status)
+            e.Gossip_cluster.Membership.incarnation
+            e.Gossip_cluster.Membership.heartbeat
+            e.Gossip_cluster.Membership.role e.Gossip_cluster.Membership.addr
+            e.Gossip_cluster.Membership.version)
+        entries
+
+let () =
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let target, rest = parse_target argv in
+  match rest with
+  | [ "health" ] -> print_json (call target Serve.Wire.Health)
+  | [ "metrics" ] -> print_json (call target Serve.Wire.Metrics)
+  | [ "stats" ] -> print_json (call target Serve.Wire.Stats)
+  | [ "members" ] -> (
+      (* a router's stats embed the view; a bare shard answers gossip
+         ops directly, so fall back to an empty-merge gossip exchange *)
+      let stats = call target Serve.Wire.Stats in
+      match Json.member "membership" stats with
+      | Some view -> print_members view
+      | None ->
+          Printf.eprintf
+            "cluster_ctl: target has no membership view (not a router?)\n%!";
+          exit 1)
+  | [ "digest" ] -> (
+      let r = call target Serve.Wire.Mem_digest in
+      match Json.member "digest" r with
+      | Some (Json.Str d) -> print_endline d
+      | _ ->
+          prerr_endline "cluster_ctl: malformed digest reply";
+          exit 1)
+  | [ "drain"; "--node"; node ] ->
+      print_json (call target (Serve.Wire.Drain { node = Some node }))
+  | [ "shutdown" ] -> print_json (call target Serve.Wire.Shutdown)
+  | _ -> usage ()

@@ -61,7 +61,7 @@ let usage () =
     \         [--requests N] [--mix SPEC] [--timeout-ms MS] [--report PATH]\n\
     \         [--require-cache-hits] [--expect-healthy] [--chaos-tolerant]\n\
     \         [--max-attempts N] [--attempt-timeout-ms MS]\n\
-    \         [--call-budget-ms MS] [--min-restarts N]";
+    \         [--call-budget-ms MS] [--min-restarts N] [--cluster]";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("loadgen: " ^ m); exit 2) fmt
@@ -134,6 +134,12 @@ type args = {
   attempt_timeout_ms : int;
   call_budget_ms : int;
   min_restarts : int;
+  cluster : bool;
+      (* the target is a gossip_router: post-run snapshots are the
+         gossip-cluster-*/1 envelopes, the metrics cross-check reads the
+         router's own totals, and the run additionally audits
+         fingerprint affinity by recomputing every request's ring
+         placement *)
 }
 
 let parse_args () =
@@ -149,7 +155,8 @@ let parse_args () =
   and max_attempts = ref 6
   and attempt_timeout_ms = ref 1000
   and call_budget_ms = ref 10_000
-  and min_restarts = ref 0 in
+  and min_restarts = ref 0
+  and cluster = ref false in
   let rec go = function
     | [] -> ()
     | "--socket" :: path :: rest ->
@@ -201,6 +208,9 @@ let parse_args () =
     | "--min-restarts" :: n :: rest ->
         min_restarts := (match int_of_string_opt n with Some v when v >= 0 -> v | _ -> usage ());
         go rest
+    | "--cluster" :: rest ->
+        cluster := true;
+        go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -221,6 +231,7 @@ let parse_args () =
         attempt_timeout_ms = !attempt_timeout_ms;
         call_budget_ms = !call_budget_ms;
         min_restarts = !min_restarts;
+        cluster = !cluster;
       }
 
 (* --- measurement --- *)
@@ -417,6 +428,160 @@ let crosscheck tally metrics =
           (List.sort compare rows @ [ ("consistent", Json.Bool all_ok) ]),
         all_ok )
 
+(* --- cluster mode: fingerprint-affinity audit --- *)
+
+module Cluster = Gossip_cluster
+
+(* Recompute every keyed request's placement exactly as the router
+   places it — same routing key, same ring construction — over ALL
+   shards the membership has ever seen, dead and draining included:
+   consistent hashing only moves the departed node's keys, so a key
+   whose full-ring primary survived the whole run was routed there the
+   whole run.  The audit gates [reported >= expected] per (shard, op),
+   but only for shards still alive at the end — a killed or drained
+   shard cannot answer the metrics probe, and its keys' counts landed
+   on replicas.  [>=] rather than [=]: rejected requests, retried
+   attempts and earlier runs also accumulate server-side. *)
+let cluster_audit args ~stats ~metrics =
+  match (stats : Json.t option) with
+  | None -> (Json.Null, false, [])
+  | Some s ->
+      let entries =
+        match Json.member "membership" s with
+        | Some view -> (
+            match Cluster.Membership.entries_of_view view with
+            | Ok e -> e
+            | Error _ -> [])
+        | None -> []
+      in
+      let shards =
+        List.filter
+          (fun (e : Cluster.Membership.entry) ->
+            e.Cluster.Membership.role = "shard")
+          entries
+      in
+      let vnodes =
+        Option.value ~default:64
+          (Option.bind (Json.member "ring" s) (fun r ->
+               Option.bind (Json.member "vnodes" r) Json.to_int_opt))
+      in
+      let ring =
+        Cluster.Ring.create ~vnodes
+          (List.map
+             (fun (e : Cluster.Membership.entry) -> e.Cluster.Membership.node)
+             shards)
+      in
+      let expected = Hashtbl.create 16 in
+      for i = 0 to args.requests - 1 do
+        let name = args.mix.(i mod Array.length args.mix) in
+        let op = op_of_name name i in
+        match Cluster.Router.routing_key op with
+        | None -> ()
+        | Some key -> (
+            match Cluster.Ring.lookup ring key with
+            | None -> ()
+            | Some node ->
+                let k = (node, name) in
+                Hashtbl.replace expected k
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt expected k)))
+      done;
+      let shard_metrics node =
+        Option.bind metrics (fun m ->
+            Option.bind (Json.member "shards" m) (function
+              | Json.List items ->
+                  List.find_map
+                    (fun item ->
+                      match Json.member "node" item with
+                      | Some (Json.Str n) when n = node ->
+                          Json.member "metrics" item
+                      | _ -> None)
+                    items
+              | _ -> None))
+      in
+      let alive node =
+        List.exists
+          (fun (e : Cluster.Membership.entry) ->
+            e.Cluster.Membership.node = node
+            && e.Cluster.Membership.status = Cluster.Membership.Alive)
+          shards
+      in
+      let rows, all_ok =
+        Hashtbl.fold
+          (fun (node, op) exp (rows, all_ok) ->
+            let reported =
+              Option.bind (shard_metrics node) (fun m -> server_op_count m op)
+            in
+            let gated = alive node in
+            let ok =
+              (not gated)
+              || match reported with Some r -> r >= exp | None -> false
+            in
+            ( ( Printf.sprintf "%s/%s" node op,
+                Json.Obj
+                  [
+                    ("expected", Json.Int exp);
+                    ( "reported",
+                      match reported with
+                      | Some r -> Json.Int r
+                      | None -> Json.Null );
+                    ("gated", Json.Bool gated);
+                    ("ok", Json.Bool ok);
+                  ] )
+              :: rows,
+              all_ok && ok ))
+          expected ([], true)
+      in
+      ( Json.Obj
+          [
+            ( "membership",
+              Json.List
+                (List.map Cluster.Membership.entry_json
+                   (List.filter
+                      (fun (e : Cluster.Membership.entry) ->
+                        e.Cluster.Membership.role <> "")
+                      entries)) );
+            ( "ring",
+              Json.Obj
+                [
+                  ("vnodes", Json.Int vnodes);
+                  ( "nodes",
+                    Json.List
+                      (List.map
+                         (fun n -> Json.Str n)
+                         (Cluster.Ring.nodes ring)) );
+                ] );
+            ("affinity", Json.Obj (List.sort compare rows));
+            ("affinity_consistent", Json.Bool all_ok);
+          ],
+        all_ok,
+        (* nodes the schedule actually sent keyed (cacheable) work to —
+           a small mix can leave a shard legitimately cold *)
+        Hashtbl.fold
+          (fun (node, _) _ acc -> if List.mem node acc then acc else node :: acc)
+          expected [] )
+
+(* Per-shard cache hits from the gossip-cluster-stats/1 envelope:
+   [(node, alive, hits)] for every shard that answered. *)
+let cluster_cache_hits stats =
+  match stats with
+  | None -> []
+  | Some s -> (
+      match Json.member "shards" s with
+      | Some (Json.List items) ->
+          List.filter_map
+            (fun item ->
+              match (Json.member "node" item, Json.member "status" item) with
+              | Some (Json.Str node), Some (Json.Str status) ->
+                  let hits =
+                    Option.bind (Json.member "stats" item) (fun st ->
+                        Option.bind (Json.member "cache" st) (fun c ->
+                            Option.bind (Json.member "hits" c) Json.to_int_opt))
+                  in
+                  Some (node, status = "alive", hits)
+              | _ -> None)
+            items
+      | _ -> [])
+
 let () =
   let args = parse_args () in
   let tally =
@@ -476,7 +641,19 @@ let () =
       settle server_health
     end
   in
-  let crosscheck_json, counts_consistent = crosscheck tally server_metrics in
+  (* In cluster mode the snapshots are fleet envelopes; the process-level
+     invariants (totals cross-check, worker_restarts) read the router's
+     own section — every measured request passed through the router. *)
+  let router_metrics =
+    if args.cluster then Option.bind server_metrics (Json.member "router")
+    else server_metrics
+  in
+  let crosscheck_json, counts_consistent = crosscheck tally router_metrics in
+  let cluster_json, affinity_consistent, keyed_nodes =
+    if args.cluster then
+      cluster_audit args ~stats ~metrics:server_metrics
+    else (Json.Null, true, [])
+  in
   let latencies = Array.of_list tally.latencies_ms in
   Array.sort compare latencies;
   let mean =
@@ -503,7 +680,7 @@ let () =
     - tally.gave_ups
   in
   let worker_restarts =
-    Option.bind server_metrics (fun m ->
+    Option.bind router_metrics (fun m ->
         Option.bind (Json.member "gauges" m) (fun g ->
             Option.bind (Json.member "worker_restarts" g) Json.to_int_opt))
   in
@@ -584,6 +761,7 @@ let () =
                   ~after:final );
             ] );
         ("metrics_crosscheck", crosscheck_json);
+        ("cluster", cluster_json);
       ]
   in
   let rendered = Json.to_string_pretty report ^ "\n" in
@@ -641,13 +819,44 @@ let () =
         exit 1
   end;
   if args.require_cache_hits then begin
-    match cache_hits with
-    | Some h when h > 0 -> ()
-    | Some _ ->
-        prerr_endline "loadgen: --require-cache-hits: server reports 0 hits";
-        exit 1
-    | None ->
+    if args.cluster then begin
+      (* fingerprint affinity is only real if every live shard the
+         schedule sent keyed work to absorbed its repeats in cache *)
+      let per_shard = cluster_cache_hits stats in
+      if per_shard = [] then begin
         prerr_endline
-          "loadgen: --require-cache-hits: could not read server cache stats";
+          "loadgen: --require-cache-hits: no shard stats in the cluster \
+           envelope";
         exit 1
+      end;
+      List.iter
+        (fun (node, alive, hits) ->
+          match (alive && List.mem node keyed_nodes, hits) with
+          | false, _ -> ()
+          | true, Some h when h > 0 -> ()
+          | true, _ ->
+              Printf.eprintf
+                "loadgen: --require-cache-hits: shard %s reports no cache \
+                 hits\n\
+                 %!"
+                node;
+              exit 1)
+        per_shard
+    end
+    else
+      match cache_hits with
+      | Some h when h > 0 -> ()
+      | Some _ ->
+          prerr_endline "loadgen: --require-cache-hits: server reports 0 hits";
+          exit 1
+      | None ->
+          prerr_endline
+            "loadgen: --require-cache-hits: could not read server cache stats";
+          exit 1
+  end;
+  if args.cluster && not affinity_consistent then begin
+    prerr_endline
+      "loadgen: cluster affinity audit failed: a live shard reported fewer \
+       requests than its ring placement predicts";
+    exit 1
   end
