@@ -1036,6 +1036,7 @@ let print_serve_bench () =
             full_duplex = false;
           };
       timeout_ms = Some 2000;
+      trace = None;
     }
   in
   let encoded = Util.Json.to_string (Wire.request_to_json request) in
@@ -1089,7 +1090,7 @@ let print_observability_overhead () =
   let encoded =
     Util.Json.to_string
       (Serve.Wire.request_to_json
-         { Serve.Wire.id = Util.Json.Int 7; op = Serve.Wire.Ping; timeout_ms = None })
+         { Serve.Wire.id = Util.Json.Int 7; op = Serve.Wire.Ping; timeout_ms = None; trace = None })
   in
   let rate f =
     let t0 = Unix.gettimeofday () in
@@ -1242,7 +1243,7 @@ let print_robustness_overhead () =
   let encoded =
     Util.Json.to_string
       (Serve.Wire.request_to_json
-         { Serve.Wire.id = Util.Json.Int 7; op = Serve.Wire.Ping; timeout_ms = None })
+         { Serve.Wire.id = Util.Json.Int 7; op = Serve.Wire.Ping; timeout_ms = None; trace = None })
   in
   (* the production per-request pipeline (Part 24's `Rolling` shape) *)
   let pipeline i =

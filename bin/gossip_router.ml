@@ -14,11 +14,17 @@ module C = Cmdliner
 
 let run socket tcp_port host node_id advertise join workers queue_capacity
     max_frame_bytes default_timeout_ms vnodes replicas gossip_interval_ms
-    suspicion_timeout_ms dead_timeout_ms trace trace_out access_log =
+    suspicion_timeout_ms dead_timeout_ms trace trace_out trace_ring
+    trace_sample_rate access_log =
   (match trace_out with
   | Some path -> Core.Util.Instrument.set_trace_file (Some path)
   | None -> ());
   if trace then Core.Util.Instrument.set_enabled true;
+  Core.Util.Instrument.set_ring_capacity trace_ring;
+  (* every line this process streams names it, so merged fleet traces
+     stay attributable *)
+  Core.Util.Instrument.set_global_attrs
+    [ ("node", Core.Util.Json.Str node_id) ];
   let listen =
     if workers < 1 then `Error (true, "--workers: value must be at least 1")
     else if queue_capacity < 1 then
@@ -26,6 +32,8 @@ let run socket tcp_port host node_id advertise join workers queue_capacity
     else if vnodes < 1 then `Error (true, "--vnodes: value must be at least 1")
     else if replicas < 1 then
       `Error (true, "--replicas: value must be at least 1")
+    else if trace_sample_rate < 0.0 || trace_sample_rate > 1.0 then
+      `Error (true, "--trace-sample-rate: value must be in [0,1]")
     else
       match (socket, tcp_port) with
       | Some path, None -> `Ok (Server.Unix_socket path)
@@ -48,7 +56,10 @@ let run socket tcp_port host node_id advertise join workers queue_capacity
       let metrics =
         Metrics.create ~node:node_id ~workers ~queue_capacity ()
       in
-      let router = Router.create ~membership ~metrics ~vnodes ~replicas () in
+      let router =
+        Router.create ~membership ~metrics ~vnodes ~replicas
+          ~sample_rate:trace_sample_rate ()
+      in
       let config =
         {
           (Server.default_config ~listen) with
@@ -57,9 +68,10 @@ let run socket tcp_port host node_id advertise join workers queue_capacity
           max_frame_bytes;
           default_timeout_ms;
           access_log;
-          (* metrics/health/stats must reach Router.evaluate — they
-             aggregate the fleet, not this process *)
+          (* metrics/health/stats/trace_pull must reach Router.evaluate —
+             they aggregate the fleet, not this process *)
           inline_observability = false;
+          node = Some node_id;
         }
       in
       match
@@ -209,6 +221,21 @@ let term =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Stream spans and events as JSON Lines to $(docv).")
   in
+  let trace_ring =
+    C.Arg.(
+      value & opt int 4096
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:"Keep the last $(docv) trace events in memory for the \
+                trace_pull operation (0 disables the ring).")
+  in
+  let trace_sample_rate =
+    C.Arg.(
+      value & opt float 1.0
+      & info [ "trace-sample-rate" ] ~docv:"RATE"
+          ~doc:"Head-sample traces minted at this router: the fraction of \
+                context-free routed requests that stream spans, decided \
+                purely from the trace id so every node agrees.")
+  in
   let access_log =
     C.Arg.(
       value
@@ -220,7 +247,8 @@ let term =
     ret
       (const run $ socket $ tcp $ host $ node_id $ advertise $ join $ workers
      $ queue_capacity $ max_frame_bytes $ default_timeout_ms $ vnodes
-     $ replicas $ interval $ suspicion $ dead $ trace $ trace_out $ access_log))
+     $ replicas $ interval $ suspicion $ dead $ trace $ trace_out $ trace_ring
+     $ trace_sample_rate $ access_log))
 
 let () =
   let doc = "consistent-hashing router over gossip_served shards" in

@@ -17,13 +17,14 @@ open Gossip_serve
 module C = Cmdliner
 
 let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
-    default_timeout_ms eval_domains trace trace_out access_log metrics_dump
-    metrics_dump_interval_ms max_heap_mb resource_interval_ms chaos_args
-    cluster_args =
+    default_timeout_ms eval_domains trace trace_out trace_ring access_log
+    metrics_dump metrics_dump_interval_ms max_heap_mb resource_interval_ms
+    chaos_args cluster_args =
   (match trace_out with
   | Some path -> Core.Util.Instrument.set_trace_file (Some path)
   | None -> ());
   if trace then Core.Util.Instrument.set_enabled true;
+  Core.Util.Instrument.set_ring_capacity trace_ring;
   (* Parallelism comes from concurrent worker domains; nested parallel
      loops inside one request default to a single domain so [workers]
      requests never oversubscribe the machine. *)
@@ -56,6 +57,17 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
   | (`Error _ as e), _ -> e
   | _, (`Error _ as e) -> e
   | `Ok listen, `Ok chaos -> (
+      let node_id, join, advertise, gossip_interval_ms, suspicion_timeout_ms,
+          dead_timeout_ms =
+        cluster_args
+      in
+      (* every streamed trace line names this shard, so merged fleet
+         traces stay attributable per line *)
+      (match node_id with
+      | Some node ->
+          Core.Util.Instrument.set_global_attrs
+            [ ("node", Core.Util.Json.Str node) ]
+      | None -> ());
       let config =
         {
           (Server.default_config ~listen) with
@@ -65,11 +77,8 @@ let serve_run socket tcp_port host workers queue_capacity max_frame_bytes
           default_timeout_ms;
           access_log;
           chaos;
+          node = node_id;
         }
-      in
-      let node_id, join, advertise, gossip_interval_ms, suspicion_timeout_ms,
-          dead_timeout_ms =
-        cluster_args
       in
       let metrics =
         Metrics.create ?node:node_id ~max_heap_mb ~workers ~queue_capacity ()
@@ -247,6 +256,13 @@ let serve_term =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Stream spans and events as JSON Lines to $(docv).")
   in
+  let trace_ring =
+    C.Arg.(
+      value & opt int 4096
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:"Keep the last $(docv) trace events in memory for the \
+                trace_pull operation (0 disables the ring).")
+  in
   let access_log =
     C.Arg.(
       value
@@ -384,8 +400,8 @@ let serve_term =
     ret
       (const serve_run $ socket $ tcp $ host $ workers $ queue_capacity
      $ max_frame_bytes $ default_timeout_ms $ eval_domains $ trace $ trace_out
-     $ access_log $ metrics_dump $ metrics_dump_interval_ms $ max_heap_mb
-     $ resource_interval_ms $ chaos_args $ cluster_args))
+     $ trace_ring $ access_log $ metrics_dump $ metrics_dump_interval_ms
+     $ max_heap_mb $ resource_interval_ms $ chaos_args $ cluster_args))
 
 let serve_cmd =
   C.Cmd.v

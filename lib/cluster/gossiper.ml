@@ -14,7 +14,9 @@ let start ~membership ~transport ?(interval_ms = 500) ~stopping () =
       (fun () ->
         let interval_s = float_of_int interval_ms /. 1000.0 in
         while not (stopping ()) do
-          (try Membership.tick membership ~call:(Transport.call transport)
+          (try
+             Membership.tick membership ~call:(fun addr op ->
+                 Transport.call transport addr op)
            with _ -> Instrument.add "cluster.tick_errors" 1);
           Atomic.incr tick_count;
           (* sleep in slices so shutdown never waits a whole interval *)

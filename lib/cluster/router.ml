@@ -1,5 +1,6 @@
 module Json = Gossip_util.Json
 module Instrument = Gossip_util.Instrument
+module Trace = Gossip_util.Trace
 module Wire = Gossip_serve.Wire
 module Metrics = Gossip_serve.Metrics
 
@@ -9,10 +10,13 @@ let routing_key (op : Wire.op) =
   | Wire.Certify _ ->
       (* the canonical request serialization: op name + exact params,
          field order fixed by [Wire.request_to_json] — precisely the
-         identity the shard-side caches key on *)
+         identity the shard-side caches key on.  [trace] stays [None]:
+         trace context is per-call identity, never part of the affinity
+         key, or identical queries would scatter across shards. *)
       Some
         (Json.to_string
-           (Wire.request_to_json { Wire.id = Json.Null; op; timeout_ms = None }))
+           (Wire.request_to_json
+              { Wire.id = Json.Null; op; timeout_ms = None; trace = None }))
   | _ -> None
 
 type t = {
@@ -20,6 +24,7 @@ type t = {
   metrics : Metrics.t;
   vnodes : int;
   replicas : int;
+  sample_rate : float;  (* head-sampling rate for router-minted traces *)
   transport_key : Transport.t Domain.DLS.key;
   rr : int Atomic.t;  (* round-robin cursor for keyless ops *)
   mu : Mutex.t;  (* guards the ring cache and the warned set *)
@@ -29,13 +34,14 @@ type t = {
 }
 
 let create ~membership ~metrics ?(vnodes = 64) ?(replicas = 2)
-    ?(policy = Transport.default_policy) ?(seed = 0) () =
+    ?(sample_rate = 1.0) ?(policy = Transport.default_policy) ?(seed = 0) () =
   if replicas < 1 then invalid_arg "Router.create: replicas must be >= 1";
   {
     membership;
     metrics;
     vnodes;
     replicas;
+    sample_rate;
     transport_key =
       Domain.DLS.new_key (fun () -> Transport.create ~policy ~seed ());
     rr = Atomic.make 0;
@@ -113,19 +119,47 @@ let status_of t node =
   | Some e -> e.Membership.status
   | None -> Membership.Dead
 
+(* One wire exchange with [node], wrapped — when the request rides a
+   sampled trace and streaming is live — in its own ["router.forward"]
+   hop span.  Each hop mints a fresh span id and re-parents the
+   downstream context onto it, so a failover shows up as {e sibling}
+   hop spans under the router's request span, each bracketing exactly
+   the wire time of its attempt; the stitcher also uses the bracket to
+   align the shard's clock.  The hop span's own parent comes from the
+   ambient attributes the server installed (the router's
+   [serve.request] span). *)
+let exchange_hop t ~trace ~node ~addr op =
+  match trace with
+  | Some tr when tr.Trace.sampled && Instrument.tracing () ->
+      let hop_id = Trace.fresh_span_id () in
+      Instrument.span "router.forward"
+        ~attrs:
+          [
+            ("trace_id", Json.Str tr.Trace.trace_id);
+            ("span_id", Json.Str hop_id);
+            ("peer", Json.Str node);
+            ("addr", Json.Str addr);
+          ]
+        (fun () ->
+          Transport.exchange (transport t) addr
+            ~trace:(Trace.child tr ~span_id:hop_id)
+            op)
+  | Some tr -> Transport.exchange (transport t) addr ~trace:tr op
+  | None -> Transport.exchange (transport t) addr op
+
 (* Try the candidate shards in order; a definitive client-side
    rejection is relayed, everything transport-shaped steps on. *)
-let rec forward t op ~last_err = function
+let rec forward t ~trace op ~last_err = function
   | [] ->
       Error
         ( Wire.Internal,
           Printf.sprintf "no replica answered for this request (%s)" last_err )
   | node :: rest -> (
       match addr_of t node with
-      | None -> forward t op ~last_err:(node ^ ": no address") rest
+      | None -> forward t ~trace op ~last_err:(node ^ ": no address") rest
       | Some addr -> (
           Instrument.add "cluster.router.forwards" 1;
-          match Transport.exchange (transport t) addr op with
+          match exchange_hop t ~trace ~node ~addr op with
           | Ok j -> Ok j
           | Error (`Fatal ((Wire.Bad_request | Wire.Oversized_frame), _)) as e
             ->
@@ -134,7 +168,7 @@ let rec forward t op ~last_err = function
               | _ -> assert false)
           | Error (`Fatal (code, msg)) ->
               Instrument.add "cluster.router.failovers" 1;
-              forward t op
+              forward t ~trace op
                 ~last_err:
                   (Printf.sprintf "%s: %s: %s" node
                      (Wire.error_code_to_string code)
@@ -142,11 +176,13 @@ let rec forward t op ~last_err = function
                 rest
           | Error (`Down msg) ->
               Instrument.add "cluster.router.failovers" 1;
-              forward t op ~last_err:(Printf.sprintf "%s: %s" node msg) rest))
+              forward t ~trace op
+                ~last_err:(Printf.sprintf "%s: %s" node msg)
+                rest))
 
 let severity_rank t node = Membership.severity (status_of t node)
 
-let route_keyed t key op =
+let route_keyed t ~trace key op =
   let r = ring t in
   match Ring.replicas r ~k:t.replicas key with
   | [] -> Error (Wire.Internal, "no shards are routable (cluster empty?)")
@@ -158,9 +194,9 @@ let route_keyed t key op =
           (fun a b -> compare (severity_rank t a) (severity_rank t b))
           candidates
       in
-      forward t op ~last_err:"no candidates tried" ordered
+      forward t ~trace op ~last_err:"no candidates tried" ordered
 
-let route_any t op =
+let route_any t ~trace op =
   let alive =
     List.filter
       (fun (e : Membership.entry) ->
@@ -180,7 +216,7 @@ let route_any t op =
         List.init n (fun i ->
             (List.nth pool ((start + i) mod n)).Membership.node)
       in
-      forward t op ~last_err:"no candidates tried" ordered
+      forward t ~trace op ~last_err:"no candidates tried" ordered
 
 (* --- cluster-wide observability --- *)
 
@@ -317,6 +353,19 @@ let agg_stats t =
       );
     ]
 
+(* Fleet-wide trace collection: drain the router's own ring plus every
+   reachable shard's, one [trace_pull] each.  Destructive on every node
+   (each event is handed out once), so one collector owns the pull. *)
+let agg_traces t ~max =
+  let replies = fan_out t (Wire.Trace_pull { max }) in
+  envelope t ~schema:"gossip-cluster-traces/1"
+    [
+      ("router", Metrics.traces_json t.metrics ~max);
+      ( "shards",
+        Json.List (List.map (shard_reply_json ~payload_field:"traces") replies)
+      );
+    ]
+
 (* --- drain --- *)
 
 let drain t node =
@@ -369,7 +418,7 @@ let drain t node =
 
 (* --- the evaluator --- *)
 
-let evaluate t (op : Wire.op) =
+let evaluate t ~trace (op : Wire.op) =
   match op with
   | Wire.Gossip _ | Wire.Mem_digest -> (
       match Membership.handle t.membership op with
@@ -382,7 +431,24 @@ let evaluate t (op : Wire.op) =
   | Wire.Health -> Ok (agg_health t)
   | Wire.Stats -> Ok (agg_stats t)
   | Wire.Spans -> Ok (Metrics.spans_json ())
-  | op -> (
-      match routing_key op with
-      | Some key -> route_keyed t key op
-      | None -> route_any t op)
+  | Wire.Trace_pull { max } -> Ok (agg_traces t ~max)
+  | op ->
+      (* the router is the trace edge: a request that arrives without
+         context gets one minted here — head-sampled by [sample_rate],
+         the verdict pure in the trace id so every downstream node
+         agrees without coordination.  A freshly minted sampled-out
+         context also silences the {e rest of the router's own}
+         evaluation (the hop spans), matching what the shards will do. *)
+      let trace, minted_out =
+        match trace with
+        | Some _ -> (trace, false)
+        | None ->
+            let tr = Trace.mint ~sample_rate:t.sample_rate () in
+            (Some tr, not tr.Trace.sampled)
+      in
+      let route () =
+        match routing_key op with
+        | Some key -> route_keyed t ~trace key op
+        | None -> route_any t ~trace op
+      in
+      if minted_out then Instrument.with_sampled_out route else route ()

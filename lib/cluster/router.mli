@@ -21,11 +21,25 @@
     a [bad_request] / [oversized_frame] is the client's own and is
     relayed, never masked by a retry.
 
-    Observability ops aggregate: [metrics] / [health] / [stats] fan out
-    to every non-dead shard and come back as [gossip-cluster-*/1]
-    envelopes wrapping the router's own numbers, each shard's reply (or
-    the reason it could not be fetched), the membership view and the
-    ring spec.  Health is degraded while any member is suspect, an
+    Observability ops aggregate: [metrics] / [health] / [stats] /
+    [trace_pull] fan out to every non-dead shard and come back as
+    [gossip-cluster-*/1] envelopes wrapping the router's own numbers,
+    each shard's reply (or the reason it could not be fetched), the
+    membership view and the ring spec.
+
+    Distributed tracing: the router is the {e trace edge}.  A routed
+    request that arrives without context gets one minted here,
+    head-sampled by [sample_rate] (the verdict is a pure function of
+    the trace id, so every node agrees without coordination); a request
+    that already carries context keeps it.  Every forwarding attempt —
+    including each replica failover — runs in its own
+    ["router.forward"] hop span tagged [trace_id] / [span_id] / [peer]
+    / [addr], and the downstream envelope is re-parented onto that hop
+    span, so the stitched waterfall shows exactly which attempts were
+    made, what each cost on the wire, and where the request finally
+    landed.  [trace_pull] aggregates fleet-wide: the router's own
+    recent-event ring plus one pull per reachable shard
+    ([gossip-cluster-traces/1]).  Health is degraded while any member is suspect, an
     alive shard is unreachable or reports degraded, or no shard is
     routable — a [dead] member is a {e settled} failure and a
     [draining] one a voluntary exit; neither alone degrades the fleet.
@@ -51,7 +65,9 @@ type t
 (** [create ~membership ~metrics ()] — a router over [membership]
     (whose table supplies the shards) reporting its own server's
     [metrics] in aggregates.  [vnodes] (default 64) and [replicas]
-    (default 2) shape the ring; [policy] (default
+    (default 2) shape the ring; [sample_rate] (default 1.0, clamped to
+    \[0,1\] by the decision itself) head-samples the traces the router
+    mints for context-free requests; [policy] (default
     {!Transport.default_policy}) governs the per-domain forwarding
     clients; [seed] their jitter. *)
 val create :
@@ -59,6 +75,7 @@ val create :
   metrics:Gossip_serve.Metrics.t ->
   ?vnodes:int ->
   ?replicas:int ->
+  ?sample_rate:float ->
   ?policy:Gossip_serve.Resilient_client.policy ->
   ?seed:int ->
   unit ->
@@ -69,6 +86,11 @@ val ring : t -> Ring.t
 
 val replica_count : t -> int
 
-(** The server [evaluate] described above.  Safe from several worker
-    domains. *)
-val evaluate : t -> Wire.op -> (Json.t, Wire.error_code * string) result
+(** The server [evaluate] described above; [trace] is the request's
+    envelope context (minted here when absent).  Safe from several
+    worker domains. *)
+val evaluate :
+  t ->
+  trace:Gossip_util.Trace.t option ->
+  Wire.op ->
+  (Json.t, Wire.error_code * string) result

@@ -100,11 +100,11 @@ let conn t addr =
           | exception Sys_error e ->
               Error (Printf.sprintf "connect %s: %s" addr e)))
 
-let exchange t addr op =
+let exchange t addr ?trace op =
   match conn t addr with
   | Error e -> Error (`Down e)
   | Ok c -> (
-      match Resilient.call c op with
+      match Resilient.call c ?trace op with
       | Ok resp -> (
           match resp.Wire.outcome with
           | Ok result -> Ok result
@@ -116,8 +116,8 @@ let exchange t addr op =
           forget t addr;
           Error (`Down msg))
 
-let call t addr op =
-  match exchange t addr op with
+let call t addr ?trace op =
+  match exchange t addr ?trace op with
   | Ok j -> Ok j
   | Error (`Fatal (code, msg)) ->
       Error (Printf.sprintf "%s: %s" (Wire.error_code_to_string code) msg)

@@ -37,21 +37,29 @@ val default_policy : Gossip_serve.Resilient_client.policy
     timeout per round; dropped rumors are simply re-sent next round. *)
 val gossip_policy : Gossip_serve.Resilient_client.policy
 
-(** [call t addr op] — one resilient exchange with the peer at [addr]:
-    connect (or reuse), send, await.  Every failure — bad address,
-    connect timeout, retries exhausted, server-side error reply — comes
-    back as a message string; the caller (the membership layer) treats
-    any [Error] as "peer unresponsive this round". *)
-val call : t -> string -> Gossip_serve.Wire.op -> (Json.t, string) result
+(** [call t addr ?trace op] — one resilient exchange with the peer at
+    [addr]: connect (or reuse), send, await.  [trace] (default: none)
+    is stamped on the forwarded envelope — this is how trace context
+    crosses node boundaries.  Every failure — bad address, connect
+    timeout, retries exhausted, server-side error reply — comes back as
+    a message string; the caller (the membership layer) treats any
+    [Error] as "peer unresponsive this round". *)
+val call :
+  t ->
+  string ->
+  ?trace:Gossip_util.Trace.t ->
+  Gossip_serve.Wire.op ->
+  (Json.t, string) result
 
-(** [exchange t addr op] — like {!call} but failures keep their shape:
-    [`Fatal] is a definitive server rejection (the router must relay
-    [bad_request] to the client, not mask it as unreachability),
+(** [exchange t addr ?trace op] — like {!call} but failures keep their
+    shape: [`Fatal] is a definitive server rejection (the router must
+    relay [bad_request] to the client, not mask it as unreachability),
     [`Down] is transport-level — dial failed or retries exhausted — and
     means "try the next replica". *)
 val exchange :
   t ->
   string ->
+  ?trace:Gossip_util.Trace.t ->
   Gossip_serve.Wire.op ->
   ( Json.t,
     [ `Fatal of Gossip_serve.Wire.error_code * string | `Down of string ] )

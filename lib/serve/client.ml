@@ -79,8 +79,8 @@ let recv c =
       | Error e -> Error (Printf.sprintf "garbled response: %s" e)
       | Ok j -> Wire.parse_response j)
 
-let call c ?(id = Json.Null) ?timeout_ms op =
-  let req = { Wire.id; op; timeout_ms } in
+let call c ?(id = Json.Null) ?timeout_ms ?trace op =
+  let req = { Wire.id; op; timeout_ms; trace } in
   match
     Wire.write_frame c.oc (Wire.request_to_json req)
   with

@@ -23,14 +23,16 @@ val connect : ?connect_timeout_ms:int -> Server.listen -> t
 val connect_retry :
   ?attempts:int -> ?delay:float -> ?connect_timeout_ms:int -> Server.listen -> t
 
-(** [call c ?id ?timeout_ms op] — send the request, wait for one
-    response frame, parse it.  [Error] covers transport loss and
-    unparsable responses; protocol-level failures come back as
+(** [call c ?id ?timeout_ms ?trace op] — send the request, wait for one
+    response frame, parse it.  [trace] (default: none) is stamped on the
+    envelope as distributed-trace context.  [Error] covers transport
+    loss and unparsable responses; protocol-level failures come back as
     [Ok { outcome = Error _; _ }]. *)
 val call :
   t ->
   ?id:Gossip_util.Json.t ->
   ?timeout_ms:int ->
+  ?trace:Gossip_util.Trace.t ->
   Wire.op ->
   (Wire.response, string) result
 

@@ -289,6 +289,7 @@ let eval_op d (op : Wire.op) =
       eval_simulate_implicit ~family ~n ~items ~checkpoint_every ~period ~seed
         ~degree ~full_duplex
   | Wire.Certify { spec; refine } -> eval_certify d ~spec ~refine
+  | Wire.Trace_pull { max } -> Ok (Metrics.traces_json d.metrics ~max)
   | Wire.Gossip _ | Wire.Mem_digest | Wire.Drain _ -> (
       match d.cluster with
       | Some handler -> handler op

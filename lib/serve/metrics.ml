@@ -22,6 +22,11 @@ type per_op = {
   err : Rolling.t;  (* error replies, count only *)
   mutable total : int;  (* cumulative answered (ok + error) *)
   mutable total_errors : int;
+  (* trace exemplar: the worst-latency traced request seen within the
+     longest exposed window — (stamp, latency_s, trace_id).  Pointing
+     from a latency aggregate to one concrete reconstructable trace is
+     what turns "p99 regressed" into "look at this request". *)
+  mutable exemplar : (int64 * float * string) option;
 }
 
 type t = {
@@ -89,19 +94,40 @@ let per_op_locked t op =
           err = Rolling.create ?clock:t.user_clock ~slot_ns ~slots:window_slots ();
           total = 0;
           total_errors = 0;
+          exemplar = None;
         }
       in
       Hashtbl.add t.ops op p;
       p
 
+(* The exemplar ages out with the longest exposed window, so a quiet op
+   does not advertise a stale trace id forever. *)
+let exemplar_horizon_ns = Int64.mul slot_ns (Int64.of_int window_slots)
+
+let exemplar_fresh ~now_ns = function
+  | Some (stamp, _, _) when Int64.sub now_ns stamp <= exemplar_horizon_ns ->
+      true
+  | _ -> false
+
 (* One clock read and one [t.mu] critical section per observation; the
    rolling windows take their own (uncontended in practice) locks. *)
-let observe t ~op ~ok ~queue_wait_s ~service_s =
+let observe ?trace_id t ~op ~ok ~queue_wait_s ~service_s =
   let now_ns = now t in
   Mutex.lock t.mu;
   let p = per_op_locked t op in
   p.total <- p.total + 1;
   if not ok then p.total_errors <- p.total_errors + 1;
+  (match trace_id with
+  | Some tid ->
+      let lat = queue_wait_s +. service_s in
+      let beaten =
+        match p.exemplar with
+        | Some (_, worst, _) -> lat >= worst
+        | None -> true
+      in
+      if beaten || not (exemplar_fresh ~now_ns p.exemplar) then
+        p.exemplar <- Some (now_ns, lat, tid)
+  | None -> ());
   Mutex.unlock t.mu;
   Rolling.observe_at p.lat ~now_ns (queue_wait_s +. service_s);
   Rolling.observe_at t.queue_wait ~now_ns queue_wait_s;
@@ -254,6 +280,22 @@ let resource_json t =
 let node_field t =
   match t.node with Some n -> [ ("node", Json.Str n) ] | None -> []
 
+let exemplar_json t p =
+  let now_ns = now t in
+  match p.exemplar with
+  | Some (stamp, lat, tid) when exemplar_fresh ~now_ns p.exemplar ->
+      [
+        ( "exemplar",
+          Json.Obj
+            [
+              ("trace_id", Json.Str tid);
+              ("latency_ms", ms lat);
+              ( "age_s",
+                fin (Int64.to_float (Int64.sub now_ns stamp) /. 1e9) );
+            ] );
+      ]
+  | _ -> []
+
 let metrics_json t =
   let ops = sorted_ops t in
   let totals =
@@ -261,8 +303,8 @@ let metrics_json t =
       (fun (name, p) ->
         ( name,
           Json.Obj
-            [ ("count", Json.Int p.total); ("errors", Json.Int p.total_errors) ]
-        ))
+            ([ ("count", Json.Int p.total); ("errors", Json.Int p.total_errors) ]
+            @ exemplar_json t p) ))
       ops
   in
   Json.Obj
@@ -362,6 +404,20 @@ let health_json t =
         if t.max_heap_mb > 0.0 then Json.Float t.max_heap_mb else Json.Null );
       ("uptime_s", fin (uptime_s t));
     ])
+
+let traces_json t ~max =
+  let events, dropped = Instrument.ring_drain ~max () in
+  Json.Obj
+    ([
+       ("schema", Json.Str "gossip-traces/1");
+       ("version", Json.Str Core.Version.string);
+     ]
+    @ node_field t
+    @ [
+        ("count", Json.Int (List.length events));
+        ("dropped", Json.Int dropped);
+        ("events", Json.List events);
+      ])
 
 let spans_json () =
   let span_json (s : Instrument.span_stat) =

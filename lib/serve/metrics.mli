@@ -51,13 +51,24 @@ val create :
 
 (** {1 Feeding} *)
 
-(** [observe t ~op ~ok ~queue_wait_s ~service_s] records one answered
-    request: latency into the op's rolling window and cumulative
-    totals; [ok = false] also bumps the op's rolling and cumulative
-    error counts.  Call {e before} sending the reply, so a client that
-    has all its replies reads totals that already include them. *)
+(** [observe ?trace_id t ~op ~ok ~queue_wait_s ~service_s] records one
+    answered request: latency into the op's rolling window and
+    cumulative totals; [ok = false] also bumps the op's rolling and
+    cumulative error counts.  Call {e before} sending the reply, so a
+    client that has all its replies reads totals that already include
+    them.  [trace_id] (the request's sampled distributed-trace id, when
+    it carried one) feeds the op's worst-latency {e exemplar}: the
+    trace id surfaced next to the op's aggregates in {!metrics_json},
+    replaced when a slower traced request arrives or the current holder
+    ages past the longest window. *)
 val observe :
-  t -> op:string -> ok:bool -> queue_wait_s:float -> service_s:float -> unit
+  ?trace_id:string ->
+  t ->
+  op:string ->
+  ok:bool ->
+  queue_wait_s:float ->
+  service_s:float ->
+  unit
 
 (** [observe_rejected t ~op ~code] records a request answered with an
     error at admission ([queue_full], [shutting_down]) or dequeue
@@ -127,7 +138,9 @@ val healthy : t -> bool
     [major_collections_per_s] rates; [null] before the first sample),
     [windows.{10s,1m,5m}] with per-op
     [{count, errors, rps, latency_ms: {mean,p50,p95,p99,max}}] and a
-    queue-wait histogram summary, and cumulative [totals] per op.
+    queue-wait histogram summary, and cumulative [totals] per op — each
+    total carrying the op's worst-latency trace [exemplar]
+    [{trace_id, latency_ms, age_s}] while one is fresh.
     Documented in [doc/serving.md]. *)
 val metrics_json : t -> Gossip_util.Json.t
 
@@ -143,3 +156,11 @@ val health_json : t -> Gossip_util.Json.t
     snapshot (schema [gossip-spans/1]); a thin wrapper over
     {!Gossip_util.Instrument.spans} with per-span p50/p95. *)
 val spans_json : unit -> Gossip_util.Json.t
+
+(** [traces_json t ~max] — drain the process's recent-event ring
+    ({!Gossip_util.Instrument.ring_drain}) into a versioned snapshot
+    (schema [gossip-traces/1]): the newest [max] JSONL trace events in
+    chronological order, the number of events [dropped] (overwritten or
+    cut by [max]) and this process's node id.  The payload behind the
+    [trace_pull] operation; destructive — each event is returned once. *)
+val traces_json : t -> max:int -> Gossip_util.Json.t

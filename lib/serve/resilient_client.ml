@@ -188,7 +188,7 @@ let backoff t ~failures ~budget_deadline_ns =
     if sleep_ms > 0.0 then Thread.delay (sleep_ms /. 1000.0)
   end
 
-let call t ?timeout_ms op =
+let call t ?timeout_ms ?trace op =
   t.s_calls <- t.s_calls + 1;
   let p = t.policy in
   let budget_deadline_ns =
@@ -218,7 +218,7 @@ let call t ?timeout_ms op =
       | Ok c -> (
           let token = t.token in
           t.token <- t.token + 1;
-          let req = { Wire.id = Json.Int token; op; timeout_ms } in
+          let req = { Wire.id = Json.Int token; op; timeout_ms; trace } in
           match Client.send_line c (Json.to_string (Wire.request_to_json req)) with
           | exception (Sys_error _ | Unix.Unix_error _) ->
               drop_conn t;

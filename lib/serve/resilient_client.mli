@@ -78,11 +78,17 @@ type t
     @raise Unix.Unix_error when the server never becomes reachable. *)
 val connect : ?policy:policy -> ?seed:int -> Server.listen -> t
 
-(** [call t ?timeout_ms op] — the resilient exchange described above.
-    [timeout_ms] is forwarded to the server as the request's deadline;
-    the client-side deadlines come from the policy. *)
+(** [call t ?timeout_ms ?trace op] — the resilient exchange described
+    above.  [timeout_ms] is forwarded to the server as the request's
+    deadline; the client-side deadlines come from the policy.  [trace]
+    is stamped on the envelope of every attempt (retries reuse it, so a
+    retried hop still stitches under one trace). *)
 val call :
-  t -> ?timeout_ms:int -> Wire.op -> (Wire.response, failure) result
+  t ->
+  ?timeout_ms:int ->
+  ?trace:Gossip_util.Trace.t ->
+  Wire.op ->
+  (Wire.response, failure) result
 
 (** Cumulative counters since [connect]. *)
 val stats : t -> stats

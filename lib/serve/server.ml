@@ -1,5 +1,6 @@
 module Json = Gossip_util.Json
 module Instrument = Gossip_util.Instrument
+module Trace = Gossip_util.Trace
 
 type listen = Unix_socket of string | Tcp of string * int
 
@@ -12,10 +13,14 @@ type config = {
   access_log : string option;
   chaos : Chaos.t option;  (** fault injection; [None] = disabled *)
   inline_observability : bool;
-      (** answer [metrics]/[health]/[spans] from the reader thread,
-          bypassing the queue (the default).  The router turns this off:
-          its observability ops aggregate across the fleet, which is
-          worker business, not reader business. *)
+      (** answer [metrics]/[health]/[spans]/[trace_pull] from the reader
+          thread, bypassing the queue (the default).  The router turns
+          this off: its observability ops aggregate across the fleet,
+          which is worker business, not reader business. *)
+  node : string option;
+      (** cluster node id; when set, request and connection identities
+          are namespaced with it ([s1-r42], [s1-c7]) so merged fleet
+          traces and access logs never collide across processes *)
 }
 
 let default_config ~listen =
@@ -28,6 +33,7 @@ let default_config ~listen =
     access_log = None;
     chaos = None;
     inline_observability = true;
+    node = None;
   }
 
 (* A connection is shared between its reader thread and any worker
@@ -37,7 +43,9 @@ let default_config ~listen =
    [Unix.shutdown] the socket (close(2) would not interrupt it on
    Linux); the actual close happens on the last release. *)
 type conn = {
-  conn_id : int;  (** minted at accept; the [conn] trace attribute *)
+  conn_name : string;
+      (** minted at accept, node-namespaced ([s1-c7]); the [conn] trace
+          attribute *)
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
@@ -59,8 +67,12 @@ type job = {
 
 type t = {
   config : config;
+  id_prefix : string;  (** [node ^ "-"], or [""] outside a cluster *)
   disp : Dispatch.t;
-  evaluate : Wire.op -> (Json.t, Wire.error_code * string) result;
+  evaluate :
+    trace:Trace.t option ->
+    Wire.op ->
+    (Json.t, Wire.error_code * string) result;
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   queue : job Bounded_queue.t;
@@ -82,18 +94,19 @@ type t = {
 
 let next_req_id t = Atomic.fetch_and_add t.req_counter 1
 
-let req_attrs ~req_id ~op ~conn_id =
-  [
-    ("req_id", Json.Int req_id);
-    ("op", Json.Str op);
-    ("conn", Json.Int conn_id);
-  ]
+(* Identities are node-namespaced strings ([s1-r42]): merged fleet
+   traces keep per-process counters from colliding, and the stitcher
+   keys spans by (node, req_id) without guessing. *)
+let req_name t n = t.id_prefix ^ "r" ^ string_of_int n
+
+let req_attrs ~req_id ~op ~conn =
+  [ ("req_id", Json.Str req_id); ("op", Json.Str op); ("conn", Json.Str conn) ]
 
 (* One compact JSON object per answered request — the access log.  The
    line is self-contained (wall timestamp, request identity, outcome,
    queue-wait/service split in milliseconds, the client's echoed id), so
    the file is greppable without the trace. *)
-let access_log t ~req_id ~conn_id ~op ~status ~queue_wait_s ~service_s ~id =
+let access_log t ~req_id ~conn ~op ~status ~queue_wait_s ~service_s ~id =
   match t.access_oc with
   | None -> ()
   | Some oc ->
@@ -102,8 +115,8 @@ let access_log t ~req_id ~conn_id ~op ~status ~queue_wait_s ~service_s ~id =
           (Json.Obj
              [
                ("ts", Json.Float (Unix.gettimeofday ()));
-               ("req_id", Json.Int req_id);
-               ("conn", Json.Int conn_id);
+               ("req_id", Json.Str req_id);
+               ("conn", Json.Str conn);
                ("op", Json.Str op);
                ("status", Json.Str status);
                ("queue_wait_ms", Json.Float (1000.0 *. queue_wait_s));
@@ -224,7 +237,9 @@ let process_job t ~worker job =
   let req = job.request in
   let id = req.Wire.id in
   let op = Wire.op_name req.Wire.op in
-  let conn_id = job.conn.conn_id in
+  let trace = req.Wire.trace in
+  let req_id = req_name t job.req_id in
+  let conn = job.conn.conn_name in
   let now = Instrument.now_ns () in
   let queue_wait_s =
     Int64.to_float (Int64.sub now job.admitted_ns) /. 1e9
@@ -235,13 +250,16 @@ let process_job t ~worker job =
   in
   if expired then begin
     Instrument.add "serve.rejected.deadline" 1;
-    Instrument.event "serve.reject"
-      ~attrs:
-        (req_attrs ~req_id:job.req_id ~op ~conn_id
-        @ [ ("code", Json.Str "deadline_exceeded") ]);
+    (match trace with
+    | Some tr when not tr.Trace.sampled -> ()
+    | _ ->
+        Instrument.event "serve.reject"
+          ~attrs:
+            (req_attrs ~req_id ~op ~conn
+            @ [ ("code", Json.Str "deadline_exceeded") ]));
     Metrics.observe_rejected t.metrics ~op ~code:"deadline_exceeded";
-    access_log t ~req_id:job.req_id ~conn_id ~op ~status:"deadline_exceeded"
-      ~queue_wait_s ~service_s:0.0 ~id;
+    access_log t ~req_id ~conn ~op ~status:"deadline_exceeded" ~queue_wait_s
+      ~service_s:0.0 ~id;
     ignore
       (send t job.conn
          (Wire.error_response ~id ~code:Wire.Deadline_exceeded
@@ -256,65 +274,99 @@ let process_job t ~worker job =
       | Some plan -> Chaos.decide plan ~req_id:job.req_id
     in
     Metrics.worker_busy t.metrics worker;
-    (* request attributes are only consumed by the streaming trace;
-       skip building and installing them when no trace is attached so
-       the untraced hot path pays nothing for them *)
-    let tracing = Instrument.tracing () in
-    let attrs =
-      if tracing then
-        req_attrs ~req_id:job.req_id ~op ~conn_id
-        @ [
-            ( "queue_wait_ns",
-              Json.Int (Int64.to_int (Int64.sub now job.admitted_ns)) );
-          ]
-      else []
+    let serve_one () =
+      (* request attributes are only consumed by the streaming trace;
+         skip building and installing them when no trace is attached so
+         the untraced hot path pays nothing for them *)
+      let tracing = Instrument.tracing () in
+      (* the request's own span id: the parent every child span the
+         evaluation emits links to, and the hop id a downstream peer
+         would have seen had we forwarded (the server is a leaf) *)
+      let span_id = if tracing then Some (Trace.fresh_span_id ()) else None in
+      let trace_attrs =
+        match (trace, span_id) with
+        | Some tr, Some sid -> ("span_id", Json.Str sid) :: Trace.attrs tr
+        | _ -> []
+      in
+      let attrs =
+        if tracing then
+          req_attrs ~req_id ~op ~conn
+          @ trace_attrs
+          @ [
+              ( "queue_wait_ns",
+                Json.Int (Int64.to_int (Int64.sub now job.admitted_ns)) );
+            ]
+        else []
+      in
+      let t0 = Instrument.now_ns () in
+      if decision.Chaos.dispatch_latency_ms > 0 then begin
+        Instrument.add "serve.chaos.dispatch_latency" 1;
+        (* inside the busy window and the service clock: the stall is
+           real worker time, and wedge detection must see it *)
+        Thread.delay
+          (float_of_int decision.Chaos.dispatch_latency_ms /. 1000.0)
+      end;
+      (* ambient attributes: every span/event the evaluation triggers —
+         context lookups, norm solves, engine rounds — tags itself with
+         this request, and (when a trace context rode in) with the trace
+         id and this request span as its parent, so child spans stitch
+         under it.  Safe: each worker domain runs exactly one thread.
+         An injected panic raises from inside the span: [Instrument.span]
+         is exception-safe, so the trace stays balanced and the barrier
+         above us answers the client. *)
+      let outcome =
+        Instrument.span "serve.request" ~attrs (fun () ->
+            let eval () =
+              if decision.Chaos.panic then begin
+                Instrument.add "serve.chaos.panics" 1;
+                raise Chaos.Panic
+              end;
+              t.evaluate ~trace req.Wire.op
+            in
+            if tracing then
+              let ambient =
+                req_attrs ~req_id ~op ~conn
+                @
+                match (trace, span_id) with
+                | Some tr, Some sid ->
+                    [
+                      ("trace_id", Json.Str tr.Trace.trace_id);
+                      ("parent_span_id", Json.Str sid);
+                    ]
+                | _ -> []
+              in
+              Instrument.with_ambient_attrs ambient eval
+            else eval ())
+      in
+      let service_s =
+        Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9
+      in
+      Metrics.worker_idle t.metrics worker;
+      Instrument.observe "serve.request_seconds" service_s;
+      Instrument.add "serve.requests" 1;
+      let ok, status =
+        match outcome with
+        | Ok _ -> (true, "ok")
+        | Error (code, _) -> (false, Wire.error_code_to_string code)
+      in
+      let trace_id =
+        match trace with
+        | Some tr when tr.Trace.sampled -> Some tr.Trace.trace_id
+        | _ -> None
+      in
+      Metrics.observe ?trace_id t.metrics ~op ~ok ~queue_wait_s ~service_s;
+      access_log t ~req_id ~conn ~op ~status ~queue_wait_s ~service_s ~id;
+      send_reply t job.conn ~fault:decision.Chaos.reply
+        (match outcome with
+        | Ok result -> Wire.ok_response ~id result
+        | Error (code, message) -> Wire.error_response ~id ~code ~message)
     in
-    let t0 = Instrument.now_ns () in
-    if decision.Chaos.dispatch_latency_ms > 0 then begin
-      Instrument.add "serve.chaos.dispatch_latency" 1;
-      (* inside the busy window and the service clock: the stall is
-         real worker time, and wedge detection must see it *)
-      Thread.delay (float_of_int decision.Chaos.dispatch_latency_ms /. 1000.0)
-    end;
-    (* ambient attributes: every span/event the evaluation triggers —
-       context lookups, norm solves, engine rounds — tags itself with
-       this request.  Safe: each worker domain runs exactly one thread.
-       An injected panic raises from inside the span: [Instrument.span]
-       is exception-safe, so the trace stays balanced and the barrier
-       above us answers the client. *)
-    let outcome =
-      Instrument.span "serve.request" ~attrs (fun () ->
-          let eval () =
-            if decision.Chaos.panic then begin
-              Instrument.add "serve.chaos.panics" 1;
-              raise Chaos.Panic
-            end;
-            t.evaluate req.Wire.op
-          in
-          if tracing then
-            Instrument.with_ambient_attrs
-              (req_attrs ~req_id:job.req_id ~op ~conn_id)
-              eval
-          else eval ())
-    in
-    let service_s =
-      Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9
-    in
-    Metrics.worker_idle t.metrics worker;
-    Instrument.observe "serve.request_seconds" service_s;
-    Instrument.add "serve.requests" 1;
-    let ok, status =
-      match outcome with
-      | Ok _ -> (true, "ok")
-      | Error (code, _) -> (false, Wire.error_code_to_string code)
-    in
-    Metrics.observe t.metrics ~op ~ok ~queue_wait_s ~service_s;
-    access_log t ~req_id:job.req_id ~conn_id ~op ~status ~queue_wait_s
-      ~service_s ~id;
-    send_reply t job.conn ~fault:decision.Chaos.reply
-      (match outcome with
-      | Ok result -> Wire.ok_response ~id result
-      | Error (code, message) -> Wire.error_response ~id ~code ~message)
+    (* head sampling: a context that rode in sampled-out suppresses
+       event streaming for the whole evaluation on this domain — the
+       request is served and metered normally, it just leaves no trace *)
+    match trace with
+    | Some tr when not tr.Trace.sampled -> Instrument.with_sampled_out serve_one
+    | _ -> serve_one ()
   end
 
 (* The per-job exception barrier.  [Dispatch.eval] already converts
@@ -326,18 +378,19 @@ let process_job t ~worker job =
 let answer_panicked_job t ~worker job exn =
   let req = job.request in
   let op = Wire.op_name req.Wire.op in
-  let conn_id = job.conn.conn_id in
+  let req_id = req_name t job.req_id in
+  let conn = job.conn.conn_name in
   (* the panic interrupted the busy window; clear the stamp or the
      wedge detector would count this worker busy forever *)
   Metrics.worker_idle t.metrics worker;
   Instrument.add "serve.job_panics" 1;
   Instrument.event "serve.panic"
     ~attrs:
-      (req_attrs ~req_id:job.req_id ~op ~conn_id
+      (req_attrs ~req_id ~op ~conn
       @ [ ("exn", Json.Str (Printexc.to_string exn)) ]);
   Metrics.observe t.metrics ~op ~ok:false ~queue_wait_s:0.0 ~service_s:0.0;
-  access_log t ~req_id:job.req_id ~conn_id ~op ~status:"internal"
-    ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
+  access_log t ~req_id ~conn ~op ~status:"internal" ~queue_wait_s:0.0
+    ~service_s:0.0 ~id:req.Wire.id;
   let message =
     match exn with
     | Chaos.Panic -> "worker panicked (injected fault); request not served"
@@ -389,6 +442,7 @@ let request_stop t =
 
 let admit t conn (req : Wire.request) ~req_id =
   let op = Wire.op_name req.Wire.op in
+  let req_name = req_name t req_id in
   let timeout_ms =
     match req.Wire.timeout_ms with
     | Some _ as x -> x
@@ -400,26 +454,36 @@ let admit t conn (req : Wire.request) ~req_id =
       (fun ms -> Int64.add admitted_ns (Int64.of_int (ms * 1_000_000)))
       timeout_ms
   in
+  (* an unsampled context means this request streams nothing, anywhere:
+     the admit/reject point events below must honor the verdict just
+     like the worker's spans do, or sub-1.0 sampling leaves admitted
+     requests with no serve.request span and trips trace_report. *)
+  let sampled =
+    match req.Wire.trace with
+    | Some tr -> tr.Gossip_util.Trace.sampled
+    | None -> true
+  in
   conn_retain_for_job conn;
   let job = { conn; request = req; req_id; admitted_ns; deadline_ns } in
   match Bounded_queue.try_push t.queue job with
   | `Ok ->
       note_queue_depth t;
-      if Instrument.tracing () then
+      if sampled && Instrument.tracing () then
         Instrument.event "serve.admit"
           ~attrs:
-            (req_attrs ~req_id ~op ~conn_id:conn.conn_id
+            (req_attrs ~req_id:req_name ~op ~conn:conn.conn_name
             @ [ ("queue_depth", Json.Int (Bounded_queue.length t.queue)) ])
   | `Full ->
       conn_release conn;
       Instrument.add "serve.rejected.queue_full" 1;
-      Instrument.event "serve.reject"
-        ~attrs:
-          (req_attrs ~req_id ~op ~conn_id:conn.conn_id
-          @ [ ("code", Json.Str "queue_full") ]);
+      if sampled then
+        Instrument.event "serve.reject"
+          ~attrs:
+            (req_attrs ~req_id:req_name ~op ~conn:conn.conn_name
+            @ [ ("code", Json.Str "queue_full") ]);
       Metrics.observe_rejected t.metrics ~op ~code:"queue_full";
-      access_log t ~req_id ~conn_id:conn.conn_id ~op ~status:"queue_full"
-        ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
+      access_log t ~req_id:req_name ~conn:conn.conn_name ~op
+        ~status:"queue_full" ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
       ignore
         (send t conn
            (Wire.error_response ~id:req.Wire.id ~code:Wire.Queue_full
@@ -429,8 +493,9 @@ let admit t conn (req : Wire.request) ~req_id =
   | `Closed ->
       conn_release conn;
       Metrics.observe_rejected t.metrics ~op ~code:"shutting_down";
-      access_log t ~req_id ~conn_id:conn.conn_id ~op ~status:"shutting_down"
-        ~queue_wait_s:0.0 ~service_s:0.0 ~id:req.Wire.id;
+      access_log t ~req_id:req_name ~conn:conn.conn_name ~op
+        ~status:"shutting_down" ~queue_wait_s:0.0 ~service_s:0.0
+        ~id:req.Wire.id;
       ignore
         (send t conn
            (Wire.error_response ~id:req.Wire.id ~code:Wire.Shutting_down
@@ -439,28 +504,28 @@ let admit t conn (req : Wire.request) ~req_id =
 (* The observability ops answer from the reader thread, bypassing the
    queue and the worker pool: [health] must stay answerable when the
    queue is saturated or every worker is wedged — that is exactly when
-   it matters — and the snapshots they serialize are cheap.  The span
-   carries explicit (not ambient) attributes because reader threads
-   share a domain. *)
-let eval_inline t (req : Wire.request) ~req_id ~conn_id =
+   it matters — and the snapshots they serialize are cheap.  They run
+   sampled-out unconditionally: scrapers poll these ops continuously,
+   and self-observation spamming the very ring [trace_pull] drains
+   would bury the fleet's real traffic.  The span still aggregates
+   (sampled-out only suppresses streaming). *)
+let eval_inline t (req : Wire.request) ~req_id ~conn =
+  Instrument.with_sampled_out @@ fun () ->
   let op = Wire.op_name req.Wire.op in
-  let attrs =
-    if Instrument.tracing () then
-      req_attrs ~req_id ~op ~conn_id @ [ ("queue_wait_ns", Json.Int 0) ]
-    else []
-  in
+  let req_id = req_name t req_id in
   let t0 = Instrument.now_ns () in
   let result =
-    Instrument.span "serve.request" ~attrs (fun () ->
+    Instrument.span "serve.request" (fun () ->
         match req.Wire.op with
         | Wire.Metrics -> Metrics.metrics_json t.metrics
         | Wire.Health -> Metrics.health_json t.metrics
+        | Wire.Trace_pull { max } -> Metrics.traces_json t.metrics ~max
         | _ -> Metrics.spans_json ())
   in
   let service_s = Int64.to_float (Int64.sub (Instrument.now_ns ()) t0) /. 1e9 in
   Instrument.add "serve.requests" 1;
   Metrics.observe t.metrics ~op ~ok:true ~queue_wait_s:0.0 ~service_s;
-  access_log t ~req_id ~conn_id ~op ~status:"ok" ~queue_wait_s:0.0 ~service_s
+  access_log t ~req_id ~conn ~op ~status:"ok" ~queue_wait_s:0.0 ~service_s
     ~id:req.Wire.id;
   Wire.ok_response ~id:req.Wire.id result
 
@@ -487,9 +552,9 @@ let reader_loop t conn () =
             (* malformed input answers an error but the connection —
                still correctly framed — survives *)
             Metrics.observe_rejected t.metrics ~op:"invalid" ~code:"bad_request";
-            access_log t ~req_id:(next_req_id t) ~conn_id:conn.conn_id
-              ~op:"invalid" ~status:"bad_request" ~queue_wait_s:0.0
-              ~service_s:0.0 ~id:Json.Null;
+            access_log t ~req_id:(req_name t (next_req_id t))
+              ~conn:conn.conn_name ~op:"invalid" ~status:"bad_request"
+              ~queue_wait_s:0.0 ~service_s:0.0 ~id:Json.Null;
             ignore
               (send t conn
                  (Wire.error_response ~id:Json.Null ~code:Wire.Bad_request
@@ -502,21 +567,25 @@ let reader_loop t conn () =
                 in
                 Metrics.observe_rejected t.metrics ~op:"invalid"
                   ~code:"bad_request";
-                access_log t ~req_id:(next_req_id t) ~conn_id:conn.conn_id
-                  ~op:"invalid" ~status:"bad_request" ~queue_wait_s:0.0
-                  ~service_s:0.0 ~id;
+                access_log t ~req_id:(req_name t (next_req_id t))
+                  ~conn:conn.conn_name ~op:"invalid" ~status:"bad_request"
+                  ~queue_wait_s:0.0 ~service_s:0.0 ~id;
                 ignore
                   (send t conn
                      (Wire.error_response ~id ~code:Wire.Bad_request
                         ~message:msg))
-            | Ok ({ Wire.op = Wire.Metrics | Wire.Health | Wire.Spans; _ } as
-                  req)
+            | Ok ({
+                    Wire.op =
+                      Wire.Metrics | Wire.Health | Wire.Spans
+                      | Wire.Trace_pull _;
+                    _;
+                  } as req)
               when t.config.inline_observability ->
                 (* observability stays on even while draining *)
                 ignore
                   (send t conn
                      (eval_inline t req ~req_id:(next_req_id t)
-                        ~conn_id:conn.conn_id))
+                        ~conn:conn.conn_name))
             | Ok req when stop_requested t ->
                 ignore
                   (send t conn
@@ -558,12 +627,15 @@ let accept_loop t () =
           else begin
             Instrument.add "serve.accepted" 1;
             Metrics.conn_opened t.metrics;
-            let conn_id = Atomic.fetch_and_add t.conn_counter 1 in
+            let conn_name =
+              t.id_prefix ^ "c"
+              ^ string_of_int (Atomic.fetch_and_add t.conn_counter 1)
+            in
             Instrument.event "serve.accept"
-              ~attrs:[ ("conn", Json.Int conn_id) ];
+              ~attrs:[ ("conn", Json.Str conn_name) ];
             let conn =
               {
-                conn_id;
+                conn_name;
                 fd;
                 ic = Unix.in_channel_of_descr fd;
                 oc = Unix.out_channel_of_descr fd;
@@ -614,7 +686,13 @@ let create ?dispatch ?metrics ?evaluate (config : config) =
     match dispatch with Some d -> d | None -> Dispatch.create ~metrics ()
   in
   let evaluate =
-    match evaluate with Some f -> f | None -> Dispatch.eval disp
+    match evaluate with
+    | Some f -> f
+    | None ->
+        (* the local dispatcher is a leaf: it never forwards, so the
+           trace context has already done its job (span attrs, sampling)
+           by the time evaluation starts *)
+        fun ~trace:_ op -> Dispatch.eval disp op
   in
   let access_oc = Option.map open_out config.access_log in
   let listen_fd =
@@ -645,6 +723,8 @@ let create ?dispatch ?metrics ?evaluate (config : config) =
   in
   {
     config;
+    id_prefix =
+      (match config.node with Some node -> node ^ "-" | None -> "");
     disp;
     evaluate;
     metrics;

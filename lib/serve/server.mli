@@ -21,11 +21,13 @@
       drain, joins the workers and closes every connection.
 
     Telemetry: every request is assigned a process-unique [req_id] when
-    its frame is parsed and runs in a ["serve.request"] span tagged
-    [req_id] / [op] / [conn] / [queue_wait_ns]; admission and refusal
-    are marked by ["serve.admit"] / ["serve.reject"] point events with
-    the same identity, so a JSONL trace reconstructs each request's
-    critical path (queue wait vs service).  During evaluation the same
+    its frame is parsed — node-namespaced ([s1-r42]) when [config.node]
+    is set, so merged fleet traces never collide — and runs in a
+    ["serve.request"] span tagged [req_id] / [op] / [conn] /
+    [queue_wait_ns]; admission and refusal are marked by
+    ["serve.admit"] / ["serve.reject"] point events with the same
+    identity, so a JSONL trace reconstructs each request's critical
+    path (queue wait vs service).  During evaluation the same
     attributes are installed as {e ambient}
     ({!Gossip_util.Instrument.with_ambient_attrs}), so context lookups
     and solver spans deep in the library tag themselves with the
@@ -34,10 +36,22 @@
     ["serve.queue_depth"] gauge, and the
     ["serve.accepted"]/["serve.requests"]/["serve.rejected.*"] counters
     track admission.  Independently of tracing, a {!Metrics.t} keeps
-    rolling per-op windows behind the [metrics] / [health] / [spans]
-    operations — those three are answered inline by the reader thread,
-    bypassing the queue, so they stay responsive exactly when the
-    queue is saturated.
+    rolling per-op windows behind the [metrics] / [health] / [spans] /
+    [trace_pull] operations — those are answered inline by the reader
+    thread, bypassing the queue, so they stay responsive exactly when
+    the queue is saturated.
+
+    Distributed tracing: a request whose envelope carries trace context
+    ({!Wire.request}[.trace]) runs its ["serve.request"] span with
+    [trace_id], a freshly minted [span_id] and the sender's
+    [parent_span_id]; the ambient attributes re-parent every child span
+    under the request span, so a multi-file stitch
+    ({!Trace_analysis.stitch}) reconstructs the cross-node waterfall.
+    A context marked {e sampled-out} suppresses event streaming for the
+    whole evaluation ({!Gossip_util.Instrument.with_sampled_out}) — the
+    request is served and metered normally but leaves no trace.  The
+    inline observability ops always run sampled-out: scrape traffic
+    must not bury real requests in the trace ring.
 
     When [config.access_log] is set, every answered request appends one
     compact JSON line [{ts, req_id, conn, op, status, queue_wait_ms,
@@ -75,12 +89,18 @@ type config = {
           default) disables injection entirely — the hot path then pays
           a single pattern match *)
   inline_observability : bool;
-      (** answer [metrics] / [health] / [spans] from the reader thread,
-          bypassing the queue (the default, [true]) — they must stay
-          answerable when the queue is saturated.  The cluster router
-          sets [false] so those ops reach its own evaluator, which
-          aggregates across the whole fleet instead of answering for
-          one process. *)
+      (** answer [metrics] / [health] / [spans] / [trace_pull] from the
+          reader thread, bypassing the queue (the default, [true]) —
+          they must stay answerable when the queue is saturated.  The
+          cluster router sets [false] so those ops reach its own
+          evaluator, which aggregates across the whole fleet instead of
+          answering for one process. *)
+  node : string option;
+      (** cluster node id (default [None]); when set, request and
+          connection identities are namespaced with it ([s1-r42],
+          [s1-c7]) in trace attributes and access-log lines, so a
+          fleet's merged telemetry stays collision-free and
+          attributable *)
 }
 
 (** [default_config ~listen] — {!Gossip_util.Parallel.recommended_domains}
@@ -101,14 +121,19 @@ type t
     dispatcher) is what worker domains run queued requests through —
     the cluster router substitutes its ring-routing forwarder here and
     reuses the rest of the server machinery (accept/readers/queue/
-    workers/supervisor) unchanged.  It must be safe to call from
-    several domains at once.
+    workers/supervisor) unchanged.  [trace] is the request's
+    distributed-trace context (already installed in the span and
+    ambient attributes by the server); a forwarding evaluator
+    propagates it downstream, a leaf evaluator may ignore it.  It must
+    be safe to call from several domains at once.
     @raise Unix.Unix_error when the address is unavailable. *)
 val create :
   ?dispatch:Dispatch.t ->
   ?metrics:Metrics.t ->
   ?evaluate:
-    (Wire.op -> (Gossip_util.Json.t, Wire.error_code * string) result) ->
+    (trace:Gossip_util.Trace.t option ->
+    Wire.op ->
+    (Gossip_util.Json.t, Wire.error_code * string) result) ->
   config ->
   t
 

@@ -5,10 +5,12 @@ module Json = Gossip_util.Json
    the queue-wait/service split comes from the serve.request span_end,
    whose attributes carry queue_wait_ns and dur_ns.  [spans] collects
    every OTHER span_end tagged with this req_id (via ambient
-   attributes): the request's waterfall, in trace order. *)
+   attributes): the request's waterfall, in trace order.  Requests are
+   keyed by (node, req_id): req ids are per-process counters, so a
+   merged fleet trace needs the node to keep them apart. *)
 type req = {
   mutable r_op : string;
-  mutable r_conn : int;
+  mutable r_conn : string;
   mutable admitted : bool;
   mutable rejected : string option;  (* rejection code *)
   mutable queue_wait_ns : int option;
@@ -20,7 +22,8 @@ type req = {
 }
 
 (* Per-(domain, span-name) begin/end balance; an imbalance means the
-   trace lost events or a span never closed. *)
+   trace lost events or a span never closed.  The node joins the key so
+   merged fleet traces do not cross-cancel between processes. *)
 type balance = { mutable begins : int; mutable ends : int }
 
 type span_agg = {
@@ -32,13 +35,32 @@ type span_agg = {
   mutable s_alloc_seen : int;  (* span_end events that carried the field *)
 }
 
+(* One completed span that belongs to a distributed trace: the stitch
+   works entirely off these.  [ts_span_id] is carried only by the spans
+   that mint one (serve.request, router.forward); [ts_parent] by every
+   span emitted under an ambient parent and by re-parented hops.  Times
+   are the emitting node's own monotonic clock — comparable across
+   nodes only after alignment. *)
+type tspan = {
+  ts_trace : string;
+  ts_span_id : string option;
+  ts_parent : string option;
+  ts_node : string;
+  ts_name : string;
+  ts_begin : int;  (* local monotonic ns *)
+  ts_dur : int;
+  ts_wall : float;  (* wall-clock seconds; coarse cross-node fallback *)
+}
+
 type t = {
   mutable lines : int;
   mutable events : int;
   mutable parse_errors : int;
-  reqs : (int, req) Hashtbl.t;
+  reqs : (string * string, req) Hashtbl.t;  (* (node, req_id) *)
   spans : (string, span_agg) Hashtbl.t;
-  bal : (int * string, balance) Hashtbl.t;
+  bal : (string * int * string, balance) Hashtbl.t;  (* (node, dom, name) *)
+  mutable tspans : tspan list;  (* newest first *)
+  by_span_id : (string, tspan) Hashtbl.t;
 }
 
 let create () =
@@ -49,10 +71,22 @@ let create () =
     reqs = Hashtbl.create 256;
     spans = Hashtbl.create 64;
     bal = Hashtbl.create 64;
+    tspans = [];
+    by_span_id = Hashtbl.create 256;
   }
 
 let int_field j k = Option.bind (Json.member k j) Json.to_int_opt
 let str_field j k = Option.bind (Json.member k j) Json.to_string_opt
+let float_field j k = Option.bind (Json.member k j) Json.to_float_opt
+
+(* Request/connection ids became node-prefixed strings ("s1-r42") when
+   fleets learned to merge traces; older recordings carry bare ints.
+   Read either so old traces keep analysing. *)
+let id_field j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> Some s
+  | Some (Json.Int i) -> Some (string_of_int i)
+  | _ -> None
 
 let req_for t id =
   match Hashtbl.find_opt t.reqs id with
@@ -61,7 +95,7 @@ let req_for t id =
       let r =
         {
           r_op = "?";
-          r_conn = -1;
+          r_conn = "?";
           admitted = false;
           rejected = None;
           queue_wait_ns = None;
@@ -102,20 +136,21 @@ let bal_for t key =
 
 let note_identity r j =
   (match str_field j "op" with Some op -> r.r_op <- op | None -> ());
-  match int_field j "conn" with Some c -> r.r_conn <- c | None -> ()
+  match id_field j "conn" with Some c -> r.r_conn <- c | None -> ()
 
 let ingest_json t j =
   t.events <- t.events + 1;
   let ev = Option.value ~default:"" (str_field j "ev") in
   let name = Option.value ~default:"" (str_field j "name") in
   let dom = Option.value ~default:0 (int_field j "dom") in
-  let req_id = int_field j "req_id" in
+  let node = Option.value ~default:"" (str_field j "node") in
+  let req_id = id_field j "req_id" in
   (match ev with
   | "span_begin" ->
-      let b = bal_for t (dom, name) in
+      let b = bal_for t (node, dom, name) in
       b.begins <- b.begins + 1
   | "span_end" ->
-      let b = bal_for t (dom, name) in
+      let b = bal_for t (node, dom, name) in
       b.ends <- b.ends + 1;
       let dur = Option.value ~default:0 (int_field j "dur_ns") in
       let a = agg_for t name in
@@ -127,12 +162,37 @@ let ingest_json t j =
       | Some w ->
           a.s_alloc_words <- a.s_alloc_words +. float_of_int w;
           a.s_alloc_seen <- a.s_alloc_seen + 1
-      | None -> ())
+      | None -> ());
+      (* Distributed stitch: any closed span carrying a trace id joins
+         the cross-node graph.  begin = end - dur keeps the one-pass
+         scan (span_end is the only event we need). *)
+      (match str_field j "trace_id" with
+      | Some trace_id when trace_id <> "" ->
+          let mono = Option.value ~default:dur (int_field j "mono_ns") in
+          let ts =
+            {
+              ts_trace = trace_id;
+              ts_span_id = str_field j "span_id";
+              ts_parent = str_field j "parent_span_id";
+              ts_node = node;
+              ts_name = name;
+              ts_begin = mono - dur;
+              ts_dur = dur;
+              ts_wall = Option.value ~default:0.0 (float_field j "ts");
+            }
+          in
+          t.tspans <- ts :: t.tspans;
+          (match ts.ts_span_id with
+          | Some sid when sid <> "" ->
+              if not (Hashtbl.mem t.by_span_id sid) then
+                Hashtbl.add t.by_span_id sid ts
+          | _ -> ())
+      | _ -> ())
   | _ -> ());
   match req_id with
   | None -> ()
   | Some id -> (
-      let r = req_for t id in
+      let r = req_for t (node, id) in
       note_identity r j;
       match (ev, name) with
       | "point", "serve.admit" -> r.admitted <- true
@@ -174,6 +234,13 @@ let ingest_line t line =
     | Error _ -> t.parse_errors <- t.parse_errors + 1
   end
 
+let ingest_channel t ic =
+  try
+    while true do
+      ingest_line t (input_line ic)
+    done
+  with End_of_file -> ()
+
 let of_lines lines =
   let t = create () in
   List.iter (ingest_line t) lines;
@@ -181,11 +248,17 @@ let of_lines lines =
 
 let of_channel ic =
   let t = create () in
-  (try
-     while true do
-       ingest_line t (input_line ic)
-     done
-   with End_of_file -> ());
+  ingest_channel t ic;
+  t
+
+let of_files paths =
+  let t = create () in
+  List.iter
+    (fun path ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          ingest_channel t ic))
+    paths;
   t
 
 (* {2 Derived views} *)
@@ -230,17 +303,173 @@ let top_allocators t ~top_k =
 
 let unbalanced t =
   Hashtbl.fold
-    (fun (dom, name) b acc ->
-      if b.begins <> b.ends then (dom, name, b.begins, b.ends) :: acc else acc)
+    (fun (node, dom, name) b acc ->
+      if b.begins <> b.ends then (node, dom, name, b.begins, b.ends) :: acc
+      else acc)
     t.bal []
   |> List.sort compare
+
+(* {2 Distributed stitch}
+
+   A fleet trace is a set of per-node JSONL files merged into one [t].
+   Spans link up purely by ids: every span under a sampled request
+   carries its trace_id, spans that mint a span_id (serve.request,
+   router.forward) register it, and every child names its parent.  The
+   stitch is the transitive walk over those links — no clock agreement
+   between nodes is assumed or required for linkage, only for layout. *)
+
+let parent_resolved t ts =
+  match ts.ts_parent with
+  | None -> false
+  | Some p -> Hashtbl.mem t.by_span_id p
+
+type link_stats = {
+  l_spans : int;  (* spans that joined the trace graph *)
+  l_traces : int;  (* distinct trace ids *)
+  l_with_parent : int;
+  l_linked : int;  (* parent references that resolved *)
+  l_orphans : int;
+  l_orphan_hops : int;  (* router.forward spans with unresolved parent *)
+}
+
+let link_stats t =
+  let traces = Hashtbl.create 64 in
+  let spans = ref 0 and with_parent = ref 0 in
+  let linked = ref 0 and orphan_hops = ref 0 in
+  List.iter
+    (fun ts ->
+      incr spans;
+      Hashtbl.replace traces ts.ts_trace ();
+      match ts.ts_parent with
+      | None -> ()
+      | Some p ->
+          incr with_parent;
+          if Hashtbl.mem t.by_span_id p then incr linked
+          else if ts.ts_name = "router.forward" then incr orphan_hops)
+    t.tspans;
+  {
+    l_spans = !spans;
+    l_traces = Hashtbl.length traces;
+    l_with_parent = !with_parent;
+    l_linked = !linked;
+    l_orphans = !with_parent - !linked;
+    l_orphan_hops = !orphan_hops;
+  }
+
+let linkage_coverage t =
+  let s = link_stats t in
+  if s.l_with_parent = 0 then 1.0
+  else float_of_int s.l_linked /. float_of_int s.l_with_parent
+
+(* Cross-node clock alignment.  When a child span ran on a different
+   node than its parent, the parent's interval [T0,T1] (parent-node
+   monotonic clock) brackets the child's [t0,t1] (child-node clock):
+   the work could not start before it was requested nor finish after
+   the reply was observed.  The midpoint delta = ((T0-t0)+(T1-t1))/2
+   maps child-clock readings onto the parent's clock with error at
+   most half the non-overlapped (wire + queue) time; averaging over
+   every remote pair per ordered node pair tightens it further. *)
+let clock_offsets t =
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun ts ->
+      match Option.bind ts.ts_parent (Hashtbl.find_opt t.by_span_id) with
+      | Some p when p.ts_node <> ts.ts_node ->
+          let d0 = p.ts_begin - ts.ts_begin
+          and d1 = p.ts_begin + p.ts_dur - (ts.ts_begin + ts.ts_dur) in
+          let d = (float_of_int d0 +. float_of_int d1) /. 2.0 in
+          let key = (p.ts_node, ts.ts_node) in
+          let sum, n =
+            Option.value ~default:(0.0, 0) (Hashtbl.find_opt acc key)
+          in
+          Hashtbl.replace acc key (sum +. d, n + 1)
+      | _ -> ())
+    t.tspans;
+  Hashtbl.fold
+    (fun (pn, cn) (sum, n) l -> (pn, cn, sum /. float_of_int n, n) :: l)
+    acc []
+  |> List.sort compare
+
+(* Absolute offsets onto [root_node]'s clock, chasing measured
+   parent<->child edges in either direction until no node is added
+   (a fleet is a star around the router, so this converges fast). *)
+let node_offsets offsets ~root_node =
+  let m = Hashtbl.create 8 in
+  Hashtbl.replace m root_node 0.0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (pn, cn, d, _) ->
+        match (Hashtbl.find_opt m pn, Hashtbl.find_opt m cn) with
+        | Some po, None ->
+            (* child_local + d = parent_local *)
+            Hashtbl.replace m cn (po +. d);
+            changed := true
+        | None, Some co ->
+            Hashtbl.replace m pn (co -. d);
+            changed := true
+        | _ -> ())
+      offsets
+  done;
+  m
+
+let traces_by_id t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ts ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt tbl ts.ts_trace) in
+      Hashtbl.replace tbl ts.ts_trace (ts :: l))
+    t.tspans;
+  tbl
+
+(* The root is the outermost span we saw: parent missing or never
+   resolved, longest duration among those.  (The true client span if
+   the client traced, else the router's serve.request.) *)
+let trace_root t spans =
+  let cand = List.filter (fun ts -> not (parent_resolved t ts)) spans in
+  let cand = if cand = [] then spans else cand in
+  List.fold_left
+    (fun best ts -> if ts.ts_dur > best.ts_dur then ts else best)
+    (List.hd cand) (List.tl cand)
+
+(* Per-hop overhead: a router.forward span minus the downstream
+   serve.request it caused — wire round-trip plus the shard's queue
+   wait.  Retries re-use the hop's span id, so we take the longest
+   downstream attempt. *)
+let hop_overheads t =
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun ts ->
+      if ts.ts_name = "serve.request" then
+        match ts.ts_parent with
+        | Some p ->
+            let cur =
+              Option.value ~default:(-1) (Hashtbl.find_opt children p)
+            in
+            if ts.ts_dur > cur then Hashtbl.replace children p ts.ts_dur
+        | None -> ())
+    t.tspans;
+  List.filter_map
+    (fun ts ->
+      if ts.ts_name <> "router.forward" then None
+      else
+        match ts.ts_span_id with
+        | Some sid ->
+            Option.map
+              (fun d -> max 0 (ts.ts_dur - d))
+              (Hashtbl.find_opt children sid)
+        | None -> None)
+    t.tspans
 
 let problems t =
   let ub =
     List.map
-      (fun (dom, name, b, e) ->
-        Printf.sprintf "unbalanced span %S on domain %d: %d begin(s), %d end(s)"
-          name dom b e)
+      (fun (node, dom, name, b, e) ->
+        Printf.sprintf
+          "unbalanced span %S on %s domain %d: %d begin(s), %d end(s)" name
+          (if node = "" then "(unnamed node)" else node)
+          dom b e)
       (unbalanced t)
   in
   let zs = fold_reqs t (fun _ r n -> if zero_span r then n + 1 else n) 0 in
@@ -271,7 +500,36 @@ let problems t =
         (alloc_missing t)
     else []
   in
-  ub @ zs @ cv @ am
+  (* Stitch gates only arm once spans actually carry parent links —
+     single-node traces with no distributed context stay clean. *)
+  let st =
+    let s = link_stats t in
+    if s.l_with_parent = 0 then []
+    else
+      let cov = float_of_int s.l_linked /. float_of_int s.l_with_parent in
+      let lk =
+        if cov < 0.95 then
+          [
+            Printf.sprintf
+              "trace linkage %.1f%% < 95%%: only %d of %d parent span \
+               references resolve"
+              (100.0 *. cov) s.l_linked s.l_with_parent;
+          ]
+        else []
+      in
+      let oh =
+        if s.l_orphan_hops > 0 then
+          [
+            Printf.sprintf
+              "%d orphan router.forward hop span(s): parent span never \
+               recorded"
+              s.l_orphan_hops;
+          ]
+        else []
+      in
+      lk @ oh
+  in
+  ub @ zs @ cv @ am @ st
 
 (* {2 Summaries} *)
 
@@ -342,6 +600,98 @@ let waterfall_json r =
            ])
        r.r_spans)
 
+(* One stitched end-to-end trace: every span across every node, laid
+   out on the root node's clock.  Nodes reachable through a measured
+   hop use the monotonic alignment; anything else falls back to wall
+   clocks and says so ("clock": "wall"). *)
+let stitched_trace_json t offsets tr_id spans =
+  let root = trace_root t spans in
+  let om = node_offsets offsets ~root_node:root.ts_node in
+  let base = float_of_int root.ts_begin in
+  let rows =
+    List.map
+      (fun ts ->
+        let off, aligned =
+          match Hashtbl.find_opt om ts.ts_node with
+          | Some o -> (float_of_int ts.ts_begin +. o -. base, true)
+          | None ->
+              ( ((ts.ts_wall -. root.ts_wall) *. 1e9)
+                +. float_of_int root.ts_dur
+                -. float_of_int ts.ts_dur,
+                false )
+        in
+        ( off,
+          Json.Obj
+            ([
+               ("node", Json.Str ts.ts_node);
+               ("span", Json.Str ts.ts_name);
+               ("offset_ms", Json.Float (off /. 1e6));
+               ("dur_ms", Json.Float (ms_of_ns ts.ts_dur));
+             ]
+            @ (match ts.ts_span_id with
+              | Some s -> [ ("span_id", Json.Str s) ]
+              | None -> [])
+            @ (match ts.ts_parent with
+              | Some s -> [ ("parent_span_id", Json.Str s) ]
+              | None -> [])
+            @ if aligned then [] else [ ("clock", Json.Str "wall") ]) ))
+      spans
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  Json.Obj
+    [
+      ("trace_id", Json.Str tr_id);
+      ("root_node", Json.Str root.ts_node);
+      ("root_span", Json.Str root.ts_name);
+      ("total_ms", Json.Float (ms_of_ns root.ts_dur));
+      ("spans", Json.Int (List.length rows));
+      ("waterfall", Json.List rows);
+    ]
+
+let slowest_traces t ~top_k =
+  let offsets = clock_offsets t in
+  Hashtbl.fold
+    (fun id spans acc -> (id, spans, (trace_root t spans).ts_dur) :: acc)
+    (traces_by_id t) []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < top_k)
+  |> List.map (fun (id, spans, _) -> stitched_trace_json t offsets id spans)
+
+let tracing_json t ~top_k =
+  let s = link_stats t in
+  let offset_rows =
+    List.map
+      (fun (pn, cn, d, n) ->
+        Json.Obj
+          [
+            ("parent_node", Json.Str pn);
+            ("child_node", Json.Str cn);
+            ("offset_ms", Json.Float (d /. 1e6));
+            ("pairs", Json.Int n);
+          ])
+      (clock_offsets t)
+  in
+  let hops = hop_overheads t in
+  Json.Obj
+    [
+      ("spans", Json.Int s.l_spans);
+      ("traces", Json.Int s.l_traces);
+      ("with_parent", Json.Int s.l_with_parent);
+      ("linked", Json.Int s.l_linked);
+      ("linkage", Json.Float (linkage_coverage t));
+      ("orphans", Json.Int s.l_orphans);
+      ("orphan_router_hops", Json.Int s.l_orphan_hops);
+      ("clock_offsets", Json.List offset_rows);
+      ( "hops",
+        Json.Obj
+          [
+            ("count", Json.Int (List.length hops));
+            ("overhead_ms", summary_ms hops);
+          ] );
+      ("slowest", Json.List (slowest_traces t ~top_k));
+    ]
+
 let to_json ?(top_k = 10) t =
   let seen = Hashtbl.length t.reqs in
   let n_complete = fold_reqs t (fun _ r n -> if complete r then n + 1 else n) 0 in
@@ -385,9 +735,10 @@ let to_json ?(top_k = 10) t =
   in
   let balance_rows =
     List.map
-      (fun (dom, name, b, e) ->
+      (fun (node, dom, name, b, e) ->
         Json.Obj
           [
+            ("node", Json.Str node);
             ("dom", Json.Int dom);
             ("name", Json.Str name);
             ("begins", Json.Int b);
@@ -410,12 +761,13 @@ let to_json ?(top_k = 10) t =
   in
   let slow_rows =
     List.map
-      (fun (id, r) ->
+      (fun ((node, id), r) ->
         Json.Obj
           [
-            ("req_id", Json.Int id);
+            ("node", Json.Str node);
+            ("req_id", Json.Str id);
             ("op", Json.Str r.r_op);
-            ("conn", Json.Int r.r_conn);
+            ("conn", Json.Str r.r_conn);
             ( "queue_wait_ms",
               Json.Float (ms_of_ns (Option.value ~default:0 r.queue_wait_ns)) );
             ( "service_ms",
@@ -428,7 +780,7 @@ let to_json ?(top_k = 10) t =
   in
   Json.Obj
     [
-      ("schema", Json.Str "gossip-trace-report/1");
+      ("schema", Json.Str "gossip-trace-report/2");
       ("version", Json.Str Core.Version.string);
       ( "lines",
         Json.Obj
@@ -465,6 +817,7 @@ let to_json ?(top_k = 10) t =
           ] );
       ("by_op", Json.Obj op_rows);
       ("slowest", Json.List slow_rows);
+      ("tracing", tracing_json t ~top_k);
       ("problems", Json.List (List.map (fun p -> Json.Str p) (problems t)));
     ]
 
@@ -480,6 +833,26 @@ let pp ?(top_k = 10) ppf t =
   fp "requests: %d seen, %d complete (%d rejected), coverage %.1f%%@." seen
     n_complete n_rejected
     (100.0 *. coverage t);
+  let st = link_stats t in
+  if st.l_spans > 0 then begin
+    fp
+      "tracing: %d trace(s) across %d span(s); linkage %.1f%% (%d orphan(s), \
+       %d orphan router hop(s))@."
+      st.l_traces st.l_spans
+      (100.0 *. linkage_coverage t)
+      st.l_orphans st.l_orphan_hops;
+    List.iter
+      (fun (pn, cn, d, n) ->
+        fp "  clock %s -> %s: offset %+.3f ms (over %d hop pair(s))@." pn cn
+          (d /. 1e6) n)
+      (clock_offsets t);
+    let hops = hop_overheads t in
+    if hops <> [] then
+      let sum = List.fold_left (fun a v -> a +. float_of_int v) 0.0 hops in
+      fp "  router hops: %d stitched, mean overhead %.3f ms@."
+        (List.length hops)
+        (sum /. float_of_int (List.length hops) /. 1e6)
+  end;
   let answered = answered_reqs t in
   let waits = List.filter_map (fun (_, r) -> r.queue_wait_ns) answered in
   let svcs = List.filter_map (fun (_, r) -> r.service_ns) answered in
@@ -513,9 +886,10 @@ let pp ?(top_k = 10) ppf t =
   end;
   fp "@.slowest %d:@." top_k;
   List.iter
-    (fun (id, r) ->
-      fp "  #%-6d %-10s wait %8.3f ms  service %8.3f ms  (%d hit / %d miss)@."
-        id r.r_op
+    (fun ((node, id), r) ->
+      fp "  %-12s %-10s wait %8.3f ms  service %8.3f ms  (%d hit / %d miss)@."
+        (if node = "" then id else node ^ "/" ^ id)
+        r.r_op
         (ms_of_ns (Option.value ~default:0 r.queue_wait_ns))
         (ms_of_ns (Option.value ~default:0 r.service_ns))
         r.lookups_hit r.lookups_miss)

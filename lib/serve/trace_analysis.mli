@@ -1,20 +1,39 @@
-(** Offline analysis of a JSONL trace written by a serving process.
+(** Offline analysis and stitching of JSONL traces written by serving
+    processes — one file or a whole fleet's worth merged.
 
     The server tags every request's spans and events with its [req_id]
-    (see {!Server}); this module ingests the resulting trace
-    ([--trace-out] / {!Gossip_util.Instrument.set_trace_file}) and
-    reconstructs per-request critical paths — how long each request
-    waited in the bounded queue versus how long a worker actually
-    computed, which cached artifacts it touched, where the slow ones
-    spent their time.
+    (see {!Server}); this module ingests the resulting traces
+    ([--trace-out] / {!Gossip_util.Instrument.set_trace_file}, or rings
+    drained over the wire via [trace_pull]) and reconstructs
+    per-request critical paths — how long each request waited in the
+    bounded queue versus how long a worker actually computed, which
+    cached artifacts it touched, where the slow ones spent their time.
+
+    {b Distributed stitch.}  When the traced processes propagated trace
+    contexts (see {!Gossip_util.Trace}), spans from different nodes
+    link up by ids alone: each [serve.request] and [router.forward]
+    span minted a [span_id], every child span names its
+    [parent_span_id], and the [node] attribute keeps per-process
+    request ids apart.  Feed the per-node files into {e one} analyzer
+    (see {!of_files}) and the report gains a [tracing] section:
+    parent-linkage coverage, orphaned router hops, per-node-pair clock
+    offsets recovered from hop-span bracketing (a forward's interval on
+    the router clock brackets the downstream request's interval on the
+    shard clock; the midpoint of the two edge differences estimates the
+    offset to within half the wire overhead), per-hop overhead, and
+    cross-node waterfalls for the slowest traces laid out on the root
+    node's clock.
 
     The analyzer is deliberately tolerant: lines that fail to parse are
-    counted, not fatal, and spans from non-request activity (startup,
+    counted, not fatal; spans from non-request activity (startup,
     benchmarks sharing the file) aggregate normally without confusing
-    request accounting.
+    request accounting; and traces recorded before ids became
+    node-prefixed strings (bare integer [req_id] / [conn]) still
+    analyse.
 
     [tools/trace_report] is the command-line face of this module; CI
-    runs it with [--check] over the loadgen trace. *)
+    runs it with [--check] over single-node loadgen traces {e and} over
+    the merged cluster-soak trace. *)
 
 type t
 
@@ -25,12 +44,23 @@ val of_lines : string list -> t
 (** [of_channel ic] reads [ic] to EOF and ingests it. *)
 val of_channel : in_channel -> t
 
+(** [of_files paths] ingests every file into one analyzer — the
+    multi-node entry point: pass each node's trace file and the stitch
+    links them.  Raises [Sys_error] if a file cannot be opened. *)
+val of_files : string list -> t
+
 (** {1 Health of the trace itself} *)
+
+(** [linkage_coverage t] — the fraction of spans carrying a
+    [parent_span_id] whose parent span was actually recorded
+    somewhere in the ingested files; [1.0] when no span carries a
+    parent (nothing to stitch, nothing broken). *)
+val linkage_coverage : t -> float
 
 (** [problems t] — human-readable defects that make the trace
     untrustworthy, empty when sound:
     - a span name whose [span_begin] / [span_end] counts differ on some
-      domain (lost or torn spans);
+      (node, domain) (lost or torn spans);
     - requests that were admitted but produced no [serve.request] span
       at all (zero-span requests);
     - request coverage below 99% — fewer than 99% of the request ids
@@ -40,20 +70,29 @@ val of_channel : in_channel -> t
       whose [span_end] events embed allocation deltas), span names
       where only {e some} [span_end] events carry it — a mixed-build
       trace whose allocation totals cannot be trusted.  Traces with no
-      [alloc_words] anywhere predate the field and are not flagged. *)
+      [alloc_words] anywhere predate the field and are not flagged;
+    - when spans carry parent links at all: {!linkage_coverage} below
+      95%, and any orphan [router.forward] hop (a hop whose parent
+      span was never recorded — a node's trace file is missing or its
+      ring overflowed).  Traces with no parent links anywhere (no
+      distributed contexts in play) arm neither gate. *)
 val problems : t -> string list
 
 (** {1 Reports} *)
 
 (** [to_json ?top_k t] — versioned report (schema
-    [gossip-trace-report/1]): line counts, per-span aggregates (each
+    [gossip-trace-report/2]): line counts, per-span aggregates (each
     with its summed [alloc_words]), an [alloc] section (whether the
     trace is allocation-instrumented, total words, and the [top_k]
     allocating span names with words per call), span-balance table,
     request reconstruction summary with queue-wait / service quantiles
     and the queue-wait share of total latency, per-op breakdown, the
     [top_k] (default 10) slowest requests each with its span waterfall,
-    and {!problems}.  Schema documented in [doc/telemetry.md]. *)
+    a [tracing] section (span/trace counts, parent linkage, orphan
+    router hops, per-node-pair clock offsets, router-hop overhead
+    quantiles, and the [top_k] slowest stitched traces each with a
+    cross-node waterfall), and {!problems}.  Schema documented in
+    [doc/telemetry.md]. *)
 val to_json : ?top_k:int -> t -> Gossip_util.Json.t
 
 (** [pp ?top_k ppf t] — the same report for humans. *)

@@ -38,6 +38,7 @@ type op =
   | Gossip of { view : Json.t }
   | Mem_digest
   | Drain of { node : string option }
+  | Trace_pull of { max : int }
 
 let op_name = function
   | Ping -> "ping"
@@ -56,8 +57,14 @@ let op_name = function
   | Gossip _ -> "gossip"
   | Mem_digest -> "digest"
   | Drain _ -> "drain"
+  | Trace_pull _ -> "trace_pull"
 
-type request = { id : Json.t; op : op; timeout_ms : int option }
+type request = {
+  id : Json.t;
+  op : op;
+  timeout_ms : int option;
+  trace : Gossip_util.Trace.t option;
+}
 
 (* --- parameter validation helpers --- *)
 
@@ -201,6 +208,9 @@ let parse_op op params =
   | "drain" ->
       let* node = string_field params "node" in
       Ok (Drain { node })
+  | "trace_pull" ->
+      let* max = int_field ~default:512 params "max" ~min:1 ~max:65536 in
+      Ok (Trace_pull { max })
   | other -> Error (Printf.sprintf "unknown operation %S" other)
 
 let parse_request j =
@@ -226,7 +236,29 @@ let parse_request j =
         | Some (Json.Int t) when t >= 0 -> Ok (Some t)
         | Some _ -> Error "field \"timeout_ms\" must be a non-negative integer"
       in
-      Ok { id; op; timeout_ms }
+      (* Optional distributed-trace context.  Lenient by design: these
+         fields are forward-compatibility territory — an envelope whose
+         trace fields are missing or ill-typed is still a valid request
+         (a peer that predates them must interoperate), so anything but
+         a well-formed context degrades to "no context" rather than
+         [bad_request]. *)
+      let trace =
+        match Json.member "trace_id" j with
+        | Some (Json.Str trace_id) when trace_id <> "" ->
+            let parent_span_id =
+              match Json.member "parent_span_id" j with
+              | Some (Json.Str p) when p <> "" -> Some p
+              | _ -> None
+            in
+            let sampled =
+              match Json.member "sampled" j with
+              | Some (Json.Bool b) -> b
+              | _ -> true
+            in
+            Some { Gossip_util.Trace.trace_id; parent_span_id; sampled }
+        | _ -> None
+      in
+      Ok { id; op; timeout_ms; trace }
   | _ -> Error "request frame must be a JSON object"
 
 let net_to_fields { family; dim; degree } =
@@ -275,14 +307,23 @@ let op_params = function
   | Mem_digest -> []
   | Drain { node } -> (
       match node with Some n -> [ ("node", Json.Str n) ] | None -> [])
+  | Trace_pull { max } -> [ ("max", Json.Int max) ]
 
 let request_to_json r =
   Json.Obj
     ([ ("id", r.id); ("op", Json.Str (op_name r.op)) ]
     @ (match op_params r.op with [] -> [] | ps -> [ ("params", Json.Obj ps) ])
+    @ (match r.timeout_ms with
+      | Some t -> [ ("timeout_ms", Json.Int t) ]
+      | None -> [])
     @
-    match r.timeout_ms with
-    | Some t -> [ ("timeout_ms", Json.Int t) ]
+    match r.trace with
+    | Some { Gossip_util.Trace.trace_id; parent_span_id; sampled } ->
+        ("trace_id", Json.Str trace_id)
+        :: (match parent_span_id with
+           | Some p -> [ ("parent_span_id", Json.Str p) ]
+           | None -> [])
+        @ if sampled then [] else [ ("sampled", Json.Bool false) ]
     | None -> [])
 
 (* --- responses --- *)

@@ -90,6 +90,12 @@ type op =
           keys there while in-flight and straggler requests still
           complete.  [node] must be absent or the receiver's own id on a
           shard; on the router it names the shard to drain. *)
+  | Trace_pull of { max : int }
+      (** drain the receiver's recent-event ring
+          ({!Gossip_util.Instrument.set_ring_capacity}): result schema
+          [gossip-traces/1] with the newest [max] JSONL trace events.
+          Answered inline like the other observability ops; the router
+          fans it out fleet-wide ([gossip-cluster-traces/1]). *)
 
 (** [op_name op] — the wire name ("ping", "tables", …); used as the
     ["op"] field, in telemetry attributes and in the loadgen mix. *)
@@ -103,12 +109,20 @@ type request = {
   timeout_ms : int option;
       (** per-request deadline, measured from admission; see
           [doc/serving.md] for the exact semantics *)
+  trace : Gossip_util.Trace.t option;
+      (** distributed-trace context, carried as optional top-level
+          [trace_id] / [parent_span_id] / [sampled] envelope fields.
+          Forward-compatible in both directions: a request without them
+          parses as [None], and a peer that predates them ignores them
+          (unknown envelope fields are never rejected). *)
 }
 
 (** [parse_request j] validates a decoded frame into a typed request.
     Unknown operations, missing or ill-typed parameters and out-of-range
     values are rejected with a human-readable reason (the server turns
-    it into a [bad_request] reply). *)
+    it into a [bad_request] reply).  Unknown {e envelope fields} are
+    ignored, and ill-typed trace-context fields degrade to "no context"
+    — both are forward-compatibility seams, not defects. *)
 val parse_request : Json.t -> (request, string) result
 
 (** [request_to_json r] — the canonical wire form of [r];

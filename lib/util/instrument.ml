@@ -65,7 +65,77 @@ let locked f =
 
 let sink : out_channel option Atomic.t = Atomic.make None
 
-let tracing () = Atomic.get sink <> None
+(* Recent-event ring: a bounded in-memory copy of the event stream that
+   the [trace_pull] wire op drains fleet-wide.  Guarded by [lock] like
+   the sink; [ring_on] is the cheap atomic the hot path polls. *)
+let ring_on = Atomic.make false
+let ring_buf : Json.t array ref = ref [||]
+let ring_cap = ref 0
+let ring_pos = ref 0 (* next write slot *)
+let ring_len = ref 0
+let ring_overwritten = ref 0
+
+let set_ring_capacity n =
+  locked (fun () ->
+      if n <= 0 then begin
+        Atomic.set ring_on false;
+        ring_buf := [||];
+        ring_cap := 0;
+        ring_pos := 0;
+        ring_len := 0;
+        ring_overwritten := 0
+      end
+      else begin
+        ring_buf := Array.make n Json.Null;
+        ring_cap := n;
+        ring_pos := 0;
+        ring_len := 0;
+        ring_overwritten := 0;
+        Atomic.set ring_on true
+      end)
+
+let ring_drain ?max () =
+  locked (fun () ->
+      let len = !ring_len in
+      let keep =
+        match max with
+        | Some m when m < 0 -> 0
+        | Some m when m < len -> m
+        | _ -> len
+      in
+      let cap = !ring_cap in
+      (* oldest-first chronological order, newest [keep] events *)
+      let events =
+        List.init keep (fun i ->
+            let back = keep - i in
+            !ring_buf.((!ring_pos - back + (2 * cap)) mod cap))
+      in
+      let dropped = !ring_overwritten + (len - keep) in
+      if cap > 0 then Array.fill !ring_buf 0 cap Json.Null;
+      ring_pos := 0;
+      ring_len := 0;
+      ring_overwritten := 0;
+      (events, dropped))
+
+(* Per-domain streaming suppression: the head-sampling verdict for
+   sampled-out requests.  Read only after the atomic switches say some
+   sink is live, so the untraced hot path never touches domain-local
+   storage.  Like the ambient attributes this is domain-local, not
+   thread-local; on a domain running several sys-threads (the server's
+   readers) a suppression window can briefly leak across interleaved
+   threads — the cost is a stray trace line, never corruption. *)
+let suppress_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sampled_out () = Domain.DLS.get suppress_key
+
+let with_sampled_out f =
+  let prev = Domain.DLS.get suppress_key in
+  Domain.DLS.set suppress_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suppress_key prev) f
+
+let tracing () =
+  (Atomic.get sink <> None || Atomic.get ring_on)
+  && not (Domain.DLS.get suppress_key)
 
 let close_sink () =
   match Atomic.exchange sink None with
@@ -99,30 +169,59 @@ let with_ambient_attrs attrs f =
   Domain.DLS.set ambient_key (attrs @ prev);
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
 
+(* Process-wide attributes stamped on every emitted line — the node id,
+   in a cluster member.  The fleet stitcher needs each line to name the
+   process it came from even after files are concatenated. *)
+let global_attrs_ref : (string * Json.t) list Atomic.t = Atomic.make []
+
+let set_global_attrs attrs = Atomic.set global_attrs_ref attrs
+let global_attrs () = Atomic.get global_attrs_ref
+
 let emit fields =
-  match Atomic.get sink with
-  | None -> ()
-  | Some oc ->
-      let line = Json.to_string (Json.Obj fields) in
-      locked (fun () ->
-          output_string oc line;
-          output_char oc '\n';
-          flush oc)
+  let oc = Atomic.get sink in
+  let ringing = Atomic.get ring_on in
+  if oc <> None || ringing then begin
+    let j = Json.Obj fields in
+    let line = match oc with Some _ -> Json.to_string j | None -> "" in
+    locked (fun () ->
+        (match oc with
+        | Some oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+        | None -> ());
+        if ringing && !ring_cap > 0 then begin
+          if !ring_len = !ring_cap then incr ring_overwritten
+          else incr ring_len;
+          !ring_buf.(!ring_pos) <- j;
+          ring_pos := (!ring_pos + 1) mod !ring_cap
+        end)
+  end
 
 (* Wall clock for event timestamps only; all durations are monotonic.
-   Explicit attributes win over ambient ones of the same name. *)
+   On a name clash, explicit attributes win over ambient ones, which
+   win over the global ones. *)
 let base_fields ev name attrs =
   let ambient =
     match Domain.DLS.get ambient_key with
     | [] -> []
     | amb -> List.filter (fun (k, _) -> not (List.mem_assoc k attrs)) amb
   in
+  let globals =
+    match Atomic.get global_attrs_ref with
+    | [] -> []
+    | glob ->
+        List.filter
+          (fun (k, _) ->
+            not (List.mem_assoc k attrs || List.mem_assoc k ambient))
+          glob
+  in
   ("ev", Json.Str ev)
   :: ("name", Json.Str name)
   :: ("ts", Json.Float (Unix.gettimeofday ()))
   :: ("mono_ns", Json.Int (Int64.to_int (monotonic_ns ())))
   :: ("dom", Json.Int (domain_id ()))
-  :: (attrs @ ambient)
+  :: (attrs @ ambient @ globals)
 
 let event ?(attrs = []) name =
   if tracing () then emit (base_fields "point" name attrs)

@@ -50,9 +50,47 @@ val set_enabled : bool -> unit
     [GOSSIP_TRACE_FILE] installs a trace file at program start. *)
 val set_trace_file : string option -> unit
 
-(** [tracing ()] — is a JSONL trace file currently installed?  Cheap;
-    poll it before building per-round event attributes in hot loops. *)
+(** [tracing ()] — is some event sink live (a JSONL trace file or the
+    recent-event ring) and streaming not suppressed for this domain
+    ({!with_sampled_out})?  Cheap — two atomic reads when everything is
+    off; poll it before building per-round event attributes in hot
+    loops. *)
 val tracing : unit -> bool
+
+(** [set_ring_capacity n] installs a bounded in-memory ring that keeps
+    the last [n] emitted events (in addition to any trace file); the
+    [trace_pull] wire op drains it so a fleet's recent spans can be
+    collected without per-node files.  [n <= 0] disables and frees the
+    ring.  Enabling the ring turns event streaming on ({!tracing})
+    even without a trace file. *)
+val set_ring_capacity : int -> unit
+
+(** [ring_drain ?max ()] — the ring's events, oldest first, capped at
+    the newest [max] when given, paired with the number of events lost
+    (overwritten while the ring was full, plus any cut by [max]).  The
+    ring is left empty. *)
+val ring_drain : ?max:int -> unit -> Json.t list * int
+
+(** [with_sampled_out f] runs [f ()] with event streaming suppressed on
+    the calling domain: {!tracing} answers [false] inside, so spans and
+    events are built and emitted nowhere — the head-sampling "drop"
+    verdict.  Span {e aggregation} ({!enabled}) and the metrics
+    registry still record.  Domain-local like the ambient attributes,
+    with the same caveat about multi-threaded domains. *)
+val with_sampled_out : (unit -> 'a) -> 'a
+
+(** [sampled_out ()] — is streaming currently suppressed on this
+    domain? *)
+val sampled_out : unit -> bool
+
+(** [set_global_attrs attrs] installs process-wide attributes stamped
+    on {e every} emitted line (after explicit and ambient ones on a
+    name clash).  Cluster members put their node id here so merged
+    fleet traces stay attributable per line. *)
+val set_global_attrs : (string * Json.t) list -> unit
+
+(** [global_attrs ()] — the currently installed global attributes. *)
+val global_attrs : unit -> (string * Json.t) list
 
 (** {1 Clock} *)
 

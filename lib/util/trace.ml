@@ -1,0 +1,84 @@
+type t = { trace_id : string; parent_span_id : string option; sampled : bool }
+
+(* --- id minting --- *)
+
+(* splitmix64: each draw advances a global counter by the golden-ratio
+   increment and scrambles it through the finalizer.  The base is
+   process-unique (pid ⊕ wall clock ⊕ monotonic clock), so two nodes
+   started in the same microsecond still mint disjoint id streams; the
+   atomic counter keeps concurrent domains disjoint within a process. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let fmix64 v =
+  let v = Int64.logxor v (Int64.shift_right_logical v 30) in
+  let v = Int64.mul v 0xBF58476D1CE4E5B9L in
+  let v = Int64.logxor v (Int64.shift_right_logical v 27) in
+  let v = Int64.mul v 0x94D049BB133111EBL in
+  Int64.logxor v (Int64.shift_right_logical v 31)
+
+let base =
+  let tod = Int64.bits_of_float (Unix.gettimeofday ()) in
+  let mono = Instrument.now_ns () in
+  fmix64
+    (Int64.logxor
+       (Int64.logxor tod (Int64.mul mono golden))
+       (Int64.of_int (Unix.getpid () * 0x1000193)))
+
+let counter = Atomic.make 0
+
+let next64 () =
+  let c = Atomic.fetch_and_add counter 1 in
+  fmix64 (Int64.add base (Int64.mul (Int64.of_int (c + 1)) golden))
+
+let hex16 v = Printf.sprintf "%016Lx" v
+
+let fresh_span_id () = hex16 (next64 ())
+let fresh_trace_id () = hex16 (next64 ()) ^ hex16 (next64 ())
+
+(* --- head-based sampling --- *)
+
+(* FNV-1a over the trace id bytes, avalanched through the same fmix64
+   finalizer the cluster ring uses: bare FNV's low bits are too regular
+   to compare against a threshold.  The decision is a pure function of
+   the trace id, so every node holding the same context — router, each
+   failover replica, the shard — reaches the same verdict without
+   coordination. *)
+let hash64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  fmix64 !h
+
+let sample_decision ~rate trace_id =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else
+    (* top 30 bits as a fraction of [0, 1): plenty of resolution for a
+       sampling knob, and safely inside OCaml's int range *)
+    let bits =
+      Int64.to_int (Int64.shift_right_logical (hash64 trace_id) 34)
+    in
+    float_of_int bits /. 1073741824.0 < rate
+
+let mint ?(sample_rate = 1.0) () =
+  let trace_id = fresh_trace_id () in
+  {
+    trace_id;
+    parent_span_id = None;
+    sampled = sample_decision ~rate:sample_rate trace_id;
+  }
+
+let child t ~span_id = { t with parent_span_id = Some span_id }
+
+(* --- telemetry attributes --- *)
+
+let attrs t =
+  ("trace_id", Json.Str t.trace_id)
+  ::
+  (match t.parent_span_id with
+  | Some p -> [ ("parent_span_id", Json.Str p) ]
+  | None -> [])

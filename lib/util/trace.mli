@@ -1,0 +1,61 @@
+(** Distributed trace context: W3C-traceparent-style identity that rides
+    the serving wire protocol across process boundaries.
+
+    A context is minted once at the edge of the fleet — the load
+    generator or the router, wherever a request first enters — and then
+    carried verbatim on every hop: the router copies it onto forwarded
+    envelopes (re-parenting each hop under its own [router.forward]
+    span), and each shard installs it as ambient {!Instrument}
+    attributes so every span and event the request triggers shares one
+    [trace_id] fleet-wide.  The offline stitcher
+    ([Gossip_serve.Trace_analysis]) reassembles per-node JSONL traces
+    into cross-node waterfalls by following [(trace_id,
+    parent_span_id)] links.
+
+    Sampling is {e head-based} and {e pure in the trace id}: the
+    keep/drop verdict is a hash of [trace_id] compared against the
+    rate, so every node holding the context reaches the same decision
+    without coordination, and a trace is either recorded on all its
+    hops or on none. *)
+
+type t = {
+  trace_id : string;  (** 32 hex chars; constant across all hops *)
+  parent_span_id : string option;
+      (** span id (16 hex chars) of the sender-side span that encloses
+          this hop; [None] at the root of a trace *)
+  sampled : bool;
+      (** the head-based verdict; [false] means every node suppresses
+          trace {e streaming} for this request (the work still runs) *)
+}
+
+(** [mint ?sample_rate ()] — a fresh root context: new [trace_id], no
+    parent, [sampled] decided by {!sample_decision} at [sample_rate]
+    (default 1.0 — keep everything). *)
+val mint : ?sample_rate:float -> unit -> t
+
+(** [child t ~span_id] — the context to put on an outgoing hop that is
+    enclosed by the local span [span_id]: same trace, same verdict,
+    re-parented. *)
+val child : t -> span_id:string -> t
+
+(** [fresh_trace_id ()] — 32 lowercase hex chars, unique across
+    processes (seeded from pid and both clocks) and domains (atomic
+    counter). *)
+val fresh_trace_id : unit -> string
+
+(** [fresh_span_id ()] — 16 lowercase hex chars from the same stream. *)
+val fresh_span_id : unit -> string
+
+(** [sample_decision ~rate trace_id] — the pure head-sampling verdict:
+    [hash64 trace_id] as a fraction of [0, 1) compared against [rate].
+    Total at [rate >= 1.0], empty at [rate <= 0.0], deterministic in
+    between. *)
+val sample_decision : rate:float -> string -> bool
+
+(** [hash64 s] — FNV-1a with an fmix64 avalanche; the hash behind
+    {!sample_decision}, exposed for tests. *)
+val hash64 : string -> int64
+
+(** [attrs t] — the context as telemetry attributes:
+    [trace_id] and (when present) [parent_span_id]. *)
+val attrs : t -> (string * Json.t) list

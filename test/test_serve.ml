@@ -126,12 +126,15 @@ let all_ops =
       };
     Wire.Certify { spec = Wire.Built { net; full_duplex = false }; refine = true };
     Wire.Certify { spec = Wire.Inline "mode half_duplex\nn 2\nperiod 1\nround 0: 0>1"; refine = false };
+    Wire.Trace_pull { max = 512 };
   ]
 
 let test_wire_request_roundtrip () =
   List.iteri
     (fun i op ->
-      let req = { Wire.id = Json.Int i; op; timeout_ms = Some (100 + i) } in
+      let req =
+        { Wire.id = Json.Int i; op; timeout_ms = Some (100 + i); trace = None }
+      in
       match Wire.parse_request (Wire.request_to_json req) with
       | Ok req' ->
           check (Printf.sprintf "roundtrip %s" (Wire.op_name op)) true
@@ -139,7 +142,9 @@ let test_wire_request_roundtrip () =
       | Error e -> Alcotest.failf "roundtrip %s: %s" (Wire.op_name op) e)
     all_ops;
   (* no id, no timeout *)
-  let req = { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None } in
+  let req =
+    { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None; trace = None }
+  in
   check "bare ping" true (Wire.parse_request (Wire.request_to_json req) = Ok req)
 
 let test_wire_golden_requests () =
@@ -147,12 +152,13 @@ let test_wire_golden_requests () =
   let cases =
     [
       ( {|{"op":"ping"}|},
-        { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None } );
+        { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None; trace = None } );
       ( {|{"id":7,"op":"tables","params":{"s_max":6,"ss":[3,4]},"timeout_ms":500}|},
         {
           Wire.id = Json.Int 7;
           op = Wire.Tables { s_max = 6; ss = [ 3; 4 ] };
           timeout_ms = Some 500;
+          trace = None;
         } );
       ( {|{"id":"abc","op":"bound","params":{"family":"cycle","dim":16}}|},
         {
@@ -165,6 +171,7 @@ let test_wire_golden_requests () =
                 full_duplex = false;
               };
           timeout_ms = None;
+          trace = None;
         } );
       ( {|{"op":"simulate_implicit","params":{"family":"hypercube","n":512}}|},
         {
@@ -182,6 +189,7 @@ let test_wire_golden_requests () =
                 full_duplex = false;
               };
           timeout_ms = None;
+          trace = None;
         } );
       ( {|{"op":"simulate","params":{"family":"db","dim":3,"degree":2,"full_duplex":false}}|},
         {
@@ -193,6 +201,7 @@ let test_wire_golden_requests () =
                 full_duplex = false;
               };
           timeout_ms = None;
+          trace = None;
         } );
     ]
   in
@@ -205,6 +214,91 @@ let test_wire_golden_requests () =
           | Ok req -> check src true (req = expected)
           | Error e -> Alcotest.failf "golden frame rejected: %s" e))
     cases
+
+(* Forward-compatible trace envelope: requests round-trip with and
+   without a context, foreign frames may carry the trace fields (or any
+   unknown field) without breaking parsing, and the sampled flag only
+   appears on the wire when it says something (false). *)
+let test_wire_trace_context () =
+  let module Trace = Gossip_util.Trace in
+  let contexts =
+    [
+      { Trace.trace_id = String.make 32 'a'; parent_span_id = None; sampled = true };
+      {
+        Trace.trace_id = String.make 32 'b';
+        parent_span_id = Some (String.make 16 'c');
+        sampled = true;
+      };
+      {
+        Trace.trace_id = String.make 32 'd';
+        parent_span_id = Some (String.make 16 'e');
+        sampled = false;
+      };
+    ]
+  in
+  List.iter
+    (fun tr ->
+      let req =
+        { Wire.id = Json.Int 1; op = Wire.Ping; timeout_ms = None; trace = Some tr }
+      in
+      match Wire.parse_request (Wire.request_to_json req) with
+      | Ok req' -> check "trace context round trip" true (req = req')
+      | Error e -> Alcotest.failf "trace context round trip: %s" e)
+    contexts;
+  (* the wire stays lean: no "sampled" key unless the verdict is drop *)
+  let emitted tr =
+    Json.to_string
+      (Wire.request_to_json
+         { Wire.id = Json.Null; op = Wire.Ping; timeout_ms = None; trace = Some tr })
+  in
+  let has_sub s sub =
+    let ls = String.length s and lu = String.length sub in
+    let found = ref false in
+    for i = 0 to ls - lu do
+      if String.sub s i lu = sub then found := true
+    done;
+    !found
+  in
+  check "sampled omitted when true" false
+    (has_sub (emitted (List.nth contexts 0)) "sampled");
+  check "sampled present when false" true
+    (has_sub (emitted (List.nth contexts 2)) "sampled");
+  (* golden: a foreign traced frame *)
+  let golden =
+    {|{"op":"ping","trace_id":"00112233445566778899aabbccddeeff","parent_span_id":"0011223344556677","sampled":false}|}
+  in
+  (match Wire.parse_request (Result.get_ok (Json.of_string golden)) with
+  | Ok { Wire.trace = Some tr; _ } ->
+      check "golden trace id" true
+        (tr.Trace.trace_id = "00112233445566778899aabbccddeeff");
+      check "golden parent" true
+        (tr.Trace.parent_span_id = Some "0011223344556677");
+      check "golden sampled" false tr.Trace.sampled
+  | _ -> Alcotest.fail "golden traced frame rejected");
+  (* sampled omitted on the wire means keep *)
+  (match
+     Wire.parse_request
+       (Result.get_ok
+          (Json.of_string {|{"op":"ping","trace_id":"ff00000000000000000000000000aaaa"}|}))
+   with
+  | Ok { Wire.trace = Some tr; _ } -> check "sampled defaults true" true tr.Trace.sampled
+  | _ -> Alcotest.fail "traced frame without sampled rejected");
+  (* degraded contexts and unknown envelope fields must both fall back
+     to "no context", never to bad_request — the regression that would
+     break rolling upgrades *)
+  let lenient src =
+    match Wire.parse_request (Result.get_ok (Json.of_string src)) with
+    | Ok { Wire.op = Wire.Ping; trace; _ } -> trace
+    | Ok _ -> Alcotest.failf "parsed to the wrong op: %s" src
+    | Error e -> Alcotest.failf "frame rejected (%s): %s" e src
+  in
+  check "empty trace_id ignored" true (lenient {|{"op":"ping","trace_id":""}|} = None);
+  check "non-string trace_id ignored" true
+    (lenient {|{"op":"ping","trace_id":17}|} = None);
+  check "unknown envelope fields ignored" true
+    (lenient {|{"op":"ping","shiny_new_field":{"deep":[1,2]},"priority":9}|} = None);
+  check "orphan parent_span_id ignored" true
+    (lenient {|{"op":"ping","parent_span_id":"0011223344556677"}|} = None)
 
 let test_wire_rejections () =
   let reject src frag =
@@ -425,6 +519,45 @@ let test_metrics_json_shape () =
   check "totals survive" true
     (dig_int [ "totals"; "ops"; "ping"; "count" ] j' = Some 2)
 
+(* Metrics -> traces linkage: each op advertises the trace id of its
+   worst-latency sampled request, and the exemplar ages out with the
+   longest window rather than advertising a stale id forever. *)
+let test_metrics_exemplar () =
+  let t_ref = ref 1_000_000_000L in
+  let m =
+    Metrics.create ~clock:(fun () -> !t_ref) ~workers:1 ~queue_capacity:4 ()
+  in
+  (* untraced requests leave no exemplar *)
+  Metrics.observe m ~op:"ping" ~ok:true ~queue_wait_s:0.0 ~service_s:0.001;
+  check "no exemplar without a trace" true
+    (dig [ "totals"; "ops"; "ping"; "exemplar" ] (Metrics.metrics_json m)
+    = None);
+  Metrics.observe m ~trace_id:"t-slow" ~op:"ping" ~ok:true ~queue_wait_s:0.001
+    ~service_s:0.05;
+  Metrics.observe m ~trace_id:"t-fast" ~op:"ping" ~ok:true ~queue_wait_s:0.0
+    ~service_s:0.001;
+  let j = Metrics.metrics_json m in
+  check "exemplar is the worst latency" true
+    (dig_str [ "totals"; "ops"; "ping"; "exemplar"; "trace_id" ] j
+    = Some "t-slow");
+  check "exemplar carries the latency" true
+    (match dig [ "totals"; "ops"; "ping"; "exemplar"; "latency_ms" ] j with
+    | Some (Json.Float v) -> Float.abs (v -. 51.0) < 1e-6
+    | _ -> false);
+  (* six minutes later the horizon has passed: a fresh traced request
+     replaces the stale champion even though it is faster *)
+  t_ref := Int64.add !t_ref 360_000_000_000L;
+  check "stale exemplar not served" true
+    (dig [ "totals"; "ops"; "ping"; "exemplar" ] (Metrics.metrics_json m)
+    = None);
+  Metrics.observe m ~trace_id:"t-new" ~op:"ping" ~ok:true ~queue_wait_s:0.0
+    ~service_s:0.002;
+  check "stale champion dethroned" true
+    (dig_str
+       [ "totals"; "ops"; "ping"; "exemplar"; "trace_id" ]
+       (Metrics.metrics_json m)
+    = Some "t-new")
+
 let test_health_json_transitions () =
   let t_ref = ref 1_000_000_000L in
   let m =
@@ -602,7 +735,7 @@ let test_trace_analysis () =
   let t = Trace_analysis.of_lines lines in
   let j = Trace_analysis.to_json t in
   check "report schema" true
-    (dig_str [ "schema" ] j = Some "gossip-trace-report/1");
+    (dig_str [ "schema" ] j = Some "gossip-trace-report/2");
   check "parse errors counted" true
     (dig_int [ "lines"; "parse_errors" ] j = Some 1);
   check "requests seen" true (dig_int [ "requests"; "seen" ] j = Some 3);
@@ -615,7 +748,7 @@ let test_trace_analysis () =
      request span began *)
   (match dig [ "slowest" ] j with
   | Some (Json.List (first :: _)) ->
-      check "slowest is req 1" true (dig_int [ "req_id" ] first = Some 1);
+      check "slowest is req 1" true (dig_str [ "req_id" ] first = Some "1");
       check "queue wait threaded" true
         (match dig [ "queue_wait_ms" ] first with
         | Some (Json.Float v) -> Float.abs (v -. 0.001) < 1e-12
@@ -689,6 +822,120 @@ let expect_ok = function
   | Ok { Wire.outcome = Error (code, msg); _ } ->
       Alcotest.failf "server error %s: %s" (Wire.error_code_to_string code) msg
   | Error e -> Alcotest.failf "transport error: %s" e
+
+(* The distributed stitch on a hand-built two-node fleet trace: the
+   router's clock is the reference and the shard's monotonic clock runs
+   exactly 1 ms behind, so every derived number is checkable by hand.
+
+     router r1:  serve.request SR [0 .. 10000]ns
+                   router.forward H (parent SR) [1000 .. 9000]
+     shard  s1:  serve.request SS (parent H) [2000 .. 8000] router time,
+                   i.e. [-998000 .. -992000] on its own clock
+                   serve.eval (parent SS) [3000 .. 7000] router time
+
+   Bracketing the shard request inside the hop yields the +1 ms offset;
+   hop overhead is 8000 - 6000 = 2000 ns. *)
+let test_trace_stitch () =
+  let lines =
+    [
+      {|{"ev":"span_begin","name":"serve.request","ts":100.0,"mono_ns":0,"dom":1,"node":"r1","req_id":"r1-r1","op":"tables","conn":"r1-c1","trace_id":"TID","span_id":"aaaaaaaaaaaaaaaa"}|};
+      {|{"ev":"span_begin","name":"router.forward","ts":100.0,"mono_ns":1000,"dom":1,"node":"r1","trace_id":"TID","span_id":"bbbbbbbbbbbbbbbb","parent_span_id":"aaaaaaaaaaaaaaaa"}|};
+      {|{"ev":"span_begin","name":"serve.request","ts":100.0,"mono_ns":-998000,"dom":0,"node":"s1","req_id":"s1-r1","op":"tables","conn":"s1-c1","trace_id":"TID","span_id":"cccccccccccccccc","parent_span_id":"bbbbbbbbbbbbbbbb"}|};
+      {|{"ev":"span_begin","name":"serve.eval","ts":100.0,"mono_ns":-997000,"dom":0,"node":"s1","trace_id":"TID","parent_span_id":"cccccccccccccccc"}|};
+      {|{"ev":"span_end","name":"serve.eval","ts":100.0,"mono_ns":-993000,"dur_ns":4000,"dom":0,"node":"s1","trace_id":"TID","parent_span_id":"cccccccccccccccc"}|};
+      {|{"ev":"span_end","name":"serve.request","ts":100.0,"mono_ns":-992000,"dur_ns":6000,"dom":0,"node":"s1","req_id":"s1-r1","op":"tables","conn":"s1-c1","queue_wait_ns":100,"trace_id":"TID","span_id":"cccccccccccccccc","parent_span_id":"bbbbbbbbbbbbbbbb"}|};
+      {|{"ev":"span_end","name":"router.forward","ts":100.0,"mono_ns":9000,"dur_ns":8000,"dom":1,"node":"r1","trace_id":"TID","span_id":"bbbbbbbbbbbbbbbb","parent_span_id":"aaaaaaaaaaaaaaaa"}|};
+      {|{"ev":"span_end","name":"serve.request","ts":100.0,"mono_ns":10000,"dur_ns":10000,"dom":1,"node":"r1","req_id":"r1-r1","op":"tables","conn":"r1-c1","queue_wait_ns":200,"trace_id":"TID","span_id":"aaaaaaaaaaaaaaaa"}|};
+    ]
+  in
+  let t = Trace_analysis.of_lines lines in
+  check "stitched trace is sound" true (Trace_analysis.problems t = []);
+  check "full linkage" true (Trace_analysis.linkage_coverage t = 1.0);
+  let j = Trace_analysis.to_json t in
+  check "graph spans" true (dig_int [ "tracing"; "spans" ] j = Some 4);
+  check "one trace" true (dig_int [ "tracing"; "traces" ] j = Some 1);
+  check "all parents resolve" true
+    (dig_int [ "tracing"; "linked" ] j = Some 3
+    && dig_int [ "tracing"; "orphans" ] j = Some 0);
+  check "no orphan hops" true
+    (dig_int [ "tracing"; "orphan_router_hops" ] j = Some 0);
+  (* the recovered clock offset: shard readings + 1 ms = router readings *)
+  (match dig [ "tracing"; "clock_offsets" ] j with
+  | Some (Json.List [ row ]) ->
+      check "offset edge r1 -> s1" true
+        (dig_str [ "parent_node" ] row = Some "r1"
+        && dig_str [ "child_node" ] row = Some "s1");
+      check "offset is +1 ms" true
+        (match dig [ "offset_ms" ] row with
+        | Some (Json.Float v) -> Float.abs (v -. 1.0) < 1e-9
+        | _ -> false);
+      check "one bracketing pair" true (dig_int [ "pairs" ] row = Some 1)
+  | _ -> Alcotest.fail "expected exactly one clock-offset edge");
+  (* hop overhead: 8000 ns forward minus 6000 ns downstream request *)
+  check "one stitched hop" true
+    (dig_int [ "tracing"; "hops"; "count" ] j = Some 1);
+  check "hop overhead 0.002 ms" true
+    (match dig [ "tracing"; "hops"; "overhead_ms"; "max" ] j with
+    | Some (Json.Float v) -> Float.abs (v -. 0.002) < 1e-9
+    | _ -> false);
+  (* the cross-node waterfall, aligned onto the router's clock *)
+  (match dig [ "tracing"; "slowest" ] j with
+  | Some (Json.List [ tr ]) ->
+      check "trace id" true (dig_str [ "trace_id" ] tr = Some "TID");
+      check "root is the router request" true
+        (dig_str [ "root_node" ] tr = Some "r1"
+        && dig_str [ "root_span" ] tr = Some "serve.request");
+      check "total is the root duration" true
+        (match dig [ "total_ms" ] tr with
+        | Some (Json.Float v) -> Float.abs (v -. 0.01) < 1e-9
+        | _ -> false);
+      (match dig [ "waterfall" ] tr with
+      | Some (Json.List rows) ->
+          let expect =
+            [
+              ("r1", "serve.request", 0.0);
+              ("r1", "router.forward", 0.001);
+              ("s1", "serve.request", 0.002);
+              ("s1", "serve.eval", 0.003);
+            ]
+          in
+          check "four spans in order" true (List.length rows = 4);
+          List.iter2
+            (fun row (node, span, off) ->
+              check (Printf.sprintf "waterfall row %s/%s" node span) true
+                (dig_str [ "node" ] row = Some node
+                && dig_str [ "span" ] row = Some span
+                &&
+                match dig [ "offset_ms" ] row with
+                | Some (Json.Float v) -> Float.abs (v -. off) < 1e-9
+                | _ -> false);
+              (* monotonic alignment covered both nodes: no wall-clock
+                 fallback marker anywhere *)
+              check "aligned on monotonic clocks" true
+                (dig [ "clock" ] row = None))
+            rows expect
+      | _ -> Alcotest.fail "expected a waterfall list")
+  | _ -> Alcotest.fail "expected exactly one stitched trace");
+  (* a hop whose parent was never recorded arms both stitch gates *)
+  let orphan =
+    Trace_analysis.of_lines
+      [
+        {|{"ev":"span_begin","name":"router.forward","ts":1.0,"mono_ns":0,"dom":0,"node":"r1","trace_id":"T2","span_id":"eeeeeeeeeeeeeeee","parent_span_id":"ffffffffffffffff"}|};
+        {|{"ev":"span_end","name":"router.forward","ts":1.0,"mono_ns":500,"dur_ns":500,"dom":0,"node":"r1","trace_id":"T2","span_id":"eeeeeeeeeeeeeeee","parent_span_id":"ffffffffffffffff"}|};
+      ]
+  in
+  check "orphan linkage is zero" true
+    (Trace_analysis.linkage_coverage orphan = 0.0);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let ps = Trace_analysis.problems orphan in
+  check "low linkage flagged" true
+    (List.exists (fun p -> contains p "trace linkage") ps);
+  check "orphan hop flagged" true
+    (List.exists (fun p -> contains p "orphan router.forward") ps)
 
 let test_e2e_basic_ops () =
   with_server (fun server listen ->
@@ -1028,11 +1275,16 @@ let test_e2e_access_log_shape () =
                 (match dig [ "ts" ] j with
                 | Some (Json.Float v) -> v > 0.0
                 | _ -> false);
+              (* ids are strings since the tracing PR: "r42", or
+                 "s1-r42" when the server is a named cluster node *)
               check "req_id" true
-                (match dig_int [ "req_id" ] j with
-                | Some n -> n > 0
+                (match dig_str [ "req_id" ] j with
+                | Some s -> String.length s > 1 && s.[0] = 'r'
                 | None -> false);
-              check "conn" true (dig_int [ "conn" ] j <> None);
+              check "conn" true
+                (match dig_str [ "conn" ] j with
+                | Some s -> String.length s > 1 && s.[0] = 'c'
+                | None -> false);
               check "op" true (dig_str [ "op" ] j <> None);
               check "status" true (dig_str [ "status" ] j <> None);
               check "queue_wait_ms" true (dig [ "queue_wait_ms" ] j <> None);
@@ -1475,16 +1727,19 @@ let suite =
     ("bounded queue concurrent", `Quick, test_queue_concurrent);
     ("wire request roundtrip", `Quick, test_wire_request_roundtrip);
     ("wire golden requests", `Quick, test_wire_golden_requests);
+    ("wire trace context forward-compat", `Quick, test_wire_trace_context);
     ("wire rejections", `Quick, test_wire_rejections);
     ("wire response roundtrip", `Quick, test_wire_response_roundtrip);
     ("wire framing", `Quick, test_wire_framing);
     ("dispatch direct", `Quick, test_dispatch_direct);
     ("dispatch simulate_implicit", `Quick, test_dispatch_simulate_implicit);
     ("metrics json shape", `Quick, test_metrics_json_shape);
+    ("metrics trace exemplar", `Quick, test_metrics_exemplar);
     ("health json transitions", `Quick, test_health_json_transitions);
     ("metrics resource + heap health", `Quick, test_metrics_resource_and_heap_health);
     ("trace analysis", `Quick, test_trace_analysis);
     ("trace alloc aggregation", `Quick, test_trace_alloc_aggregation);
+    ("trace stitch across nodes", `Quick, test_trace_stitch);
     ("e2e basic ops", `Quick, test_e2e_basic_ops);
     ("e2e simulate matches direct", `Quick, test_e2e_simulate_matches_direct);
     ("e2e malformed frame survives", `Quick, test_e2e_malformed_frame_connection_survives);

@@ -297,6 +297,116 @@ let test_engine_round_events () =
                                            - 1)
         = 1.0))
 
+(* --- distributed trace context: ids, sampling, ring, suppression --- *)
+
+module Trace = Gossip_util.Trace
+
+let test_trace_context () =
+  let a = Trace.mint () and b = Trace.mint () in
+  check "trace ids unique" true (a.Trace.trace_id <> b.Trace.trace_id);
+  check_int "trace id is 32 hex chars" 32 (String.length a.Trace.trace_id);
+  String.iter
+    (fun c ->
+      check "trace id lowercase hex" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    a.Trace.trace_id;
+  check "root has no parent" true (a.Trace.parent_span_id = None);
+  check "default rate keeps everything" true a.Trace.sampled;
+  let sid = Trace.fresh_span_id () in
+  check_int "span id is 16 hex chars" 16 (String.length sid);
+  let c = Trace.child a ~span_id:sid in
+  check_str "child keeps the trace id" a.Trace.trace_id c.Trace.trace_id;
+  check "child re-parents" true (c.Trace.parent_span_id = Some sid);
+  check "child keeps the verdict" true (c.Trace.sampled = a.Trace.sampled);
+  (* the head-sampling verdict is pure in the id: same id, same rate,
+     same answer — that is what lets every node agree without talking *)
+  let id = Trace.fresh_trace_id () in
+  check "verdict deterministic" true
+    (Trace.sample_decision ~rate:0.37 id = Trace.sample_decision ~rate:0.37 id);
+  check "rate 1 keeps all" true (Trace.sample_decision ~rate:1.0 id);
+  check "rate 0 drops all" false (Trace.sample_decision ~rate:0.0 id);
+  (* at rate r the kept fraction over many fresh ids approaches r *)
+  let n = 2000 in
+  let kept = ref 0 in
+  for _ = 1 to n do
+    if Trace.sample_decision ~rate:0.25 (Trace.fresh_trace_id ()) then
+      incr kept
+  done;
+  let frac = float_of_int !kept /. float_of_int n in
+  check "sampled fraction near the rate" true (frac > 0.15 && frac < 0.35)
+
+let test_trace_ring () =
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.set_ring_capacity 0;
+      Instrument.reset ())
+    (fun () ->
+      Instrument.reset ();
+      Instrument.set_ring_capacity 4;
+      check "ring turns tracing on" true (Instrument.tracing ());
+      for i = 1 to 6 do
+        Instrument.event "ring.tick" ~attrs:[ ("i", Json.Int i) ]
+      done;
+      let events, dropped = Instrument.ring_drain () in
+      (* capacity 4, six events: the two oldest fell off *)
+      check_int "ring keeps the newest" 4 (List.length events);
+      check_int "ring counts what it dropped" 2 dropped;
+      let is =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "i" e) Json.to_int_opt)
+          events
+      in
+      check "oldest-first, newest retained" true (is = [ 3; 4; 5; 6 ]);
+      let again, dropped' = Instrument.ring_drain () in
+      check "drain is destructive" true (again = [] && dropped' = 0);
+      (* ~max bounds the reply: the newest [max] events are handed out,
+         the older remainder is counted dropped — never silently lost *)
+      for i = 1 to 3 do
+        Instrument.event "ring.tick" ~attrs:[ ("i", Json.Int i) ]
+      done;
+      let first, dropped'' = Instrument.ring_drain ~max:2 () in
+      let is' =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "i" e) Json.to_int_opt)
+          first
+      in
+      check "max keeps the newest" true (is' = [ 2; 3 ]);
+      check_int "truncation counted as dropped" 1 dropped'';
+      check "drain empties even when truncated" true
+        (fst (Instrument.ring_drain ()) = []))
+
+let test_sampled_out () =
+  Fun.protect
+    ~finally:(fun () ->
+      Instrument.set_ring_capacity 0;
+      Instrument.set_global_attrs [];
+      Instrument.reset ())
+    (fun () ->
+      Instrument.reset ();
+      Instrument.set_ring_capacity 16;
+      Instrument.set_global_attrs [ ("node", Json.Str "t9") ];
+      check "not sampled out by default" false (Instrument.sampled_out ());
+      Instrument.with_sampled_out (fun () ->
+          check "suppressed inside" true (Instrument.sampled_out ());
+          check "tracing off inside" false (Instrument.tracing ());
+          Instrument.event "quiet.point";
+          Instrument.span "quiet.span" (fun () -> ()));
+      check "suppression ends with the thunk" false (Instrument.sampled_out ());
+      Instrument.event "loud.point";
+      let events, _ = Instrument.ring_drain () in
+      let names =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "name" e) Json.to_string_opt)
+          events
+      in
+      check "suppressed events never reached the ring" true
+        (names = [ "loud.point" ]);
+      (* every recorded line carries the process-wide attrs *)
+      check "global attrs stamped" true
+        (List.for_all
+           (fun e -> Json.member "node" e = Some (Json.Str "t9"))
+           events))
+
 (* --- Golden: the machine-readable tables --- *)
 
 let test_tables_json_golden () =
@@ -348,6 +458,9 @@ let suite =
     ("histogram json shape", `Quick, test_histogram_json_shape);
     ("trace jsonl, 1 domain", `Quick, test_trace_single_domain);
     ("trace jsonl, 4 domains", `Quick, test_trace_multi_domain);
+    ("trace context and head sampling", `Quick, test_trace_context);
+    ("trace ring buffer", `Quick, test_trace_ring);
+    ("sampled-out suppression", `Quick, test_sampled_out);
     ("engine round events", `Quick, test_engine_round_events);
     ("tables json golden (Cor 4.4)", `Quick, test_tables_json_golden);
     q prop_json_float_roundtrip;

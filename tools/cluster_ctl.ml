@@ -9,12 +9,18 @@
                        converged processes print the SAME digest)
      drain --node ID   mark shard ID draining: the router stops routing
                        new keys there while in-flight work completes
+     traces [--max N] [--jsonl]
+                       drain the recent-span ring buffers (the whole
+                       fleet's when the target is a router); --jsonl
+                       flattens the reply to raw JSON Lines ready to
+                       stitch with trace_report.  Destructive: each
+                       event is handed out once.
      shutdown          ask the target process to drain and exit
 
    Exit status: 0 on an ok reply, 1 on an error reply or unreachable
    target, 2 on usage errors.  CI's cluster soak scripts are built on
-   `digest` (convergence equality across survivors), `drain` and
-   `health`. *)
+   `digest` (convergence equality across survivors), `drain`, `health`
+   and `traces --jsonl` (trace stitching). *)
 
 module Json = Gossip_util.Json
 module Serve = Gossip_serve
@@ -23,7 +29,7 @@ let usage () =
   prerr_endline
     "usage: cluster_ctl (--socket PATH | --tcp HOST:PORT)\n\
     \         (health | metrics | stats | members | digest |\n\
-    \          drain --node ID | shutdown)";
+    \          drain --node ID | traces [--max N] [--jsonl] | shutdown)";
   exit 2
 
 let parse_target = function
@@ -62,6 +68,37 @@ let call target op =
       | Ok { Serve.Wire.outcome = Ok result; _ } -> result)
 
 let print_json j = print_endline (Json.to_string_pretty j)
+
+(* Flatten a trace_pull reply to JSON Lines on stdout — the same shape
+   a --trace-out file has, so `cluster_ctl traces --jsonl >> node.jsonl`
+   composes directly with trace_report's multi-file stitch.  A shard
+   answers gossip-traces/1; a router wraps its own ring plus every
+   reachable shard's behind gossip-cluster-traces/1. *)
+let rec print_trace_events j =
+  let events j =
+    match Json.member "events" j with
+    | Some (Json.List evs) ->
+        List.iter (fun e -> print_endline (Json.to_string e)) evs
+    | _ -> ()
+  in
+  match Json.member "schema" j with
+  | Some (Json.Str "gossip-traces/1") -> events j
+  | Some (Json.Str "gossip-cluster-traces/1") ->
+      (match Json.member "router" j with
+      | Some r -> print_trace_events r
+      | None -> ());
+      (match Json.member "shards" j with
+      | Some (Json.List shards) ->
+          List.iter
+            (fun s ->
+              match Json.member "traces" s with
+              | Some tr -> print_trace_events tr
+              | None -> ())
+            shards
+      | _ -> ())
+  | _ ->
+      prerr_endline "cluster_ctl: unrecognized traces reply schema";
+      exit 1
 
 (* One readable line per member, for humans and for grep-based CI
    assertions: "node status inc hb role addr version". *)
@@ -109,5 +146,22 @@ let () =
           exit 1)
   | [ "drain"; "--node"; node ] ->
       print_json (call target (Serve.Wire.Drain { node = Some node }))
+  | "traces" :: rest ->
+      let max_n = ref 512 and jsonl = ref false in
+      let rec go = function
+        | [] -> ()
+        | "--max" :: n :: r ->
+            (match int_of_string_opt n with
+            | Some v when v >= 1 -> max_n := v
+            | _ -> usage ());
+            go r
+        | "--jsonl" :: r ->
+            jsonl := true;
+            go r
+        | _ -> usage ()
+      in
+      go rest;
+      let reply = call target (Serve.Wire.Trace_pull { max = !max_n }) in
+      if !jsonl then print_trace_events reply else print_json reply
   | [ "shutdown" ] -> print_json (call target Serve.Wire.Shutdown)
   | _ -> usage ()

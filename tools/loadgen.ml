@@ -6,6 +6,13 @@
             [--mix SPEC]        weighted op mix, e.g. "tables:4,bound:3,
                                 ping:2,simulate:1" (that is the default)
             [--timeout-ms MS]   per-request deadline sent with each call
+            [--trace-sample-rate RATE]
+                                mint a distributed trace context on each
+                                request (loadgen is the trace edge),
+                                head-sampled at RATE; the report and
+                                stdout gain the top slowest requests
+                                with their trace ids, ready to grep in
+                                stitched trace_report output (0, off)
             [--report PATH]     write the JSON report there (default stdout)
             [--require-cache-hits]  exit 1 unless the server reports
                                     context cache hits > 0
@@ -58,7 +65,8 @@ module Serve = Gossip_serve
 let usage () =
   prerr_endline
     "usage: loadgen (--socket PATH | --tcp HOST:PORT) [--connections N]\n\
-    \         [--requests N] [--mix SPEC] [--timeout-ms MS] [--report PATH]\n\
+    \         [--requests N] [--mix SPEC] [--timeout-ms MS]\n\
+    \         [--trace-sample-rate RATE] [--report PATH]\n\
     \         [--require-cache-hits] [--expect-healthy] [--chaos-tolerant]\n\
     \         [--max-attempts N] [--attempt-timeout-ms MS]\n\
     \         [--call-budget-ms MS] [--min-restarts N] [--cluster]";
@@ -126,6 +134,9 @@ type args = {
   requests : int;
   mix : string array;
   timeout_ms : int option;
+  trace_sample_rate : float;
+      (* > 0 makes the loadgen the trace edge: every request carries a
+         freshly minted context, head-sampled at this rate *)
   report : string option;
   require_cache_hits : bool;
   expect_healthy : bool;
@@ -148,6 +159,7 @@ let parse_args () =
   and requests = ref 100
   and mix = ref "tables:4,bound:3,ping:2,simulate:1"
   and timeout_ms = ref None
+  and trace_sample_rate = ref 0.0
   and report = ref None
   and require_cache_hits = ref false
   and expect_healthy = ref false
@@ -183,6 +195,12 @@ let parse_args () =
         go rest
     | "--timeout-ms" :: ms :: rest ->
         timeout_ms := (match int_of_string_opt ms with Some v when v >= 0 -> Some v | _ -> usage ());
+        go rest
+    | "--trace-sample-rate" :: rate :: rest ->
+        trace_sample_rate :=
+          (match float_of_string_opt rate with
+          | Some v when v >= 0.0 && v <= 1.0 -> v
+          | _ -> usage ());
         go rest
     | "--report" :: path :: rest ->
         report := Some path;
@@ -223,6 +241,7 @@ let parse_args () =
         requests = !requests;
         mix = parse_mix !mix;
         timeout_ms = !timeout_ms;
+        trace_sample_rate = !trace_sample_rate;
         report = !report;
         require_cache_hits = !require_cache_hits;
         expect_healthy = !expect_healthy;
@@ -243,6 +262,9 @@ type tally = {
   by_code : (string, int) Hashtbl.t;
   by_op : (string, int * float) Hashtbl.t;  (* count, summed ms *)
   mutable latencies_ms : float list;
+  (* requests that carried a sampled trace context: (latency_ms, op,
+     trace_id), for the slowest-requests exemplar table *)
+  mutable traced : (float * string * string) list;
   (* resilience counters, merged from each connection's client *)
   mutable r_attempts : int;
   mutable r_retries : int;
@@ -254,8 +276,11 @@ type tally = {
 
 let now_s () = Unix.gettimeofday ()
 
-let record tally ~op_name ~latency_ms outcome =
+let record tally ?trace_id ~op_name ~latency_ms outcome =
   Mutex.lock tally.mu;
+  (match trace_id with
+  | Some tid -> tally.traced <- (latency_ms, op_name, tid) :: tally.traced
+  | None -> ());
   (match outcome with
   | `Ok -> tally.ok <- tally.ok + 1
   | `Server_error code ->
@@ -285,6 +310,21 @@ let merge_resilience tally (s : Serve.Resilient_client.stats) =
   tally.r_garbled <- tally.r_garbled + s.Serve.Resilient_client.garbled;
   Mutex.unlock tally.mu
 
+(* The loadgen is the trace edge: a fresh root context per request,
+   head-sampled so fleets under heavy storms stream only a slice.  The
+   trace id is recorded only when the verdict was "keep" — an exemplar
+   pointing at spans nobody streamed would be noise. *)
+let mint_trace args =
+  if args.trace_sample_rate > 0.0 then
+    Some (Gossip_util.Trace.mint ~sample_rate:args.trace_sample_rate ())
+  else None
+
+let trace_id_if_sampled trace =
+  match trace with
+  | Some tr when tr.Gossip_util.Trace.sampled ->
+      Some tr.Gossip_util.Trace.trace_id
+  | _ -> None
+
 let run_connection args tally ~conn_index ~first ~count =
   match Serve.Client.connect_retry args.target with
   | exception e ->
@@ -299,9 +339,12 @@ let run_connection args tally ~conn_index ~first ~count =
         let name = args.mix.(i mod Array.length args.mix) in
         let op = op_of_name name i in
         let id = Json.Int i in
+        let trace = mint_trace args in
         let t0 = now_s () in
         let outcome =
-          match Serve.Client.call client ~id ?timeout_ms:args.timeout_ms op with
+          match
+            Serve.Client.call client ~id ?timeout_ms:args.timeout_ms ?trace op
+          with
           | Error msg -> `Protocol msg
           | Ok resp ->
               if resp.Serve.Wire.resp_id <> id then
@@ -312,7 +355,10 @@ let run_connection args tally ~conn_index ~first ~count =
                 | Ok _ -> `Ok
                 | Error (code, _) -> `Server_error code)
         in
-        record tally ~op_name:name ~latency_ms:((now_s () -. t0) *. 1000.0)
+        record tally
+          ?trace_id:(trace_id_if_sampled trace)
+          ~op_name:name
+          ~latency_ms:((now_s () -. t0) *. 1000.0)
           outcome
       done;
       Serve.Client.close client
@@ -346,10 +392,12 @@ let run_connection_resilient args tally ~conn_index ~first ~count =
         let i = first + k in
         let name = args.mix.(i mod Array.length args.mix) in
         let op = op_of_name name i in
+        let trace = mint_trace args in
         let t0 = now_s () in
         let outcome =
           match
-            Serve.Resilient_client.call client ?timeout_ms:args.timeout_ms op
+            Serve.Resilient_client.call client ?timeout_ms:args.timeout_ms
+              ?trace op
           with
           | Ok _ -> `Ok
           | Error (Serve.Resilient_client.Fatal (code, _)) ->
@@ -357,7 +405,10 @@ let run_connection_resilient args tally ~conn_index ~first ~count =
           | Error (Serve.Resilient_client.Exhausted msg) ->
               `Gave_up (Printf.sprintf "request %d (%s): %s" i name msg)
         in
-        record tally ~op_name:name ~latency_ms:((now_s () -. t0) *. 1000.0)
+        record tally
+          ?trace_id:(trace_id_if_sampled trace)
+          ~op_name:name
+          ~latency_ms:((now_s () -. t0) *. 1000.0)
           outcome
       done;
       merge_resilience tally (Serve.Resilient_client.stats client);
@@ -592,6 +643,7 @@ let () =
       by_code = Hashtbl.create 8;
       by_op = Hashtbl.create 8;
       latencies_ms = [];
+      traced = [];
       r_attempts = 0;
       r_retries = 0;
       r_reconnects = 0;
@@ -684,6 +736,12 @@ let () =
         Option.bind (Json.member "gauges" m) (fun g ->
             Option.bind (Json.member "worker_restarts" g) Json.to_int_opt))
   in
+  (* the exemplar table: worst sampled requests with the trace ids to
+     look them up in a stitched trace_report *)
+  let slowest_traced =
+    List.sort (fun (a, _, _) (b, _, _) -> compare b a) tally.traced
+    |> List.filteri (fun i _ -> i < 5)
+  in
   let report =
     Json.Obj
       [
@@ -745,6 +803,18 @@ let () =
                         ] )
                     :: acc)
                   tally.by_op [])) );
+        ("trace_sample_rate", Json.Float args.trace_sample_rate);
+        ( "slowest_traces",
+          Json.List
+            (List.map
+               (fun (ms, op, tid) ->
+                 Json.Obj
+                   [
+                     ("trace_id", Json.Str tid);
+                     ("op", Json.Str op);
+                     ("latency_ms", fin ms);
+                   ])
+               slowest_traced) );
         ( "server_stats",
           match stats with Some s -> s | None -> Json.Null );
         ( "server_health",
@@ -772,6 +842,13 @@ let () =
       close_out oc;
       Printf.printf "loadgen report written to %s\n" path
   | None -> print_string rendered);
+  if slowest_traced <> [] then begin
+    Printf.printf "slowest sampled requests (trace ids for trace_report):\n";
+    List.iter
+      (fun (ms, op, tid) ->
+        Printf.printf "  %10.3f ms  %-10s trace_id=%s\n" ms op tid)
+      slowest_traced
+  end;
   if tally.protocol_errors > 0 then begin
     Printf.eprintf "loadgen: %d protocol errors\n%!" tally.protocol_errors;
     exit 1

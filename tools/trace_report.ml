@@ -1,27 +1,33 @@
-(* trace_report: offline analysis of a gossip_served JSONL trace.
+(* trace_report: offline analysis of gossip_served/gossip_router JSONL
+   traces — one file, or a whole fleet's files stitched together.
 
-   usage: trace_report [FILE] [--json PATH] [--check] [--top K]
+   usage: trace_report [FILE...] [--json PATH] [--check] [--top K]
 
-   Reads FILE (or stdin when absent or "-"), reconstructs each request's
-   critical path from its req_id-tagged spans and events, and prints a
-   human-readable report: span aggregates, queue-wait vs service split,
-   per-op latency breakdown and the slowest requests with their span
-   waterfalls.  --json also writes the report as gossip-trace-report/1
-   JSON (schema in doc/telemetry.md).
+   Reads every FILE (or stdin when none given, or "-"), reconstructs
+   each request's critical path from its req_id-tagged spans and
+   events, and prints a human-readable report: span aggregates,
+   queue-wait vs service split, per-op latency breakdown and the
+   slowest requests with their span waterfalls.  When the traces carry
+   distributed contexts, multiple FILEs stitch into end-to-end traces:
+   parent linkage, per-node-pair clock offsets, router-hop overhead and
+   cross-node waterfalls.  --json also writes the report as
+   gossip-trace-report/2 JSON (schema in doc/telemetry.md).
 
    --check turns trace defects into exit status 1: unbalanced
    span_begin/span_end counts, admitted requests with no serve.request
-   span, or fewer than 99% of request ids reconstructed.  CI runs this
-   over the loadgen trace. *)
+   span, fewer than 99% of request ids reconstructed, parent-span
+   linkage under 95%, or any orphan router.forward hop.  CI runs this
+   over the loadgen trace and over the merged cluster-soak trace. *)
 
 module TA = Gossip_serve.Trace_analysis
 
 let usage () =
-  prerr_endline "usage: trace_report [FILE] [--json PATH] [--check] [--top K]";
+  prerr_endline
+    "usage: trace_report [FILE...] [--json PATH] [--check] [--top K]";
   exit 2
 
 let () =
-  let file = ref None
+  let files = ref []
   and json_out = ref None
   and check = ref false
   and top = ref 10 in
@@ -38,30 +44,29 @@ let () =
         | Some v when v >= 0 -> top := v
         | _ -> usage ());
         go rest
-    | arg :: rest when !file = None && (arg = "-" || arg.[0] <> '-') ->
-        file := Some arg;
+    | arg :: rest when arg = "-" || arg.[0] <> '-' ->
+        files := arg :: !files;
         go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   let t =
-    match !file with
-    | None | Some "-" -> TA.of_channel stdin
-    | Some path -> (
-        match open_in path with
+    match List.rev !files with
+    | [] | [ "-" ] -> TA.of_channel stdin
+    | paths -> (
+        if List.mem "-" paths then usage ();
+        match TA.of_files paths with
         | exception Sys_error msg ->
             prerr_endline ("trace_report: " ^ msg);
             exit 2
-        | ic ->
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> TA.of_channel ic))
+        | t -> t)
   in
   Format.printf "%a@?" (TA.pp ~top_k:!top) t;
   (match !json_out with
   | Some path ->
       let oc = open_out path in
-      output_string oc (Gossip_util.Json.to_string_pretty (TA.to_json ~top_k:!top t));
+      output_string oc
+        (Gossip_util.Json.to_string_pretty (TA.to_json ~top_k:!top t));
       output_char oc '\n';
       close_out oc;
       Printf.printf "JSON report written to %s\n" path
