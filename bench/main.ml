@@ -26,7 +26,8 @@
      Part 20 messages        obliviousness overhead in transmissions
      Part 21 Bechamel        one micro-benchmark per table
      Part 22 cache stats     shared-context hit/miss accounting
-     Part 23 serve           wire codec and bounded-queue hot paths *)
+     Part 23 serve           wire codec and bounded-queue hot paths
+     Part 28 fault-cert      adversarial certification throughput *)
 
 open Core
 module Table = Util.Table
@@ -1586,6 +1587,62 @@ let print_cluster_bench () =
     \ budget.)\n"
     (r_p50 -. d_p50)
 
+(* ---------------------------------------------------------------- *)
+(* Part 28: adversarial fault certification throughput              *)
+(* ---------------------------------------------------------------- *)
+
+(* The certifier's unit of work is one pattern simulation (with_drops
+   wrapper + chunked run to completion or cap).  The k = 2 exhaustive
+   certification of the augmented 12-cycle — 2629 patterns, every one
+   completing — is the steady-state shape, so patterns/sec from it is
+   the regression gauge. *)
+let print_fault_cert_bench () =
+  let module Schedule = Protocol.Schedule in
+  let module Fault_tolerant = Protocol.Fault_tolerant in
+  let module Certifier = Simulate.Certifier in
+  let base = Schedule.cycle_alternating ~n:12 ~full_duplex:false in
+  let t =
+    Table.make
+      ~title:"Adversarial certification (cycle n=12, exhaustive, seed 7)"
+      [ "scheme"; "k"; "patterns"; "seconds"; "patterns/s"; "verdict" ]
+  in
+  let row ?(repeats = 1) sched ~k ~budget =
+    let t0 = Unix.gettimeofday () in
+    let v = ref (Certifier.certify ~domains:1 ~budget sched ~k ~seed:7) in
+    for _ = 2 to repeats do
+      v := Certifier.certify ~domains:1 ~budget sched ~k ~seed:7
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int repeats in
+    let v = !v in
+    let rate = float_of_int v.Certifier.patterns_checked /. dt in
+    Table.add_row t
+      [
+        Schedule.name sched;
+        string_of_int k;
+        string_of_int v.Certifier.patterns_checked;
+        Printf.sprintf "%.3f" dt;
+        Printf.sprintf "%.0f" rate;
+        (if v.Certifier.certified then "certified"
+         else
+           Printf.sprintf "cx size %d"
+             (match v.Certifier.counterexample with
+             | Some c -> List.length c.Certifier.cx_pattern
+             | None -> 0));
+      ];
+    rate
+  in
+  ignore (row base ~k:1 ~budget:512);
+  let aug, _ = Fault_tolerant.augment base ~k:2 in
+  ignore (row aug ~k:1 ~budget:512);
+  (* 10 repeats: the per-run 25 ms would sit too close to perf_diff's
+     0.01 s gating floor to gate reliably *)
+  let rate = row ~repeats:10 aug ~k:2 ~budget:4096 in
+  Util.Instrument.set_gauge "bench.fault_cert.patterns_per_sec" rate;
+  Table.print t;
+  print_endline
+    "(the k = 2 row enumerates C(48, <=2) = 2629 patterns exhaustively,\n\
+    \ 10 times; its patterns/sec is the gauge BENCH_BASELINE.json gates.)"
+
 let parts =
   [
     (1, "fig4", "Part 1: Fig. 4 — general systolic lower bounds", print_fig4);
@@ -1628,6 +1685,8 @@ let parts =
      print_scale_implicit);
     (27, "cluster", "Part 27: cluster ring hot path + router overhead",
      print_cluster_bench);
+    (28, "fault-cert", "Part 28: adversarial fault-certification throughput",
+     print_fault_cert_bench);
   ]
 
 (* Minimal argv parsing — the bench stays a plain executable:

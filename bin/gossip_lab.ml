@@ -846,6 +846,336 @@ let faults_cmd =
       const run $ setup_term $ family_arg $ degree_arg $ dim_arg $ fd $ trials
       $ seed $ model $ probabilities $ ks $ p_recover $ json_arg)
 
+(* --- fault-tolerance: certify-faults / harden --- *)
+
+(* Shared plumbing for the fault-tolerance commands: resolve an implicit
+   family's natural schedule and apply a hardening transform. *)
+let resolve_hardened ~family ~n ~degree ~period ~seed ~full_duplex ~harden ~k =
+  match
+    Protocol.Schedule.of_family ~family ~n ~degree ~period ~seed ~full_duplex ()
+  with
+  | Error e -> Error e
+  | Ok (_imp, sched) -> (
+      match Protocol.Fault_tolerant.harden sched ~transform:harden ~k with
+      | Error e -> Error e
+      | Ok (hardened, rep) -> Ok (sched, hardened, rep))
+
+let ft_family_arg =
+  C.Arg.(
+    required
+    & opt (some string) None
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Implicit topology family: one of de-bruijn, kautz, hypercube, \
+           torus, cycle, ccc.")
+
+let ft_n_arg =
+  C.Arg.(
+    value & opt int 12
+    & info [ "n"; "nodes" ] ~docv:"N"
+        ~doc:
+          "Target vertex count; the smallest family instance with at least \
+           $(docv) vertices is used.")
+
+let ft_period_arg =
+  C.Arg.(
+    value & opt int 16
+    & info [ "period" ] ~docv:"S"
+        ~doc:
+          "Schedule period for the proposal-matching families (de Bruijn, \
+           Kautz).")
+
+let ft_seed_arg =
+  C.Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for both the proposal-matching schedules and the sampled \
+           certification mode; verdicts are deterministic per seed.")
+
+let ft_budget_arg =
+  C.Arg.(
+    value & opt int 512
+    & info [ "budget" ] ~docv:"B"
+        ~doc:
+          "Pattern budget: the C(m, <=k) failure-pattern space is enumerated \
+           exhaustively while it fits, otherwise $(docv) seeded samples are \
+           drawn and the verdict is statistical.")
+
+let ft_cap_arg =
+  C.Arg.(
+    value
+    & opt (some int) None
+    & info [ "cap" ] ~docv:"ROUNDS"
+        ~doc:
+          "Round budget a faulted run must complete within (default: \
+           ceil(slack * fault-free time) + period).")
+
+let ft_slack_arg =
+  C.Arg.(
+    value & opt float 1.5
+    & info [ "slack" ] ~docv:"X"
+        ~doc:
+          "Allowed slowdown factor over the scheme's own fault-free \
+           completion time when --cap is not given.")
+
+let ft_fd_arg =
+  C.Arg.(value & flag & info [ "full-duplex" ] ~doc:"Full-duplex schedule.")
+
+let certify_faults_cmd =
+  let run () family n d k budget seed period cap slack full_duplex harden json =
+    match resolve_hardened ~family ~n ~degree:d ~period ~seed ~full_duplex
+            ~harden ~k
+    with
+    | Error e -> `Error (false, e)
+    | Ok (_base, sched, rep) ->
+        let ctx = Context.create () in
+        let fingerprint = Simulate.Certifier.fingerprint sched in
+        let cert_json () =
+          Simulate.Certifier.to_json sched
+            (Simulate.Certifier.certify ?cap ~slack ~budget sched ~k ~seed)
+        in
+        let cert =
+          Context.fault_certificate ctx ~fingerprint ~k ~seed ~budget
+            ~cap:(Option.value ~default:(-1) cap)
+            ~compute:cert_json
+        in
+        if json then
+          print_json
+            (Util.Json.Obj
+               [
+                 ("certificate", cert);
+                 ("hardening", Protocol.Fault_tolerant.report_to_json rep);
+                 ("cache", Context.stats_json ctx);
+               ])
+        else begin
+          let member key = Util.Json.member key cert in
+          let int_of key =
+            match member key with Some (Util.Json.Int i) -> Some i | _ -> None
+          in
+          let str_of key =
+            match member key with Some (Util.Json.Str s) -> s | _ -> "?"
+          in
+          Printf.printf "scheme    : %s (n = %d, %s, period %d)\n"
+            (Protocol.Schedule.name sched)
+            (Protocol.Schedule.n_vertices sched)
+            (Protocol.Protocol.mode_to_string (Protocol.Schedule.mode sched))
+            (Protocol.Schedule.period sched);
+          if rep.Protocol.Fault_tolerant.transform <> "none" then
+            Printf.printf
+              "hardening : %s (+%d rounds, +%d calls per period)\n"
+              rep.Protocol.Fault_tolerant.transform
+              rep.Protocol.Fault_tolerant.added_rounds
+              rep.Protocol.Fault_tolerant.added_calls;
+          Printf.printf "adversary : up to %d of %s arcs failed permanently\n"
+            k
+            (match int_of "arcs" with
+            | Some m -> string_of_int m
+            | None -> "?");
+          Printf.printf "patterns  : %s / %s checked (%s mode)\n"
+            (match int_of "patterns_checked" with
+            | Some c -> string_of_int c
+            | None -> "?")
+            (match int_of "patterns_total" with
+            | Some t -> string_of_int t
+            | None -> "?")
+            (str_of "cert_mode");
+          Printf.printf "cap       : %s rounds (fault-free time %s)\n"
+            (match int_of "cap" with Some c -> string_of_int c | None -> "?")
+            (match int_of "fault_free_time" with
+            | Some t -> string_of_int t
+            | None -> "DNF");
+          (match member "certified" with
+          | Some (Util.Json.Bool true) ->
+              Printf.printf "verdict   : CERTIFIED (worst completion %s)\n"
+                (match int_of "worst_time" with
+                | Some w -> Printf.sprintf "%d rounds" w
+                | None -> "?")
+          | _ ->
+              Printf.printf "verdict   : NOT certified\n";
+              (match member "counterexample" with
+              | Some (Util.Json.Obj _ as cx) ->
+                  Printf.printf "  minimal counterexample: %s\n"
+                    (match Util.Json.member "pattern" cx with
+                    | Some p -> Util.Json.to_string p
+                    | None -> "?")
+              | _ -> ()));
+          report ~ctx ()
+        end;
+        `Ok ()
+  in
+  let k_arg =
+    C.Arg.(
+      value & opt int 1
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Adversarial failure budget: certify against every pattern of \
+                at most $(docv) permanently dead arcs.")
+  in
+  let harden_arg =
+    C.Arg.(
+      value & opt string "none"
+      & info [ "harden" ] ~docv:"T"
+          ~doc:
+            "Apply a redundancy transform before certifying: $(b,none), \
+             $(b,replicate) (each round repeated k+1 times — transient \
+             redundancy only) or $(b,augment) (Chord-style chord rounds — \
+             routes around dead arcs).")
+  in
+  C.Cmd.v
+    (C.Cmd.info "certify-faults"
+       ~doc:
+         "Adversarial fault certification: decide whether gossip still \
+          completes (within a round cap) under every pattern of at most K \
+          permanently dead arcs, exhaustively while the pattern space fits \
+          the budget; emits a gossip-fault-cert/1 artifact and shrinks any \
+          counterexample to a minimal one.")
+    C.Term.(
+      ret
+        (const run $ setup_term $ ft_family_arg $ ft_n_arg $ degree_arg $ k_arg
+       $ ft_budget_arg $ ft_seed_arg $ ft_period_arg $ ft_cap_arg $ ft_slack_arg
+       $ ft_fd_arg $ harden_arg $ json_arg))
+
+let harden_cmd =
+  let run () family n d k_max budget seed period slack full_duplex json =
+    let transforms_for k = if k = 0 then [ "none" ] else [ "replicate"; "augment" ] in
+    let rows = ref [] in
+    let err = ref None in
+    List.iter
+      (fun k ->
+        List.iter
+          (fun transform ->
+            if !err = None then
+              match
+                resolve_hardened ~family ~n ~degree:d ~period ~seed
+                  ~full_duplex ~harden:transform ~k
+              with
+              | Error e -> err := Some e
+              | Ok (_base, sched, rep) ->
+                  let v =
+                    Simulate.Certifier.certify ~slack ~budget sched ~k ~seed
+                  in
+                  (* the fault-free reference: the paper's lower bound for
+                     the hardened scheme's own network and period *)
+                  let g =
+                    Topology.Digraph.make
+                      ~name:(Protocol.Schedule.name sched)
+                      (Protocol.Schedule.n_vertices sched)
+                      (Array.to_list (Simulate.Certifier.period_arcs sched))
+                  in
+                  let oracle =
+                    Bounds.Oracle.lower_bounds g
+                      ~mode:(Protocol.Schedule.mode sched)
+                      ~s:(Some (Protocol.Schedule.period sched))
+                  in
+                  rows := (k, transform, rep, v, oracle.Bounds.Oracle.sound) :: !rows)
+          (transforms_for k))
+      (List.init (k_max + 1) (fun k -> k));
+    match !err with
+    | Some e -> `Error (false, e)
+    | None ->
+        let rows = List.rev !rows in
+        if json then
+          print_json
+            (Util.Json.Obj
+               [
+                 ("family", Util.Json.Str family);
+                 ("n", Util.Json.Int n);
+                 ("seed", Util.Json.Int seed);
+                 ("budget", Util.Json.Int budget);
+                 ( "rows",
+                   Util.Json.List
+                     (List.map
+                        (fun (k, transform, rep, (v : Simulate.Certifier.verdict),
+                              bound) ->
+                          Util.Json.Obj
+                            [
+                              ("k", Util.Json.Int k);
+                              ("transform", Util.Json.Str transform);
+                              ( "hardening",
+                                Protocol.Fault_tolerant.report_to_json rep );
+                              ( "fault_free_time",
+                                match v.Simulate.Certifier.fault_free_time with
+                                | Some t -> Util.Json.Int t
+                                | None -> Util.Json.Null );
+                              ("bound_sound", Util.Json.Int bound);
+                              ( "certified",
+                                Util.Json.Bool v.Simulate.Certifier.certified );
+                              ( "cert_mode",
+                                Util.Json.Str
+                                  (match v.Simulate.Certifier.cert_mode with
+                                  | Simulate.Certifier.Exhaustive ->
+                                      "exhaustive"
+                                  | Simulate.Certifier.Sampled -> "sampled") );
+                              ( "patterns_checked",
+                                Util.Json.Int
+                                  v.Simulate.Certifier.patterns_checked );
+                            ])
+                        rows) );
+               ])
+        else begin
+          let t =
+            Util.Table.make
+              ~title:
+                (Printf.sprintf
+                   "%s n=%d — calls vs resilience (budget %d, seed %d)" family
+                   n budget seed)
+              [
+                "k"; "transform"; "period"; "calls"; "+calls"; "+rounds";
+                "t0"; "bound"; "certified";
+              ]
+          in
+          List.iter
+            (fun (k, transform, (rep : Protocol.Fault_tolerant.report),
+                  (v : Simulate.Certifier.verdict), bound) ->
+              Util.Table.add_row t
+                [
+                  string_of_int k;
+                  transform;
+                  string_of_int rep.Protocol.Fault_tolerant.period;
+                  string_of_int rep.Protocol.Fault_tolerant.calls;
+                  string_of_int rep.Protocol.Fault_tolerant.added_calls;
+                  string_of_int rep.Protocol.Fault_tolerant.added_rounds;
+                  (match v.Simulate.Certifier.fault_free_time with
+                  | Some t0 -> string_of_int t0
+                  | None -> "DNF");
+                  string_of_int bound;
+                  (if v.Simulate.Certifier.certified then "yes"
+                   else
+                     match v.Simulate.Certifier.cert_mode with
+                     | Simulate.Certifier.Exhaustive -> "NO"
+                     | Simulate.Certifier.Sampled -> "NO (sampled)");
+                ])
+            rows;
+          Util.Table.print t;
+          print_endline
+            "t0: the scheme's own fault-free completion; bound: the paper's \
+             sound lower bound for the hardened network and period; \
+             certified: survives every <=k-arc failure pattern within the \
+             round cap.";
+          report ()
+        end;
+        `Ok ()
+  in
+  let k_max_arg =
+    C.Arg.(
+      value & opt int 2
+      & info [ "k-max" ] ~docv:"K"
+          ~doc:"Chart resilience targets k = 0 .. $(docv).")
+  in
+  C.Cmd.v
+    (C.Cmd.info "harden"
+       ~doc:
+         "The calls-vs-resilience atlas: for each k and each redundancy \
+          transform, what the hardening costs (calls and rounds per period) \
+          and whether the hardened scheme certifies against every <=k-arc \
+          failure pattern — replication buys transient redundancy but no \
+          adversarial resilience; chord augmentation buys both.")
+    C.Term.(
+      ret
+        (const run $ setup_term $ ft_family_arg $ ft_n_arg $ degree_arg
+       $ k_max_arg $ ft_budget_arg $ ft_seed_arg $ ft_period_arg $ ft_slack_arg
+       $ ft_fd_arg $ json_arg))
+
 (* --- version --- *)
 
 let version_cmd =
@@ -880,6 +1210,6 @@ let () =
        (C.Cmd.group (C.Cmd.info "gossip_lab" ~doc ~version:Version.string)
           [
             tables_cmd; analyze_cmd; simulate_cmd; info_cmd; stats_cmd;
-            faults_cmd; price_cmd; dot_cmd; certify_file_cmd; optimal_cmd;
-            broadcast_cmd; version_cmd;
+            faults_cmd; certify_faults_cmd; harden_cmd; price_cmd; dot_cmd;
+            certify_file_cmd; optimal_cmd; broadcast_cmd; version_cmd;
           ]))

@@ -7,7 +7,7 @@ module Metrics = Gossip_serve.Metrics
 let routing_key (op : Wire.op) =
   match op with
   | Wire.Tables _ | Wire.Bound _ | Wire.Simulate _ | Wire.Simulate_implicit _
-  | Wire.Certify _ ->
+  | Wire.Certify _ | Wire.Certify_faults _ ->
       (* the canonical request serialization: op name + exact params,
          field order fixed by [Wire.request_to_json] — precisely the
          identity the shard-side caches key on.  [trace] stays [None]:

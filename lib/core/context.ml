@@ -79,6 +79,8 @@ type t = {
   blocks : (string * float * int, Gossip_linalg.Dense.t entry) Hashtbl.t;
   lambdas : (string * int, float entry) Hashtbl.t;
   times : (string * int, int option entry) Hashtbl.t;
+  fault_certs :
+    (string * int * int * int * int, Gossip_util.Json.t entry) Hashtbl.t;
   shelves : shelf list;
       (* the shelf list doubles as the kind registry: artifact accessors
          name their shelf and per-kind hit/miss/eviction counters live
@@ -94,6 +96,7 @@ let create ?(capacity = 4096) ?domains () =
   let blocks = Hashtbl.create 256 in
   let lambdas = Hashtbl.create 32 in
   let times = Hashtbl.create 32 in
+  let fault_certs = Hashtbl.create 32 in
   {
     capacity;
     domains;
@@ -109,6 +112,7 @@ let create ?(capacity = 4096) ?domains () =
     blocks;
     lambdas;
     times;
+    fault_certs;
     shelves =
       [
         make_shelf "diameter" diameters;
@@ -118,6 +122,7 @@ let create ?(capacity = 4096) ?domains () =
         make_shelf "block" blocks;
         make_shelf "lambda_star" lambdas;
         make_shelf "gossip_time" times;
+        make_shelf "fault_cert" fault_certs;
       ];
   }
 
@@ -304,6 +309,14 @@ let gossip_time ctx ?cap sys =
   memo ctx ~kind:"gossip_time" ctx.times
     (protocol_fingerprint sys, cap_key)
     (fun () -> Engine.gossip_time ?cap sys)
+
+(* The certifier lives below this library (Gossip_simulate.Certifier),
+   so the context memoizes the finished artifact against the scheme
+   fingerprint and takes the decision procedure as a closure. *)
+let fault_certificate ctx ~fingerprint ~k ~seed ~budget ~cap ~compute =
+  memo ctx ~kind:"fault_cert" ctx.fault_certs
+    (fingerprint, k, seed, budget, cap)
+    compute
 
 (* {2 Context-aware pipeline entry points} *)
 

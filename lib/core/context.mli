@@ -122,6 +122,25 @@ val lambda_star : t -> mode:Gossip_protocol.Protocol.mode -> int -> float
     {!Gossip_simulate.Engine.gossip_time}, cached per (protocol, cap). *)
 val gossip_time : t -> ?cap:int -> Gossip_protocol.Systolic.t -> int option
 
+(** [fault_certificate ctx ~fingerprint ~k ~seed ~budget ~cap ~compute]
+    — a [gossip-fault-cert/1] artifact, cached per
+    [(fingerprint, k, seed, budget, cap)].  The certifier lives in
+    [Gossip_simulate.Certifier], {e below} this library, so the context
+    stores the finished JSON artifact and takes the expensive decision
+    procedure as a closure; [fingerprint] must be
+    [Certifier.fingerprint] of the scheme being certified and [cap] the
+    {e requested} round budget ([-1] when the certifier derives its
+    default) — certification is deterministic given exactly that key. *)
+val fault_certificate :
+  t ->
+  fingerprint:string ->
+  k:int ->
+  seed:int ->
+  budget:int ->
+  cap:int ->
+  compute:(unit -> Gossip_util.Json.t) ->
+  Gossip_util.Json.t
+
 (** {1 Context-aware pipeline entry points} *)
 
 (** [certify ctx ?lambdas ?refine ?options dg ~mode] —
@@ -170,7 +189,8 @@ val stats : t -> stats
 (** [stats_by_kind ctx] — the same counters broken down per artifact
     kind, in a fixed order: ["diameter"], ["separator"],
     ["delay_digraph"], ["norm"], ["block"], ["lambda_star"],
-    ["gossip_time"].  The kind totals sum to {!stats}. *)
+    ["gossip_time"], ["fault_cert"].  The kind totals sum to
+    {!stats}. *)
 val stats_by_kind : t -> (string * kind_stats) list
 
 (** [reset_stats ctx] zeroes the counters, keeping cached artifacts. *)

@@ -66,6 +66,35 @@ val to_systolic : t -> Gossip_topology.Digraph.t -> Systolic.t
     fault processes do not repeat each period. *)
 val with_drops : t -> drop:(round:int -> u:int -> v:int -> bool) -> t
 
+(** {1 Pairing plumbing}
+
+    Exported for transform modules ({!Fault_tolerant}) that build extra
+    rounds out of exchange pairings. *)
+
+(** [of_pairing ~name ~n ~pairings ~full_duplex pairing] turns an
+    exchange pairing family into a schedule.  [pairing t v] is the
+    partner of [v] in pairing [t] (or [-1]) and must be an involution:
+    [pairing t (pairing t v) = v].  With [~full_duplex:true] the period
+    is [pairings]; otherwise every pairing is split into a
+    lower-endpoint-sends-first round pair and the period doubles. *)
+val of_pairing :
+  name:string ->
+  n:int ->
+  pairings:int ->
+  full_duplex:bool ->
+  (int -> int -> int) ->
+  t
+
+(** [cycle_colors len] is the number of colors in the proper edge
+    coloring of the [len]-cycle used by {!cycle_alternating}: 2 when
+    [len] is even, 3 when odd. *)
+val cycle_colors : int -> int
+
+(** [cycle_partner len color x] is the neighbor of [x] along the
+    [color]-colored edge of the [len]-cycle, or [-1] when no incident
+    edge has that color. *)
+val cycle_partner : int -> int -> int -> int
+
 (** {1 Structured generators}
 
     Closed-form proper edge colorings turned into periodic schedules;

@@ -259,6 +259,42 @@ let eval_certify d ~spec ~refine =
           | None -> [])
     | other -> other)
 
+(* Post-resolution vertex gate for certify_faults: family resolution
+   rounds n up, and every enumerated pattern costs a full chunked run. *)
+let max_certify_faults_vertices = 512
+
+let eval_certify_faults d ~family ~n ~k ~budget ~seed ~degree ~full_duplex
+    ~harden ~cap =
+  let* _imp, sched =
+    Protocol.Schedule.of_family ~family ~n ~degree ~seed ~full_duplex ()
+  in
+  let nv = Protocol.Schedule.n_vertices sched in
+  if nv > max_certify_faults_vertices then
+    Error
+      (Printf.sprintf
+         "network too large to certify (%d > %d vertices)" nv
+         max_certify_faults_vertices)
+  else
+    let* sched, report =
+      Protocol.Fault_tolerant.harden sched ~transform:harden ~k
+    in
+    let cap = if cap = 0 then None else Some cap in
+    let fingerprint = Simulate.Certifier.fingerprint sched in
+    let cert =
+      Context.fault_certificate d.ctx ~fingerprint ~k ~seed ~budget
+        ~cap:(Option.value ~default:(-1) cap) ~compute:(fun () ->
+          (* one domain: a serving process gets its parallelism from
+             concurrent worker domains, not nested spawns *)
+          Simulate.Certifier.to_json sched
+            (Simulate.Certifier.certify ~domains:1 ?cap ~budget sched ~k ~seed))
+    in
+    Ok
+      (Json.Obj
+         [
+           ("certificate", cert);
+           ("hardening", Protocol.Fault_tolerant.report_to_json report);
+         ])
+
 let eval_op d (op : Wire.op) =
   match op with
   | Wire.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
@@ -289,6 +325,10 @@ let eval_op d (op : Wire.op) =
       eval_simulate_implicit ~family ~n ~items ~checkpoint_every ~period ~seed
         ~degree ~full_duplex
   | Wire.Certify { spec; refine } -> eval_certify d ~spec ~refine
+  | Wire.Certify_faults
+      { family; n; k; budget; seed; degree; full_duplex; harden; cap } ->
+      eval_certify_faults d ~family ~n ~k ~budget ~seed ~degree ~full_duplex
+        ~harden ~cap
   | Wire.Trace_pull { max } -> Ok (Metrics.traces_json d.metrics ~max)
   | Wire.Gossip _ | Wire.Mem_digest | Wire.Drain _ -> (
       match d.cluster with

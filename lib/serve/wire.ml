@@ -29,6 +29,17 @@ type op =
       full_duplex : bool;
     }
   | Certify of { spec : protocol_spec; refine : bool }
+  | Certify_faults of {
+      family : string;
+      n : int;
+      k : int;
+      budget : int;
+      seed : int;
+      degree : int;
+      full_duplex : bool;
+      harden : string;  (* "none" | "replicate" | "augment" *)
+      cap : int;  (* 0 = derive from the scheme's fault-free time *)
+    }
   (* cluster membership plane (lib/cluster): an epidemic gossip exchange
      rides the ordinary wire protocol, so shards and the router need no
      second listener.  [Gossip] carries the sender's membership view
@@ -54,6 +65,7 @@ let op_name = function
   | Simulate _ -> "simulate"
   | Simulate_implicit _ -> "simulate_implicit"
   | Certify _ -> "certify"
+  | Certify_faults _ -> "certify_faults"
   | Gossip _ -> "gossip"
   | Mem_digest -> "digest"
   | Drain _ -> "drain"
@@ -200,6 +212,40 @@ let parse_op op params =
             Ok (Built { net; full_duplex })
       in
       Ok (Certify { spec; refine })
+  | "certify_faults" ->
+      (* adversarial certification simulates every enumerated failure
+         pattern, so the vertex gate is far below simulate_implicit's:
+         cost is O(patterns · n · cap) on one worker and the budget gate
+         bounds the pattern count *)
+      let* family =
+        match field params "family" with
+        | Some (Json.Str s)
+          when List.mem s Gossip_topology.Implicit.known_families ->
+            Ok s
+        | Some (Json.Str s) ->
+            Error (Printf.sprintf "unknown implicit family %S" s)
+        | Some _ -> Error "parameter \"family\" must be a string"
+        | None -> Error "missing parameter \"family\""
+      in
+      let* n = int_field params "n" ~min:5 ~max:256 in
+      let* k = int_field ~default:1 params "k" ~min:0 ~max:3 in
+      let* budget = int_field ~default:512 params "budget" ~min:1 ~max:4096 in
+      let* seed = int_field ~default:1 params "seed" ~min:0 ~max:1_000_000_000 in
+      let* degree = int_field ~default:2 params "degree" ~min:2 ~max:16 in
+      let* full_duplex = bool_field params "full_duplex" ~default:false in
+      let* harden =
+        match field params "harden" with
+        | None -> Ok "none"
+        | Some (Json.Str s) when List.mem s [ "none"; "replicate"; "augment" ]
+          ->
+            Ok s
+        | Some (Json.Str s) -> Error (Printf.sprintf "unknown transform %S" s)
+        | Some _ -> Error "parameter \"harden\" must be a string"
+      in
+      let* cap = int_field ~default:0 params "cap" ~min:0 ~max:100_000 in
+      Ok
+        (Certify_faults
+           { family; n; k; budget; seed; degree; full_duplex; harden; cap })
   | "gossip" -> (
       match params with
       | Json.Obj (_ :: _) -> Ok (Gossip { view = params })
@@ -303,6 +349,19 @@ let op_params = function
       | Built { net; full_duplex } ->
           net_to_fields net @ [ ("full_duplex", Json.Bool full_duplex) ])
       @ [ ("refine", Json.Bool refine) ]
+  | Certify_faults { family; n; k; budget; seed; degree; full_duplex; harden; cap }
+    ->
+      [
+        ("family", Json.Str family);
+        ("n", Json.Int n);
+        ("k", Json.Int k);
+        ("budget", Json.Int budget);
+        ("seed", Json.Int seed);
+        ("degree", Json.Int degree);
+        ("full_duplex", Json.Bool full_duplex);
+        ("harden", Json.Str harden);
+        ("cap", Json.Int cap);
+      ]
   | Gossip { view } -> ( match view with Json.Obj fields -> fields | _ -> [])
   | Mem_digest -> []
   | Drain { node } -> (

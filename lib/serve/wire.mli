@@ -74,6 +74,26 @@ type op =
           vertex count (gated at [2^17]), [items] the tracked-item count.
           Result schema [gossip-simulate/1] (see [doc/simulation.md]). *)
   | Certify of { spec : protocol_spec; refine : bool }
+  | Certify_faults of {
+      family : string;
+      n : int;
+      k : int;
+      budget : int;
+      seed : int;
+      degree : int;
+      full_duplex : bool;
+      harden : string;
+      cap : int;
+    }
+      (** adversarial ≤[k]-failure certification
+          ({!Gossip_simulate.Certifier}) of an implicit family's natural
+          schedule, optionally hardened first ([harden] is ["none"],
+          ["replicate"] or ["augment"]); [cap = 0] derives the round
+          budget from the scheme's fault-free time.  Gated tightly
+          ([n <= 256], [k <= 3], [budget <= 4096]) — cost is
+          O(patterns · n · cap) on one worker.  Result schema
+          [gossip-fault-cert/1], cached in the context per
+          [(fingerprint, k, seed, budget, cap)]. *)
   | Gossip of { view : Json.t }
       (** cluster-membership exchange ({!Gossip_cluster.Membership}):
           [view] is the sender's membership view, carried verbatim — the

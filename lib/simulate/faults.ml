@@ -6,6 +6,7 @@ type outcome = {
   completed_at : int option;
   drops : int;
   activations : int;
+  failed_arcs : (int * int) list;
 }
 
 type model =
@@ -45,28 +46,34 @@ let period_arcs p =
   done;
   Array.of_list (List.rev !acc)
 
-(* [decider model rng] — a per-activation drop predicate.  Setup (the
-   permanent-failure shuffle) draws from [rng] once, up front; the i.i.d.
-   model draws from [rng] per activation — exactly the legacy draw order,
-   so pre-model seeds reproduce byte-identical runs. *)
+(* [decider model rng] — a per-activation drop predicate paired with the
+   chosen permanently-failed arc set (empty for the transient models).
+   Setup (the permanent-failure shuffle) draws from [rng] once, up front;
+   the i.i.d. model draws from [rng] per activation — exactly the legacy
+   draw order, so pre-model seeds reproduce byte-identical runs. *)
 let decider p model rng =
   match model with
-  | Iid { p = prob } -> fun _arc -> Prng.float rng 1.0 < prob
+  | Iid { p = prob } -> ((fun _arc -> Prng.float rng 1.0 < prob), [])
   | Permanent { k } ->
       let arcs = period_arcs p in
+      let m = Array.length arcs in
+      if k > m then
+        invalid_arg
+          (Printf.sprintf
+             "Faults: k = %d exceeds the period's %d distinct arcs (k <= m)" k
+             m);
       Prng.shuffle rng arcs;
-      let failed = Hashtbl.create (max 1 (min k (Array.length arcs))) in
-      Array.iteri
-        (fun i arc -> if i < k then Hashtbl.add failed arc ())
-        arcs;
-      fun arc -> Hashtbl.mem failed arc
+      let failed = Hashtbl.create (max 1 k) in
+      Array.iteri (fun i arc -> if i < k then Hashtbl.add failed arc ()) arcs;
+      let chosen = List.sort compare (Array.to_list (Array.sub arcs 0 k)) in
+      ((fun arc -> Hashtbl.mem failed arc), chosen)
   | Bursty { p_fail; p_recover } ->
       (* Gilbert on/off chain per arc, each with its own derived stream:
          the state an arc is in depends only on (seed, arc, its own
          activation count), never on how arcs interleave. *)
       let states = Hashtbl.create 64 in
       let seed0 = Prng.int rng max_int in
-      fun arc ->
+      ( (fun arc ->
         let good, arng =
           match Hashtbl.find_opt states arc with
           | Some s -> s
@@ -81,7 +88,8 @@ let decider p model rng =
            if Prng.float arng 1.0 < p_fail then good := false
          end
          else if Prng.float arng 1.0 < p_recover then good := true);
-        not !good
+        not !good),
+        [] )
 
 let run ?cap p ~model ~seed =
   validate_model model;
@@ -91,7 +99,7 @@ let run ?cap p ~model ~seed =
     match cap with Some c -> c | None -> (16 * Systolic.period p * n) + 64
   in
   let rng = Prng.create seed in
-  let drop_arc = decider p model rng in
+  let drop_arc, failed_arcs = decider p model rng in
   let st = Engine.initial_state n in
   let drops = ref 0 and activations = ref 0 in
   let completed = ref None in
@@ -115,7 +123,12 @@ let run ?cap p ~model ~seed =
     incr i;
     if Engine.all_complete st then completed := Some !i
   done;
-  { completed_at = !completed; drops = !drops; activations = !activations }
+  {
+    completed_at = !completed;
+    drops = !drops;
+    activations = !activations;
+    failed_arcs;
+  }
 
 (* --- faults on implicit arc streams ---------------------------------- *)
 
@@ -201,14 +214,24 @@ type curve_point = {
   cp_mean : float option;
   cp_completed : int;
   cp_trials : int;
+  cp_cap : int;
 }
 
 let curve ?cap ?(trials = 5) p ~models ~seed =
+  (* resolve the default cap here so every point records the round budget
+     it actually ran under (run's default, made explicit) *)
+  let cap =
+    match cap with
+    | Some c -> c
+    | None ->
+        let n = Gossip_topology.Digraph.n_vertices (Systolic.graph p) in
+        (16 * Systolic.period p * n) + 64
+  in
   List.map
     (fun model ->
       let times = ref [] in
       for t = 1 to trials do
-        match run ?cap p ~model ~seed:(seed + (t * 7919)) with
+        match run ~cap p ~model ~seed:(seed + (t * 7919)) with
         | { completed_at = Some time; _ } -> times := time :: !times
         | { completed_at = None; _ } -> ()
       done;
@@ -222,7 +245,7 @@ let curve ?cap ?(trials = 5) p ~models ~seed =
               /. float_of_int completed)
       in
       { cp_model = model; cp_mean = mean; cp_completed = completed;
-        cp_trials = trials })
+        cp_trials = trials; cp_cap = cap })
     models
 
 let model_params_json model =
@@ -243,4 +266,9 @@ let curve_point_to_json pt =
           match pt.cp_mean with Some m -> J.Float m | None -> J.Null );
         ("completed", J.Int pt.cp_completed);
         ("trials", J.Int pt.cp_trials);
+        ("cap", J.Int pt.cp_cap);
+        ( "completed_fraction",
+          J.Float
+            (if pt.cp_trials = 0 then 0.0
+             else float_of_int pt.cp_completed /. float_of_int pt.cp_trials) );
       ])

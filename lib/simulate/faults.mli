@@ -29,6 +29,11 @@ type outcome = {
   completed_at : int option;  (** completion round under faults *)
   drops : int;  (** arc activations suppressed *)
   activations : int;  (** arc activations attempted *)
+  failed_arcs : (int * int) list;
+      (** the permanently failed arcs the seeded shuffle chose, sorted —
+          empty for the transient (i.i.d. / bursty) models.  Makes a
+          stochastic run cross-checkable against an adversarial
+          [Certifier] counterexample on the same arc universe. *)
 }
 
 type model =
@@ -43,7 +48,11 @@ val model_name : model -> string
 (** [run ?cap p ~model ~seed] — one faulted run.  [cap] defaults to
     [16 · period · n + 64] rounds, after which [completed_at = None].
     With [Iid] this reproduces {!gossip_time_with_faults} draw for draw.
-    @raise Invalid_argument on probabilities outside [0, 1] or [k < 0]. *)
+    [Permanent {k}] requires [k <= m] where [m] is the number of
+    distinct arcs in one period (killing more arcs than the period
+    carries is a spec error, not an empty run).
+    @raise Invalid_argument on probabilities outside [0, 1], [k < 0] or
+    [Permanent] [k] exceeding the period's distinct arc count. *)
 val run :
   ?cap:int -> Gossip_protocol.Systolic.t -> model:model -> seed:int -> outcome
 
@@ -118,6 +127,7 @@ type curve_point = {
   cp_mean : float option;
   cp_completed : int;
   cp_trials : int;
+  cp_cap : int;  (** the round budget every trial of the point ran under *)
 }
 
 (** [curve ?cap ?trials p ~models ~seed] — one {!curve_point} per model
@@ -135,5 +145,8 @@ val curve :
     [{"model": "iid", "probability": p, ...}] /
     [{"model": "permanent", "k": k, ...}] /
     [{"model": "bursty", "p_fail": f, "p_recover": r, ...}], each
-    followed by [mean] / [completed] / [trials]. *)
+    followed by [mean] / [completed] / [trials] / [cap] /
+    [completed_fraction] — the cap and survivorship are explicit, so a
+    capped point is distinguishable without comparing [completed] to
+    [trials] by hand. *)
 val curve_point_to_json : curve_point -> Gossip_util.Json.t

@@ -433,6 +433,27 @@ let test_routing_key () =
   check_bool "identical params, identical key" true (k1 = k2 && k1 <> None);
   let k3 = Router.routing_key (Wire.Tables { s_max = 9; ss = [ 3; 4 ] }) in
   check_bool "different params, different key" true (k1 <> k3);
+  (* certify_faults is cache-keyed, so it routes by fingerprint too *)
+  let cf ~seed =
+    Wire.Certify_faults
+      {
+        family = "cycle";
+        n = 12;
+        k = 1;
+        budget = 512;
+        seed;
+        degree = 2;
+        full_duplex = false;
+        harden = "augment";
+        cap = 0;
+      }
+  in
+  let kc1 = Router.routing_key (cf ~seed:1) in
+  check_bool "certify_faults carries a key" true (kc1 <> None);
+  check_bool "certify_faults key canonical" true
+    (kc1 = Router.routing_key (cf ~seed:1));
+  check_bool "certify_faults key separates seeds" true
+    (kc1 <> Router.routing_key (cf ~seed:2));
   (* the key pins placement: same op always lands on the same shard *)
   let ring = Ring.create ~vnodes:16 [ "a"; "b"; "c" ] in
   match (k1, k2) with

@@ -183,6 +183,39 @@ let test_lru_eviction () =
   check "clear empties the store" true
     (s.Context.entries = 0 && s.Context.hits = 0 && s.Context.misses = 0)
 
+let test_fault_certificate_cache () =
+  let module Schedule = Gossip_protocol.Schedule in
+  let module Certifier = Gossip_simulate.Certifier in
+  let module J = Gossip_util.Json in
+  let ctx = Context.create () in
+  let sched = Schedule.cycle_alternating ~n:12 ~full_duplex:false in
+  let fingerprint = Certifier.fingerprint sched in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    Certifier.to_json sched
+      (Certifier.certify ~domains:1 ~budget:64 sched ~k:1 ~seed:7)
+  in
+  let get () =
+    Context.fault_certificate ctx ~fingerprint ~k:1 ~seed:7 ~budget:64 ~cap:(-1)
+      ~compute
+  in
+  let a = get () in
+  let b = get () in
+  check_int "computed once" 1 !computes;
+  check "second call served from cache" true (a == b);
+  (match List.assoc_opt "fault_cert" (Context.stats_by_kind ctx) with
+  | Some k ->
+      check_int "fault_cert hit" 1 k.Context.k_hits;
+      check_int "fault_cert miss" 1 k.Context.k_misses;
+      check_int "fault_cert entry" 1 k.Context.k_entries
+  | None -> Alcotest.fail "no fault_cert shelf in stats_by_kind");
+  (* a different key (explicit cap) recomputes *)
+  ignore
+    (Context.fault_certificate ctx ~fingerprint ~k:1 ~seed:7 ~budget:64 ~cap:40
+       ~compute);
+  check_int "distinct cap is a distinct key" 2 !computes
+
 let test_create_validation () =
   Alcotest.check_raises "capacity 0 rejected"
     (Invalid_argument "Context.create: capacity < 1") (fun () ->
@@ -246,5 +279,6 @@ let suite =
     ("lambda_star and gossip_time", `Quick, test_lambda_star_and_gossip_time);
     ("separator and vertex block", `Quick, test_separator_and_vertex_block);
     ("lru eviction", `Quick, test_lru_eviction);
+    ("fault certificate cache", `Quick, test_fault_certificate_cache);
     ("create validation", `Quick, test_create_validation);
   ]

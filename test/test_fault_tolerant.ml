@@ -1,0 +1,215 @@
+(* Tests for the robustness stack: Fault_tolerant redundancy transforms
+   (replicate / augment) and the adversarial <=k-failure Certifier.
+   The empirical anchors: the plain alternating 12-cycle fails k = 1
+   with minimal counterexample {0->1}, its augmented version certifies
+   exhaustively, and both verdicts are deterministic per seed. *)
+
+open Gossip_protocol
+open Gossip_simulate
+module Json = Gossip_util.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let base12 () = Schedule.cycle_alternating ~n:12 ~full_duplex:false
+
+(* --- transforms --- *)
+
+let test_replicate_report () =
+  let t = base12 () in
+  let rep, r = Fault_tolerant.replicate t ~k:2 in
+  check_int "period triples" (3 * Schedule.period t) (Schedule.period rep);
+  check_int "calls triple" (3 * r.Fault_tolerant.base_calls)
+    r.Fault_tolerant.calls;
+  check_int "added_rounds consistent"
+    (r.Fault_tolerant.period - r.Fault_tolerant.base_period)
+    r.Fault_tolerant.added_rounds;
+  check_int "added_calls consistent"
+    (r.Fault_tolerant.calls - r.Fault_tolerant.base_calls)
+    r.Fault_tolerant.added_calls;
+  (* each base round appears k+1 times back to back *)
+  let s = Schedule.period t in
+  for i = 0 to (3 * s) - 1 do
+    check "round i replays base round i/3" true
+      (Schedule.round_arcs rep i = Schedule.round_arcs t (i / 3))
+  done;
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Fault_tolerant.replicate: k must be >= 0") (fun () ->
+      ignore (Fault_tolerant.replicate t ~k:(-1)))
+
+let test_strides_doubling_walk () =
+  Alcotest.(check (list int)) "n=12 doubles then caps" [ 2; 4 ]
+    (Fault_tolerant.strides ~n:12 ~k:2);
+  Alcotest.(check (list int)) "n=64 doubles" [ 2; 4; 8 ]
+    (Fault_tolerant.strides ~n:64 ~k:3);
+  Alcotest.(check (list int)) "short ring fills smallest unused" [ 2; 3 ]
+    (Fault_tolerant.strides ~n:6 ~k:3);
+  Alcotest.(check (list int)) "antipodal matching is the only n=4 chord" [ 2 ]
+    (Fault_tolerant.strides ~n:4 ~k:2);
+  Alcotest.(check (list int)) "too short for any chord" []
+    (Fault_tolerant.strides ~n:3 ~k:2)
+
+let test_concat_period_sum () =
+  let t = base12 () in
+  let c = Fault_tolerant.concat t t in
+  check_int "periods add" (2 * Schedule.period t) (Schedule.period c);
+  check "second period replays the first" true
+    (Schedule.round_arcs c (Schedule.period t) = Schedule.round_arcs t 0);
+  let other = Schedule.cycle_alternating ~n:8 ~full_duplex:false in
+  check "vertex-count mismatch rejected" true
+    (match Fault_tolerant.concat t other with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_augment_chords_are_disjoint () =
+  let t = base12 () in
+  let aug, r = Fault_tolerant.augment t ~k:1 in
+  check "period grows" true (r.Fault_tolerant.added_rounds > 0);
+  check "calls grow" true (r.Fault_tolerant.added_calls > 0);
+  (* the appended chord rounds (stride 2) never re-use a base cycle arc *)
+  let base_arcs = Certifier.period_arcs t in
+  let is_base a = Array.exists (( = ) a) base_arcs in
+  let s = Schedule.period t in
+  for i = s to Schedule.period aug - 1 do
+    List.iter
+      (fun (u, v) ->
+        check "chord arc is not a cycle arc" false (is_base (u, v));
+        check "chord spans stride 2" true
+          (let d = (v - u + 12) mod 12 in
+           d = 2 || d = 10))
+      (Schedule.round_arcs aug i)
+  done;
+  Alcotest.check_raises "too few vertices for chords"
+    (Invalid_argument "Fault_tolerant.augment: n must be >= 5") (fun () ->
+      ignore
+        (Fault_tolerant.augment
+           (Schedule.cycle_alternating ~n:4 ~full_duplex:false)
+           ~k:1))
+
+let test_harden_dispatch () =
+  let t = base12 () in
+  (match Fault_tolerant.harden t ~transform:"none" ~k:1 with
+  | Ok (t', r) ->
+      check "none is identity" true (Schedule.period t' = Schedule.period t);
+      check_int "none costs nothing" 0 r.Fault_tolerant.added_calls
+  | Error e -> Alcotest.fail e);
+  check "replicate resolves" true
+    (Result.is_ok (Fault_tolerant.harden t ~transform:"replicate" ~k:1));
+  check "augment resolves" true
+    (Result.is_ok (Fault_tolerant.harden t ~transform:"augment" ~k:1));
+  check "unknown transform is an Error" true
+    (Result.is_error (Fault_tolerant.harden t ~transform:"bogus" ~k:1));
+  (* harden is total: transform preconditions come back as Error, not
+     as an escaping Invalid_argument *)
+  (match
+     Fault_tolerant.harden
+       (Schedule.cycle_alternating ~n:4 ~full_duplex:false)
+       ~transform:"augment" ~k:1
+   with
+  | Error e -> check "n<5 precondition surfaces" true (e <> "")
+  | Ok _ -> Alcotest.fail "augment on n=4 must be an Error");
+  check "negative k is an Error" true
+    (Result.is_error (Fault_tolerant.harden t ~transform:"replicate" ~k:(-1)));
+  match Fault_tolerant.harden t ~transform:"augment" ~k:1 with
+  | Ok (_, r) -> (
+      match Json.member "transform" (Fault_tolerant.report_to_json r) with
+      | Some (Json.Str "augment") -> ()
+      | _ -> Alcotest.fail "report_to_json lacks the transform name")
+  | Error e -> Alcotest.fail e
+
+(* --- certifier --- *)
+
+let test_certify_unhardened_cycle_fails () =
+  let t = base12 () in
+  let v = Certifier.certify ~domains:1 ~budget:512 t ~k:1 ~seed:7 in
+  check "alternating cycle is not 1-fault-tolerant" false v.Certifier.certified;
+  check "exhaustive regime" true (v.Certifier.cert_mode = Certifier.Exhaustive);
+  check_int "C(24, <=1) patterns" 25 v.Certifier.patterns_total;
+  (match v.Certifier.counterexample with
+  | Some cx ->
+      (* greedy shrink lands on the first arc in enumeration order *)
+      check "minimal counterexample is one dead arc" true
+        (cx.Certifier.cx_pattern = [ (0, 1) ]);
+      check "coverage below 1" true (cx.Certifier.cx_coverage < 1.0)
+  | None -> Alcotest.fail "uncertified verdict must carry a counterexample");
+  (* deterministic per seed: byte-identical verdicts *)
+  let v' = Certifier.certify ~domains:1 ~budget:512 t ~k:1 ~seed:7 in
+  check "same seed, same verdict" true (v = v')
+
+let test_certify_augmented_cycle_passes () =
+  let t = base12 () in
+  let aug, _ = Fault_tolerant.augment t ~k:1 in
+  let v = Certifier.certify ~domains:1 ~budget:512 aug ~k:1 ~seed:7 in
+  check "augmented cycle certifies k=1" true v.Certifier.certified;
+  check "exhaustively" true (v.Certifier.cert_mode = Certifier.Exhaustive);
+  check_int "every pattern checked" v.Certifier.patterns_total
+    v.Certifier.patterns_checked;
+  check "no counterexample" true (v.Certifier.counterexample = None);
+  (match (v.Certifier.worst_time, v.Certifier.fault_free_time) with
+  | Some w, Some t0 ->
+      check "faults cost rounds" true (w >= t0);
+      check "worst within cap" true (w <= v.Certifier.cap)
+  | _ -> Alcotest.fail "certified verdict must carry both times");
+  check "worst pattern recorded" true (v.Certifier.worst_pattern <> [])
+
+let test_certify_sampled_mode_deterministic () =
+  let t = base12 () in
+  let aug, _ = Fault_tolerant.augment t ~k:2 in
+  (* C(48, <=2) = 1177 > 64: sampled regime *)
+  let v = Certifier.certify ~domains:1 ~budget:64 aug ~k:2 ~seed:5 in
+  check "sampled regime" true (v.Certifier.cert_mode = Certifier.Sampled);
+  check "checked the budget plus the fault-free run" true
+    (v.Certifier.patterns_checked <= v.Certifier.budget + 1);
+  check "total is the full space" true
+    (v.Certifier.patterns_total > v.Certifier.patterns_checked);
+  let v' = Certifier.certify ~domains:1 ~budget:64 aug ~k:2 ~seed:5 in
+  check "same seed, same sample, same verdict" true (v = v')
+
+let test_certify_validation_and_json () =
+  let t = base12 () in
+  check "negative k rejected" true
+    (match Certifier.certify ~domains:1 t ~k:(-1) ~seed:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "k beyond arc universe rejected" true
+    (match Certifier.certify ~domains:1 t ~k:1000 ~seed:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let v = Certifier.certify ~domains:1 ~budget:512 t ~k:1 ~seed:7 in
+  let j = Certifier.to_json t v in
+  check "schema tag" true
+    (Json.member "schema" j = Some (Json.Str "gossip-fault-cert/1"));
+  check "fingerprint on the wire" true
+    (Json.member "fingerprint" j = Some (Json.Str (Certifier.fingerprint t)));
+  check "certified serialized" true
+    (Json.member "certified" j = Some (Json.Bool false));
+  check "exhaustive confidence is 1" true
+    (Json.member "confidence" j = Some (Json.Float 1.0));
+  match Json.member "counterexample" j with
+  | Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "counterexample must serialize as an object"
+
+let test_fingerprint_separates_schedules () =
+  let t = base12 () in
+  let aug, _ = Fault_tolerant.augment t ~k:1 in
+  let rep, _ = Fault_tolerant.replicate t ~k:1 in
+  let fps = [ Certifier.fingerprint t; Certifier.fingerprint aug;
+              Certifier.fingerprint rep ] in
+  check "three distinct fingerprints" true
+    (List.length (List.sort_uniq compare fps) = 3);
+  check "fingerprint is stable" true
+    (Certifier.fingerprint t = Certifier.fingerprint (base12 ()))
+
+let suite =
+  [
+    ("replicate report", `Quick, test_replicate_report);
+    ("strides doubling walk", `Quick, test_strides_doubling_walk);
+    ("concat periods", `Quick, test_concat_period_sum);
+    ("augment chords disjoint", `Quick, test_augment_chords_are_disjoint);
+    ("harden dispatch", `Quick, test_harden_dispatch);
+    ("unhardened cycle fails k=1", `Quick, test_certify_unhardened_cycle_fails);
+    ("augmented cycle certifies k=1", `Quick, test_certify_augmented_cycle_passes);
+    ("sampled mode deterministic", `Quick, test_certify_sampled_mode_deterministic);
+    ("validation and json", `Quick, test_certify_validation_and_json);
+    ("fingerprints separate schedules", `Quick, test_fingerprint_separates_schedules);
+  ]

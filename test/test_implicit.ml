@@ -282,6 +282,46 @@ let test_implicit_faults_deterministic () =
     | None, Some _ -> true
     | _ -> false)
 
+let test_with_drops_stacking_is_union () =
+  (* two stacked predicates suppress exactly the union of their arc
+     sets — wrapping twice must not shadow or resurrect anything *)
+  let base = Schedule.cycle_alternating ~n:8 ~full_duplex:false in
+  let drop1 ~round:_ ~u ~v = (u, v) = (0, 1) in
+  let drop2 ~round:_ ~u ~v = (u, v) = (2, 3) in
+  let stacked =
+    Schedule.with_drops (Schedule.with_drops base ~drop:drop1) ~drop:drop2
+  in
+  let union ~round ~u ~v = drop1 ~round ~u ~v || drop2 ~round ~u ~v in
+  let merged = Schedule.with_drops base ~drop:union in
+  let dropped_something = ref false in
+  for r = 0 to (2 * Schedule.period base) - 1 do
+    let b = Schedule.round_arcs base r in
+    let s = Schedule.round_arcs stacked r in
+    check "stacked = single union predicate" true
+      (s = Schedule.round_arcs merged r);
+    check "stacked arcs are base arcs minus the union" true
+      (s = List.filter (fun (u, v) -> not (union ~round:r ~u ~v)) b);
+    if List.length s < List.length b then dropped_something := true
+  done;
+  check "the union actually suppressed arcs" true !dropped_something
+
+let test_with_drops_absolute_rounds () =
+  (* drops key on the ABSOLUTE round index: killing round period+1 must
+     leave round 1 — the same residue one period earlier — untouched *)
+  let base = Schedule.cycle_alternating ~n:8 ~full_duplex:false in
+  let s = Schedule.period base in
+  let lossy =
+    Schedule.with_drops base ~drop:(fun ~round ~u:_ ~v:_ -> round = s + 1)
+  in
+  check "round 1 unaffected" true
+    (Schedule.round_arcs lossy 1 = Schedule.round_arcs base 1);
+  check "round period+1 emptied" true (Schedule.round_arcs lossy (s + 1) = []);
+  check "round period+1 had arcs to lose" true
+    (Schedule.round_arcs base (s + 1) <> []);
+  check "round 2*period+1 unaffected" true
+    (Schedule.round_arcs lossy ((2 * s) + 1)
+    = Schedule.round_arcs base ((2 * s) + 1))
+
 let suite =
   [
     ("implicit generators agree", `Quick, test_generators_agree);
@@ -300,4 +340,6 @@ let suite =
     ("implicit faults p=0 baseline", `Quick, test_implicit_faults_p0_baseline);
     ("implicit faults p=1 stalls", `Quick, test_implicit_faults_p1_stalls);
     ("implicit faults deterministic", `Quick, test_implicit_faults_deterministic);
+    ("with_drops stacking is union", `Quick, test_with_drops_stacking_is_union);
+    ("with_drops keys absolute rounds", `Quick, test_with_drops_absolute_rounds);
   ]

@@ -10,6 +10,7 @@ let () =
       ("protocol", Test_protocol.suite);
       ("simulate", Test_simulate.suite);
       ("implicit", Test_implicit.suite);
+      ("fault_tolerant", Test_fault_tolerant.suite);
       ("delay", Test_delay.suite);
       ("bounds", Test_bounds.suite);
       ("context", Test_context.suite);

@@ -126,6 +126,18 @@ let all_ops =
       };
     Wire.Certify { spec = Wire.Built { net; full_duplex = false }; refine = true };
     Wire.Certify { spec = Wire.Inline "mode half_duplex\nn 2\nperiod 1\nround 0: 0>1"; refine = false };
+    Wire.Certify_faults
+      {
+        family = "cycle";
+        n = 12;
+        k = 2;
+        budget = 256;
+        seed = 9;
+        degree = 2;
+        full_duplex = true;
+        harden = "augment";
+        cap = 50;
+      };
     Wire.Trace_pull { max = 512 };
   ]
 
@@ -187,6 +199,25 @@ let test_wire_golden_requests () =
                 seed = 1;
                 degree = 2;
                 full_duplex = false;
+              };
+          timeout_ms = None;
+          trace = None;
+        } );
+      ( {|{"op":"certify_faults","params":{"family":"cycle","n":12,"harden":"augment"}}|},
+        {
+          Wire.id = Json.Null;
+          op =
+            Wire.Certify_faults
+              {
+                family = "cycle";
+                n = 12;
+                k = 1;
+                budget = 512;
+                seed = 1;
+                degree = 2;
+                full_duplex = false;
+                harden = "augment";
+                cap = 0;
               };
           timeout_ms = None;
           trace = None;
@@ -331,7 +362,17 @@ let test_wire_rejections () =
   reject {|{"op":"ping","timeout_ms":-5}|} "timeout_ms";
   reject {|{"op":"sleep"}|} "ms";
   reject {|{"op":"certify","params":{"protocol":"x","family":"cycle","dim":4}}|}
-    "exclusive"
+    "exclusive";
+  reject {|{"op":"certify_faults","params":{"n":12}}|} "family";
+  reject {|{"op":"certify_faults","params":{"family":"path","n":12}}|}
+    "unknown implicit family";
+  reject {|{"op":"certify_faults","params":{"family":"cycle","n":4}}|}
+    "out of range";
+  reject {|{"op":"certify_faults","params":{"family":"cycle","n":12,"k":7}}|}
+    "out of range";
+  reject
+    {|{"op":"certify_faults","params":{"family":"cycle","n":12,"harden":"retry"}}|}
+    "unknown transform"
 
 let test_wire_response_roundtrip () =
   let ok = Wire.ok_response ~id:(Json.Int 3) (Json.Obj [ ("pong", Json.Bool true) ]) in
@@ -472,6 +513,72 @@ let test_dispatch_simulate_implicit () =
   | Error (Wire.Bad_request, msg) ->
       check "oversized implicit rejected" true (String.length msg > 0)
   | _ -> Alcotest.fail "oversized implicit network must be rejected"
+
+let test_dispatch_certify_faults () =
+  let d = Dispatch.create () in
+  let op ~harden =
+    Wire.Certify_faults
+      {
+        family = "cycle";
+        n = 12;
+        k = 1;
+        budget = 512;
+        seed = 7;
+        degree = 2;
+        full_duplex = false;
+        harden;
+        cap = 0;
+      }
+  in
+  (match Dispatch.eval d (op ~harden:"augment") with
+  | Ok j -> (
+      (match Json.member "certificate" j with
+      | Some cert ->
+          check "certificate schema" true
+            (Json.member "schema" cert = Some (Json.Str "gossip-fault-cert/1"));
+          check "augmented cycle certifies over the wire" true
+            (Json.member "certified" cert = Some (Json.Bool true))
+      | None -> Alcotest.fail "result lacks a certificate");
+      match Json.member "hardening" j with
+      | Some rep ->
+          check "hardening report on the wire" true
+            (Json.member "transform" rep = Some (Json.Str "augment"))
+      | None -> Alcotest.fail "result lacks the hardening report")
+  | Error (_, msg) -> Alcotest.failf "certify_faults failed: %s" msg);
+  (* identical request: served from the context's fault_cert shelf *)
+  let hits_before =
+    match Dispatch.eval d Wire.Stats with
+    | Ok s ->
+        Option.value ~default:(-1)
+          (Option.bind (Json.member "cache" s) (fun c ->
+               Option.bind (Json.member "hits" c) Json.to_int_opt))
+    | Error _ -> -1
+  in
+  (match Dispatch.eval d (op ~harden:"augment") with
+  | Ok _ -> ()
+  | Error (_, msg) -> Alcotest.failf "repeat certify_faults failed: %s" msg);
+  let hits_after =
+    match Dispatch.eval d Wire.Stats with
+    | Ok s ->
+        Option.value ~default:(-1)
+          (Option.bind (Json.member "cache" s) (fun c ->
+               Option.bind (Json.member "hits" c) Json.to_int_opt))
+    | Error _ -> -1
+  in
+  check "repeat request is a cache hit" true (hits_after > hits_before);
+  (* the unhardened scheme yields an uncertified verdict, not an error *)
+  match Dispatch.eval d (op ~harden:"none") with
+  | Ok j -> (
+      match Json.member "certificate" j with
+      | Some cert ->
+          check "unhardened cycle fails over the wire" true
+            (Json.member "certified" cert = Some (Json.Bool false));
+          check "counterexample on the wire" true
+            (match Json.member "counterexample" cert with
+            | Some (Json.Obj _) -> true
+            | _ -> false)
+      | None -> Alcotest.fail "result lacks a certificate")
+  | Error (_, msg) -> Alcotest.failf "unhardened certify_faults failed: %s" msg
 
 (* --- metrics: golden JSON shapes on a hand-cranked clock --- *)
 
@@ -1733,6 +1840,7 @@ let suite =
     ("wire framing", `Quick, test_wire_framing);
     ("dispatch direct", `Quick, test_dispatch_direct);
     ("dispatch simulate_implicit", `Quick, test_dispatch_simulate_implicit);
+    ("dispatch certify_faults", `Quick, test_dispatch_certify_faults);
     ("metrics json shape", `Quick, test_metrics_json_shape);
     ("metrics trace exemplar", `Quick, test_metrics_exemplar);
     ("health json transitions", `Quick, test_health_json_transitions);

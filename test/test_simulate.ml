@@ -229,16 +229,25 @@ let test_faults_permanent_k0_matches_baseline () =
   let base = Option.get (Engine.gossip_time sys) in
   let o = Faults.run sys ~model:(Faults.Permanent { k = 0 }) ~seed:3 in
   check "k=0 is fault-free" true (o.Faults.completed_at = Some base);
-  check "k=0 drops nothing" true (o.Faults.drops = 0)
+  check "k=0 drops nothing" true (o.Faults.drops = 0);
+  check "k=0 fails no arcs" true (o.Faults.failed_arcs = [])
 
 let test_faults_permanent_all_arcs_stalls () =
-  (* remove every arc of the period: nothing is ever delivered *)
+  (* cycle_rotate 8 has 4 matchings of 4 arcs each, all distinct: m = 16.
+     k = m removes every arc of the period — nothing is ever delivered —
+     and k > m is a spec error, not an empty run. *)
   let sys = Builders.cycle_rotate 8 in
-  let o =
-    Faults.run ~cap:100 sys ~model:(Faults.Permanent { k = max_int }) ~seed:3
-  in
+  let o = Faults.run ~cap:100 sys ~model:(Faults.Permanent { k = 16 }) ~seed:3 in
   check "no arcs, no completion" true (o.Faults.completed_at = None);
-  check "every activation dropped" true (o.Faults.drops = o.Faults.activations)
+  check "every activation dropped" true (o.Faults.drops = o.Faults.activations);
+  check_int "all 16 arcs reported failed" 16 (List.length o.Faults.failed_arcs);
+  check "failed arcs sorted" true
+    (o.Faults.failed_arcs = List.sort compare o.Faults.failed_arcs);
+  Alcotest.check_raises "k beyond the arc universe"
+    (Invalid_argument
+       "Faults: k = 17 exceeds the period's 16 distinct arcs (k <= m)")
+    (fun () ->
+      ignore (Faults.run ~cap:100 sys ~model:(Faults.Permanent { k = 17 }) ~seed:3))
 
 let test_faults_permanent_monotone_and_deterministic () =
   let sys = Builders.hypercube_sweep ~dim:4 ~full_duplex:false in
@@ -252,7 +261,14 @@ let test_faults_permanent_monotone_and_deterministic () =
   | Some t0, Some t2 -> check "broken arcs never speed it up" true (t2 >= t0)
   | Some _, None -> ()
   | None, _ -> Alcotest.fail "fault-free run must complete");
-  check "k=2 drops activations" true (o2.Faults.drops > 0)
+  check "k=2 drops activations" true (o2.Faults.drops > 0);
+  check_int "k=2 reports its chosen arcs" 2 (List.length o2.Faults.failed_arcs);
+  check "chosen arcs are period arcs" true
+    (let period_arcs =
+       List.concat
+         (List.init (Systolic.period sys) (Systolic.period_round sys))
+     in
+     List.for_all (fun a -> List.mem a period_arcs) o2.Faults.failed_arcs)
 
 let test_faults_bursty_p0_matches_baseline () =
   let sys = Builders.cycle_rotate 12 in

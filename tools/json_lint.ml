@@ -1,11 +1,16 @@
 (* json_lint: validate JSON produced by the telemetry layer.
 
    Modes (selected by argv):
-     (none)    stdin holds one JSON document; parse it strictly
-     --jsonl   stdin holds JSON Lines; every non-empty line must parse
-     --trace   JSON Lines as above, plus trace-specific checks: every
-               line is an object with an "ev" field, and span_begin /
-               span_end events balance per (domain, span name)
+     (none)        stdin holds one JSON document; parse it strictly
+     --jsonl       stdin holds JSON Lines; every non-empty line must parse
+     --trace       JSON Lines as above, plus trace-specific checks: every
+                   line is an object with an "ev" field, and span_begin /
+                   span_end events balance per (domain, span name)
+     --fault-cert  one JSON document carrying (or containing under a
+                   "certificate" field) a gossip-fault-cert/1 artifact;
+                   schema fields are checked for presence and type, and
+                   the verdict for consistency (certified <=> no
+                   counterexample, exhaustive <=> confidence 1)
 
    Exit status 0 when valid; 1 with a diagnostic on stderr otherwise.
    Used by CI to validate `gossip_lab ... --json` output, bench reports
@@ -77,12 +82,141 @@ let lint_lines ~trace src =
       open_spans;
   Printf.printf "ok: %d line(s) valid\n" !events
 
+(* --- gossip-fault-cert/1 --- *)
+
+let lint_fault_cert src =
+  let j =
+    match Json.of_string src with
+    | Ok j -> j
+    | Error e -> fail "invalid JSON: %s" e
+  in
+  (* accept both the bare artifact and the CLI/server envelopes that
+     nest it under "certificate" *)
+  let cert =
+    match Json.member "schema" j with
+    | Some _ -> j
+    | None -> (
+        let rec dig j =
+          match Json.member "certificate" j with
+          | Some c -> Some c
+          | None -> (
+              match Json.member "result" j with
+              | Some r -> dig r
+              | None -> None)
+        in
+        match dig j with
+        | Some c -> c
+        | None -> fail "no gossip-fault-cert/1 artifact found")
+  in
+  let get key =
+    match Json.member key cert with
+    | Some v -> v
+    | None -> fail "certificate lacks field %S" key
+  in
+  let want_str key =
+    match get key with
+    | Json.Str s -> s
+    | _ -> fail "field %S must be a string" key
+  in
+  let want_int key =
+    match get key with
+    | Json.Int i -> i
+    | _ -> fail "field %S must be an integer" key
+  in
+  let want_int_or_null key =
+    match get key with
+    | Json.Int i -> Some i
+    | Json.Null -> None
+    | _ -> fail "field %S must be an integer or null" key
+  in
+  let want_float key =
+    match get key with
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | _ -> fail "field %S must be a number" key
+  in
+  let want_arc_list key =
+    match get key with
+    | Json.List arcs ->
+        List.iter
+          (function
+            | Json.List [ Json.Int _; Json.Int _ ] -> ()
+            | _ -> fail "field %S must be a list of [u, v] arc pairs" key)
+          arcs;
+        List.length arcs
+    | _ -> fail "field %S must be a list" key
+  in
+  if want_str "schema" <> "gossip-fault-cert/1" then
+    fail "schema must be \"gossip-fault-cert/1\"";
+  ignore (want_str "scheme");
+  ignore (want_str "fingerprint");
+  ignore (want_str "mode");
+  let n = want_int "n" in
+  let k = want_int "k" in
+  let arcs = want_int "arcs" in
+  ignore (want_int "period");
+  ignore (want_int "seed");
+  ignore (want_int "budget");
+  ignore (want_int "cap");
+  ignore (want_int_or_null "fault_free_time");
+  ignore (want_int_or_null "worst_time");
+  ignore (want_arc_list "worst_pattern");
+  if n < 0 then fail "n must be >= 0";
+  if k < 0 then fail "k must be >= 0";
+  if k > arcs then fail "k = %d exceeds the %d-arc universe" k arcs;
+  let cert_mode = want_str "cert_mode" in
+  if cert_mode <> "exhaustive" && cert_mode <> "sampled" then
+    fail "cert_mode must be \"exhaustive\" or \"sampled\" (got %S)" cert_mode;
+  let total = want_int "patterns_total" in
+  let checked = want_int "patterns_checked" in
+  if checked < 0 || total < 0 then fail "pattern counts must be >= 0";
+  let confidence = want_float "confidence" in
+  if confidence < 0.0 || confidence > 1.0 then
+    fail "confidence must be in [0, 1]";
+  if cert_mode = "exhaustive" && confidence <> 1.0 then
+    fail "exhaustive certificates must report confidence 1";
+  let certified =
+    match get "certified" with
+    | Json.Bool b -> b
+    | _ -> fail "field \"certified\" must be a boolean"
+  in
+  (match get "counterexample" with
+  | Json.Null ->
+      if not certified then
+        fail "uncertified verdict must carry a counterexample"
+  | Json.Obj _ as cx ->
+      if certified then fail "certified verdict must not carry a counterexample";
+      let size =
+        match Json.member "pattern" cx with
+        | Some (Json.List arcs) ->
+            List.iter
+              (function
+                | Json.List [ Json.Int _; Json.Int _ ] -> ()
+                | _ -> fail "counterexample pattern must hold [u, v] pairs")
+              arcs;
+            List.length arcs
+        | _ -> fail "counterexample lacks a \"pattern\" list"
+      in
+      if size > k then
+        fail "counterexample kills %d arcs but k = %d" size k;
+      (match Json.member "rounds_run" cx with
+      | Some (Json.Int _) -> ()
+      | _ -> fail "counterexample lacks an integer \"rounds_run\"");
+      (match Json.member "coverage" cx with
+      | Some (Json.Float _ | Json.Int _) -> ()
+      | _ -> fail "counterexample lacks a numeric \"coverage\"")
+  | _ -> fail "field \"counterexample\" must be an object or null");
+  Printf.printf "ok: gossip-fault-cert/1 (%s, k=%d, %s)\n"
+    (want_str "scheme") k
+    (if certified then "certified" else "counterexample")
+
 let () =
   let src = read_all stdin in
   match List.tl (Array.to_list Sys.argv) with
   | [] -> lint_json src
   | [ "--jsonl" ] -> lint_lines ~trace:false src
   | [ "--trace" ] -> lint_lines ~trace:true src
+  | [ "--fault-cert" ] -> lint_fault_cert src
   | _ ->
-      prerr_endline "usage: json_lint [--jsonl | --trace] < input";
+      prerr_endline "usage: json_lint [--jsonl | --trace | --fault-cert] < input";
       exit 2

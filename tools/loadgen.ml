@@ -103,6 +103,21 @@ let op_of_name name i =
   | "certify" ->
       Serve.Wire.Certify
         { spec = Serve.Wire.Built { net; full_duplex = false }; refine = false }
+  | "certify_faults" ->
+      (* deliberately small and parameter-stable: repeats hit the
+         context's fault_cert shelf, which --require-cache-hits gates *)
+      Serve.Wire.Certify_faults
+        {
+          family = "cycle";
+          n = 12;
+          k = 1;
+          budget = 64;
+          seed = 1;
+          degree = 2;
+          full_duplex = false;
+          harden = "augment";
+          cap = 0;
+        }
   | other -> fail "unknown op %S in mix" other
 
 let parse_mix spec =
